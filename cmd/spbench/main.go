@@ -1,0 +1,207 @@
+// Command spbench regenerates the paper's tables and figures on
+// synthetic dataset stand-ins (see DESIGN.md for the substitution
+// rationale and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	spbench                 # everything, default scale
+//	spbench -exp table3     # one experiment
+//	spbench -quick          # smoke-test scale
+//	spbench -samples 500 -nodes 20000 -exp fig2a
+//
+// Experiments: table2, fig2a, fig2b, fig2c, table3, memory, ablation,
+// sampling, accuracy, weighted, scaling, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vicinity/internal/expt"
+	"vicinity/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment id (table2|fig2a|fig2b|fig2c|table3|memory|ablation|sampling|accuracy|weighted|scaling|all)")
+		quick   = fs.Bool("quick", false, "reduced scale for smoke testing")
+		samples = fs.Int("samples", 0, "sampled nodes per dataset (0 = default)")
+		reps    = fs.Int("reps", 0, "repetitions (0 = default)")
+		nodes   = fs.Int("nodes", 0, "synthetic nodes per dataset (0 = profile default)")
+		seed    = fs.Uint64("seed", 42, "random seed")
+		alpha   = fs.Float64("alpha", 4, "operating-point α")
+		workers = fs.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := expt.DefaultConfig()
+	if *quick {
+		cfg = cfg.Quick()
+	}
+	cfg.Seed = *seed
+	cfg.Alpha = *alpha
+	cfg.Workers = *workers
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *nodes > 0 {
+		cfg.Nodes = *nodes
+	}
+
+	want := strings.ToLower(*exp)
+	runAll := want == "all"
+	ran := false
+	start := time.Now()
+
+	fmt.Printf("spbench: samples=%d reps=%d α=%g nodes=%d seed=%d\n\n",
+		cfg.Samples, cfg.Reps, cfg.Alpha, cfg.Nodes, cfg.Seed)
+	ds := expt.DefaultDatasets(cfg)
+	order := make([]string, len(ds))
+	for i, d := range ds {
+		order[i] = d.Name
+		fmt.Printf("dataset %-12s n=%d m=%d\n", d.Name, d.Graph.NumNodes(), d.Graph.NumEdges())
+	}
+	fmt.Println()
+
+	if runAll || want == "table2" {
+		ran = true
+		fmt.Println(expt.RenderTable2(expt.Table2(ds)))
+	}
+	if runAll || want == "fig2a" {
+		ran = true
+		series := map[string][]expt.IntersectionPoint{}
+		for _, d := range ds {
+			pts, err := expt.IntersectionSweep(d, cfg)
+			if err != nil {
+				return err
+			}
+			series[d.Name] = pts
+		}
+		fmt.Println(expt.RenderIntersection(series, order))
+	}
+	if runAll || want == "fig2b" {
+		ran = true
+		series := map[string][]expt.BoundaryPoint{}
+		for _, d := range ds {
+			pts, err := expt.BoundaryCDF(d, cfg)
+			if err != nil {
+				return err
+			}
+			series[d.Name] = pts
+		}
+		fmt.Println(expt.RenderBoundaryCDF(series, order))
+	}
+	if runAll || want == "fig2c" {
+		ran = true
+		series := map[string][]expt.RadiusPoint{}
+		for _, d := range ds {
+			pts, err := expt.RadiusSweep(d, cfg)
+			if err != nil {
+				return err
+			}
+			series[d.Name] = pts
+		}
+		fmt.Println(expt.RenderRadius(series, order))
+	}
+	if runAll || want == "table3" {
+		ran = true
+		var rows []expt.Table3Row
+		for _, d := range ds {
+			row, err := expt.Table3(d, cfg)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(expt.RenderTable3(rows))
+	}
+	if runAll || want == "memory" {
+		ran = true
+		var rows []expt.MemoryRow
+		for _, d := range ds {
+			row, err := expt.Memory(d, cfg)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(expt.RenderMemory(rows))
+	}
+	if runAll || want == "ablation" {
+		ran = true
+		var rows []expt.AblationBoundaryRow
+		for _, d := range ds {
+			row, err := expt.AblationBoundary(d, cfg)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(expt.RenderAblationBoundary(rows))
+	}
+	if runAll || want == "sampling" {
+		ran = true
+		var rows []expt.AblationSamplingRow
+		for _, d := range ds {
+			rs, err := expt.AblationSampling(d, cfg)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, rs...)
+		}
+		fmt.Println(expt.RenderAblationSampling(rows))
+	}
+	if runAll || want == "accuracy" {
+		ran = true
+		// The paper's §4 comparison discussion centers on LiveJournal.
+		rows, err := expt.Accuracy(ds[3], cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.RenderAccuracy(ds[3].Name, rows))
+	}
+	if runAll || want == "weighted" {
+		ran = true
+		var rows []expt.WeightedRow
+		for _, d := range ds {
+			row, err := expt.Weighted(d, 8, cfg)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(expt.RenderWeighted(rows))
+	}
+	if runAll || want == "scaling" {
+		ran = true
+		sizes := []int{4000, 16000, 64000, 256000}
+		if *quick {
+			sizes = []int{1000, 4000}
+		}
+		rows, err := expt.Scaling(gen.ProfileLiveJournal, sizes, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.RenderScaling("LiveJournal", rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	fmt.Printf("spbench: done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

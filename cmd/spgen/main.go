@@ -1,0 +1,108 @@
+// Command spgen generates synthetic graphs for the vicinity oracle:
+// the paper's dataset profiles and the standard random-graph families.
+//
+// Usage:
+//
+//	spgen -profile livejournal -n 30000 -o lj.bin
+//	spgen -type ba -n 10000 -k 5 -o ba.txt -format txt
+//	spgen -type ws -n 5000 -k 8 -beta 0.1 -o ws.bin
+//
+// Output format defaults to the fast binary format; use -format txt for
+// a portable edge list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+	"vicinity/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spgen", flag.ContinueOnError)
+	var (
+		typ     = fs.String("type", "profile", "generator: profile|ba|hk|ws|er|rmat|config")
+		profile = fs.String("profile", "LiveJournal", "dataset profile (DBLP, Flickr, Orkut, LiveJournal)")
+		n       = fs.Int("n", 0, "number of nodes (0 = profile default)")
+		k       = fs.Int("k", 5, "edges per node (ba/hk), ring neighbors (ws)")
+		pt      = fs.Float64("pt", 0.5, "triad probability (hk)")
+		p       = fs.Float64("p", 0.01, "edge probability (er)")
+		beta    = fs.Float64("beta", 0.1, "rewiring probability (ws)")
+		scale   = fs.Int("scale", 12, "log2 nodes (rmat)")
+		ef      = fs.Int("ef", 8, "edge factor (rmat)")
+		gamma   = fs.Float64("gamma", 2.5, "power-law exponent (config)")
+		seed    = fs.Uint64("seed", 42, "random seed")
+		out     = fs.String("o", "", "output file (required)")
+		format  = fs.String("format", "bin", "output format: bin|txt")
+		lcc     = fs.Bool("lcc", true, "keep only the largest connected component")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-o output file is required")
+	}
+	g, err := generate(*typ, *profile, *n, *k, *pt, *p, *beta, *scale, *ef, *gamma, *seed)
+	if err != nil {
+		return err
+	}
+	if *lcc && !graph.Connected(g) {
+		var kept []uint32
+		g, kept = graph.LargestComponent(g)
+		fmt.Fprintf(os.Stderr, "spgen: kept largest component: %d nodes\n", len(kept))
+	}
+	fmt.Println(graph.ComputeStats(g))
+	switch *format {
+	case "bin":
+		return graph.SaveBinaryFile(*out, g)
+	case "txt":
+		return graph.SaveEdgeListFile(*out, g)
+	default:
+		return fmt.Errorf("unknown format %q (want bin or txt)", *format)
+	}
+}
+
+func generate(typ, profile string, n, k int, pt, p, beta float64, scale, ef int, gamma float64, seed uint64) (*graph.Graph, error) {
+	r := xrand.New(seed)
+	switch strings.ToLower(typ) {
+	case "profile":
+		prof, err := gen.ProfileByName(profile)
+		if err != nil {
+			return nil, err
+		}
+		return prof.Generate(n, seed), nil
+	case "ba":
+		return gen.BarabasiAlbert(r, defaultN(n), k), nil
+	case "hk":
+		return gen.HolmeKim(r, defaultN(n), k, pt), nil
+	case "ws":
+		return gen.WattsStrogatz(r, defaultN(n), k, beta), nil
+	case "er":
+		return gen.GNP(r, defaultN(n), p), nil
+	case "rmat":
+		return gen.RMAT(r, scale, ef, 0.57, 0.19, 0.19), nil
+	case "config":
+		degs := xrand.PowerLawDegrees(r, defaultN(n), 2, 100, gamma)
+		return gen.ConfigurationModel(r, degs), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", typ)
+	}
+}
+
+func defaultN(n int) int {
+	if n <= 0 {
+		return 10000
+	}
+	return n
+}

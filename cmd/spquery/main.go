@@ -1,0 +1,145 @@
+// Command spquery builds a vicinity oracle over a graph and answers
+// point-to-point queries from the command line or stdin.
+//
+// Usage:
+//
+//	spquery -graph lj.bin 15 4711          # one query
+//	spquery -gen livejournal -n 10000 -batch < pairs.txt
+//
+// Batch lines are "s t" pairs; output is "s t distance method [path]".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vicinity/internal/core"
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spquery", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "graph file (binary or edge list)")
+		genName   = fs.String("gen", "", "generate a dataset profile instead of loading (DBLP|Flickr|Orkut|LiveJournal)")
+		n         = fs.Int("n", 0, "nodes for -gen (0 = profile default)")
+		alpha     = fs.Float64("alpha", 4, "vicinity size parameter α")
+		seed      = fs.Uint64("seed", 42, "random seed")
+		batch     = fs.Bool("batch", false, "read 's t' pairs from stdin")
+		showPath  = fs.Bool("path", false, "also print the shortest path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*graphPath, *genName, *n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spquery: %s\n", graph.ComputeStats(g))
+
+	start := time.Now()
+	oracle, err := core.Build(g, core.Options{Alpha: *alpha, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	bs := oracle.Stats()
+	fmt.Fprintf(os.Stderr, "spquery: built in %v: %s\n",
+		time.Since(start).Round(time.Millisecond), bs)
+
+	query := func(s, t uint32) error {
+		startQ := time.Now()
+		d, method, err := oracle.Distance(s, t)
+		lat := time.Since(startQ)
+		if err != nil {
+			return err
+		}
+		dist := "unreachable"
+		if d != core.NoDist {
+			dist = strconv.FormatUint(uint64(d), 10)
+		}
+		if *showPath {
+			p, _, err := oracle.Path(s, t)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d %d %s %s %v path=%s\n", s, t, dist, method, lat, core.PathString(p))
+			return nil
+		}
+		fmt.Printf("%d %d %s %s %v\n", s, t, dist, method, lat)
+		return nil
+	}
+
+	if *batch {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || line[0] == '#' {
+				continue
+			}
+			s, t, err := parsePair(line)
+			if err != nil {
+				return err
+			}
+			if err := query(s, t); err != nil {
+				return err
+			}
+		}
+		return sc.Err()
+	}
+
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("want exactly two node ids, got %d args (or use -batch)", len(rest))
+	}
+	s, t, err := parsePair(rest[0] + " " + rest[1])
+	if err != nil {
+		return err
+	}
+	return query(s, t)
+}
+
+func parsePair(line string) (uint32, uint32, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return 0, 0, fmt.Errorf("want 's t', got %q", line)
+	}
+	s, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return 0, 0, err
+	}
+	t, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint32(s), uint32(t), nil
+}
+
+func loadGraph(path, genName string, n int, seed uint64) (*graph.Graph, error) {
+	switch {
+	case path != "" && genName != "":
+		return nil, fmt.Errorf("-graph and -gen are mutually exclusive")
+	case path != "":
+		return graph.LoadFile(path)
+	case genName != "":
+		prof, err := gen.ProfileByName(genName)
+		if err != nil {
+			return nil, err
+		}
+		return prof.Generate(n, seed), nil
+	default:
+		return nil, fmt.Errorf("one of -graph or -gen is required")
+	}
+}

@@ -1,0 +1,133 @@
+// Command spserver serves vicinity-oracle queries over TCP (binary
+// protocol, see internal/wire) and HTTP/JSON.
+//
+// Usage:
+//
+//	spserver -graph lj.bin -addr :7421 -http :8080
+//	spserver -gen orkut -n 10000 -addr 127.0.0.1:7421
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// connections.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vicinity/internal/core"
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+	"vicinity/internal/qserver"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spserver", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "graph file (binary or edge list)")
+		genName   = fs.String("gen", "", "generate a dataset profile instead of loading")
+		n         = fs.Int("n", 0, "nodes for -gen (0 = profile default)")
+		alpha     = fs.Float64("alpha", 4, "vicinity size parameter α")
+		seed      = fs.Uint64("seed", 42, "random seed")
+		addr      = fs.String("addr", "127.0.0.1:7421", "TCP listen address (empty = disabled)")
+		httpAddr  = fs.String("http", "", "HTTP listen address (empty = disabled)")
+		maxConns  = fs.Int("max-conns", 1024, "maximum concurrent TCP connections")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" && *httpAddr == "" {
+		return errors.New("nothing to serve: set -addr and/or -http")
+	}
+	g, err := loadGraph(*graphPath, *genName, *n, *seed)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "spserver: ", log.LstdFlags)
+	logger.Printf("graph: %s", graph.ComputeStats(g))
+
+	start := time.Now()
+	oracle, err := core.Build(g, core.Options{Alpha: *alpha, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	logger.Printf("oracle built in %v: %s", time.Since(start).Round(time.Millisecond), oracle.Stats())
+
+	srv := qserver.New(oracle, qserver.Config{MaxConns: *maxConns, Logger: logger})
+	errCh := make(chan error, 2)
+
+	if *addr != "" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		logger.Printf("tcp: listening on %s", ln.Addr())
+		go func() { errCh <- srv.Serve(ln) }()
+	}
+
+	var hs *http.Server
+	if *httpAddr != "" {
+		hs = &http.Server{
+			Addr:         *httpAddr,
+			Handler:      srv.Handler(),
+			ReadTimeout:  10 * time.Second,
+			WriteTimeout: 30 * time.Second,
+		}
+		logger.Printf("http: listening on %s", *httpAddr)
+		go func() { errCh <- hs.ListenAndServe() }()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("received %v, shutting down", s)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if hs != nil {
+		_ = hs.Shutdown(ctx)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("forced shutdown: %v", err)
+	}
+	m := srv.Metrics()
+	logger.Printf("served %d queries over %d connections", m.Queries, m.TotalConns)
+	return nil
+}
+
+func loadGraph(path, genName string, n int, seed uint64) (*graph.Graph, error) {
+	switch {
+	case path != "" && genName != "":
+		return nil, errors.New("-graph and -gen are mutually exclusive")
+	case path != "":
+		return graph.LoadFile(path)
+	case genName != "":
+		prof, err := gen.ProfileByName(genName)
+		if err != nil {
+			return nil, err
+		}
+		return prof.Generate(n, seed), nil
+	default:
+		return nil, errors.New("one of -graph or -gen is required")
+	}
+}

@@ -1,0 +1,37 @@
+// Command spstats prints Table-2-style statistics for graph files.
+//
+// Usage:
+//
+//	spstats graph1.bin [graph2.txt ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vicinity/internal/graph"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: spstats <graph-file> [...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		g, err := graph.LoadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spstats:", err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s: %s\n", path, graph.ComputeStats(g))
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,79 @@
+// Parallel measures query throughput scaling with concurrency — the
+// parallelization question the paper raises in §5. The oracle is
+// immutable after build, so queries scale across cores with no locking
+// (fallback workspaces come from a pool).
+//
+//	go run ./examples/parallel [-n 10000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vicinity/internal/core"
+	"vicinity/internal/gen"
+	"vicinity/internal/xrand"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "number of nodes")
+	dur := flag.Duration("d", 2*time.Second, "measurement duration per point")
+	flag.Parse()
+
+	g := gen.ProfileFlickr.Generate(*n, 5)
+	oracle, err := core.Build(g, core.Options{Alpha: 4, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("oracle:", oracle.Stats())
+	fmt.Printf("cores: %d\n\n", runtime.GOMAXPROCS(0))
+
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		if workers > 2*runtime.GOMAXPROCS(0) {
+			break
+		}
+		qps := measure(oracle, uint32(*n), workers, *dur)
+		if workers == 1 {
+			base = qps
+		}
+		fmt.Printf("goroutines=%-3d  %12.0f queries/s   speedup %.2f×\n",
+			workers, qps, qps/base)
+	}
+}
+
+// measure runs random queries from `workers` goroutines for d and
+// returns aggregate queries/second.
+func measure(oracle *core.Oracle, n uint32, workers int, d time.Duration) float64 {
+	var stop atomic.Bool
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			var st core.QueryStats
+			count := int64(0)
+			for !stop.Load() {
+				for i := 0; i < 256; i++ {
+					s, t := r.Uint32n(n), r.Uint32n(n)
+					if _, err := oracle.DistanceStats(s, t, &st); err != nil {
+						log.Fatal(err)
+					}
+				}
+				count += 256
+			}
+			total.Add(count)
+		}(uint64(w + 1))
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return float64(total.Load()) / d.Seconds()
+}

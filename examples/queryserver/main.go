@@ -1,0 +1,96 @@
+// Queryserver runs the TCP query server in-process, connects the binary
+// protocol client and the HTTP gateway to it, and round-trips queries —
+// the deployment shape of the paper's motivating applications
+// (social-network path queries behind a latency budget).
+//
+//	go run ./examples/queryserver
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"vicinity/internal/core"
+	"vicinity/internal/gen"
+	"vicinity/internal/qclient"
+	"vicinity/internal/qserver"
+)
+
+func main() {
+	// Build the oracle.
+	g := gen.ProfileDBLP.Generate(4000, 7)
+	oracle, err := core.Build(g, core.Options{Alpha: 4, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("oracle:", oracle.Stats())
+
+	// Start the TCP server on a loopback port.
+	srv := qserver.New(oracle, qserver.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	addr := ln.Addr().String()
+	fmt.Println("tcp server:", addr)
+
+	// Binary-protocol client.
+	client, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	rtt, err := client.Ping()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ping:", rtt)
+
+	for _, p := range [][2]uint32{{1, 2000}, {17, 3999}} {
+		start := time.Now()
+		d, _, err := client.Distance(p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		path, _, err := client.Path(p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tcp  d(%d,%d) = %d, %d-hop path, round trips in %v\n",
+			p[0], p[1], d, len(path)-1, time.Since(start).Round(time.Microsecond))
+	}
+	st, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tcp  server stats: n=%d |L|=%d queries=%d\n", st.Nodes, st.Landmarks, st.QueriesServed)
+
+	// HTTP/JSON gateway over the same oracle.
+	hs := httptest.NewServer(srv.Handler())
+	resp, err := http.Get(hs.URL + "/v1/distance?s=1&t=2000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("http GET /v1/distance?s=1&t=2000 → %s", body)
+	hs.Close()
+
+	// Graceful shutdown: close the client first so the server drains.
+	client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("shutdown complete: %d queries over %d connections\n", m.Queries, m.TotalConns)
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a vicinity oracle over a small social graph and
+// answer distance and path queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vicinity"
+)
+
+func main() {
+	// A synthetic social network: 5000 users, average degree ~10,
+	// heavy-tailed and clustered like the real thing.
+	g := vicinity.GenerateSocial(5000, 5, 42)
+	fmt.Println("graph:", g)
+
+	// Offline phase: sample landmarks, build vicinities (α = 4 default).
+	oracle, err := vicinity.Build(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("oracle:", oracle.Stats())
+
+	// Online phase: point-to-point queries in microseconds.
+	pairs := [][2]uint32{{17, 4711}, {0, 4999}, {123, 321}}
+	for _, p := range pairs {
+		d, method, err := oracle.Distance(p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		path, _, err := oracle.Path(p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("d(%d,%d) = %d  via %-17s path %v\n", p[0], p[1], d, method, path)
+	}
+
+	// Landmarks answer from their global tables.
+	l := oracle.Landmarks()[0]
+	d, method, _ := oracle.Distance(l, 42)
+	fmt.Printf("d(%d,%d) = %d  via %s (node %d is a landmark)\n", l, 42, d, method, l)
+}

@@ -1,0 +1,255 @@
+// Package approx implements the approximate distance/path oracles the
+// paper positions itself against in §4: landmark triangulation in the
+// style of Potamias et al. [11] and sampling-based sketches in the style
+// of Das Sarma et al. [12].
+//
+// Both oracles answer in microseconds but return upper bounds rather
+// than exact distances; experiment R1 regenerates the accuracy/latency
+// trade-off discussion.
+package approx
+
+import (
+	"vicinity/internal/graph"
+	"vicinity/internal/queue"
+	"vicinity/internal/traverse"
+	"vicinity/internal/xrand"
+)
+
+// NoDist is the sentinel for "no estimate available".
+const NoDist = traverse.NoDist
+
+// Landmark is a triangulation oracle: k landmarks with full shortest
+// path trees; the distance estimate is the best landmark detour
+//
+//	est(s,t) = min_l d(s,l) + d(l,t)  (an upper bound),
+//
+// and the companion lower bound is max_l |d(s,l) - d(l,t)|.
+type Landmark struct {
+	g     *graph.Graph
+	nodes []uint32
+	trees []*traverse.Tree
+}
+
+// NewLandmark builds a triangulation oracle with k landmarks chosen as
+// the highest-degree nodes (the best simple strategy in [11]).
+func NewLandmark(g *graph.Graph, k int) *Landmark {
+	n := g.NumNodes()
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// Select top-k degrees via partial selection.
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	// Simple selection of the k max-degree nodes: O(nk) is fine for the
+	// small k used by this oracle.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if g.Degree(ids[j]) > g.Degree(ids[best]) {
+				best = j
+			}
+		}
+		ids[i], ids[best] = ids[best], ids[i]
+	}
+	l := &Landmark{g: g, nodes: append([]uint32(nil), ids[:k]...)}
+	weighted := g.Weighted()
+	for _, u := range l.nodes {
+		if weighted {
+			l.trees = append(l.trees, traverse.Dijkstra(g, u))
+		} else {
+			l.trees = append(l.trees, traverse.BFS(g, u))
+		}
+	}
+	return l
+}
+
+// Name identifies the oracle in benchmark tables.
+func (l *Landmark) Name() string { return "landmark-triangulation" }
+
+// NumLandmarks returns the landmark count.
+func (l *Landmark) NumLandmarks() int { return len(l.nodes) }
+
+// Estimate returns the triangulation upper bound, or NoDist when no
+// landmark reaches both endpoints.
+func (l *Landmark) Estimate(s, t uint32) uint32 {
+	if s == t {
+		return 0
+	}
+	best := NoDist
+	for _, tr := range l.trees {
+		ds, dt := tr.Dist[s], tr.Dist[t]
+		if ds == NoDist || dt == NoDist {
+			continue
+		}
+		if est := ds + dt; est < best {
+			best = est
+		}
+	}
+	return best
+}
+
+// LowerBound returns max_l |d(s,l) - d(l,t)|, a certified lower bound.
+func (l *Landmark) LowerBound(s, t uint32) uint32 {
+	if s == t {
+		return 0
+	}
+	var best uint32
+	for _, tr := range l.trees {
+		ds, dt := tr.Dist[s], tr.Dist[t]
+		if ds == NoDist || dt == NoDist {
+			continue
+		}
+		var diff uint32
+		if ds > dt {
+			diff = ds - dt
+		} else {
+			diff = dt - ds
+		}
+		if diff > best {
+			best = diff
+		}
+	}
+	return best
+}
+
+// Path returns a valid (not necessarily shortest) s→t walk through the
+// best landmark, shortcut at the first node common to both tree branches
+// (the standard tree-sketch improvement) and with incidental cycles
+// removed. Returns nil when no landmark connects the pair.
+func (l *Landmark) Path(s, t uint32) []uint32 {
+	if s == t {
+		return []uint32{s}
+	}
+	bestI, best := -1, NoDist
+	for i, tr := range l.trees {
+		ds, dt := tr.Dist[s], tr.Dist[t]
+		if ds == NoDist || dt == NoDist {
+			continue
+		}
+		if est := ds + dt; est < best {
+			best, bestI = est, i
+		}
+	}
+	if bestI < 0 {
+		return nil
+	}
+	tr := l.trees[bestI]
+	up := chainToRoot(tr, s)   // s ... root
+	down := chainToRoot(tr, t) // t ... root
+	// Shortcut: find the first node of up that appears in down.
+	pos := make(map[uint32]int, len(down))
+	for i, v := range down {
+		pos[v] = i
+	}
+	for i, v := range up {
+		if j, ok := pos[v]; ok {
+			path := append([]uint32(nil), up[:i+1]...)
+			for k := j - 1; k >= 0; k-- {
+				path = append(path, down[k])
+			}
+			return path
+		}
+	}
+	return nil // unreachable: root is common
+}
+
+// chainToRoot returns v, parent(v), ..., root in tr.
+func chainToRoot(tr *traverse.Tree, v uint32) []uint32 {
+	var chain []uint32
+	for cur := v; cur != graph.NoNode; cur = tr.Parent[cur] {
+		chain = append(chain, cur)
+	}
+	return chain
+}
+
+// Sketch is a Das-Sarma-style sampling sketch oracle: for set sizes
+// 1, 2, 4, ..., 2^⌊log n⌋ (each repeated reps times), sample a seed set,
+// run a multi-source BFS, and record each node's closest seed and
+// distance. The estimate for (s,t) is the best common-seed detour.
+type Sketch struct {
+	g     *graph.Graph
+	seeds [][]uint32 // per sketch: closest seed per node
+	dists [][]uint32 // per sketch: distance to closest seed per node
+}
+
+// NewSketch builds a sketch oracle with the given repetitions per set
+// size (reps >= 1; [12] uses small constants).
+func NewSketch(g *graph.Graph, reps int, seed uint64) *Sketch {
+	if reps < 1 {
+		reps = 1
+	}
+	n := g.NumNodes()
+	s := &Sketch{g: g}
+	if n == 0 {
+		return s
+	}
+	r := xrand.New(seed)
+	for size := 1; size <= n; size *= 2 {
+		for rep := 0; rep < reps; rep++ {
+			set := r.Sample(n, size)
+			closest, dist := multiSourceBFS(g, set)
+			s.seeds = append(s.seeds, closest)
+			s.dists = append(s.dists, dist)
+		}
+	}
+	return s
+}
+
+// multiSourceBFS labels every node with its closest source and hop
+// distance (ties broken by traversal order).
+func multiSourceBFS(g *graph.Graph, sources []int) (closest, dist []uint32) {
+	n := g.NumNodes()
+	closest = make([]uint32, n)
+	dist = make([]uint32, n)
+	for i := range dist {
+		dist[i] = NoDist
+		closest[i] = graph.NoNode
+	}
+	q := queue.NewU32(len(sources) * 2)
+	for _, s := range sources {
+		dist[s] = 0
+		closest[s] = uint32(s)
+		q.Push(uint32(s))
+	}
+	for !q.Empty() {
+		u := q.Pop()
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == NoDist {
+				dist[v] = dist[u] + 1
+				closest[v] = closest[u]
+				q.Push(v)
+			}
+		}
+	}
+	return closest, dist
+}
+
+// Name identifies the oracle in benchmark tables.
+func (s *Sketch) Name() string { return "das-sarma-sketch" }
+
+// NumSketches returns the number of (set size × repetition) sketches.
+func (s *Sketch) NumSketches() int { return len(s.seeds) }
+
+// Estimate returns the best common-seed upper bound, or NoDist when the
+// pair shares no seed across all sketches.
+func (s *Sketch) Estimate(u, v uint32) uint32 {
+	if u == v {
+		return 0
+	}
+	best := NoDist
+	for i := range s.seeds {
+		su, sv := s.seeds[i][u], s.seeds[i][v]
+		if su == graph.NoNode || su != sv {
+			continue
+		}
+		if est := s.dists[i][u] + s.dists[i][v]; est < best {
+			best = est
+		}
+	}
+	return best
+}

@@ -1,0 +1,184 @@
+package approx
+
+import (
+	"testing"
+
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
+	"vicinity/internal/xrand"
+)
+
+func social(seed uint64, n int) *graph.Graph {
+	return gen.HolmeKim(xrand.New(seed), n, 4, 0.5)
+}
+
+func TestLandmarkBounds(t *testing.T) {
+	g := social(1, 300)
+	l := NewLandmark(g, 8)
+	if l.NumLandmarks() != 8 {
+		t.Fatalf("landmarks = %d", l.NumLandmarks())
+	}
+	ws := traverse.NewWorkspace(g)
+	r := xrand.New(2)
+	for trial := 0; trial < 500; trial++ {
+		s, u := r.Uint32n(300), r.Uint32n(300)
+		want := ws.BFSDist(s, u)
+		est := l.Estimate(s, u)
+		lo := l.LowerBound(s, u)
+		if want == NoDist {
+			continue
+		}
+		if est < want {
+			t.Fatalf("upper bound %d below true %d", est, want)
+		}
+		if lo > want {
+			t.Fatalf("lower bound %d above true %d", lo, want)
+		}
+	}
+	if l.Estimate(5, 5) != 0 || l.LowerBound(5, 5) != 0 {
+		t.Fatal("self estimates nonzero")
+	}
+}
+
+func TestLandmarkPathValidAndMatchesNoWorse(t *testing.T) {
+	g := social(3, 300)
+	l := NewLandmark(g, 8)
+	ws := traverse.NewWorkspace(g)
+	r := xrand.New(4)
+	for trial := 0; trial < 300; trial++ {
+		s, u := r.Uint32n(300), r.Uint32n(300)
+		p := l.Path(s, u)
+		want := ws.BFSDist(s, u)
+		if want == NoDist {
+			if p != nil {
+				t.Fatalf("path across components: %v", p)
+			}
+			continue
+		}
+		if len(p) == 0 || p[0] != s || p[len(p)-1] != u {
+			t.Fatalf("bad endpoints: %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("missing edge %d-%d in %v", p[i], p[i+1], p)
+			}
+		}
+		// The walk length upper-bounds nothing formally after the
+		// shortcut, but it must be at least the true distance and no
+		// longer than the raw estimate.
+		hops := uint32(len(p) - 1)
+		if hops < want {
+			t.Fatalf("path shorter than shortest: %d < %d", hops, want)
+		}
+		if est := l.Estimate(s, u); hops > est {
+			t.Fatalf("shortcut path %d longer than estimate %d", hops, est)
+		}
+	}
+}
+
+func TestLandmarkClamping(t *testing.T) {
+	g := gen.Path(5)
+	if NewLandmark(g, 0).NumLandmarks() != 1 {
+		t.Fatal("k=0 not clamped")
+	}
+	if NewLandmark(g, 99).NumLandmarks() != 5 {
+		t.Fatal("k>n not clamped")
+	}
+}
+
+func TestSketchUpperBound(t *testing.T) {
+	g := social(5, 300)
+	s := NewSketch(g, 2, 7)
+	if s.NumSketches() == 0 {
+		t.Fatal("no sketches built")
+	}
+	ws := traverse.NewWorkspace(g)
+	r := xrand.New(6)
+	resolved := 0
+	for trial := 0; trial < 500; trial++ {
+		a, b := r.Uint32n(300), r.Uint32n(300)
+		want := ws.BFSDist(a, b)
+		est := s.Estimate(a, b)
+		if want == NoDist {
+			continue
+		}
+		if est == NoDist {
+			continue // no common seed: allowed, counted below
+		}
+		resolved++
+		if est < want {
+			t.Fatalf("sketch estimate %d below true %d", est, want)
+		}
+	}
+	// The largest seed set has size >= n/2, so almost every pair shares
+	// a seed; require most to resolve.
+	if resolved < 400 {
+		t.Fatalf("only %d/500 pairs resolved", resolved)
+	}
+	if s.Estimate(9, 9) != 0 {
+		t.Fatal("self estimate nonzero")
+	}
+}
+
+func TestSketchAccuracyReasonable(t *testing.T) {
+	// Average absolute error should be bounded by a few hops on a small
+	// world graph ([12] reports ~3); use a loose factor to avoid flakes.
+	g := social(8, 400)
+	s := NewSketch(g, 3, 9)
+	ws := traverse.NewWorkspace(g)
+	r := xrand.New(10)
+	var totalErr, count float64
+	for trial := 0; trial < 400; trial++ {
+		a, b := r.Uint32n(400), r.Uint32n(400)
+		want := ws.BFSDist(a, b)
+		est := s.Estimate(a, b)
+		if want == NoDist || est == NoDist {
+			continue
+		}
+		totalErr += float64(est - want)
+		count++
+	}
+	if count == 0 {
+		t.Fatal("nothing resolved")
+	}
+	if avg := totalErr / count; avg > 5 {
+		t.Errorf("average absolute error %.2f hops too large", avg)
+	}
+}
+
+func TestMultiSourceBFS(t *testing.T) {
+	g := gen.Path(10)
+	closest, dist := multiSourceBFS(g, []int{0, 9})
+	for v := 0; v < 10; v++ {
+		wantD := uint32(v)
+		wantC := uint32(0)
+		if 9-v < v {
+			wantD, wantC = uint32(9-v), 9
+		}
+		if dist[v] != wantD {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], wantD)
+		}
+		if v != 4 && v != 5 { // midpoints may tie either way
+			_ = wantC
+		}
+	}
+	if closest[0] != 0 || closest[9] != 9 {
+		t.Fatal("sources mislabeled")
+	}
+}
+
+func BenchmarkLandmarkEstimate(b *testing.B) {
+	g := social(1, 5000)
+	l := NewLandmark(g, 16)
+	r := xrand.New(2)
+	pairs := make([][2]uint32, 256)
+	for i := range pairs {
+		pairs[i] = [2]uint32{r.Uint32n(5000), r.Uint32n(5000)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&255]
+		l.Estimate(p[0], p[1])
+	}
+}

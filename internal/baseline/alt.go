@@ -1,0 +1,192 @@
+package baseline
+
+import (
+	"sync"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/heap"
+	"vicinity/internal/traverse"
+)
+
+// ALT is A* search with landmark ("ALT") lower bounds, the heuristic
+// family of Goldberg et al. [3,4]. It precomputes full distance tables
+// from a small set of landmarks chosen by the farthest-point heuristic
+// and guides a forward A* with the consistent heuristic
+//
+//	h(v) = max_l |d(l,v) - d(l,t)|
+//
+// which is admissible by the triangle inequality. Exact for unweighted
+// and weighted graphs.
+type ALT struct {
+	g      *graph.Graph
+	tables [][]uint32 // per landmark: distances to every node
+	pool   sync.Pool
+}
+
+type altWS struct {
+	dist    *traverse.NodeMap
+	settled *traverse.NodeMap
+	h       *heap.Min
+}
+
+// NewALT builds an ALT engine with k landmark tables (k is clamped to
+// [1, n]). Landmarks are selected farthest-first from the highest-degree
+// node, the standard seeding.
+func NewALT(g *graph.Graph, k int) *ALT {
+	n := g.NumNodes()
+	if n == 0 {
+		return &ALT{g: g}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	a := &ALT{g: g}
+	a.pool.New = func() any {
+		return &altWS{
+			dist:    traverse.NewNodeMap(n),
+			settled: traverse.NewNodeMap(n),
+			h:       heap.NewMin(n),
+		}
+	}
+	weighted := g.Weighted()
+	tree := func(src uint32) *traverse.Tree {
+		if weighted {
+			return traverse.Dijkstra(g, src)
+		}
+		return traverse.BFS(g, src)
+	}
+	_, first := g.MaxDegree()
+	cur := tree(first)
+	a.tables = append(a.tables, cur.Dist)
+	for len(a.tables) < k {
+		// Farthest reachable node from all chosen landmarks.
+		far, farD := first, uint32(0)
+		for v := 0; v < n; v++ {
+			best := NoDist
+			for _, tbl := range a.tables {
+				if d := tbl[v]; d < best {
+					best = d
+				}
+			}
+			if best != NoDist && best > farD {
+				farD, far = best, uint32(v)
+			}
+		}
+		if farD == 0 {
+			break // graph exhausted (or single component covered)
+		}
+		a.tables = append(a.tables, tree(far).Dist)
+	}
+	return a
+}
+
+// Name implements Querier.
+func (a *ALT) Name() string { return "alt" }
+
+// NumLandmarks returns the number of landmark tables built.
+func (a *ALT) NumLandmarks() int { return len(a.tables) }
+
+// heuristic returns the ALT lower bound on d(v,t).
+func (a *ALT) heuristic(v, t uint32) uint32 {
+	var h uint32
+	for _, tbl := range a.tables {
+		dv, dt := tbl[v], tbl[t]
+		if dv == NoDist || dt == NoDist {
+			continue
+		}
+		var diff uint32
+		if dv > dt {
+			diff = dv - dt
+		} else {
+			diff = dt - dv
+		}
+		if diff > h {
+			h = diff
+		}
+	}
+	return h
+}
+
+// Distance implements Querier.
+func (a *ALT) Distance(s, t uint32) uint32 {
+	d, _ := a.search(s, t, false)
+	return d
+}
+
+// Path implements Querier.
+func (a *ALT) Path(s, t uint32) []uint32 {
+	d, p := a.search(s, t, true)
+	if d == NoDist {
+		return nil
+	}
+	return p
+}
+
+// search runs A* from s to t. With a consistent heuristic, a node's
+// distance is final when settled, so the search stops at t.
+func (a *ALT) search(s, t uint32, wantPath bool) (uint32, []uint32) {
+	if s == t {
+		if wantPath {
+			return 0, []uint32{s}
+		}
+		return 0, nil
+	}
+	ws := a.pool.Get().(*altWS)
+	defer a.pool.Put(ws)
+	ws.dist.Reset()
+	ws.settled.Reset()
+	ws.h.Reset()
+	g := a.g
+	ws.dist.Set(s, 0, graph.NoNode)
+	ws.h.Push(s, a.heuristic(s, t))
+	for !ws.h.Empty() {
+		u, _ := ws.h.Pop()
+		if ws.settled.Has(u) {
+			continue
+		}
+		ws.settled.Set(u, 0, 0)
+		du := ws.dist.Dist(u)
+		if u == t {
+			if !wantPath {
+				return du, nil
+			}
+			return du, assemble(ws.dist, s, t)
+		}
+		adj := g.Neighbors(u)
+		wts := g.NeighborWeights(u)
+		for i, v := range adj {
+			if ws.settled.Has(v) {
+				continue
+			}
+			w := uint32(1)
+			if wts != nil {
+				w = wts[i]
+			}
+			nd := du + w
+			if old := ws.dist.Dist(v); nd < old {
+				ws.dist.Set(v, nd, u)
+				ws.h.Push(v, nd+a.heuristic(v, t))
+			}
+		}
+	}
+	return NoDist, nil
+}
+
+// assemble reconstructs the s→t path from parent pointers.
+func assemble(nm *traverse.NodeMap, s, t uint32) []uint32 {
+	var rev []uint32
+	for cur := t; cur != graph.NoNode; cur = nm.Parent(cur) {
+		rev = append(rev, cur)
+		if cur == s {
+			break
+		}
+	}
+	out := make([]uint32, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+// Package baseline implements the point-to-point shortest path engines
+// the paper compares against (Table 3): an optimized unidirectional BFS,
+// bidirectional BFS [4], Dijkstra and bidirectional Dijkstra for weighted
+// graphs, an A* with landmark lower bounds (ALT, [3,4]), and a
+// precomputed all-pairs oracle for test-scale ground truth.
+//
+// All engines implement Querier and are safe for concurrent use (each
+// query borrows a workspace from an internal pool).
+package baseline
+
+import (
+	"sync"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
+)
+
+// NoDist is the sentinel for unreachable pairs.
+const NoDist = traverse.NoDist
+
+// Querier answers point-to-point shortest path queries.
+type Querier interface {
+	// Name identifies the engine in benchmark tables.
+	Name() string
+	// Distance returns the shortest distance, or NoDist if disconnected.
+	Distance(s, t uint32) uint32
+	// Path returns a shortest path inclusive of endpoints, or nil.
+	Path(s, t uint32) []uint32
+}
+
+// pooled wraps a graph with a pool of search workspaces.
+type pooled struct {
+	g    *graph.Graph
+	pool sync.Pool
+}
+
+func newPooled(g *graph.Graph) pooled {
+	return pooled{
+		g: g,
+		pool: sync.Pool{
+			New: func() any { return traverse.NewWorkspace(g) },
+		},
+	}
+}
+
+func (p *pooled) get() *traverse.Workspace  { return p.pool.Get().(*traverse.Workspace) }
+func (p *pooled) put(w *traverse.Workspace) { p.pool.Put(w) }
+
+// BFS is the paper's unidirectional breadth-first baseline.
+type BFS struct{ pooled }
+
+// NewBFS returns a BFS engine over g.
+func NewBFS(g *graph.Graph) *BFS { return &BFS{newPooled(g)} }
+
+// Name implements Querier.
+func (b *BFS) Name() string { return "bfs" }
+
+// Distance implements Querier.
+func (b *BFS) Distance(s, t uint32) uint32 {
+	ws := b.get()
+	defer b.put(ws)
+	return ws.BFSDist(s, t)
+}
+
+// Path implements Querier.
+func (b *BFS) Path(s, t uint32) []uint32 {
+	ws := b.get()
+	defer b.put(ws)
+	return ws.BFSPath(s, t)
+}
+
+// BiBFS is the paper's bidirectional breadth-first comparator [4].
+type BiBFS struct{ pooled }
+
+// NewBiBFS returns a bidirectional BFS engine over g.
+func NewBiBFS(g *graph.Graph) *BiBFS { return &BiBFS{newPooled(g)} }
+
+// Name implements Querier.
+func (b *BiBFS) Name() string { return "bidirectional-bfs" }
+
+// Distance implements Querier.
+func (b *BiBFS) Distance(s, t uint32) uint32 {
+	ws := b.get()
+	defer b.put(ws)
+	return ws.BiBFSDist(s, t)
+}
+
+// Path implements Querier.
+func (b *BiBFS) Path(s, t uint32) []uint32 {
+	ws := b.get()
+	defer b.put(ws)
+	return ws.BiBFSPath(s, t)
+}
+
+// Dijkstra is the unidirectional weighted baseline.
+type Dijkstra struct{ pooled }
+
+// NewDijkstra returns a Dijkstra engine over g.
+func NewDijkstra(g *graph.Graph) *Dijkstra { return &Dijkstra{newPooled(g)} }
+
+// Name implements Querier.
+func (d *Dijkstra) Name() string { return "dijkstra" }
+
+// Distance implements Querier.
+func (d *Dijkstra) Distance(s, t uint32) uint32 {
+	ws := d.get()
+	defer d.put(ws)
+	return ws.DijkstraDist(s, t)
+}
+
+// Path implements Querier.
+func (d *Dijkstra) Path(s, t uint32) []uint32 {
+	ws := d.get()
+	defer d.put(ws)
+	return ws.DijkstraPath(s, t)
+}
+
+// BiDijkstra is the bidirectional weighted baseline.
+type BiDijkstra struct{ pooled }
+
+// NewBiDijkstra returns a bidirectional Dijkstra engine over g.
+func NewBiDijkstra(g *graph.Graph) *BiDijkstra { return &BiDijkstra{newPooled(g)} }
+
+// Name implements Querier.
+func (d *BiDijkstra) Name() string { return "bidirectional-dijkstra" }
+
+// Distance implements Querier.
+func (d *BiDijkstra) Distance(s, t uint32) uint32 {
+	ws := d.get()
+	defer d.put(ws)
+	return ws.BiDijkstraDist(s, t)
+}
+
+// Path implements Querier.
+func (d *BiDijkstra) Path(s, t uint32) []uint32 {
+	ws := d.get()
+	defer d.put(ws)
+	return ws.BiDijkstraPath(s, t)
+}
+
+// APSP is a precomputed all-pairs shortest path oracle: n full trees.
+// O(n²) memory — test and ground-truth scale only. It is the "store all
+// pair shortest paths" extreme the paper compares its memory against.
+type APSP struct {
+	g     *graph.Graph
+	trees []*traverse.Tree
+}
+
+// NewAPSP precomputes all single-source trees (parallelism is left to
+// the caller; construction is O(n·m)).
+func NewAPSP(g *graph.Graph) *APSP {
+	n := g.NumNodes()
+	a := &APSP{g: g, trees: make([]*traverse.Tree, n)}
+	weighted := g.Weighted()
+	for u := 0; u < n; u++ {
+		if weighted {
+			a.trees[u] = traverse.Dijkstra(g, uint32(u))
+		} else {
+			a.trees[u] = traverse.BFS(g, uint32(u))
+		}
+	}
+	return a
+}
+
+// Name implements Querier.
+func (a *APSP) Name() string { return "apsp" }
+
+// Distance implements Querier.
+func (a *APSP) Distance(s, t uint32) uint32 { return a.trees[s].Dist[t] }
+
+// Path implements Querier.
+func (a *APSP) Path(s, t uint32) []uint32 { return a.trees[s].PathTo(t) }
+
+// Entries returns the number of stored distance entries (n²), the
+// quantity §3.2's memory comparison uses.
+func (a *APSP) Entries() int64 {
+	n := int64(a.g.NumNodes())
+	return n * n
+}

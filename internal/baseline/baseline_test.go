@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+	"vicinity/internal/xrand"
+)
+
+func social(seed uint64, n int) *graph.Graph {
+	return gen.HolmeKim(xrand.New(seed), n, 4, 0.5)
+}
+
+func weighted(seed uint64, n int) *graph.Graph {
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	g0 := social(seed, n)
+	g0.ForEachEdge(func(u, v, _ uint32) {
+		b.AddWeightedEdge(u, v, r.Uint32n(6)+1)
+	})
+	return b.Build()
+}
+
+// TestAllEnginesAgreeUnweighted checks every engine against APSP ground
+// truth on an unweighted social graph.
+func TestAllEnginesAgreeUnweighted(t *testing.T) {
+	g := social(1, 250)
+	truth := NewAPSP(g)
+	engines := []Querier{NewBFS(g), NewBiBFS(g), NewDijkstra(g), NewBiDijkstra(g), NewALT(g, 4)}
+	r := xrand.New(2)
+	for trial := 0; trial < 400; trial++ {
+		s, u := r.Uint32n(250), r.Uint32n(250)
+		want := truth.Distance(s, u)
+		for _, e := range engines {
+			if got := e.Distance(s, u); got != want {
+				t.Fatalf("%s: Distance(%d,%d) = %d, want %d", e.Name(), s, u, got, want)
+			}
+		}
+	}
+}
+
+func TestAllEnginesAgreeWeighted(t *testing.T) {
+	g := weighted(3, 200)
+	truth := NewAPSP(g)
+	engines := []Querier{NewDijkstra(g), NewBiDijkstra(g), NewALT(g, 4)}
+	r := xrand.New(4)
+	for trial := 0; trial < 300; trial++ {
+		s, u := r.Uint32n(200), r.Uint32n(200)
+		want := truth.Distance(s, u)
+		for _, e := range engines {
+			if got := e.Distance(s, u); got != want {
+				t.Fatalf("%s: Distance(%d,%d) = %d, want %d", e.Name(), s, u, got, want)
+			}
+		}
+	}
+}
+
+func TestEnginePaths(t *testing.T) {
+	g := social(5, 200)
+	truth := NewAPSP(g)
+	engines := []Querier{NewBFS(g), NewBiBFS(g), NewDijkstra(g), NewBiDijkstra(g), NewALT(g, 3), truth}
+	r := xrand.New(6)
+	for trial := 0; trial < 100; trial++ {
+		s, u := r.Uint32n(200), r.Uint32n(200)
+		want := truth.Distance(s, u)
+		for _, e := range engines {
+			p := e.Path(s, u)
+			if want == NoDist {
+				if p != nil {
+					t.Fatalf("%s: path for unreachable pair", e.Name())
+				}
+				continue
+			}
+			if len(p) == 0 || p[0] != s || p[len(p)-1] != u {
+				t.Fatalf("%s: bad endpoints %v", e.Name(), p)
+			}
+			if uint32(len(p)-1) != want {
+				t.Fatalf("%s: path length %d, want %d", e.Name(), len(p)-1, want)
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if !g.HasEdge(p[i], p[i+1]) {
+					t.Fatalf("%s: missing edge %d-%d", e.Name(), p[i], p[i+1])
+				}
+			}
+		}
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.FromEdges(6, [][2]uint32{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	for _, e := range []Querier{NewBFS(g), NewBiBFS(g), NewDijkstra(g), NewBiDijkstra(g), NewALT(g, 2), NewAPSP(g)} {
+		if d := e.Distance(0, 5); d != NoDist {
+			t.Errorf("%s: cross-component distance %d", e.Name(), d)
+		}
+		if p := e.Path(0, 5); p != nil {
+			t.Errorf("%s: cross-component path %v", e.Name(), p)
+		}
+		if d := e.Distance(2, 2); d != 0 {
+			t.Errorf("%s: self distance %d", e.Name(), d)
+		}
+	}
+}
+
+func TestALTLandmarkCount(t *testing.T) {
+	g := social(7, 300)
+	a := NewALT(g, 5)
+	if a.NumLandmarks() != 5 {
+		t.Fatalf("landmarks = %d", a.NumLandmarks())
+	}
+	// Clamping.
+	if NewALT(g, 0).NumLandmarks() != 1 {
+		t.Fatal("k=0 not clamped to 1")
+	}
+	tiny := gen.Path(3)
+	if got := NewALT(tiny, 10).NumLandmarks(); got > 3 {
+		t.Fatalf("k>n not clamped: %d", got)
+	}
+}
+
+func TestConcurrentEngineUse(t *testing.T) {
+	g := social(8, 300)
+	truth := NewAPSP(g)
+	engines := []Querier{NewBFS(g), NewBiBFS(g), NewALT(g, 3)}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			for i := 0; i < 200; i++ {
+				s, u := r.Uint32n(300), r.Uint32n(300)
+				want := truth.Distance(s, u)
+				for _, e := range engines {
+					if got := e.Distance(s, u); got != want {
+						errs <- e.Name()
+						return
+					}
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for name := range errs {
+		t.Fatalf("concurrent mismatch in %s", name)
+	}
+}
+
+func TestAPSPEntries(t *testing.T) {
+	g := social(9, 100)
+	a := NewAPSP(g)
+	if a.Entries() != 10000 {
+		t.Fatalf("Entries = %d", a.Entries())
+	}
+}
+
+func BenchmarkALTQuery(b *testing.B) {
+	g := social(1, 5000)
+	a := NewALT(g, 8)
+	r := xrand.New(2)
+	pairs := make([][2]uint32, 256)
+	for i := range pairs {
+		pairs[i] = [2]uint32{r.Uint32n(5000), r.Uint32n(5000)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&255]
+		a.Distance(p[0], p[1])
+	}
+}

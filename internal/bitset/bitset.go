@@ -1,0 +1,127 @@
+// Package bitset provides dense bit sets and epoch-stamped visited marks.
+//
+// Both types exist to make graph traversals allocation-free in the steady
+// state: a query engine keeps one Visited per worker and calls Reset
+// between queries in O(1) instead of clearing O(n) bytes.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity dense bit set over [0, Len).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set with capacity for n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Union sets s = s ∪ o. Both sets must have the same capacity.
+func (s *Set) Union(o *Set) {
+	if s.n != o.n {
+		panic("bitset: size mismatch")
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect sets s = s ∩ o. Both sets must have the same capacity.
+func (s *Set) Intersect(o *Set) {
+	if s.n != o.n {
+		panic("bitset: size mismatch")
+	}
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Visited is an epoch-stamped mark array: Reset is O(1) and Mark/Seen are
+// single array operations. It trades 4 bytes per element for constant-time
+// reuse across queries.
+type Visited struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// NewVisited returns a Visited with capacity n, all unseen.
+func NewVisited(n int) *Visited {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Visited{stamp: make([]uint32, n), epoch: 1}
+}
+
+// Len returns the capacity.
+func (v *Visited) Len() int { return len(v.stamp) }
+
+// Reset unmarks every element in O(1) (amortized; a full clear happens
+// once every 2^32-1 resets when the epoch counter wraps).
+func (v *Visited) Reset() {
+	v.epoch++
+	if v.epoch == 0 { // wrapped: clear stamps and restart
+		for i := range v.stamp {
+			v.stamp[i] = 0
+		}
+		v.epoch = 1
+	}
+}
+
+// Mark marks element i as seen.
+func (v *Visited) Mark(i int) { v.stamp[i] = v.epoch }
+
+// Seen reports whether element i has been marked since the last Reset.
+func (v *Visited) Seen(i int) bool { return v.stamp[i] == v.epoch }
+
+// MarkIfUnseen marks i and reports true iff it was previously unseen.
+func (v *Visited) MarkIfUnseen(i int) bool {
+	if v.stamp[i] == v.epoch {
+		return false
+	}
+	v.stamp[i] = v.epoch
+	return true
+}

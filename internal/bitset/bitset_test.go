@@ -1,0 +1,205 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vicinity/internal/xrand"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) || s.Count() != 5 {
+		t.Fatalf("Clear(64) failed: count=%d", s.Count())
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("Reset left %d bits", s.Count())
+	}
+}
+
+func TestSetForEachOrdered(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetUnionIntersect(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	u := New(100)
+	u.Union(a)
+	u.Union(b)
+	if !u.Test(1) || !u.Test(50) || !u.Test(99) || u.Count() != 3 {
+		t.Fatal("union incorrect")
+	}
+	a.Intersect(b)
+	if !a.Test(50) || a.Count() != 1 {
+		t.Fatal("intersect incorrect")
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched sizes did not panic")
+		}
+	}()
+	New(10).Union(New(11))
+}
+
+func TestQuickSetMatchesMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 512
+		s := New(n)
+		ref := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % n
+			switch op % 3 {
+			case 0:
+				s.Set(i)
+				ref[i] = true
+			case 1:
+				s.Clear(i)
+				delete(ref, i)
+			case 2:
+				if s.Test(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		return s.Count() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisitedBasics(t *testing.T) {
+	v := NewVisited(10)
+	if v.Len() != 10 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Seen(3) {
+		t.Fatal("fresh Visited reports seen")
+	}
+	v.Mark(3)
+	if !v.Seen(3) || v.Seen(4) {
+		t.Fatal("Mark/Seen incorrect")
+	}
+	v.Reset()
+	if v.Seen(3) {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestVisitedMarkIfUnseen(t *testing.T) {
+	v := NewVisited(5)
+	if !v.MarkIfUnseen(2) {
+		t.Fatal("first MarkIfUnseen returned false")
+	}
+	if v.MarkIfUnseen(2) {
+		t.Fatal("second MarkIfUnseen returned true")
+	}
+}
+
+func TestVisitedEpochWrap(t *testing.T) {
+	v := NewVisited(4)
+	v.Mark(0)
+	// Force the epoch to the wrap point and step over it.
+	v.epoch = ^uint32(0)
+	v.Mark(1)
+	if !v.Seen(1) {
+		t.Fatal("mark at max epoch lost")
+	}
+	v.Reset() // wraps to epoch 1 with full clear
+	for i := 0; i < 4; i++ {
+		if v.Seen(i) {
+			t.Fatalf("element %d seen after wrap reset", i)
+		}
+	}
+	v.Mark(2)
+	if !v.Seen(2) {
+		t.Fatal("mark after wrap lost")
+	}
+}
+
+func TestVisitedManyResetsStayCorrect(t *testing.T) {
+	v := NewVisited(8)
+	r := xrand.New(1)
+	for round := 0; round < 1000; round++ {
+		v.Reset()
+		marked := map[int]bool{}
+		for k := 0; k < 4; k++ {
+			i := r.Intn(8)
+			v.Mark(i)
+			marked[i] = true
+		}
+		for i := 0; i < 8; i++ {
+			if v.Seen(i) != marked[i] {
+				t.Fatalf("round %d: element %d seen=%v want %v", round, i, v.Seen(i), marked[i])
+			}
+		}
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Set":     func() { New(-1) },
+		"Visited": func() { NewVisited(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with negative size did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkVisitedMark(b *testing.B) {
+	v := NewVisited(1 << 20)
+	for i := 0; i < b.N; i++ {
+		v.Mark(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkVisitedReset(b *testing.B) {
+	v := NewVisited(1 << 20)
+	for i := 0; i < b.N; i++ {
+		v.Reset()
+	}
+}

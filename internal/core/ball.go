@@ -1,0 +1,207 @@
+package core
+
+import (
+	"vicinity/internal/graph"
+	"vicinity/internal/heap"
+	"vicinity/internal/queue"
+	"vicinity/internal/traverse"
+	"vicinity/internal/u32map"
+)
+
+// NoDist is the sentinel for "no distance" (re-exported for callers).
+const NoDist = traverse.NoDist
+
+// vicResult is the offline product for one node: its vicinity table, its
+// boundary members ∂Γ(u) (stored denormalized as parallel key/distance
+// arrays so the online scan reads d(s,w) without probing s's own table),
+// its radius d(u, l(u)) and its nearest landmark l(u).
+type vicResult struct {
+	table     u32map.Table
+	boundKeys []uint32
+	boundDist []uint32
+	radius    uint32
+	nearest   uint32
+}
+
+// buildWS is the per-worker scratch state for vicinity construction.
+type buildWS struct {
+	kind    TableKind
+	nm      *traverse.NodeMap // distance + parent during the search
+	settled *traverse.NodeMap // Dijkstra settle marks (weighted only)
+	q       *queue.U32
+	h       *heap.Min
+	keys    []uint32
+	dists   []uint32
+	parents []uint32
+}
+
+func newBuildWS(n int, kind TableKind) *buildWS {
+	return &buildWS{
+		kind:    kind,
+		nm:      traverse.NewNodeMap(n),
+		settled: traverse.NewNodeMap(n),
+		q:       queue.NewU32(256),
+		h:       heap.NewMin(n),
+	}
+}
+
+func (ws *buildWS) reset() {
+	ws.nm.Reset()
+	ws.settled.Reset()
+	ws.q.Reset()
+	ws.h.Reset()
+	ws.keys = ws.keys[:0]
+	ws.dists = ws.dists[:0]
+	ws.parents = ws.parents[:0]
+}
+
+func (ws *buildWS) record(v, d, parent uint32) {
+	ws.keys = append(ws.keys, v)
+	ws.dists = append(ws.dists, d)
+	ws.parents = append(ws.parents, parent)
+}
+
+// vicinityBFS constructs Γ(u) for an unweighted graph by truncated BFS.
+//
+// For unweighted graphs Definition 1's Γ(u) = B(u) ∪ N(B(u)) equals the
+// closed ball {v : d(u,v) <= r} with r = d(u, l(u)): every node at
+// distance exactly r has a BFS parent at distance r-1 inside B(u), and no
+// neighbor of B(u) can be farther than r. The BFS therefore completes
+// level r and stops. Distances assigned are exact and every recorded
+// parent lies inside Γ(u), so paths reconstruct entirely from u's table.
+func vicinityBFS(g *graph.Graph, isL []bool, ws *buildWS, u uint32, storeParents bool) vicResult {
+	ws.reset()
+	nm, q := ws.nm, ws.q
+	nm.Set(u, 0, graph.NoNode)
+	ws.record(u, 0, graph.NoNode)
+	q.Push(u)
+	r := NoDist
+	nearest := graph.NoNode
+	for !q.Empty() {
+		x := q.Pop()
+		dx := nm.Dist(x)
+		if dx >= r { // r == NoDist means "not yet found": never triggers
+			continue
+		}
+		for _, v := range g.Neighbors(x) {
+			if nm.Has(v) {
+				continue
+			}
+			d := dx + 1
+			nm.Set(v, d, x)
+			ws.record(v, d, x)
+			if r == NoDist && isL[v] {
+				r, nearest = d, v
+			}
+			q.Push(v)
+		}
+	}
+	res := vicResult{radius: r, nearest: nearest}
+	// Boundary: only level-r members can have a neighbor outside the
+	// closed ball (members at depth < r have all neighbors at depth <= r).
+	if r != NoDist {
+		for i, k := range ws.keys {
+			if ws.dists[i] != r {
+				continue
+			}
+			for _, nb := range g.Neighbors(k) {
+				if !nm.Has(nb) {
+					res.boundKeys = append(res.boundKeys, k)
+					res.boundDist = append(res.boundDist, r)
+					break
+				}
+			}
+		}
+	}
+	res.table = makeTable(ws, storeParents)
+	return res
+}
+
+// vicinityDijkstra constructs Γ(u) for a weighted graph: a truncated
+// Dijkstra settles every node with d(u,v) <= r where r is the distance of
+// the first settled landmark. All recorded distances are exact and every
+// recorded parent is itself settled (d(parent) < d(v)), keeping parent
+// chains inside the table.
+func vicinityDijkstra(g *graph.Graph, isL []bool, ws *buildWS, u uint32, storeParents bool) vicResult {
+	ws.reset()
+	nm, h, settled := ws.nm, ws.h, ws.settled
+	nm.Set(u, 0, graph.NoNode)
+	h.Push(u, 0)
+	r := NoDist
+	nearest := graph.NoNode
+	for !h.Empty() {
+		x, dx := h.Pop()
+		if settled.Has(x) {
+			continue
+		}
+		if dx > r { // r == NoDist: never triggers
+			break
+		}
+		settled.Set(x, 0, 0)
+		ws.record(x, dx, nm.Parent(x))
+		if r == NoDist && isL[x] {
+			r, nearest = dx, x
+		}
+		adj := g.Neighbors(x)
+		wts := g.NeighborWeights(x)
+		for i, v := range adj {
+			if settled.Has(v) {
+				continue
+			}
+			w := uint32(1)
+			if wts != nil {
+				w = wts[i]
+			}
+			nd := dx + w
+			if old := nm.Dist(v); nd < old {
+				nm.Set(v, nd, x)
+				h.Push(v, nd)
+			}
+		}
+	}
+	res := vicResult{radius: r, nearest: nearest}
+	// Boundary: any member with a non-member neighbor. Unlike the
+	// unweighted case, interior members can abut non-members through
+	// heavy edges, so every member is checked.
+	for i, k := range ws.keys {
+		for _, nb := range g.Neighbors(k) {
+			if !settled.Has(nb) {
+				res.boundKeys = append(res.boundKeys, k)
+				res.boundDist = append(res.boundDist, ws.dists[i])
+				break
+			}
+		}
+	}
+	res.table = makeTable(ws, storeParents)
+	return res
+}
+
+// makeTable materializes the collected entries as the configured Table
+// implementation. Parents are replaced by NoNode when path data is
+// disabled.
+func makeTable(ws *buildWS, storeParents bool) u32map.Table {
+	parents := ws.parents
+	if !storeParents {
+		parents = make([]uint32, len(ws.keys))
+		for i := range parents {
+			parents[i] = graph.NoNode
+		}
+	}
+	switch ws.kind {
+	case TableSorted:
+		return u32map.NewSorted(ws.keys, ws.dists, parents)
+	case TableBuiltin:
+		t := u32map.NewBuiltin(len(ws.keys))
+		for i, k := range ws.keys {
+			t.Put(k, ws.dists[i], parents[i])
+		}
+		return t
+	default:
+		t := u32map.New(len(ws.keys))
+		for i, k := range ws.keys {
+			t.Put(k, ws.dists[i], parents[i])
+		}
+		t.Compact()
+		return t
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
+	"vicinity/internal/u32map"
+)
+
+// Build runs the offline phase (§2.2): sample the landmark set, construct
+// every in-scope vicinity with its boundary, and compute the per-landmark
+// full distance tables. Construction parallelizes across opts.Workers
+// goroutines; the result is deterministic in opts.Seed regardless of
+// scheduling.
+func Build(g *graph.Graph, opts Options) (*Oracle, error) {
+	opts, err := opts.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	o := &Oracle{
+		g:         g,
+		opts:      opts,
+		landmarks: sampleLandmarks(g, opts),
+		isL:       make([]bool, n),
+		lidx:      make([]int32, n),
+		vic:       make([]u32map.Table, n),
+		boundKeys: make([][]uint32, n),
+		boundDist: make([][]uint32, n),
+		radius:    make([]uint32, n),
+		nearest:   make([]uint32, n),
+	}
+	o.fbPool.New = func() any { return traverse.NewWorkspace(g) }
+	for i := range o.lidx {
+		o.lidx[i] = -1
+		o.radius[i] = NoDist
+		o.nearest[i] = graph.NoNode
+	}
+	for i, l := range o.landmarks {
+		o.isL[l] = true
+		o.lidx[l] = int32(i)
+	}
+	o.ldist = make([][]uint32, len(o.landmarks))
+	o.ldist16 = make([][]uint16, len(o.landmarks))
+	o.lparent = make([][]uint32, len(o.landmarks))
+
+	// Scope: which nodes get vicinities, and which landmarks get tables.
+	scope := opts.Nodes
+	if scope == nil {
+		scope = make([]uint32, n)
+		for i := range scope {
+			scope[i] = uint32(i)
+		}
+	}
+
+	// Phase 1: vicinities (parallel over scope).
+	weighted := g.Weighted()
+	storeParents := !opts.DisablePathData
+	parallelFor(opts.Workers, len(scope), func() any {
+		return newBuildWS(n, opts.TableKind)
+	}, func(state any, i int) {
+		ws := state.(*buildWS)
+		u := scope[i]
+		if o.isL[u] {
+			return // landmarks answer from their full table
+		}
+		var res vicResult
+		if weighted {
+			res = vicinityDijkstra(g, o.isL, ws, u, storeParents)
+		} else {
+			res = vicinityBFS(g, o.isL, ws, u, storeParents)
+		}
+		o.vic[u] = res.table
+		o.boundKeys[u] = res.boundKeys
+		o.boundDist[u] = res.boundDist
+		o.radius[u] = res.radius
+		o.nearest[u] = res.nearest
+	})
+	for _, u := range scope {
+		if o.vic[u] != nil {
+			o.covered++
+		}
+	}
+
+	// Phase 2: landmark tables (parallel over landmarks in scope).
+	if !opts.DisableLandmarkTables {
+		want := make([]bool, len(o.landmarks))
+		if opts.Nodes == nil {
+			for i := range want {
+				want[i] = true
+			}
+		} else {
+			for _, u := range opts.Nodes {
+				if o.isL[u] {
+					want[o.lidx[u]] = true
+				}
+			}
+		}
+		overflow := make([]bool, len(o.landmarks))
+		parallelFor(opts.Workers, len(o.landmarks), func() any { return nil }, func(_ any, i int) {
+			if !want[i] {
+				return
+			}
+			var tr *traverse.Tree
+			if weighted {
+				tr = traverse.Dijkstra(g, o.landmarks[i])
+			} else {
+				tr = traverse.BFS(g, o.landmarks[i])
+			}
+			if opts.CompactLandmarkTables {
+				compact := make([]uint16, len(tr.Dist))
+				for v, d := range tr.Dist {
+					switch {
+					case d == NoDist:
+						compact[v] = compactUnreachable
+					case d >= uint32(compactUnreachable):
+						overflow[i] = true
+						return
+					default:
+						compact[v] = uint16(d)
+					}
+				}
+				o.ldist16[i] = compact
+			} else {
+				o.ldist[i] = tr.Dist
+			}
+			if storeParents {
+				o.lparent[i] = tr.Parent
+			}
+		})
+		for i, bad := range overflow {
+			if bad {
+				return nil, fmt.Errorf(
+					"core: CompactLandmarkTables: distance from landmark %d exceeds %d",
+					o.landmarks[i], compactUnreachable-1)
+			}
+		}
+	}
+	return o, nil
+}
+
+// parallelFor runs fn(state, i) for i in [0,n) across workers goroutines.
+// Each worker gets its own state from newState. Work is handed out by an
+// atomic counter so uneven item costs balance automatically.
+func parallelFor(workers, n int, newState func() any, fn func(state any, i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		state := newState()
+		for i := 0; i < n; i++ {
+			fn(state, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			state := newState()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(state, int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
+	"vicinity/internal/u32map"
+)
+
+// Oracle is the built vicinity-intersection data structure. It is
+// immutable after Build and safe for concurrent queries.
+type Oracle struct {
+	g    *graph.Graph
+	opts Options
+
+	landmarks []uint32 // sorted landmark node ids
+	isL       []bool   // per node: landmark flag
+	lidx      []int32  // per node: index into landmarks, or -1
+
+	// Per-node vicinity state; nil table means "not covered" (landmark
+	// or out of build scope).
+	vic       []u32map.Table
+	boundKeys [][]uint32
+	boundDist [][]uint32
+	radius    []uint32 // d(u, l(u)); NoDist when uncovered or no landmark reachable
+	nearest   []uint32 // l(u); graph.NoNode when unknown
+
+	// Per-landmark full tables (parallel to landmarks); nil when
+	// disabled or (in scoped builds) when the landmark is out of scope.
+	// With Options.CompactLandmarkTables, ldist16 is populated instead
+	// of ldist (half the memory; 0xFFFF encodes "unreachable").
+	ldist   [][]uint32
+	ldist16 [][]uint16
+	lparent [][]uint32
+
+	covered int // number of nodes with vicinity state (excl. landmarks in scope)
+
+	fbPool sync.Pool // *traverse.Workspace for fallback searches
+}
+
+// Graph returns the graph the oracle was built over.
+func (o *Oracle) Graph() *graph.Graph { return o.g }
+
+// Options returns the (defaulted) build options.
+func (o *Oracle) Options() Options { return o.opts }
+
+// Landmarks returns the sorted landmark set L. Callers must not modify
+// the returned slice.
+func (o *Oracle) Landmarks() []uint32 { return o.landmarks }
+
+// IsLandmark reports whether u ∈ L.
+func (o *Oracle) IsLandmark(u uint32) bool { return o.isL[u] }
+
+// Covers reports whether queries involving u can be answered from the
+// stored tables (u was in build scope: it has a vicinity or is a
+// landmark with a distance table).
+func (o *Oracle) Covers(u uint32) bool {
+	if int(u) >= len(o.radius) {
+		return false
+	}
+	if o.isL[u] {
+		return o.hasLandmarkTable(o.lidx[u]) || o.opts.DisableLandmarkTables
+	}
+	return o.vic[u] != nil
+}
+
+// hasLandmarkTable reports whether landmark index li has a built
+// distance table (full-width or compact).
+func (o *Oracle) hasLandmarkTable(li int32) bool {
+	return li >= 0 && (o.ldist[li] != nil || o.ldist16[li] != nil)
+}
+
+// compactUnreachable encodes NoDist in uint16 landmark tables.
+const compactUnreachable = ^uint16(0)
+
+// landmarkDist reads d(landmarks[li], v) from whichever table width was
+// built. Callers must check hasLandmarkTable first.
+func (o *Oracle) landmarkDist(li int32, v uint32) uint32 {
+	if t := o.ldist[li]; t != nil {
+		return t[v]
+	}
+	d := o.ldist16[li][v]
+	if d == compactUnreachable {
+		return NoDist
+	}
+	return uint32(d)
+}
+
+// Radius returns the vicinity radius d(u, l(u)) of u, or NoDist if u is
+// uncovered, is a landmark (radius 0 by convention is returned as 0), or
+// cannot reach any landmark.
+func (o *Oracle) Radius(u uint32) uint32 {
+	if o.isL[u] {
+		return 0
+	}
+	return o.radius[u]
+}
+
+// NearestLandmark returns l(u) (u itself for landmarks), or graph.NoNode
+// if unknown.
+func (o *Oracle) NearestLandmark(u uint32) uint32 {
+	if o.isL[u] {
+		return u
+	}
+	return o.nearest[u]
+}
+
+// VicinitySize returns |Γ(u)| (0 for landmarks and uncovered nodes).
+func (o *Oracle) VicinitySize(u uint32) int {
+	if t := o.vic[u]; t != nil {
+		return t.Len()
+	}
+	return 0
+}
+
+// BoundarySize returns |∂Γ(u)| (0 for landmarks and uncovered nodes).
+func (o *Oracle) BoundarySize(u uint32) int { return len(o.boundKeys[u]) }
+
+// VicinityContains reports whether v ∈ Γ(u) and returns d(u,v) if so.
+func (o *Oracle) VicinityContains(u, v uint32) (uint32, bool) {
+	if t := o.vic[u]; t != nil {
+		return t.Get(v)
+	}
+	return 0, false
+}
+
+// ForEachVicinityMember calls fn(v, dist) for every v ∈ Γ(u).
+func (o *Oracle) ForEachVicinityMember(u uint32, fn func(v, dist uint32)) {
+	t := o.vic[u]
+	if t == nil {
+		return
+	}
+	for i := 0; i < t.Len(); i++ {
+		k, d, _ := t.At(i)
+		fn(k, d)
+	}
+}
+
+// workspace borrows a fallback search workspace from the pool.
+func (o *Oracle) workspace() *traverse.Workspace {
+	return o.fbPool.Get().(*traverse.Workspace)
+}
+
+func (o *Oracle) release(ws *traverse.Workspace) { o.fbPool.Put(ws) }

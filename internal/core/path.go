@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"vicinity/internal/graph"
+)
+
+// Path returns a shortest s→t path (inclusive of both endpoints) and the
+// method that resolved it. The path is assembled from stored parent
+// pointers (§3.1: "the path is retrieved by following the series of
+// next-hops"): within vicinities the chain walks u's shortest path tree,
+// through an intersection the two half-paths join at the witness node,
+// and landmark hits walk the landmark's global tree.
+//
+// A nil path with MethodNone means the query was unresolved (fallback
+// disabled) or path data was disabled; a nil path with
+// MethodUnreachable means no path exists.
+func (o *Oracle) Path(s, t uint32) ([]uint32, Method, error) {
+	var st QueryStats
+	d, err := o.DistanceStats(s, t, &st)
+	if err != nil {
+		return nil, st.Method, err
+	}
+	if d == NoDist {
+		return nil, st.Method, nil
+	}
+	switch st.Method {
+	case MethodSame:
+		return []uint32{s}, st.Method, nil
+
+	case MethodLandmarkSource:
+		// Walk t up s's global tree, then reverse.
+		p, ok := o.landmarkChain(o.lidx[s], t)
+		if !ok {
+			return o.fallbackPath(s, t, &st)
+		}
+		reverseU32(p)
+		return p, st.Method, nil
+
+	case MethodLandmarkTarget:
+		// Walk s up t's global tree: already oriented s→t.
+		p, ok := o.landmarkChain(o.lidx[t], s)
+		if !ok {
+			return o.fallbackPath(s, t, &st)
+		}
+		return p, st.Method, nil
+
+	case MethodVicinitySource:
+		// t ∈ Γ(s): walk t back to s inside s's table, reverse.
+		p, ok := o.vicinityChain(s, t)
+		if !ok {
+			return o.fallbackPath(s, t, &st)
+		}
+		reverseU32(p)
+		return p, st.Method, nil
+
+	case MethodVicinityTarget:
+		// s ∈ Γ(t): walk s back to t inside t's table.
+		p, ok := o.vicinityChain(t, s)
+		if !ok {
+			return o.fallbackPath(s, t, &st)
+		}
+		return p, st.Method, nil
+
+	case MethodIntersection:
+		w := st.Meet
+		// If the smaller-side optimization swapped scan direction the
+		// witness is still a member of both vicinities, so the chains
+		// below work unchanged.
+		half1, ok1 := o.vicinityChain(s, w) // w..s
+		half2, ok2 := o.vicinityChain(t, w) // w..t
+		if !ok1 || !ok2 {
+			return o.fallbackPath(s, t, &st)
+		}
+		reverseU32(half1) // s..w
+		path := append(half1, half2[1:]...)
+		return path, st.Method, nil
+
+	case MethodFallbackExact:
+		return o.fallbackPath(s, t, &st)
+
+	case MethodFallbackEstimate:
+		// Estimates have no materialized path; stitch s→l(s)→t via the
+		// vicinity chain and the landmark tree when possible.
+		if p, ok := o.estimatePath(s, t); ok {
+			return p, st.Method, nil
+		}
+		return nil, st.Method, nil
+
+	default:
+		return nil, st.Method, nil
+	}
+}
+
+// vicinityChain walks v back to u through Γ(u)'s parent pointers,
+// returning the chain v, parent(v), ..., u. It fails when path data is
+// disabled or a parent link is missing.
+func (o *Oracle) vicinityChain(u, v uint32) ([]uint32, bool) {
+	tbl := o.vic[u]
+	if tbl == nil {
+		return nil, false
+	}
+	chain := make([]uint32, 0, 8)
+	cur := v
+	for {
+		chain = append(chain, cur)
+		if cur == u {
+			return chain, true
+		}
+		_, parent, ok := tbl.GetEntry(cur)
+		if !ok || parent == graph.NoNode {
+			return nil, false
+		}
+		if len(chain) > o.g.NumNodes() {
+			// Defensive: corrupted parent pointers must not hang queries.
+			return nil, false
+		}
+		cur = parent
+	}
+}
+
+// landmarkChain walks v up landmark li's global shortest path tree,
+// returning v, parent(v), ..., landmark.
+func (o *Oracle) landmarkChain(li int32, v uint32) ([]uint32, bool) {
+	if li < 0 || o.lparent[li] == nil {
+		return nil, false
+	}
+	parent := o.lparent[li]
+	root := o.landmarks[li]
+	chain := make([]uint32, 0, 16)
+	cur := v
+	for {
+		chain = append(chain, cur)
+		if cur == root {
+			return chain, true
+		}
+		cur = parent[cur]
+		if cur == graph.NoNode || len(chain) > o.g.NumNodes() {
+			return nil, false
+		}
+	}
+}
+
+// estimatePath stitches the landmark-triangulation path s→l(s)→t.
+// The result is a valid path realizing the estimate (not necessarily
+// shortest).
+func (o *Oracle) estimatePath(s, t uint32) ([]uint32, bool) {
+	ls := o.nearest[s]
+	if ls == graph.NoNode {
+		return nil, false
+	}
+	li := o.lidx[ls]
+	if li < 0 || o.lparent[li] == nil {
+		return nil, false
+	}
+	// s..l(s) via s's vicinity (l(s) ∈ Γ(s) by construction).
+	head, ok := o.vicinityChain(s, ls) // l(s)..s
+	if !ok {
+		return nil, false
+	}
+	reverseU32(head) // s..l(s)
+	// l(s)..t via the landmark tree: walk t up to l(s), reverse.
+	tail, ok := o.landmarkChain(li, t) // t..l(s)
+	if !ok {
+		return nil, false
+	}
+	reverseU32(tail) // l(s)..t
+	return append(head, tail[1:]...), true
+}
+
+// fallbackPath answers a path query with the exact bidirectional search,
+// honoring the fallback mode.
+func (o *Oracle) fallbackPath(s, t uint32, st *QueryStats) ([]uint32, Method, error) {
+	if o.opts.Fallback == FallbackNone {
+		return nil, MethodNone, nil
+	}
+	ws := o.workspace()
+	var p []uint32
+	if o.g.Weighted() {
+		p = ws.BiDijkstraPath(s, t)
+	} else {
+		p = ws.BiBFSPath(s, t)
+	}
+	o.release(ws)
+	if p == nil {
+		st.Method = MethodUnreachable
+		return nil, MethodUnreachable, nil
+	}
+	st.Method = MethodFallbackExact
+	return p, MethodFallbackExact, nil
+}
+
+// PathString formats a path for display, e.g. "0 → 5 → 9".
+func PathString(p []uint32) string {
+	if len(p) == 0 {
+		return "(none)"
+	}
+	s := fmt.Sprint(p[0])
+	for _, v := range p[1:] {
+		s += fmt.Sprintf(" → %d", v)
+	}
+	return s
+}
+
+func reverseU32(xs []uint32) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

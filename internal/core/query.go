@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vicinity/internal/graph"
+)
+
+// Method identifies how a query was answered (Algorithm 1's cases plus
+// the fallbacks).
+type Method uint8
+
+const (
+	// MethodNone: the query was not resolved (vicinities disjoint and
+	// fallback disabled or uncovered nodes).
+	MethodNone Method = iota
+	// MethodSame: s == t.
+	MethodSame
+	// MethodLandmarkSource: s ∈ L, answered from s's full table.
+	MethodLandmarkSource
+	// MethodLandmarkTarget: t ∈ L, answered from t's full table.
+	MethodLandmarkTarget
+	// MethodVicinitySource: t ∈ Γ(s), answered from s's vicinity.
+	MethodVicinitySource
+	// MethodVicinityTarget: s ∈ Γ(t), answered from t's vicinity.
+	MethodVicinityTarget
+	// MethodIntersection: answered by the boundary scan (Algorithm 1
+	// lines 5-9).
+	MethodIntersection
+	// MethodFallbackExact: answered by the exact bidirectional fallback.
+	MethodFallbackExact
+	// MethodFallbackEstimate: answered by the landmark-triangulation
+	// estimate (upper bound, not exact).
+	MethodFallbackEstimate
+	// MethodUnreachable: s and t are in different components (exact).
+	MethodUnreachable
+)
+
+// String returns a short name for the method.
+func (m Method) String() string {
+	switch m {
+	case MethodNone:
+		return "none"
+	case MethodSame:
+		return "same"
+	case MethodLandmarkSource:
+		return "landmark-source"
+	case MethodLandmarkTarget:
+		return "landmark-target"
+	case MethodVicinitySource:
+		return "vicinity-source"
+	case MethodVicinityTarget:
+		return "vicinity-target"
+	case MethodIntersection:
+		return "intersection"
+	case MethodFallbackExact:
+		return "fallback-exact"
+	case MethodFallbackEstimate:
+		return "fallback-estimate"
+	case MethodUnreachable:
+		return "unreachable"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Resolved reports whether the stored tables answered the query without
+// any fallback (the paper's "vicinities intersect" success event).
+func (m Method) Resolved() bool {
+	switch m {
+	case MethodSame, MethodLandmarkSource, MethodLandmarkTarget,
+		MethodVicinitySource, MethodVicinityTarget, MethodIntersection:
+		return true
+	}
+	return false
+}
+
+// Exact reports whether the returned distance is guaranteed exact for
+// unweighted graphs (everything except estimates and unresolved).
+func (m Method) Exact() bool {
+	return m.Resolved() || m == MethodFallbackExact || m == MethodUnreachable
+}
+
+// QueryStats instruments a single query, mirroring Table 3's accounting.
+type QueryStats struct {
+	Method  Method
+	Lookups int    // stored-table look-ups performed (hash probes + landmark reads)
+	Scanned int    // boundary members scanned during intersection
+	Meet    uint32 // intersection witness w minimizing d(s,w)+d(w,t); NoNode otherwise
+}
+
+// ErrNotCovered is returned for queries touching nodes outside the build
+// scope (Options.Nodes).
+var ErrNotCovered = errors.New("core: node outside oracle build scope")
+
+// ErrOutOfRange is returned for queries with node ids >= NumNodes.
+var ErrOutOfRange = errors.New("core: query node out of range")
+
+// Distance returns the distance from s to t and the method that resolved
+// it. For unweighted graphs every non-estimate answer is exact; see the
+// package comment for the weighted caveat. Node ids must be < NumNodes.
+func (o *Oracle) Distance(s, t uint32) (uint32, Method, error) {
+	var st QueryStats
+	d, err := o.DistanceStats(s, t, &st)
+	return d, st.Method, err
+}
+
+// DistanceStats is Distance with per-query instrumentation written to st
+// (st must be non-nil).
+func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
+	n := o.g.NumNodes()
+	if int(s) >= n || int(t) >= n {
+		return NoDist, fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)
+	}
+	*st = QueryStats{Method: MethodNone, Meet: graph.NoNode}
+	if s == t {
+		st.Method = MethodSame
+		return 0, nil
+	}
+
+	// Algorithm 1 line 3: the four direct cases.
+	if o.isL[s] {
+		if li := o.lidx[s]; o.hasLandmarkTable(li) {
+			st.Lookups++
+			st.Method = MethodLandmarkSource
+			d := o.landmarkDist(li, t)
+			if d == NoDist {
+				st.Method = MethodUnreachable
+			}
+			return d, nil
+		}
+	}
+	if o.isL[t] {
+		if li := o.lidx[t]; o.hasLandmarkTable(li) {
+			st.Lookups++
+			st.Method = MethodLandmarkTarget
+			d := o.landmarkDist(li, s)
+			if d == NoDist {
+				st.Method = MethodUnreachable
+			}
+			return d, nil
+		}
+	}
+	vs, vt := o.vic[s], o.vic[t]
+	if vs == nil && !o.isL[s] {
+		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, s)
+	}
+	if vt == nil && !o.isL[t] {
+		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, t)
+	}
+	if vs != nil {
+		st.Lookups++
+		if d, ok := vs.Get(t); ok {
+			st.Method = MethodVicinitySource
+			return d, nil
+		}
+	}
+	if vt != nil {
+		st.Lookups++
+		if d, ok := vt.Get(s); ok {
+			st.Method = MethodVicinityTarget
+			return d, nil
+		}
+	}
+
+	// Algorithm 1 lines 5-9: scan a boundary, probing the other side's
+	// vicinity table. Lemma 1 makes boundary-only scanning sufficient,
+	// and symmetry allows choosing either side.
+	if vs != nil && vt != nil {
+		scanKeys, scanDist := o.boundKeys[s], o.boundDist[s]
+		probe := vt
+		if o.opts.ScanSmallerBoundary && len(o.boundKeys[t]) < len(scanKeys) {
+			scanKeys, scanDist = o.boundKeys[t], o.boundDist[t]
+			probe = vs
+		}
+		best := NoDist
+		meet := graph.NoNode
+		for i, w := range scanKeys {
+			st.Lookups++
+			if dw, ok := probe.Get(w); ok {
+				if cand := scanDist[i] + dw; cand < best {
+					best = cand
+					meet = w
+				}
+			}
+		}
+		st.Scanned += len(scanKeys)
+		if best != NoDist {
+			st.Method = MethodIntersection
+			st.Meet = meet
+			return best, nil
+		}
+	}
+
+	return o.fallbackDistance(s, t, st)
+}
+
+// fallbackDistance resolves a query the stored tables could not.
+func (o *Oracle) fallbackDistance(s, t uint32, st *QueryStats) (uint32, error) {
+	switch o.opts.Fallback {
+	case FallbackExact:
+		ws := o.workspace()
+		var d uint32
+		if o.g.Weighted() {
+			d = ws.BiDijkstraDist(s, t)
+		} else {
+			d = ws.BiBFSDist(s, t)
+		}
+		o.release(ws)
+		if d == NoDist {
+			st.Method = MethodUnreachable
+		} else {
+			st.Method = MethodFallbackExact
+		}
+		return d, nil
+	case FallbackEstimate:
+		d := o.landmarkEstimate(s, t, st)
+		if d != NoDist {
+			st.Method = MethodFallbackEstimate
+		}
+		return d, nil
+	default:
+		return NoDist, nil // MethodNone
+	}
+}
+
+// landmarkEstimate returns the triangulation upper bound
+// min(r(s)+d(l(s),t), r(t)+d(l(t),s)), or NoDist if unavailable.
+func (o *Oracle) landmarkEstimate(s, t uint32, st *QueryStats) uint32 {
+	best := NoDist
+	if ls := o.nearest[s]; ls != graph.NoNode {
+		if li := o.lidx[ls]; o.hasLandmarkTable(li) {
+			st.Lookups++
+			if d := o.landmarkDist(li, t); d != NoDist && o.radius[s] != NoDist {
+				if cand := o.radius[s] + d; cand < best {
+					best = cand
+				}
+			}
+		}
+	}
+	if lt := o.nearest[t]; lt != graph.NoNode {
+		if li := o.lidx[lt]; o.hasLandmarkTable(li) {
+			st.Lookups++
+			if d := o.landmarkDist(li, s); d != NoDist && o.radius[t] != NoDist {
+				if cand := o.radius[t] + d; cand < best {
+					best = cand
+				}
+			}
+		}
+	}
+	return best
+}

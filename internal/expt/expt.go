@@ -1,0 +1,122 @@
+// Package expt is the experiment harness that regenerates every table
+// and figure in the paper's evaluation, plus the ablations listed in
+// DESIGN.md. cmd/spbench and the repository-root benchmarks are thin
+// wrappers around this package.
+//
+// The paper's own methodology (§2.3) builds vicinities for 1000 sampled
+// nodes per dataset and queries all sampled pairs; the harness follows
+// that exactly (scoped oracle builds), with sample counts scaled to
+// laptop runtimes and every knob exposed in Config.
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+	"vicinity/internal/xrand"
+)
+
+// Config controls experiment sizes. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	Seed    uint64
+	Samples int       // sampled nodes per dataset (paper: 1000)
+	Reps    int       // repetitions (paper: 10)
+	Alphas  []float64 // sweep values for Figure 2(a)/(c)
+	Alpha   float64   // operating point (paper: 4)
+	Workers int       // build parallelism (0 = GOMAXPROCS)
+	Nodes   int       // synthetic nodes per dataset (0 = profile default)
+}
+
+// DefaultConfig returns laptop-scale defaults: 300 sampled nodes
+// (~45k pairs) and 3 repetitions.
+func DefaultConfig() Config {
+	return Config{
+		Seed:    42,
+		Samples: 300,
+		Reps:    3,
+		Alphas:  []float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 1, 4, 16, 64},
+		Alpha:   4,
+	}
+}
+
+// Quick returns a reduced copy for smoke tests: fewer samples, one rep,
+// a short alpha sweep, small graphs.
+func (c Config) Quick() Config {
+	c.Samples = 60
+	c.Reps = 1
+	c.Alphas = []float64{1.0 / 4, 4}
+	c.Nodes = 2500
+	return c
+}
+
+// Dataset is one evaluation network: a synthetic stand-in generated from
+// its profile (see gen.Profile for the substitution rationale).
+type Dataset struct {
+	Name    string
+	Profile gen.Profile
+	Graph   *graph.Graph
+}
+
+// DefaultDatasets generates the four Table 2 datasets at cfg scale.
+func DefaultDatasets(cfg Config) []Dataset {
+	var out []Dataset
+	for _, p := range gen.Profiles() {
+		out = append(out, Dataset{
+			Name:    p.Name,
+			Profile: p,
+			Graph:   p.Generate(cfg.Nodes, cfg.Seed+uint64(len(out))),
+		})
+	}
+	return out
+}
+
+// samplePairsNodes draws k distinct nodes from ds deterministically.
+func sampleNodes(g *graph.Graph, k int, seed uint64) []uint32 {
+	n := g.NumNodes()
+	if k > n {
+		k = n
+	}
+	r := xrand.New(seed)
+	idx := r.Sample(n, k)
+	nodes := make([]uint32, k)
+	for i, v := range idx {
+		nodes[i] = uint32(v)
+	}
+	return nodes
+}
+
+// tableString renders rows with aligned columns. Each row is a slice of
+// cells; the first row is the header.
+func tableString(title string, rows [][]string) string {
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	for i, row := range rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+		if i == 0 {
+			sep := make([]string, len(row))
+			for j, cell := range row {
+				sep[j] = strings.Repeat("-", len(cell))
+			}
+			fmt.Fprintln(tw, strings.Join(sep, "\t"))
+		}
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// tsvString renders rows as tab-separated values (machine-readable).
+func tsvString(rows [][]string) string {
+	var sb strings.Builder
+	for _, row := range rows {
+		sb.WriteString(strings.Join(row, "\t"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,63 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+)
+
+// MemoryRow is experiment M1: the §3.2 memory accounting for one
+// dataset at α = cfg.Alpha.
+type MemoryRow struct {
+	Dataset string
+	Nodes   int
+
+	AvgVicinityEntries float64 // measured |Γ| average (≈ α√n)
+	TargetVicinity     float64 // α√n
+	Landmarks          int
+
+	ProjectedEntries float64 // avg|Γ|·n + |L|·n (full-coverage projection)
+	APSPEntries      float64 // n²
+	Savings          float64 // APSP / projected ("550× less memory")
+	TheorySavings    float64 // √n/α, the paper's closed form
+}
+
+// Memory runs M1 for one dataset using a scoped build.
+func Memory(d Dataset, cfg Config) (MemoryRow, error) {
+	row := MemoryRow{Dataset: d.Name, Nodes: d.Graph.NumNodes()}
+	o, _, err := buildScoped(d, cfg.Alpha, cfg, cfg.Seed, false)
+	if err != nil {
+		return row, fmt.Errorf("memory %s: %w", d.Name, err)
+	}
+	bs := o.Stats()
+	ms := o.Memory()
+	row.AvgVicinityEntries = bs.AvgVicinity
+	row.TargetVicinity = bs.TargetVicinity
+	row.Landmarks = bs.Landmarks
+	row.ProjectedEntries = ms.ProjectedEntries
+	row.APSPEntries = ms.APSPEntries
+	row.Savings = ms.ProjectedSavings
+	row.TheorySavings = math.Sqrt(float64(row.Nodes)) / cfg.Alpha
+	return row, nil
+}
+
+// RenderMemory renders M1 as an aligned text table.
+func RenderMemory(rows []MemoryRow) string {
+	out := [][]string{{
+		"dataset", "n", "avg|Γ|", "target α√n", "|L|",
+		"projected-entries", "apsp-entries", "savings", "theory √n/α",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset,
+			fmt.Sprint(r.Nodes),
+			fmt.Sprintf("%.1f", r.AvgVicinityEntries),
+			fmt.Sprintf("%.1f", r.TargetVicinity),
+			fmt.Sprint(r.Landmarks),
+			fmt.Sprintf("%.3g", r.ProjectedEntries),
+			fmt.Sprintf("%.3g", r.APSPEntries),
+			fmt.Sprintf("%.0f×", r.Savings),
+			fmt.Sprintf("%.0f×", r.TheorySavings),
+		})
+	}
+	return tableString("§3.2 memory — projected entries vs all-pairs (α=4)", out)
+}

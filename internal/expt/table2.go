@@ -1,0 +1,69 @@
+package expt
+
+import (
+	"fmt"
+
+	"vicinity/internal/graph"
+)
+
+// Table2Row is one dataset's size statistics next to the paper's
+// published numbers (experiment T2).
+type Table2Row struct {
+	Dataset string
+
+	// Synthetic stand-in (this run).
+	Nodes      int
+	Undirected int
+	Directed   int // adjacency entries, 2m
+	AvgDegree  float64
+	MaxDegree  int
+
+	// Published numbers, in millions (Table 2).
+	PaperNodesM      float64
+	PaperDirectedM   float64
+	PaperUndirectedM float64
+	PaperAvgDegree   float64
+}
+
+// Table2 computes T2 for the given datasets.
+func Table2(ds []Dataset) []Table2Row {
+	var rows []Table2Row
+	for _, d := range ds {
+		s := graph.ComputeStats(d.Graph)
+		rows = append(rows, Table2Row{
+			Dataset:          d.Name,
+			Nodes:            s.Nodes,
+			Undirected:       s.UndirectedEdge,
+			Directed:         s.DirectedEdge,
+			AvgDegree:        s.AvgDegree,
+			MaxDegree:        s.MaxDegree,
+			PaperNodesM:      d.Profile.PaperNodes,
+			PaperDirectedM:   d.Profile.PaperDirectedM,
+			PaperUndirectedM: d.Profile.PaperUndirected,
+			PaperAvgDegree:   d.Profile.AvgDegreePaper(),
+		})
+	}
+	return rows
+}
+
+// RenderTable2 renders T2 as an aligned text table.
+func RenderTable2(rows []Table2Row) string {
+	out := [][]string{{
+		"dataset", "nodes", "undirected", "directed(2m)", "avg-deg", "max-deg",
+		"paper-nodes(M)", "paper-undirected(M)", "paper-avg-deg",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset,
+			fmt.Sprint(r.Nodes),
+			fmt.Sprint(r.Undirected),
+			fmt.Sprint(r.Directed),
+			fmt.Sprintf("%.2f", r.AvgDegree),
+			fmt.Sprint(r.MaxDegree),
+			fmt.Sprintf("%.2f", r.PaperNodesM),
+			fmt.Sprintf("%.2f", r.PaperUndirectedM),
+			fmt.Sprintf("%.2f", r.PaperAvgDegree),
+		})
+	}
+	return tableString("Table 2 — datasets (synthetic stand-ins vs published)", out)
+}

@@ -1,0 +1,364 @@
+// Package gen generates synthetic graphs for tests, examples and the
+// paper-reproduction benchmarks.
+//
+// The paper evaluates on four social-network datasets (DBLP, Flickr,
+// Orkut, LiveJournal) that are not redistributable. The generators here
+// provide the standard synthetic families whose structural properties
+// drive the paper's results — heavy-tailed degree distributions
+// (Barabási–Albert, Holme–Kim, R-MAT, power-law configuration model) and
+// small-world structure (Watts–Strogatz) — plus deterministic fixtures
+// for unit tests. See Profile for the scaled dataset stand-ins.
+//
+// All generators are deterministic given an xrand seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/xrand"
+)
+
+// Path returns the path graph 0-1-...-n-1.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(uint32(i), uint32(i+1))
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n nodes (n >= 3 for a proper cycle).
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(uint32(i), uint32(i+1))
+	}
+	if n >= 3 {
+		b.AddEdge(uint32(n-1), 0)
+	}
+	return b.Build()
+}
+
+// Star returns the star graph: node 0 connected to 1..n-1.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, uint32(i))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(uint32(i), uint32(j))
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols 4-neighbor grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Tree returns a complete k-ary tree with n nodes (node i's parent is
+// (i-1)/k).
+func Tree(n, k int) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(uint32(i), uint32((i-1)/k))
+	}
+	return b.Build()
+}
+
+// GNM returns an Erdős–Rényi G(n,m) graph with exactly m distinct edges
+// (self-loops excluded). It panics if m exceeds the number of possible
+// edges.
+func GNM(r *xrand.Rand, n, m int) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("gen: GNM m=%d exceeds max %d", m, maxM))
+	}
+	b := graph.NewBuilder(n)
+	seen := make(map[uint64]struct{}, m)
+	for len(seen) < m {
+		u := r.Uint32n(uint32(n))
+		v := r.Uint32n(uint32(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// GNP returns an Erdős–Rényi G(n,p) graph using geometric edge skipping
+// (Batagelj–Brandes), O(n+m) expected time.
+func GNP(r *xrand.Rand, n int, p float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if p <= 0 || n < 2 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Iterate over the strictly-lower-triangular adjacency positions,
+	// skipping geometrically distributed gaps.
+	lnq := logOneMinus(p)
+	v, w := 1, -1
+	for v < n {
+		gap := int(logOneMinus(r.Float64())/lnq) + 1
+		w += gap
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(uint32(v), uint32(w))
+		}
+	}
+	return b.Build()
+}
+
+// logOneMinus returns ln(1-x), guarded against x==1.
+func logOneMinus(x float64) float64 {
+	if x >= 1 {
+		x = 1 - 1e-12
+	}
+	return math.Log1p(-x)
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: a (k+1)-clique
+// seed, then each new node attaches to k existing nodes chosen with
+// probability proportional to degree. Always connected; n must exceed k.
+func BarabasiAlbert(r *xrand.Rand, n, k int) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n <= k {
+		return Complete(n)
+	}
+	b := graph.NewBuilder(n)
+	// repeated holds each node once per unit of degree; uniform sampling
+	// from it is degree-proportional sampling.
+	repeated := make([]uint32, 0, 2*(n-k)*k+k*(k+1))
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			b.AddEdge(uint32(i), uint32(j))
+			repeated = append(repeated, uint32(i), uint32(j))
+		}
+	}
+	chosen := make([]uint32, 0, k)
+	for v := k + 1; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < k {
+			t := repeated[r.Intn(len(repeated))]
+			if !containsU32(chosen, t) {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			b.AddEdge(uint32(v), t)
+			repeated = append(repeated, uint32(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// containsU32 reports whether xs contains x (linear scan; used for the
+// small per-node target sets where determinism forbids map iteration).
+func containsU32(xs []uint32, x uint32) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// HolmeKim returns a Holme–Kim powerlaw-cluster graph: preferential
+// attachment with probability pt of closing a triad after each
+// preferential link. It keeps the heavy-tailed degree distribution of
+// Barabási–Albert while adding the high clustering of real social
+// networks — the structure the paper's vicinities exploit.
+func HolmeKim(r *xrand.Rand, n, k int, pt float64) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n <= k {
+		return Complete(n)
+	}
+	b := graph.NewBuilder(n)
+	adj := make([][]uint32, n) // running adjacency for triad closure
+	addEdge := func(u, v uint32) {
+		b.AddEdge(u, v)
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	repeated := make([]uint32, 0, 2*n*k)
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			addEdge(uint32(i), uint32(j))
+			repeated = append(repeated, uint32(i), uint32(j))
+		}
+	}
+	chosen := make([]uint32, 0, k)
+	for v := k + 1; v < n; v++ {
+		chosen = chosen[:0]
+		var last uint32
+		haveLast := false
+		for len(chosen) < k {
+			var t uint32
+			if haveLast && r.Bernoulli(pt) {
+				// Triad step: link to a random neighbor of the last
+				// preferential target.
+				t = adj[last][r.Intn(len(adj[last]))]
+				if t == uint32(v) {
+					continue
+				}
+				if containsU32(chosen, t) {
+					// Fall back to a preferential pick below.
+					t = repeated[r.Intn(len(repeated))]
+				}
+			} else {
+				t = repeated[r.Intn(len(repeated))]
+			}
+			if t == uint32(v) || containsU32(chosen, t) {
+				continue
+			}
+			chosen = append(chosen, t)
+			last, haveLast = t, true
+		}
+		for _, t := range chosen {
+			addEdge(uint32(v), t)
+			repeated = append(repeated, uint32(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where each
+// node connects to its k nearest neighbors (k even), with each edge
+// rewired to a random endpoint with probability beta. The result may be
+// disconnected for large beta; callers wanting connectivity should take
+// graph.LargestComponent.
+func WattsStrogatz(r *xrand.Rand, n, k int, beta float64) *graph.Graph {
+	if k%2 == 1 {
+		k++
+	}
+	if k >= n {
+		return Complete(n)
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			u := uint32(i)
+			v := uint32((i + j) % n)
+			if r.Bernoulli(beta) {
+				// Rewire the far endpoint uniformly (self-loops and
+				// duplicates are cleaned up by the builder).
+				v = r.Uint32n(uint32(n))
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// RMAT returns a recursive-matrix (Kronecker-like) graph over 2^scale
+// nodes with edgeFactor·2^scale sampled edges, using partition
+// probabilities (a, b, c, implicit d = 1-a-b-c). R-MAT graphs mimic the
+// skewed degree and community structure of web and social graphs and may
+// be disconnected; take graph.LargestComponent for a connected substrate.
+func RMAT(r *xrand.Rand, scale, edgeFactor int, a, b, c float64) *graph.Graph {
+	if a+b+c >= 1 {
+		panic("gen: RMAT requires a+b+c < 1")
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	bld := graph.NewBuilder(n)
+	for e := 0; e < m; e++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			x := r.Float64()
+			switch {
+			case x < a: // top-left
+			case x < a+b: // top-right
+				v |= 1 << bit
+			case x < a+b+c: // bottom-left
+				u |= 1 << bit
+			default: // bottom-right
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		bld.AddEdge(uint32(u), uint32(v))
+	}
+	return bld.Build()
+}
+
+// ConfigurationModel returns a simple graph approximately realizing the
+// given degree sequence via stub matching with erasure: stubs are paired
+// uniformly at random and self-loops/duplicate edges are dropped. The
+// realized degrees are therefore a slight undercount of the input for
+// heavy-tailed sequences. May be disconnected.
+func ConfigurationModel(r *xrand.Rand, degrees []int) *graph.Graph {
+	n := len(degrees)
+	total := 0
+	for _, d := range degrees {
+		if d < 0 {
+			panic("gen: negative degree")
+		}
+		total += d
+	}
+	if total%2 != 0 {
+		panic("gen: degree sum must be even")
+	}
+	stubs := make([]uint32, 0, total)
+	for u, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, uint32(u))
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		b.AddEdge(stubs[i], stubs[i+1]) // builder erases loops/duplicates
+	}
+	return b.Build()
+}
+
+// PowerLawCluster is shorthand for the HolmeKim generator with a
+// power-law degree target: the standard synthetic stand-in for a social
+// network in this repository.
+func PowerLawCluster(seed uint64, n, k int, pt float64) *graph.Graph {
+	return HolmeKim(xrand.New(seed), n, k, pt)
+}

@@ -1,0 +1,298 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
+	"vicinity/internal/xrand"
+)
+
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		n, m    int
+		connect bool
+	}{
+		{"path", Path(5), 5, 4, true},
+		{"cycle", Cycle(6), 6, 6, true},
+		{"cycle2", Cycle(2), 2, 1, true},
+		{"star", Star(7), 7, 6, true},
+		{"complete", Complete(5), 5, 10, true},
+		{"grid", Grid(3, 4), 12, 17, true},
+		{"tree", Tree(10, 2), 10, 9, true},
+		{"tree-k1", Tree(4, 1), 4, 3, true},
+	}
+	for _, tc := range cases {
+		if err := tc.g.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if tc.g.NumNodes() != tc.n || tc.g.NumEdges() != tc.m {
+			t.Errorf("%s: n=%d m=%d, want n=%d m=%d",
+				tc.name, tc.g.NumNodes(), tc.g.NumEdges(), tc.n, tc.m)
+		}
+		if graph.Connected(tc.g) != tc.connect {
+			t.Errorf("%s: connectivity = %v", tc.name, !tc.connect)
+		}
+	}
+}
+
+func TestGridDistances(t *testing.T) {
+	g := Grid(4, 5)
+	// Manhattan distance on a grid.
+	tr := traverse.BFS(g, 0)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			if got := tr.Dist[uint32(r*5+c)]; got != uint32(r+c) {
+				t.Fatalf("dist to (%d,%d) = %d, want %d", r, c, got, r+c)
+			}
+		}
+	}
+}
+
+func TestGNM(t *testing.T) {
+	r := xrand.New(1)
+	g := GNM(r, 100, 300)
+	if g.NumNodes() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exact edge count even near the dense limit.
+	g2 := GNM(xrand.New(2), 10, 45)
+	if g2.NumEdges() != 45 {
+		t.Fatalf("dense GNM m=%d", g2.NumEdges())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-dense GNM did not panic")
+		}
+	}()
+	GNM(xrand.New(3), 10, 46)
+}
+
+func TestGNPEdgeCountConcentrates(t *testing.T) {
+	r := xrand.New(4)
+	const n = 400
+	p := 0.02
+	g := GNP(r, n, p)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := p * float64(n) * float64(n-1) / 2
+	got := float64(g.NumEdges())
+	if math.Abs(got-want) > 6*math.Sqrt(want) {
+		t.Fatalf("GNP edges = %v, want ~%v", got, want)
+	}
+	if GNP(xrand.New(5), 50, 0).NumEdges() != 0 {
+		t.Fatal("GNP(p=0) has edges")
+	}
+	if GNP(xrand.New(6), 10, 1).NumEdges() != 45 {
+		t.Fatal("GNP(p=1) not complete")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(xrand.New(7), 2000, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2000 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	// Each of the n-k-1 late nodes adds exactly k edges; seed adds C(k+1,2).
+	wantM := 6 + (2000-4)*3
+	if g.NumEdges() != wantM {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), wantM)
+	}
+	if !graph.Connected(g) {
+		t.Fatal("BA graph disconnected")
+	}
+	// Heavy tail: max degree far above average.
+	s := graph.ComputeStats(g)
+	if float64(s.MaxDegree) < 5*s.AvgDegree {
+		t.Errorf("BA max degree %d not heavy-tailed (avg %.1f)", s.MaxDegree, s.AvgDegree)
+	}
+	// Small n degenerates to a complete graph.
+	if got := BarabasiAlbert(xrand.New(8), 3, 5); got.NumEdges() != 3 {
+		t.Fatalf("degenerate BA m=%d", got.NumEdges())
+	}
+}
+
+func TestHolmeKim(t *testing.T) {
+	g := HolmeKim(xrand.New(9), 2000, 4, 0.5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Connected(g) {
+		t.Fatal("Holme-Kim graph disconnected")
+	}
+	wantM := 10 + (2000-5)*4
+	if g.NumEdges() != wantM {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), wantM)
+	}
+	// Triad closure should produce triangles: count a few.
+	if tri := countTriangles(g, 500); tri == 0 {
+		t.Error("Holme-Kim graph has no triangles in sample")
+	}
+	s := graph.ComputeStats(g)
+	if float64(s.MaxDegree) < 5*s.AvgDegree {
+		t.Errorf("HK max degree %d not heavy-tailed (avg %.1f)", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+// countTriangles counts triangles incident to the first sample nodes.
+func countTriangles(g *graph.Graph, sample int) int {
+	if sample > g.NumNodes() {
+		sample = g.NumNodes()
+	}
+	count := 0
+	for u := uint32(0); int(u) < sample; u++ {
+		adj := g.Neighbors(u)
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				if g.HasEdge(adj[i], adj[j]) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(xrand.New(10), 500, 6, 0.1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 500 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	// Rewiring plus builder dedup can only lose edges relative to nk/2.
+	if g.NumEdges() > 1500 || g.NumEdges() < 1400 {
+		t.Fatalf("m = %d, want ~1500", g.NumEdges())
+	}
+	// beta=0 gives the exact ring lattice.
+	ring := WattsStrogatz(xrand.New(11), 100, 4, 0)
+	if ring.NumEdges() != 200 {
+		t.Fatalf("lattice m = %d, want 200", ring.NumEdges())
+	}
+	if !graph.Connected(ring) {
+		t.Fatal("ring lattice disconnected")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(xrand.New(12), 10, 8, 0.57, 0.19, 0.19)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1024 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 8*1024 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	lcc, _ := graph.LargestComponent(g)
+	if lcc.NumNodes() < 512 {
+		t.Errorf("RMAT LCC only %d nodes", lcc.NumNodes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid RMAT probabilities did not panic")
+		}
+	}()
+	RMAT(xrand.New(13), 4, 2, 0.5, 0.3, 0.3)
+}
+
+func TestConfigurationModel(t *testing.T) {
+	r := xrand.New(14)
+	degs := xrand.PowerLawDegrees(r, 1000, 2, 50, 2.5)
+	g := ConfigurationModel(r, degs)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1000 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	// Erasure loses some edges but most should survive.
+	sum := 0
+	for _, d := range degs {
+		sum += d
+	}
+	if 2*g.NumEdges() < sum*8/10 {
+		t.Errorf("erasure lost too many edges: realized %d of %d stubs", 2*g.NumEdges(), sum)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd degree sum did not panic")
+		}
+	}()
+	ConfigurationModel(r, []int{1, 1, 1})
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := HolmeKim(xrand.New(42), 500, 3, 0.5)
+	b := HolmeKim(xrand.New(42), 500, 3, 0.5)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	a.ForEachEdge(func(u, v, w uint32) {
+		if !b.HasEdge(u, v) {
+			t.Fatalf("edge %d-%d missing in replay", u, v)
+		}
+	})
+}
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("%d profiles", len(ps))
+	}
+	wantOrder := []string{"DBLP", "Flickr", "Orkut", "LiveJournal"}
+	for i, p := range ps {
+		if p.Name != wantOrder[i] {
+			t.Fatalf("profile order %v", ps)
+		}
+		g := p.Generate(2000, 1)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !graph.Connected(g) {
+			t.Fatalf("%s: disconnected", p.Name)
+		}
+		// Average degree should approximate 2*AttachK.
+		if got, want := g.AvgDegree(), float64(2*p.AttachK); math.Abs(got-want) > want/2 {
+			t.Errorf("%s: avg degree %.1f, want ~%.1f", p.Name, got, want)
+		}
+		if p.AvgDegreePaper() <= 0 {
+			t.Errorf("%s: paper avg degree %.2f", p.Name, p.AvgDegreePaper())
+		}
+	}
+	if _, err := ProfileByName("orkut"); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile lookup succeeded")
+	}
+}
+
+func TestProfileDefaultScale(t *testing.T) {
+	// n <= 0 selects the profile default; keep this test small by only
+	// checking the parameter plumbing on the smallest profile.
+	p := ProfileOrkut
+	p.DefaultNodes = 500
+	g := p.Generate(0, 3)
+	if g.NumNodes() != 500 {
+		t.Fatalf("n = %d, want default 500", g.NumNodes())
+	}
+}
+
+func BenchmarkHolmeKim50k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HolmeKim(xrand.New(uint64(i)), 50000, 9, 0.5)
+	}
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary graph format
+//
+// A compact little-endian serialization of the CSR arrays, an order of
+// magnitude faster to load than text edge lists for benchmark graphs:
+//
+//	magic   [4]byte  "VCG1"
+//	flags   uint32   bit 0: weighted
+//	n       uint64
+//	m2      uint64   number of directed entries (2m)
+//	offsets [n+1]uint32
+//	targets [m2]uint32
+//	weights [m2]uint32  (present iff weighted)
+
+var binMagic = [4]byte{'V', 'C', 'G', '1'}
+
+const flagWeighted = 1
+
+// WriteBinary serializes g to w in the binary graph format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], flags)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(g.n))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(g.targets)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, g.offsets); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, g.targets); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := writeU32s(bw, g.weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q (not a VCG1 file)", magic)
+	}
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[0:])
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	m2 := binary.LittleEndian.Uint64(hdr[12:])
+	const maxNodes = 1 << 31
+	if n > maxNodes || m2 > 1<<33 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m2=%d", n, m2)
+	}
+	g := &Graph{n: int(n), m: int(m2) / 2}
+	var err error
+	if g.offsets, err = readU32s(br, int(n)+1); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if g.targets, err = readU32s(br, int(m2)); err != nil {
+		return nil, fmt.Errorf("graph: reading targets: %w", err)
+	}
+	if flags&flagWeighted != 0 {
+		if g.weights, err = readU32s(br, int(m2)); err != nil {
+			return nil, fmt.Errorf("graph: reading weights: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: corrupt binary graph: %w", err)
+	}
+	return g, nil
+}
+
+func writeU32s(w io.Writer, xs []uint32) error {
+	buf := make([]byte, 4096*4)
+	for len(xs) > 0 {
+		chunk := len(xs)
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], xs[i])
+		}
+		if _, err := w.Write(buf[:chunk*4]); err != nil {
+			return err
+		}
+		xs = xs[chunk:]
+	}
+	return nil
+}
+
+func readU32s(r io.Reader, n int) ([]uint32, error) {
+	xs := make([]uint32, n)
+	buf := make([]byte, 4096*4)
+	for off := 0; off < n; {
+		chunk := n - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < chunk; i++ {
+			xs[off+i] = binary.LittleEndian.Uint32(buf[i*4:])
+		}
+		off += chunk
+	}
+	return xs, nil
+}
+
+// SaveBinaryFile writes g to path in the binary format.
+func SaveBinaryFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinaryFile reads a binary graph from path.
+func LoadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// LoadFile loads a graph from path, auto-detecting the binary format by
+// its magic bytes and falling back to the text edge-list parser.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err == nil && magic == binMagic {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		g, err := ReadBinary(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return g, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	g, err := ReadEdgeList(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces an immutable Graph.
+//
+// The builder is forgiving: self-loops are dropped, parallel edges are
+// merged (minimum weight wins), and edges may be added in any order.
+// It is not safe for concurrent use.
+type Builder struct {
+	n        int
+	us, vs   []uint32
+	ws       []uint32
+	weighted bool
+}
+
+// NewBuilder returns a builder for a graph over n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddEdge records the undirected edge {u,v} with weight 1.
+func (b *Builder) AddEdge(u, v uint32) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records the undirected edge {u,v} with weight w.
+// Self-loops are silently dropped. Node ids must be < NumNodes.
+// A weight of 0 is permitted (zero-weight edges are legal in the paper's
+// non-negative-weight model).
+func (b *Builder) AddWeightedEdge(u, v, w uint32) {
+	if int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge %d-%d out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+	if w != 1 {
+		b.weighted = true
+	}
+}
+
+// PendingEdges returns the number of recorded edges (before dedup).
+func (b *Builder) PendingEdges() int { return len(b.us) }
+
+// Build constructs the CSR graph. The builder can be reused afterwards
+// (its edge list is retained), but typically it is discarded.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	// Pass 1: count directed entries per node (each undirected edge twice).
+	offsets := make([]uint32, n+1)
+	for i := range b.us {
+		offsets[b.us[i]+1]++
+		offsets[b.vs[i]+1]++
+	}
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	// Pass 2: scatter into place.
+	targets := make([]uint32, len(b.us)*2)
+	var weights []uint32
+	if b.weighted {
+		weights = make([]uint32, len(targets))
+	}
+	cursor := make([]uint32, n)
+	copy(cursor, offsets[:n])
+	put := func(u, v, w uint32) {
+		p := cursor[u]
+		targets[p] = v
+		if weights != nil {
+			weights[p] = w
+		}
+		cursor[u] = p + 1
+	}
+	for i := range b.us {
+		put(b.us[i], b.vs[i], b.ws[i])
+		put(b.vs[i], b.us[i], b.ws[i])
+	}
+	// Pass 3: sort each adjacency list and merge duplicates.
+	g := &Graph{offsets: offsets, targets: targets, weights: weights, n: n}
+	g.compact()
+	return g
+}
+
+// compact sorts each adjacency list in place, removes duplicate edges
+// (keeping the minimum weight), and rebuilds offsets.
+func (g *Graph) compact() {
+	n := g.n
+	write := uint32(0)
+	newOffsets := make([]uint32, n+1)
+	for u := 0; u < n; u++ {
+		lo, hi := g.offsets[u], g.offsets[u+1]
+		adj := g.targets[lo:hi]
+		var ws []uint32
+		if g.weights != nil {
+			ws = g.weights[lo:hi]
+		}
+		sortAdj(adj, ws)
+		// Merge duplicates while copying down to the write cursor.
+		newOffsets[u] = write
+		for i := 0; i < len(adj); {
+			v := adj[i]
+			w := uint32(1)
+			if ws != nil {
+				w = ws[i]
+			}
+			j := i + 1
+			for j < len(adj) && adj[j] == v {
+				if ws != nil && ws[j] < w {
+					w = ws[j]
+				}
+				j++
+			}
+			g.targets[write] = v
+			if g.weights != nil {
+				g.weights[write] = w
+			}
+			write++
+			i = j
+		}
+	}
+	newOffsets[n] = write
+	g.offsets = newOffsets
+	g.targets = g.targets[:write:write]
+	if g.weights != nil {
+		g.weights = g.weights[:write:write]
+	}
+	g.m = int(write) / 2
+}
+
+// sortAdj sorts adjacency targets ascending, permuting weights in step.
+// Insertion sort for short lists, pattern-defeating-free quicksort via
+// sort.Sort otherwise.
+func sortAdj(adj, ws []uint32) {
+	if len(adj) < 24 {
+		for i := 1; i < len(adj); i++ {
+			a := adj[i]
+			var w uint32
+			if ws != nil {
+				w = ws[i]
+			}
+			j := i - 1
+			for j >= 0 && adj[j] > a {
+				adj[j+1] = adj[j]
+				if ws != nil {
+					ws[j+1] = ws[j]
+				}
+				j--
+			}
+			adj[j+1] = a
+			if ws != nil {
+				ws[j+1] = w
+			}
+		}
+		return
+	}
+	if ws == nil {
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		return
+	}
+	sort.Sort(&adjSorter{adj: adj, ws: ws})
+}
+
+type adjSorter struct {
+	adj, ws []uint32
+}
+
+func (s *adjSorter) Len() int           { return len(s.adj) }
+func (s *adjSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.ws[i], s.ws[j] = s.ws[j], s.ws[i]
+}
+
+// FromEdges builds an unweighted graph over n nodes from an edge list.
+func FromEdges(n int, edges [][2]uint32) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,126 @@
+package graph
+
+// Components labels the connected components of g. It returns a label per
+// node (labels are dense, assigned in discovery order) and the number of
+// components. The empty graph has zero components.
+func Components(g *Graph) (labels []uint32, count int) {
+	n := g.NumNodes()
+	labels = make([]uint32, n)
+	for i := range labels {
+		labels[i] = NoNode
+	}
+	var stack []uint32
+	for start := uint32(0); int(start) < n; start++ {
+		if labels[start] != NoNode {
+			continue
+		}
+		lbl := uint32(count)
+		count++
+		labels[start] = lbl
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Neighbors(u) {
+				if labels[v] == NoNode {
+					labels[v] = lbl
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent extracts the largest connected component of g as a new
+// graph with dense node ids, together with the mapping from new ids to
+// original ids. Ties between equal-sized components are broken by the
+// smallest component label. For the empty graph it returns an empty graph
+// and a nil mapping.
+//
+// The paper assumes connected networks (Table 1); generators and loaders
+// route through this to satisfy that precondition.
+func LargestComponent(g *Graph) (*Graph, []uint32) {
+	labels, count := Components(g)
+	if count <= 1 {
+		return g, identity(g.NumNodes())
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for l, s := range sizes {
+		if s > sizes[best] {
+			best = l
+		}
+	}
+	// Map old ids in the chosen component to dense new ids.
+	oldToNew := make([]uint32, g.NumNodes())
+	newToOld := make([]uint32, 0, sizes[best])
+	for u := range oldToNew {
+		if labels[u] == uint32(best) {
+			oldToNew[u] = uint32(len(newToOld))
+			newToOld = append(newToOld, uint32(u))
+		} else {
+			oldToNew[u] = NoNode
+		}
+	}
+	b := NewBuilder(len(newToOld))
+	g.ForEachEdge(func(u, v, w uint32) {
+		nu, nv := oldToNew[u], oldToNew[v]
+		if nu != NoNode && nv != NoNode {
+			b.AddWeightedEdge(nu, nv, w)
+		}
+	})
+	return b.Build(), newToOld
+}
+
+// Connected reports whether g is connected. Graphs with fewer than two
+// nodes are connected by convention.
+func Connected(g *Graph) bool {
+	if g.NumNodes() <= 1 {
+		return true
+	}
+	_, count := Components(g)
+	return count == 1
+}
+
+func identity(n int) []uint32 {
+	id := make([]uint32, n)
+	for i := range id {
+		id[i] = uint32(i)
+	}
+	return id
+}
+
+// InducedSubgraph returns the subgraph induced by keep (original node
+// ids), relabeled densely in the order given, plus the new-to-old map.
+// Duplicate ids in keep are rejected with a panic.
+func InducedSubgraph(g *Graph, keep []uint32) (*Graph, []uint32) {
+	oldToNew := make(map[uint32]uint32, len(keep))
+	for i, u := range keep {
+		if _, dup := oldToNew[u]; dup {
+			panic("graph: duplicate node in InducedSubgraph")
+		}
+		oldToNew[u] = uint32(i)
+	}
+	b := NewBuilder(len(keep))
+	for i, u := range keep {
+		adj := g.Neighbors(u)
+		ws := g.NeighborWeights(u)
+		for j, v := range adj {
+			nv, ok := oldToNew[v]
+			if !ok || nv <= uint32(i) {
+				continue // absent, or will be added from the other side
+			}
+			w := uint32(1)
+			if ws != nil {
+				w = ws[j]
+			}
+			b.AddWeightedEdge(uint32(i), nv, w)
+		}
+	}
+	newToOld := append([]uint32(nil), keep...)
+	return b.Build(), newToOld
+}

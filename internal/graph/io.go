@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format
+//
+// One edge per line: "u v" or "u v w" (weighted), whitespace separated.
+// Lines starting with '#' or '%' are comments (the convention used by the
+// SNAP and KONECT dataset collections the paper draws from). Node ids are
+// arbitrary non-negative integers; ReadEdgeList densifies them in order of
+// first appearance and returns the graph.
+
+// ReadEdgeList parses a text edge list from r.
+//
+// Node ids are densified by ascending raw id, so a file whose ids are
+// already 0..n-1 loads with identity ids (text round-trips are stable).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	seen := make(map[uint64]struct{})
+	var us, vs []uint64
+	var ws []uint32
+	weighted := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v [w]', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source id: %v", lineNo, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target id: %v", lineNo, err)
+		}
+		w := uint64(1)
+		if len(fields) >= 3 {
+			w, err = strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+			}
+			weighted = true
+		}
+		us = append(us, u)
+		vs = append(vs, v)
+		ws = append(ws, uint32(w))
+		seen[u] = struct{}{}
+		seen[v] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	// Densify by ascending raw id.
+	raws := make([]uint64, 0, len(seen))
+	for raw := range seen {
+		raws = append(raws, raw)
+	}
+	sort.Slice(raws, func(i, j int) bool { return raws[i] < raws[j] })
+	ids := make(map[uint64]uint32, len(raws))
+	for i, raw := range raws {
+		ids[raw] = uint32(i)
+	}
+	b := NewBuilder(len(ids))
+	for i := range us {
+		if weighted {
+			b.AddWeightedEdge(ids[us[i]], ids[vs[i]], ws[i])
+		} else {
+			b.AddEdge(ids[us[i]], ids[vs[i]])
+		}
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes g as a text edge list (one "u v" or "u v w" line
+// per undirected edge, u < v) preceded by a comment header.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vicinity edge list: %d nodes, %d undirected edges\n",
+		g.NumNodes(), g.NumEdges())
+	var err error
+	g.ForEachEdge(func(u, v, wt uint32) {
+		if err != nil {
+			return
+		}
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "%d %d %d\n", u, v, wt)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadEdgeListFile reads a text edge list from path.
+func LoadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadEdgeList(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// SaveEdgeListFile writes g to path as a text edge list.
+func SaveEdgeListFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vicinity/internal/xrand"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# comment
+% another comment
+
+10 20
+20 30
+30 10
+10 40
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Weighted() {
+		t.Fatal("unweighted input produced weighted graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Densification order: 10→0, 20→1, 30→2, 40→3.
+	if !g.HasEdge(0, 3) {
+		t.Fatal("edge 10-40 missing after densification")
+	}
+}
+
+func TestReadEdgeListWeighted(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 5\n1 2 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("weighted input produced unweighted graph")
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 5 {
+		t.Fatalf("weight = %d,%v", w, ok)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"one-field":  "7\n",
+		"bad-source": "x 1\n",
+		"bad-target": "1 y\n",
+		"bad-weight": "1 2 zz\n",
+		"neg-weight": "1 2 -1\n",
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error for %q", name, in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	r := xrand.New(5)
+	b := NewBuilder(50)
+	// Spanning path guarantees every node appears in the written edge list
+	// (text files cannot represent isolated nodes).
+	for i := uint32(0); i < 49; i++ {
+		b.AddWeightedEdge(i, i+1, r.Uint32n(9)+1)
+	}
+	for i := 0; i < 200; i++ {
+		b.AddWeightedEdge(r.Uint32n(50), r.Uint32n(50), r.Uint32n(9)+1)
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := xrand.New(6)
+	for _, weighted := range []bool{false, true} {
+		b := NewBuilder(100)
+		for i := 0; i < 400; i++ {
+			w := uint32(1)
+			if weighted {
+				w = r.Uint32n(20) + 1
+			}
+			b.AddWeightedEdge(r.Uint32n(100), r.Uint32n(100), w)
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameGraph(t, g, g2)
+		if g2.Weighted() != weighted {
+			t.Fatalf("weighted=%v flag lost", weighted)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad-magic": []byte("NOPE1234567890123456789"),
+		"truncated": append([]byte("VCG1"), make([]byte, 10)...),
+	}
+	for name, raw := range cases {
+		if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: ReadBinary accepted garbage", name)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptGraph(t *testing.T) {
+	g := FromEdges(3, [][2]uint32{{0, 1}, {1, 2}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte inside the targets region to break symmetry/sorting.
+	raw[len(raw)-3] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupt graph passed validation")
+	}
+}
+
+func TestFileRoundTripAndAutodetect(t *testing.T) {
+	dir := t.TempDir()
+	g := FromEdges(5, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+
+	txt := filepath.Join(dir, "g.txt")
+	if err := SaveEdgeListFile(txt, g); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "g.bin")
+	if err := SaveBinaryFile(bin, g); err != nil {
+		t.Fatal(err)
+	}
+
+	fromTxt, err := LoadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, fromTxt)
+
+	fromBin, err := LoadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, fromBin)
+
+	if _, err := LoadEdgeListFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+	if _, err := LoadBinaryFile(txt); err == nil {
+		t.Error("LoadBinaryFile accepted a text file")
+	}
+}
+
+func assertSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)",
+			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	a.ForEachEdge(func(u, v, w uint32) {
+		w2, ok := b.EdgeWeight(u, v)
+		if !ok || w2 != w {
+			t.Fatalf("edge %d-%d(w=%d) became (%d,%v)", u, v, w, w2, ok)
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes the structural properties of a graph that matter to
+// the paper's technique: size, density, and the degree distribution whose
+// heavy tail makes degree-biased landmark sampling effective.
+type Stats struct {
+	Nodes          int
+	UndirectedEdge int
+	DirectedEdge   int // adjacency entries (2m)
+	Weighted       bool
+	MinDegree      int
+	MaxDegree      int
+	AvgDegree      float64
+	MedianDegree   int
+	P90Degree      int
+	P99Degree      int
+	Components     int
+	LargestCompPct float64 // fraction of nodes in the largest component
+}
+
+// ComputeStats scans g and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumNodes()
+	s := Stats{
+		Nodes:          n,
+		UndirectedEdge: g.NumEdges(),
+		DirectedEdge:   g.NumDirectedEdges(),
+		Weighted:       g.Weighted(),
+		AvgDegree:      g.AvgDegree(),
+	}
+	if n == 0 {
+		return s
+	}
+	degs := make([]int, n)
+	for u := 0; u < n; u++ {
+		degs[u] = g.Degree(uint32(u))
+	}
+	sort.Ints(degs)
+	s.MinDegree = degs[0]
+	s.MaxDegree = degs[n-1]
+	s.MedianDegree = degs[n/2]
+	s.P90Degree = degs[min(n-1, n*90/100)]
+	s.P99Degree = degs[min(n-1, n*99/100)]
+	labels, count := Components(g)
+	s.Components = count
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	largest := 0
+	for _, sz := range sizes {
+		if sz > largest {
+			largest = sz
+		}
+	}
+	s.LargestCompPct = float64(largest) / float64(n)
+	return s
+}
+
+// String renders the stats in a compact one-line form.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"n=%d m=%d (directed %d) avg deg %.2f, deg[min=%d med=%d p90=%d p99=%d max=%d], %d component(s), lcc %.1f%%",
+		s.Nodes, s.UndirectedEdge, s.DirectedEdge, s.AvgDegree,
+		s.MinDegree, s.MedianDegree, s.P90Degree, s.P99Degree, s.MaxDegree,
+		s.Components, 100*s.LargestCompPct)
+}

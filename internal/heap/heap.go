@@ -1,0 +1,213 @@
+// Package heap provides priority queues specialized for shortest-path
+// computation over graphs with uint32 node ids and uint32 distances.
+//
+// Two implementations are provided:
+//
+//   - Min: an indexed binary min-heap with DecreaseKey, the workhorse for
+//     Dijkstra on arbitrary non-negative integer weights.
+//   - Dial: a monotone bucket queue (Dial's algorithm) that is O(1) per
+//     operation when edge weights are small integers; used as an
+//     optimization and as an independent oracle in tests.
+//
+// Neither type is safe for concurrent use.
+package heap
+
+// Min is an indexed binary min-heap keyed by uint32 priority. Each node id
+// may appear at most once; Push on a present id with a smaller key behaves
+// as DecreaseKey. Capacity is fixed at construction (node ids < n).
+type Min struct {
+	ids  []uint32 // heap array of node ids
+	key  []uint32 // key[id] = current priority
+	pos  []int32  // pos[id] = index in ids, or -1 if absent
+	size int
+}
+
+// NewMin returns a heap for node ids in [0, n).
+func NewMin(n int) *Min {
+	h := &Min{
+		ids: make([]uint32, 0, 64),
+		key: make([]uint32, n),
+		pos: make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of queued ids.
+func (h *Min) Len() int { return h.size }
+
+// Empty reports whether the heap is empty.
+func (h *Min) Empty() bool { return h.size == 0 }
+
+// Contains reports whether id is currently queued.
+func (h *Min) Contains(id uint32) bool { return h.pos[id] >= 0 }
+
+// Key returns the current priority of id. Only valid if Contains(id).
+func (h *Min) Key(id uint32) uint32 { return h.key[id] }
+
+// Reset empties the heap in O(size).
+func (h *Min) Reset() {
+	for _, id := range h.ids[:h.size] {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+	h.size = 0
+}
+
+// Push inserts id with priority k, or decreases its key if already present
+// with a larger key. Pushing a present id with k >= current key is a no-op.
+func (h *Min) Push(id uint32, k uint32) {
+	if p := h.pos[id]; p >= 0 {
+		if k < h.key[id] {
+			h.key[id] = k
+			h.up(int(p))
+		}
+		return
+	}
+	h.key[id] = k
+	if h.size == len(h.ids) {
+		h.ids = append(h.ids, id)
+	} else {
+		h.ids[h.size] = id
+	}
+	h.pos[id] = int32(h.size)
+	h.size++
+	h.up(h.size - 1)
+}
+
+// Peek returns the id with the minimum key and that key without removing
+// it. It panics on an empty heap.
+func (h *Min) Peek() (id uint32, k uint32) {
+	if h.size == 0 {
+		panic("heap: Peek on empty heap")
+	}
+	id = h.ids[0]
+	return id, h.key[id]
+}
+
+// Pop removes and returns the id with the minimum key, and that key.
+// It panics on an empty heap.
+func (h *Min) Pop() (id uint32, k uint32) {
+	if h.size == 0 {
+		panic("heap: Pop on empty heap")
+	}
+	id = h.ids[0]
+	k = h.key[id]
+	h.size--
+	last := h.ids[h.size]
+	h.pos[id] = -1
+	if h.size > 0 {
+		h.ids[0] = last
+		h.pos[last] = 0
+		h.down(0)
+	}
+	return id, k
+}
+
+func (h *Min) up(i int) {
+	id := h.ids[i]
+	k := h.key[id]
+	for i > 0 {
+		parent := (i - 1) / 2
+		pid := h.ids[parent]
+		if h.key[pid] <= k {
+			break
+		}
+		h.ids[i] = pid
+		h.pos[pid] = int32(i)
+		i = parent
+	}
+	h.ids[i] = id
+	h.pos[id] = int32(i)
+}
+
+func (h *Min) down(i int) {
+	id := h.ids[i]
+	k := h.key[id]
+	for {
+		l := 2*i + 1
+		if l >= h.size {
+			break
+		}
+		c, ck := l, h.key[h.ids[l]]
+		if r := l + 1; r < h.size {
+			if rk := h.key[h.ids[r]]; rk < ck {
+				c, ck = r, rk
+			}
+		}
+		if ck >= k {
+			break
+		}
+		cid := h.ids[c]
+		h.ids[i] = cid
+		h.pos[cid] = int32(i)
+		i = c
+	}
+	h.ids[i] = id
+	h.pos[id] = int32(i)
+}
+
+// Dial is a monotone bucket priority queue (Dial's algorithm). It supports
+// keys that never decrease below the last popped key, with bounded spread
+// between the current minimum and maximum key (maxKeySpread), which for
+// Dijkstra equals the maximum edge weight + 1.
+type Dial struct {
+	buckets [][]uint32
+	cur     uint32 // current scan position (key mod len(buckets))
+	curKey  uint32 // smallest key that can still be popped
+	size    int
+}
+
+// NewDial returns a Dial queue supporting key spread < spread.
+func NewDial(spread uint32) *Dial {
+	if spread == 0 {
+		spread = 1
+	}
+	return &Dial{buckets: make([][]uint32, spread)}
+}
+
+// Len returns the number of queued ids.
+func (d *Dial) Len() int { return d.size }
+
+// Empty reports whether the queue is empty.
+func (d *Dial) Empty() bool { return d.size == 0 }
+
+// Push inserts id with key k. k must satisfy curKey <= k < curKey+spread,
+// where curKey is the key of the last Pop (or 0 initially).
+func (d *Dial) Push(id uint32, k uint32) {
+	if k < d.curKey || k >= d.curKey+uint32(len(d.buckets)) {
+		panic("heap: Dial key out of admissible window")
+	}
+	b := k % uint32(len(d.buckets))
+	d.buckets[b] = append(d.buckets[b], id)
+	d.size++
+}
+
+// Pop removes and returns an id with the minimum key, and that key.
+// Note that unlike Min, Dial may return duplicate ids if the same id was
+// pushed multiple times; Dijkstra handles this with a settled check.
+// It panics on an empty queue.
+func (d *Dial) Pop() (id uint32, k uint32) {
+	if d.size == 0 {
+		panic("heap: Pop on empty Dial queue")
+	}
+	for len(d.buckets[d.cur]) == 0 {
+		d.cur = (d.cur + 1) % uint32(len(d.buckets))
+		d.curKey++
+	}
+	b := d.buckets[d.cur]
+	id = b[len(b)-1]
+	d.buckets[d.cur] = b[:len(b)-1]
+	d.size--
+	return id, d.curKey
+}
+
+// Reset empties the queue and rewinds the key window to 0.
+func (d *Dial) Reset() {
+	for i := range d.buckets {
+		d.buckets[i] = d.buckets[i][:0]
+	}
+	d.cur, d.curKey, d.size = 0, 0, 0
+}

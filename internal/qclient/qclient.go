@@ -1,0 +1,221 @@
+// Package qclient is the Go client for the TCP query protocol served by
+// internal/qserver. A Client owns one connection and serializes requests
+// over it; Pool multiplexes a fixed number of connections for concurrent
+// callers.
+package qclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vicinity/internal/wire"
+)
+
+// NoDist mirrors the oracle's unreachable sentinel on the client side.
+const NoDist = ^uint32(0)
+
+// Options tunes a Client.
+type Options struct {
+	// DialTimeout bounds connection establishment (0 = 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request/response round trip (0 = 10s).
+	RequestTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Client is a single-connection protocol client. Methods are safe for
+// concurrent use; requests are serialized on the connection.
+type Client struct {
+	opts Options
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a query server at addr.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("qclient: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &Client{
+		opts: opts,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 4096),
+		bw:   bufio.NewWriterSize(conn, 4096),
+	}, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// ErrClosed is returned for requests on a closed client.
+var ErrClosed = errors.New("qclient: client is closed")
+
+// roundTrip sends req and reads one response under the request timeout.
+func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, ErrClosed
+	}
+	deadline := time.Now().Add(c.opts.RequestTimeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteMessage(c.bw, req); err != nil {
+		return nil, fmt.Errorf("qclient: write: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("qclient: flush: %w", err)
+	}
+	resp, err := wire.ReadMessage(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("qclient: read: %w", err)
+	}
+	if e, ok := resp.(*wire.ErrorResponse); ok {
+		return nil, e
+	}
+	return resp, nil
+}
+
+// Distance asks for the distance between s and t. It returns the
+// distance (NoDist if unreachable/unresolved) and the oracle method tag.
+func (c *Client) Distance(s, t uint32) (uint32, uint8, error) {
+	resp, err := c.roundTrip(&wire.DistanceRequest{S: s, T: t})
+	if err != nil {
+		return NoDist, 0, err
+	}
+	d, ok := resp.(*wire.DistanceResponse)
+	if !ok {
+		return NoDist, 0, fmt.Errorf("qclient: unexpected response %v", resp.WireType())
+	}
+	return d.Dist, d.Method, nil
+}
+
+// Path asks for a shortest path between s and t (nil if none).
+func (c *Client) Path(s, t uint32) ([]uint32, uint8, error) {
+	resp, err := c.roundTrip(&wire.PathRequest{S: s, T: t})
+	if err != nil {
+		return nil, 0, err
+	}
+	p, ok := resp.(*wire.PathResponse)
+	if !ok {
+		return nil, 0, fmt.Errorf("qclient: unexpected response %v", resp.WireType())
+	}
+	return p.Path, p.Method, nil
+}
+
+// Stats fetches the server's oracle statistics.
+func (c *Client) Stats() (*wire.StatsResponse, error) {
+	resp, err := c.roundTrip(&wire.StatsRequest{})
+	if err != nil {
+		return nil, err
+	}
+	st, ok := resp.(*wire.StatsResponse)
+	if !ok {
+		return nil, fmt.Errorf("qclient: unexpected response %v", resp.WireType())
+	}
+	return st, nil
+}
+
+// Ping round-trips a token and reports the latency.
+func (c *Client) Ping() (time.Duration, error) {
+	token := uint64(time.Now().UnixNano())
+	start := time.Now()
+	resp, err := c.roundTrip(&wire.PingRequest{Token: token})
+	if err != nil {
+		return 0, err
+	}
+	pong, ok := resp.(*wire.PingResponse)
+	if !ok {
+		return 0, fmt.Errorf("qclient: unexpected response %v", resp.WireType())
+	}
+	if pong.Token != token {
+		return 0, errors.New("qclient: pong token mismatch")
+	}
+	return time.Since(start), nil
+}
+
+// Pool is a fixed-size pool of clients for concurrent callers.
+type Pool struct {
+	clients chan *Client
+	all     []*Client
+}
+
+// NewPool dials size connections to addr.
+func NewPool(addr string, size int, opts Options) (*Pool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{clients: make(chan *Client, size)}
+	for i := 0; i < size; i++ {
+		c, err := Dial(addr, opts)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients <- c
+		p.all = append(p.all, c)
+	}
+	return p, nil
+}
+
+// Distance borrows a client for one distance query. ctx bounds the wait
+// for a free connection (the request itself uses the client timeout).
+func (p *Pool) Distance(ctx context.Context, s, t uint32) (uint32, uint8, error) {
+	select {
+	case c := <-p.clients:
+		defer func() { p.clients <- c }()
+		return c.Distance(s, t)
+	case <-ctx.Done():
+		return NoDist, 0, ctx.Err()
+	}
+}
+
+// Path borrows a client for one path query.
+func (p *Pool) Path(ctx context.Context, s, t uint32) ([]uint32, uint8, error) {
+	select {
+	case c := <-p.clients:
+		defer func() { p.clients <- c }()
+		return c.Path(s, t)
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() {
+	for _, c := range p.all {
+		c.Close()
+	}
+}

@@ -1,0 +1,152 @@
+package qclient_test
+
+// Black-box tests against hand-rolled fake servers; the happy path
+// against the real server lives in internal/qserver's integration tests.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"vicinity/internal/qclient"
+	"vicinity/internal/wire"
+)
+
+// fakeServer accepts one connection and passes it to handle.
+func fakeServer(t *testing.T, handle func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		handle(conn)
+	}()
+	return ln.Addr().String()
+}
+
+func TestDialFailure(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := qclient.Dial(addr, qclient.Options{DialTimeout: 500 * time.Millisecond}); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		// Read the request and never answer.
+		_, _ = wire.ReadMessage(conn)
+		time.Sleep(2 * time.Second)
+	})
+	c, err := qclient.Dial(addr, qclient.Options{RequestTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, _, err = c.Distance(1, 2)
+	if err == nil {
+		t.Fatal("silent server produced no error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("timeout took %v", time.Since(start))
+	}
+}
+
+func TestServerErrorSurfaces(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if _, err := wire.ReadMessage(conn); err != nil {
+			return
+		}
+		_ = wire.WriteMessage(conn, &wire.ErrorResponse{
+			Code: wire.CodeNotCovered, Message: "node 7 not covered",
+		})
+	})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.Distance(7, 8)
+	var werr *wire.ErrorResponse
+	if !errors.As(err, &werr) || werr.Code != wire.CodeNotCovered {
+		t.Fatalf("err = %v, want CodeNotCovered", err)
+	}
+}
+
+func TestUnexpectedResponseType(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if _, err := wire.ReadMessage(conn); err != nil {
+			return
+		}
+		_ = wire.WriteMessage(conn, &wire.PingResponse{Token: 1})
+	})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Distance(1, 2); err == nil {
+		t.Fatal("mismatched response type accepted")
+	}
+}
+
+func TestPongTokenMismatch(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if _, err := wire.ReadMessage(conn); err != nil {
+			return
+		}
+		_ = wire.WriteMessage(conn, &wire.PingResponse{Token: 12345})
+	})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Ping(); err == nil {
+		t.Fatal("token mismatch accepted")
+	}
+}
+
+func TestPoolDialFailureCleansUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := qclient.NewPool(addr, 3, qclient.Options{DialTimeout: 300 * time.Millisecond}); err == nil {
+		t.Fatal("pool to dead port succeeded")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) { time.Sleep(time.Second) })
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package qserver
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"vicinity/internal/core"
+)
+
+// Handler returns an http.Handler exposing the oracle as a JSON API:
+//
+//	GET /v1/distance?s=<id>&t=<id> → {"s":..,"t":..,"distance":..,"method":"..","reachable":bool}
+//	GET /v1/path?s=<id>&t=<id>     → {"s":..,"t":..,"path":[..],"method":".."}
+//	GET /v1/stats                  → oracle build statistics
+//	GET /healthz                   → 200 "ok"
+//
+// The handler shares the oracle (and the query counter) with the TCP
+// server when constructed from the same Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/distance", s.handleDistance)
+	mux.HandleFunc("GET /v1/path", s.handlePath)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// parsePair extracts and validates the s and t query parameters.
+func parsePair(r *http.Request) (s, t uint32, err error) {
+	sv, err := strconv.ParseUint(r.URL.Query().Get("s"), 10, 32)
+	if err != nil {
+		return 0, 0, errors.New("parameter s must be a node id")
+	}
+	tv, err := strconv.ParseUint(r.URL.Query().Get("t"), 10, 32)
+	if err != nil {
+		return 0, 0, errors.New("parameter t must be a node id")
+	}
+	return uint32(sv), uint32(tv), nil
+}
+
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrOutOfRange):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrNotCovered):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	from, to, err := parsePair(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		return
+	}
+	s.queries.Add(1)
+	d, method, err := s.oracle.Distance(from, to)
+	if err != nil {
+		writeJSON(w, queryStatus(err), httpError{err.Error()})
+		return
+	}
+	type resp struct {
+		S         uint32 `json:"s"`
+		T         uint32 `json:"t"`
+		Distance  uint32 `json:"distance"`
+		Method    string `json:"method"`
+		Reachable bool   `json:"reachable"`
+	}
+	out := resp{S: from, T: to, Method: method.String(), Reachable: d != core.NoDist}
+	if out.Reachable {
+		out.Distance = d
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	from, to, err := parsePair(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		return
+	}
+	s.queries.Add(1)
+	p, method, err := s.oracle.Path(from, to)
+	if err != nil {
+		writeJSON(w, queryStatus(err), httpError{err.Error()})
+		return
+	}
+	type resp struct {
+		S      uint32   `json:"s"`
+		T      uint32   `json:"t"`
+		Path   []uint32 `json:"path"`
+		Hops   int      `json:"hops"`
+		Method string   `json:"method"`
+	}
+	out := resp{S: from, T: to, Path: p, Method: method.String()}
+	if len(p) > 0 {
+		out.Hops = len(p) - 1
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.oracle.Stats()
+	ms := s.oracle.Memory()
+	type resp struct {
+		Nodes        int     `json:"nodes"`
+		Edges        int     `json:"edges"`
+		Alpha        float64 `json:"alpha"`
+		Landmarks    int     `json:"landmarks"`
+		AvgVicinity  float64 `json:"avg_vicinity"`
+		MaxVicinity  int     `json:"max_vicinity"`
+		AvgBoundary  float64 `json:"avg_boundary"`
+		AvgRadius    float64 `json:"avg_radius"`
+		TotalEntries int64   `json:"total_entries"`
+		TotalBytes   int64   `json:"total_bytes"`
+		Queries      int64   `json:"queries_served"`
+	}
+	writeJSON(w, http.StatusOK, resp{
+		Nodes:        st.Nodes,
+		Edges:        st.Edges,
+		Alpha:        st.Alpha,
+		Landmarks:    st.Landmarks,
+		AvgVicinity:  st.AvgVicinity,
+		MaxVicinity:  st.MaxVicinity,
+		AvgBoundary:  st.AvgBoundary,
+		AvgRadius:    st.AvgRadius,
+		TotalEntries: ms.TotalEntries,
+		TotalBytes:   ms.TotalBytes,
+		Queries:      s.queries.Load(),
+	})
+}

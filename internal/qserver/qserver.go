@@ -1,0 +1,333 @@
+// Package qserver serves vicinity-oracle queries over TCP (the wire
+// protocol) and HTTP/JSON. It is the production-shaped entry point the
+// paper's motivating applications (social-network path queries behind a
+// user-facing service with tens-of-milliseconds budgets) would deploy.
+//
+// Design follows standard Go server practice: one goroutine per
+// connection, per-request read/write deadlines, a connection cap
+// enforced with a semaphore, graceful shutdown draining active
+// connections, and atomic counters exported for scraping.
+package qserver
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vicinity/internal/core"
+	"vicinity/internal/wire"
+)
+
+// Config tunes the server. The zero value gets sensible defaults.
+type Config struct {
+	// MaxConns caps concurrent connections (0 = 1024).
+	MaxConns int
+	// ReadTimeout bounds the wait for the next request on an idle
+	// connection (0 = 30s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write (0 = 10s).
+	WriteTimeout time.Duration
+	// Logger receives connection-level errors (nil = silent).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 1024
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Metrics is a point-in-time snapshot of server counters.
+type Metrics struct {
+	ActiveConns  int64
+	TotalConns   int64
+	Queries      int64
+	Errors       int64
+	BytesRead    int64 // approximate: frame payloads only
+	BytesWritten int64
+}
+
+// Server answers oracle queries. Create with New, start with Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	oracle *core.Oracle
+	cfg    Config
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	activeConns  atomic.Int64
+	totalConns   atomic.Int64
+	queries      atomic.Int64
+	errCount     atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+}
+
+// New returns an unstarted server for the oracle.
+func New(oracle *core.Oracle, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		oracle: oracle,
+		cfg:    cfg,
+		conns:  make(map[net.Conn]struct{}),
+		sem:    make(chan struct{}, cfg.MaxConns),
+	}
+}
+
+// Oracle returns the served oracle.
+func (s *Server) Oracle() *core.Oracle { return s.oracle }
+
+// Metrics returns a snapshot of the server counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		ActiveConns:  s.activeConns.Load(),
+		TotalConns:   s.totalConns.Load(),
+		Queries:      s.queries.Load(),
+		Errors:       s.errCount.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until
+// Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections from ln until Shutdown closes it. It always
+// returns a non-nil error; after Shutdown the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	var backoff time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Transient errors (EMFILE etc.) get exponential backoff,
+			// the pattern used by net/http.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				time.Sleep(backoff)
+				continue
+			}
+			return err
+		}
+		backoff = 0
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Over the connection cap: refuse politely.
+			s.errCount.Add(1)
+			_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+			_ = wire.WriteMessage(conn, &wire.ErrorResponse{
+				Code: wire.CodeUnavailable, Message: "connection limit reached",
+			})
+			conn.Close()
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			<-s.sem
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		s.totalConns.Add(1)
+		s.activeConns.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the bound listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Shutdown stops accepting, closes the listener, and waits for active
+// connections to drain or ctx to expire (then force-closes them).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// handleConn serves one connection: a loop of read request → answer.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.activeConns.Add(-1)
+		<-s.sem
+		s.wg.Done()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // request/response protocol: latency over batching
+	}
+	br := bufio.NewReaderSize(conn, 4096)
+	bw := bufio.NewWriterSize(conn, 4096)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		req, err := wire.ReadMessage(br)
+		if err != nil {
+			// EOF and timeouts are normal connection ends; protocol
+			// errors get a final error frame on a best-effort basis.
+			if isProtocolError(err) {
+				s.errCount.Add(1)
+				_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+				_ = wire.WriteMessage(conn, &wire.ErrorResponse{
+					Code: wire.CodeBadRequest, Message: err.Error(),
+				})
+			}
+			return
+		}
+		resp := s.dispatch(req)
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			return
+		}
+		if err := wire.WriteMessage(bw, resp); err != nil {
+			s.logf("qserver: write to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		s.bytesWritten.Add(1) // frame count proxy; exact sizes are wire detail
+	}
+}
+
+func isProtocolError(err error) bool {
+	return errors.Is(err, wire.ErrFrameTooLarge) ||
+		errors.Is(err, wire.ErrBadVersion) ||
+		errors.Is(err, wire.ErrTruncated)
+}
+
+// dispatch answers a single request message.
+func (s *Server) dispatch(req wire.Message) wire.Message {
+	s.bytesRead.Add(1)
+	switch m := req.(type) {
+	case *wire.PingRequest:
+		return &wire.PingResponse{Token: m.Token}
+
+	case *wire.DistanceRequest:
+		s.queries.Add(1)
+		d, method, err := s.oracle.Distance(m.S, m.T)
+		if err != nil {
+			return queryError(err)
+		}
+		return &wire.DistanceResponse{Dist: d, Method: uint8(method)}
+
+	case *wire.PathRequest:
+		s.queries.Add(1)
+		p, method, err := s.oracle.Path(m.S, m.T)
+		if err != nil {
+			return queryError(err)
+		}
+		return &wire.PathResponse{Method: uint8(method), Path: p}
+
+	case *wire.StatsRequest:
+		st := s.oracle.Stats()
+		ms := s.oracle.Memory()
+		return &wire.StatsResponse{
+			Nodes:         uint64(st.Nodes),
+			Edges:         uint64(st.Edges),
+			Landmarks:     uint64(st.Landmarks),
+			AvgVicinityE6: uint64(st.AvgVicinity * 1e6),
+			TotalEntries:  uint64(ms.TotalEntries),
+			QueriesServed: uint64(s.queries.Load()),
+		}
+
+	default:
+		s.errCount.Add(1)
+		return &wire.ErrorResponse{
+			Code:    wire.CodeBadRequest,
+			Message: fmt.Sprintf("unexpected message type %v", req.WireType()),
+		}
+	}
+}
+
+// queryError maps oracle errors to wire errors.
+func queryError(err error) wire.Message {
+	code := wire.CodeInternal
+	switch {
+	case errors.Is(err, core.ErrNotCovered):
+		code = wire.CodeNotCovered
+	case errors.Is(err, core.ErrOutOfRange):
+		code = wire.CodeOutOfRange
+	}
+	return &wire.ErrorResponse{Code: code, Message: err.Error()}
+}

@@ -1,0 +1,383 @@
+package qserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"vicinity/internal/core"
+	"vicinity/internal/gen"
+	"vicinity/internal/qclient"
+	"vicinity/internal/traverse"
+	"vicinity/internal/wire"
+	"vicinity/internal/xrand"
+)
+
+// startServer builds a small oracle, starts a TCP server on a loopback
+// port, and returns the server plus its address. Cleanup is registered
+// on t.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	g := gen.HolmeKim(xrand.New(1), 400, 4, 0.5)
+	o, err := core.Build(g, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(o, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		<-done
+	})
+	return s, ln.Addr().String()
+}
+
+func TestDistanceAndPathRoundTrip(t *testing.T) {
+	s, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	g := s.Oracle().Graph()
+	ws := traverse.NewWorkspace(g)
+	r := xrand.New(2)
+	for i := 0; i < 100; i++ {
+		a, b := r.Uint32n(400), r.Uint32n(400)
+		want := ws.BFSDist(a, b)
+		got, _, err := c.Distance(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Distance(%d,%d) = %d, want %d", a, b, got, want)
+		}
+		p, _, err := c.Path(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == traverse.NoDist {
+			if p != nil {
+				t.Fatalf("path for unreachable pair: %v", p)
+			}
+			continue
+		}
+		if uint32(len(p)-1) != want || p[0] != a || p[len(p)-1] != b {
+			t.Fatalf("bad path %v for (%d,%d), want %d hops", p, a, b, want)
+		}
+	}
+}
+
+func TestPingAndStats(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	// Two queries, then stats must reflect them.
+	if _, _, err := c.Distance(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Distance(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 400 || st.QueriesServed < 2 || st.Landmarks == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOutOfRangeError(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.Distance(0, 100000)
+	var werr *wire.ErrorResponse
+	if !errors.As(err, &werr) {
+		t.Fatalf("err = %v, want wire.ErrorResponse", err)
+	}
+	if werr.Code != wire.CodeOutOfRange {
+		t.Fatalf("code = %d, want %d", werr.Code, wire.CodeOutOfRange)
+	}
+	// The connection survives an application-level error.
+	if _, _, err := c.Distance(0, 1); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, addr := startServer(t, Config{})
+	g := s.Oracle().Graph()
+	ws := traverse.NewWorkspace(g)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			c, err := qclient.Dial(addr, qclient.Options{})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			r := xrand.New(seed)
+			for i := 0; i < 50; i++ {
+				a, b := r.Uint32n(400), r.Uint32n(400)
+				got, _, err := c.Distance(a, b)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_ = got
+			}
+		}(uint64(w + 10))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Sanity: one deterministic check after the storm.
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, _, err := c.Distance(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ws.BFSDist(3, 7); got != want {
+		t.Fatalf("after concurrency: %d, want %d", got, want)
+	}
+	if m := s.Metrics(); m.Queries < 400 || m.TotalConns < 8 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestPool(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	p, err := qclient.NewPool(addr, 4, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			for i := 0; i < 25; i++ {
+				if _, _, err := p.Distance(ctx, r.Uint32n(400), r.Uint32n(400)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+}
+
+func TestConnectionCap(t *testing.T) {
+	_, addr := startServer(t, Config{MaxConns: 1})
+	c1, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Second connection must be refused with CodeUnavailable.
+	c2, err := qclient.Dial(addr, qclient.Options{RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err) // dial succeeds; refusal arrives as an error frame
+	}
+	defer c2.Close()
+	_, err = c2.Ping()
+	var werr *wire.ErrorResponse
+	if !errors.As(err, &werr) || werr.Code != wire.CodeUnavailable {
+		t.Fatalf("second connection: err = %v, want unavailable", err)
+	}
+}
+
+func TestMalformedFrameGetsErrorResponse(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A frame with a bad version byte.
+	raw := wire.Marshal(&wire.PingRequest{Token: 1})
+	raw[4] = 99
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	resp, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatalf("no error frame: %v", err)
+	}
+	werr, ok := resp.(*wire.ErrorResponse)
+	if !ok || werr.Code != wire.CodeBadRequest {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestShutdownUnblocksServe(t *testing.T) {
+	g := gen.Path(10)
+	o, err := core.Build(g, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(o, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Serve returned %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
+func TestHTTPGateway(t *testing.T) {
+	s, _ := startServer(t, Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Distance.
+	resp, err := hs.Client().Get(hs.URL + "/v1/distance?s=0&t=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr struct {
+		Distance  uint32 `json:"distance"`
+		Method    string `json:"method"`
+		Reachable bool   `json:"reachable"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !dr.Reachable || dr.Method == "" {
+		t.Fatalf("distance response: %+v", dr)
+	}
+
+	// Path.
+	resp, err = hs.Client().Get(hs.URL + "/v1/path?s=0&t=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr struct {
+		Path []uint32 `json:"path"`
+		Hops int      `json:"hops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(pr.Path) == 0 || pr.Hops != len(pr.Path)-1 {
+		t.Fatalf("path response: %+v", pr)
+	}
+	if uint32(pr.Hops) != dr.Distance {
+		t.Fatalf("path hops %d != distance %d", pr.Hops, dr.Distance)
+	}
+
+	// Stats and health.
+	resp, err = hs.Client().Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Nodes     int `json:"nodes"`
+		Landmarks int `json:"landmarks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr.Nodes != 400 || sr.Landmarks == 0 {
+		t.Fatalf("stats: %+v", sr)
+	}
+	resp, err = hs.Client().Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Errors.
+	resp, err = hs.Client().Get(hs.URL + "/v1/distance?s=abc&t=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad param status %d", resp.StatusCode)
+	}
+	resp, err = hs.Client().Get(hs.URL + "/v1/distance?s=999999&t=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("out-of-range status %d", resp.StatusCode)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, _, err := c.Distance(0, 1); !errors.Is(err, qclient.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

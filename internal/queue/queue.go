@@ -1,0 +1,74 @@
+// Package queue provides an amortized O(1) FIFO queue of uint32 values,
+// used as the frontier queue in breadth-first traversals.
+//
+// The queue is a growable ring buffer: it never shrinks, so a traversal
+// workspace that is reused across queries stops allocating after warm-up.
+package queue
+
+// U32 is a FIFO queue of uint32 values. The zero value is ready to use.
+type U32 struct {
+	buf        []uint32
+	head, tail int // tail is one past the last element when len > 0
+	size       int
+}
+
+// NewU32 returns a queue with capacity for at least n elements.
+func NewU32(n int) *U32 {
+	if n < 4 {
+		n = 4
+	}
+	return &U32{buf: make([]uint32, ceilPow2(n))}
+}
+
+func ceilPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Len returns the number of queued elements.
+func (q *U32) Len() int { return q.size }
+
+// Empty reports whether the queue has no elements.
+func (q *U32) Empty() bool { return q.size == 0 }
+
+// Push appends v to the back of the queue.
+func (q *U32) Push(v uint32) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail] = v
+	q.tail = (q.tail + 1) & (len(q.buf) - 1)
+	q.size++
+}
+
+// Pop removes and returns the front element. It panics on an empty queue.
+func (q *U32) Pop() uint32 {
+	if q.size == 0 {
+		panic("queue: Pop on empty queue")
+	}
+	v := q.buf[q.head]
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.size--
+	return v
+}
+
+// Reset empties the queue, keeping its storage for reuse.
+func (q *U32) Reset() {
+	q.head, q.tail, q.size = 0, 0, 0
+}
+
+func (q *U32) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = 4
+	}
+	nb := make([]uint32, newCap)
+	n := copy(nb, q.buf[q.head:])
+	copy(nb[n:], q.buf[:q.head])
+	q.buf = nb
+	q.head = 0
+	q.tail = q.size
+}

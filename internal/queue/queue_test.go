@@ -1,0 +1,134 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewU32(2)
+	for i := uint32(0); i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := uint32(0); i < 100; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var q U32
+	q.Push(7)
+	if q.Pop() != 7 {
+		t.Fatal("zero-value queue broken")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := NewU32(4)
+	// Interleave pushes and pops so head circles the ring several times.
+	next, expect := uint32(0), uint32(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := q.Pop(); got != expect {
+				t.Fatalf("round %d: Pop = %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+	for !q.Empty() {
+		if got := q.Pop(); got != expect {
+			t.Fatalf("drain: Pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d values, pushed %d", expect, next)
+	}
+}
+
+func TestGrowPreservesOrderAcrossWrap(t *testing.T) {
+	q := NewU32(4)
+	// Put head in the middle of the ring, then force growth.
+	q.Push(0)
+	q.Push(1)
+	q.Pop()
+	q.Pop()
+	for i := uint32(10); i < 30; i++ {
+		q.Push(i)
+	}
+	for i := uint32(10); i < 30; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue did not panic")
+		}
+	}()
+	NewU32(1).Pop()
+}
+
+func TestReset(t *testing.T) {
+	q := NewU32(4)
+	q.Push(1)
+	q.Push(2)
+	q.Reset()
+	if !q.Empty() {
+		t.Fatal("Reset did not empty queue")
+	}
+	q.Push(9)
+	if q.Pop() != 9 {
+		t.Fatal("queue broken after Reset")
+	}
+}
+
+func TestQuickMatchesSlice(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := NewU32(1)
+		var ref []uint32
+		for _, op := range ops {
+			if op >= 0 {
+				q.Push(uint32(op))
+				ref = append(ref, uint32(op))
+			} else if len(ref) > 0 {
+				if q.Pop() != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := NewU32(1024)
+	for i := 0; i < b.N; i++ {
+		q.Push(uint32(i))
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package stats provides the small numeric summaries the experiment
+// harness reports: means, percentiles, and empirical CDFs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	Count         int
+	Sum, Mean     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+	StdDev        float64
+}
+
+// Summarize computes a Summary. An empty input gives a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.Count = len(xs)
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	for _, x := range sorted {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	var ss float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.Count))
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
+// sample using nearest-rank interpolation. Empty input returns 0.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDFPoint is one point of an empirical CDF: Fraction of samples <= X.
+type CDFPoint struct {
+	X        float64
+	Fraction float64
+}
+
+// CDF returns the full empirical CDF of xs (one point per distinct
+// value, ascending).
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var pts []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of equal values to their final (highest) rank.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		pts = append(pts, CDFPoint{X: sorted[i], Fraction: float64(i+1) / n})
+	}
+	return pts
+}
+
+// CDFAt returns the empirical fraction of samples <= x.
+func CDFAt(pts []CDFPoint, x float64) float64 {
+	frac := 0.0
+	for _, p := range pts {
+		if p.X <= x {
+			frac = p.Fraction
+		} else {
+			break
+		}
+	}
+	return frac
+}
+
+// DurationsToMicros converts durations to float64 microseconds.
+func DurationsToMicros(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d.Nanoseconds()) / 1e3
+	}
+	return out
+}
+
+// FormatMicros renders a microsecond quantity with a sensible unit.
+func FormatMicros(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", us)
+	}
+}

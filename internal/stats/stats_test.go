@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Sum != 15 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1. / 3, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.2f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	if Percentile([]float64{7}, 0.99) != 7 {
+		t.Error("singleton percentile")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{1, 1, 2, 3})
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("pts = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("pts[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if CDFAt(pts, 0.5) != 0 || CDFAt(pts, 1) != 0.5 || CDFAt(pts, 2.5) != 0.75 || CDFAt(pts, 99) != 1 {
+		t.Fatal("CDFAt incorrect")
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF non-nil")
+	}
+}
+
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				raw[i] = 0
+			}
+		}
+		pts := CDF(raw)
+		prevX := math.Inf(-1)
+		prevF := 0.0
+		for _, p := range pts {
+			if p.X <= prevX || p.Fraction < prevF {
+				return false
+			}
+			prevX, prevF = p.X, p.Fraction
+		}
+		return len(raw) == 0 || pts[len(pts)-1].Fraction == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				raw[i] = 0
+			}
+		}
+		s := Summarize(raw)
+		p = math.Abs(math.Mod(p, 1))
+		sorted := append([]float64(nil), raw...)
+		sortFloats(sorted)
+		v := Percentile(sorted, p)
+		return v >= s.Min && v <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestDurationsToMicros(t *testing.T) {
+	out := DurationsToMicros([]time.Duration{time.Microsecond, time.Millisecond})
+	if out[0] != 1 || out[1] != 1000 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestFormatMicros(t *testing.T) {
+	cases := map[float64]string{
+		1.5:     "1.5µs",
+		1500:    "1.50ms",
+		2500000: "2.50s",
+	}
+	for in, want := range cases {
+		if got := FormatMicros(in); got != want {
+			t.Errorf("FormatMicros(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package traverse
+
+import (
+	"vicinity/internal/graph"
+	"vicinity/internal/heap"
+)
+
+// Bidirectional searches. These are the paper's state-of-the-art
+// comparator [4]: two frontiers grown from s and t, expanding the smaller
+// side, meeting in the middle. Exact for both unweighted (level-
+// synchronized BFS) and weighted (bidirectional Dijkstra) graphs.
+
+// BiBFSDist returns the exact hop distance between s and t using
+// bidirectional BFS, or NoDist if disconnected.
+func (ws *Workspace) BiBFSDist(s, t uint32) uint32 {
+	d, _ := ws.biBFS(s, t)
+	return d
+}
+
+// BiBFSPath returns a shortest s→t path using bidirectional BFS, or nil
+// if disconnected.
+func (ws *Workspace) BiBFSPath(s, t uint32) []uint32 {
+	if s == t {
+		return []uint32{s}
+	}
+	d, meet := ws.biBFS(s, t)
+	if d == NoDist {
+		return nil
+	}
+	return ws.joinPaths(meet)
+}
+
+// biBFS runs level-synchronized bidirectional BFS and returns the exact
+// distance plus the meeting node achieving it.
+//
+// Invariant: after expanding a side's level k, every node at distance
+// <= k from that side has been assigned. The search stops when
+// df+db+1 >= best, at which point no undiscovered crossing can beat best.
+func (ws *Workspace) biBFS(s, t uint32) (uint32, uint32) {
+	if s == t {
+		return 0, s
+	}
+	ws.reset()
+	g := ws.g
+	fwd, bwd := ws.fwd, ws.bwd
+	fwd.Set(s, 0, graph.NoNode)
+	bwd.Set(t, 0, graph.NoNode)
+
+	frontF := append(ws.scratch[:0], s)
+	frontB := []uint32{t}
+	df, db := uint32(0), uint32(0)
+	best := NoDist
+	meet := graph.NoNode
+
+	for len(frontF) > 0 && len(frontB) > 0 {
+		if best != NoDist && df+db+1 >= best {
+			break
+		}
+		// Expand the smaller frontier one full level.
+		if len(frontF) <= len(frontB) {
+			frontF = ws.expandLevel(g, fwd, bwd, frontF, df+1, &best, &meet)
+			df++
+		} else {
+			frontB = ws.expandLevel(g, bwd, fwd, frontB, db+1, &best, &meet)
+			db++
+		}
+	}
+	ws.scratch = frontF[:0]
+	return best, meet
+}
+
+// expandLevel expands every node in front (all at distance level-1 in
+// this) into the next level, registering meetings against other.
+// It returns the new frontier (freshly allocated or reused storage).
+func (ws *Workspace) expandLevel(g *graph.Graph, this, other *NodeMap, front []uint32, level uint32, best, meet *uint32) []uint32 {
+	var next []uint32
+	for _, u := range front {
+		for _, v := range g.Neighbors(u) {
+			if this.Has(v) {
+				continue
+			}
+			this.Set(v, level, u)
+			next = append(next, v)
+			if od := other.Dist(v); od != NoDist {
+				if cand := level + od; cand < *best {
+					*best = cand
+					*meet = v
+				}
+			}
+		}
+	}
+	return next
+}
+
+// joinPaths assembles the s→t path through the meeting node using the
+// forward and backward parent chains left by the last bidirectional run.
+func (ws *Workspace) joinPaths(meet uint32) []uint32 {
+	// Forward half: meet → s, reversed.
+	var rev []uint32
+	for cur := meet; cur != graph.NoNode; cur = ws.fwd.Parent(cur) {
+		rev = append(rev, cur)
+	}
+	path := make([]uint32, 0, len(rev)+8)
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	// Backward half: parents walk toward t; skip meet itself.
+	for cur := ws.bwd.Parent(meet); cur != graph.NoNode; cur = ws.bwd.Parent(cur) {
+		path = append(path, cur)
+	}
+	return path
+}
+
+// BiDijkstraDist returns the exact weighted distance between s and t
+// using bidirectional Dijkstra, or NoDist if disconnected.
+func (ws *Workspace) BiDijkstraDist(s, t uint32) uint32 {
+	d, _ := ws.biDijkstra(s, t)
+	return d
+}
+
+// BiDijkstraPath returns a shortest weighted s→t path, or nil.
+func (ws *Workspace) BiDijkstraPath(s, t uint32) []uint32 {
+	if s == t {
+		return []uint32{s}
+	}
+	d, meet := ws.biDijkstra(s, t)
+	if d == NoDist {
+		return nil
+	}
+	return ws.joinPaths(meet)
+}
+
+// biDijkstra alternates settling from whichever side has the smaller
+// tentative minimum, stopping when topF+topB >= best (the classic
+// bidirectional Dijkstra termination criterion).
+func (ws *Workspace) biDijkstra(s, t uint32) (uint32, uint32) {
+	if s == t {
+		return 0, s
+	}
+	ws.reset()
+	g := ws.g
+	fwd, bwd := ws.fwd, ws.bwd
+	hf, hb := ws.hf, ws.hb
+	sf, sb := ws.settledF, ws.settledB
+	fwd.Set(s, 0, graph.NoNode)
+	bwd.Set(t, 0, graph.NoNode)
+	hf.Push(s, 0)
+	hb.Push(t, 0)
+
+	best := NoDist
+	meet := graph.NoNode
+	update := func(v, cand uint32) {
+		if cand < best {
+			best = cand
+			meet = v
+		}
+	}
+
+	for !hf.Empty() && !hb.Empty() {
+		_, kf := hf.Peek()
+		_, kb := hb.Peek()
+		if best != NoDist && kf+kb >= best {
+			break
+		}
+		if kf <= kb {
+			settleSide(g, fwd, bwd, hf, sf, update)
+		} else {
+			settleSide(g, bwd, fwd, hb, sb, update)
+		}
+	}
+	return best, meet
+}
+
+// settleSide pops and settles one node on this side, relaxing its edges
+// and registering candidate meetings against the other side's tentative
+// distances.
+func settleSide(g *graph.Graph, this, other *NodeMap, h *heap.Min, settled *NodeMap, update func(v, cand uint32)) {
+	u, du := h.Pop()
+	if settled.Has(u) {
+		return
+	}
+	settled.Set(u, 0, 0)
+	adj := g.Neighbors(u)
+	wts := g.NeighborWeights(u)
+	for i, v := range adj {
+		if settled.Has(v) {
+			continue
+		}
+		w := uint32(1)
+		if wts != nil {
+			w = wts[i]
+		}
+		nd := du + w
+		if old := this.Dist(v); nd < old {
+			this.Set(v, nd, u)
+			h.Push(v, nd)
+			if od := other.Dist(v); od != NoDist {
+				update(v, nd+od)
+			}
+		}
+	}
+}

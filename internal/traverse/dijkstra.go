@@ -1,0 +1,121 @@
+package traverse
+
+import (
+	"vicinity/internal/graph"
+	"vicinity/internal/heap"
+)
+
+// Dijkstra computes the full weighted shortest path tree from src.
+// Unweighted graphs are handled with implicit weight 1 (equivalent to
+// BFS, provided for interface symmetry).
+func Dijkstra(g *graph.Graph, src uint32) *Tree {
+	n := g.NumNodes()
+	t := &Tree{
+		Root:   src,
+		Dist:   make([]uint32, n),
+		Parent: make([]uint32, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = NoDist
+		t.Parent[i] = graph.NoNode
+	}
+	h := heap.NewMin(n)
+	settled := make([]bool, n)
+	t.Dist[src] = 0
+	h.Push(src, 0)
+	for !h.Empty() {
+		u, du := h.Pop()
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		adj := g.Neighbors(u)
+		ws := g.NeighborWeights(u)
+		for i, v := range adj {
+			if settled[v] {
+				continue
+			}
+			w := uint32(1)
+			if ws != nil {
+				w = ws[i]
+			}
+			nd := du + w
+			if nd < t.Dist[v] {
+				t.Dist[v] = nd
+				t.Parent[v] = u
+				h.Push(v, nd)
+			}
+		}
+	}
+	return t
+}
+
+// DijkstraDist runs a unidirectional Dijkstra from s, stopping once t is
+// settled; it returns the weighted distance, or NoDist if unreachable.
+func (ws *Workspace) DijkstraDist(s, t uint32) uint32 {
+	if s == t {
+		return 0
+	}
+	ws.reset()
+	g := ws.g
+	nm, h, settled := ws.fwd, ws.hf, ws.settledF
+	nm.Set(s, 0, graph.NoNode)
+	h.Push(s, 0)
+	for !h.Empty() {
+		u, du := h.Pop()
+		if settled.Has(u) {
+			continue
+		}
+		settled.Set(u, 0, 0)
+		if u == t {
+			return du
+		}
+		relaxNeighbors(g, nm, h, settled, u, du)
+	}
+	return NoDist
+}
+
+// DijkstraPath runs a unidirectional Dijkstra from s toward t and returns
+// a shortest path, or nil if unreachable.
+func (ws *Workspace) DijkstraPath(s, t uint32) []uint32 {
+	if s == t {
+		return []uint32{s}
+	}
+	ws.reset()
+	g := ws.g
+	nm, h, settled := ws.fwd, ws.hf, ws.settledF
+	nm.Set(s, 0, graph.NoNode)
+	h.Push(s, 0)
+	for !h.Empty() {
+		u, du := h.Pop()
+		if settled.Has(u) {
+			continue
+		}
+		settled.Set(u, 0, 0)
+		if u == t {
+			return ws.assembleForward(nm, s, t)
+		}
+		relaxNeighbors(g, nm, h, settled, u, du)
+	}
+	return nil
+}
+
+// relaxNeighbors relaxes every edge out of u (distance du) into nm/h.
+func relaxNeighbors(g *graph.Graph, nm *NodeMap, h *heap.Min, settled *NodeMap, u, du uint32) {
+	adj := g.Neighbors(u)
+	wts := g.NeighborWeights(u)
+	for i, v := range adj {
+		if settled.Has(v) {
+			continue
+		}
+		w := uint32(1)
+		if wts != nil {
+			w = wts[i]
+		}
+		nd := du + w
+		if old := nm.Dist(v); nd < old {
+			nm.Set(v, nd, u)
+			h.Push(v, nd)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package traverse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/xrand"
+)
+
+// randomGraph builds a random connected unweighted graph (spanning path
+// plus extra random edges) for cross-validation tests.
+func randomGraph(seed uint64, n, extra int) *graph.Graph {
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(uint32(i), uint32(i+1))
+	}
+	for i := 0; i < extra; i++ {
+		b.AddEdge(r.Uint32n(uint32(n)), r.Uint32n(uint32(n)))
+	}
+	return b.Build()
+}
+
+// randomWeightedGraph is randomGraph with random weights in [1, maxW].
+func randomWeightedGraph(seed uint64, n, extra int, maxW uint32) *graph.Graph {
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddWeightedEdge(uint32(i), uint32(i+1), r.Uint32n(maxW)+1)
+	}
+	for i := 0; i < extra; i++ {
+		b.AddWeightedEdge(r.Uint32n(uint32(n)), r.Uint32n(uint32(n)), r.Uint32n(maxW)+1)
+	}
+	return b.Build()
+}
+
+func TestBFSPathGraph(t *testing.T) {
+	// Path 0-1-2-3-4: distances are exactly the index difference.
+	g := graph.FromEdges(5, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	tr := BFS(g, 0)
+	for v := uint32(0); v < 5; v++ {
+		if tr.Dist[v] != v {
+			t.Fatalf("dist[%d] = %d", v, tr.Dist[v])
+		}
+	}
+	p := tr.PathTo(4)
+	if len(p) != 5 {
+		t.Fatalf("path = %v", p)
+	}
+	for i, v := range p {
+		if v != uint32(i) {
+			t.Fatalf("path = %v", p)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, [][2]uint32{{0, 1}, {2, 3}})
+	tr := BFS(g, 0)
+	if tr.Dist[2] != NoDist || tr.Dist[3] != NoDist {
+		t.Fatal("unreachable nodes got distances")
+	}
+	if tr.PathTo(3) != nil {
+		t.Fatal("PathTo unreachable returned non-nil")
+	}
+	ws := NewWorkspace(g)
+	if ws.BFSDist(0, 3) != NoDist {
+		t.Fatal("BFSDist across components != NoDist")
+	}
+	if ws.BiBFSDist(0, 3) != NoDist {
+		t.Fatal("BiBFSDist across components != NoDist")
+	}
+	if ws.BFSPath(0, 3) != nil || ws.BiBFSPath(0, 3) != nil {
+		t.Fatal("paths across components non-nil")
+	}
+}
+
+func TestTrivialQueries(t *testing.T) {
+	g := randomGraph(1, 20, 10)
+	ws := NewWorkspace(g)
+	if ws.BFSDist(7, 7) != 0 || ws.BiBFSDist(7, 7) != 0 ||
+		ws.DijkstraDist(7, 7) != 0 || ws.BiDijkstraDist(7, 7) != 0 {
+		t.Fatal("self distance != 0")
+	}
+	for _, p := range [][]uint32{ws.BFSPath(7, 7), ws.BiBFSPath(7, 7), ws.DijkstraPath(7, 7), ws.BiDijkstraPath(7, 7)} {
+		if len(p) != 1 || p[0] != 7 {
+			t.Fatalf("self path = %v", p)
+		}
+	}
+}
+
+// TestAllAlgorithmsAgreeUnweighted cross-checks every distance algorithm
+// against full BFS on random graphs.
+func TestAllAlgorithmsAgreeUnweighted(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := randomGraph(seed, 150, 250)
+		ws := NewWorkspace(g)
+		r := xrand.New(seed + 100)
+		for trial := 0; trial < 30; trial++ {
+			s := r.Uint32n(150)
+			ref := BFS(g, s)
+			for k := 0; k < 5; k++ {
+				u := r.Uint32n(150)
+				want := ref.Dist[u]
+				if got := ws.BFSDist(s, u); got != want {
+					t.Fatalf("seed %d: BFSDist(%d,%d) = %d, want %d", seed, s, u, got, want)
+				}
+				if got := ws.BiBFSDist(s, u); got != want {
+					t.Fatalf("seed %d: BiBFSDist(%d,%d) = %d, want %d", seed, s, u, got, want)
+				}
+				if got := ws.DijkstraDist(s, u); got != want {
+					t.Fatalf("seed %d: DijkstraDist(%d,%d) = %d, want %d", seed, s, u, got, want)
+				}
+				if got := ws.BiDijkstraDist(s, u); got != want {
+					t.Fatalf("seed %d: BiDijkstraDist(%d,%d) = %d, want %d", seed, s, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedAlgorithmsAgree cross-checks Dijkstra variants on weighted
+// graphs against the full-tree Dijkstra.
+func TestWeightedAlgorithmsAgree(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := randomWeightedGraph(seed, 120, 240, 9)
+		ws := NewWorkspace(g)
+		r := xrand.New(seed + 200)
+		for trial := 0; trial < 20; trial++ {
+			s := r.Uint32n(120)
+			ref := Dijkstra(g, s)
+			for k := 0; k < 5; k++ {
+				u := r.Uint32n(120)
+				want := ref.Dist[u]
+				if got := ws.DijkstraDist(s, u); got != want {
+					t.Fatalf("seed %d: DijkstraDist(%d,%d) = %d, want %d", seed, s, u, got, want)
+				}
+				if got := ws.BiDijkstraDist(s, u); got != want {
+					t.Fatalf("seed %d: BiDijkstraDist(%d,%d) = %d, want %d", seed, s, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+// validatePath checks that p is an edge-valid s→t path with total weight
+// equal to want.
+func validatePath(t *testing.T, g *graph.Graph, p []uint32, s, u, want uint32) {
+	t.Helper()
+	if want == NoDist {
+		if p != nil {
+			t.Fatalf("path to unreachable node: %v", p)
+		}
+		return
+	}
+	if len(p) == 0 || p[0] != s || p[len(p)-1] != u {
+		t.Fatalf("path endpoints wrong: %v (s=%d t=%d)", p, s, u)
+	}
+	total := uint32(0)
+	for i := 0; i+1 < len(p); i++ {
+		w, ok := g.EdgeWeight(p[i], p[i+1])
+		if !ok {
+			t.Fatalf("path uses missing edge %d-%d: %v", p[i], p[i+1], p)
+		}
+		total += w
+	}
+	if total != want {
+		t.Fatalf("path weight %d, want %d: %v", total, want, p)
+	}
+}
+
+func TestPathsAreValidAndOptimal(t *testing.T) {
+	g := randomGraph(3, 200, 300)
+	ws := NewWorkspace(g)
+	r := xrand.New(42)
+	for trial := 0; trial < 50; trial++ {
+		s, u := r.Uint32n(200), r.Uint32n(200)
+		want := ws.BFSDist(s, u)
+		validatePath(t, g, ws.BFSPath(s, u), s, u, want)
+		validatePath(t, g, ws.BiBFSPath(s, u), s, u, want)
+		validatePath(t, g, ws.DijkstraPath(s, u), s, u, want)
+		validatePath(t, g, ws.BiDijkstraPath(s, u), s, u, want)
+	}
+}
+
+func TestWeightedPathsAreValidAndOptimal(t *testing.T) {
+	g := randomWeightedGraph(4, 150, 250, 7)
+	ws := NewWorkspace(g)
+	r := xrand.New(43)
+	for trial := 0; trial < 50; trial++ {
+		s, u := r.Uint32n(150), r.Uint32n(150)
+		want := ws.DijkstraDist(s, u)
+		validatePath(t, g, ws.DijkstraPath(s, u), s, u, want)
+		validatePath(t, g, ws.BiDijkstraPath(s, u), s, u, want)
+	}
+}
+
+// TestWorkspaceReuse makes sure back-to-back queries do not leak state.
+func TestWorkspaceReuse(t *testing.T) {
+	g := randomGraph(5, 100, 150)
+	ws := NewWorkspace(g)
+	ref := BFS(g, 0)
+	// Run a polluting query, then verify a fresh query is exact.
+	ws.BiBFSDist(50, 99)
+	for v := uint32(0); v < 100; v += 7 {
+		if got := ws.BiBFSDist(0, v); got != ref.Dist[v] {
+			t.Fatalf("after reuse: BiBFSDist(0,%d) = %d, want %d", v, got, ref.Dist[v])
+		}
+	}
+}
+
+func TestTreeSymmetry(t *testing.T) {
+	// d(u,v) computed from u equals d(v,u) computed from v.
+	g := randomGraph(6, 80, 120)
+	r := xrand.New(9)
+	for trial := 0; trial < 10; trial++ {
+		u, v := r.Uint32n(80), r.Uint32n(80)
+		if BFS(g, u).Dist[v] != BFS(g, v).Dist[u] {
+			t.Fatalf("asymmetric distance between %d and %d", u, v)
+		}
+	}
+}
+
+func TestQuickBiBFSEqualsBFS(t *testing.T) {
+	f := func(seed uint64, a, b uint16) bool {
+		g := randomGraph(seed%32, 60, 90)
+		ws := NewWorkspace(g)
+		s, u := uint32(a)%60, uint32(b)%60
+		return ws.BiBFSDist(s, u) == ws.BFSDist(s, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBiDijkstraEqualsDijkstra(t *testing.T) {
+	f := func(seed uint64, a, b uint16) bool {
+		g := randomWeightedGraph(seed%32, 60, 90, 11)
+		ws := NewWorkspace(g)
+		s, u := uint32(a)%60, uint32(b)%60
+		return ws.BiDijkstraDist(s, u) == ws.DijkstraDist(s, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityHolds(t *testing.T) {
+	g := randomGraph(7, 100, 200)
+	ws := NewWorkspace(g)
+	r := xrand.New(11)
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := r.Uint32n(100), r.Uint32n(100), r.Uint32n(100)
+		ab := ws.BiBFSDist(a, b)
+		bc := ws.BiBFSDist(b, c)
+		ac := ws.BiBFSDist(a, c)
+		if ab != NoDist && bc != NoDist && ac > ab+bc {
+			t.Fatalf("triangle violated: d(%d,%d)=%d > %d+%d", a, c, ac, ab, bc)
+		}
+	}
+}
+
+func BenchmarkBFSDist1k(b *testing.B)   { benchDist(b, (*Workspace).BFSDist) }
+func BenchmarkBiBFSDist1k(b *testing.B) { benchDist(b, (*Workspace).BiBFSDist) }
+
+func benchDist(b *testing.B, fn func(*Workspace, uint32, uint32) uint32) {
+	g := randomGraph(1, 1000, 4000)
+	ws := NewWorkspace(g)
+	r := xrand.New(2)
+	pairs := make([][2]uint32, 256)
+	for i := range pairs {
+		pairs[i] = [2]uint32{r.Uint32n(1000), r.Uint32n(1000)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&255]
+		fn(ws, p[0], p[1])
+	}
+}

@@ -1,0 +1,127 @@
+// Package traverse implements the shortest-path traversals that underpin
+// both the paper's offline phase (truncated searches for vicinity
+// construction, full searches for landmark tables) and its online
+// baselines (BFS, bidirectional BFS, Dijkstra, bidirectional Dijkstra).
+//
+// All algorithms operate on graph.Graph and use uint32 hop counts or
+// integer weighted distances, with NoDist marking "unreached". Point-to-
+// point searches run against a reusable Workspace so that the steady
+// state performs no allocation and resets in O(1) between queries — the
+// property that makes the paper's "hundreds of microseconds" comparisons
+// meaningful.
+package traverse
+
+import (
+	"vicinity/internal/graph"
+	"vicinity/internal/heap"
+	"vicinity/internal/queue"
+)
+
+// NoDist is the sentinel distance for unreachable nodes.
+const NoDist = ^uint32(0)
+
+// NodeMap is an epoch-stamped map from node id to (distance, parent).
+// Reset is O(1); storage is three words per graph node, reused forever.
+type NodeMap struct {
+	stamp  []uint32
+	dist   []uint32
+	parent []uint32
+	epoch  uint32
+}
+
+// NewNodeMap returns a NodeMap for n nodes.
+func NewNodeMap(n int) *NodeMap {
+	return &NodeMap{
+		stamp:  make([]uint32, n),
+		dist:   make([]uint32, n),
+		parent: make([]uint32, n),
+		epoch:  1,
+	}
+}
+
+// Reset forgets all entries in O(1).
+func (m *NodeMap) Reset() {
+	m.epoch++
+	if m.epoch == 0 {
+		for i := range m.stamp {
+			m.stamp[i] = 0
+		}
+		m.epoch = 1
+	}
+}
+
+// Set records distance d and parent p for node v.
+func (m *NodeMap) Set(v uint32, d, p uint32) {
+	m.stamp[v] = m.epoch
+	m.dist[v] = d
+	m.parent[v] = p
+}
+
+// Has reports whether v has an entry.
+func (m *NodeMap) Has(v uint32) bool { return m.stamp[v] == m.epoch }
+
+// Dist returns the recorded distance of v, or NoDist if absent.
+func (m *NodeMap) Dist(v uint32) uint32 {
+	if m.stamp[v] != m.epoch {
+		return NoDist
+	}
+	return m.dist[v]
+}
+
+// Parent returns the recorded parent of v, or graph.NoNode if absent.
+func (m *NodeMap) Parent(v uint32) uint32 {
+	if m.stamp[v] != m.epoch {
+		return graph.NoNode
+	}
+	return m.parent[v]
+}
+
+// Workspace bundles the scratch state for point-to-point searches on one
+// graph. A Workspace may be reused across any number of searches but is
+// not safe for concurrent use; pool one per goroutine.
+type Workspace struct {
+	g *graph.Graph
+
+	// Forward and backward search state (backward used by bidirectional
+	// searches only).
+	fwd, bwd *NodeMap
+	qf, qb   *queue.U32
+	hf, hb   *heap.Min
+
+	// settled marks for Dijkstra (stamped via NodeMap trick on dist).
+	settledF, settledB *NodeMap
+
+	// scratch for frontier collection and path assembly.
+	scratch []uint32
+}
+
+// NewWorkspace returns a Workspace for searches over g.
+func NewWorkspace(g *graph.Graph) *Workspace {
+	n := g.NumNodes()
+	return &Workspace{
+		g:        g,
+		fwd:      NewNodeMap(n),
+		bwd:      NewNodeMap(n),
+		qf:       queue.NewU32(256),
+		qb:       queue.NewU32(256),
+		hf:       heap.NewMin(n),
+		hb:       heap.NewMin(n),
+		settledF: NewNodeMap(n),
+		settledB: NewNodeMap(n),
+	}
+}
+
+// Graph returns the graph this workspace searches.
+func (ws *Workspace) Graph() *graph.Graph { return ws.g }
+
+// reset prepares all scratch state for a fresh search.
+func (ws *Workspace) reset() {
+	ws.fwd.Reset()
+	ws.bwd.Reset()
+	ws.qf.Reset()
+	ws.qb.Reset()
+	ws.hf.Reset()
+	ws.hb.Reset()
+	ws.settledF.Reset()
+	ws.settledB.Reset()
+}

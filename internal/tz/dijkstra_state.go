@@ -1,0 +1,21 @@
+package tz
+
+import (
+	"vicinity/internal/heap"
+	"vicinity/internal/traverse"
+)
+
+// dijkstraState is the scratch state for bounded bunch Dijkstras.
+type dijkstraState struct {
+	nm      *traverse.NodeMap
+	settled *traverse.NodeMap
+	h       *heap.Min
+}
+
+func newDijkstraState(n int) *dijkstraState {
+	return &dijkstraState{
+		nm:      traverse.NewNodeMap(n),
+		settled: traverse.NewNodeMap(n),
+		h:       heap.NewMin(n),
+	}
+}

@@ -1,0 +1,147 @@
+package tz
+
+import (
+	"testing"
+
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
+	"vicinity/internal/xrand"
+)
+
+func social(seed uint64, n int) *graph.Graph {
+	return gen.HolmeKim(xrand.New(seed), n, 4, 0.5)
+}
+
+// TestStretchBound verifies 1 <= estimate/true <= 3 on a connected social
+// graph — the Thorup–Zwick guarantee.
+func TestStretchBound(t *testing.T) {
+	g := social(1, 400)
+	o := New(g, 1)
+	r := xrand.New(2)
+	ws := traverse.NewWorkspace(g)
+	exactHits := 0
+	for trial := 0; trial < 1000; trial++ {
+		u, v := r.Uint32n(400), r.Uint32n(400)
+		want := ws.BFSDist(u, v)
+		got := o.Distance(u, v)
+		if want == NoDist {
+			if got != NoDist {
+				t.Fatalf("estimate %d for unreachable pair", got)
+			}
+			continue
+		}
+		if got < want {
+			t.Fatalf("estimate %d below true %d for (%d,%d)", got, want, u, v)
+		}
+		if want > 0 && got > 3*want {
+			t.Fatalf("stretch violated: %d > 3·%d for (%d,%d)", got, want, u, v)
+		}
+		if got == want {
+			exactHits++
+		}
+	}
+	if exactHits == 0 {
+		t.Error("no exact hits at all; bunches look broken")
+	}
+}
+
+func TestWeightedStretchBound(t *testing.T) {
+	r := xrand.New(3)
+	b := graph.NewBuilder(250)
+	social(3, 250).ForEachEdge(func(u, v, _ uint32) {
+		b.AddWeightedEdge(u, v, r.Uint32n(5)+1)
+	})
+	g := b.Build()
+	o := New(g, 4)
+	ws := traverse.NewWorkspace(g)
+	for trial := 0; trial < 400; trial++ {
+		u, v := r.Uint32n(250), r.Uint32n(250)
+		want := ws.DijkstraDist(u, v)
+		got := o.Distance(u, v)
+		if want == NoDist {
+			continue
+		}
+		if got < want || (want > 0 && got > 3*want) {
+			t.Fatalf("weighted stretch violated: est %d, true %d", got, want)
+		}
+	}
+}
+
+func TestBunchDefinition(t *testing.T) {
+	g := social(5, 300)
+	o := New(g, 5)
+	// For every non-A node, the bunch must be exactly the open ball of
+	// radius d(u, p(u)) with exact distances.
+	for u := uint32(0); int(u) < 300; u++ {
+		if o.aIdx[u] >= 0 {
+			continue
+		}
+		ref := traverse.BFS(g, u)
+		limit := o.pivotD[u]
+		// Pivot is the true nearest A-node.
+		bestA := NoDist
+		for _, a := range o.aNodes {
+			if ref.Dist[a] < bestA {
+				bestA = ref.Dist[a]
+			}
+		}
+		if limit != bestA {
+			t.Fatalf("node %d: pivot distance %d, want %d", u, limit, bestA)
+		}
+		for v := uint32(0); int(v) < 300; v++ {
+			d, in := o.bunches[u].Get(v)
+			wantIn := ref.Dist[v] < limit || v == u
+			if in != wantIn {
+				t.Fatalf("node %d: bunch membership of %d = %v, want %v", u, v, in, wantIn)
+			}
+			if in && d != ref.Dist[v] {
+				t.Fatalf("node %d: bunch distance of %d = %d, want %d", u, v, d, ref.Dist[v])
+			}
+		}
+	}
+}
+
+func TestSamplesNeverEmpty(t *testing.T) {
+	g := gen.Path(4)
+	o := New(g, 9)
+	if o.NumSamples() < 1 {
+		t.Fatal("empty A set")
+	}
+	if o.Entries() <= 0 {
+		t.Fatal("no entries")
+	}
+	if o.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := social(7, 200)
+	a, b := New(g, 42), New(g, 42)
+	if a.NumSamples() != b.NumSamples() {
+		t.Fatal("same seed, different |A|")
+	}
+	r := xrand.New(8)
+	for i := 0; i < 200; i++ {
+		u, v := r.Uint32n(200), r.Uint32n(200)
+		if a.Distance(u, v) != b.Distance(u, v) {
+			t.Fatal("same seed, different estimates")
+		}
+	}
+}
+
+func BenchmarkTZQuery(b *testing.B) {
+	g := social(1, 5000)
+	o := New(g, 1)
+	r := xrand.New(2)
+	pairs := make([][2]uint32, 256)
+	for i := range pairs {
+		pairs[i] = [2]uint32{r.Uint32n(5000), r.Uint32n(5000)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&255]
+		o.Distance(p[0], p[1])
+	}
+}

@@ -1,0 +1,174 @@
+// Package u32map provides the compact node-indexed tables that store
+// vicinities: for each member node, its exact distance from the vicinity
+// owner and its parent on the owner's shortest path tree.
+//
+// The paper stores vicinities in hash tables (GNU C++ unordered_map) and
+// reports query cost in hash-table look-ups (Table 3). The default
+// implementation here is the equivalent structure tuned for uint32 keys:
+// an insertion-ordered entry arena plus an open-addressing index with
+// Fibonacci hashing and linear probing. Two alternatives — a sorted array
+// with binary search and a wrapper over Go's builtin map — implement the
+// same Table interface for the data-structure ablation the paper floats
+// in §5 ("more customized implementations of the data structures").
+package u32map
+
+// Table is the read interface shared by all vicinity-table
+// implementations. Entries are (key node, distance, parent node) triples;
+// At iterates them in insertion order. Implementations are safe for
+// concurrent readers once fully built.
+type Table interface {
+	// Get returns the distance recorded for key.
+	Get(key uint32) (dist uint32, ok bool)
+	// GetEntry returns the distance and parent recorded for key.
+	GetEntry(key uint32) (dist, parent uint32, ok bool)
+	// Len returns the number of entries.
+	Len() int
+	// At returns the i-th entry in insertion order, 0 <= i < Len().
+	At(i int) (key, dist, parent uint32)
+	// Bytes returns the approximate heap footprint in bytes.
+	Bytes() int
+}
+
+// Map is the default open-addressing implementation of Table.
+// The zero value is an empty usable map.
+type Map struct {
+	keys    []uint32
+	dists   []uint32
+	parents []uint32
+	slots   []int32 // entry index + 1; 0 means empty
+	mask    uint32
+}
+
+// New returns a Map with capacity for about hint entries before growing.
+func New(hint int) *Map {
+	m := &Map{}
+	if hint > 0 {
+		m.rehash(indexSize(hint))
+	}
+	return m
+}
+
+// indexSize returns the power-of-two slot count for n entries at a load
+// factor of at most 2/3.
+func indexSize(n int) int {
+	c := 8
+	for c*2 < n*3 {
+		c <<= 1
+	}
+	return c
+}
+
+const fib32 = 0x9E3779B9 // 2^32 / golden ratio
+
+func (m *Map) slot(key uint32) uint32 {
+	return (key * fib32) & m.mask
+}
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return len(m.keys) }
+
+// Put inserts or overwrites the entry for key.
+func (m *Map) Put(key, dist, parent uint32) {
+	if m.slots == nil || len(m.keys)*3 >= len(m.slots)*2 {
+		m.rehash(indexSize(len(m.keys) + 1))
+	}
+	i := m.slot(key)
+	for {
+		s := m.slots[i]
+		if s == 0 {
+			m.slots[i] = int32(len(m.keys) + 1)
+			m.keys = append(m.keys, key)
+			m.dists = append(m.dists, dist)
+			m.parents = append(m.parents, parent)
+			return
+		}
+		if m.keys[s-1] == key {
+			m.dists[s-1] = dist
+			m.parents[s-1] = parent
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Get returns the distance recorded for key.
+func (m *Map) Get(key uint32) (uint32, bool) {
+	if m.slots == nil {
+		return 0, false
+	}
+	i := m.slot(key)
+	for {
+		s := m.slots[i]
+		if s == 0 {
+			return 0, false
+		}
+		if m.keys[s-1] == key {
+			return m.dists[s-1], true
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// GetEntry returns the distance and parent recorded for key.
+func (m *Map) GetEntry(key uint32) (dist, parent uint32, ok bool) {
+	if m.slots == nil {
+		return 0, 0, false
+	}
+	i := m.slot(key)
+	for {
+		s := m.slots[i]
+		if s == 0 {
+			return 0, 0, false
+		}
+		if m.keys[s-1] == key {
+			return m.dists[s-1], m.parents[s-1], true
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// At returns the i-th entry in insertion order.
+func (m *Map) At(i int) (key, dist, parent uint32) {
+	return m.keys[i], m.dists[i], m.parents[i]
+}
+
+// Bytes returns the approximate heap footprint.
+func (m *Map) Bytes() int {
+	return 4*(len(m.keys)+len(m.dists)+len(m.parents)) + 4*len(m.slots)
+}
+
+// Compact shrinks the entry arrays and rebuilds the index at the minimum
+// power-of-two size. Call once after construction finishes.
+func (m *Map) Compact() {
+	m.keys = clip(m.keys)
+	m.dists = clip(m.dists)
+	m.parents = clip(m.parents)
+	if len(m.keys) == 0 {
+		m.slots, m.mask = nil, 0
+		return
+	}
+	m.rehash(indexSize(len(m.keys)))
+}
+
+func clip(xs []uint32) []uint32 {
+	if cap(xs) > len(xs) {
+		out := make([]uint32, len(xs))
+		copy(out, xs)
+		return out
+	}
+	return xs
+}
+
+func (m *Map) rehash(size int) {
+	m.slots = make([]int32, size)
+	m.mask = uint32(size - 1)
+	for idx, key := range m.keys {
+		i := m.slot(key)
+		for m.slots[i] != 0 {
+			i = (i + 1) & m.mask
+		}
+		m.slots[i] = int32(idx + 1)
+	}
+}
+
+var _ Table = (*Map)(nil)

@@ -1,0 +1,259 @@
+package u32map
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vicinity/internal/xrand"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := New(4)
+	if m.Len() != 0 {
+		t.Fatal("fresh map not empty")
+	}
+	if _, ok := m.Get(7); ok {
+		t.Fatal("Get on empty map found something")
+	}
+	m.Put(7, 2, 3)
+	m.Put(9, 5, 7)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if d, ok := m.Get(7); !ok || d != 2 {
+		t.Fatalf("Get(7) = %d,%v", d, ok)
+	}
+	if d, p, ok := m.GetEntry(9); !ok || d != 5 || p != 7 {
+		t.Fatalf("GetEntry(9) = %d,%d,%v", d, p, ok)
+	}
+	if _, ok := m.Get(8); ok {
+		t.Fatal("Get(8) found phantom key")
+	}
+	// Overwrite.
+	m.Put(7, 10, 11)
+	if d, p, _ := m.GetEntry(7); d != 10 || p != 11 {
+		t.Fatalf("overwrite failed: %d,%d", d, p)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d", m.Len())
+	}
+	// Insertion order iteration.
+	if k, _, _ := m.At(0); k != 7 {
+		t.Fatalf("At(0) key = %d", k)
+	}
+	if k, d, p := m.At(1); k != 9 || d != 5 || p != 7 {
+		t.Fatalf("At(1) = %d,%d,%d", k, d, p)
+	}
+}
+
+func TestMapZeroValue(t *testing.T) {
+	var m Map
+	if _, ok := m.Get(1); ok {
+		t.Fatal("zero map Get found key")
+	}
+	m.Put(1, 2, 3)
+	if d, ok := m.Get(1); !ok || d != 2 {
+		t.Fatalf("zero map after Put: %d,%v", d, ok)
+	}
+}
+
+func TestMapGrowth(t *testing.T) {
+	m := New(0)
+	const n = 10000
+	for i := uint32(0); i < n; i++ {
+		m.Put(i*2654435761, i, i+1)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := uint32(0); i < n; i++ {
+		d, p, ok := m.GetEntry(i * 2654435761)
+		if !ok || d != i || p != i+1 {
+			t.Fatalf("entry %d lost after growth: %d,%d,%v", i, d, p, ok)
+		}
+	}
+}
+
+func TestMapCompact(t *testing.T) {
+	m := New(1000)
+	for i := uint32(0); i < 10; i++ {
+		m.Put(i, i, i)
+	}
+	before := m.Bytes()
+	m.Compact()
+	if m.Bytes() >= before {
+		t.Fatalf("Compact did not shrink: %d -> %d", before, m.Bytes())
+	}
+	for i := uint32(0); i < 10; i++ {
+		if d, ok := m.Get(i); !ok || d != i {
+			t.Fatalf("entry %d lost after Compact", i)
+		}
+	}
+	empty := New(100)
+	empty.Compact()
+	if _, ok := empty.Get(0); ok {
+		t.Fatal("empty compacted map found key")
+	}
+}
+
+func TestCollidingKeys(t *testing.T) {
+	// Keys that collide under the Fibonacci hash for small tables:
+	// multiples of large powers of two map near each other.
+	m := New(4)
+	keys := []uint32{0, 1 << 28, 2 << 28, 3 << 28, 4 << 28, 5 << 28}
+	for i, k := range keys {
+		m.Put(k, uint32(i), uint32(i))
+	}
+	for i, k := range keys {
+		if d, ok := m.Get(k); !ok || d != uint32(i) {
+			t.Fatalf("colliding key %d lost: %d,%v", k, d, ok)
+		}
+	}
+}
+
+func TestSortedTable(t *testing.T) {
+	keys := []uint32{42, 7, 100, 3}
+	dists := []uint32{1, 2, 3, 4}
+	parents := []uint32{10, 20, 30, 40}
+	s := NewSorted(keys, dists, parents)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Key order after build.
+	wantKeys := []uint32{3, 7, 42, 100}
+	for i, want := range wantKeys {
+		if k, _, _ := s.At(i); k != want {
+			t.Fatalf("At(%d) = %d, want %d", i, k, want)
+		}
+	}
+	if d, p, ok := s.GetEntry(7); !ok || d != 2 || p != 20 {
+		t.Fatalf("GetEntry(7) = %d,%d,%v", d, p, ok)
+	}
+	if _, ok := s.Get(8); ok {
+		t.Fatal("phantom key in sorted table")
+	}
+	if s.Bytes() != 48 {
+		t.Fatalf("Bytes = %d", s.Bytes())
+	}
+}
+
+func TestBuiltinTable(t *testing.T) {
+	b := NewBuiltin(4)
+	b.Put(5, 1, 2)
+	b.Put(6, 3, 4)
+	b.Put(5, 7, 8) // overwrite
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if d, p, ok := b.GetEntry(5); !ok || d != 7 || p != 8 {
+		t.Fatalf("GetEntry(5) = %d,%d,%v", d, p, ok)
+	}
+	if k, _, _ := b.At(0); k != 5 {
+		t.Fatalf("At(0) = %d", k)
+	}
+	if _, ok := b.Get(9); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+// TestQuickAllImplementationsAgree drives all three Table implementations
+// with the same data and checks identical lookup results.
+func TestQuickAllImplementationsAgree(t *testing.T) {
+	f := func(raw []uint32) bool {
+		m := New(0)
+		b := NewBuiltin(0)
+		ref := map[uint32][2]uint32{}
+		var ks, ds, ps []uint32
+		for i := 0; i+2 < len(raw); i += 3 {
+			k, d, p := raw[i], raw[i+1], raw[i+2]
+			if _, dup := ref[k]; !dup {
+				ks = append(ks, k)
+				ds = append(ds, d)
+				ps = append(ps, p)
+			}
+			m.Put(k, d, p)
+			b.Put(k, d, p)
+			ref[k] = [2]uint32{d, p}
+		}
+		// Sorted is build-once; it must not see duplicate keys, so feed
+		// the deduplicated first-value triples and then overwrite to the
+		// final values.
+		for i, k := range ks {
+			ds[i] = ref[k][0]
+			ps[i] = ref[k][1]
+		}
+		s := NewSorted(ks, ds, ps)
+		for k, want := range ref {
+			for _, tbl := range []Table{m, s, b} {
+				d, p, ok := tbl.GetEntry(k)
+				if !ok || d != want[0] || p != want[1] {
+					return false
+				}
+			}
+		}
+		// Probe absent keys.
+		for i := 0; i < 50; i++ {
+			k := uint32(i) * 2654435761
+			_, wantOK := ref[k]
+			for _, tbl := range []Table{m, s, b} {
+				if _, ok := tbl.Get(k); ok != wantOK {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildBenchTables(n int) (*Map, *Sorted, *Builtin, []uint32) {
+	r := xrand.New(1)
+	m := New(n)
+	b := NewBuiltin(n)
+	ks := make([]uint32, 0, n)
+	ds := make([]uint32, 0, n)
+	ps := make([]uint32, 0, n)
+	seen := map[uint32]bool{}
+	for len(ks) < n {
+		k := r.Uint32()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		ks = append(ks, k)
+		ds = append(ds, r.Uint32())
+		ps = append(ps, r.Uint32())
+	}
+	for i := range ks {
+		m.Put(ks[i], ds[i], ps[i])
+		b.Put(ks[i], ds[i], ps[i])
+	}
+	s := NewSorted(ks, ds, ps)
+	return m, s, b, ks
+}
+
+func BenchmarkMapGet(b *testing.B) {
+	m, _, _, ks := buildBenchTables(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(ks[i&4095])
+	}
+}
+
+func BenchmarkSortedGet(b *testing.B) {
+	_, s, _, ks := buildBenchTables(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(ks[i&4095])
+	}
+}
+
+func BenchmarkBuiltinGet(b *testing.B) {
+	_, _, bt, ks := buildBenchTables(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Get(ks[i&4095])
+	}
+}

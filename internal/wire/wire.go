@@ -1,0 +1,384 @@
+// Package wire defines the binary protocol spoken between the query
+// server (internal/qserver) and clients (internal/qclient).
+//
+// Framing: every message is a length-prefixed frame
+//
+//	uint32(BE) payload length | payload
+//
+// and every payload starts with a fixed two-byte header
+//
+//	byte version (currently 1) | byte message type
+//
+// followed by type-specific fields, all big-endian. Variable-length
+// fields (paths, strings) carry their own uint32 counts. Frames are
+// capped at MaxFrame to bound the damage a malicious or broken peer can
+// do; oversized or malformed frames produce errors, never panics.
+//
+// The protocol is strictly request/response: a client writes one request
+// frame and reads exactly one response frame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version encoded in every message.
+const Version = 1
+
+// MaxFrame bounds the payload size of a single frame (16 MiB leaves
+// room for paths of millions of hops while bounding allocation).
+const MaxFrame = 16 << 20
+
+// MsgType identifies the payload layout.
+type MsgType uint8
+
+// Message types. Requests are odd, their responses follow at +1.
+const (
+	TypeDistanceReq  MsgType = 1
+	TypeDistanceResp MsgType = 2
+	TypePathReq      MsgType = 3
+	TypePathResp     MsgType = 4
+	TypeStatsReq     MsgType = 5
+	TypeStatsResp    MsgType = 6
+	TypePingReq      MsgType = 7
+	TypePingResp     MsgType = 8
+	TypeError        MsgType = 9
+)
+
+// String returns the wire name of the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeDistanceReq:
+		return "distance-request"
+	case TypeDistanceResp:
+		return "distance-response"
+	case TypePathReq:
+		return "path-request"
+	case TypePathResp:
+		return "path-response"
+	case TypeStatsReq:
+		return "stats-request"
+	case TypeStatsResp:
+		return "stats-response"
+	case TypePingReq:
+		return "ping"
+	case TypePingResp:
+		return "pong"
+	case TypeError:
+		return "error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Error codes carried by ErrorResponse.
+const (
+	CodeBadRequest  uint16 = 1 // malformed or unknown message
+	CodeOutOfRange  uint16 = 2 // node id beyond the graph
+	CodeNotCovered  uint16 = 3 // node outside the oracle's build scope
+	CodeUnavailable uint16 = 4 // server shutting down or overloaded
+	CodeInternal    uint16 = 5
+)
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// WireType returns the message type tag.
+	WireType() MsgType
+	// appendPayload appends the type-specific fields after the header.
+	appendPayload(dst []byte) []byte
+	// parsePayload parses the type-specific fields.
+	parsePayload(src []byte) error
+}
+
+// DistanceRequest asks for the distance between nodes S and T.
+type DistanceRequest struct{ S, T uint32 }
+
+// DistanceResponse answers a DistanceRequest. Dist is NoDist (MaxUint32)
+// when unreachable or unresolved; Method is the oracle's core.Method.
+type DistanceResponse struct {
+	Dist   uint32
+	Method uint8
+}
+
+// PathRequest asks for a shortest path between nodes S and T.
+type PathRequest struct{ S, T uint32 }
+
+// PathResponse answers a PathRequest. An empty path means "no path".
+type PathResponse struct {
+	Method uint8
+	Path   []uint32
+}
+
+// StatsRequest asks for oracle statistics.
+type StatsRequest struct{}
+
+// StatsResponse carries the headline oracle statistics.
+type StatsResponse struct {
+	Nodes         uint64
+	Edges         uint64
+	Landmarks     uint64
+	AvgVicinityE6 uint64 // average vicinity size × 1e6 (fixed point)
+	TotalEntries  uint64
+	QueriesServed uint64
+}
+
+// PingRequest is a liveness probe; the token round-trips.
+type PingRequest struct{ Token uint64 }
+
+// PingResponse echoes the PingRequest token.
+type PingResponse struct{ Token uint64 }
+
+// ErrorResponse reports a request failure.
+type ErrorResponse struct {
+	Code    uint16
+	Message string
+}
+
+// Error implements the error interface so responses can flow as errors.
+func (e *ErrorResponse) Error() string {
+	return fmt.Sprintf("wire: server error %d: %s", e.Code, e.Message)
+}
+
+// WireType implementations.
+func (*DistanceRequest) WireType() MsgType  { return TypeDistanceReq }
+func (*DistanceResponse) WireType() MsgType { return TypeDistanceResp }
+func (*PathRequest) WireType() MsgType      { return TypePathReq }
+func (*PathResponse) WireType() MsgType     { return TypePathResp }
+func (*StatsRequest) WireType() MsgType     { return TypeStatsReq }
+func (*StatsResponse) WireType() MsgType    { return TypeStatsResp }
+func (*PingRequest) WireType() MsgType      { return TypePingReq }
+func (*PingResponse) WireType() MsgType     { return TypePingResp }
+func (*ErrorResponse) WireType() MsgType    { return TypeError }
+
+var (
+	// ErrFrameTooLarge reports a frame beyond MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	// ErrBadVersion reports a version mismatch.
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	// ErrTruncated reports a payload shorter than its type requires.
+	ErrTruncated = errors.New("wire: truncated payload")
+)
+
+// Marshal encodes msg as a full frame (length prefix included).
+func Marshal(msg Message) []byte {
+	payload := []byte{Version, byte(msg.WireType())}
+	payload = msg.appendPayload(payload)
+	frame := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	return append(frame, payload...)
+}
+
+// WriteMessage writes one framed message to w.
+func WriteMessage(w io.Writer, msg Message) error {
+	_, err := w.Write(Marshal(msg))
+	return err
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if size < 2 {
+		return nil, ErrTruncated
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return Unmarshal(payload)
+}
+
+// Unmarshal decodes a frame payload (without the length prefix).
+func Unmarshal(payload []byte) (Message, error) {
+	if len(payload) < 2 {
+		return nil, ErrTruncated
+	}
+	if payload[0] != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, payload[0], Version)
+	}
+	var msg Message
+	switch MsgType(payload[1]) {
+	case TypeDistanceReq:
+		msg = &DistanceRequest{}
+	case TypeDistanceResp:
+		msg = &DistanceResponse{}
+	case TypePathReq:
+		msg = &PathRequest{}
+	case TypePathResp:
+		msg = &PathResponse{}
+	case TypeStatsReq:
+		msg = &StatsRequest{}
+	case TypeStatsResp:
+		msg = &StatsResponse{}
+	case TypePingReq:
+		msg = &PingRequest{}
+	case TypePingResp:
+		msg = &PingResponse{}
+	case TypeError:
+		msg = &ErrorResponse{}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", payload[1])
+	}
+	if err := msg.parsePayload(payload[2:]); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// --- payload codecs ---
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, v)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+func (m *DistanceRequest) appendPayload(dst []byte) []byte {
+	return appendU32(appendU32(dst, m.S), m.T)
+}
+
+func (m *DistanceRequest) parsePayload(src []byte) error {
+	if len(src) != 8 {
+		return ErrTruncated
+	}
+	m.S = binary.BigEndian.Uint32(src)
+	m.T = binary.BigEndian.Uint32(src[4:])
+	return nil
+}
+
+func (m *DistanceResponse) appendPayload(dst []byte) []byte {
+	dst = appendU32(dst, m.Dist)
+	return append(dst, m.Method)
+}
+
+func (m *DistanceResponse) parsePayload(src []byte) error {
+	if len(src) != 5 {
+		return ErrTruncated
+	}
+	m.Dist = binary.BigEndian.Uint32(src)
+	m.Method = src[4]
+	return nil
+}
+
+func (m *PathRequest) appendPayload(dst []byte) []byte {
+	return appendU32(appendU32(dst, m.S), m.T)
+}
+
+func (m *PathRequest) parsePayload(src []byte) error {
+	if len(src) != 8 {
+		return ErrTruncated
+	}
+	m.S = binary.BigEndian.Uint32(src)
+	m.T = binary.BigEndian.Uint32(src[4:])
+	return nil
+}
+
+func (m *PathResponse) appendPayload(dst []byte) []byte {
+	dst = append(dst, m.Method)
+	dst = appendU32(dst, uint32(len(m.Path)))
+	for _, v := range m.Path {
+		dst = appendU32(dst, v)
+	}
+	return dst
+}
+
+func (m *PathResponse) parsePayload(src []byte) error {
+	if len(src) < 5 {
+		return ErrTruncated
+	}
+	m.Method = src[0]
+	count := binary.BigEndian.Uint32(src[1:])
+	if uint64(len(src)) != 5+4*uint64(count) {
+		return ErrTruncated
+	}
+	if count == 0 {
+		m.Path = nil
+		return nil
+	}
+	m.Path = make([]uint32, count)
+	for i := range m.Path {
+		m.Path[i] = binary.BigEndian.Uint32(src[5+4*i:])
+	}
+	return nil
+}
+
+func (m *StatsRequest) appendPayload(dst []byte) []byte { return dst }
+
+func (m *StatsRequest) parsePayload(src []byte) error {
+	if len(src) != 0 {
+		return ErrTruncated
+	}
+	return nil
+}
+
+func (m *StatsResponse) appendPayload(dst []byte) []byte {
+	dst = appendU64(dst, m.Nodes)
+	dst = appendU64(dst, m.Edges)
+	dst = appendU64(dst, m.Landmarks)
+	dst = appendU64(dst, m.AvgVicinityE6)
+	dst = appendU64(dst, m.TotalEntries)
+	return appendU64(dst, m.QueriesServed)
+}
+
+func (m *StatsResponse) parsePayload(src []byte) error {
+	if len(src) != 48 {
+		return ErrTruncated
+	}
+	m.Nodes = binary.BigEndian.Uint64(src)
+	m.Edges = binary.BigEndian.Uint64(src[8:])
+	m.Landmarks = binary.BigEndian.Uint64(src[16:])
+	m.AvgVicinityE6 = binary.BigEndian.Uint64(src[24:])
+	m.TotalEntries = binary.BigEndian.Uint64(src[32:])
+	m.QueriesServed = binary.BigEndian.Uint64(src[40:])
+	return nil
+}
+
+func (m *PingRequest) appendPayload(dst []byte) []byte { return appendU64(dst, m.Token) }
+
+func (m *PingRequest) parsePayload(src []byte) error {
+	if len(src) != 8 {
+		return ErrTruncated
+	}
+	m.Token = binary.BigEndian.Uint64(src)
+	return nil
+}
+
+func (m *PingResponse) appendPayload(dst []byte) []byte { return appendU64(dst, m.Token) }
+
+func (m *PingResponse) parsePayload(src []byte) error {
+	if len(src) != 8 {
+		return ErrTruncated
+	}
+	m.Token = binary.BigEndian.Uint64(src)
+	return nil
+}
+
+func (m *ErrorResponse) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, m.Code)
+	dst = appendU32(dst, uint32(len(m.Message)))
+	return append(dst, m.Message...)
+}
+
+func (m *ErrorResponse) parsePayload(src []byte) error {
+	if len(src) < 6 {
+		return ErrTruncated
+	}
+	m.Code = binary.BigEndian.Uint16(src)
+	n := binary.BigEndian.Uint32(src[2:])
+	if uint64(len(src)) != 6+uint64(n) {
+		return ErrTruncated
+	}
+	m.Message = string(src[6:])
+	return nil
+}

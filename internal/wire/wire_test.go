@@ -1,0 +1,226 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []Message{
+		&DistanceRequest{S: 1, T: 2},
+		&DistanceResponse{Dist: 7, Method: 3},
+		&DistanceResponse{Dist: ^uint32(0), Method: 0},
+		&PathRequest{S: 9, T: 10},
+		&PathResponse{Method: 5, Path: []uint32{1, 2, 3, 4}},
+		&PathResponse{Method: 0, Path: nil},
+		&StatsRequest{},
+		&StatsResponse{Nodes: 5, Edges: 6, Landmarks: 7, AvgVicinityE6: 1234567, TotalEntries: 8, QueriesServed: 9},
+		&PingRequest{Token: 42},
+		&PingResponse{Token: 43},
+		&ErrorResponse{Code: CodeOutOfRange, Message: "node 99 out of range"},
+		&ErrorResponse{Code: CodeInternal, Message: ""},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(msg, got) {
+			t.Errorf("%v: round trip changed %+v -> %+v", msg.WireType(), msg, got)
+		}
+	}
+}
+
+func TestMultipleMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint32(0); i < 10; i++ {
+		if err := WriteMessage(&buf, &DistanceRequest{S: i, T: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < 10; i++ {
+		msg, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, ok := msg.(*DistanceRequest)
+		if !ok || req.S != i || req.T != i+1 {
+			t.Fatalf("message %d corrupted: %+v", i, msg)
+		}
+	}
+}
+
+func TestRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], MaxFrame+1)
+	buf.Write(lenBuf[:])
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRejectsBadVersion(t *testing.T) {
+	raw := Marshal(&PingRequest{Token: 1})
+	raw[4] = 99 // version byte
+	if _, err := ReadMessage(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRejectsUnknownType(t *testing.T) {
+	raw := Marshal(&PingRequest{Token: 1})
+	raw[5] = 200 // type byte
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestRejectsTruncatedPayloads(t *testing.T) {
+	msgs := []Message{
+		&DistanceRequest{S: 1, T: 2},
+		&DistanceResponse{Dist: 1, Method: 2},
+		&PathResponse{Method: 1, Path: []uint32{1, 2}},
+		&StatsResponse{},
+		&ErrorResponse{Code: 1, Message: "x"},
+	}
+	for _, msg := range msgs {
+		raw := Marshal(msg)
+		// Chop one byte off the payload and fix the length prefix.
+		raw = raw[:len(raw)-1]
+		binary.BigEndian.PutUint32(raw, uint32(len(raw)-4))
+		if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%v: truncated payload accepted", msg.WireType())
+		}
+	}
+}
+
+func TestRejectsShortFrames(t *testing.T) {
+	for _, raw := range [][]byte{
+		{},
+		{0, 0, 0, 1, Version},
+		{0, 0, 0, 0},
+	} {
+		if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+			t.Errorf("short frame %v accepted", raw)
+		}
+	}
+}
+
+func TestPathResponseCountMismatch(t *testing.T) {
+	m := &PathResponse{Method: 1, Path: []uint32{1, 2, 3}}
+	raw := Marshal(m)
+	// Lie about the count (payload starts at offset 4; count at 4+2+1).
+	binary.BigEndian.PutUint32(raw[7:], 99)
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestErrorResponseIsError(t *testing.T) {
+	var err error = &ErrorResponse{Code: CodeBadRequest, Message: "nope"}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for tt := TypeDistanceReq; tt <= TypeError; tt++ {
+		if tt.String() == "" {
+			t.Errorf("empty name for type %d", tt)
+		}
+	}
+	if MsgType(250).String() != "MsgType(250)" {
+		t.Error("unknown type string")
+	}
+}
+
+func TestQuickDistanceRequestRoundTrip(t *testing.T) {
+	f := func(s, tt uint32) bool {
+		msg := &DistanceRequest{S: s, T: tt}
+		got, err := Unmarshal(Marshal(msg)[4:])
+		if err != nil {
+			return false
+		}
+		req, ok := got.(*DistanceRequest)
+		return ok && req.S == s && req.T == tt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPathResponseRoundTrip(t *testing.T) {
+	f := func(method uint8, path []uint32) bool {
+		if len(path) > 10000 {
+			path = path[:10000]
+		}
+		msg := &PathResponse{Method: method, Path: path}
+		got, err := Unmarshal(Marshal(msg)[4:])
+		if err != nil {
+			return false
+		}
+		resp, ok := got.(*PathResponse)
+		if !ok || resp.Method != method || len(resp.Path) != len(path) {
+			return false
+		}
+		for i := range path {
+			if resp.Path[i] != path[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickErrorResponseRoundTrip(t *testing.T) {
+	f := func(code uint16, msg string) bool {
+		if len(msg) > 4096 {
+			msg = msg[:4096]
+		}
+		m := &ErrorResponse{Code: code, Message: msg}
+		got, err := Unmarshal(Marshal(m)[4:])
+		if err != nil {
+			return false
+		}
+		resp, ok := got.(*ErrorResponse)
+		return ok && resp.Code == code && resp.Message == msg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshalDistance(b *testing.B) {
+	msg := &DistanceRequest{S: 1, T: 2}
+	for i := 0; i < b.N; i++ {
+		Marshal(msg)
+	}
+}
+
+func BenchmarkUnmarshalDistance(b *testing.B) {
+	raw := Marshal(&DistanceRequest{S: 1, T: 2})[4:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators for graph generation and experiment sampling.
+//
+// The package exists so that every randomized component in this repository
+// (generators, landmark sampling, workload construction) is reproducible
+// from an explicit uint64 seed, independent of Go release changes to
+// math/rand. The core generator is xoshiro256**, seeded via splitmix64,
+// following the reference constructions by Blackman and Vigna.
+//
+// Generators are not safe for concurrent use; give each goroutine its own
+// *Rand (use Split to derive independent streams).
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator.
+// The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the state and returns the next output. It is used
+// only to expand the seed into the xoshiro state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Distinct seeds give
+// independent-looking streams; the same seed always gives the same stream.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state; splitmix64 of any
+	// seed cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent of r's
+// continued stream. It is the supported way to hand seeds to workers.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xa3ec647659359acd)
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Classic rejection sampling on the top bits; unbiased.
+	max := math.MaxUint64 - math.MaxUint64%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Uint32n returns a uniform uint32 in [0, n). It panics if n == 0.
+func (r *Rand) Uint32n(n uint32) uint32 {
+	return uint32(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability 1/2.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct uniform values from [0, n) in unspecified
+// order. It panics if k > n or k < 0.
+func (r *Rand) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("xrand: Sample called with k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	// Floyd's algorithm: O(k) expected time, O(k) space.
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Norm returns a normally distributed float64 with mean 0 and standard
+// deviation 1, via the polar Box–Muller transform.
+func (r *Rand) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Exp returns an exponentially distributed float64 with rate 1.
+func (r *Rand) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package xrand
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	child := r.Split()
+	// The child stream must not simply replay the parent stream.
+	parentNext := r.Uint64()
+	childNext := child.Uint64()
+	if parentNext == childNext {
+		t.Fatal("split stream mirrors parent stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowersOfTwo(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		v := r.Uint64n(8)
+		if v >= 8 {
+			t.Fatalf("Uint64n(8) = %d", v)
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ~%.0f", k, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(6)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 1}, {10, 10}, {1000, 50}} {
+		s := r.Sample(tc.n, tc.k)
+		if len(s) != tc.k {
+			t.Fatalf("Sample(%d,%d) returned %d values", tc.n, tc.k, len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("Sample(%d,%d) invalid: %v", tc.n, tc.k, s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(10)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	got := append([]int(nil), xs...)
+	r.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+	sorted := append([]int(nil), got...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != xs[i] {
+			t.Fatalf("shuffle changed contents: %v", got)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(12)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += r.Exp()
+	}
+	if mean := sum / draws; math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestZipfSupport(t *testing.T) {
+	r := New(14)
+	z := NewZipf(50, 1.5)
+	counts := make([]int, 51)
+	for i := 0; i < 50000; i++ {
+		k := z.Draw(r)
+		if k < 1 || k > 50 {
+			t.Fatalf("Zipf draw %d out of [1,50]", k)
+		}
+		counts[k]++
+	}
+	// Heavier head than tail: rank 1 must dominate rank 50.
+	if counts[1] <= counts[50] {
+		t.Errorf("Zipf not decreasing: P(1)=%d P(50)=%d", counts[1], counts[50])
+	}
+	// Rough shape check: P(1)/P(2) should be near 2^1.5 ≈ 2.83.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 2 || ratio > 4 {
+		t.Errorf("Zipf head ratio = %v, want ~2.83", ratio)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d,%v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestPowerLawDegreesEvenSum(t *testing.T) {
+	r := New(15)
+	for trial := 0; trial < 20; trial++ {
+		deg := PowerLawDegrees(r, 101, 2, 40, 2.3)
+		sum := 0
+		for _, d := range deg {
+			if d < 2 || d > 41 { // +1 allowed by the parity bump
+				t.Fatalf("degree %d out of range", d)
+			}
+			sum += d
+		}
+		if sum%2 != 0 {
+			t.Fatalf("degree sum %d is odd", sum)
+		}
+	}
+}
+
+func TestQuickUint64nInRange(t *testing.T) {
+	r := New(99)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntnDeterministicPair(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n)%1000 + 1
+		a, b := New(seed), New(seed)
+		for i := 0; i < 10; i++ {
+			if a.Intn(m) != b.Intn(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000003)
+	}
+	_ = sink
+}

@@ -1,0 +1,83 @@
+package xrand
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples from a bounded Zipf (power-law) distribution over
+// {1, ..., n} with exponent s > 0: P(k) ∝ k^(-s).
+//
+// It precomputes the cumulative distribution and samples by binary
+// search, which is simple, exact, and fast enough for graph generation
+// (construction is O(n), each sample O(log n)).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over {1,...,n} with exponent s.
+// It panics if n <= 0 or s <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf called with n <= 0")
+	}
+	if s <= 0 {
+		panic("xrand: NewZipf called with s <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += math.Pow(float64(k), -s)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw returns a sample in [1, N] using r.
+func (z *Zipf) Draw(r *Rand) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i + 1
+}
+
+// PowerLawDegrees returns n integer degrees sampled from a Zipf
+// distribution with exponent gamma over [minDeg, maxDeg], adjusted so the
+// degree sum is even (a requirement for realizing a degree sequence as an
+// undirected graph). The result is deterministic for a given r state.
+func PowerLawDegrees(r *Rand, n, minDeg, maxDeg int, gamma float64) []int {
+	if minDeg < 1 {
+		minDeg = 1
+	}
+	if maxDeg < minDeg {
+		maxDeg = minDeg
+	}
+	span := maxDeg - minDeg + 1
+	z := NewZipf(span, gamma)
+	deg := make([]int, n)
+	sum := 0
+	for i := range deg {
+		d := minDeg + z.Draw(r) - 1
+		deg[i] = d
+		sum += d
+	}
+	if sum%2 == 1 {
+		// Bump a minimum-degree node by one to make the sum even.
+		for i := range deg {
+			if deg[i] < maxDeg {
+				deg[i]++
+				break
+			}
+		}
+	}
+	return deg
+}

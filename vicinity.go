@@ -1,0 +1,301 @@
+// Package vicinity is an exact point-to-point shortest-path oracle for
+// social networks, reproducing "Shortest Paths in Less Than a
+// Millisecond" (Agarwal, Caesar, Godfrey, Zhao — WOSN/SIGCOMM 2012).
+//
+// The oracle precomputes, for every node u, a small "vicinity" Γ(u) —
+// all nodes no farther from u than u's nearest landmark, where landmarks
+// are sampled with probability growing in node degree — plus full
+// distance tables for the landmarks themselves. A query between s and t
+// is then a handful of hash-table probes: either one endpoint is a
+// landmark, or one lies in the other's vicinity, or the boundary of
+// Γ(s) is scanned against Γ(t) and the minimum d(s,w)+d(w,t) over the
+// intersection is the exact distance (Theorem 1 of the paper). On
+// social-network topologies with α = 4 (vicinity size ≈ 4√n), over 99%
+// of random queries resolve from the tables in microseconds; the rest
+// fall back to an exact bidirectional search by default.
+//
+// # Quick start
+//
+//	g := vicinity.GenerateSocial(10000, 9, 1) // or LoadGraph / NewBuilder
+//	oracle, err := vicinity.Build(g, nil)     // nil = paper defaults (α=4)
+//	d, method, err := oracle.Distance(12, 97)
+//	path, _, err := oracle.Path(12, 97)
+//
+// # Guarantees
+//
+// For unweighted graphs every answer whose Method is Exact is the true
+// shortest distance; the property is proven in the paper's appendix and
+// property-tested in this repository. For weighted graphs (positive
+// integer weights), resolved answers are upper bounds that are exact
+// whenever some shortest-path vertex lies in both vicinities — see
+// DESIGN.md for the honest discussion of the weighted case.
+//
+// Oracles are immutable after Build and safe for concurrent queries.
+package vicinity
+
+import (
+	"errors"
+	"fmt"
+
+	"vicinity/internal/core"
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+	"vicinity/internal/xrand"
+)
+
+// NoDist is returned as the distance for unreachable or unresolved
+// pairs.
+const NoDist = ^uint32(0)
+
+// Graph is an immutable undirected graph with dense uint32 node ids.
+type Graph struct {
+	g *graph.Graph
+}
+
+// Builder accumulates edges for a Graph. Self-loops are dropped and
+// duplicate edges merged; node ids must be < n.
+type Builder struct {
+	b *graph.Builder
+}
+
+// NewBuilder returns a Builder for a graph over n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{b: graph.NewBuilder(n)}
+}
+
+// AddEdge records the undirected edge {u, v} with weight 1.
+func (b *Builder) AddEdge(u, v uint32) { b.b.AddEdge(u, v) }
+
+// AddWeightedEdge records the undirected edge {u, v} with weight w
+// (w >= 1 for oracle builds).
+func (b *Builder) AddWeightedEdge(u, v, w uint32) { b.b.AddWeightedEdge(u, v, w) }
+
+// Build finalizes the graph.
+func (b *Builder) Build() *Graph { return &Graph{g: b.b.Build()} }
+
+// NewGraph builds an unweighted graph over n nodes from an edge list.
+func NewGraph(n int, edges [][2]uint32) *Graph {
+	return &Graph{g: graph.FromEdges(n, edges)}
+}
+
+// LoadGraph reads a graph file, auto-detecting the binary format and
+// falling back to the text edge-list format ("u v [w]" lines, '#'
+// comments).
+func LoadGraph(path string) (*Graph, error) {
+	g, err := graph.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// SaveBinary writes the graph to path in the fast binary format.
+func (g *Graph) SaveBinary(path string) error { return graph.SaveBinaryFile(path, g.g) }
+
+// SaveEdgeList writes the graph to path as a text edge list.
+func (g *Graph) SaveEdgeList(path string) error { return graph.SaveEdgeListFile(path, g.g) }
+
+// GenerateSocial returns a synthetic social network: a Holme–Kim
+// powerlaw-cluster graph with n nodes, about k·n edges (average degree
+// ≈ 2k) and high clustering. Deterministic in seed; always connected.
+func GenerateSocial(n, k int, seed uint64) *Graph {
+	return &Graph{g: gen.HolmeKim(xrand.New(seed), n, k, 0.5)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.g.NumNodes() }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u uint32) int { return g.g.Degree(u) }
+
+// Neighbors returns the sorted adjacency of u (shared slice; do not
+// modify).
+func (g *Graph) Neighbors(u uint32) []uint32 { return g.g.Neighbors(u) }
+
+// HasEdge reports whether the edge {u, v} exists.
+func (g *Graph) HasEdge(u, v uint32) bool { return g.g.HasEdge(u, v) }
+
+// AvgDegree returns 2m/n.
+func (g *Graph) AvgDegree() float64 { return g.g.AvgDegree() }
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool { return graph.Connected(g.g) }
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.g.NumNodes(), g.g.NumEdges())
+}
+
+// Method reports how a query was answered; see the constants.
+type Method = core.Method
+
+// Query resolution methods (Algorithm 1 cases and fallbacks).
+const (
+	// MethodNone: unresolved (vicinities disjoint, fallback disabled).
+	MethodNone = core.MethodNone
+	// MethodSame: s == t.
+	MethodSame = core.MethodSame
+	// MethodLandmarkSource: s is a landmark (answered from its table).
+	MethodLandmarkSource = core.MethodLandmarkSource
+	// MethodLandmarkTarget: t is a landmark.
+	MethodLandmarkTarget = core.MethodLandmarkTarget
+	// MethodVicinitySource: t ∈ Γ(s).
+	MethodVicinitySource = core.MethodVicinitySource
+	// MethodVicinityTarget: s ∈ Γ(t).
+	MethodVicinityTarget = core.MethodVicinityTarget
+	// MethodIntersection: resolved by the boundary scan.
+	MethodIntersection = core.MethodIntersection
+	// MethodFallbackExact: resolved by the exact bidirectional fallback.
+	MethodFallbackExact = core.MethodFallbackExact
+	// MethodFallbackEstimate: landmark triangulation estimate (inexact).
+	MethodFallbackEstimate = core.MethodFallbackEstimate
+	// MethodUnreachable: no path exists.
+	MethodUnreachable = core.MethodUnreachable
+)
+
+// Fallback selects the behavior for queries the tables cannot resolve.
+type Fallback = core.Fallback
+
+// Fallback modes.
+const (
+	// FallbackExact answers unresolved queries with bidirectional search
+	// (default; the paper's footnote 1).
+	FallbackExact = core.FallbackExact
+	// FallbackEstimate answers with a landmark triangulation upper bound.
+	FallbackEstimate = core.FallbackEstimate
+	// FallbackNone reports unresolved queries as MethodNone.
+	FallbackNone = core.FallbackNone
+)
+
+// Options configures Build. The zero value (or a nil pointer) gives the
+// paper's defaults: α = 4, √degree landmark sampling, hash-table
+// vicinities, landmark tables, path data, and the exact fallback.
+type Options struct {
+	// Alpha controls the expected vicinity size α·√n (paper: 4).
+	Alpha float64
+	// Seed makes landmark sampling deterministic.
+	Seed uint64
+	// Workers bounds build parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Fallback selects unresolved-query handling.
+	Fallback Fallback
+	// DistanceOnly drops path data (parent pointers and landmark parent
+	// tables); Path queries then use the fallback.
+	DistanceOnly bool
+	// WithoutLandmarkTables skips the |L|·n landmark distance tables;
+	// landmark-endpoint queries then resolve via vicinities or fallback.
+	WithoutLandmarkTables bool
+
+	// CompactLandmarkTables halves landmark-table memory (the dominant
+	// term) by storing uint16 distances — the paper's §5 memory question.
+	// Build fails on graphs with distances above 65534.
+	CompactLandmarkTables bool
+	// Nodes restricts vicinity construction to these nodes (advanced;
+	// used by the evaluation harness to mirror the paper's methodology).
+	Nodes []uint32
+}
+
+// Oracle is the built shortest-path oracle. Safe for concurrent use.
+type Oracle struct {
+	o *core.Oracle
+	g *Graph
+}
+
+// Build runs the offline phase over g. A nil opts selects the paper's
+// defaults.
+func Build(g *Graph, opts *Options) (*Oracle, error) {
+	if g == nil {
+		return nil, errors.New("vicinity: nil graph")
+	}
+	var co core.Options
+	if opts != nil {
+		co = core.Options{
+			Alpha:                 opts.Alpha,
+			Seed:                  opts.Seed,
+			Workers:               opts.Workers,
+			Fallback:              opts.Fallback,
+			DisablePathData:       opts.DistanceOnly,
+			DisableLandmarkTables: opts.WithoutLandmarkTables,
+			CompactLandmarkTables: opts.CompactLandmarkTables,
+			Nodes:                 opts.Nodes,
+		}
+	}
+	o, err := core.Build(g.g, co)
+	if err != nil {
+		return nil, fmt.Errorf("vicinity: %w", err)
+	}
+	return &Oracle{o: o, g: g}, nil
+}
+
+// Graph returns the graph the oracle was built over.
+func (o *Oracle) Graph() *Graph { return o.g }
+
+// Distance returns the distance from s to t and the method that
+// resolved it. NoDist means unreachable (MethodUnreachable) or
+// unresolved (MethodNone).
+func (o *Oracle) Distance(s, t uint32) (uint32, Method, error) {
+	return o.o.Distance(s, t)
+}
+
+// Path returns a shortest path from s to t inclusive of endpoints, or
+// nil when no path exists or the query is unresolved.
+func (o *Oracle) Path(s, t uint32) ([]uint32, Method, error) {
+	return o.o.Path(s, t)
+}
+
+// IsLandmark reports whether u is in the sampled landmark set L.
+func (o *Oracle) IsLandmark(u uint32) bool { return o.o.IsLandmark(u) }
+
+// Landmarks returns the sorted landmark set (shared slice; do not
+// modify).
+func (o *Oracle) Landmarks() []uint32 { return o.o.Landmarks() }
+
+// VicinitySize returns |Γ(u)| (0 for landmarks).
+func (o *Oracle) VicinitySize(u uint32) int { return o.o.VicinitySize(u) }
+
+// Radius returns d(u, l(u)), u's distance to its nearest landmark.
+func (o *Oracle) Radius(u uint32) uint32 { return o.o.Radius(u) }
+
+// Stats summarizes the built data structure.
+type Stats struct {
+	Nodes, Edges  int
+	Alpha         float64
+	Landmarks     int
+	AvgVicinity   float64
+	MaxVicinity   int
+	AvgBoundary   float64
+	AvgRadius     float64
+	TotalEntries  int64
+	TotalBytes    int64
+	SavingsVsAPSP float64 // all-pairs entries / stored entries
+}
+
+// Stats computes the oracle's build and memory statistics.
+func (o *Oracle) Stats() Stats {
+	bs := o.o.Stats()
+	ms := o.o.Memory()
+	return Stats{
+		Nodes:         bs.Nodes,
+		Edges:         bs.Edges,
+		Alpha:         bs.Alpha,
+		Landmarks:     bs.Landmarks,
+		AvgVicinity:   bs.AvgVicinity,
+		MaxVicinity:   bs.MaxVicinity,
+		AvgBoundary:   bs.AvgBoundary,
+		AvgRadius:     bs.AvgRadius,
+		TotalEntries:  ms.TotalEntries,
+		TotalBytes:    ms.TotalBytes,
+		SavingsVsAPSP: ms.SavingsFactor,
+	}
+}
+
+// String summarizes the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"oracle(n=%d, m=%d, α=%g, |L|=%d, |Γ| avg %.0f, %.1f MB, %0.fx vs APSP)",
+		s.Nodes, s.Edges, s.Alpha, s.Landmarks, s.AvgVicinity,
+		float64(s.TotalBytes)/(1<<20), s.SavingsVsAPSP)
+}

@@ -1,0 +1,208 @@
+package vicinity
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"vicinity/internal/traverse"
+	"vicinity/internal/xrand"
+)
+
+func TestEndToEnd(t *testing.T) {
+	g := GenerateSocial(2000, 5, 1)
+	if !g.Connected() {
+		t.Fatal("social graph disconnected")
+	}
+	o, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	for trial := 0; trial < 300; trial++ {
+		s, u := r.Uint32n(2000), r.Uint32n(2000)
+		d, m, err := o.Distance(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Exact() {
+			t.Fatalf("inexact method %v with default options", m)
+		}
+		p, _, err := o.Path(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == NoDist {
+			continue
+		}
+		if uint32(len(p)-1) != d {
+			t.Fatalf("path length %d != distance %d", len(p)-1, d)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("path uses missing edge")
+			}
+		}
+	}
+	st := o.Stats()
+	if st.Landmarks == 0 || st.AvgVicinity <= 0 || st.SavingsVsAPSP <= 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.String() == "" || g.String() == "" {
+		t.Fatal("empty strings")
+	}
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddWeightedEdge(1, 2, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("sizes: %v", g)
+	}
+	if g.Degree(1) != 2 || !g.HasEdge(0, 1) || g.HasEdge(0, 3) {
+		t.Fatal("accessors wrong")
+	}
+	if len(g.Neighbors(1)) != 2 {
+		t.Fatal("neighbors wrong")
+	}
+	if g.AvgDegree() != 1.5 {
+		t.Fatalf("avg degree %v", g.AvgDegree())
+	}
+	o, err := Build(g, &Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := o.Distance(0, 3)
+	if err != nil || d != 3 {
+		t.Fatalf("d=%d err=%v", d, err)
+	}
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	g := GenerateSocial(600, 4, 3)
+	o, err := Build(g, &Options{Alpha: 2, Seed: 7, Fallback: FallbackNone,
+		DistanceOnly: true, WithoutLandmarkTables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats().Alpha != 2 {
+		t.Fatal("alpha ignored")
+	}
+	// Landmarks exist and are queryable metadata.
+	ls := o.Landmarks()
+	if len(ls) == 0 || !o.IsLandmark(ls[0]) {
+		t.Fatal("landmark accessors wrong")
+	}
+	if o.VicinitySize(ls[0]) != 0 {
+		t.Fatal("landmark has vicinity")
+	}
+	var nonL uint32
+	for o.IsLandmark(nonL) {
+		nonL++
+	}
+	if o.VicinitySize(nonL) <= 0 || o.Radius(nonL) == NoDist {
+		t.Fatal("vicinity accessors wrong")
+	}
+	if o.Graph() != g {
+		t.Fatal("graph accessor wrong")
+	}
+	if _, err := Build(nil, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestGraphFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := GenerateSocial(300, 4, 5)
+	bin := filepath.Join(dir, "g.bin")
+	txt := filepath.Join(dir, "g.txt")
+	if err := g.SaveBinary(bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SaveEdgeList(txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{bin, txt} {
+		g2, err := LoadGraph(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: round trip changed sizes", path)
+		}
+	}
+	if _, err := LoadGraph(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestAgainstBFSGroundTruth(t *testing.T) {
+	g := NewGraph(6, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	o, err := Build(g, &Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := traverse.NewWorkspace(g.g) // white-box: ground truth on the internal graph
+	for s := uint32(0); s < 6; s++ {
+		for u := uint32(0); u < 6; u++ {
+			d, _, err := o.Distance(s, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ws.BFSDist(s, u); d != want {
+				t.Fatalf("d(%d,%d)=%d want %d", s, u, d, want)
+			}
+		}
+	}
+}
+
+func ExampleBuild() {
+	// A tiny friendship network: two triangles joined by a bridge.
+	g := NewGraph(6, [][2]uint32{
+		{0, 1}, {1, 2}, {2, 0}, // triangle A
+		{3, 4}, {4, 5}, {5, 3}, // triangle B
+		{2, 3}, // bridge
+	})
+	oracle, err := Build(g, &Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	d, _, _ := oracle.Distance(0, 5)
+	path, _, _ := oracle.Path(0, 5)
+	fmt.Println("distance:", d)
+	fmt.Println("hops:", len(path)-1)
+	// Output:
+	// distance: 3
+	// hops: 3
+}
+
+func ExampleOracle_Distance() {
+	g := NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	oracle, _ := Build(g, &Options{Seed: 1})
+	d, method, _ := oracle.Distance(0, 3)
+	fmt.Println(d, method.Exact())
+	// Output: 3 true
+}
+
+func BenchmarkEndToEndQuery(b *testing.B) {
+	g := GenerateSocial(5000, 5, 1)
+	o, err := Build(g, &Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(2)
+	pairs := make([][2]uint32, 512)
+	for i := range pairs {
+		pairs[i] = [2]uint32{r.Uint32n(5000), r.Uint32n(5000)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&511]
+		if _, _, err := o.Distance(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
