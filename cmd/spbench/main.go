@@ -11,6 +11,15 @@
 //
 // Experiments: table2, fig2a, fig2b, fig2c, table3, memory, ablation,
 // sampling, accuracy, weighted, scaling, all.
+//
+// Oracle persistence (cold-start workflow):
+//
+//	spbench -save lj.vco -dataset livejournal -nodes 100000
+//	spbench -load lj.vco
+//
+// -save builds the named dataset's oracle and writes it to a file;
+// -load restores it and reports load time against a fresh rebuild,
+// plus a query-latency sample. Both skip the experiment suite.
 package main
 
 import (
@@ -20,8 +29,10 @@ import (
 	"strings"
 	"time"
 
+	"vicinity/internal/core"
 	"vicinity/internal/expt"
 	"vicinity/internal/gen"
+	"vicinity/internal/xrand"
 )
 
 func main() {
@@ -29,6 +40,77 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spbench:", err)
 		os.Exit(1)
 	}
+}
+
+// saveOracle builds the named dataset's oracle at cfg scale and
+// persists it, reporting build, save and file-size numbers.
+func saveOracle(path, dataset string, cfg expt.Config) error {
+	prof, err := gen.ProfileByName(dataset)
+	if err != nil {
+		return err
+	}
+	g := prof.Generate(cfg.Nodes, cfg.Seed)
+	fmt.Printf("dataset %s: n=%d m=%d\n", prof.Name, g.NumNodes(), g.NumEdges())
+	start := time.Now()
+	o, err := core.Build(g, core.Options{Alpha: cfg.Alpha, Seed: cfg.Seed, Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+	fmt.Printf("built in %v: %s\n", buildTime.Round(time.Millisecond), o.Stats())
+	start = time.Now()
+	if err := core.SaveOracleFile(path, o); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved %s in %v (%.1f MB)\n",
+		path, time.Since(start).Round(time.Millisecond), float64(info.Size())/(1<<20))
+	return nil
+}
+
+// loadOracle restores a saved oracle, compares cold-start time with a
+// fresh rebuild, and samples query latency.
+func loadOracle(path string, cfg expt.Config) error {
+	start := time.Now()
+	o, err := core.LoadOracleFile(path)
+	if err != nil {
+		return err
+	}
+	loadTime := time.Since(start)
+	g := o.Graph()
+	fmt.Printf("loaded %s in %v: %s\n", path, loadTime.Round(time.Millisecond), o.Stats())
+
+	start = time.Now()
+	if _, err := core.Build(g, o.Options()); err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+	speedup := float64(buildTime) / float64(loadTime)
+	fmt.Printf("fresh rebuild takes %v (load is %.0f× faster)\n",
+		buildTime.Round(time.Millisecond), speedup)
+
+	n := uint32(g.NumNodes())
+	r := xrand.New(cfg.Seed)
+	const queries = 200000
+	start = time.Now()
+	var resolved int
+	for i := 0; i < queries; i++ {
+		_, m, err := o.Distance(r.Uint32n(n), r.Uint32n(n))
+		if err != nil {
+			return err
+		}
+		if m.Resolved() {
+			resolved++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d random queries in %v (%.0f ns/query, %.1f%% resolved from tables)\n",
+		queries, elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/queries, 100*float64(resolved)/queries)
+	return nil
 }
 
 func run(args []string) error {
@@ -42,6 +124,9 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 42, "random seed")
 		alpha   = fs.Float64("alpha", 4, "operating-point α")
 		workers = fs.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
+		save    = fs.String("save", "", "build one dataset's oracle and save it to this file")
+		load    = fs.String("load", "", "load a saved oracle and benchmark it")
+		dataset = fs.String("dataset", "LiveJournal", "dataset profile for -save")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +146,16 @@ func run(args []string) error {
 	}
 	if *nodes > 0 {
 		cfg.Nodes = *nodes
+	}
+
+	if *save != "" && *load != "" {
+		return fmt.Errorf("-save and -load are mutually exclusive")
+	}
+	if *save != "" {
+		return saveOracle(*save, *dataset, cfg)
+	}
+	if *load != "" {
+		return loadOracle(*load, cfg)
 	}
 
 	want := strings.ToLower(*exp)

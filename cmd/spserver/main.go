@@ -5,6 +5,11 @@
 //
 //	spserver -graph lj.bin -addr :7421 -http :8080
 //	spserver -gen orkut -n 10000 -addr 127.0.0.1:7421
+//	spserver -oracle lj.vco -addr :7421   # prebuilt oracle: cold start in ms
+//
+// With -oracle, the server loads a prebuilt oracle file (written by
+// Oracle.Save or spbench -save) instead of building one; the file
+// embeds the graph, so -graph/-gen are not needed.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // connections.
@@ -39,14 +44,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spserver", flag.ContinueOnError)
 	var (
-		graphPath = fs.String("graph", "", "graph file (binary or edge list)")
-		genName   = fs.String("gen", "", "generate a dataset profile instead of loading")
-		n         = fs.Int("n", 0, "nodes for -gen (0 = profile default)")
-		alpha     = fs.Float64("alpha", 4, "vicinity size parameter α")
-		seed      = fs.Uint64("seed", 42, "random seed")
-		addr      = fs.String("addr", "127.0.0.1:7421", "TCP listen address (empty = disabled)")
-		httpAddr  = fs.String("http", "", "HTTP listen address (empty = disabled)")
-		maxConns  = fs.Int("max-conns", 1024, "maximum concurrent TCP connections")
+		graphPath  = fs.String("graph", "", "graph file (binary or edge list)")
+		genName    = fs.String("gen", "", "generate a dataset profile instead of loading")
+		oraclePath = fs.String("oracle", "", "prebuilt oracle file (skips the build; embeds its graph)")
+		n          = fs.Int("n", 0, "nodes for -gen (0 = profile default)")
+		alpha      = fs.Float64("alpha", 4, "vicinity size parameter α")
+		seed       = fs.Uint64("seed", 42, "random seed")
+		addr       = fs.String("addr", "127.0.0.1:7421", "TCP listen address (empty = disabled)")
+		httpAddr   = fs.String("http", "", "HTTP listen address (empty = disabled)")
+		maxConns   = fs.Int("max-conns", 1024, "maximum concurrent TCP connections")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,19 +60,34 @@ func run(args []string) error {
 	if *addr == "" && *httpAddr == "" {
 		return errors.New("nothing to serve: set -addr and/or -http")
 	}
-	g, err := loadGraph(*graphPath, *genName, *n, *seed)
-	if err != nil {
-		return err
-	}
 	logger := log.New(os.Stderr, "spserver: ", log.LstdFlags)
-	logger.Printf("graph: %s", graph.ComputeStats(g))
 
-	start := time.Now()
-	oracle, err := core.Build(g, core.Options{Alpha: *alpha, Seed: *seed})
-	if err != nil {
-		return err
+	var oracle *core.Oracle
+	if *oraclePath != "" {
+		if *graphPath != "" || *genName != "" {
+			return errors.New("-oracle is mutually exclusive with -graph/-gen")
+		}
+		start := time.Now()
+		var err error
+		oracle, err = core.LoadOracleFile(*oraclePath)
+		if err != nil {
+			return err
+		}
+		logger.Printf("graph: %s", graph.ComputeStats(oracle.Graph()))
+		logger.Printf("oracle loaded in %v: %s", time.Since(start).Round(time.Millisecond), oracle.Stats())
+	} else {
+		g, err := loadGraph(*graphPath, *genName, *n, *seed)
+		if err != nil {
+			return err
+		}
+		logger.Printf("graph: %s", graph.ComputeStats(g))
+		start := time.Now()
+		oracle, err = core.Build(g, core.Options{Alpha: *alpha, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		logger.Printf("oracle built in %v: %s", time.Since(start).Round(time.Millisecond), oracle.Stats())
 	}
-	logger.Printf("oracle built in %v: %s", time.Since(start).Round(time.Millisecond), oracle.Stats())
 
 	srv := qserver.New(oracle, qserver.Config{MaxConns: *maxConns, Logger: logger})
 	errCh := make(chan error, 2)

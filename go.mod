@@ -1,0 +1,3 @@
+module vicinity
+
+go 1.24

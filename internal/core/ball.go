@@ -5,18 +5,21 @@ import (
 	"vicinity/internal/heap"
 	"vicinity/internal/queue"
 	"vicinity/internal/traverse"
-	"vicinity/internal/u32map"
 )
 
 // NoDist is the sentinel for "no distance" (re-exported for callers).
 const NoDist = traverse.NoDist
 
-// vicResult is the offline product for one node: its vicinity table, its
-// boundary members ∂Γ(u) (stored denormalized as parallel key/distance
-// arrays so the online scan reads d(s,w) without probing s's own table),
-// its radius d(u, l(u)) and its nearest landmark l(u).
+// vicResult is the offline product for one node: its vicinity entries
+// (key/dist/parent triples in discovery order, later concatenated into
+// the oracle's entry arena), its boundary members ∂Γ(u) (stored
+// denormalized as parallel key/distance arrays so the online scan reads
+// d(s,w) without probing s's own table), its radius d(u, l(u)) and its
+// nearest landmark l(u).
 type vicResult struct {
-	table     u32map.Table
+	keys      []uint32
+	dists     []uint32
+	parents   []uint32
 	boundKeys []uint32
 	boundDist []uint32
 	radius    uint32
@@ -25,7 +28,6 @@ type vicResult struct {
 
 // buildWS is the per-worker scratch state for vicinity construction.
 type buildWS struct {
-	kind    TableKind
 	nm      *traverse.NodeMap // distance + parent during the search
 	settled *traverse.NodeMap // Dijkstra settle marks (weighted only)
 	q       *queue.U32
@@ -35,9 +37,8 @@ type buildWS struct {
 	parents []uint32
 }
 
-func newBuildWS(n int, kind TableKind) *buildWS {
+func newBuildWS(n int) *buildWS {
 	return &buildWS{
-		kind:    kind,
 		nm:      traverse.NewNodeMap(n),
 		settled: traverse.NewNodeMap(n),
 		q:       queue.NewU32(256),
@@ -113,7 +114,7 @@ func vicinityBFS(g *graph.Graph, isL []bool, ws *buildWS, u uint32, storeParents
 			}
 		}
 	}
-	res.table = makeTable(ws, storeParents)
+	res.copyEntries(ws, storeParents)
 	return res
 }
 
@@ -172,36 +173,22 @@ func vicinityDijkstra(g *graph.Graph, isL []bool, ws *buildWS, u uint32, storePa
 			}
 		}
 	}
-	res.table = makeTable(ws, storeParents)
+	res.copyEntries(ws, storeParents)
 	return res
 }
 
-// makeTable materializes the collected entries as the configured Table
-// implementation. Parents are replaced by NoNode when path data is
+// copyEntries snapshots the collected entries out of the reusable
+// workspace buffers. Parents are replaced by NoNode when path data is
 // disabled.
-func makeTable(ws *buildWS, storeParents bool) u32map.Table {
-	parents := ws.parents
-	if !storeParents {
-		parents = make([]uint32, len(ws.keys))
-		for i := range parents {
-			parents[i] = graph.NoNode
+func (res *vicResult) copyEntries(ws *buildWS, storeParents bool) {
+	res.keys = append([]uint32(nil), ws.keys...)
+	res.dists = append([]uint32(nil), ws.dists...)
+	if storeParents {
+		res.parents = append([]uint32(nil), ws.parents...)
+	} else {
+		res.parents = make([]uint32, len(ws.keys))
+		for i := range res.parents {
+			res.parents[i] = graph.NoNode
 		}
-	}
-	switch ws.kind {
-	case TableSorted:
-		return u32map.NewSorted(ws.keys, ws.dists, parents)
-	case TableBuiltin:
-		t := u32map.NewBuiltin(len(ws.keys))
-		for i, k := range ws.keys {
-			t.Put(k, ws.dists[i], parents[i])
-		}
-		return t
-	default:
-		t := u32map.New(len(ws.keys))
-		for i, k := range ws.keys {
-			t.Put(k, ws.dists[i], parents[i])
-		}
-		t.Compact()
-		return t
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -15,6 +16,13 @@ import (
 // full distance tables. Construction parallelizes across opts.Workers
 // goroutines; the result is deterministic in opts.Seed regardless of
 // scheduling.
+//
+// The built oracle is flat: vicinity entries, slot indexes, boundaries
+// and landmark tables are concatenated into shared arenas with per-node
+// CSR offsets (see the Oracle type). Build first computes every
+// vicinity in parallel into temporary per-node buffers, then sizes the
+// arenas with prefix sums and copies the results into place, again in
+// parallel over disjoint ranges.
 func Build(g *graph.Graph, opts Options) (*Oracle, error) {
 	opts, err := opts.withDefaults(g)
 	if err != nil {
@@ -27,9 +35,6 @@ func Build(g *graph.Graph, opts Options) (*Oracle, error) {
 		landmarks: sampleLandmarks(g, opts),
 		isL:       make([]bool, n),
 		lidx:      make([]int32, n),
-		vic:       make([]u32map.Table, n),
-		boundKeys: make([][]uint32, n),
-		boundDist: make([][]uint32, n),
 		radius:    make([]uint32, n),
 		nearest:   make([]uint32, n),
 	}
@@ -43,9 +48,6 @@ func Build(g *graph.Graph, opts Options) (*Oracle, error) {
 		o.isL[l] = true
 		o.lidx[l] = int32(i)
 	}
-	o.ldist = make([][]uint32, len(o.landmarks))
-	o.ldist16 = make([][]uint16, len(o.landmarks))
-	o.lparent = make([][]uint32, len(o.landmarks))
 
 	// Scope: which nodes get vicinities, and which landmarks get tables.
 	scope := opts.Nodes
@@ -56,90 +58,228 @@ func Build(g *graph.Graph, opts Options) (*Oracle, error) {
 		}
 	}
 
-	// Phase 1: vicinities (parallel over scope).
+	// Phase 1: vicinities (parallel over scope) into temporary per-node
+	// buffers; radius and nearest land in their final arrays directly.
 	weighted := g.Weighted()
 	storeParents := !opts.DisablePathData
+	results := make([]vicResult, len(scope))
 	parallelFor(opts.Workers, len(scope), func() any {
-		return newBuildWS(n, opts.TableKind)
+		return newBuildWS(n)
 	}, func(state any, i int) {
 		ws := state.(*buildWS)
 		u := scope[i]
 		if o.isL[u] {
 			return // landmarks answer from their full table
 		}
-		var res vicResult
+		res := vicResult{}
 		if weighted {
 			res = vicinityDijkstra(g, o.isL, ws, u, storeParents)
 		} else {
 			res = vicinityBFS(g, o.isL, ws, u, storeParents)
 		}
-		o.vic[u] = res.table
-		o.boundKeys[u] = res.boundKeys
-		o.boundDist[u] = res.boundDist
+		results[i] = res
 		o.radius[u] = res.radius
 		o.nearest[u] = res.nearest
 	})
-	for _, u := range scope {
-		if o.vic[u] != nil {
-			o.covered++
-		}
+	if err := o.flattenVicinities(scope, results); err != nil {
+		return nil, err
 	}
 
 	// Phase 2: landmark tables (parallel over landmarks in scope).
-	if !opts.DisableLandmarkTables {
-		want := make([]bool, len(o.landmarks))
-		if opts.Nodes == nil {
-			for i := range want {
-				want[i] = true
-			}
-		} else {
-			for _, u := range opts.Nodes {
-				if o.isL[u] {
-					want[o.lidx[u]] = true
-				}
-			}
+	if err := o.buildLandmarkTables(weighted, storeParents); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// flattenVicinities assembles the per-node phase-1 results into the
+// oracle's arena storage: prefix sums size the entry, slot and boundary
+// arenas, then a parallel pass copies each node's buffers into its
+// disjoint ranges and builds its slot index in place.
+func (o *Oracle) flattenVicinities(scope []uint32, results []vicResult) error {
+	n := o.g.NumNodes()
+	hashKind := o.opts.TableKind == TableHash
+	builtinKind := o.opts.TableKind == TableBuiltin
+
+	var totalEnt, totalSlot, totalBound uint64
+	for i := range results {
+		res := &results[i]
+		if len(res.keys) > 0 {
+			o.covered++
 		}
-		overflow := make([]bool, len(o.landmarks))
-		parallelFor(opts.Workers, len(o.landmarks), func() any { return nil }, func(_ any, i int) {
-			if !want[i] {
-				return
+		if hashKind && len(res.keys) > u32map.MaxFlatEntries {
+			return fmt.Errorf("core: vicinity of node %d has %d entries, above the %d flat-table cap",
+				scope[i], len(res.keys), u32map.MaxFlatEntries)
+		}
+		totalEnt += uint64(len(res.keys))
+		totalBound += uint64(len(res.boundKeys))
+		if hashKind && len(res.keys) > 0 {
+			totalSlot += uint64(u32map.IndexSize(len(res.keys)))
+		}
+	}
+	if totalEnt > math.MaxUint32 || totalSlot > math.MaxUint32 || totalBound > math.MaxUint32 {
+		return fmt.Errorf("core: %d vicinity entries overflow the 2^32-1 arena capacity", totalEnt)
+	}
+
+	// Boundary CSR is shared by every table kind.
+	o.boundOff = make([]uint32, n+1)
+	o.boundKeys = make([]uint32, totalBound)
+	o.boundDist = make([]uint32, totalBound)
+
+	if builtinKind {
+		o.vicAlt = make([]u32map.Table, n)
+	} else {
+		o.arena = &u32map.Arena{
+			Keys:    make([]uint32, totalEnt),
+			Dists:   make([]uint32, totalEnt),
+			Parents: make([]uint32, totalEnt),
+			Slots:   make([]uint32, totalSlot),
+		}
+		o.vicFlat = make([]u32map.Flat, n)
+	}
+
+	// Per-result arena start offsets by prefix sum over the scope.
+	// The boundary CSR is indexed by node id, so its offsets prefix-sum
+	// in node order and each result copies to boundOff[scope[i]];
+	// nodes outside the scope keep empty ranges.
+	entAt := make([]uint32, len(results))
+	slotAt := make([]uint32, len(results))
+	boundAt := make([]uint32, len(results))
+	lenSlot := make([]uint32, len(results))
+	var ent, slot uint32
+	for i := range results {
+		res := &results[i]
+		entAt[i], slotAt[i] = ent, slot
+		if hashKind && len(res.keys) > 0 {
+			lenSlot[i] = uint32(u32map.IndexSize(len(res.keys)))
+		}
+		ent += uint32(len(res.keys))
+		slot += lenSlot[i]
+		o.boundOff[scope[i]+1] = uint32(len(res.boundKeys))
+	}
+	for u := 0; u < n; u++ {
+		o.boundOff[u+1] += o.boundOff[u]
+	}
+	for i := range results {
+		boundAt[i] = o.boundOff[scope[i]]
+	}
+
+	// Parallel copy into disjoint ranges.
+	parallelFor(o.opts.Workers, len(results), func() any { return nil }, func(_ any, i int) {
+		res := &results[i]
+		if len(res.keys) == 0 {
+			return
+		}
+		copy(o.boundKeys[boundAt[i]:], res.boundKeys)
+		copy(o.boundDist[boundAt[i]:], res.boundDist)
+		if builtinKind {
+			t := u32map.NewBuiltin(len(res.keys))
+			for j, k := range res.keys {
+				t.Put(k, res.dists[j], res.parents[j])
 			}
-			var tr *traverse.Tree
-			if weighted {
-				tr = traverse.Dijkstra(g, o.landmarks[i])
-			} else {
-				tr = traverse.BFS(g, o.landmarks[i])
-			}
-			if opts.CompactLandmarkTables {
-				compact := make([]uint16, len(tr.Dist))
-				for v, d := range tr.Dist {
-					switch {
-					case d == NoDist:
-						compact[v] = compactUnreachable
-					case d >= uint32(compactUnreachable):
-						overflow[i] = true
-						return
-					default:
-						compact[v] = uint16(d)
-					}
-				}
-				o.ldist16[i] = compact
-			} else {
-				o.ldist[i] = tr.Dist
-			}
-			if storeParents {
-				o.lparent[i] = tr.Parent
-			}
-		})
-		for i, bad := range overflow {
-			if bad {
-				return nil, fmt.Errorf(
-					"core: CompactLandmarkTables: distance from landmark %d exceeds %d",
-					o.landmarks[i], compactUnreachable-1)
+			o.vicAlt[scope[i]] = t
+			results[i] = vicResult{} // release the temporary buffers
+			return
+		}
+		e0, e1 := entAt[i], entAt[i]+uint32(len(res.keys))
+		keys := o.arena.Keys[e0:e1]
+		dists := o.arena.Dists[e0:e1]
+		parents := o.arena.Parents[e0:e1]
+		copy(keys, res.keys)
+		copy(dists, res.dists)
+		copy(parents, res.parents)
+		if hashKind {
+			s0 := slotAt[i]
+			u32map.FillIndex(o.arena.Slots[s0:s0+lenSlot[i]], keys)
+			o.vicFlat[scope[i]] = o.arena.Hash(e0, e1, s0, s0+lenSlot[i])
+		} else {
+			u32map.SortEntries(keys, dists, parents)
+			o.vicFlat[scope[i]] = o.arena.Sorted(e0, e1)
+		}
+		results[i] = vicResult{} // release the temporary buffers
+	})
+	return nil
+}
+
+// buildLandmarkTables runs phase 2: one full traversal per in-scope
+// landmark, written into the dense landmark arenas (see Oracle.lpos).
+func (o *Oracle) buildLandmarkTables(weighted, storeParents bool) error {
+	o.lpos = make([]int32, len(o.landmarks))
+	for i := range o.lpos {
+		o.lpos[i] = -1
+	}
+	if o.opts.DisableLandmarkTables {
+		return nil
+	}
+	want := make([]bool, len(o.landmarks))
+	if o.opts.Nodes == nil {
+		for i := range want {
+			want[i] = true
+		}
+	} else {
+		for _, u := range o.opts.Nodes {
+			if o.isL[u] {
+				want[o.lidx[u]] = true
 			}
 		}
 	}
-	return o, nil
+	built := 0
+	for i, w := range want {
+		if w {
+			o.lpos[i] = int32(built)
+			built++
+		}
+	}
+	n := o.g.NumNodes()
+	if o.opts.CompactLandmarkTables {
+		o.ldist16 = make([]uint16, uint64(built)*uint64(n))
+	} else {
+		o.ldist = make([]uint32, uint64(built)*uint64(n))
+	}
+	if storeParents {
+		o.lparent = make([]uint32, uint64(built)*uint64(n))
+	}
+
+	overflow := make([]bool, len(o.landmarks))
+	parallelFor(o.opts.Workers, len(o.landmarks), func() any { return nil }, func(_ any, i int) {
+		if !want[i] {
+			return
+		}
+		var tr *traverse.Tree
+		if weighted {
+			tr = traverse.Dijkstra(o.g, o.landmarks[i])
+		} else {
+			tr = traverse.BFS(o.g, o.landmarks[i])
+		}
+		base := uint64(o.lpos[i]) * uint64(n)
+		if o.opts.CompactLandmarkTables {
+			compact := o.ldist16[base : base+uint64(n)]
+			for v, d := range tr.Dist {
+				switch {
+				case d == NoDist:
+					compact[v] = compactUnreachable
+				case d >= uint32(compactUnreachable):
+					overflow[i] = true
+					return
+				default:
+					compact[v] = uint16(d)
+				}
+			}
+		} else {
+			copy(o.ldist[base:], tr.Dist)
+		}
+		if storeParents {
+			copy(o.lparent[base:], tr.Parent)
+		}
+	})
+	for i, bad := range overflow {
+		if bad {
+			return fmt.Errorf(
+				"core: CompactLandmarkTables: distance from landmark %d exceeds %d",
+				o.landmarks[i], compactUnreachable-1)
+		}
+	}
+	return nil
 }
 
 // parallelFor runs fn(state, i) for i in [0,n) across workers goroutines.

@@ -138,7 +138,8 @@ func TestLemma1(t *testing.T) {
 			}
 		})
 		boundIntersect := false
-		for _, w := range o.boundKeys[s] {
+		sBound, _ := o.boundary(s)
+		for _, w := range sBound {
 			if _, ok := o.VicinityContains(u, w); ok {
 				boundIntersect = true
 				break
@@ -210,7 +211,8 @@ func TestVicinityInvariants(t *testing.T) {
 				}
 			}
 			isBoundary := false
-			for _, w := range o.boundKeys[u] {
+			uBound, _ := o.boundary(u)
+			for _, w := range uBound {
 				if w == v {
 					isBoundary = true
 					break
@@ -221,7 +223,8 @@ func TestVicinityInvariants(t *testing.T) {
 			}
 		}
 		// Parent chains: tree edges decreasing distance by 1 toward u.
-		tbl := o.vic[u]
+		ref2, _ := o.vicinity(u)
+		tbl := ref2.table()
 		for i := 0; i < tbl.Len(); i++ {
 			v, d, parent := tbl.At(i)
 			if v == u {

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkGCWithOracle measures a full GC cycle with a built oracle
+// resident in the heap — the oracle's contribution to steady-state GC
+// scan cost on a serving process. The pointer-soup layout makes the
+// collector walk every per-node table allocation; the flat arena
+// layout leaves it a handful of large pointer-free arrays.
+func BenchmarkGCWithOracle(b *testing.B) {
+	g := socialGraph(2, 100000)
+	o, err := Build(g, Options{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+	}
+	runtime.KeepAlive(o)
+}

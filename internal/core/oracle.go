@@ -10,6 +10,14 @@ import (
 
 // Oracle is the built vicinity-intersection data structure. It is
 // immutable after Build and safe for concurrent queries.
+//
+// All per-node state lives in flat arena storage: one shared entry
+// arena plus one shared slot arena for the vicinity tables (see
+// u32map.Arena), CSR offset arrays for per-node [offset, len) ranges,
+// and the boundaries and landmark tables concatenated the same way.
+// The layout keeps one node's table contiguous in memory, leaves the
+// garbage collector a handful of large pointer-free arrays to scan,
+// and serializes with array copies (see persist.go).
 type Oracle struct {
 	g    *graph.Graph
 	opts Options
@@ -18,21 +26,39 @@ type Oracle struct {
 	isL       []bool   // per node: landmark flag
 	lidx      []int32  // per node: index into landmarks, or -1
 
-	// Per-node vicinity state; nil table means "not covered" (landmark
-	// or out of build scope).
-	vic       []u32map.Table
-	boundKeys [][]uint32
-	boundDist [][]uint32
-	radius    []uint32 // d(u, l(u)); NoDist when uncovered or no landmark reachable
-	nearest   []uint32 // l(u); graph.NoNode when unknown
+	// Vicinity tables. arena holds the concatenated entries (and, for
+	// the hash layout, slot indexes) of every vicinity; vicFlat (len n)
+	// holds node u's precomputed arena view — 24 bytes of offsets plus
+	// the shared arena pointer, so resolving a table is one indexed
+	// load. An empty view means "not covered" (landmark or out of
+	// build scope) — a built vicinity always contains at least u
+	// itself. Persistence derives CSR offset arrays from the views
+	// (u32map.Flat.Ranges) rather than storing them twice.
+	//
+	// The TableBuiltin ablation keeps per-node Go maps in vicAlt
+	// instead (nil table = not covered); arena layouts leave vicAlt nil.
+	arena   *u32map.Arena
+	vicFlat []u32map.Flat
+	vicAlt  []u32map.Table
 
-	// Per-landmark full tables (parallel to landmarks); nil when
-	// disabled or (in scoped builds) when the landmark is out of scope.
-	// With Options.CompactLandmarkTables, ldist16 is populated instead
-	// of ldist (half the memory; 0xFFFF encodes "unreachable").
-	ldist   [][]uint32
-	ldist16 [][]uint16
-	lparent [][]uint32
+	// Boundaries ∂Γ(u), concatenated: boundOff (len n+1) gives node u's
+	// range in boundKeys/boundDist.
+	boundOff  []uint32
+	boundKeys []uint32
+	boundDist []uint32
+
+	radius  []uint32 // d(u, l(u)); NoDist when uncovered or no landmark reachable
+	nearest []uint32 // l(u); graph.NoNode when unknown
+
+	// Per-landmark full tables. Built tables are stored densely: lpos
+	// maps a landmark index to its position p among built tables, or -1;
+	// table p occupies [p·n, (p+1)·n) in ldist (or ldist16 with
+	// Options.CompactLandmarkTables: half the memory; 0xFFFF encodes
+	// "unreachable") and lparent (when path data is enabled).
+	lpos    []int32
+	ldist   []uint32
+	ldist16 []uint16
+	lparent []uint32
 
 	covered int // number of nodes with vicinity state (excl. landmarks in scope)
 
@@ -52,6 +78,80 @@ func (o *Oracle) Landmarks() []uint32 { return o.landmarks }
 // IsLandmark reports whether u ∈ L.
 func (o *Oracle) IsLandmark(u uint32) bool { return o.isL[u] }
 
+// vicRef is a resolved handle to one node's vicinity table: a flat
+// arena view, or the interface table for the TableBuiltin ablation.
+// The zero vicRef is "no vicinity".
+type vicRef struct {
+	flat u32map.Flat
+	alt  u32map.Table
+}
+
+// vicinity resolves node u's table handle; ok is false when u has no
+// vicinity (landmark or out of build scope).
+func (o *Oracle) vicinity(u uint32) (vicRef, bool) {
+	if o.vicAlt != nil {
+		t := o.vicAlt[u]
+		return vicRef{alt: t}, t != nil
+	}
+	f, ok := o.flatVicinity(u)
+	return vicRef{flat: f}, ok
+}
+
+// flatVicinity resolves node u's arena view directly (hash or sorted
+// layout only; Build guarantees vicFlat is populated whenever vicAlt
+// is nil). ok is false when u has no vicinity.
+func (o *Oracle) flatVicinity(u uint32) (u32map.Flat, bool) {
+	f := o.vicFlat[u]
+	return f, f.Len() > 0
+}
+
+// get returns the distance recorded for key.
+func (v vicRef) get(key uint32) (uint32, bool) {
+	if v.alt != nil {
+		return v.alt.Get(key)
+	}
+	return v.flat.Get(key)
+}
+
+// getEntry returns the distance and parent recorded for key.
+func (v vicRef) getEntry(key uint32) (dist, parent uint32, ok bool) {
+	if v.alt != nil {
+		return v.alt.GetEntry(key)
+	}
+	return v.flat.GetEntry(key)
+}
+
+// size returns the number of entries.
+func (v vicRef) size() int {
+	if v.alt != nil {
+		return v.alt.Len()
+	}
+	return v.flat.Len()
+}
+
+// bytes returns the table's heap footprint.
+func (v vicRef) bytes() int {
+	if v.alt != nil {
+		return v.alt.Bytes()
+	}
+	return v.flat.Bytes()
+}
+
+// table returns the handle as a Table interface (allocates; for cold
+// paths and tests).
+func (v vicRef) table() u32map.Table {
+	if v.alt != nil {
+		return v.alt
+	}
+	return v.flat
+}
+
+// boundary returns the ∂Γ(u) key and distance ranges as shared views.
+func (o *Oracle) boundary(u uint32) (keys, dists []uint32) {
+	b0, b1 := o.boundOff[u], o.boundOff[u+1]
+	return o.boundKeys[b0:b1], o.boundDist[b0:b1]
+}
+
 // Covers reports whether queries involving u can be answered from the
 // stored tables (u was in build scope: it has a vicinity or is a
 // landmark with a distance table).
@@ -62,13 +162,14 @@ func (o *Oracle) Covers(u uint32) bool {
 	if o.isL[u] {
 		return o.hasLandmarkTable(o.lidx[u]) || o.opts.DisableLandmarkTables
 	}
-	return o.vic[u] != nil
+	_, ok := o.vicinity(u)
+	return ok
 }
 
 // hasLandmarkTable reports whether landmark index li has a built
 // distance table (full-width or compact).
 func (o *Oracle) hasLandmarkTable(li int32) bool {
-	return li >= 0 && (o.ldist[li] != nil || o.ldist16[li] != nil)
+	return li >= 0 && o.lpos[li] >= 0
 }
 
 // compactUnreachable encodes NoDist in uint16 landmark tables.
@@ -77,14 +178,26 @@ const compactUnreachable = ^uint16(0)
 // landmarkDist reads d(landmarks[li], v) from whichever table width was
 // built. Callers must check hasLandmarkTable first.
 func (o *Oracle) landmarkDist(li int32, v uint32) uint32 {
-	if t := o.ldist[li]; t != nil {
-		return t[v]
+	base := uint64(o.lpos[li]) * uint64(len(o.radius))
+	if o.ldist != nil {
+		return o.ldist[base+uint64(v)]
 	}
-	d := o.ldist16[li][v]
+	d := o.ldist16[base+uint64(v)]
 	if d == compactUnreachable {
 		return NoDist
 	}
 	return uint32(d)
+}
+
+// landmarkParents returns landmark li's parent table (len n), or nil
+// when path data is disabled or the landmark has no built table.
+func (o *Oracle) landmarkParents(li int32) []uint32 {
+	if li < 0 || o.lpos[li] < 0 || o.lparent == nil {
+		return nil
+	}
+	n := uint64(len(o.radius))
+	base := uint64(o.lpos[li]) * n
+	return o.lparent[base : base+n]
 }
 
 // Radius returns the vicinity radius d(u, l(u)) of u, or NoDist if u is
@@ -108,31 +221,36 @@ func (o *Oracle) NearestLandmark(u uint32) uint32 {
 
 // VicinitySize returns |Γ(u)| (0 for landmarks and uncovered nodes).
 func (o *Oracle) VicinitySize(u uint32) int {
-	if t := o.vic[u]; t != nil {
-		return t.Len()
+	v, ok := o.vicinity(u)
+	if !ok {
+		return 0
 	}
-	return 0
+	return v.size()
 }
 
 // BoundarySize returns |∂Γ(u)| (0 for landmarks and uncovered nodes).
-func (o *Oracle) BoundarySize(u uint32) int { return len(o.boundKeys[u]) }
+func (o *Oracle) BoundarySize(u uint32) int {
+	return int(o.boundOff[u+1] - o.boundOff[u])
+}
 
 // VicinityContains reports whether v ∈ Γ(u) and returns d(u,v) if so.
 func (o *Oracle) VicinityContains(u, v uint32) (uint32, bool) {
-	if t := o.vic[u]; t != nil {
-		return t.Get(v)
+	t, ok := o.vicinity(u)
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return t.get(v)
 }
 
 // ForEachVicinityMember calls fn(v, dist) for every v ∈ Γ(u).
 func (o *Oracle) ForEachVicinityMember(u uint32, fn func(v, dist uint32)) {
-	t := o.vic[u]
-	if t == nil {
+	t, ok := o.vicinity(u)
+	if !ok {
 		return
 	}
-	for i := 0; i < t.Len(); i++ {
-		k, d, _ := t.At(i)
+	tbl := t.table()
+	for i := 0; i < tbl.Len(); i++ {
+		k, d, _ := tbl.At(i)
 		fn(k, d)
 	}
 }

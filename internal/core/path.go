@@ -97,8 +97,8 @@ func (o *Oracle) Path(s, t uint32) ([]uint32, Method, error) {
 // returning the chain v, parent(v), ..., u. It fails when path data is
 // disabled or a parent link is missing.
 func (o *Oracle) vicinityChain(u, v uint32) ([]uint32, bool) {
-	tbl := o.vic[u]
-	if tbl == nil {
+	tbl, ok := o.vicinity(u)
+	if !ok {
 		return nil, false
 	}
 	chain := make([]uint32, 0, 8)
@@ -108,7 +108,7 @@ func (o *Oracle) vicinityChain(u, v uint32) ([]uint32, bool) {
 		if cur == u {
 			return chain, true
 		}
-		_, parent, ok := tbl.GetEntry(cur)
+		_, parent, ok := tbl.getEntry(cur)
 		if !ok || parent == graph.NoNode {
 			return nil, false
 		}
@@ -123,10 +123,10 @@ func (o *Oracle) vicinityChain(u, v uint32) ([]uint32, bool) {
 // landmarkChain walks v up landmark li's global shortest path tree,
 // returning v, parent(v), ..., landmark.
 func (o *Oracle) landmarkChain(li int32, v uint32) ([]uint32, bool) {
-	if li < 0 || o.lparent[li] == nil {
+	parent := o.landmarkParents(li)
+	if parent == nil {
 		return nil, false
 	}
-	parent := o.lparent[li]
 	root := o.landmarks[li]
 	chain := make([]uint32, 0, 16)
 	cur := v
@@ -151,7 +151,7 @@ func (o *Oracle) estimatePath(s, t uint32) ([]uint32, bool) {
 		return nil, false
 	}
 	li := o.lidx[ls]
-	if li < 0 || o.lparent[li] == nil {
+	if o.landmarkParents(li) == nil {
 		return nil, false
 	}
 	// s..l(s) via s's vicinity (l(s) ∈ Γ(s) by construction).

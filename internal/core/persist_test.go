@@ -1,0 +1,250 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+	"vicinity/internal/oraclefile"
+	"vicinity/internal/xrand"
+)
+
+// roundTrip serializes o and loads it back.
+func roundTrip(t *testing.T, o *Oracle) *Oracle {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteOracle(&buf, o); err != nil {
+		t.Fatalf("WriteOracle: %v", err)
+	}
+	got, err := ReadOracle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadOracle: %v", err)
+	}
+	return got
+}
+
+// assertOraclesAgree property-tests that two oracles answer every
+// sampled query identically: distance, method, and path.
+func assertOraclesAgree(t *testing.T, a, b *Oracle, n int, trials int) {
+	t.Helper()
+	r := xrand.New(77)
+	for trial := 0; trial < trials; trial++ {
+		s, u := r.Uint32n(uint32(n)), r.Uint32n(uint32(n))
+		var sta, stb QueryStats
+		da, errA := a.DistanceStats(s, u, &sta)
+		db, errB := b.DistanceStats(s, u, &stb)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("(%d,%d): errors disagree: %v vs %v", s, u, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if da != db || sta.Method != stb.Method {
+			t.Fatalf("(%d,%d): %d/%v vs %d/%v", s, u, da, sta.Method, db, stb.Method)
+		}
+		if sta.Lookups != stb.Lookups || sta.Scanned != stb.Scanned || sta.Meet != stb.Meet {
+			t.Fatalf("(%d,%d): stats diverge: %+v vs %+v", s, u, sta, stb)
+		}
+		pa, ma, _ := a.Path(s, u)
+		pb, mb, _ := b.Path(s, u)
+		if ma != mb || len(pa) != len(pb) {
+			t.Fatalf("(%d,%d): paths diverge: %v/%v vs %v/%v", s, u, pa, ma, pb, mb)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("(%d,%d): path element %d: %d vs %d", s, u, i, pa[i], pb[i])
+			}
+		}
+	}
+}
+
+// TestSaveLoadRoundTrip checks byte-identical query behavior across
+// every option combination the format distinguishes.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	const n = 400
+	g := socialGraph(91, n)
+	cases := map[string]Options{
+		"defaults":          {Seed: 91},
+		"compact-landmarks": {Seed: 91, CompactLandmarkTables: true},
+		"distance-only":     {Seed: 91, DisablePathData: true},
+		"no-landmark-tabs":  {Seed: 91, DisableLandmarkTables: true},
+		"sorted-tables":     {Seed: 91, TableKind: TableSorted},
+		"builtin-tables":    {Seed: 91, TableKind: TableBuiltin},
+		"scan-smaller":      {Seed: 91, ScanSmallerBoundary: true},
+		"estimate-fallback": {Seed: 91, Fallback: FallbackEstimate},
+		"none-fallback":     {Seed: 91, Fallback: FallbackNone},
+		"alpha-1":           {Seed: 91, Alpha: 1},
+	}
+	for name, opts := range cases {
+		t.Run(name, func(t *testing.T) {
+			o := mustBuild(t, g, opts)
+			got := roundTrip(t, o)
+			if !reflect.DeepEqual(got.Options(), o.Options()) {
+				t.Fatalf("options diverge: %+v vs %+v", got.Options(), o.Options())
+			}
+			if len(got.Landmarks()) != len(o.Landmarks()) {
+				t.Fatalf("landmark count %d vs %d", len(got.Landmarks()), len(o.Landmarks()))
+			}
+			if got.Stats() != o.Stats() {
+				t.Fatalf("stats diverge:\n%v\n%v", got.Stats(), o.Stats())
+			}
+			if got.Memory() != o.Memory() {
+				t.Fatalf("memory stats diverge:\n%v\n%v", got.Memory(), o.Memory())
+			}
+			assertOraclesAgree(t, o, got, n, 1500)
+		})
+	}
+}
+
+// TestSaveLoadScoped covers scoped builds: the scope list must
+// round-trip (Options comparison needs the slice) and uncovered nodes
+// must keep failing with ErrNotCovered.
+func TestSaveLoadScoped(t *testing.T) {
+	const n = 500
+	g := socialGraph(93, n)
+	r := xrand.New(3)
+	scope := make([]uint32, 0, 60)
+	seen := map[uint32]bool{}
+	for len(scope) < 60 {
+		u := r.Uint32n(n)
+		if !seen[u] {
+			seen[u] = true
+			scope = append(scope, u)
+		}
+	}
+	o := mustBuild(t, g, Options{Seed: 93, Nodes: scope})
+	got := roundTrip(t, o)
+	if len(got.Options().Nodes) != len(scope) {
+		t.Fatalf("scope did not round-trip: %d nodes", len(got.Options().Nodes))
+	}
+	for u := uint32(0); int(u) < n; u++ {
+		if got.Covers(u) != o.Covers(u) {
+			t.Fatalf("Covers(%d) diverges", u)
+		}
+	}
+	assertOraclesAgree(t, o, got, n, 2000)
+}
+
+// TestSaveLoadWeighted covers weighted graphs (Dijkstra vicinities and
+// the weighted fallback).
+func TestSaveLoadWeighted(t *testing.T) {
+	r := xrand.New(95)
+	g0 := socialGraph(95, 300)
+	b := graph.NewBuilder(300)
+	g0.ForEachEdge(func(u, v, _ uint32) {
+		b.AddWeightedEdge(u, v, r.Uint32n(4)+1)
+	})
+	g := b.Build()
+	o := mustBuild(t, g, Options{Seed: 95})
+	got := roundTrip(t, o)
+	if !got.Graph().Weighted() {
+		t.Fatal("weighted flag lost")
+	}
+	assertOraclesAgree(t, o, got, 300, 1500)
+}
+
+// TestSaveLoadTiny covers degenerate graphs.
+func TestSaveLoadTiny(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		g := gen.Complete(n)
+		o := mustBuild(t, g, Options{Seed: 1})
+		got := roundTrip(t, o)
+		assertOraclesAgree(t, o, got, n, 50)
+	}
+}
+
+// TestChecksumValidStructuralCorruption covers inconsistencies the
+// checksum cannot catch: a file whose CRC is valid but whose node-id
+// arrays would index out of bounds at query time. WriteOracle
+// faithfully serializes whatever is in memory (checksum included), so
+// corrupting the in-memory oracle before saving produces exactly such
+// a file; the loader's structural validation must reject it.
+func TestChecksumValidStructuralCorruption(t *testing.T) {
+	g := socialGraph(99, 200)
+
+	corrupt := func(name string, mutate func(o *Oracle)) {
+		o := mustBuild(t, g, Options{Seed: 99})
+		mutate(o)
+		var buf bytes.Buffer
+		if err := WriteOracle(&buf, o); err != nil {
+			t.Fatalf("%s: WriteOracle: %v", name, err)
+		}
+		if _, err := ReadOracle(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrBadOracleFile) {
+			t.Fatalf("%s: corrupt structure not rejected: %v", name, err)
+		}
+	}
+
+	corrupt("nearest out of range", func(o *Oracle) {
+		for u := range o.nearest {
+			if !o.isL[u] {
+				o.nearest[u] = 200 // == n: would panic in lidx[ls]
+				return
+			}
+		}
+	})
+	corrupt("lparent out of range", func(o *Oracle) {
+		o.lparent[0] = 12345678 // would panic in landmarkChain
+	})
+	corrupt("boundary offsets not monotone", func(o *Oracle) {
+		o.boundOff[5], o.boundOff[6] = o.boundOff[6]+1, o.boundOff[5]
+	})
+	corrupt("landmarks unsorted", func(o *Oracle) {
+		if len(o.landmarks) >= 2 {
+			o.landmarks[0], o.landmarks[1] = o.landmarks[1], o.landmarks[0]
+		}
+	})
+}
+
+// TestCorruptOracleFiles checks that corruption anywhere in the file is
+// rejected (checksum) and truncation at any prefix fails cleanly.
+func TestCorruptOracleFiles(t *testing.T) {
+	g := socialGraph(97, 200)
+	o := mustBuild(t, g, Options{Seed: 97})
+	var buf bytes.Buffer
+	if err := WriteOracle(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Sanity: the pristine blob loads.
+	if _, err := ReadOracle(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, err := ReadOracle(bytes.NewReader(bad)); !errors.Is(err, oraclefile.ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	// Bad version.
+	bad = append([]byte(nil), blob...)
+	bad[4] ^= 0xFF
+	if _, err := ReadOracle(bytes.NewReader(bad)); !errors.Is(err, oraclefile.ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	// Flip one byte at a sample of offsets: every corruption must be
+	// rejected (never a panic, never silent acceptance).
+	r := xrand.New(5)
+	for trial := 0; trial < 200; trial++ {
+		pos := 6 + int(r.Uint32n(uint32(len(blob)-6)))
+		bad = append([]byte(nil), blob...)
+		bad[pos] ^= 1 << (trial % 8)
+		if _, err := ReadOracle(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d accepted", pos)
+		}
+	}
+
+	// Truncation at a sample of prefix lengths.
+	for trial := 0; trial < 100; trial++ {
+		cut := int(r.Uint32n(uint32(len(blob))))
+		if _, err := ReadOracle(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}

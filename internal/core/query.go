@@ -142,21 +142,34 @@ func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
 			return d, nil
 		}
 	}
-	vs, vt := o.vic[s], o.vic[t]
-	if vs == nil && !o.isL[s] {
+	if o.vicAlt == nil {
+		return o.flatVicDistance(s, t, st)
+	}
+	return o.altVicDistance(s, t, st)
+}
+
+// flatVicDistance runs the vicinity cases of Algorithm 1 over the
+// arena-backed layout. It holds u32map.Flat views in locals so every
+// table probe — including each iteration of the boundary scan — is a
+// single call frame over contiguous arrays; this is the hot path the
+// flat refactor exists for.
+func (o *Oracle) flatVicDistance(s, t uint32, st *QueryStats) (uint32, error) {
+	vs, okS := o.flatVicinity(s)
+	vt, okT := o.flatVicinity(t)
+	if !okS && !o.isL[s] {
 		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, s)
 	}
-	if vt == nil && !o.isL[t] {
+	if !okT && !o.isL[t] {
 		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, t)
 	}
-	if vs != nil {
+	if okS {
 		st.Lookups++
 		if d, ok := vs.Get(t); ok {
 			st.Method = MethodVicinitySource
 			return d, nil
 		}
 	}
-	if vt != nil {
+	if okT {
 		st.Lookups++
 		if d, ok := vt.Get(s); ok {
 			st.Method = MethodVicinityTarget
@@ -167,17 +180,16 @@ func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
 	// Algorithm 1 lines 5-9: scan a boundary, probing the other side's
 	// vicinity table. Lemma 1 makes boundary-only scanning sufficient,
 	// and symmetry allows choosing either side.
-	if vs != nil && vt != nil {
-		scanKeys, scanDist := o.boundKeys[s], o.boundDist[s]
+	if okS && okT {
+		scanKeys, scanDist := o.boundary(s)
 		probe := vt
-		if o.opts.ScanSmallerBoundary && len(o.boundKeys[t]) < len(scanKeys) {
-			scanKeys, scanDist = o.boundKeys[t], o.boundDist[t]
+		if o.opts.ScanSmallerBoundary && o.BoundarySize(t) < len(scanKeys) {
+			scanKeys, scanDist = o.boundary(t)
 			probe = vs
 		}
 		best := NoDist
 		meet := graph.NoNode
 		for i, w := range scanKeys {
-			st.Lookups++
 			if dw, ok := probe.Get(w); ok {
 				if cand := scanDist[i] + dw; cand < best {
 					best = cand
@@ -185,6 +197,7 @@ func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
 				}
 			}
 		}
+		st.Lookups += len(scanKeys)
 		st.Scanned += len(scanKeys)
 		if best != NoDist {
 			st.Method = MethodIntersection
@@ -193,6 +206,59 @@ func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
 		}
 	}
 
+	return o.fallbackDistance(s, t, st)
+}
+
+// altVicDistance is the same algorithm over the interface-dispatched
+// tables of the TableBuiltin ablation.
+func (o *Oracle) altVicDistance(s, t uint32, st *QueryStats) (uint32, error) {
+	vs, okS := o.vicAlt[s], o.vicAlt[s] != nil
+	vt, okT := o.vicAlt[t], o.vicAlt[t] != nil
+	if !okS && !o.isL[s] {
+		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, s)
+	}
+	if !okT && !o.isL[t] {
+		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, t)
+	}
+	if okS {
+		st.Lookups++
+		if d, ok := vs.Get(t); ok {
+			st.Method = MethodVicinitySource
+			return d, nil
+		}
+	}
+	if okT {
+		st.Lookups++
+		if d, ok := vt.Get(s); ok {
+			st.Method = MethodVicinityTarget
+			return d, nil
+		}
+	}
+	if okS && okT {
+		scanKeys, scanDist := o.boundary(s)
+		probe := vt
+		if o.opts.ScanSmallerBoundary && o.BoundarySize(t) < len(scanKeys) {
+			scanKeys, scanDist = o.boundary(t)
+			probe = vs
+		}
+		best := NoDist
+		meet := graph.NoNode
+		for i, w := range scanKeys {
+			if dw, ok := probe.Get(w); ok {
+				if cand := scanDist[i] + dw; cand < best {
+					best = cand
+					meet = w
+				}
+			}
+		}
+		st.Lookups += len(scanKeys)
+		st.Scanned += len(scanKeys)
+		if best != NoDist {
+			st.Method = MethodIntersection
+			st.Meet = meet
+			return best, nil
+		}
+	}
 	return o.fallbackDistance(s, t, st)
 }
 

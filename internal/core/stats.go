@@ -36,16 +36,16 @@ func (o *Oracle) Stats() BuildStats {
 	}
 	var sumVic, sumBound, sumRad, radCount int64
 	for u := 0; u < n; u++ {
-		t := o.vic[u]
-		if t == nil {
+		t, ok := o.vicinity(uint32(u))
+		if !ok {
 			continue
 		}
-		sz := t.Len()
+		sz := t.size()
 		sumVic += int64(sz)
 		if sz > s.MaxVicinity {
 			s.MaxVicinity = sz
 		}
-		bs := len(o.boundKeys[u])
+		bs := o.BoundarySize(uint32(u))
 		sumBound += int64(bs)
 		if bs > s.MaxBoundary {
 			s.MaxBoundary = bs
@@ -105,30 +105,17 @@ func (o *Oracle) Memory() MemoryStats {
 	var ms MemoryStats
 	var covered int64
 	for u := 0; u < n; u++ {
-		if t := o.vic[u]; t != nil {
-			ms.VicinityEntries += int64(t.Len())
-			ms.VicinityBytes += int64(t.Bytes())
-			ms.VicinityBytes += int64(8 * len(o.boundKeys[u]))
-			covered++
+		t, ok := o.vicinity(uint32(u))
+		if !ok {
+			continue
 		}
+		ms.VicinityEntries += int64(t.size())
+		ms.VicinityBytes += int64(t.bytes())
+		ms.VicinityBytes += int64(8 * o.BoundarySize(uint32(u)))
+		covered++
 	}
-	for _, tbl := range o.ldist {
-		if tbl != nil {
-			ms.LandmarkEntries += int64(len(tbl))
-			ms.LandmarkBytes += int64(4 * len(tbl))
-		}
-	}
-	for _, tbl := range o.ldist16 {
-		if tbl != nil {
-			ms.LandmarkEntries += int64(len(tbl))
-			ms.LandmarkBytes += int64(2 * len(tbl))
-		}
-	}
-	for _, tbl := range o.lparent {
-		if tbl != nil {
-			ms.LandmarkBytes += int64(4 * len(tbl))
-		}
-	}
+	ms.LandmarkEntries += int64(len(o.ldist)) + int64(len(o.ldist16))
+	ms.LandmarkBytes += int64(4*len(o.ldist)) + int64(2*len(o.ldist16)) + int64(4*len(o.lparent))
 	ms.TotalEntries = ms.VicinityEntries + ms.LandmarkEntries
 	ms.TotalBytes = ms.VicinityBytes + ms.LandmarkBytes
 	ms.APSPEntries = float64(n) * float64(n)

@@ -160,10 +160,15 @@ func (g *Graph) Validate() error {
 	if g.weights != nil && len(g.weights) != len(g.targets) {
 		return fmt.Errorf("graph: %d weights for %d targets", len(g.weights), len(g.targets))
 	}
+	// Validate every offset before any Neighbors call slices with it: a
+	// corrupt middle offset above the final bound would otherwise panic
+	// instead of returning an error.
 	for u := uint32(0); int(u) < g.n; u++ {
 		if g.offsets[u] > g.offsets[u+1] {
 			return fmt.Errorf("graph: node %d has negative degree", u)
 		}
+	}
+	for u := uint32(0); int(u) < g.n; u++ {
 		adj := g.Neighbors(u)
 		for i, v := range adj {
 			if int(v) >= g.n {

@@ -1,0 +1,144 @@
+package oraclefile
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 3)
+	u64s := []uint64{1, 2, 1 << 60}
+	u32s := make([]uint32, 20000) // spans multiple chunks
+	for i := range u32s {
+		u32s[i] = uint32(i * 7)
+	}
+	u16s := []uint16{9, 8, 7}
+	raw := []byte("embedded blob")
+	w.U64s(1, u64s)
+	w.U32s(2, u32s)
+	w.U16s(3, u16s)
+	w.Raw(4, raw)
+	w.U32s(5, nil)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 3 {
+		t.Fatalf("version = %d", r.Version())
+	}
+	got64, err := r.U64s(1)
+	if err != nil || !reflect.DeepEqual(got64, u64s) {
+		t.Fatalf("U64s: %v %v", got64, err)
+	}
+	got32, err := r.U32s(2)
+	if err != nil || !reflect.DeepEqual(got32, u32s) {
+		t.Fatalf("U32s mismatch: %v", err)
+	}
+	got16, err := r.U16s(3)
+	if err != nil || !reflect.DeepEqual(got16, u16s) {
+		t.Fatalf("U16s: %v %v", got16, err)
+	}
+	gotRaw, err := r.Raw(4)
+	if err != nil || !bytes.Equal(gotRaw, raw) {
+		t.Fatalf("Raw: %q %v", gotRaw, err)
+	}
+	empty, err := r.U32s(5)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty section: %v %v", empty, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("reader Close: %v", err)
+	}
+}
+
+func TestSectionOrderEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	w.U32s(1, []uint32{1})
+	w.U32s(2, []uint32{2})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.U32s(2); !errors.Is(err, ErrSection) {
+		t.Fatalf("out-of-order read: %v", err)
+	}
+}
+
+func TestChecksumAndTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	w.U32s(1, []uint32{10, 20, 30})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Flip each byte in turn; reading through must fail every time.
+	for pos := 6; pos < len(blob); pos++ {
+		bad := append([]byte(nil), blob...)
+		bad[pos] ^= 0x40
+		r, err := NewReader(bytes.NewReader(bad), int64(len(bad)))
+		if err != nil {
+			continue
+		}
+		if _, err := r.U32s(1); err != nil {
+			continue
+		}
+		if err := r.Close(); err == nil {
+			t.Fatalf("corruption at %d not detected", pos)
+		}
+	}
+	for cut := 0; cut < len(blob); cut++ {
+		r, err := NewReader(bytes.NewReader(blob[:cut]), int64(cut))
+		if err != nil {
+			continue
+		}
+		if _, err := r.U32s(1); err != nil {
+			continue
+		}
+		if err := r.Close(); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+
+	bad := append([]byte(nil), blob...)
+	bad[0] = 'X'
+	if _, err := NewReader(bytes.NewReader(bad), int64(len(bad))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic: %v", err)
+	}
+}
+
+// TestCorruptCountCannotForceHugeAlloc: a section claiming 2^40
+// elements on a tiny file must fail at EOF without allocating 2^40
+// elements first.
+func TestCorruptCountCannotForceHugeAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	w.U32s(1, []uint32{1, 2, 3})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	// Section count lives right after magic(4)+version(2)+tag(4).
+	blob[10+4] = 0xFF // blow up the low bytes of the count
+	blob[10+5] = 0xFF
+	blob[10+6] = 0xFF
+	r, err := NewReader(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.U32s(1); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("huge count: %v", err)
+	}
+}

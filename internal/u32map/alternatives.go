@@ -1,83 +1,5 @@
 package u32map
 
-import "sort"
-
-// Sorted is a Table backed by key-sorted parallel arrays with binary
-// search membership. It trades O(log n) probes for zero index overhead —
-// the most memory-frugal layout (12 bytes/entry exactly), relevant to the
-// paper's §5 question about reducing memory.
-type Sorted struct {
-	keys    []uint32
-	dists   []uint32
-	parents []uint32
-}
-
-// NewSorted builds a Sorted table from entry triples in any order.
-// The inputs are copied. Duplicate keys must not occur.
-func NewSorted(keys, dists, parents []uint32) *Sorted {
-	n := len(keys)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
-	s := &Sorted{
-		keys:    make([]uint32, n),
-		dists:   make([]uint32, n),
-		parents: make([]uint32, n),
-	}
-	for out, in := range idx {
-		s.keys[out] = keys[in]
-		s.dists[out] = dists[in]
-		s.parents[out] = parents[in]
-	}
-	return s
-}
-
-func (s *Sorted) find(key uint32) int {
-	lo, hi := 0, len(s.keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if s.keys[mid] < key {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(s.keys) && s.keys[lo] == key {
-		return lo
-	}
-	return -1
-}
-
-// Get returns the distance recorded for key.
-func (s *Sorted) Get(key uint32) (uint32, bool) {
-	if i := s.find(key); i >= 0 {
-		return s.dists[i], true
-	}
-	return 0, false
-}
-
-// GetEntry returns the distance and parent recorded for key.
-func (s *Sorted) GetEntry(key uint32) (dist, parent uint32, ok bool) {
-	if i := s.find(key); i >= 0 {
-		return s.dists[i], s.parents[i], true
-	}
-	return 0, 0, false
-}
-
-// Len returns the number of entries.
-func (s *Sorted) Len() int { return len(s.keys) }
-
-// At returns the i-th entry in key order (the insertion order of a
-// Sorted table is its key order).
-func (s *Sorted) At(i int) (key, dist, parent uint32) {
-	return s.keys[i], s.dists[i], s.parents[i]
-}
-
-// Bytes returns the approximate heap footprint.
-func (s *Sorted) Bytes() int { return 12 * len(s.keys) }
-
 // Builtin is a Table backed by Go's builtin map, for baseline comparison
 // in the data-structure ablation. Entries also live in insertion-order
 // arrays so At works.
@@ -136,7 +58,4 @@ func (b *Builtin) Bytes() int {
 	return 12*len(b.keys) + 48*len(b.idx)
 }
 
-var (
-	_ Table = (*Sorted)(nil)
-	_ Table = (*Builtin)(nil)
-)
+var _ Table = (*Builtin)(nil)

@@ -1,0 +1,250 @@
+package u32map
+
+import "sort"
+
+// Arena holds the shared backing arrays behind every Flat table: one
+// contiguous entry arena (key/dist/parent triples, concatenated per
+// table) and one contiguous slot arena (concatenated per-table
+// open-addressing indexes). Many Flat views index into one Arena, so a
+// built oracle is a handful of large allocations instead of per-node
+// pointer soup: the garbage collector has almost nothing to scan, the
+// entries of one table are adjacent in memory, and the whole structure
+// serializes as a few array copies.
+//
+// Slot values are entry indexes local to their table's entry range,
+// plus one; zero means empty. Entry and slot offsets are uint32, so an
+// arena holds at most 2^32-1 entries (callers enforce the cap).
+type Arena struct {
+	Keys    []uint32
+	Dists   []uint32
+	Parents []uint32
+	Slots   []uint32
+}
+
+// NumEntries returns the number of entries stored across all tables.
+func (a *Arena) NumEntries() int { return len(a.Keys) }
+
+// Bytes returns the heap footprint of the arena backing arrays.
+func (a *Arena) Bytes() int {
+	return 4 * (len(a.Keys) + len(a.Dists) + len(a.Parents) + len(a.Slots))
+}
+
+// IndexSize returns the power-of-two slot count a hash-layout table
+// uses for n entries (load factor at most 2/3). It is exported so
+// arena builders can pre-compute slot-range offsets.
+func IndexSize(n int) int { return indexSize(n) }
+
+// Flat slot words pack the entry index (plus one; zero means empty)
+// into the low 24 bits and an 8-bit key fingerprint — the high byte of
+// the key's Fibonacci hash, independent of the low bits that pick the
+// slot — into the top byte. A probe compares the fingerprint before
+// touching the entries arrays, so collision probes (and the occupied
+// slots walked during an unsuccessful linear-probe scan, the common
+// case in boundary scans) cost one slot load instead of a dependent
+// random read of Keys. The packing caps a single table at 2^24-1
+// entries; vicinities are ~α√n, far below it.
+const (
+	slotIdxBits = 24
+	slotIdxMask = 1<<slotIdxBits - 1
+)
+
+// MaxFlatEntries is the largest entry count a single hash-layout Flat
+// table supports (the slot packing reserves 24 bits for the index).
+const MaxFlatEntries = slotIdxMask
+
+// FillIndex builds the open-addressing index for keys into slots.
+// len(slots) must be IndexSize(len(keys)) and slots must be zeroed;
+// keys must be distinct and fewer than 2^24. Disjoint calls are safe
+// concurrently, so an arena's slot ranges can be filled in parallel.
+func FillIndex(slots, keys []uint32) {
+	mask := uint32(len(slots) - 1)
+	for idx, key := range keys {
+		h := key * fib32
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = uint32(idx+1) | (h >> slotIdxBits << slotIdxBits)
+	}
+}
+
+// ValidIndex reports whether a deserialized slot range is safe to
+// probe: every occupied slot references an entry index in [1, eLen],
+// and at least one slot is empty so unsuccessful probes terminate.
+// It does not verify that the index matches the keys (the file
+// checksum covers accidental corruption).
+func ValidIndex(slots []uint32, eLen uint32) bool {
+	occupied := 0
+	for _, s := range slots {
+		if s == 0 {
+			continue
+		}
+		occupied++
+		if idx := s & slotIdxMask; idx == 0 || idx > eLen {
+			return false
+		}
+	}
+	return occupied < len(slots)
+}
+
+// SortEntries sorts the triple (keys[i], dists[i], parents[i]) in place
+// by key, for the index-free sorted flat layout.
+func SortEntries(keys, dists, parents []uint32) {
+	sort.Sort(&tripleSort{keys, dists, parents})
+}
+
+type tripleSort struct{ keys, dists, parents []uint32 }
+
+func (t *tripleSort) Len() int           { return len(t.keys) }
+func (t *tripleSort) Less(i, j int) bool { return t.keys[i] < t.keys[j] }
+func (t *tripleSort) Swap(i, j int) {
+	t.keys[i], t.keys[j] = t.keys[j], t.keys[i]
+	t.dists[i], t.dists[j] = t.dists[j], t.dists[i]
+	t.parents[i], t.parents[j] = t.parents[j], t.parents[i]
+}
+
+// noIndex in the sMask field marks the sorted (index-free) layout.
+const noIndex = ^uint32(0)
+
+// Flat is a zero-allocation view of one table's ranges within an
+// Arena. The zero value is an empty table. Flat is a value type (24
+// bytes); constructing one performs no allocation, so owners can store
+// plain CSR offset arrays and materialize views on demand.
+type Flat struct {
+	a          *Arena
+	eOff, eLen uint32
+	sOff       uint32
+	sMask      uint32 // slot count - 1, or noIndex for the sorted layout
+}
+
+// Hash returns the hash-layout view of entries [eOff, eEnd) indexed by
+// slots [sOff, sEnd). sEnd-sOff must be IndexSize(eEnd-eOff) for a
+// non-empty table.
+func (a *Arena) Hash(eOff, eEnd, sOff, sEnd uint32) Flat {
+	if eOff == eEnd {
+		return Flat{}
+	}
+	return Flat{a: a, eOff: eOff, eLen: eEnd - eOff, sOff: sOff, sMask: sEnd - sOff - 1}
+}
+
+// Sorted returns the index-free view of entries [eOff, eEnd), which
+// must be sorted by key (see SortEntries). Membership is answered by
+// binary search instead of slot probes.
+func (a *Arena) Sorted(eOff, eEnd uint32) Flat {
+	if eOff == eEnd {
+		return Flat{}
+	}
+	return Flat{a: a, eOff: eOff, eLen: eEnd - eOff, sMask: noIndex}
+}
+
+// findSorted returns the entry index of key in a sorted-layout view, or
+// -1. The probing in Get/GetEntry is written out per layout instead of
+// sharing a find helper: the hash probe is the oracle's innermost query
+// loop, and keeping it a single stack frame below the caller is worth
+// the duplication.
+func (f Flat) findSorted(key uint32) int32 {
+	lo, hi := f.eOff, f.eOff+f.eLen
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if f.a.Keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < f.eOff+f.eLen && f.a.Keys[lo] == key {
+		return int32(lo)
+	}
+	return -1
+}
+
+// Get returns the distance recorded for key.
+func (f Flat) Get(key uint32) (uint32, bool) {
+	if f.eLen == 0 {
+		return 0, false
+	}
+	a := f.a
+	if f.sMask != noIndex {
+		h := key * fib32
+		fp := h >> slotIdxBits << slotIdxBits
+		i := h & f.sMask
+		for {
+			s := a.Slots[f.sOff+i]
+			if s == 0 {
+				return 0, false
+			}
+			if s>>slotIdxBits<<slotIdxBits == fp {
+				if e := f.eOff + (s & slotIdxMask) - 1; a.Keys[e] == key {
+					return a.Dists[e], true
+				}
+			}
+			i = (i + 1) & f.sMask
+		}
+	}
+	if e := f.findSorted(key); e >= 0 {
+		return a.Dists[e], true
+	}
+	return 0, false
+}
+
+// GetEntry returns the distance and parent recorded for key.
+func (f Flat) GetEntry(key uint32) (dist, parent uint32, ok bool) {
+	if f.eLen == 0 {
+		return 0, 0, false
+	}
+	a := f.a
+	if f.sMask != noIndex {
+		h := key * fib32
+		fp := h >> slotIdxBits << slotIdxBits
+		i := h & f.sMask
+		for {
+			s := a.Slots[f.sOff+i]
+			if s == 0 {
+				return 0, 0, false
+			}
+			if s>>slotIdxBits<<slotIdxBits == fp {
+				if e := f.eOff + (s & slotIdxMask) - 1; a.Keys[e] == key {
+					return a.Dists[e], a.Parents[e], true
+				}
+			}
+			i = (i + 1) & f.sMask
+		}
+	}
+	if e := f.findSorted(key); e >= 0 {
+		return f.a.Dists[e], f.a.Parents[e], true
+	}
+	return 0, 0, false
+}
+
+// Len returns the number of entries.
+func (f Flat) Len() int { return int(f.eLen) }
+
+// Ranges returns the view's entry range [eOff, eOff+eLen) and slot
+// range [sOff, sOff+sLen) within its arena (sLen is 0 for the sorted
+// layout and for empty tables). Serializers use it to derive CSR
+// offset arrays from a set of views.
+func (f Flat) Ranges() (eOff, eLen, sOff, sLen uint32) {
+	if f.eLen > 0 && f.sMask != noIndex {
+		return f.eOff, f.eLen, f.sOff, f.sMask + 1
+	}
+	return f.eOff, f.eLen, f.sOff, 0
+}
+
+// At returns the i-th entry in stored order (insertion order for the
+// hash layout, key order for the sorted layout).
+func (f Flat) At(i int) (key, dist, parent uint32) {
+	e := f.eOff + uint32(i)
+	return f.a.Keys[e], f.a.Dists[e], f.a.Parents[e]
+}
+
+// Bytes returns the share of the arena footprint attributable to this
+// table: 12 bytes per entry plus its slot range.
+func (f Flat) Bytes() int {
+	b := 12 * int(f.eLen)
+	if f.eLen > 0 && f.sMask != noIndex {
+		b += 4 * (int(f.sMask) + 1)
+	}
+	return b
+}
+
+var _ Table = Flat{}

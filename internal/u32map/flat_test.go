@@ -1,0 +1,192 @@
+package u32map
+
+import (
+	"testing"
+
+	"vicinity/internal/xrand"
+)
+
+// buildFlatArena packs the given tables (as key slices; dist = key+1,
+// parent = key+2) into one arena in both layouts.
+func buildFlatArena(t *testing.T, tables [][]uint32, hash bool) (*Arena, []Flat) {
+	t.Helper()
+	a := &Arena{}
+	var views []Flat
+	for _, keys := range tables {
+		eOff := uint32(len(a.Keys))
+		for _, k := range keys {
+			a.Keys = append(a.Keys, k)
+			a.Dists = append(a.Dists, k+1)
+			a.Parents = append(a.Parents, k+2)
+		}
+		eEnd := uint32(len(a.Keys))
+		if !hash {
+			SortEntries(a.Keys[eOff:eEnd], a.Dists[eOff:eEnd], a.Parents[eOff:eEnd])
+			views = append(views, a.Sorted(eOff, eEnd))
+			continue
+		}
+		sOff := uint32(len(a.Slots))
+		if len(keys) > 0 {
+			a.Slots = append(a.Slots, make([]uint32, IndexSize(len(keys)))...)
+			FillIndex(a.Slots[sOff:], a.Keys[eOff:eEnd])
+		}
+		views = append(views, a.Hash(eOff, eEnd, sOff, uint32(len(a.Slots))))
+	}
+	return a, views
+}
+
+func TestFlatLayouts(t *testing.T) {
+	r := xrand.New(1)
+	tables := make([][]uint32, 50)
+	for i := range tables {
+		n := int(r.Uint32n(200))
+		seen := map[uint32]bool{}
+		for len(seen) < n {
+			seen[r.Uint32n(100000)] = true
+		}
+		for k := range seen {
+			tables[i] = append(tables[i], k)
+		}
+	}
+	for _, hash := range []bool{true, false} {
+		_, views := buildFlatArena(t, tables, hash)
+		for i, keys := range tables {
+			f := views[i]
+			if f.Len() != len(keys) {
+				t.Fatalf("table %d: Len %d, want %d", i, f.Len(), len(keys))
+			}
+			for _, k := range keys {
+				d, ok := f.Get(k)
+				if !ok || d != k+1 {
+					t.Fatalf("table %d (hash=%v): Get(%d) = %d,%v", i, hash, k, d, ok)
+				}
+				d, p, ok := f.GetEntry(k)
+				if !ok || d != k+1 || p != k+2 {
+					t.Fatalf("table %d: GetEntry(%d) = %d,%d,%v", i, k, d, p, ok)
+				}
+			}
+			// Absent keys, including ones present in *other* tables of
+			// the same arena (no cross-table bleed).
+			for trial := 0; trial < 200; trial++ {
+				k := r.Uint32n(1 << 30)
+				want := false
+				for _, have := range keys {
+					if have == k {
+						want = true
+					}
+				}
+				if _, ok := f.Get(k); ok != want {
+					t.Fatalf("table %d: Get(%d) membership %v, want %v", i, k, ok, want)
+				}
+			}
+			// At enumerates exactly the entries.
+			got := map[uint32]bool{}
+			for j := 0; j < f.Len(); j++ {
+				k, d, p := f.At(j)
+				if d != k+1 || p != k+2 {
+					t.Fatalf("At(%d) returned (%d,%d,%d)", j, k, d, p)
+				}
+				got[k] = true
+			}
+			if len(got) != len(keys) {
+				t.Fatalf("At enumerated %d distinct keys, want %d", len(got), len(keys))
+			}
+		}
+	}
+}
+
+func TestFlatMatchesMap(t *testing.T) {
+	r := xrand.New(7)
+	keys := make([]uint32, 0, 500)
+	seen := map[uint32]bool{}
+	for len(keys) < 500 {
+		k := r.Uint32n(1 << 20)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	m := New(len(keys))
+	for _, k := range keys {
+		m.Put(k, k*3, k*5)
+	}
+	a := &Arena{Keys: keys}
+	for _, k := range keys {
+		a.Dists = append(a.Dists, k*3)
+		a.Parents = append(a.Parents, k*5)
+	}
+	a.Slots = make([]uint32, IndexSize(len(keys)))
+	FillIndex(a.Slots, a.Keys)
+	f := a.Hash(0, uint32(len(keys)), 0, uint32(len(a.Slots)))
+	for trial := 0; trial < 5000; trial++ {
+		k := r.Uint32n(1 << 21)
+		dm, okM := m.Get(k)
+		df, okF := f.Get(k)
+		if dm != df || okM != okF {
+			t.Fatalf("Get(%d): Map %d,%v vs Flat %d,%v", k, dm, okM, df, okF)
+		}
+	}
+}
+
+func TestFlatEmpty(t *testing.T) {
+	var f Flat
+	if f.Len() != 0 || f.Bytes() != 0 {
+		t.Fatal("zero Flat not empty")
+	}
+	if _, ok := f.Get(0); ok {
+		t.Fatal("zero Flat contains a key")
+	}
+	if _, _, ok := f.GetEntry(7); ok {
+		t.Fatal("zero Flat contains an entry")
+	}
+}
+
+func TestValidIndex(t *testing.T) {
+	keys := []uint32{5, 9, 13, 200, 77}
+	slots := make([]uint32, IndexSize(len(keys)))
+	FillIndex(slots, keys)
+	if !ValidIndex(slots, uint32(len(keys))) {
+		t.Fatal("valid index rejected")
+	}
+	// Out-of-range entry index.
+	bad := append([]uint32(nil), slots...)
+	for i, s := range bad {
+		if s != 0 {
+			bad[i] = s | 0xFF // index beyond eLen
+			break
+		}
+	}
+	if ValidIndex(bad, uint32(len(keys))) {
+		t.Fatal("out-of-range slot accepted")
+	}
+	// A full table can never terminate an unsuccessful probe.
+	full := make([]uint32, 8)
+	for i := range full {
+		full[i] = 1
+	}
+	if ValidIndex(full, 8) {
+		t.Fatal("full slot table accepted")
+	}
+}
+
+func TestRanges(t *testing.T) {
+	a, views := buildFlatArena(t, [][]uint32{{1, 2, 3}, {}, {10, 20}}, true)
+	eOff, eLen, sOff, sLen := views[0].Ranges()
+	if eOff != 0 || eLen != 3 || sOff != 0 || int(sLen) != IndexSize(3) {
+		t.Fatalf("ranges[0] = %d,%d,%d,%d", eOff, eLen, sOff, sLen)
+	}
+	_, eLen, _, sLen = views[1].Ranges()
+	if eLen != 0 || sLen != 0 {
+		t.Fatalf("empty table ranges = len %d, slots %d", eLen, sLen)
+	}
+	eOff, eLen, sOff, sLen = views[2].Ranges()
+	if eOff != 3 || eLen != 2 || int(sOff) != IndexSize(3) || int(sLen) != IndexSize(2) {
+		t.Fatalf("ranges[2] = %d,%d,%d,%d", eOff, eLen, sOff, sLen)
+	}
+	if a.NumEntries() != 5 {
+		t.Fatalf("NumEntries = %d", a.NumEntries())
+	}
+	if a.Bytes() != 4*(5*3+len(a.Slots)) {
+		t.Fatalf("Bytes = %d", a.Bytes())
+	}
+}

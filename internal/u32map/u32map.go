@@ -3,13 +3,16 @@
 // owner and its parent on the owner's shortest path tree.
 //
 // The paper stores vicinities in hash tables (GNU C++ unordered_map) and
-// reports query cost in hash-table look-ups (Table 3). The default
-// implementation here is the equivalent structure tuned for uint32 keys:
-// an insertion-ordered entry arena plus an open-addressing index with
-// Fibonacci hashing and linear probing. Two alternatives — a sorted array
-// with binary search and a wrapper over Go's builtin map — implement the
-// same Table interface for the data-structure ablation the paper floats
-// in §5 ("more customized implementations of the data structures").
+// reports query cost in hash-table look-ups (Table 3). The production
+// representation here is the Flat view over a shared Arena: all tables'
+// entries concatenated into contiguous parallel arrays with Fibonacci-
+// hashed, linearly probed slot ranges (or key-sorted ranges with binary
+// search for the index-free layout) — see flat.go. Map is the same
+// structure as a standalone, growable table (used as a reference
+// implementation and for callers that build tables incrementally), and
+// Builtin wraps Go's builtin map for the data-structure ablation the
+// paper floats in §5 ("more customized implementations of the data
+// structures").
 package u32map
 
 // Table is the read interface shared by all vicinity-table

@@ -111,11 +111,14 @@ func TestCollidingKeys(t *testing.T) {
 	}
 }
 
-func TestSortedTable(t *testing.T) {
-	keys := []uint32{42, 7, 100, 3}
-	dists := []uint32{1, 2, 3, 4}
-	parents := []uint32{10, 20, 30, 40}
-	s := NewSorted(keys, dists, parents)
+func TestSortedFlatTable(t *testing.T) {
+	a := &Arena{
+		Keys:    []uint32{42, 7, 100, 3},
+		Dists:   []uint32{1, 2, 3, 4},
+		Parents: []uint32{10, 20, 30, 40},
+	}
+	SortEntries(a.Keys, a.Dists, a.Parents)
+	s := a.Sorted(0, 4)
 	if s.Len() != 4 {
 		t.Fatalf("Len = %d", s.Len())
 	}
@@ -175,16 +178,15 @@ func TestQuickAllImplementationsAgree(t *testing.T) {
 			b.Put(k, d, p)
 			ref[k] = [2]uint32{d, p}
 		}
-		// Sorted is build-once; it must not see duplicate keys, so feed
-		// the deduplicated first-value triples and then overwrite to the
-		// final values.
+		// Flat layouts are build-once; they must not see duplicate keys,
+		// so feed the deduplicated triples overwritten to final values.
 		for i, k := range ks {
 			ds[i] = ref[k][0]
 			ps[i] = ref[k][1]
 		}
-		s := NewSorted(ks, ds, ps)
+		fh, fs := buildFlatPair(ks, ds, ps)
 		for k, want := range ref {
-			for _, tbl := range []Table{m, s, b} {
+			for _, tbl := range []Table{m, b, fh, fs} {
 				d, p, ok := tbl.GetEntry(k)
 				if !ok || d != want[0] || p != want[1] {
 					return false
@@ -195,7 +197,7 @@ func TestQuickAllImplementationsAgree(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			k := uint32(i) * 2654435761
 			_, wantOK := ref[k]
-			for _, tbl := range []Table{m, s, b} {
+			for _, tbl := range []Table{m, b, fh, fs} {
 				if _, ok := tbl.Get(k); ok != wantOK {
 					return false
 				}
@@ -208,7 +210,29 @@ func TestQuickAllImplementationsAgree(t *testing.T) {
 	}
 }
 
-func buildBenchTables(n int) (*Map, *Sorted, *Builtin, []uint32) {
+// buildFlatPair materializes the triples as arena-backed hash and
+// sorted Flat views (each in its own arena so the sort does not
+// disturb the hash layout's entry order).
+func buildFlatPair(ks, ds, ps []uint32) (hash, sorted Flat) {
+	ah := &Arena{
+		Keys:    append([]uint32(nil), ks...),
+		Dists:   append([]uint32(nil), ds...),
+		Parents: append([]uint32(nil), ps...),
+	}
+	if len(ks) > 0 {
+		ah.Slots = make([]uint32, IndexSize(len(ks)))
+		FillIndex(ah.Slots, ah.Keys)
+	}
+	as := &Arena{
+		Keys:    append([]uint32(nil), ks...),
+		Dists:   append([]uint32(nil), ds...),
+		Parents: append([]uint32(nil), ps...),
+	}
+	SortEntries(as.Keys, as.Dists, as.Parents)
+	return ah.Hash(0, uint32(len(ks)), 0, uint32(len(ah.Slots))), as.Sorted(0, uint32(len(ks)))
+}
+
+func buildBenchTables(n int) (*Map, *Builtin, Flat, Flat, []uint32) {
 	r := xrand.New(1)
 	m := New(n)
 	b := NewBuiltin(n)
@@ -230,28 +254,39 @@ func buildBenchTables(n int) (*Map, *Sorted, *Builtin, []uint32) {
 		m.Put(ks[i], ds[i], ps[i])
 		b.Put(ks[i], ds[i], ps[i])
 	}
-	s := NewSorted(ks, ds, ps)
-	return m, s, b, ks
+	fh, fs := buildFlatPair(ks, ds, ps)
+	return m, b, fh, fs, ks
 }
 
+// The Get benchmarks compare the pointer-layout tables (Map, Builtin)
+// against the arena-backed flat layouts on identical data.
+
 func BenchmarkMapGet(b *testing.B) {
-	m, _, _, ks := buildBenchTables(4096)
+	m, _, _, _, ks := buildBenchTables(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Get(ks[i&4095])
 	}
 }
 
-func BenchmarkSortedGet(b *testing.B) {
-	_, s, _, ks := buildBenchTables(4096)
+func BenchmarkFlatHashGet(b *testing.B) {
+	_, _, fh, _, ks := buildBenchTables(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Get(ks[i&4095])
+		fh.Get(ks[i&4095])
+	}
+}
+
+func BenchmarkFlatSortedGet(b *testing.B) {
+	_, _, _, fs, ks := buildBenchTables(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Get(ks[i&4095])
 	}
 }
 
 func BenchmarkBuiltinGet(b *testing.B) {
-	_, _, bt, ks := buildBenchTables(4096)
+	_, bt, _, _, ks := buildBenchTables(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bt.Get(ks[i&4095])

@@ -139,6 +139,54 @@ func TestGraphFileRoundTrip(t *testing.T) {
 	}
 }
 
+func TestOracleFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := GenerateSocial(800, 5, 9)
+	o, err := Build(g, &Options{Seed: 9, CompactLandmarkTables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "oracle.vco")
+	if err := o.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := LoadOracle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Graph().NumNodes() != g.NumNodes() || o2.Graph().NumEdges() != g.NumEdges() {
+		t.Fatal("embedded graph changed size")
+	}
+	if o2.Stats() != o.Stats() {
+		t.Fatalf("stats diverge:\n%v\n%v", o2.Stats(), o.Stats())
+	}
+	r := xrand.New(10)
+	for trial := 0; trial < 500; trial++ {
+		s, u := r.Uint32n(800), r.Uint32n(800)
+		d1, m1, err1 := o.Distance(s, u)
+		d2, m2, err2 := o2.Distance(s, u)
+		if d1 != d2 || m1 != m2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("(%d,%d): %d/%v vs %d/%v", s, u, d1, m1, d2, m2)
+		}
+		p1, _, _ := o.Path(s, u)
+		p2, _, _ := o2.Path(s, u)
+		if len(p1) != len(p2) {
+			t.Fatalf("(%d,%d): path lengths %d vs %d", s, u, len(p1), len(p2))
+		}
+	}
+	if _, err := LoadOracle(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing oracle file loaded")
+	}
+	// A graph file is not an oracle file.
+	gpath := filepath.Join(dir, "g.bin")
+	if err := g.SaveBinary(gpath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOracle(gpath); err == nil {
+		t.Fatal("graph file accepted as oracle")
+	}
+}
+
 func TestAgainstBFSGroundTruth(t *testing.T) {
 	g := NewGraph(6, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
 	o, err := Build(g, &Options{Seed: 9})
