@@ -6,10 +6,16 @@
 //	spserver -graph lj.bin -addr :7421 -http :8080
 //	spserver -gen orkut -n 10000 -addr 127.0.0.1:7421
 //	spserver -oracle lj.vco -addr :7421   # prebuilt oracle: cold start in ms
+//	spserver -gen flickr -http :8080 -allow-updates
 //
 // With -oracle, the server loads a prebuilt oracle file (written by
 // Oracle.Save or spbench -save) instead of building one; the file
 // embeds the graph, so -graph/-gen are not needed.
+//
+// With -allow-updates, POST /v1/admin/update accepts graph mutation
+// batches ({"add_nodes":N,"edges":[[u,v],...]}); the oracle is repaired
+// incrementally and swapped in atomically, so queries keep flowing
+// through every update.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // connections.
@@ -53,6 +59,7 @@ func run(args []string) error {
 		addr       = fs.String("addr", "127.0.0.1:7421", "TCP listen address (empty = disabled)")
 		httpAddr   = fs.String("http", "", "HTTP listen address (empty = disabled)")
 		maxConns   = fs.Int("max-conns", 1024, "maximum concurrent TCP connections")
+		allowUpd   = fs.Bool("allow-updates", false, "enable POST /v1/admin/update (dynamic graph mutation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,7 +96,13 @@ func run(args []string) error {
 		logger.Printf("oracle built in %v: %s", time.Since(start).Round(time.Millisecond), oracle.Stats())
 	}
 
-	srv := qserver.New(oracle, qserver.Config{MaxConns: *maxConns, Logger: logger})
+	if *allowUpd && *httpAddr == "" {
+		return errors.New("-allow-updates requires -http (updates arrive via the HTTP admin endpoint)")
+	}
+	srv := qserver.New(oracle, qserver.Config{MaxConns: *maxConns, Logger: logger, AllowUpdates: *allowUpd})
+	if *allowUpd {
+		logger.Printf("dynamic updates enabled: POST %s/v1/admin/update", *httpAddr)
+	}
 	errCh := make(chan error, 2)
 
 	if *addr != "" {

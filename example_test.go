@@ -1,0 +1,78 @@
+package vicinity_test
+
+import (
+	"fmt"
+
+	"vicinity"
+)
+
+// Example builds an oracle over a small fixed graph and queries it.
+func Example() {
+	g := vicinity.NewGraph(6, [][2]uint32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+	})
+	oracle, err := vicinity.Build(g, &vicinity.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	d, _, err := oracle.Distance(0, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("d(0,3) =", d)
+	// Output:
+	// d(0,3) = 3
+}
+
+// ExampleOracle_ApplyUpdates shows the dynamic update path: the oracle
+// absorbs a new user and new friendships without rebuilding, while
+// staying exact.
+func ExampleOracle_ApplyUpdates() {
+	// A 6-cycle: 0-1-2-3-4-5-0.
+	g := vicinity.NewGraph(6, [][2]uint32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+	})
+	oracle, err := vicinity.Build(g, &vicinity.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	d, _, _ := oracle.Distance(0, 3)
+	fmt.Println("before:", d)
+
+	// A chord 0-3 and a new node 6 attached to 3, in one batch.
+	err = oracle.ApplyUpdates(vicinity.Update{
+		AddNodes: 1,
+		Edges:    [][2]uint32{{0, 3}, {6, 3}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	d, _, _ = oracle.Distance(0, 3)
+	fmt.Println("after chord:", d)
+	d, _, _ = oracle.Distance(0, 6)
+	fmt.Println("to new node:", d)
+	// Output:
+	// before: 3
+	// after chord: 1
+	// to new node: 2
+}
+
+// ExampleOracle_InsertEdge inserts one edge at a time.
+func ExampleOracle_InsertEdge() {
+	g := vicinity.GenerateSocial(1000, 8, 42)
+	oracle, err := vicinity.Build(g, nil)
+	if err != nil {
+		panic(err)
+	}
+	id, err := oracle.AddNode()
+	if err != nil {
+		panic(err)
+	}
+	if err := oracle.InsertEdge(id, 0); err != nil {
+		panic(err)
+	}
+	d, _, _ := oracle.Distance(id, 0)
+	fmt.Println("new node at distance", d)
+	// Output:
+	// new node at distance 1
+}

@@ -38,7 +38,11 @@ func Build(g *graph.Graph, opts Options) (*Oracle, error) {
 		radius:    make([]uint32, n),
 		nearest:   make([]uint32, n),
 	}
-	o.fbPool.New = func() any { return traverse.NewWorkspace(g) }
+	o.fbPool = newWorkspacePool(g)
+	o.chain = &updateChain{}
+	o.entFree = &u32map.FreeList{}
+	o.slotFree = &u32map.FreeList{}
+	o.boundFree = &u32map.FreeList{}
 	for i := range o.lidx {
 		o.lidx[i] = -1
 		o.radius[i] = NoDist
@@ -121,8 +125,9 @@ func (o *Oracle) flattenVicinities(scope []uint32, results []vicResult) error {
 		return fmt.Errorf("core: %d vicinity entries overflow the 2^32-1 arena capacity", totalEnt)
 	}
 
-	// Boundary CSR is shared by every table kind.
-	o.boundOff = make([]uint32, n+1)
+	// Boundary storage (off/len per node) is shared by every table kind.
+	o.boundOff = make([]uint32, n)
+	o.boundLen = make([]uint32, n)
 	o.boundKeys = make([]uint32, totalBound)
 	o.boundDist = make([]uint32, totalBound)
 
@@ -139,9 +144,9 @@ func (o *Oracle) flattenVicinities(scope []uint32, results []vicResult) error {
 	}
 
 	// Per-result arena start offsets by prefix sum over the scope.
-	// The boundary CSR is indexed by node id, so its offsets prefix-sum
-	// in node order and each result copies to boundOff[scope[i]];
-	// nodes outside the scope keep empty ranges.
+	// Boundary ranges are laid out contiguously in node order (nodes
+	// outside the scope keep empty ranges); updates may later relocate
+	// individual ranges.
 	entAt := make([]uint32, len(results))
 	slotAt := make([]uint32, len(results))
 	boundAt := make([]uint32, len(results))
@@ -155,10 +160,12 @@ func (o *Oracle) flattenVicinities(scope []uint32, results []vicResult) error {
 		}
 		ent += uint32(len(res.keys))
 		slot += lenSlot[i]
-		o.boundOff[scope[i]+1] = uint32(len(res.boundKeys))
+		o.boundLen[scope[i]] = uint32(len(res.boundKeys))
 	}
+	var bound uint32
 	for u := 0; u < n; u++ {
-		o.boundOff[u+1] += o.boundOff[u]
+		o.boundOff[u] = bound
+		bound += o.boundLen[u]
 	}
 	for i := range results {
 		boundAt[i] = o.boundOff[scope[i]]
@@ -230,16 +237,16 @@ func (o *Oracle) buildLandmarkTables(weighted, storeParents bool) error {
 			built++
 		}
 	}
-	n := o.g.NumNodes()
 	if o.opts.CompactLandmarkTables {
-		o.ldist16 = make([]uint16, uint64(built)*uint64(n))
+		o.ldist16 = make([][]uint16, built)
 	} else {
-		o.ldist = make([]uint32, uint64(built)*uint64(n))
+		o.ldist = make([][]uint32, built)
 	}
 	if storeParents {
-		o.lparent = make([]uint32, uint64(built)*uint64(n))
+		o.lparent = make([][]uint32, built)
 	}
 
+	n := o.g.NumNodes()
 	overflow := make([]bool, len(o.landmarks))
 	parallelFor(o.opts.Workers, len(o.landmarks), func() any { return nil }, func(_ any, i int) {
 		if !want[i] {
@@ -251,9 +258,10 @@ func (o *Oracle) buildLandmarkTables(weighted, storeParents bool) error {
 		} else {
 			tr = traverse.BFS(o.g, o.landmarks[i])
 		}
-		base := uint64(o.lpos[i]) * uint64(n)
+		pos := o.lpos[i]
 		if o.opts.CompactLandmarkTables {
-			compact := o.ldist16[base : base+uint64(n)]
+			compact := make([]uint16, n)
+			o.ldist16[pos] = compact
 			for v, d := range tr.Dist {
 				switch {
 				case d == NoDist:
@@ -266,10 +274,10 @@ func (o *Oracle) buildLandmarkTables(weighted, storeParents bool) error {
 				}
 			}
 		} else {
-			copy(o.ldist[base:], tr.Dist)
+			o.ldist[pos] = tr.Dist // adopt the traversal's array
 		}
 		if storeParents {
-			copy(o.lparent[base:], tr.Parent)
+			o.lparent[pos] = tr.Parent
 		}
 	})
 	for i, bad := range overflow {

@@ -195,6 +195,15 @@ type Options struct {
 	// sampled landmarks. A memory guard for small-α sweeps; note that
 	// capping reduces the intersection probability of Figure 2(a).
 	MaxLandmarks int
+
+	// Landmarks, when non-nil, bypasses sampling and uses exactly this
+	// landmark set (deduplicated, any order). Advanced: used to rebuild
+	// an oracle with a previous build's landmarks — e.g. to compare an
+	// incrementally updated oracle against a from-scratch build, or to
+	// pin landmarks across dataset refreshes. The set should roughly
+	// match the paper's E[|L|] ≈ 2m/(α√n) for the usual size/latency
+	// trade-off to hold.
+	Landmarks []uint32
 }
 
 // withDefaults normalizes opts and validates it against g.
@@ -230,6 +239,14 @@ func (o Options) withDefaults(g *graph.Graph) (Options, error) {
 	for _, u := range o.Nodes {
 		if int(u) >= n {
 			return o, fmt.Errorf("core: scope node %d out of range [0,%d)", u, n)
+		}
+	}
+	if o.Landmarks != nil && len(o.Landmarks) == 0 {
+		return o, errors.New("core: explicit landmark set is empty")
+	}
+	for _, l := range o.Landmarks {
+		if int(l) >= n {
+			return o, fmt.Errorf("core: landmark %d out of range [0,%d)", l, n)
 		}
 	}
 	if g.Weighted() {

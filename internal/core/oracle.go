@@ -8,8 +8,10 @@ import (
 	"vicinity/internal/u32map"
 )
 
-// Oracle is the built vicinity-intersection data structure. It is
-// immutable after Build and safe for concurrent queries.
+// Oracle is the built vicinity-intersection data structure. It is safe
+// for concurrent queries. Mutation goes through ApplyUpdates (which
+// returns a new snapshot and leaves the receiver serving) or
+// ApplyUpdatesInPlace (exclusive access); see update.go.
 //
 // All per-node state lives in flat arena storage: one shared entry
 // arena plus one shared slot arena for the vicinity tables (see
@@ -41,28 +43,55 @@ type Oracle struct {
 	vicFlat []u32map.Flat
 	vicAlt  []u32map.Table
 
-	// Boundaries ∂Γ(u), concatenated: boundOff (len n+1) gives node u's
-	// range in boundKeys/boundDist.
+	// Boundaries ∂Γ(u), concatenated: node u owns the range
+	// [boundOff[u], boundOff[u]+boundLen[u]) of boundKeys/boundDist
+	// (both arrays len n). Build lays ranges out contiguously in node
+	// order; updates may relocate a repaired node's range anywhere, so
+	// unlike a CSR there is no adjacency requirement between nodes.
 	boundOff  []uint32
+	boundLen  []uint32
 	boundKeys []uint32
 	boundDist []uint32
+
+	// Free-space accounting for the append-path mutation model: ranges
+	// abandoned by repaired vicinities/boundaries. In-place updates
+	// recycle them; copy-on-write updates only account (old snapshots
+	// may still read the holes) and compact when waste dominates.
+	entFree   *u32map.FreeList
+	slotFree  *u32map.FreeList
+	boundFree *u32map.FreeList
 
 	radius  []uint32 // d(u, l(u)); NoDist when uncovered or no landmark reachable
 	nearest []uint32 // l(u); graph.NoNode when unknown
 
-	// Per-landmark full tables. Built tables are stored densely: lpos
-	// maps a landmark index to its position p among built tables, or -1;
-	// table p occupies [p·n, (p+1)·n) in ldist (or ldist16 with
+	// Per-landmark full tables. lpos maps a landmark index to its
+	// position p among built tables, or -1; row p is one landmark's
+	// dense length-n table in ldist (or ldist16 with
 	// Options.CompactLandmarkTables: half the memory; 0xFFFF encodes
-	// "unreachable") and lparent (when path data is enabled).
+	// "unreachable") and lparent (when path data is enabled). One row
+	// per landmark — rather than one |L|·n array — lets dynamic updates
+	// copy-on-write only the rows a new edge improves.
 	lpos    []int32
-	ldist   []uint32
-	ldist16 []uint16
-	lparent []uint32
+	ldist   [][]uint32
+	ldist16 [][]uint16
+	lparent [][]uint32
 
 	covered int // number of nodes with vicinity state (excl. landmarks in scope)
 
-	fbPool sync.Pool // *traverse.Workspace for fallback searches
+	// Update lineage: chain is shared by every snapshot descending from
+	// one Build/load; gen identifies this snapshot within it. Updates
+	// may only be applied to the newest snapshot (see update.go).
+	chain *updateChain
+	gen   uint64
+
+	fbPool *sync.Pool // *traverse.Workspace for fallback searches
+}
+
+// newWorkspacePool returns a fallback-workspace pool sized for g.
+// Replaced wholesale when updates swap the graph: pooled workspaces
+// hold per-node arrays whose length must match.
+func newWorkspacePool(g *graph.Graph) *sync.Pool {
+	return &sync.Pool{New: func() any { return traverse.NewWorkspace(g) }}
 }
 
 // Graph returns the graph the oracle was built over.
@@ -148,7 +177,7 @@ func (v vicRef) table() u32map.Table {
 
 // boundary returns the ∂Γ(u) key and distance ranges as shared views.
 func (o *Oracle) boundary(u uint32) (keys, dists []uint32) {
-	b0, b1 := o.boundOff[u], o.boundOff[u+1]
+	b0, b1 := o.boundOff[u], o.boundOff[u]+o.boundLen[u]
 	return o.boundKeys[b0:b1], o.boundDist[b0:b1]
 }
 
@@ -178,11 +207,10 @@ const compactUnreachable = ^uint16(0)
 // landmarkDist reads d(landmarks[li], v) from whichever table width was
 // built. Callers must check hasLandmarkTable first.
 func (o *Oracle) landmarkDist(li int32, v uint32) uint32 {
-	base := uint64(o.lpos[li]) * uint64(len(o.radius))
 	if o.ldist != nil {
-		return o.ldist[base+uint64(v)]
+		return o.ldist[o.lpos[li]][v]
 	}
-	d := o.ldist16[base+uint64(v)]
+	d := o.ldist16[o.lpos[li]][v]
 	if d == compactUnreachable {
 		return NoDist
 	}
@@ -195,9 +223,7 @@ func (o *Oracle) landmarkParents(li int32) []uint32 {
 	if li < 0 || o.lpos[li] < 0 || o.lparent == nil {
 		return nil
 	}
-	n := uint64(len(o.radius))
-	base := uint64(o.lpos[li]) * n
-	return o.lparent[base : base+n]
+	return o.lparent[o.lpos[li]]
 }
 
 // Radius returns the vicinity radius d(u, l(u)) of u, or NoDist if u is
@@ -230,7 +256,7 @@ func (o *Oracle) VicinitySize(u uint32) int {
 
 // BoundarySize returns |∂Γ(u)| (0 for landmarks and uncovered nodes).
 func (o *Oracle) BoundarySize(u uint32) int {
-	return int(o.boundOff[u+1] - o.boundOff[u])
+	return int(o.boundLen[u])
 }
 
 // VicinityContains reports whether v ∈ Γ(u) and returns d(u,v) if so.

@@ -10,7 +10,6 @@ import (
 
 	"vicinity/internal/graph"
 	"vicinity/internal/oraclefile"
-	"vicinity/internal/traverse"
 	"vicinity/internal/u32map"
 )
 
@@ -131,25 +130,28 @@ func WriteOracle(w io.Writer, o *Oracle) error {
 	ow.U32s(secParents, arena.Parents)
 	ow.U32s(secSlots, arena.Slots)
 
-	ow.U32s(secBoundOff, o.boundOff)
-	ow.U32s(secBoundKeys, o.boundKeys)
-	ow.U32s(secBoundDist, o.boundDist)
+	boundCSR, boundKeys, boundDist := o.boundaryCSR()
+	ow.U32s(secBoundOff, boundCSR)
+	ow.U32s(secBoundKeys, boundKeys)
+	ow.U32s(secBoundDist, boundDist)
 
 	lpos := make([]uint32, len(o.lpos))
 	for i, p := range o.lpos {
 		lpos[i] = uint32(p) // -1 round-trips as ^uint32(0)
 	}
 	ow.U32s(secLPos, lpos)
-	ow.U32s(secLDist, o.ldist)
-	ow.U16s(secLDist16, o.ldist16)
-	ow.U32s(secLParent, o.lparent)
+	ow.U32Rows(secLDist, o.ldist)
+	ow.U16Rows(secLDist16, o.ldist16)
+	ow.U32Rows(secLParent, o.lparent)
 
 	return ow.Close()
 }
 
 // flattenedVicinities returns the vicinity storage as arena + per-node
-// ranges. Arena layouts return their backing storage directly; the
-// TableBuiltin ablation is materialized into a temporary arena.
+// ranges. Arena layouts without waste return their backing storage
+// directly; arenas with holes left by updates are compacted into a
+// temporary so the file never carries dead ranges. The TableBuiltin
+// ablation is materialized into a temporary arena.
 func (o *Oracle) flattenedVicinities() (arena *u32map.Arena, entOff, entLen, slotOff, slotLen []uint32) {
 	n := len(o.radius)
 	entOff = make([]uint32, n)
@@ -157,6 +159,13 @@ func (o *Oracle) flattenedVicinities() (arena *u32map.Arena, entOff, entLen, slo
 	slotOff = make([]uint32, n)
 	slotLen = make([]uint32, n)
 	if o.vicAlt == nil {
+		if o.entFree.Total()+o.slotFree.Total() > 0 {
+			arena, flat := o.compactVicinityArena()
+			for u := 0; u < n; u++ {
+				entOff[u], entLen[u], slotOff[u], slotLen[u] = flat[u].Ranges()
+			}
+			return arena, entOff, entLen, slotOff, slotLen
+		}
 		for u := 0; u < n; u++ {
 			entOff[u], entLen[u], slotOff[u], slotLen[u] = o.vicFlat[u].Ranges()
 		}
@@ -178,6 +187,37 @@ func (o *Oracle) flattenedVicinities() (arena *u32map.Arena, entOff, entLen, slo
 		}
 	}
 	return arena, entOff, entLen, slotOff, slotLen
+}
+
+// boundaryCSR returns the boundary storage in the file's canonical CSR
+// form (offsets of length n+1, ranges contiguous in node order). An
+// oracle that never relocated a boundary range is returned without
+// copying the arrays; otherwise the ranges are compacted into fresh
+// arrays, squeezing out holes left by updates.
+func (o *Oracle) boundaryCSR() (csr, keys, dists []uint32) {
+	n := len(o.radius)
+	csr = make([]uint32, n+1)
+	contiguous := true
+	var run uint32
+	for u := 0; u < n; u++ {
+		csr[u] = run
+		if o.boundLen[u] > 0 && o.boundOff[u] != run {
+			contiguous = false
+		}
+		run += o.boundLen[u]
+	}
+	csr[n] = run
+	if contiguous && int(run) == len(o.boundKeys) {
+		return csr, o.boundKeys, o.boundDist
+	}
+	keys = make([]uint32, run)
+	dists = make([]uint32, run)
+	for u := 0; u < n; u++ {
+		b0, l := o.boundOff[u], o.boundLen[u]
+		copy(keys[csr[u]:], o.boundKeys[b0:b0+l])
+		copy(dists[csr[u]:], o.boundDist[b0:b0+l])
+	}
+	return csr, keys, dists
 }
 
 // ReadOracle deserializes an oracle written by WriteOracle, verifying
@@ -310,13 +350,16 @@ func readOracleSized(r io.Reader, sizeHint int64) (*Oracle, error) {
 	if err != nil {
 		return nil, err
 	}
-	if o.ldist, err = or.U32s(secLDist); err != nil {
+	ldistF, err := or.U32s(secLDist)
+	if err != nil {
 		return nil, err
 	}
-	if o.ldist16, err = or.U16s(secLDist16); err != nil {
+	ldist16F, err := or.U16s(secLDist16)
+	if err != nil {
 		return nil, err
 	}
-	if o.lparent, err = or.U32s(secLParent); err != nil {
+	lparentF, err := or.U32s(secLParent)
+	if err != nil {
 		return nil, err
 	}
 	// Verify the checksum before trusting any of the data structurally.
@@ -324,15 +367,28 @@ func readOracleSized(r io.Reader, sizeHint int64) (*Oracle, error) {
 		return nil, err
 	}
 
-	if err := o.restore(arena, entOff, entLen, slotOff, slotLen, lpos); err != nil {
+	if err := o.restore(arena, entOff, entLen, slotOff, slotLen, lpos, ldistF, ldist16F, lparentF); err != nil {
 		return nil, err
 	}
 	return o, nil
 }
 
+// splitRows slices one loaded flat array into `rows` row views of
+// length n each, sharing the backing array (no copy; updates replace
+// whole rows, never splice them).
+func splitRows[T uint16 | uint32](flat []T, rows, n int) [][]T {
+	out := make([][]T, rows)
+	for p := 0; p < rows; p++ {
+		out[p] = flat[p*n : (p+1)*n : (p+1)*n]
+	}
+	return out
+}
+
 // restore validates the deserialized arrays and rebuilds the derived
-// in-memory state (landmark index, per-node views, workspace pool).
-func (o *Oracle) restore(arena *u32map.Arena, entOff, entLen, slotOff, slotLen, lpos []uint32) error {
+// in-memory state (landmark index, per-node views, per-landmark table
+// rows, workspace pool).
+func (o *Oracle) restore(arena *u32map.Arena, entOff, entLen, slotOff, slotLen, lpos []uint32,
+	ldistF []uint32, ldist16F []uint16, lparentF []uint32) error {
 	n := o.g.NumNodes()
 	if len(o.radius) != n || len(o.nearest) != n {
 		return fmt.Errorf("%w: radius/nearest length", ErrBadOracleFile)
@@ -369,13 +425,14 @@ func (o *Oracle) restore(arena *u32map.Arena, entOff, entLen, slotOff, slotLen, 
 			return fmt.Errorf("%w: nearest landmark of node %d out of range", ErrBadOracleFile, u)
 		}
 	}
-	for _, v := range o.lparent {
+	for _, v := range lparentF {
 		if v != graph.NoNode && int(v) >= n {
 			return fmt.Errorf("%w: landmark parent out of range", ErrBadOracleFile)
 		}
 	}
 
-	// Boundary CSR: monotone, ending at the arena length.
+	// Boundary CSR: monotone, ending at the arena length. The file's
+	// n+1 CSR converts to the in-memory off/len pair after validation.
 	for u := 0; u < n; u++ {
 		if o.boundOff[u] > o.boundOff[u+1] {
 			return fmt.Errorf("%w: boundary offsets not monotone", ErrBadOracleFile)
@@ -384,6 +441,11 @@ func (o *Oracle) restore(arena *u32map.Arena, entOff, entLen, slotOff, slotLen, 
 	if int(o.boundOff[n]) != len(o.boundKeys) || o.boundOff[0] != 0 {
 		return fmt.Errorf("%w: boundary offsets out of bounds", ErrBadOracleFile)
 	}
+	o.boundLen = make([]uint32, n)
+	for u := 0; u < n; u++ {
+		o.boundLen[u] = o.boundOff[u+1] - o.boundOff[u]
+	}
+	o.boundOff = o.boundOff[:n:n]
 
 	// Vicinity ranges and slot contents.
 	hashKind := o.opts.TableKind == TableHash
@@ -470,31 +532,35 @@ func (o *Oracle) restore(arena *u32map.Arena, entOff, entLen, slotOff, slotLen, 
 	}
 	want := uint64(built) * uint64(n)
 	if o.opts.CompactLandmarkTables {
-		if uint64(len(o.ldist16)) != want || len(o.ldist) != 0 {
+		if uint64(len(ldist16F)) != want || len(ldistF) != 0 {
 			return fmt.Errorf("%w: compact landmark tables", ErrBadOracleFile)
 		}
 	} else {
-		if uint64(len(o.ldist)) != want || len(o.ldist16) != 0 {
+		if uint64(len(ldistF)) != want || len(ldist16F) != 0 {
 			return fmt.Errorf("%w: landmark tables", ErrBadOracleFile)
 		}
 	}
-	if len(o.lparent) != 0 && uint64(len(o.lparent)) != want {
+	if len(lparentF) != 0 && uint64(len(lparentF)) != want {
 		return fmt.Errorf("%w: landmark parent tables", ErrBadOracleFile)
 	}
-	// Normalize empty sections to nil so accessors and Memory() treat
-	// loaded oracles exactly like built ones.
-	if len(o.ldist) == 0 {
-		o.ldist = nil
+	// Split the flat sections into per-landmark rows (views into the
+	// loaded arrays, no copies); empty sections stay nil so accessors
+	// and Memory() treat loaded oracles exactly like built ones.
+	if len(ldistF) > 0 {
+		o.ldist = splitRows(ldistF, built, n)
 	}
-	if len(o.ldist16) == 0 {
-		o.ldist16 = nil
+	if len(ldist16F) > 0 {
+		o.ldist16 = splitRows(ldist16F, built, n)
 	}
-	if len(o.lparent) == 0 {
-		o.lparent = nil
+	if len(lparentF) > 0 {
+		o.lparent = splitRows(lparentF, built, n)
 	}
 
-	g := o.g
-	o.fbPool.New = func() any { return traverse.NewWorkspace(g) }
+	o.fbPool = newWorkspacePool(o.g)
+	o.chain = &updateChain{}
+	o.entFree = &u32map.FreeList{}
+	o.slotFree = &u32map.FreeList{}
+	o.boundFree = &u32map.FreeList{}
 	return nil
 }
 

@@ -186,10 +186,26 @@ func TestChecksumValidStructuralCorruption(t *testing.T) {
 		}
 	})
 	corrupt("lparent out of range", func(o *Oracle) {
-		o.lparent[0] = 12345678 // would panic in landmarkChain
+		o.lparent[0][0] = 12345678 // would panic in landmarkChain
 	})
-	corrupt("boundary offsets not monotone", func(o *Oracle) {
-		o.boundOff[5], o.boundOff[6] = o.boundOff[6]+1, o.boundOff[5]
+	// Boundary offsets can no longer be corrupted through WriteOracle —
+	// saving canonicalizes the off/len pairs into a valid CSR — so the
+	// slot arena stands in: a slot word referencing an entry outside its
+	// table is checksum-valid but must fail ValidIndex on load.
+	corrupt("slot index out of range", func(o *Oracle) {
+		for u := range o.vicFlat {
+			_, el, so, sl := o.vicFlat[u].Ranges()
+			if sl == 0 {
+				continue
+			}
+			for s := so; s < so+sl; s++ {
+				if o.arena.Slots[s] != 0 {
+					o.arena.Slots[s] = el + 1 // entry index beyond the table
+					return
+				}
+			}
+		}
+		t.Fatal("no occupied slot found to corrupt")
 	})
 	corrupt("landmarks unsorted", func(o *Oracle) {
 		if len(o.landmarks) >= 2 {

@@ -47,6 +47,18 @@ func sampleLandmarks(g *graph.Graph, opts Options) []uint32 {
 	if n == 0 {
 		return nil
 	}
+	if opts.Landmarks != nil {
+		// Explicit set: sort, dedupe, use as-is (validated by withDefaults).
+		ls := append([]uint32(nil), opts.Landmarks...)
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		out := ls[:0]
+		for i, l := range ls {
+			if i == 0 || ls[i-1] != l {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
 	r := xrand.New(opts.Seed ^ 0x9b1c5a7d3e2f4861)
 	expect := expectedLandmarks(g, opts.Alpha)
 	var landmarks []uint32

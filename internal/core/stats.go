@@ -114,8 +114,17 @@ func (o *Oracle) Memory() MemoryStats {
 		ms.VicinityBytes += int64(8 * o.BoundarySize(uint32(u)))
 		covered++
 	}
-	ms.LandmarkEntries += int64(len(o.ldist)) + int64(len(o.ldist16))
-	ms.LandmarkBytes += int64(4*len(o.ldist)) + int64(2*len(o.ldist16)) + int64(4*len(o.lparent))
+	for _, row := range o.ldist {
+		ms.LandmarkEntries += int64(len(row))
+		ms.LandmarkBytes += int64(4 * len(row))
+	}
+	for _, row := range o.ldist16 {
+		ms.LandmarkEntries += int64(len(row))
+		ms.LandmarkBytes += int64(2 * len(row))
+	}
+	for _, row := range o.lparent {
+		ms.LandmarkBytes += int64(4 * len(row))
+	}
 	ms.TotalEntries = ms.VicinityEntries + ms.LandmarkEntries
 	ms.TotalBytes = ms.VicinityBytes + ms.LandmarkBytes
 	ms.APSPEntries = float64(n) * float64(n)

@@ -1,0 +1,694 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/queue"
+	"vicinity/internal/traverse"
+	"vicinity/internal/u32map"
+)
+
+// This file implements dynamic graph updates: absorbing edge insertions
+// and node arrivals into a built oracle without re-running the offline
+// phase, following the incremental-maintenance idea of the paper's
+// sequel ("Shortest Paths in Microseconds", COSN'13). Updates are
+// insert-only — the social-network model the paper targets grows but
+// rarely shrinks — and defined for unweighted graphs.
+//
+// The repair exploits that inserting edges only ever shortens
+// distances, so each structure can be fixed from the change outward:
+//
+//   - Landmark tables absorb a batch by a "ripple" pass: seed every
+//     endpoint whose table distance improves through a new edge, then
+//     BFS outward relaxing only nodes whose distance still improves.
+//     Untouched regions of the table are provably unchanged.
+//
+//   - A vicinity Γ(x) can change only if some distance within x's old
+//     radius r(x) changed, x's radius shrank, or a member gained a new
+//     neighbor — all of which require a new-edge endpoint within
+//     distance r(x) of x in the updated graph. The affected set is
+//     therefore found by truncated BFS from the endpoints, and each
+//     affected vicinity is rebuilt by the same truncated BFS the
+//     offline phase uses (so an updated oracle is structurally
+//     identical to one built from scratch with the same landmarks).
+//     Nodes that could not reach any landmark store their whole
+//     component as vicinity; they are repaired whenever an endpoint
+//     lies in that component.
+//
+//   - Repaired tables land in the vicinity arena through an
+//     append/free-list path (u32map.FreeList) instead of reflattening:
+//     in-place updates recycle the holes of superseded tables,
+//     copy-on-write updates append and compact when waste dominates.
+//
+// The landmark set is kept fixed: sampling probabilities drift as the
+// graph grows, which degrades the α·√n size balance gradually, not
+// correctness (DESIGN.md discusses when to re-sample by rebuilding).
+
+// Update is a batch of graph mutations for ApplyUpdates: AddNodes fresh
+// isolated nodes (assigned ids n .. n+AddNodes-1) plus undirected
+// unit-weight edges. Edges may reference the new ids. Self-loops,
+// duplicates and already-present edges are ignored.
+type Update struct {
+	AddNodes int
+	Edges    [][2]uint32
+}
+
+// updateChain links every snapshot descending from one Build or load.
+// It serializes updates and rejects updates against superseded
+// snapshots, whose arena holes may already have been reassigned.
+type updateChain struct {
+	mu     sync.Mutex
+	latest uint64
+}
+
+// ErrStaleSnapshot is returned when updates are applied to an oracle
+// snapshot that has already been superseded by a newer ApplyUpdates.
+var ErrStaleSnapshot = errors.New("core: oracle snapshot superseded; apply updates to the newest snapshot")
+
+// ErrWeightedUpdate is returned for dynamic updates on weighted graphs,
+// where insertions can invalidate vicinity contents in ways truncated
+// repair does not cover (see DESIGN.md).
+var ErrWeightedUpdate = errors.New("core: dynamic updates require an unweighted graph")
+
+// ApplyUpdates returns a new oracle snapshot reflecting the batch. The
+// receiver is left fully intact and keeps answering queries correctly
+// for the old graph while (and after) the new snapshot is produced, so
+// a server can swap snapshots atomically with zero query downtime.
+// Unchanged per-node state is shared between snapshots; repaired
+// vicinities are appended to the shared arena backing (never
+// overwriting ranges the old snapshot can read) and the storage is
+// compacted automatically once superseded ranges dominate.
+//
+// Updates must be applied to the newest snapshot in the chain
+// (ErrStaleSnapshot otherwise) and are serialized internally; queries
+// need no synchronization against them.
+func (o *Oracle) ApplyUpdates(u Update) (*Oracle, error) {
+	return o.applyUpdates(u, false)
+}
+
+// ApplyUpdatesInPlace applies the batch by mutating the receiver,
+// recycling superseded arena ranges through the free lists so repeated
+// updates keep a flat memory footprint. The caller must guarantee
+// exclusive access: no concurrent queries on this oracle and no older
+// snapshots from the same chain still in use. On error the oracle may
+// be partially updated and must be discarded.
+func (o *Oracle) ApplyUpdatesInPlace(u Update) error {
+	_, err := o.applyUpdates(u, true)
+	return err
+}
+
+func (o *Oracle) applyUpdates(upd Update, inPlace bool) (*Oracle, error) {
+	if o.g.Weighted() {
+		return nil, ErrWeightedUpdate
+	}
+	o.chain.mu.Lock()
+	defer o.chain.mu.Unlock()
+	if o.gen != o.chain.latest {
+		return nil, ErrStaleSnapshot
+	}
+	oldN := o.g.NumNodes()
+	if upd.AddNodes < 0 {
+		return nil, fmt.Errorf("core: negative AddNodes %d", upd.AddNodes)
+	}
+	if uint64(oldN)+uint64(upd.AddNodes) >= uint64(graph.NoNode) {
+		return nil, fmt.Errorf("core: %d + %d nodes exceed the uint32 id space", oldN, upd.AddNodes)
+	}
+	// Filter before touching the graph: a batch of already-present
+	// edges (a retrying client) must not pay the O(n+m) CSR merge.
+	// Out-of-range ids pass the filter and are rejected by InsertEdges.
+	newEdges := o.filterNewEdges(upd.Edges, oldN)
+	if len(newEdges) == 0 && upd.AddNodes == 0 {
+		return o, nil // nothing changed; the snapshot stands
+	}
+	newG, err := graph.InsertEdges(o.g, upd.AddNodes, newEdges)
+	if err != nil {
+		return nil, err
+	}
+
+	t := o
+	if !inPlace {
+		t = o.cloneForUpdate()
+	}
+	t.growNodes(newG.NumNodes())
+	if err := t.repairLandmarkTables(newG, oldN, newEdges, inPlace); err != nil {
+		return nil, err
+	}
+	affected := t.affectedNodes(newG, oldN, newEdges)
+	results := t.rebuildVicinities(newG, affected)
+	if err := t.writeVicinities(affected, results, inPlace); err != nil {
+		return nil, err
+	}
+	t.maybeCompact()
+	t.g = newG
+	t.fbPool = newWorkspacePool(newG)
+	t.chain.latest++
+	t.gen = t.chain.latest
+	return t, nil
+}
+
+// filterNewEdges reduces the batch to edges actually absent from the
+// current graph, deduplicated, self-loops dropped (mirroring the
+// dedup InsertEdges applies to the graph itself).
+func (o *Oracle) filterNewEdges(edges [][2]uint32, oldN int) [][2]uint32 {
+	var out [][2]uint32
+	seen := make(map[uint64]struct{}, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		if int(u) < oldN && int(v) < oldN && o.g.HasEdge(u, v) {
+			continue
+		}
+		if v < u {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, [2]uint32{u, v})
+	}
+	return out
+}
+
+// cloneForUpdate makes the copy-on-write snapshot: per-node arrays the
+// repair writes are duplicated, the arena header is cloned over shared
+// backing (appends through the clone never disturb ranges the original
+// reads), and everything immutable is shared. Landmark tables are
+// cloned lazily by repairLandmarkTables only when they change.
+func (o *Oracle) cloneForUpdate() *Oracle {
+	c := *o
+	c.radius = append([]uint32(nil), o.radius...)
+	c.nearest = append([]uint32(nil), o.nearest...)
+	c.boundOff = append([]uint32(nil), o.boundOff...)
+	c.boundLen = append([]uint32(nil), o.boundLen...)
+	if o.vicAlt != nil {
+		c.vicAlt = append([]u32map.Table(nil), o.vicAlt...)
+	} else {
+		c.vicFlat = append([]u32map.Flat(nil), o.vicFlat...)
+		c.arena = o.arena.Clone()
+	}
+	// Landmark tables: clone the outer row slices (cheap, |L| pointers)
+	// so the repair can swap in per-row clones; unimproved rows stay
+	// shared with the parent.
+	if o.ldist != nil {
+		c.ldist = append([][]uint32(nil), o.ldist...)
+	}
+	if o.ldist16 != nil {
+		c.ldist16 = append([][]uint16(nil), o.ldist16...)
+	}
+	if o.lparent != nil {
+		c.lparent = append([][]uint32(nil), o.lparent...)
+	}
+	c.entFree = o.entFree.Clone()
+	c.slotFree = o.slotFree.Clone()
+	c.boundFree = o.boundFree.Clone()
+	return &c
+}
+
+// growNodes extends every per-node array to newN. New nodes start as
+// non-landmarks with no vicinity state.
+func (t *Oracle) growNodes(newN int) {
+	oldN := len(t.radius)
+	if newN == oldN {
+		return
+	}
+	isL := make([]bool, newN)
+	copy(isL, t.isL)
+	t.isL = isL
+	lidx := make([]int32, newN)
+	copy(lidx, t.lidx)
+	radius := make([]uint32, newN)
+	copy(radius, t.radius)
+	nearest := make([]uint32, newN)
+	copy(nearest, t.nearest)
+	for u := oldN; u < newN; u++ {
+		lidx[u] = -1
+		radius[u] = NoDist
+		nearest[u] = graph.NoNode
+	}
+	t.lidx, t.radius, t.nearest = lidx, radius, nearest
+	if t.vicAlt != nil {
+		vicAlt := make([]u32map.Table, newN)
+		copy(vicAlt, t.vicAlt)
+		t.vicAlt = vicAlt
+	} else {
+		vicFlat := make([]u32map.Flat, newN)
+		copy(vicFlat, t.vicFlat)
+		t.vicFlat = vicFlat
+	}
+	boundOff := make([]uint32, newN)
+	copy(boundOff, t.boundOff)
+	t.boundOff = boundOff
+	boundLen := make([]uint32, newN)
+	copy(boundLen, t.boundLen)
+	t.boundLen = boundLen
+}
+
+// repairLandmarkTables brings the per-landmark full tables up to date
+// with an incremental multi-seed BFS per landmark. Work is per-row: a
+// row is touched only when the graph grew (rows must lengthen) or some
+// new edge improves it; untouched rows stay shared with the parent
+// snapshot, so a typical single-edge batch clones a handful of rows
+// instead of the whole |L|·n table.
+func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2]uint32, inPlace bool) error {
+	if len(t.ldist) == 0 && len(t.ldist16) == 0 {
+		return nil
+	}
+	newN := newG.NumNodes()
+	grow := newN > oldN
+	storeParents := t.lparent != nil
+	compact := t.ldist16 != nil
+	overflow := make([]bool, len(t.lpos))
+	parallelFor(t.opts.Workers, len(t.lpos), func() any {
+		return queue.NewU32(256)
+	}, func(state any, li int) {
+		pos := t.lpos[li]
+		if pos < 0 {
+			return
+		}
+		var row32 []uint32
+		var row16 []uint16
+		if compact {
+			row16 = t.ldist16[pos]
+		} else {
+			row32 = t.ldist[pos]
+		}
+		read := func(v uint32) uint32 {
+			if compact {
+				if int(v) >= len(row16) {
+					return NoDist
+				}
+				if d := row16[v]; d != compactUnreachable {
+					return uint32(d)
+				}
+				return NoDist
+			}
+			if int(v) >= len(row32) {
+				return NoDist
+			}
+			return row32[v]
+		}
+		// A new edge {u,v} improves this row iff one endpoint's distance
+		// can relax through the other.
+		improved := false
+		for _, e := range newEdges {
+			du, dv := read(e[0]), read(e[1])
+			if du != NoDist && (dv == NoDist || dv > du+1) {
+				improved = true
+				break
+			}
+			if dv != NoDist && (du == NoDist || du > dv+1) {
+				improved = true
+				break
+			}
+		}
+		if !improved && !grow {
+			return
+		}
+		// Materialize a mutable row: regrown for added nodes, cloned in
+		// copy-on-write mode. Workers write distinct pos elements, so
+		// assigning into the shared outer slices is race-free.
+		if grow || !inPlace {
+			if compact {
+				nr := make([]uint16, newN)
+				copy(nr, row16)
+				for i := len(row16); i < newN; i++ {
+					nr[i] = compactUnreachable
+				}
+				row16, t.ldist16[pos] = nr, nr
+			} else {
+				nr := make([]uint32, newN)
+				copy(nr, row32)
+				for i := len(row32); i < newN; i++ {
+					nr[i] = NoDist
+				}
+				row32, t.ldist[pos] = nr, nr
+			}
+			if storeParents {
+				np := make([]uint32, newN)
+				copy(np, t.lparent[pos])
+				for i := oldN; i < newN; i++ {
+					np[i] = graph.NoNode
+				}
+				t.lparent[pos] = np
+			}
+		}
+		if !improved {
+			return
+		}
+		var parents []uint32
+		if storeParents {
+			parents = t.lparent[pos]
+		}
+		set := func(v, d, parent uint32) bool {
+			if compact {
+				if d >= uint32(compactUnreachable) {
+					overflow[li] = true
+					return false
+				}
+				row16[v] = uint16(d)
+			} else {
+				row32[v] = d
+			}
+			if parents != nil {
+				parents[v] = parent
+			}
+			return true
+		}
+		q := state.(*queue.U32)
+		q.Reset()
+		relax := func(from, to uint32) bool {
+			df := read(from)
+			if df == NoDist {
+				return true
+			}
+			if dt := read(to); dt == NoDist || dt > df+1 {
+				if !set(to, df+1, from) {
+					return false
+				}
+				q.Push(to)
+			}
+			return true
+		}
+		for _, e := range newEdges {
+			if !relax(e[0], e[1]) || !relax(e[1], e[0]) {
+				return
+			}
+		}
+		for !q.Empty() {
+			x := q.Pop()
+			dx := read(x)
+			for _, y := range newG.Neighbors(x) {
+				if dy := read(y); dy == NoDist || dy > dx+1 {
+					if !set(y, dx+1, x) {
+						return
+					}
+					q.Push(y)
+				}
+			}
+		}
+	})
+	for li, bad := range overflow {
+		if bad {
+			return fmt.Errorf("core: CompactLandmarkTables: updated distance from landmark %d exceeds %d",
+				t.landmarks[li], compactUnreachable-1)
+		}
+	}
+	return nil
+}
+
+// affectedNodes returns every node whose vicinity state may differ
+// between this oracle and a fresh build on newG with the same
+// landmarks: nodes within their old radius of a new-edge endpoint
+// (found by truncated BFS on the updated graph), nodes whose
+// landmark-free component a new edge touches, and all added nodes.
+func (t *Oracle) affectedNodes(newG *graph.Graph, oldN int, newEdges [][2]uint32) []uint32 {
+	newN := newG.NumNodes()
+
+	// Old max radius bounds the truncated search; landmark-free "flood"
+	// vicinities (radius NoDist, vicinity = whole component) are
+	// collected for the component-membership probe below.
+	var rmax uint32
+	var flood []uint32
+	for u := 0; u < oldN; u++ {
+		if t.isL[u] {
+			continue
+		}
+		if r := t.radius[u]; r == NoDist {
+			if t.VicinitySize(uint32(u)) > 0 {
+				flood = append(flood, uint32(u))
+			}
+		} else if r > rmax {
+			rmax = r
+		}
+	}
+
+	mark := make([]bool, newN)
+	var out []uint32
+	add := func(x uint32) {
+		if mark[x] {
+			return
+		}
+		mark[x] = true
+		if t.isL[x] {
+			return
+		}
+		// Stay within build scope: repair nodes that have vicinity state,
+		// and cover added nodes only for full (unscoped) builds.
+		if int(x) >= oldN {
+			if t.opts.Nodes == nil {
+				out = append(out, x)
+			}
+			return
+		}
+		if t.VicinitySize(x) > 0 {
+			out = append(out, x)
+		}
+	}
+
+	for u := oldN; u < newN; u++ {
+		add(uint32(u))
+	}
+
+	// Endpoints, deduplicated.
+	var eps []uint32
+	seen := make(map[uint32]struct{}, 2*len(newEdges))
+	for _, e := range newEdges {
+		for _, x := range [2]uint32{e[0], e[1]} {
+			if _, dup := seen[x]; !dup {
+				seen[x] = struct{}{}
+				eps = append(eps, x)
+			}
+		}
+	}
+
+	// Truncated BFS from each endpoint in the updated graph: node x at
+	// depth d is affected iff d <= r(x). (r = NoDist compares as +inf,
+	// correctly catching flood nodes near an endpoint; the probe below
+	// catches the rest of their component.)
+	nm := traverse.NewNodeMap(newN)
+	q := queue.NewU32(256)
+	for _, e := range eps {
+		nm.Reset()
+		q.Reset()
+		nm.Set(e, 0, graph.NoNode)
+		add(e)
+		q.Push(e)
+		for !q.Empty() {
+			x := q.Pop()
+			dx := nm.Dist(x)
+			if dx >= rmax {
+				continue
+			}
+			for _, y := range newG.Neighbors(x) {
+				if nm.Has(y) {
+					continue
+				}
+				nm.Set(y, dx+1, x)
+				if dx+1 <= t.radius[y] {
+					add(y)
+				}
+				q.Push(y)
+			}
+		}
+	}
+
+	// Flood vicinities hold their whole component, so membership of any
+	// endpoint identifies the components the batch touches.
+	for _, x := range flood {
+		if mark[x] {
+			continue
+		}
+		v, ok := t.vicinity(x)
+		if !ok {
+			continue
+		}
+		for _, e := range eps {
+			if _, in := v.get(e); in {
+				add(x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// rebuildVicinities recomputes Γ(x) on the updated graph for every
+// affected node, with the same truncated BFS the offline phase uses.
+func (t *Oracle) rebuildVicinities(newG *graph.Graph, affected []uint32) []vicResult {
+	results := make([]vicResult, len(affected))
+	storeParents := !t.opts.DisablePathData
+	n := newG.NumNodes()
+	parallelFor(t.opts.Workers, len(affected), func() any {
+		return newBuildWS(n)
+	}, func(state any, i int) {
+		ws := state.(*buildWS)
+		results[i] = vicinityBFS(newG, t.isL, ws, affected[i], storeParents)
+	})
+	return results
+}
+
+// writeVicinities installs the recomputed vicinities and boundaries.
+// Superseded ranges go to the free lists; allocation recycles them
+// in-place and appends in copy-on-write mode (old snapshots may still
+// read the holes).
+func (t *Oracle) writeVicinities(affected []uint32, results []vicResult, inPlace bool) error {
+	hashKind := t.opts.TableKind == TableHash
+	for i, x := range affected {
+		res := &results[i]
+		t.radius[x] = res.radius
+		t.nearest[x] = res.nearest
+
+		// Vicinity table.
+		if t.vicAlt != nil {
+			if t.vicAlt[x] == nil {
+				t.covered++
+			}
+			nt := u32map.NewBuiltin(len(res.keys))
+			for j, k := range res.keys {
+				nt.Put(k, res.dists[j], res.parents[j])
+			}
+			t.vicAlt[x] = nt
+		} else {
+			if old := t.vicFlat[x]; old.Len() > 0 {
+				eo, el, so, sl := old.Ranges()
+				t.entFree.Free(eo, el)
+				t.slotFree.Free(so, sl)
+			} else {
+				t.covered++
+			}
+			nEnt := len(res.keys)
+			if hashKind && nEnt > u32map.MaxFlatEntries {
+				return fmt.Errorf("core: updated vicinity of node %d has %d entries, above the %d flat-table cap",
+					x, nEnt, u32map.MaxFlatEntries)
+			}
+			if uint64(t.arena.NumEntries())+uint64(nEnt) > math.MaxUint32 {
+				return fmt.Errorf("core: %d vicinity entries overflow the 2^32-1 arena capacity", t.arena.NumEntries())
+			}
+			eOff := t.allocEntries(nEnt, inPlace)
+			copy(t.arena.Keys[eOff:eOff+uint32(nEnt)], res.keys)
+			copy(t.arena.Dists[eOff:eOff+uint32(nEnt)], res.dists)
+			copy(t.arena.Parents[eOff:eOff+uint32(nEnt)], res.parents)
+			if hashKind {
+				sLen := uint32(u32map.IndexSize(nEnt))
+				sOff, sReused := t.allocSlots(int(sLen), inPlace)
+				slots := t.arena.Slots[sOff : sOff+sLen]
+				if sReused {
+					for j := range slots {
+						slots[j] = 0
+					}
+				}
+				u32map.FillIndex(slots, t.arena.Keys[eOff:eOff+uint32(nEnt)])
+				t.vicFlat[x] = t.arena.Hash(eOff, eOff+uint32(nEnt), sOff, sOff+sLen)
+			} else {
+				u32map.SortEntries(
+					t.arena.Keys[eOff:eOff+uint32(nEnt)],
+					t.arena.Dists[eOff:eOff+uint32(nEnt)],
+					t.arena.Parents[eOff:eOff+uint32(nEnt)])
+				t.vicFlat[x] = t.arena.Sorted(eOff, eOff+uint32(nEnt))
+			}
+		}
+
+		// Boundary range.
+		t.boundFree.Free(t.boundOff[x], t.boundLen[x])
+		bl := len(res.boundKeys)
+		bOff := t.allocBoundary(bl, inPlace)
+		copy(t.boundKeys[bOff:bOff+uint32(bl)], res.boundKeys)
+		copy(t.boundDist[bOff:bOff+uint32(bl)], res.boundDist)
+		t.boundOff[x], t.boundLen[x] = bOff, uint32(bl)
+	}
+	return nil
+}
+
+// allocEntries reserves nEnt contiguous entry slots, recycling freed
+// ranges only when reuse is allowed (in-place mode).
+func (t *Oracle) allocEntries(nEnt int, reuse bool) uint32 {
+	if reuse {
+		if off, ok := t.entFree.Acquire(uint32(nEnt)); ok {
+			return off
+		}
+	}
+	return t.arena.AllocEntries(nEnt)
+}
+
+func (t *Oracle) allocSlots(nSlot int, reuse bool) (uint32, bool) {
+	if reuse {
+		if off, ok := t.slotFree.Acquire(uint32(nSlot)); ok {
+			return off, true
+		}
+	}
+	return t.arena.AllocSlots(nSlot), false
+}
+
+// allocBoundary reserves a range in the parallel boundary arrays.
+func (t *Oracle) allocBoundary(n int, reuse bool) uint32 {
+	if n == 0 {
+		return 0
+	}
+	if reuse {
+		if off, ok := t.boundFree.Acquire(uint32(n)); ok {
+			return off
+		}
+	}
+	off := uint32(len(t.boundKeys))
+	t.boundKeys = append(t.boundKeys, make([]uint32, n)...)
+	t.boundDist = append(t.boundDist, make([]uint32, n)...)
+	return off
+}
+
+// maybeCompact squeezes out superseded ranges once they dominate the
+// arena (amortized O(1) per appended entry). The compacted arrays are
+// fresh allocations, so snapshots still serving the old layout are
+// unaffected.
+func (t *Oracle) maybeCompact() {
+	if t.vicAlt == nil && t.entFree.Total()+t.slotFree.Total() > 0 &&
+		2*(t.entFree.Total()+t.slotFree.Total()) > uint64(t.arena.NumEntries()+len(t.arena.Slots)) {
+		t.arena, t.vicFlat = t.compactVicinityArena()
+		t.entFree.Reset()
+		t.slotFree.Reset()
+	}
+	if t.boundFree.Total() > 0 && 2*t.boundFree.Total() > uint64(len(t.boundKeys)) {
+		t.compactBoundaries()
+	}
+}
+
+// compactVicinityArena copies every live vicinity into a fresh arena in
+// node order and returns it with the corresponding views. Read-only on
+// the oracle (persistence uses it to write waste-free files).
+func (o *Oracle) compactVicinityArena() (*u32map.Arena, []u32map.Flat) {
+	var totalEnt, totalSlot int
+	for u := range o.vicFlat {
+		_, el, _, sl := o.vicFlat[u].Ranges()
+		totalEnt += int(el)
+		totalSlot += int(sl)
+	}
+	na := &u32map.Arena{
+		Keys:    make([]uint32, 0, totalEnt),
+		Dists:   make([]uint32, 0, totalEnt),
+		Parents: make([]uint32, 0, totalEnt),
+		Slots:   make([]uint32, 0, totalSlot),
+	}
+	flat := make([]u32map.Flat, len(o.vicFlat))
+	for u := range o.vicFlat {
+		flat[u] = o.vicFlat[u].CopyTo(na)
+	}
+	return na, flat
+}
+
+// compactBoundaries rewrites the boundary arrays contiguously in node
+// order (fresh arrays; old snapshots keep theirs).
+func (t *Oracle) compactBoundaries() {
+	csr, keys, dists := t.boundaryCSR()
+	n := len(t.radius)
+	t.boundOff = csr[:n:n]
+	t.boundKeys = keys
+	t.boundDist = dists
+	t.boundFree.Reset()
+}

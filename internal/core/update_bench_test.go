@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"vicinity/internal/xrand"
+)
+
+// benchGraphNodes sizes the update benchmarks; the CHANGES.md
+// acceptance numbers are recorded at 50k.
+const benchGraphNodes = 50000
+
+func benchOracle(b *testing.B) *Oracle {
+	b.Helper()
+	g := socialGraph(7, benchGraphNodes)
+	o, err := Build(g, Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkInsertEdgeInPlace measures one random edge insertion with
+// free-list reuse (the offline / exclusive-access path).
+func BenchmarkInsertEdgeInPlace(b *testing.B) {
+	o := benchOracle(b)
+	r := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := uint32(o.Graph().NumNodes())
+		if err := o.ApplyUpdatesInPlace(Update{Edges: [][2]uint32{{r.Uint32n(n), r.Uint32n(n)}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsertEdgeCOW measures one random edge insertion through the
+// copy-on-write snapshot path the server uses.
+func BenchmarkInsertEdgeCOW(b *testing.B) {
+	o := benchOracle(b)
+	r := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := uint32(o.Graph().NumNodes())
+		next, err := o.ApplyUpdates(Update{Edges: [][2]uint32{{r.Uint32n(n), r.Uint32n(n)}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		o = next
+	}
+}
+
+// BenchmarkUpdateBatch100 measures a 100-edge batch (the amortized
+// per-edge cost of batching).
+func BenchmarkUpdateBatch100(b *testing.B) {
+	o := benchOracle(b)
+	r := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := uint32(o.Graph().NumNodes())
+		edges := make([][2]uint32, 100)
+		for j := range edges {
+			edges[j] = [2]uint32{r.Uint32n(n), r.Uint32n(n)}
+		}
+		if err := o.ApplyUpdatesInPlace(Update{Edges: edges}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRebuild is the baseline a single insertion competes with.
+func BenchmarkRebuild(b *testing.B) {
+	g := socialGraph(7, benchGraphNodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertEdgesBasic(t *testing.T) {
+	g := FromEdges(4, [][2]uint32{{0, 1}, {1, 2}})
+	g2, err := InsertEdges(g, 1, [][2]uint32{{2, 3}, {3, 4}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 5 || g2.NumEdges() != 5 {
+		t.Fatalf("got n=%d m=%d, want n=5 m=5", g2.NumNodes(), g2.NumEdges())
+	}
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}} {
+		if !g2.HasEdge(e[0], e[1]) || !g2.HasEdge(e[1], e[0]) {
+			t.Errorf("missing edge %v", e)
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The original graph is untouched.
+	if g.NumNodes() != 4 || g.NumEdges() != 2 || g.HasEdge(0, 2) {
+		t.Fatal("InsertEdges mutated its input")
+	}
+}
+
+func TestInsertEdgesDedup(t *testing.T) {
+	g := FromEdges(3, [][2]uint32{{0, 1}})
+	g2, err := InsertEdges(g, 0, [][2]uint32{
+		{0, 1}, {1, 0}, // already present, both orientations
+		{1, 2}, {1, 2}, {2, 1}, // batch duplicates
+		{2, 2}, // self-loop
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 {
+		t.Fatalf("got m=%d, want 2", g2.NumEdges())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertEdgesErrors(t *testing.T) {
+	g := FromEdges(3, [][2]uint32{{0, 1}})
+	if _, err := InsertEdges(g, 0, [][2]uint32{{0, 3}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := InsertEdges(g, -1, nil); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+	wb := NewBuilder(2)
+	wb.AddWeightedEdge(0, 1, 7)
+	if _, err := InsertEdges(wb.Build(), 0, nil); err == nil {
+		t.Fatal("weighted graph accepted")
+	}
+}
+
+// TestInsertEdgesMatchesRebuild cross-checks the merge against building
+// the combined edge set from scratch on random graphs and batches.
+func TestInsertEdgesMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(40)
+		var base [][2]uint32
+		for i := 0; i < r.Intn(3*n); i++ {
+			base = append(base, [2]uint32{uint32(r.Intn(n)), uint32(r.Intn(n))})
+		}
+		g := FromEdges(n, base)
+
+		addNodes := r.Intn(4)
+		total := n + addNodes
+		var batch [][2]uint32
+		for i := 0; i < r.Intn(2*n+2); i++ {
+			batch = append(batch, [2]uint32{uint32(r.Intn(total)), uint32(r.Intn(total))})
+		}
+		got, err := InsertEdges(g, addNodes, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := FromEdges(total, append(append([][2]uint32(nil), base...), batch...))
+		if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("trial %d: got n=%d m=%d, want n=%d m=%d",
+				trial, got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+		}
+		for u := uint32(0); int(u) < total; u++ {
+			ga, wa := got.Neighbors(u), want.Neighbors(u)
+			if len(ga) != len(wa) {
+				t.Fatalf("trial %d: node %d degree %d, want %d", trial, u, len(ga), len(wa))
+			}
+			for i := range ga {
+				if ga[i] != wa[i] {
+					t.Fatalf("trial %d: node %d adjacency differs", trial, u)
+				}
+			}
+		}
+	}
+}

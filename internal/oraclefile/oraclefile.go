@@ -143,6 +143,47 @@ func (ow *Writer) Raw(tag uint32, b []byte) {
 	ow.write(b)
 }
 
+// U32Rows writes a uint32-array section assembled from several rows.
+// The encoding is byte-identical to one U32s call on the rows'
+// concatenation, without materializing it (callers keep large tables
+// as per-row slices).
+func (ow *Writer) U32Rows(tag uint32, rows [][]uint32) {
+	writeRows(ow, tag, rows, 4, binary.LittleEndian.PutUint32)
+}
+
+// U16Rows is U32Rows for uint16 rows.
+func (ow *Writer) U16Rows(tag uint32, rows [][]uint16) {
+	writeRows(ow, tag, rows, 2, binary.LittleEndian.PutUint16)
+}
+
+// writeRows streams rows through the chunk buffer as one section of
+// their concatenation.
+func writeRows[T uint16 | uint32](ow *Writer, tag uint32, rows [][]T, elemSize int, put func([]byte, T)) {
+	var total uint64
+	for _, r := range rows {
+		total += uint64(len(r))
+	}
+	ow.header(tag, total)
+	fill := 0 // elements staged in buf
+	for _, row := range rows {
+		for len(row) > 0 {
+			n := min(len(row), chunkElems-fill)
+			for i, v := range row[:n] {
+				put(ow.buf[elemSize*(fill+i):], v)
+			}
+			fill += n
+			row = row[n:]
+			if fill == chunkElems {
+				ow.write(ow.buf[:elemSize*fill])
+				fill = 0
+			}
+		}
+	}
+	if fill > 0 {
+		ow.write(ow.buf[:elemSize*fill])
+	}
+}
+
 // Close writes the end marker and checksum trailer and flushes.
 // It does not close the underlying writer.
 func (ow *Writer) Close() error {

@@ -3,6 +3,7 @@ package qserver
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -11,10 +12,15 @@ import (
 
 // Handler returns an http.Handler exposing the oracle as a JSON API:
 //
-//	GET /v1/distance?s=<id>&t=<id> → {"s":..,"t":..,"distance":..,"method":"..","reachable":bool}
-//	GET /v1/path?s=<id>&t=<id>     → {"s":..,"t":..,"path":[..],"method":".."}
-//	GET /v1/stats                  → oracle build statistics
-//	GET /healthz                   → 200 "ok"
+//	GET  /v1/distance?s=<id>&t=<id> → {"s":..,"t":..,"distance":..,"method":"..","reachable":bool}
+//	GET  /v1/path?s=<id>&t=<id>     → {"s":..,"t":..,"path":[..],"method":".."}
+//	GET  /v1/stats                  → oracle build statistics
+//	POST /v1/admin/update           → apply a graph mutation batch (requires Config.AllowUpdates)
+//	GET  /healthz                   → 200 "ok"
+//
+// The update body is {"add_nodes":N,"edges":[[u,v],...]}; the response
+// reports the new epoch and graph size. Updates swap the oracle
+// atomically, so queries keep flowing during a batch.
 //
 // The handler shares the oracle (and the query counter) with the TCP
 // server when constructed from the same Server.
@@ -23,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/distance", s.handleDistance)
 	mux.HandleFunc("GET /v1/path", s.handlePath)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/admin/update", s.handleUpdate)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -64,6 +71,67 @@ func queryStatus(err error) int {
 	}
 }
 
+// maxUpdateBody bounds the admin update request body (64 MiB is ~4M
+// edges, far beyond a sane single batch).
+const maxUpdateBody = 64 << 20
+
+// maxUpdateNodes bounds add_nodes per batch: growth is per-node memory
+// across a dozen arrays plus every landmark row, so an unbounded count
+// in a tiny request body could otherwise OOM the server.
+const maxUpdateNodes = 1 << 20
+
+// handleUpdate applies a mutation batch posted as JSON.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.AllowUpdates {
+		writeJSON(w, http.StatusForbidden, httpError{"updates disabled: start the server with updates enabled"})
+		return
+	}
+	var body struct {
+		AddNodes int        `json:"add_nodes"`
+		Edges    [][]uint32 `json:"edges"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusBadRequest, httpError{"invalid update body: " + err.Error()})
+		return
+	}
+	// Decode into variable-length pairs so malformed edges fail loudly
+	// (a fixed [2]uint32 would silently zero-fill short arrays).
+	edges := make([][2]uint32, len(body.Edges))
+	for i, e := range body.Edges {
+		if len(e) != 2 {
+			s.errCount.Add(1)
+			writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("edge %d: want [u, v], got %d elements", i, len(e))})
+			return
+		}
+		edges[i] = [2]uint32{e[0], e[1]}
+	}
+	if body.AddNodes < 0 || body.AddNodes > maxUpdateNodes {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("add_nodes must be in [0, %d]", maxUpdateNodes)})
+		return
+	}
+	epoch, snap, err := s.ApplyUpdates(core.Update{AddNodes: body.AddNodes, Edges: edges})
+	if err != nil {
+		s.errCount.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrWeightedUpdate) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, httpError{err.Error()})
+		return
+	}
+	g := snap.Graph()
+	type resp struct {
+		Epoch uint64 `json:"epoch"`
+		Nodes int    `json:"nodes"`
+		Edges int    `json:"edges"`
+	}
+	writeJSON(w, http.StatusOK, resp{Epoch: epoch, Nodes: g.NumNodes(), Edges: g.NumEdges()})
+}
+
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	from, to, err := parsePair(r)
 	if err != nil {
@@ -71,7 +139,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	d, method, err := s.oracle.Distance(from, to)
+	d, method, err := s.oracle.Load().Distance(from, to)
 	if err != nil {
 		writeJSON(w, queryStatus(err), httpError{err.Error()})
 		return
@@ -97,7 +165,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	p, method, err := s.oracle.Path(from, to)
+	p, method, err := s.oracle.Load().Path(from, to)
 	if err != nil {
 		writeJSON(w, queryStatus(err), httpError{err.Error()})
 		return
@@ -117,8 +185,9 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.oracle.Stats()
-	ms := s.oracle.Memory()
+	oracle := s.oracle.Load()
+	st := oracle.Stats()
+	ms := oracle.Memory()
 	type resp struct {
 		Nodes        int     `json:"nodes"`
 		Edges        int     `json:"edges"`
@@ -131,6 +200,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TotalEntries int64   `json:"total_entries"`
 		TotalBytes   int64   `json:"total_bytes"`
 		Queries      int64   `json:"queries_served"`
+		Updates      int64   `json:"updates_applied"`
+		Epoch        uint64  `json:"epoch"`
 	}
 	writeJSON(w, http.StatusOK, resp{
 		Nodes:        st.Nodes,
@@ -144,5 +215,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TotalEntries: ms.TotalEntries,
 		TotalBytes:   ms.TotalBytes,
 		Queries:      s.queries.Load(),
+		Updates:      s.updates.Load(),
+		Epoch:        s.epoch.Load(),
 	})
 }

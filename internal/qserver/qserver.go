@@ -7,6 +7,11 @@
 // connection, per-request read/write deadlines, a connection cap
 // enforced with a semaphore, graceful shutdown draining active
 // connections, and atomic counters exported for scraping.
+//
+// The served oracle lives behind an atomic pointer: dynamic updates
+// (ApplyUpdates, or the /v1/admin/update endpoint when enabled) build a
+// new snapshot copy-on-write and swap it in with zero query downtime —
+// queries never take a lock and each one reads a consistent epoch.
 package qserver
 
 import (
@@ -35,6 +40,10 @@ type Config struct {
 	WriteTimeout time.Duration
 	// Logger receives connection-level errors (nil = silent).
 	Logger *log.Logger
+	// AllowUpdates enables the HTTP admin mutation endpoint
+	// (POST /v1/admin/update). The programmatic ApplyUpdates method is
+	// always available; this gates only the network surface.
+	AllowUpdates bool
 }
 
 func (c Config) withDefaults() Config {
@@ -58,18 +67,22 @@ type Metrics struct {
 	Errors       int64
 	BytesRead    int64 // approximate: frame payloads only
 	BytesWritten int64
+	Updates      int64  // update batches applied
+	Epoch        uint64 // current oracle epoch (0 = as built/loaded)
 }
 
 // Server answers oracle queries. Create with New, start with Serve or
 // ListenAndServe, stop with Shutdown.
 type Server struct {
-	oracle *core.Oracle
+	oracle atomic.Pointer[core.Oracle]
 	cfg    Config
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+
+	updMu sync.Mutex // serializes ApplyUpdates; queries never take it
 
 	sem chan struct{}
 	wg  sync.WaitGroup
@@ -80,21 +93,47 @@ type Server struct {
 	errCount     atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
+	updates      atomic.Int64
+	epoch        atomic.Uint64
 }
 
 // New returns an unstarted server for the oracle.
 func New(oracle *core.Oracle, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		oracle: oracle,
-		cfg:    cfg,
-		conns:  make(map[net.Conn]struct{}),
-		sem:    make(chan struct{}, cfg.MaxConns),
+	s := &Server{
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		sem:   make(chan struct{}, cfg.MaxConns),
 	}
+	s.oracle.Store(oracle)
+	return s
 }
 
-// Oracle returns the served oracle.
-func (s *Server) Oracle() *core.Oracle { return s.oracle }
+// Oracle returns the currently served oracle snapshot.
+func (s *Server) Oracle() *core.Oracle { return s.oracle.Load() }
+
+// ApplyUpdates applies the batch to the served oracle copy-on-write and
+// atomically swaps the new snapshot in; in-flight queries finish on the
+// epoch they started with and later queries see the updated graph. It
+// returns the new epoch number together with that epoch's snapshot
+// (epoch and snapshot are taken under the update lock, so they are
+// consistent with each other even when batches race). Batches are
+// serialized; queries are never blocked.
+func (s *Server) ApplyUpdates(u core.Update) (uint64, *core.Oracle, error) {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	cur := s.oracle.Load()
+	next, err := cur.ApplyUpdates(u)
+	if err != nil {
+		return s.epoch.Load(), cur, err
+	}
+	if next != cur {
+		s.oracle.Store(next)
+		s.updates.Add(1)
+		return s.epoch.Add(1), next, nil
+	}
+	return s.epoch.Load(), cur, nil // no-op batch
+}
 
 // Metrics returns a snapshot of the server counters.
 func (s *Server) Metrics() Metrics {
@@ -105,6 +144,8 @@ func (s *Server) Metrics() Metrics {
 		Errors:       s.errCount.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
+		Updates:      s.updates.Load(),
+		Epoch:        s.epoch.Load(),
 	}
 }
 
@@ -276,16 +317,19 @@ func isProtocolError(err error) bool {
 		errors.Is(err, wire.ErrTruncated)
 }
 
-// dispatch answers a single request message.
+// dispatch answers a single request message. The oracle snapshot is
+// pinned once per request, so a concurrent update swap cannot split one
+// query across epochs.
 func (s *Server) dispatch(req wire.Message) wire.Message {
 	s.bytesRead.Add(1)
+	oracle := s.oracle.Load()
 	switch m := req.(type) {
 	case *wire.PingRequest:
 		return &wire.PingResponse{Token: m.Token}
 
 	case *wire.DistanceRequest:
 		s.queries.Add(1)
-		d, method, err := s.oracle.Distance(m.S, m.T)
+		d, method, err := oracle.Distance(m.S, m.T)
 		if err != nil {
 			return queryError(err)
 		}
@@ -293,15 +337,15 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 
 	case *wire.PathRequest:
 		s.queries.Add(1)
-		p, method, err := s.oracle.Path(m.S, m.T)
+		p, method, err := oracle.Path(m.S, m.T)
 		if err != nil {
 			return queryError(err)
 		}
 		return &wire.PathResponse{Method: uint8(method), Path: p}
 
 	case *wire.StatsRequest:
-		st := s.oracle.Stats()
-		ms := s.oracle.Memory()
+		st := oracle.Stats()
+		ms := oracle.Memory()
 		return &wire.StatsResponse{
 			Nodes:         uint64(st.Nodes),
 			Edges:         uint64(st.Edges),

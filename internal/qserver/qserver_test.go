@@ -4,8 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -379,5 +382,139 @@ func TestClientClosed(t *testing.T) {
 	c.Close()
 	if _, _, err := c.Distance(0, 1); !errors.Is(err, qclient.ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestAdminUpdateEndpoint covers the HTTP mutation path: gating,
+// validation, and that applied batches are visible to queries.
+func TestAdminUpdateEndpoint(t *testing.T) {
+	g := gen.HolmeKim(xrand.New(4), 300, 4, 0.5)
+	o, err := core.Build(g, core.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Disabled by default.
+	locked := httptest.NewServer(New(o, Config{}).Handler())
+	defer locked.Close()
+	resp, err := http.Post(locked.URL+"/v1/admin/update", "application/json",
+		strings.NewReader(`{"edges":[[0,200]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("disabled endpoint returned %d, want 403", resp.StatusCode)
+	}
+
+	s := New(o, Config{AllowUpdates: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/admin/update", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp, out
+	}
+
+	// Find a non-edge to insert.
+	var u, v uint32
+	found := false
+	for u = 0; u < 300 && !found; u++ {
+		for v = u + 2; v < 300; v++ {
+			if !g.HasEdge(u, v) {
+				found = true
+				u--
+				break
+			}
+		}
+	}
+	u++
+	resp, out := post(fmt.Sprintf(`{"add_nodes":1,"edges":[[%d,%d],[300,0]]}`, u, v))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update returned %d: %v", resp.StatusCode, out)
+	}
+	if out["epoch"].(float64) != 1 || out["nodes"].(float64) != 301 {
+		t.Fatalf("unexpected response: %v", out)
+	}
+	if d, _, _ := s.Oracle().Distance(u, v); d != 1 {
+		t.Fatalf("inserted edge not visible: d=%d", d)
+	}
+	if d, _, _ := s.Oracle().Distance(300, 0); d != 1 {
+		t.Fatalf("added node not wired: d=%d", d)
+	}
+	if m := s.Metrics(); m.Updates != 1 || m.Epoch != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+
+	// Malformed bodies are rejected.
+	if resp, _ := post(`{"edges":[[0]]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short edge accepted: %d", resp.StatusCode)
+	}
+	if resp, _ := post(`{"bogus":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", resp.StatusCode)
+	}
+	if resp, _ := post(`{"edges":[[0,999]]}`); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("out-of-range edge: %d", resp.StatusCode)
+	}
+}
+
+// TestQueriesDuringUpdates races TCP clients against a stream of update
+// batches (meaningful under -race): every response must be internally
+// consistent with some epoch.
+func TestQueriesDuringUpdates(t *testing.T) {
+	s, addr := startServer(t, Config{AllowUpdates: true})
+	n := uint32(s.Oracle().Graph().NumNodes())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			c, err := qclient.Dial(addr, qclient.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			r := xrand.New(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Query only nodes of the original graph: they exist in
+				// every epoch.
+				s0, t0 := r.Uint32n(n), r.Uint32n(n)
+				if _, _, err := c.Distance(s0, t0); err != nil {
+					t.Errorf("Distance(%d,%d): %v", s0, t0, err)
+					return
+				}
+			}
+		}(uint64(w) + 7)
+	}
+
+	r := xrand.New(50)
+	for i := 0; i < 10; i++ {
+		cur := uint32(s.Oracle().Graph().NumNodes())
+		if _, _, err := s.ApplyUpdates(core.Update{
+			AddNodes: 1,
+			Edges:    [][2]uint32{{cur, r.Uint32n(cur)}, {r.Uint32n(cur), r.Uint32n(cur)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if m := s.Metrics(); m.Epoch != 10 {
+		t.Fatalf("epoch %d, want 10", m.Epoch)
 	}
 }

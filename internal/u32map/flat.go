@@ -237,6 +237,28 @@ func (f Flat) At(i int) (key, dist, parent uint32) {
 	return f.a.Keys[e], f.a.Dists[e], f.a.Parents[e]
 }
 
+// CopyTo appends the view's entry (and, for the hash layout, slot)
+// ranges to dst and returns the equivalent view over dst. Slot words
+// hold table-local entry indexes, so they copy verbatim. dst must not
+// share backing arrays with the view's own ranges (compaction copies
+// into a fresh arena).
+func (f Flat) CopyTo(dst *Arena) Flat {
+	if f.eLen == 0 {
+		return Flat{}
+	}
+	eOff := dst.AllocEntries(int(f.eLen))
+	copy(dst.Keys[eOff:], f.a.Keys[f.eOff:f.eOff+f.eLen])
+	copy(dst.Dists[eOff:], f.a.Dists[f.eOff:f.eOff+f.eLen])
+	copy(dst.Parents[eOff:], f.a.Parents[f.eOff:f.eOff+f.eLen])
+	if f.sMask == noIndex {
+		return dst.Sorted(eOff, eOff+f.eLen)
+	}
+	sLen := f.sMask + 1
+	sOff := dst.AllocSlots(int(sLen))
+	copy(dst.Slots[sOff:], f.a.Slots[f.sOff:f.sOff+sLen])
+	return dst.Hash(eOff, eOff+f.eLen, sOff, sOff+sLen)
+}
+
 // Bytes returns the share of the arena footprint attributable to this
 // table: 12 bytes per entry plus its slot range.
 func (f Flat) Bytes() int {

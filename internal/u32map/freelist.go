@@ -1,0 +1,132 @@
+package u32map
+
+import "sort"
+
+// FreeList tracks freed ranges of one arena space (entries or slots) so
+// in-place mutation can recycle the holes left by superseded tables
+// instead of growing the arena forever. Ranges are kept sorted by
+// offset and adjacent ranges are coalesced on Free, so steady-state
+// churn (a table freed, a similar-sized table allocated) reuses the
+// same region and the arena footprint stays flat.
+//
+// Copy-on-write updates must NOT recycle: a hole freed by one snapshot
+// may still be referenced by the views of an older snapshot that is
+// serving concurrent readers. Those callers use Free purely for waste
+// accounting (Total drives compaction) and allocate by appending.
+type FreeList struct {
+	ranges []freeRange // sorted by Off, non-adjacent, non-overlapping
+	total  uint64      // sum of range lengths
+}
+
+type freeRange struct{ Off, Len uint32 }
+
+// Free returns the range [off, off+length) to the list, coalescing with
+// neighbors. Freeing a zero-length range is a no-op.
+func (f *FreeList) Free(off, length uint32) {
+	if length == 0 {
+		return
+	}
+	f.total += uint64(length)
+	i := sort.Search(len(f.ranges), func(i int) bool { return f.ranges[i].Off >= off })
+	// Merge with the predecessor when contiguous.
+	if i > 0 && f.ranges[i-1].Off+f.ranges[i-1].Len == off {
+		f.ranges[i-1].Len += length
+		// The grown predecessor may now touch the successor.
+		if i < len(f.ranges) && f.ranges[i-1].Off+f.ranges[i-1].Len == f.ranges[i].Off {
+			f.ranges[i-1].Len += f.ranges[i].Len
+			f.ranges = append(f.ranges[:i], f.ranges[i+1:]...)
+		}
+		return
+	}
+	// Merge with the successor when contiguous.
+	if i < len(f.ranges) && off+length == f.ranges[i].Off {
+		f.ranges[i].Off = off
+		f.ranges[i].Len += length
+		return
+	}
+	f.ranges = append(f.ranges, freeRange{})
+	copy(f.ranges[i+1:], f.ranges[i:])
+	f.ranges[i] = freeRange{Off: off, Len: length}
+}
+
+// Acquire removes and returns the offset of a free range of exactly
+// length (splitting a larger range), or reports ok=false when no range
+// fits. First-fit keeps reuse near the front of the arena.
+func (f *FreeList) Acquire(length uint32) (off uint32, ok bool) {
+	if length == 0 {
+		return 0, true
+	}
+	for i := range f.ranges {
+		r := &f.ranges[i]
+		if r.Len < length {
+			continue
+		}
+		off = r.Off
+		if r.Len == length {
+			f.ranges = append(f.ranges[:i], f.ranges[i+1:]...)
+		} else {
+			r.Off += length
+			r.Len -= length
+		}
+		f.total -= uint64(length)
+		return off, true
+	}
+	return 0, false
+}
+
+// Total returns the number of units currently free (the arena's waste).
+func (f *FreeList) Total() uint64 { return f.total }
+
+// Reset empties the list (used after the arena is compacted).
+func (f *FreeList) Reset() {
+	f.ranges = f.ranges[:0]
+	f.total = 0
+}
+
+// Clone returns an independent copy (copy-on-write snapshots carry
+// their own accounting forward).
+func (f *FreeList) Clone() *FreeList {
+	return &FreeList{ranges: append([]freeRange(nil), f.ranges...), total: f.total}
+}
+
+// AllocEntries reserves room for n more entries at the end of the entry
+// arena and returns the offset of the reserved range. Growth goes
+// through append, so reserving within spare capacity does not move the
+// backing arrays and existing Flat views (including those held by other
+// snapshots sharing this arena's backing) remain valid.
+func (a *Arena) AllocEntries(n int) uint32 {
+	off := uint32(len(a.Keys))
+	a.Keys = grow(a.Keys, n)
+	a.Dists = grow(a.Dists, n)
+	a.Parents = grow(a.Parents, n)
+	return off
+}
+
+// AllocSlots reserves n more zeroed slot words at the end of the slot
+// arena and returns the offset of the reserved range.
+func (a *Arena) AllocSlots(n int) uint32 {
+	off := uint32(len(a.Slots))
+	a.Slots = grow(a.Slots, n)
+	return off
+}
+
+// Clone returns a new Arena header over the same backing arrays.
+// Appends through the clone never disturb ranges visible to the
+// original: writes land beyond the original's lengths (or in fresh
+// arrays after reallocation), which its views never read.
+func (a *Arena) Clone() *Arena {
+	c := *a
+	return &c
+}
+
+// grow extends xs by n zeroed elements.
+func grow(xs []uint32, n int) []uint32 {
+	if cap(xs)-len(xs) >= n {
+		tail := xs[len(xs) : len(xs)+n]
+		for i := range tail {
+			tail[i] = 0
+		}
+		return xs[:len(xs)+n]
+	}
+	return append(xs, make([]uint32, n)...)
+}

@@ -1,0 +1,135 @@
+package u32map
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFreeListCoalesce(t *testing.T) {
+	var f FreeList
+	f.Free(10, 5)
+	f.Free(20, 5)
+	f.Free(15, 5) // bridges the two into [10, 25)
+	if len(f.ranges) != 1 || f.ranges[0] != (freeRange{10, 15}) {
+		t.Fatalf("got %v, want one range [10,25)", f.ranges)
+	}
+	if f.Total() != 15 {
+		t.Fatalf("total %d, want 15", f.Total())
+	}
+	off, ok := f.Acquire(15)
+	if !ok || off != 10 || f.Total() != 0 || len(f.ranges) != 0 {
+		t.Fatalf("acquire: off=%d ok=%v total=%d", off, ok, f.Total())
+	}
+}
+
+func TestFreeListSplitAndMiss(t *testing.T) {
+	var f FreeList
+	f.Free(100, 10)
+	if _, ok := f.Acquire(11); ok {
+		t.Fatal("acquired more than available")
+	}
+	off, ok := f.Acquire(4)
+	if !ok || off != 100 {
+		t.Fatalf("got off=%d ok=%v", off, ok)
+	}
+	off, ok = f.Acquire(6)
+	if !ok || off != 104 || f.Total() != 0 {
+		t.Fatalf("got off=%d ok=%v total=%d", off, ok, f.Total())
+	}
+	if off, ok := f.Acquire(0); !ok || off != 0 {
+		t.Fatal("zero-length acquire should trivially succeed")
+	}
+}
+
+// TestFreeListRandomized frees and acquires random ranges, checking that
+// handed-out ranges never overlap each other or live ranges.
+func TestFreeListRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const space = 1 << 12
+	var f FreeList
+	owned := make([]bool, space) // currently free according to the model
+	f.Free(0, space)
+	for i := range owned {
+		owned[i] = true
+	}
+	check := func() {
+		var total uint64
+		for i, rg := range f.ranges {
+			if rg.Len == 0 {
+				t.Fatal("zero-length range in list")
+			}
+			if i > 0 && f.ranges[i-1].Off+f.ranges[i-1].Len >= rg.Off {
+				t.Fatalf("ranges unsorted or uncoalesced: %v", f.ranges)
+			}
+			total += uint64(rg.Len)
+			for j := rg.Off; j < rg.Off+rg.Len; j++ {
+				if !owned[j] {
+					t.Fatalf("list claims %d free, model says live", j)
+				}
+			}
+		}
+		if total != f.Total() {
+			t.Fatalf("total %d, ranges sum %d", f.Total(), total)
+		}
+	}
+	var live []freeRange
+	for step := 0; step < 2000; step++ {
+		if r.Intn(2) == 0 {
+			n := uint32(1 + r.Intn(64))
+			off, ok := f.Acquire(n)
+			if ok {
+				for j := off; j < off+n; j++ {
+					if !owned[j] {
+						t.Fatalf("step %d: acquired live unit %d", step, j)
+					}
+					owned[j] = false
+				}
+				live = append(live, freeRange{off, n})
+			}
+		} else if len(live) > 0 {
+			i := r.Intn(len(live))
+			rg := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			f.Free(rg.Off, rg.Len)
+			for j := rg.Off; j < rg.Off+rg.Len; j++ {
+				owned[j] = true
+			}
+		}
+		check()
+	}
+}
+
+func TestArenaAllocAndClone(t *testing.T) {
+	a := &Arena{
+		Keys:    make([]uint32, 2, 8),
+		Dists:   make([]uint32, 2, 8),
+		Parents: make([]uint32, 2, 8),
+		Slots:   make([]uint32, 0, 8),
+	}
+	a.Keys[0], a.Keys[1] = 7, 9
+
+	c := a.Clone()
+	off := c.AllocEntries(3)
+	if off != 2 || len(c.Keys) != 5 {
+		t.Fatalf("alloc off=%d len=%d", off, len(c.Keys))
+	}
+	c.Keys[off] = 42
+	// The original header still sees only its own range.
+	if len(a.Keys) != 2 || a.Keys[0] != 7 || a.Keys[1] != 9 {
+		t.Fatal("clone append disturbed the original view")
+	}
+	// Reused spare capacity must come back zeroed (slot arenas rely on it).
+	soff := c.AllocSlots(4)
+	for i := soff; i < soff+4; i++ {
+		if c.Slots[i] != 0 {
+			t.Fatal("AllocSlots returned non-zeroed space")
+		}
+	}
+	// Growth past capacity reallocates without touching the original.
+	c2 := c.Clone()
+	c2.AllocEntries(100)
+	if len(c.Keys) != 5 || c.Keys[off] != 42 {
+		t.Fatal("reallocation disturbed the parent snapshot")
+	}
+}

@@ -30,12 +30,28 @@
 // whenever some shortest-path vertex lies in both vicinities — see
 // DESIGN.md for the honest discussion of the weighted case.
 //
-// Oracles are immutable after Build and safe for concurrent queries.
+// # Dynamic updates
+//
+// Unweighted oracles absorb graph growth without rebuilding: InsertEdge,
+// AddNode and the batched ApplyUpdates repair only the vicinities,
+// boundaries and landmark tables the change can reach, following the
+// incremental scheme of the paper's sequel ("Shortest Paths in
+// Microseconds"). Updates are safe to run concurrently with queries:
+// each mutation builds a new internal snapshot and installs it
+// atomically, so in-flight queries keep reading a consistent epoch and
+// later queries see the updated graph. An updated oracle answers
+// exactly like one freshly built on the mutated graph with the same
+// landmark set (property-tested in this repository); see DESIGN.md for
+// the repair algorithm and its correctness argument.
+//
+// Oracles are safe for concurrent use throughout.
 package vicinity
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"vicinity/internal/core"
 	"vicinity/internal/gen"
@@ -198,10 +214,30 @@ type Options struct {
 	Nodes []uint32
 }
 
-// Oracle is the built shortest-path oracle. Safe for concurrent use.
+// Oracle is the built shortest-path oracle. It is safe for concurrent
+// use: queries may run from any number of goroutines, and dynamic
+// updates (ApplyUpdates, InsertEdge, AddNode) may run concurrently with
+// them — each update installs a new internal snapshot atomically, so
+// every query observes one consistent graph-plus-tables epoch.
 type Oracle struct {
+	ep atomic.Pointer[oracleEpoch]
+	mu sync.Mutex // serializes updates; queries never take it
+}
+
+// oracleEpoch pairs one immutable core snapshot with its graph wrapper
+// so both swap together.
+type oracleEpoch struct {
 	o *core.Oracle
 	g *Graph
+}
+
+// cur returns the current epoch.
+func (o *Oracle) cur() *oracleEpoch { return o.ep.Load() }
+
+func newOracle(co *core.Oracle, g *Graph) *Oracle {
+	o := &Oracle{}
+	o.ep.Store(&oracleEpoch{o: co, g: g})
+	return o
 }
 
 // Build runs the offline phase over g. A nil opts selects the paper's
@@ -227,15 +263,16 @@ func Build(g *Graph, opts *Options) (*Oracle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vicinity: %w", err)
 	}
-	return &Oracle{o: o, g: g}, nil
+	return newOracle(o, g), nil
 }
 
-// Save writes the oracle to path in the versioned, checksummed binary
-// oracle format (see DESIGN.md). The file is self-contained — it
-// embeds the graph alongside every built table — so LoadOracle
-// restores serving state without re-running Build.
+// Save writes the oracle's current epoch to path in the versioned,
+// checksummed binary oracle format (see DESIGN.md). The file is
+// self-contained — it embeds the graph alongside every built table —
+// so LoadOracle restores serving state without re-running Build.
+// Storage holes left by earlier updates are compacted away on write.
 func (o *Oracle) Save(path string) error {
-	if err := core.SaveOracleFile(path, o.o); err != nil {
+	if err := core.SaveOracleFile(path, o.cur().o); err != nil {
 		return fmt.Errorf("vicinity: save oracle: %w", err)
 	}
 	return nil
@@ -250,37 +287,103 @@ func LoadOracle(path string) (*Oracle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vicinity: load oracle: %w", err)
 	}
-	return &Oracle{o: co, g: &Graph{g: co.Graph()}}, nil
+	return newOracle(co, &Graph{g: co.Graph()}), nil
 }
 
-// Graph returns the graph the oracle was built over.
-func (o *Oracle) Graph() *Graph { return o.g }
+// Graph returns the graph of the oracle's current epoch. The returned
+// Graph is an immutable snapshot: updates applied to the oracle later
+// produce new snapshots and never mutate it.
+func (o *Oracle) Graph() *Graph { return o.cur().g }
+
+// Update is a batch of graph mutations for ApplyUpdates: AddNodes
+// fresh nodes (assigned ids n .. n+AddNodes-1, where n is the node
+// count before the batch) plus undirected unit-weight edges, which may
+// reference the new ids. Self-loops, duplicate edges and edges already
+// present are ignored.
+type Update = core.Update
+
+// ApplyUpdates grows the oracle's graph in place of a rebuild: new
+// edges and nodes are absorbed by repairing only the vicinities,
+// boundaries and landmark tables the change can reach (typically a
+// small neighborhood of the touched endpoints). The repaired oracle
+// answers every query exactly as an oracle freshly built on the
+// mutated graph with the same landmark set would.
+//
+// ApplyUpdates is safe to call concurrently with queries — they keep
+// reading the previous epoch until the new one is installed atomically
+// — and updates are serialized among themselves. Only unweighted
+// oracles support updates (ErrWeightedUpdate otherwise); the landmark
+// set is kept fixed, so after the graph has grown far beyond its
+// built size a fresh Build re-balances the α·√n size trade-off (see
+// DESIGN.md).
+func (o *Oracle) ApplyUpdates(u Update) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cur := o.cur()
+	co, err := cur.o.ApplyUpdates(u)
+	if err != nil {
+		return fmt.Errorf("vicinity: apply updates: %w", err)
+	}
+	if co != cur.o {
+		o.ep.Store(&oracleEpoch{o: co, g: &Graph{g: co.Graph()}})
+	}
+	return nil
+}
+
+// ErrWeightedUpdate is returned by the update methods on oracles built
+// over weighted graphs, where incremental repair is not supported.
+var ErrWeightedUpdate = core.ErrWeightedUpdate
+
+// InsertEdge adds the undirected unit-weight edge {u, v} to the graph
+// and repairs the oracle incrementally. Equivalent to ApplyUpdates
+// with a single edge; for many edges, one batched ApplyUpdates is
+// cheaper than repeated InsertEdge calls.
+func (o *Oracle) InsertEdge(u, v uint32) error {
+	return o.ApplyUpdates(Update{Edges: [][2]uint32{{u, v}}})
+}
+
+// AddNode grows the graph by one isolated node and returns its id.
+// Connect it with InsertEdge or ApplyUpdates; until then it is
+// unreachable from every other node.
+func (o *Oracle) AddNode() (uint32, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cur := o.cur()
+	id := uint32(cur.o.Graph().NumNodes())
+	co, err := cur.o.ApplyUpdates(Update{AddNodes: 1})
+	if err != nil {
+		return 0, fmt.Errorf("vicinity: add node: %w", err)
+	}
+	o.ep.Store(&oracleEpoch{o: co, g: &Graph{g: co.Graph()}})
+	return id, nil
+}
 
 // Distance returns the distance from s to t and the method that
 // resolved it. NoDist means unreachable (MethodUnreachable) or
 // unresolved (MethodNone).
 func (o *Oracle) Distance(s, t uint32) (uint32, Method, error) {
-	return o.o.Distance(s, t)
+	return o.cur().o.Distance(s, t)
 }
 
 // Path returns a shortest path from s to t inclusive of endpoints, or
 // nil when no path exists or the query is unresolved.
 func (o *Oracle) Path(s, t uint32) ([]uint32, Method, error) {
-	return o.o.Path(s, t)
+	return o.cur().o.Path(s, t)
 }
 
 // IsLandmark reports whether u is in the sampled landmark set L.
-func (o *Oracle) IsLandmark(u uint32) bool { return o.o.IsLandmark(u) }
+func (o *Oracle) IsLandmark(u uint32) bool { return o.cur().o.IsLandmark(u) }
 
 // Landmarks returns the sorted landmark set (shared slice; do not
-// modify).
-func (o *Oracle) Landmarks() []uint32 { return o.o.Landmarks() }
+// modify). The set is fixed at Build time; dynamic updates do not
+// re-sample it.
+func (o *Oracle) Landmarks() []uint32 { return o.cur().o.Landmarks() }
 
 // VicinitySize returns |Γ(u)| (0 for landmarks).
-func (o *Oracle) VicinitySize(u uint32) int { return o.o.VicinitySize(u) }
+func (o *Oracle) VicinitySize(u uint32) int { return o.cur().o.VicinitySize(u) }
 
 // Radius returns d(u, l(u)), u's distance to its nearest landmark.
-func (o *Oracle) Radius(u uint32) uint32 { return o.o.Radius(u) }
+func (o *Oracle) Radius(u uint32) uint32 { return o.cur().o.Radius(u) }
 
 // Stats summarizes the built data structure.
 type Stats struct {
@@ -296,10 +399,12 @@ type Stats struct {
 	SavingsVsAPSP float64 // all-pairs entries / stored entries
 }
 
-// Stats computes the oracle's build and memory statistics.
+// Stats computes the oracle's build and memory statistics for the
+// current epoch.
 func (o *Oracle) Stats() Stats {
-	bs := o.o.Stats()
-	ms := o.o.Memory()
+	co := o.cur().o
+	bs := co.Stats()
+	ms := co.Memory()
 	return Stats{
 		Nodes:         bs.Nodes,
 		Edges:         bs.Edges,

@@ -254,3 +254,92 @@ func BenchmarkEndToEndQuery(b *testing.B) {
 		}
 	}
 }
+
+// TestDynamicUpdates exercises the public update API: distances stay
+// exact (vs BFS ground truth) through a sequence of edge insertions and
+// node additions, and updates race cleanly with concurrent queries.
+func TestDynamicUpdates(t *testing.T) {
+	g := GenerateSocial(1500, 5, 3)
+	o, err := Build(g, &Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := xrand.New(77)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := uint32(o.Graph().NumNodes())
+			if _, _, err := o.Distance(r.Uint32n(n), r.Uint32n(n)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	r := xrand.New(9)
+	for step := 0; step < 10; step++ {
+		n := uint32(o.Graph().NumNodes())
+		batch := Update{Edges: [][2]uint32{
+			{r.Uint32n(n), r.Uint32n(n)},
+			{r.Uint32n(n), r.Uint32n(n)},
+		}}
+		if step%3 == 0 {
+			batch.AddNodes = 1
+			batch.Edges = append(batch.Edges, [2]uint32{n, r.Uint32n(n)})
+		}
+		if err := o.ApplyUpdates(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+
+	// Exactness on the mutated graph.
+	gg := o.Graph()
+	ws := traverse.NewWorkspace(gg.g)
+	for i := 0; i < 400; i++ {
+		n := uint32(gg.NumNodes())
+		s, u := r.Uint32n(n), r.Uint32n(n)
+		want := ws.BiBFSDist(s, u)
+		got, _, err := o.Distance(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("d(%d,%d) = %d, want %d", s, u, got, want)
+		}
+	}
+
+	// Updated oracles persist and reload.
+	path := filepath.Join(t.TempDir(), "updated.vco")
+	if err := o.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := LoadOracle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Graph().NumNodes() != o.Graph().NumNodes() {
+		t.Fatal("node count lost through save/load")
+	}
+
+	// Weighted oracles refuse updates.
+	b := NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 2)
+	wo, err := Build(b.Build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wo.InsertEdge(0, 2); err == nil {
+		t.Fatal("weighted update accepted")
+	}
+}
