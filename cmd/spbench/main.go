@@ -17,6 +17,11 @@
 //	spbench -save lj.vco -dataset livejournal -nodes 100000
 //	spbench -load lj.vco
 //
+// -parallel N shards the offline build across N workers (default
+// GOMAXPROCS); the built oracle — and any file written from it — is
+// bit-identical for every worker count, so -parallel only changes how
+// fast the build runs. -save reports the per-stage build breakdown.
+//
 // -save builds the named dataset's oracle and writes it to a file;
 // -load restores it and reports load time against a fresh rebuild,
 // plus a query-latency sample. Both skip the experiment suite.
@@ -57,7 +62,8 @@ func saveOracle(path, dataset string, cfg expt.Config) error {
 		return err
 	}
 	buildTime := time.Since(start)
-	fmt.Printf("built in %v: %s\n", buildTime.Round(time.Millisecond), o.Stats())
+	fmt.Printf("built in %v (%s): %s\n",
+		buildTime.Round(time.Millisecond), o.BuildTimings(), o.Stats())
 	start = time.Now()
 	if err := core.SaveOracleFile(path, o); err != nil {
 		return err
@@ -116,17 +122,18 @@ func loadOracle(path string, cfg expt.Config) error {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (table2|fig2a|fig2b|fig2c|table3|memory|ablation|sampling|accuracy|weighted|scaling|all)")
-		quick   = fs.Bool("quick", false, "reduced scale for smoke testing")
-		samples = fs.Int("samples", 0, "sampled nodes per dataset (0 = default)")
-		reps    = fs.Int("reps", 0, "repetitions (0 = default)")
-		nodes   = fs.Int("nodes", 0, "synthetic nodes per dataset (0 = profile default)")
-		seed    = fs.Uint64("seed", 42, "random seed")
-		alpha   = fs.Float64("alpha", 4, "operating-point α")
-		workers = fs.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
-		save    = fs.String("save", "", "build one dataset's oracle and save it to this file")
-		load    = fs.String("load", "", "load a saved oracle and benchmark it")
-		dataset = fs.String("dataset", "LiveJournal", "dataset profile for -save")
+		exp      = fs.String("exp", "all", "experiment id (table2|fig2a|fig2b|fig2c|table3|memory|ablation|sampling|accuracy|weighted|scaling|all)")
+		quick    = fs.Bool("quick", false, "reduced scale for smoke testing")
+		samples  = fs.Int("samples", 0, "sampled nodes per dataset (0 = default)")
+		reps     = fs.Int("reps", 0, "repetitions (0 = default)")
+		nodes    = fs.Int("nodes", 0, "synthetic nodes per dataset (0 = profile default)")
+		seed     = fs.Uint64("seed", 42, "random seed")
+		alpha    = fs.Float64("alpha", 4, "operating-point α")
+		parallel = fs.Int("parallel", 0, "build parallelism (0 = GOMAXPROCS); output is bit-identical for every value")
+		workers  = fs.Int("workers", 0, "deprecated alias for -parallel")
+		save     = fs.String("save", "", "build one dataset's oracle and save it to this file")
+		load     = fs.String("load", "", "load a saved oracle and benchmark it")
+		dataset  = fs.String("dataset", "LiveJournal", "dataset profile for -save")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,6 +145,9 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.Alpha = *alpha
 	cfg.Workers = *workers
+	if *parallel > 0 {
+		cfg.Workers = *parallel
+	}
 	if *samples > 0 {
 		cfg.Samples = *samples
 	}

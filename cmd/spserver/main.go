@@ -4,7 +4,7 @@
 // Usage:
 //
 //	spserver -graph lj.bin -addr :7421 -http :8080
-//	spserver -gen orkut -n 10000 -addr 127.0.0.1:7421
+//	spserver -gen orkut -n 10000 -addr 127.0.0.1:7421 -parallel 8
 //	spserver -oracle lj.vco -addr :7421   # prebuilt oracle: cold start in ms
 //	spserver -gen flickr -http :8080 -allow-updates
 //
@@ -56,6 +56,7 @@ func run(args []string) error {
 		n          = fs.Int("n", 0, "nodes for -gen (0 = profile default)")
 		alpha      = fs.Float64("alpha", 4, "vicinity size parameter α")
 		seed       = fs.Uint64("seed", 42, "random seed")
+		parallel   = fs.Int("parallel", 0, "build parallelism (0 = GOMAXPROCS); the built oracle is identical for every value")
 		addr       = fs.String("addr", "127.0.0.1:7421", "TCP listen address (empty = disabled)")
 		httpAddr   = fs.String("http", "", "HTTP listen address (empty = disabled)")
 		maxConns   = fs.Int("max-conns", 1024, "maximum concurrent TCP connections")
@@ -89,11 +90,12 @@ func run(args []string) error {
 		}
 		logger.Printf("graph: %s", graph.ComputeStats(g))
 		start := time.Now()
-		oracle, err = core.Build(g, core.Options{Alpha: *alpha, Seed: *seed})
+		oracle, err = core.Build(g, core.Options{Alpha: *alpha, Seed: *seed, Workers: *parallel})
 		if err != nil {
 			return err
 		}
-		logger.Printf("oracle built in %v: %s", time.Since(start).Round(time.Millisecond), oracle.Stats())
+		logger.Printf("oracle built in %v (%s): %s",
+			time.Since(start).Round(time.Millisecond), oracle.BuildTimings(), oracle.Stats())
 	}
 
 	if *allowUpd && *httpAddr == "" {

@@ -1,12 +1,19 @@
-// Parallel measures query throughput scaling with concurrency — the
-// parallelization question the paper raises in §5. The oracle is
-// immutable after build, so queries scale across cores with no locking
-// (fallback workspaces come from a pool).
+// Parallel measures how the oracle scales with concurrency on both
+// sides of the offline/online split — the parallelization question the
+// paper raises in §5.
+//
+// Build: the offline phase shards across workers (plan/execute/merge
+// pipeline); the example times 1/2/4/8 workers and verifies that every
+// worker count produces a byte-identical serialized oracle.
+//
+// Query: the oracle is immutable after build, so queries scale across
+// cores with no locking (fallback workspaces come from a pool).
 //
 //	go run ./examples/parallel [-n 10000]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -26,12 +33,33 @@ func main() {
 	flag.Parse()
 
 	g := gen.ProfileFlickr.Generate(*n, 5)
-	oracle, err := core.Build(g, core.Options{Alpha: 4, Seed: 5})
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("cores: %d\n\nbuild scaling (n=%d):\n", runtime.GOMAXPROCS(0), *n)
+	var oracle *core.Oracle
+	var golden []byte
+	var baseBuild time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		o, err := core.Build(g, core.Options{Alpha: 4, Seed: 5, Workers: workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		var buf bytes.Buffer
+		if err := core.WriteOracle(&buf, o); err != nil {
+			log.Fatal(err)
+		}
+		if workers == 1 {
+			baseBuild, golden, oracle = elapsed, buf.Bytes(), o
+		} else if !bytes.Equal(buf.Bytes(), golden) {
+			log.Fatalf("workers=%d produced a different oracle file", workers)
+		}
+		fmt.Printf("workers=%-3d  build %8v  speedup %.2f×  (%s)\n",
+			workers, elapsed.Round(time.Millisecond),
+			float64(baseBuild)/float64(elapsed), o.BuildTimings())
 	}
-	fmt.Println("oracle:", oracle.Stats())
-	fmt.Printf("cores: %d\n\n", runtime.GOMAXPROCS(0))
+	fmt.Println("all worker counts produced byte-identical oracles")
+	fmt.Println("\noracle:", oracle.Stats())
+	fmt.Println()
 
 	var base float64
 	for _, workers := range []int{1, 2, 4, 8} {

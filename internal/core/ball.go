@@ -16,6 +16,10 @@ const NoDist = traverse.NoDist
 // denormalized as parallel key/distance arrays so the online scan reads
 // d(s,w) without probing s's own table), its radius d(u, l(u)) and its
 // nearest landmark l(u).
+//
+// The slices alias the workspace's reusable buffers and are valid only
+// until the workspace's next search: the parallel build appends them to
+// its worker shard immediately, and the update path detaches a copy.
 type vicResult struct {
 	keys      []uint32
 	dists     []uint32
@@ -27,14 +31,19 @@ type vicResult struct {
 }
 
 // buildWS is the per-worker scratch state for vicinity construction.
+// Entry and boundary buffers are reused across nodes; one worker's
+// results must be consumed (shard-appended or detached) before its next
+// search.
 type buildWS struct {
-	nm      *traverse.NodeMap // distance + parent during the search
-	settled *traverse.NodeMap // Dijkstra settle marks (weighted only)
-	q       *queue.U32
-	h       *heap.Min
-	keys    []uint32
-	dists   []uint32
-	parents []uint32
+	nm        *traverse.NodeMap // distance + parent during the search
+	settled   *traverse.NodeMap // Dijkstra settle marks (weighted only)
+	q         *queue.U32
+	h         *heap.Min
+	keys      []uint32
+	dists     []uint32
+	parents   []uint32
+	boundKeys []uint32
+	boundDist []uint32
 }
 
 func newBuildWS(n int) *buildWS {
@@ -54,6 +63,8 @@ func (ws *buildWS) reset() {
 	ws.keys = ws.keys[:0]
 	ws.dists = ws.dists[:0]
 	ws.parents = ws.parents[:0]
+	ws.boundKeys = ws.boundKeys[:0]
+	ws.boundDist = ws.boundDist[:0]
 }
 
 func (ws *buildWS) record(v, d, parent uint32) {
@@ -97,7 +108,6 @@ func vicinityBFS(g *graph.Graph, isL []bool, ws *buildWS, u uint32, storeParents
 			q.Push(v)
 		}
 	}
-	res := vicResult{radius: r, nearest: nearest}
 	// Boundary: only level-r members can have a neighbor outside the
 	// closed ball (members at depth < r have all neighbors at depth <= r).
 	if r != NoDist {
@@ -107,15 +117,14 @@ func vicinityBFS(g *graph.Graph, isL []bool, ws *buildWS, u uint32, storeParents
 			}
 			for _, nb := range g.Neighbors(k) {
 				if !nm.Has(nb) {
-					res.boundKeys = append(res.boundKeys, k)
-					res.boundDist = append(res.boundDist, r)
+					ws.boundKeys = append(ws.boundKeys, k)
+					ws.boundDist = append(ws.boundDist, r)
 					break
 				}
 			}
 		}
 	}
-	res.copyEntries(ws, storeParents)
-	return res
+	return ws.result(r, nearest, storeParents)
 }
 
 // vicinityDijkstra constructs Γ(u) for a weighted graph: a truncated
@@ -160,35 +169,49 @@ func vicinityDijkstra(g *graph.Graph, isL []bool, ws *buildWS, u uint32, storePa
 			}
 		}
 	}
-	res := vicResult{radius: r, nearest: nearest}
 	// Boundary: any member with a non-member neighbor. Unlike the
 	// unweighted case, interior members can abut non-members through
 	// heavy edges, so every member is checked.
 	for i, k := range ws.keys {
 		for _, nb := range g.Neighbors(k) {
 			if !settled.Has(nb) {
-				res.boundKeys = append(res.boundKeys, k)
-				res.boundDist = append(res.boundDist, ws.dists[i])
+				ws.boundKeys = append(ws.boundKeys, k)
+				ws.boundDist = append(ws.boundDist, ws.dists[i])
 				break
 			}
 		}
 	}
-	res.copyEntries(ws, storeParents)
-	return res
+	return ws.result(r, nearest, storeParents)
 }
 
-// copyEntries snapshots the collected entries out of the reusable
-// workspace buffers. Parents are replaced by NoNode when path data is
-// disabled.
-func (res *vicResult) copyEntries(ws *buildWS, storeParents bool) {
-	res.keys = append([]uint32(nil), ws.keys...)
-	res.dists = append([]uint32(nil), ws.dists...)
-	if storeParents {
-		res.parents = append([]uint32(nil), ws.parents...)
-	} else {
-		res.parents = make([]uint32, len(ws.keys))
-		for i := range res.parents {
-			res.parents[i] = graph.NoNode
+// result views the workspace's collected buffers as a vicResult. When
+// path data is disabled the parent buffer is overwritten with NoNode so
+// consumers never see real parents.
+func (ws *buildWS) result(radius, nearest uint32, storeParents bool) vicResult {
+	if !storeParents {
+		for i := range ws.parents {
+			ws.parents[i] = graph.NoNode
 		}
 	}
+	return vicResult{
+		keys:      ws.keys,
+		dists:     ws.dists,
+		parents:   ws.parents,
+		boundKeys: ws.boundKeys,
+		boundDist: ws.boundDist,
+		radius:    radius,
+		nearest:   nearest,
+	}
+}
+
+// detach copies the result out of its workspace's reusable buffers so
+// it survives the workspace's next search. The update path uses it to
+// collect repaired vicinities before installing them.
+func (res vicResult) detach() vicResult {
+	res.keys = append([]uint32(nil), res.keys...)
+	res.dists = append([]uint32(nil), res.dists...)
+	res.parents = append([]uint32(nil), res.parents...)
+	res.boundKeys = append([]uint32(nil), res.boundKeys...)
+	res.boundDist = append([]uint32(nil), res.boundDist...)
+	return res
 }

@@ -5,29 +5,46 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vicinity/internal/graph"
+	"vicinity/internal/queue"
 	"vicinity/internal/traverse"
 	"vicinity/internal/u32map"
 )
 
 // Build runs the offline phase (§2.2): sample the landmark set, construct
 // every in-scope vicinity with its boundary, and compute the per-landmark
-// full distance tables. Construction parallelizes across opts.Workers
-// goroutines; the result is deterministic in opts.Seed regardless of
-// scheduling.
+// full distance tables.
 //
-// The built oracle is flat: vicinity entries, slot indexes, boundaries
-// and landmark tables are concatenated into shared arenas with per-node
-// CSR offsets (see the Oracle type). Build first computes every
-// vicinity in parallel into temporary per-node buffers, then sizes the
-// arenas with prefix sums and copies the results into place, again in
-// parallel over disjoint ranges.
+// The pipeline has three stages — plan, execute, merge — sharded across
+// opts.Workers goroutines:
+//
+//   - Plan: sample landmarks (deterministic in opts.Seed) and fix the
+//     scope, the ordered node list whose vicinities are built.
+//   - Execute: workers pull scope indexes from a shared counter and run
+//     each node's truncated BFS/Dijkstra with per-worker scratch,
+//     appending entries and boundary members to a worker-private
+//     u32map.Shard and recording shard-local ranges per node.
+//   - Merge: prefix sums over the scope order assign every node its
+//     final range in the shared flat arenas; workers then stitch the
+//     shards into place (disjoint destination ranges) and build each
+//     node's slot index or sorted order in situ.
+//
+// The result is bit-identical for every worker count: a node's vicinity
+// content depends only on the graph and landmark set, and the merged
+// layout depends only on the scope order — which shard staged a node,
+// and in what order, cancels out in the rebase. The determinism test
+// matrix in determinism_test.go enforces this byte-for-byte on the
+// serialized form. Landmark tables are one full traversal per landmark,
+// one landmark per goroutine.
 func Build(g *graph.Graph, opts Options) (*Oracle, error) {
 	opts, err := opts.withDefaults(g)
 	if err != nil {
 		return nil, err
 	}
+	// Plan: landmark set, per-node landmark index, scope.
+	start := time.Now()
 	n := g.NumNodes()
 	o := &Oracle{
 		g:         g,
@@ -52,8 +69,6 @@ func Build(g *graph.Graph, opts Options) (*Oracle, error) {
 		o.isL[l] = true
 		o.lidx[l] = int32(i)
 	}
-
-	// Scope: which nodes get vicinities, and which landmarks get tables.
 	scope := opts.Nodes
 	if scope == nil {
 		scope = make([]uint32, n)
@@ -61,64 +76,169 @@ func Build(g *graph.Graph, opts Options) (*Oracle, error) {
 			scope[i] = uint32(i)
 		}
 	}
+	o.timings.Plan = time.Since(start)
 
-	// Phase 1: vicinities (parallel over scope) into temporary per-node
-	// buffers; radius and nearest land in their final arrays directly.
+	// Execute: vicinities into per-worker shards.
+	start = time.Now()
+	metas, shards := o.executeVicinities(scope)
+	o.timings.Vicinities = time.Since(start)
+
+	// Merge: stitch the shards into the flat arena layout.
+	start = time.Now()
+	if err := o.mergeVicinities(scope, metas, shards); err != nil {
+		return nil, err
+	}
+	o.timings.Merge = time.Since(start)
+
+	// Landmark tables (parallel over landmarks in scope).
+	start = time.Now()
+	if err := o.buildLandmarkTables(g.Weighted(), !opts.DisablePathData); err != nil {
+		return nil, err
+	}
+	o.timings.Landmarks = time.Since(start)
+	return o, nil
+}
+
+// BuildTimings is the per-stage wall-clock breakdown of one Build call,
+// reported by Oracle.BuildTimings for build-time diagnostics (loaded
+// oracles report zeros). It is not persisted.
+type BuildTimings struct {
+	Plan       time.Duration // landmark sampling + scope setup
+	Vicinities time.Duration // sharded per-node truncated searches
+	Merge      time.Duration // prefix sums + shard stitch into flat arenas
+	Landmarks  time.Duration // per-landmark full traversals
+}
+
+// Total returns the summed stage durations.
+func (b BuildTimings) Total() time.Duration {
+	return b.Plan + b.Vicinities + b.Merge + b.Landmarks
+}
+
+// String formats the breakdown for logs.
+func (b BuildTimings) String() string {
+	return fmt.Sprintf("plan %v, vicinities %v, merge %v, landmark tables %v",
+		b.Plan.Round(time.Millisecond), b.Vicinities.Round(time.Millisecond),
+		b.Merge.Round(time.Millisecond), b.Landmarks.Round(time.Millisecond))
+}
+
+// BuildTimings returns the stage breakdown of the Build call that
+// produced this oracle (zeros for loaded or updated snapshots).
+func (o *Oracle) BuildTimings() BuildTimings { return o.timings }
+
+// vicMeta locates one scope node's phase-1 output inside its worker's
+// shard: the entry range in the shard's entry arrays and the boundary
+// range in its boundary arrays, both shard-local. Radius and nearest
+// land in their final per-node arrays directly during execution.
+type vicMeta struct {
+	shard    int32
+	entOff   uint32
+	entLen   uint32
+	boundOff uint32
+	boundLen uint32
+}
+
+// buildShard is one worker's private staging storage: the vicinity
+// entry triples plus the denormalized boundary pairs of every node the
+// worker processed, in processing order.
+type buildShard struct {
+	ent       u32map.Shard
+	boundKeys []uint32
+	boundDist []uint32
+}
+
+// executeVicinities runs the truncated searches for every scope node
+// across the configured workers. Scheduling is dynamic (an atomic
+// counter hands out scope indexes, so uneven vicinity sizes balance),
+// which means shard assignment varies run to run — the merge erases
+// that: only per-node content and the scope order reach the output.
+func (o *Oracle) executeVicinities(scope []uint32) ([]vicMeta, []*buildShard) {
+	g := o.g
+	n := g.NumNodes()
 	weighted := g.Weighted()
-	storeParents := !opts.DisablePathData
-	results := make([]vicResult, len(scope))
-	parallelFor(opts.Workers, len(scope), func() any {
-		return newBuildWS(n)
+	storeParents := !o.opts.DisablePathData
+	workers := o.opts.Workers
+	if workers > len(scope) {
+		workers = len(scope)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	metas := make([]vicMeta, len(scope))
+	shards := make([]*buildShard, workers)
+	// Capacity hint from the paper's sizing model: E[|Γ(u)|] ≈ α·√n
+	// entries per node, spread evenly over the workers. A hint only —
+	// shards still grow for graphs that deviate (flood vicinities) —
+	// but it removes most growth-reallocation on the expected path.
+	hint := int(float64(len(scope)) * o.opts.Alpha * math.Sqrt(float64(n)) / float64(workers))
+	const maxHint = 1 << 24 // keep the up-front bet bounded (64 MB/array)
+	if hint > maxHint {
+		hint = maxHint
+	}
+	for w := range shards {
+		shards[w] = &buildShard{}
+		shards[w].ent.Keys = make([]uint32, 0, hint)
+		shards[w].ent.Dists = make([]uint32, 0, hint)
+		shards[w].ent.Parents = make([]uint32, 0, hint)
+	}
+
+	type vicWorker struct {
+		w  int
+		ws *buildWS
+	}
+	parallelFor(workers, len(scope), func(w int) any {
+		return &vicWorker{w: w, ws: newBuildWS(n)}
 	}, func(state any, i int) {
-		ws := state.(*buildWS)
+		vw := state.(*vicWorker)
 		u := scope[i]
 		if o.isL[u] {
 			return // landmarks answer from their full table
 		}
-		res := vicResult{}
+		var res vicResult
 		if weighted {
-			res = vicinityDijkstra(g, o.isL, ws, u, storeParents)
+			res = vicinityDijkstra(g, o.isL, vw.ws, u, storeParents)
 		} else {
-			res = vicinityBFS(g, o.isL, ws, u, storeParents)
+			res = vicinityBFS(g, o.isL, vw.ws, u, storeParents)
 		}
-		results[i] = res
 		o.radius[u] = res.radius
 		o.nearest[u] = res.nearest
+		sh := shards[vw.w]
+		m := &metas[i]
+		m.shard = int32(vw.w)
+		m.entLen = uint32(len(res.keys))
+		m.entOff = sh.ent.Append(res.keys, res.dists, res.parents)
+		m.boundOff = uint32(len(sh.boundKeys))
+		m.boundLen = uint32(len(res.boundKeys))
+		sh.boundKeys = append(sh.boundKeys, res.boundKeys...)
+		sh.boundDist = append(sh.boundDist, res.boundDist...)
 	})
-	if err := o.flattenVicinities(scope, results); err != nil {
-		return nil, err
-	}
-
-	// Phase 2: landmark tables (parallel over landmarks in scope).
-	if err := o.buildLandmarkTables(weighted, storeParents); err != nil {
-		return nil, err
-	}
-	return o, nil
+	return metas, shards
 }
 
-// flattenVicinities assembles the per-node phase-1 results into the
-// oracle's arena storage: prefix sums size the entry, slot and boundary
-// arenas, then a parallel pass copies each node's buffers into its
-// disjoint ranges and builds its slot index in place.
-func (o *Oracle) flattenVicinities(scope []uint32, results []vicResult) error {
+// mergeVicinities assembles the sharded phase-1 results into the
+// oracle's arena storage: prefix sums in scope order size the entry,
+// slot and boundary arenas and fix every node's final range, then a
+// parallel pass rebases each node's shard ranges into place and builds
+// its slot index (or sorted order) in situ. The layout depends only on
+// the scope order and per-node sizes, never on shard assignment.
+func (o *Oracle) mergeVicinities(scope []uint32, metas []vicMeta, shards []*buildShard) error {
 	n := o.g.NumNodes()
 	hashKind := o.opts.TableKind == TableHash
 	builtinKind := o.opts.TableKind == TableBuiltin
 
 	var totalEnt, totalSlot, totalBound uint64
-	for i := range results {
-		res := &results[i]
-		if len(res.keys) > 0 {
+	for i := range metas {
+		m := &metas[i]
+		if m.entLen > 0 {
 			o.covered++
 		}
-		if hashKind && len(res.keys) > u32map.MaxFlatEntries {
+		if hashKind && int(m.entLen) > u32map.MaxFlatEntries {
 			return fmt.Errorf("core: vicinity of node %d has %d entries, above the %d flat-table cap",
-				scope[i], len(res.keys), u32map.MaxFlatEntries)
+				scope[i], m.entLen, u32map.MaxFlatEntries)
 		}
-		totalEnt += uint64(len(res.keys))
-		totalBound += uint64(len(res.boundKeys))
-		if hashKind && len(res.keys) > 0 {
-			totalSlot += uint64(u32map.IndexSize(len(res.keys)))
+		totalEnt += uint64(m.entLen)
+		totalBound += uint64(m.boundLen)
+		if hashKind && m.entLen > 0 {
+			totalSlot += uint64(u32map.IndexSize(int(m.entLen)))
 		}
 	}
 	if totalEnt > math.MaxUint32 || totalSlot > math.MaxUint32 || totalBound > math.MaxUint32 {
@@ -143,73 +263,72 @@ func (o *Oracle) flattenVicinities(scope []uint32, results []vicResult) error {
 		o.vicFlat = make([]u32map.Flat, n)
 	}
 
-	// Per-result arena start offsets by prefix sum over the scope.
-	// Boundary ranges are laid out contiguously in node order (nodes
-	// outside the scope keep empty ranges); updates may later relocate
-	// individual ranges.
-	entAt := make([]uint32, len(results))
-	slotAt := make([]uint32, len(results))
-	boundAt := make([]uint32, len(results))
-	lenSlot := make([]uint32, len(results))
+	// Final arena offsets by prefix sum over the scope order. Boundary
+	// ranges are laid out contiguously in node order (nodes outside the
+	// scope keep empty ranges); updates may later relocate individual
+	// ranges.
+	entAt := make([]uint32, len(metas))
+	slotAt := make([]uint32, len(metas))
+	boundAt := make([]uint32, len(metas))
+	lenSlot := make([]uint32, len(metas))
 	var ent, slot uint32
-	for i := range results {
-		res := &results[i]
+	for i := range metas {
+		m := &metas[i]
 		entAt[i], slotAt[i] = ent, slot
-		if hashKind && len(res.keys) > 0 {
-			lenSlot[i] = uint32(u32map.IndexSize(len(res.keys)))
+		if hashKind && m.entLen > 0 {
+			lenSlot[i] = uint32(u32map.IndexSize(int(m.entLen)))
 		}
-		ent += uint32(len(res.keys))
+		ent += m.entLen
 		slot += lenSlot[i]
-		o.boundLen[scope[i]] = uint32(len(res.boundKeys))
+		o.boundLen[scope[i]] = m.boundLen
 	}
 	var bound uint32
 	for u := 0; u < n; u++ {
 		o.boundOff[u] = bound
 		bound += o.boundLen[u]
 	}
-	for i := range results {
+	for i := range metas {
 		boundAt[i] = o.boundOff[scope[i]]
 	}
 
-	// Parallel copy into disjoint ranges.
-	parallelFor(o.opts.Workers, len(results), func() any { return nil }, func(_ any, i int) {
-		res := &results[i]
-		if len(res.keys) == 0 {
+	// Parallel stitch into disjoint destination ranges.
+	parallelFor(o.opts.Workers, len(metas), func(int) any { return nil }, func(_ any, i int) {
+		m := &metas[i]
+		if m.entLen == 0 {
 			return
 		}
-		copy(o.boundKeys[boundAt[i]:], res.boundKeys)
-		copy(o.boundDist[boundAt[i]:], res.boundDist)
+		sh := shards[m.shard]
+		copy(o.boundKeys[boundAt[i]:], sh.boundKeys[m.boundOff:m.boundOff+m.boundLen])
+		copy(o.boundDist[boundAt[i]:], sh.boundDist[m.boundOff:m.boundOff+m.boundLen])
 		if builtinKind {
-			t := u32map.NewBuiltin(len(res.keys))
-			for j, k := range res.keys {
-				t.Put(k, res.dists[j], res.parents[j])
+			t := u32map.NewBuiltin(int(m.entLen))
+			for j := uint32(0); j < m.entLen; j++ {
+				e := m.entOff + j
+				t.Put(sh.ent.Keys[e], sh.ent.Dists[e], sh.ent.Parents[e])
 			}
 			o.vicAlt[scope[i]] = t
-			results[i] = vicResult{} // release the temporary buffers
 			return
 		}
-		e0, e1 := entAt[i], entAt[i]+uint32(len(res.keys))
+		e0, e1 := entAt[i], entAt[i]+m.entLen
+		o.arena.CopyFromShard(e0, &sh.ent, m.entOff, m.entLen)
 		keys := o.arena.Keys[e0:e1]
-		dists := o.arena.Dists[e0:e1]
-		parents := o.arena.Parents[e0:e1]
-		copy(keys, res.keys)
-		copy(dists, res.dists)
-		copy(parents, res.parents)
 		if hashKind {
 			s0 := slotAt[i]
 			u32map.FillIndex(o.arena.Slots[s0:s0+lenSlot[i]], keys)
 			o.vicFlat[scope[i]] = o.arena.Hash(e0, e1, s0, s0+lenSlot[i])
 		} else {
-			u32map.SortEntries(keys, dists, parents)
+			u32map.SortEntries(keys, o.arena.Dists[e0:e1], o.arena.Parents[e0:e1])
 			o.vicFlat[scope[i]] = o.arena.Sorted(e0, e1)
 		}
-		results[i] = vicResult{} // release the temporary buffers
 	})
 	return nil
 }
 
-// buildLandmarkTables runs phase 2: one full traversal per in-scope
-// landmark, written into the dense landmark arenas (see Oracle.lpos).
+// buildLandmarkTables runs the final stage: one full traversal per
+// in-scope landmark, written into the dense landmark arenas (see
+// Oracle.lpos). Each worker reuses one BFS queue across the landmarks
+// it processes; the distance and parent arrays are freshly allocated
+// per landmark because the oracle adopts them as table rows.
 func (o *Oracle) buildLandmarkTables(weighted, storeParents bool) error {
 	o.lpos = make([]int32, len(o.landmarks))
 	for i := range o.lpos {
@@ -248,7 +367,9 @@ func (o *Oracle) buildLandmarkTables(weighted, storeParents bool) error {
 
 	n := o.g.NumNodes()
 	overflow := make([]bool, len(o.landmarks))
-	parallelFor(o.opts.Workers, len(o.landmarks), func() any { return nil }, func(_ any, i int) {
+	parallelFor(o.opts.Workers, len(o.landmarks), func(int) any {
+		return queue.NewU32(1024)
+	}, func(state any, i int) {
 		if !want[i] {
 			return
 		}
@@ -256,7 +377,7 @@ func (o *Oracle) buildLandmarkTables(weighted, storeParents bool) error {
 		if weighted {
 			tr = traverse.Dijkstra(o.g, o.landmarks[i])
 		} else {
-			tr = traverse.BFS(o.g, o.landmarks[i])
+			tr = traverse.BFSScratch(o.g, o.landmarks[i], state.(*queue.U32))
 		}
 		pos := o.lpos[i]
 		if o.opts.CompactLandmarkTables {
@@ -291,9 +412,11 @@ func (o *Oracle) buildLandmarkTables(weighted, storeParents bool) error {
 }
 
 // parallelFor runs fn(state, i) for i in [0,n) across workers goroutines.
-// Each worker gets its own state from newState. Work is handed out by an
-// atomic counter so uneven item costs balance automatically.
-func parallelFor(workers, n int, newState func() any, fn func(state any, i int)) {
+// Each worker gets its own state from newState(w), where w is the worker
+// index in [0, workers) — callers that keep per-worker output (shards)
+// index it by w. Work is handed out by an atomic counter so uneven item
+// costs balance automatically.
+func parallelFor(workers, n int, newState func(w int) any, fn func(state any, i int)) {
 	if n == 0 {
 		return
 	}
@@ -301,7 +424,7 @@ func parallelFor(workers, n int, newState func() any, fn func(state any, i int))
 		workers = n
 	}
 	if workers <= 1 {
-		state := newState()
+		state := newState(0)
 		for i := 0; i < n; i++ {
 			fn(state, i)
 		}
@@ -311,9 +434,9 @@ func parallelFor(workers, n int, newState func() any, fn func(state any, i int))
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			state := newState()
+			state := newState(w)
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
@@ -321,7 +444,7 @@ func parallelFor(workers, n int, newState func() any, fn func(state any, i int))
 				}
 				fn(state, int(i))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 
 	"vicinity/internal/graph"
 )
@@ -164,8 +165,9 @@ type Options struct {
 
 	// Nodes restricts vicinity construction to the given nodes (the
 	// paper's own evaluation builds vicinities for 1000 sampled nodes per
-	// dataset). nil builds every node. Queries between uncovered nodes
-	// return ErrNotCovered.
+	// dataset). Treated as a set: Build sorts and deduplicates a copy,
+	// so the built oracle does not depend on the given order. nil builds
+	// every node. Queries between uncovered nodes return ErrNotCovered.
 	Nodes []uint32
 
 	// DisableLandmarkTables skips the per-landmark full distance tables.
@@ -240,6 +242,23 @@ func (o Options) withDefaults(g *graph.Graph) (Options, error) {
 		if int(u) >= n {
 			return o, fmt.Errorf("core: scope node %d out of range [0,%d)", u, n)
 		}
+	}
+	if o.Nodes != nil {
+		// Normalize the scope to a sorted set (copy; never mutate the
+		// caller's slice). A duplicate id would give one node two arena
+		// ranges, making the parallel merge racy and the layout depend
+		// on which copy wins; a canonical order also makes the built
+		// oracle independent of how the caller happened to order the
+		// scope.
+		nodes := append([]uint32(nil), o.Nodes...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		out := nodes[:0]
+		for i, u := range nodes {
+			if i == 0 || nodes[i-1] != u {
+				out = append(out, u)
+			}
+		}
+		o.Nodes = out
 	}
 	if o.Landmarks != nil && len(o.Landmarks) == 0 {
 		return o, errors.New("core: explicit landmark set is empty")

@@ -84,6 +84,11 @@ type Oracle struct {
 	chain *updateChain
 	gen   uint64
 
+	// timings is the stage breakdown of the Build call that produced
+	// this oracle (zero for loaded or updated snapshots); diagnostic
+	// only, never persisted and never part of structural equality.
+	timings BuildTimings
+
 	fbPool *sync.Pool // *traverse.Workspace for fallback searches
 }
 

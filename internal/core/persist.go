@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 
 	"vicinity/internal/graph"
 	"vicinity/internal/oraclefile"
@@ -105,7 +106,11 @@ func WriteOracle(w io.Writer, o *Oracle) error {
 	meta[metaSampling] = uint64(o.opts.Sampling)
 	meta[metaFallback] = uint64(o.opts.Fallback)
 	meta[metaTableKind] = uint64(o.opts.TableKind)
-	meta[metaWorkers] = uint64(o.opts.Workers)
+	// Workers is an execution knob, not a structural property: the build
+	// is bit-identical for every worker count, and persisting the count
+	// (defaulted to GOMAXPROCS) would make the file depend on the
+	// machine that wrote it. Always stored as 0 = "default".
+	meta[metaWorkers] = 0
 	meta[metaMaxLandmarks] = uint64(o.opts.MaxLandmarks)
 	ow.U64s(secMeta, meta)
 	ow.U32s(secScope, o.opts.Nodes)
@@ -244,13 +249,19 @@ func readOracleSized(r io.Reader, sizeHint int64) (*Oracle, error) {
 		return nil, fmt.Errorf("%w: meta has %d fields, want %d", ErrBadOracleFile, len(meta), metaLen)
 	}
 	flags := meta[metaFlags]
+	workers := int(meta[metaWorkers])
+	if workers <= 0 {
+		// Files store 0 ("default"): pick this machine's parallelism for
+		// the loaded oracle's update repairs.
+		workers = runtime.GOMAXPROCS(0)
+	}
 	opts := Options{
 		Alpha:                 math.Float64frombits(meta[metaAlpha]),
 		Seed:                  meta[metaSeed],
 		Sampling:              Sampling(meta[metaSampling]),
 		Fallback:              Fallback(meta[metaFallback]),
 		TableKind:             TableKind(meta[metaTableKind]),
-		Workers:               int(meta[metaWorkers]),
+		Workers:               workers,
 		MaxLandmarks:          int(meta[metaMaxLandmarks]),
 		DisableLandmarkTables: flags&flagNoLandmarkTables != 0,
 		DisablePathData:       flags&flagNoPathData != 0,

@@ -133,6 +133,7 @@ func (o *Oracle) applyUpdates(upd Update, inPlace bool) (*Oracle, error) {
 	if !inPlace {
 		t = o.cloneForUpdate()
 	}
+	t.timings = BuildTimings{} // diagnostic of a Build call; repaired snapshots report zeros
 	t.growNodes(newG.NumNodes())
 	if err := t.repairLandmarkTables(newG, oldN, newEdges, inPlace); err != nil {
 		return nil, err
@@ -266,7 +267,7 @@ func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2
 	storeParents := t.lparent != nil
 	compact := t.ldist16 != nil
 	overflow := make([]bool, len(t.lpos))
-	parallelFor(t.opts.Workers, len(t.lpos), func() any {
+	parallelFor(t.opts.Workers, len(t.lpos), func(int) any {
 		return queue.NewU32(256)
 	}, func(state any, li int) {
 		pos := t.lpos[li]
@@ -526,11 +527,11 @@ func (t *Oracle) rebuildVicinities(newG *graph.Graph, affected []uint32) []vicRe
 	results := make([]vicResult, len(affected))
 	storeParents := !t.opts.DisablePathData
 	n := newG.NumNodes()
-	parallelFor(t.opts.Workers, len(affected), func() any {
+	parallelFor(t.opts.Workers, len(affected), func(int) any {
 		return newBuildWS(n)
 	}, func(state any, i int) {
 		ws := state.(*buildWS)
-		results[i] = vicinityBFS(newG, t.isL, ws, affected[i], storeParents)
+		results[i] = vicinityBFS(newG, t.isL, ws, affected[i], storeParents).detach()
 	})
 	return results
 }

@@ -114,21 +114,29 @@ func writeU32s(w io.Writer, xs []uint32) error {
 	return nil
 }
 
+// readU32s reads n little-endian uint32s. The result grows chunk by
+// chunk as data actually arrives rather than being allocated up front,
+// so a corrupt header claiming billions of elements on a short stream
+// fails with a truncation error instead of attempting a huge
+// allocation (the loader fuzz harness relies on this).
 func readU32s(r io.Reader, n int) ([]uint32, error) {
-	xs := make([]uint32, n)
-	buf := make([]byte, 4096*4)
+	const chunkElems = 4096
+	xs := make([]uint32, 0, min(n, chunkElems))
+	buf := make([]byte, chunkElems*4)
 	for off := 0; off < n; {
-		chunk := n - off
-		if chunk > 4096 {
-			chunk = 4096
-		}
+		chunk := min(n-off, chunkElems)
 		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
 			return nil, err
 		}
 		for i := 0; i < chunk; i++ {
-			xs[off+i] = binary.LittleEndian.Uint32(buf[i*4:])
+			xs = append(xs, binary.LittleEndian.Uint32(buf[i*4:]))
 		}
 		off += chunk
+	}
+	// The result lives as long as the Graph; trim the growth slack so a
+	// large CSR doesn't retain up to ~25% dead capacity permanently.
+	if cap(xs)-n > n/8 {
+		xs = append(make([]uint32, 0, n), xs...)
 	}
 	return xs, nil
 }

@@ -23,6 +23,12 @@ const NoNode = ^uint32(0)
 
 // Graph is an immutable undirected graph in CSR form.
 // Use a Builder or the gen package to construct one.
+//
+// Immutability is load-bearing for concurrency: no method writes any
+// field after construction (growth goes through InsertEdges, which
+// returns a fresh Graph), so any number of goroutines may traverse one
+// Graph concurrently with no synchronization — the parallel offline
+// build and the query/update epoch model both rely on this.
 type Graph struct {
 	offsets []uint32 // len n+1; adjacency of u is targets[offsets[u]:offsets[u+1]]
 	targets []uint32 // concatenated sorted adjacency lists; len 2m

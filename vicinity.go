@@ -194,7 +194,10 @@ type Options struct {
 	Alpha float64
 	// Seed makes landmark sampling deterministic.
 	Seed uint64
-	// Workers bounds build parallelism (0 = GOMAXPROCS).
+	// Workers bounds build parallelism (0 = GOMAXPROCS). The offline
+	// phase shards across this many goroutines; the built oracle — and
+	// any file written by Save — is bit-identical for every worker
+	// count, so Workers trades build time only, never output.
 	Workers int
 	// Fallback selects unresolved-query handling.
 	Fallback Fallback
