@@ -25,12 +25,24 @@
 // -save builds the named dataset's oracle and writes it to a file;
 // -load restores it and reports load time against a fresh rebuild,
 // plus a query-latency sample. Both skip the experiment suite.
+//
+// One-to-many batch benchmark (the social-search ranking workload):
+//
+//	spbench -batch -dataset livejournal -nodes 50000
+//	spbench -batch -targets 100 -batches 200 -qps 50000
+//
+// -batch measures DistanceMany rankings against the same pairs
+// answered one by one, reporting p50/p95/p99 batch latency,
+// queries/sec, and the amortization factor, for both a ranking-shaped
+// candidate mix (table-resolved targets) and a uniform-random mix.
+// -qps paces batch issuance at the given queries/sec (0 = unthrottled).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -119,6 +131,108 @@ func loadOracle(path string, cfg expt.Config) error {
 	return nil
 }
 
+// percentile returns the p-th percentile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// batchBench builds the dataset oracle and measures one-to-many
+// rankings (DistanceMany) against the same pairs answered one by one.
+func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float64) error {
+	prof, err := gen.ProfileByName(dataset)
+	if err != nil {
+		return err
+	}
+	g := prof.Generate(cfg.Nodes, cfg.Seed)
+	fmt.Printf("dataset %s: n=%d m=%d\n", prof.Name, g.NumNodes(), g.NumEdges())
+	start := time.Now()
+	o, err := core.Build(g, core.Options{Alpha: cfg.Alpha, Seed: cfg.Seed, Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built in %v: %s\n\n", time.Since(start).Round(time.Millisecond), o.Stats())
+
+	n := uint32(g.NumNodes())
+	for _, mix := range []struct {
+		name         string
+		resolvedOnly bool
+	}{
+		{"ranking (table-resolved candidates)", true},
+		{"uniform random targets", false},
+	} {
+		r := xrand.New(cfg.Seed + 1)
+		ss := make([]uint32, batches)
+		tss := make([][]uint32, batches)
+		for i := range ss {
+			ss[i] = r.Uint32n(n)
+			ts := make([]uint32, 0, targets)
+			for len(ts) < targets {
+				t := r.Uint32n(n)
+				if mix.resolvedOnly {
+					if _, m, err := o.Distance(ss[i], t); err != nil || !m.Resolved() {
+						continue
+					}
+				}
+				ts = append(ts, t)
+			}
+			tss[i] = ts
+		}
+
+		var bst core.BatchStats
+		lats := make([]time.Duration, batches)
+		interval := time.Duration(0)
+		if qps > 0 {
+			interval = time.Duration(float64(targets) / qps * float64(time.Second))
+		}
+		next := time.Now()
+		batchStart := time.Now()
+		for i := range ss {
+			if interval > 0 {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(interval)
+			}
+			qStart := time.Now()
+			if _, err := o.DistanceManyStats(ss[i], tss[i], &bst); err != nil {
+				return err
+			}
+			lats[i] = time.Since(qStart)
+		}
+		batchElapsed := time.Since(batchStart)
+
+		singleStart := time.Now()
+		for i := range ss {
+			for _, t := range tss[i] {
+				if _, _, err := o.Distance(ss[i], t); err != nil {
+					return err
+				}
+			}
+		}
+		singleElapsed := time.Since(singleStart)
+
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		queries := int64(batches) * int64(targets)
+		fmt.Printf("%s: %d batches × %d targets\n", mix.name, batches, targets)
+		fmt.Printf("  batch latency p50=%v p95=%v p99=%v\n",
+			percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99))
+		fmt.Printf("  batch: %v total, %.0f queries/sec (%.2f µs/query)\n",
+			batchElapsed.Round(time.Millisecond),
+			float64(queries)/batchElapsed.Seconds(),
+			float64(batchElapsed.Microseconds())/float64(queries))
+		fmt.Printf("  singles: %v total, %.0f queries/sec — batch is %.1f× faster\n",
+			singleElapsed.Round(time.Millisecond),
+			float64(queries)/singleElapsed.Seconds(),
+			float64(singleElapsed)/float64(batchElapsed))
+		fmt.Printf("  work: %s\n\n", bst)
+	}
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
@@ -133,7 +247,11 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "deprecated alias for -parallel")
 		save     = fs.String("save", "", "build one dataset's oracle and save it to this file")
 		load     = fs.String("load", "", "load a saved oracle and benchmark it")
-		dataset  = fs.String("dataset", "LiveJournal", "dataset profile for -save")
+		dataset  = fs.String("dataset", "LiveJournal", "dataset profile for -save/-batch")
+		batch    = fs.Bool("batch", false, "benchmark one-to-many rankings (DistanceMany) against per-pair queries")
+		targets  = fs.Int("targets", 100, "targets per batch for -batch")
+		batches  = fs.Int("batches", 200, "batches to issue for -batch")
+		qps      = fs.Float64("qps", 0, "pace -batch issuance at this many queries/sec (0 = unthrottled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -166,6 +284,12 @@ func run(args []string) error {
 	}
 	if *load != "" {
 		return loadOracle(*load, cfg)
+	}
+	if *batch {
+		if *targets < 1 || *batches < 1 {
+			return fmt.Errorf("-targets and -batches must be positive")
+		}
+		return batchBench(*dataset, cfg, *targets, *batches, *qps)
 	}
 
 	want := strings.ToLower(*exp)

@@ -1,12 +1,18 @@
-// Command spquery builds a vicinity oracle over a graph and answers
-// point-to-point queries from the command line or stdin.
+// Command spquery answers point-to-point and one-to-many shortest-path
+// queries, either by building a vicinity oracle locally or by driving a
+// running spserver over the TCP protocol.
 //
 // Usage:
 //
-//	spquery -graph lj.bin 15 4711          # one query
+//	spquery -graph lj.bin 15 4711            # build locally, one query
 //	spquery -gen livejournal -n 10000 -batch < pairs.txt
+//	spquery -gen dblp -many 15 4711 42 99    # rank targets by distance from 15
+//	spquery -server 127.0.0.1:7421 15 4711   # query a running spserver
+//	spquery -server 127.0.0.1:7421 -many 15 4711 42 99
 //
 // Batch lines are "s t" pairs; output is "s t distance method [path]".
+// With -many the first id is the source and the rest are targets,
+// answered in one DistanceMany call (one wire round trip with -server).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"vicinity/internal/core"
 	"vicinity/internal/gen"
 	"vicinity/internal/graph"
+	"vicinity/internal/qclient"
 )
 
 func main() {
@@ -28,6 +35,62 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spquery:", err)
 		os.Exit(1)
 	}
+}
+
+// backend answers queries either from a local oracle or a remote server.
+type backend struct {
+	oracle *core.Oracle
+	client *qclient.Client
+}
+
+func (b backend) distance(s, t uint32) (uint32, string, error) {
+	if b.client != nil {
+		d, m, err := b.client.Distance(s, t)
+		return d, core.Method(m).String(), err
+	}
+	d, m, err := b.oracle.Distance(s, t)
+	return d, m.String(), err
+}
+
+func (b backend) path(s, t uint32) ([]uint32, error) {
+	if b.client != nil {
+		p, _, err := b.client.Path(s, t)
+		return p, err
+	}
+	p, _, err := b.oracle.Path(s, t)
+	return p, err
+}
+
+// many answers the one-to-many query, returning per-target distances,
+// method names and error strings (empty = ok).
+func (b backend) many(s uint32, ts []uint32) (dists []uint32, methods, errs []string, err error) {
+	dists = make([]uint32, len(ts))
+	methods = make([]string, len(ts))
+	errs = make([]string, len(ts))
+	if b.client != nil {
+		items, err := b.client.Batch(s, ts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for i, it := range items {
+			dists[i], methods[i] = it.Dist, core.Method(it.Method).String()
+			if it.Err != nil {
+				errs[i] = it.Err.Error()
+			}
+		}
+		return dists, methods, errs, nil
+	}
+	res, err := b.oracle.DistanceMany(s, ts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i, r := range res {
+		dists[i], methods[i] = r.Dist, r.Method.String()
+		if r.Err != nil {
+			errs[i] = r.Err.Error()
+		}
+	}
+	return dists, methods, errs, nil
 }
 
 func run(args []string) error {
@@ -38,30 +101,44 @@ func run(args []string) error {
 		n         = fs.Int("n", 0, "nodes for -gen (0 = profile default)")
 		alpha     = fs.Float64("alpha", 4, "vicinity size parameter α")
 		seed      = fs.Uint64("seed", 42, "random seed")
+		server    = fs.String("server", "", "query a running spserver at this TCP address instead of building locally")
 		batch     = fs.Bool("batch", false, "read 's t' pairs from stdin")
+		many      = fs.Bool("many", false, "one-to-many: args are s t1 t2 ... (one DistanceMany call)")
 		showPath  = fs.Bool("path", false, "also print the shortest path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := loadGraph(*graphPath, *genName, *n, *seed)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "spquery: %s\n", graph.ComputeStats(g))
 
-	start := time.Now()
-	oracle, err := core.Build(g, core.Options{Alpha: *alpha, Seed: *seed})
-	if err != nil {
-		return err
+	var be backend
+	if *server != "" {
+		if *graphPath != "" || *genName != "" {
+			return fmt.Errorf("-server is mutually exclusive with -graph/-gen")
+		}
+		c, err := qclient.Dial(*server, qclient.Options{})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		be.client = c
+	} else {
+		g, err := loadGraph(*graphPath, *genName, *n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spquery: %s\n", graph.ComputeStats(g))
+		start := time.Now()
+		be.oracle, err = core.Build(g, core.Options{Alpha: *alpha, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spquery: built in %v: %s\n",
+			time.Since(start).Round(time.Millisecond), be.oracle.Stats())
 	}
-	bs := oracle.Stats()
-	fmt.Fprintf(os.Stderr, "spquery: built in %v: %s\n",
-		time.Since(start).Round(time.Millisecond), bs)
 
 	query := func(s, t uint32) error {
 		startQ := time.Now()
-		d, method, err := oracle.Distance(s, t)
+		d, method, err := be.distance(s, t)
 		lat := time.Since(startQ)
 		if err != nil {
 			return err
@@ -71,7 +148,7 @@ func run(args []string) error {
 			dist = strconv.FormatUint(uint64(d), 10)
 		}
 		if *showPath {
-			p, _, err := oracle.Path(s, t)
+			p, err := be.path(s, t)
 			if err != nil {
 				return err
 			}
@@ -79,6 +156,37 @@ func run(args []string) error {
 			return nil
 		}
 		fmt.Printf("%d %d %s %s %v\n", s, t, dist, method, lat)
+		return nil
+	}
+
+	if *many {
+		ids, err := parseIDs(fs.Args())
+		if err != nil {
+			return err
+		}
+		if len(ids) < 2 {
+			return fmt.Errorf("-many wants a source and at least one target")
+		}
+		s, ts := ids[0], ids[1:]
+		start := time.Now()
+		dists, methods, errs, err := be.many(s, ts)
+		lat := time.Since(start)
+		if err != nil {
+			return err
+		}
+		for i, t := range ts {
+			if errs[i] != "" {
+				fmt.Printf("%d %d error %s\n", s, t, errs[i])
+				continue
+			}
+			dist := "unreachable"
+			if dists[i] != core.NoDist {
+				dist = strconv.FormatUint(uint64(dists[i]), 10)
+			}
+			fmt.Printf("%d %d %s %s\n", s, t, dist, methods[i])
+		}
+		fmt.Fprintf(os.Stderr, "spquery: %d targets in %v (%.2f µs/target)\n",
+			len(ts), lat, float64(lat.Microseconds())/float64(len(ts)))
 		return nil
 	}
 
@@ -102,7 +210,7 @@ func run(args []string) error {
 
 	rest := fs.Args()
 	if len(rest) != 2 {
-		return fmt.Errorf("want exactly two node ids, got %d args (or use -batch)", len(rest))
+		return fmt.Errorf("want exactly two node ids, got %d args (or use -batch / -many)", len(rest))
 	}
 	s, t, err := parsePair(rest[0] + " " + rest[1])
 	if err != nil {
@@ -111,20 +219,28 @@ func run(args []string) error {
 	return query(s, t)
 }
 
+func parseIDs(fields []string) ([]uint32, error) {
+	ids := make([]uint32, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("node id %q: %w", f, err)
+		}
+		ids[i] = uint32(v)
+	}
+	return ids, nil
+}
+
 func parsePair(line string) (uint32, uint32, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 2 {
 		return 0, 0, fmt.Errorf("want 's t', got %q", line)
 	}
-	s, err := strconv.ParseUint(fields[0], 10, 32)
+	ids, err := parseIDs(fields[:2])
 	if err != nil {
 		return 0, 0, err
 	}
-	t, err := strconv.ParseUint(fields[1], 10, 32)
-	if err != nil {
-		return 0, 0, err
-	}
-	return uint32(s), uint32(t), nil
+	return ids[0], ids[1], nil
 }
 
 func loadGraph(path, genName string, n int, seed uint64) (*graph.Graph, error) {

@@ -76,3 +76,27 @@ func ExampleOracle_InsertEdge() {
 	// Output:
 	// new node at distance 1
 }
+
+// ExampleOracle_DistanceMany ranks a candidate set by distance from one
+// source — the paper's "social search" shape — in a single one-to-many
+// call.
+func ExampleOracle_DistanceMany() {
+	g := vicinity.NewGraph(7, [][2]uint32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {2, 6},
+	})
+	oracle, err := vicinity.Build(g, &vicinity.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	res, err := oracle.DistanceMany(0, []uint32{3, 6, 1})
+	if err != nil {
+		panic(err)
+	}
+	for i, t := range []uint32{3, 6, 1} {
+		fmt.Printf("d(0,%d) = %d\n", t, res[i].Dist)
+	}
+	// Output:
+	// d(0,3) = 3
+	// d(0,6) = 3
+	// d(0,1) = 1
+}

@@ -86,7 +86,7 @@ func (l *Landmark) Estimate(s, t uint32) uint32 {
 		if ds == NoDist || dt == NoDist {
 			continue
 		}
-		if est := ds + dt; est < best {
+		if est := traverse.SatAdd(ds, dt); est < best {
 			best = est
 		}
 	}
@@ -131,7 +131,7 @@ func (l *Landmark) Path(s, t uint32) []uint32 {
 		if ds == NoDist || dt == NoDist {
 			continue
 		}
-		if est := ds + dt; est < best {
+		if est := traverse.SatAdd(ds, dt); est < best {
 			best, bestI = est, i
 		}
 	}
@@ -247,7 +247,7 @@ func (s *Sketch) Estimate(u, v uint32) uint32 {
 		if su == graph.NoNode || su != sv {
 			continue
 		}
-		if est := s.dists[i][u] + s.dists[i][v]; est < best {
+		if est := traverse.SatAdd(s.dists[i][u], s.dists[i][v]); est < best {
 			best = est
 		}
 	}

@@ -165,10 +165,10 @@ func (a *ALT) search(s, t uint32, wantPath bool) (uint32, []uint32) {
 			if wts != nil {
 				w = wts[i]
 			}
-			nd := du + w
+			nd := traverse.SatAdd(du, w)
 			if old := ws.dist.Dist(v); nd < old {
 				ws.dist.Set(v, nd, u)
-				ws.h.Push(v, nd+a.heuristic(v, t))
+				ws.h.Push(v, traverse.SatAdd(nd, a.heuristic(v, t)))
 			}
 		}
 	}

@@ -162,7 +162,7 @@ func vicinityDijkstra(g *graph.Graph, isL []bool, ws *buildWS, u uint32, storePa
 			if wts != nil {
 				w = wts[i]
 			}
-			nd := dx + w
+			nd := traverse.SatAdd(dx, w)
 			if old := nm.Dist(v); nd < old {
 				nm.Set(v, nd, x)
 				h.Push(v, nd)

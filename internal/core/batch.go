@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
+)
+
+// This file implements the one-to-many batch engine. The paper's
+// motivating workload is not a single pair but ranking: "social search"
+// orders a candidate set by distance from one source (§1), i.e. one
+// query source s against many targets. Answering the targets one by one
+// re-reads s's vicinity view, landmark row and boundary slice per call
+// and re-runs the boundary scan per target; DistanceMany loads s's
+// state once and services every residual boundary-scan target with a
+// single inverted pass:
+//
+//   - s's boundary ∂Γ(s) is scanned once into a stamped mark array
+//     (node → d(s,w) plus w's scan position);
+//   - each unresolved target's vicinity Γ(t) is then walked
+//     sequentially — contiguous arena entries, no hashing — checking
+//     each member against the marks. The witness set Γ(t) ∩ ∂Γ(s) is
+//     exactly the set the per-pair scan probes, so the minimum is the
+//     same; ties on the minimum are broken toward the smallest scan
+//     position, which is precisely the witness the per-pair scan's
+//     strict-< loop keeps. Batch answers are therefore bit-identical
+//     to the single-query path, methods and witnesses included.
+//
+// Targets the per-pair path would scan from the other side
+// (ScanSmallerBoundary) run that same smaller scan here, and targets
+// the tables cannot resolve share one pooled fallback workspace
+// instead of borrowing one per call.
+//
+// All reads are against one oracle snapshot, so a batch is internally
+// consistent even while ApplyUpdates installs new snapshots
+// concurrently.
+
+// BatchResult is one target's answer in a DistanceMany batch. Err is
+// non-nil for per-target failures (target out of range, endpoint
+// outside the build scope) and mirrors the error the single-query path
+// returns for the same pair.
+type BatchResult struct {
+	Dist   uint32
+	Method Method
+	Err    error
+}
+
+// BatchPathResult is one target's answer in a PathMany batch. A nil
+// path is interpreted exactly as in Path: MethodNone means unresolved,
+// MethodUnreachable means no path exists.
+type BatchPathResult struct {
+	Path   []uint32
+	Method Method
+	Err    error
+}
+
+// BatchStats aggregates the work one batch performed, the one-to-many
+// analogue of QueryStats.
+type BatchStats struct {
+	Targets   int // targets requested
+	Errors    int // targets answered with a per-target error
+	Resolved  int // targets answered from the stored tables
+	Fallbacks int // bidirectional searches run
+	Lookups   int // stored-table look-ups (probes + landmark reads + members checked)
+	Scanned   int // vicinity/boundary members examined by the scan passes
+	Boundary  int // |∂Γ(s)| marked for the inverted pass (0 when unused)
+
+	// Methods counts targets per resolution method, indexed by Method.
+	Methods [methodCount]int
+}
+
+// note tallies one resolved target.
+func (b *BatchStats) note(m Method) {
+	b.Methods[m]++
+	if m.Resolved() {
+		b.Resolved++
+	}
+}
+
+// unnote reverts a note when a target's final method changes (a
+// table-resolved path whose stored chain fails re-resolves through the
+// fallback).
+func (b *BatchStats) unnote(m Method) {
+	b.Methods[m]--
+	if m.Resolved() {
+		b.Resolved--
+	}
+}
+
+// String renders the aggregate in one line.
+func (b BatchStats) String() string {
+	return fmt.Sprintf(
+		"targets=%d resolved=%d fallbacks=%d errors=%d lookups=%d scanned=%d boundary=%d",
+		b.Targets, b.Resolved, b.Fallbacks, b.Errors, b.Lookups, b.Scanned, b.Boundary)
+}
+
+// batchWS is the reusable scratch state of one batch: the stamped mark
+// array over node ids for ∂Γ(s) plus the residual-target index lists.
+// Arrays grow to the largest graph seen and are shared process-wide
+// through batchPool, so the pool needs no per-snapshot lifecycle.
+type batchWS struct {
+	stamp []uint32
+	epoch uint32
+	dist  []uint32 // d(s,w) for marked boundary members w
+	pos   []uint32 // w's position in the ∂Γ(s) scan order (tie-break)
+
+	scan []uint32 // target indexes for the inverted pass
+	swap []uint32 // target indexes scanned from the target side
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchWS) }}
+
+// ensure readies the workspace for a graph of n nodes and a fresh batch.
+func (w *batchWS) ensure(n int) {
+	if len(w.stamp) < n {
+		w.stamp = make([]uint32, n)
+		w.dist = make([]uint32, n)
+		w.pos = make([]uint32, n)
+		w.epoch = 0
+	}
+	w.epoch++
+	if w.epoch == 0 { // stamp wrap: forget stale marks the slow way
+		clear(w.stamp)
+		w.epoch = 1
+	}
+	w.scan = w.scan[:0]
+	w.swap = w.swap[:0]
+}
+
+// DistanceMany answers the one-to-many query (s → each of ts). Every
+// result — distance, method, and any per-target error — is identical
+// to what Distance(s, ts[i]) returns; the error return is non-nil only
+// when s itself is out of range (then every single query would fail).
+func (o *Oracle) DistanceMany(s uint32, ts []uint32) ([]BatchResult, error) {
+	var bst BatchStats
+	return o.DistanceManyStats(s, ts, &bst)
+}
+
+// DistanceManyStats is DistanceMany with batch instrumentation written
+// to bst (must be non-nil; tallies are added, so one BatchStats can
+// aggregate several batches).
+func (o *Oracle) DistanceManyStats(s uint32, ts []uint32, bst *BatchStats) ([]BatchResult, error) {
+	res, _, pend, err := o.tableMany(s, ts, bst, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(pend) > 0 {
+		var ws *traverse.Workspace
+		if o.opts.Fallback == FallbackExact {
+			ws = o.workspace()
+			defer o.release(ws)
+		}
+		for _, i := range pend {
+			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
+			d, searched := o.fallbackDistanceWS(s, ts[i], &st, ws)
+			if searched {
+				bst.Fallbacks++
+			}
+			bst.Lookups += st.Lookups
+			res[i] = BatchResult{Dist: d, Method: st.Method}
+			bst.note(st.Method)
+		}
+	}
+	return res, nil
+}
+
+// PathMany answers one-to-many path queries. Each target's path,
+// method and error are identical to Path(s, ts[i]); unresolved targets
+// cost one bidirectional search each (never two), sharing one pooled
+// workspace across the batch.
+func (o *Oracle) PathMany(s uint32, ts []uint32) ([]BatchPathResult, error) {
+	var bst BatchStats
+	return o.PathManyStats(s, ts, &bst)
+}
+
+// PathManyStats is PathMany with batch instrumentation.
+func (o *Oracle) PathManyStats(s uint32, ts []uint32, bst *BatchStats) ([]BatchPathResult, error) {
+	res, meets, pend, err := o.tableMany(s, ts, bst, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchPathResult, len(ts))
+	pending := make([]bool, len(ts))
+	for _, i := range pend {
+		pending[i] = true
+	}
+	var ws *traverse.Workspace
+	defer func() {
+		if ws != nil {
+			o.release(ws)
+		}
+	}()
+	borrow := func() *traverse.Workspace {
+		if ws == nil {
+			ws = o.workspace()
+		}
+		return ws
+	}
+	for i := range ts {
+		if res[i].Err != nil {
+			out[i].Err = res[i].Err
+			continue
+		}
+		if !pending[i] {
+			// Table-resolved: assemble from stored parent pointers.
+			out[i].Method = res[i].Method
+			if res[i].Dist == NoDist {
+				continue // exact unreachability off a landmark row
+			}
+			st := QueryStats{Method: res[i].Method, Meet: meets[i]}
+			if p, ok := o.assembleTablePath(s, ts[i], &st); ok {
+				out[i].Path = p
+				continue
+			}
+			// Stored chains incomplete: the target re-resolves through
+			// the fallback, so move its tally to the final method.
+			bst.unnote(res[i].Method)
+			if o.opts.Fallback == FallbackNone {
+				out[i] = BatchPathResult{Method: MethodNone}
+				bst.note(MethodNone)
+				continue
+			}
+			bst.Fallbacks++
+			out[i].Path, out[i].Method = o.fallbackPathWS(s, ts[i], &st, borrow())
+			bst.note(out[i].Method)
+			continue
+		}
+		// Unresolved by the tables: mirror Path's slow path, one search.
+		switch o.opts.Fallback {
+		case FallbackExact:
+			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
+			bst.Fallbacks++
+			out[i].Path, out[i].Method = o.fallbackPathWS(s, ts[i], &st, borrow())
+			bst.note(out[i].Method)
+		case FallbackEstimate:
+			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
+			if o.landmarkEstimate(s, ts[i], &st) == NoDist {
+				out[i].Method = MethodNone
+				bst.note(MethodNone)
+				continue
+			}
+			bst.Lookups += st.Lookups
+			out[i].Method = MethodFallbackEstimate
+			bst.note(MethodFallbackEstimate)
+			if p, ok := o.estimatePath(s, ts[i]); ok {
+				out[i].Path = p
+			}
+		default:
+			out[i].Method = MethodNone
+			bst.note(MethodNone)
+		}
+	}
+	return out, nil
+}
+
+// tableMany resolves every target against the stored tables. Targets
+// the tables cannot decide are returned in pend (their res entry holds
+// MethodNone) for the caller's fallback handling; when needMeet is set
+// the intersection witness per target is returned in meets.
+func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool) (res []BatchResult, meets, pend []uint32, err error) {
+	n := o.g.NumNodes()
+	if int(s) >= n {
+		return nil, nil, nil, fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)
+	}
+	bst.Targets += len(ts)
+	res = make([]BatchResult, len(ts))
+	if needMeet {
+		meets = make([]uint32, len(ts))
+		for i := range meets {
+			meets[i] = graph.NoNode
+		}
+	}
+
+	resolve := func(i int, d uint32, m Method) {
+		res[i] = BatchResult{Dist: d, Method: m}
+		bst.note(m)
+	}
+
+	// s ∈ L with a built table: every target answers off s's dense row
+	// (Algorithm 1's first case), no vicinity state needed.
+	if o.isL[s] {
+		if li := o.lidx[s]; o.hasLandmarkTable(li) {
+			for i, t := range ts {
+				if int(t) >= n {
+					res[i] = BatchResult{Dist: NoDist, Err: fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)}
+					bst.Errors++
+					continue
+				}
+				if s == t {
+					resolve(i, 0, MethodSame)
+					continue
+				}
+				bst.Lookups++
+				d := o.landmarkDist(li, t)
+				if d == NoDist {
+					resolve(i, NoDist, MethodUnreachable)
+				} else {
+					resolve(i, d, MethodLandmarkSource)
+				}
+			}
+			return res, meets, nil, nil
+		}
+	}
+
+	// s's vicinity handle and boundary, loaded once for the batch.
+	vs, okS := o.vicinity(s)
+	var sBoundLen int
+	if okS {
+		sBoundLen = o.BoundarySize(s)
+	}
+	bws := batchPool.Get().(*batchWS)
+	defer batchPool.Put(bws)
+	bws.ensure(n)
+
+	// First pass: the direct cases of Algorithm 1 per target, in the
+	// exact order the single-query path applies them.
+	for i, t := range ts {
+		if int(t) >= n {
+			res[i] = BatchResult{Dist: NoDist, Err: fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)}
+			bst.Errors++
+			continue
+		}
+		if s == t {
+			resolve(i, 0, MethodSame)
+			continue
+		}
+		if o.isL[t] {
+			if li := o.lidx[t]; o.hasLandmarkTable(li) {
+				bst.Lookups++
+				d := o.landmarkDist(li, s)
+				if d == NoDist {
+					resolve(i, NoDist, MethodUnreachable)
+				} else {
+					resolve(i, d, MethodLandmarkTarget)
+				}
+				continue
+			}
+		}
+		if !okS && !o.isL[s] {
+			res[i] = BatchResult{Dist: NoDist, Err: fmt.Errorf("%w: %d", ErrNotCovered, s)}
+			bst.Errors++
+			continue
+		}
+		vt, okT := o.vicinity(t)
+		if !okT && !o.isL[t] {
+			res[i] = BatchResult{Dist: NoDist, Err: fmt.Errorf("%w: %d", ErrNotCovered, t)}
+			bst.Errors++
+			continue
+		}
+		if okS {
+			bst.Lookups++
+			if d, ok := vs.get(t); ok {
+				resolve(i, d, MethodVicinitySource)
+				continue
+			}
+		}
+		if okT {
+			bst.Lookups++
+			if d, ok := vt.get(s); ok {
+				resolve(i, d, MethodVicinityTarget)
+				continue
+			}
+		}
+		if okS && okT {
+			if o.opts.ScanSmallerBoundary && o.BoundarySize(t) < sBoundLen {
+				bws.swap = append(bws.swap, uint32(i))
+			} else {
+				bws.scan = append(bws.scan, uint32(i))
+			}
+			continue
+		}
+		// No scan possible (a landmark endpoint without tables): the
+		// single-query path goes straight to the fallback.
+		pend = append(pend, uint32(i))
+	}
+
+	// Inverted boundary pass: mark ∂Γ(s) once, then walk each residual
+	// target's vicinity sequentially against the marks.
+	if len(bws.scan) > 0 {
+		sKeys, sDist := o.boundary(s)
+		for j, w := range sKeys {
+			bws.stamp[w] = bws.epoch
+			bws.dist[w] = sDist[j]
+			bws.pos[w] = uint32(j)
+		}
+		bst.Boundary += len(sKeys)
+		for _, ii := range bws.scan {
+			t := ts[ii]
+			best, meet := NoDist, graph.NoNode
+			var bestPos uint32
+			checked := 0
+			if o.vicAlt == nil {
+				vt, _ := o.flatVicinity(t)
+				eOff, eLen, _, _ := vt.Ranges()
+				keys := o.arena.Keys[eOff : eOff+eLen]
+				dists := o.arena.Dists[eOff : eOff+eLen]
+				checked = len(keys)
+				for k, w := range keys {
+					if bws.stamp[w] != bws.epoch {
+						continue
+					}
+					cand := satAdd(bws.dist[w], dists[k])
+					if cand < best || (cand == best && cand != NoDist && bws.pos[w] < bestPos) {
+						best, meet, bestPos = cand, w, bws.pos[w]
+					}
+				}
+			} else {
+				tbl := o.vicAlt[t]
+				checked = tbl.Len()
+				for k := 0; k < checked; k++ {
+					w, dw, _ := tbl.At(k)
+					if bws.stamp[w] != bws.epoch {
+						continue
+					}
+					cand := satAdd(bws.dist[w], dw)
+					if cand < best || (cand == best && cand != NoDist && bws.pos[w] < bestPos) {
+						best, meet, bestPos = cand, w, bws.pos[w]
+					}
+				}
+			}
+			bst.Lookups += checked
+			bst.Scanned += checked
+			if best != NoDist {
+				resolve(int(ii), best, MethodIntersection)
+				if needMeet {
+					meets[ii] = meet
+				}
+			} else {
+				pend = append(pend, ii)
+			}
+		}
+	}
+
+	// Swapped targets: the per-pair path scans the target's (smaller)
+	// boundary probing Γ(s); run the identical scan here.
+	for _, ii := range bws.swap {
+		t := ts[ii]
+		tKeys, tDist := o.boundary(t)
+		best, meet := NoDist, graph.NoNode
+		for j, w := range tKeys {
+			if dw, ok := vs.get(w); ok {
+				if cand := satAdd(tDist[j], dw); cand < best {
+					best, meet = cand, w
+				}
+			}
+		}
+		bst.Lookups += len(tKeys)
+		bst.Scanned += len(tKeys)
+		if best != NoDist {
+			resolve(int(ii), best, MethodIntersection)
+			if needMeet {
+				meets[ii] = meet
+			}
+		} else {
+			pend = append(pend, ii)
+		}
+	}
+	return res, meets, pend, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"vicinity/internal/gen"
+)
+
+// fallbackPairOracle builds a long path graph with landmarks pinned at
+// the ends, so the pair (10, 90) has small disjoint vicinities whose
+// boundaries miss: the query can only resolve through the fallback.
+func fallbackPairOracle(t *testing.T, opts Options) *Oracle {
+	t.Helper()
+	g := gen.Path(100)
+	opts.Landmarks = []uint32{0, 99}
+	o := mustBuild(t, g, opts)
+	if _, _, err := o.tableDistance(10, 90, &QueryStats{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, resolved, _ := o.tableDistance(10, 90, &QueryStats{}); resolved {
+		t.Fatal("construction broken: (10,90) resolves from the tables")
+	}
+	return o
+}
+
+// TestPathFallbackRunsOneSearch pins the double-search fix: Path used
+// to run the bidirectional search once inside DistanceStats (for the
+// distance) and a second time in fallbackPath (for the path). One
+// logical query must cost exactly one search.
+func TestPathFallbackRunsOneSearch(t *testing.T) {
+	o := fallbackPairOracle(t, Options{})
+
+	before := fallbackSearches.Load()
+	p, m, err := o.Path(10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fallbackSearches.Load() - before; got != 1 {
+		t.Fatalf("Path ran %d fallback searches, want exactly 1", got)
+	}
+	if m != MethodFallbackExact || len(p) != 81 || p[0] != 10 || p[80] != 90 {
+		t.Fatalf("path = %d nodes via %v, want the 80-hop chain via fallback-exact", len(p), m)
+	}
+
+	before = fallbackSearches.Load()
+	d, m, err := o.Distance(10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fallbackSearches.Load() - before; got != 1 {
+		t.Fatalf("Distance ran %d fallback searches, want exactly 1", got)
+	}
+	if d != 80 || m != MethodFallbackExact {
+		t.Fatalf("Distance = %d via %v, want 80 via fallback-exact", d, m)
+	}
+}
+
+// TestPathFallbackDisabledRunsNoSearch checks the other side of the
+// restructure: with FallbackNone the unresolved pair must not trigger
+// any search at all, from either entry point.
+func TestPathFallbackDisabledRunsNoSearch(t *testing.T) {
+	o := fallbackPairOracle(t, Options{Fallback: FallbackNone})
+	before := fallbackSearches.Load()
+	if p, m, err := o.Path(10, 90); err != nil || p != nil || m != MethodNone {
+		t.Fatalf("Path = %v via %v (err %v), want nil/none", p, m, err)
+	}
+	if d, m, err := o.Distance(10, 90); err != nil || d != NoDist || m != MethodNone {
+		t.Fatalf("Distance = %d via %v (err %v), want NoDist/none", d, m, err)
+	}
+	if got := fallbackSearches.Load() - before; got != 0 {
+		t.Fatalf("%d fallback searches ran with FallbackNone", got)
+	}
+}
+
+// TestPathEstimateFallbackRunsNoSearch: the estimate fallback answers
+// from landmark rows and stitches the estimate path from stored chains;
+// no bidirectional search may run.
+func TestPathEstimateFallbackRunsNoSearch(t *testing.T) {
+	o := fallbackPairOracle(t, Options{Fallback: FallbackEstimate})
+	before := fallbackSearches.Load()
+	d, m, err := o.Distance(10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// est = min(r(10)+d(l(10),90), r(90)+d(l(90),10)) = min(10+90, 9+89) = 98.
+	if m != MethodFallbackEstimate || d != 98 {
+		t.Fatalf("Distance = %d via %v, want 98 via fallback-estimate", d, m)
+	}
+	p, m, err := o.Path(10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MethodFallbackEstimate || len(p) == 0 || p[0] != 10 || p[len(p)-1] != 90 {
+		t.Fatalf("estimate path = %v via %v", p, m)
+	}
+	if got := fallbackSearches.Load() - before; got != 0 {
+		t.Fatalf("%d fallback searches ran in estimate mode", got)
+	}
+}

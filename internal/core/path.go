@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
 )
 
 // Path returns a shortest s→t path (inclusive of both endpoints) and the
@@ -16,52 +17,82 @@ import (
 // A nil path with MethodNone means the query was unresolved (fallback
 // disabled) or path data was disabled; a nil path with
 // MethodUnreachable means no path exists.
+//
+// Unresolved pairs cost exactly one bidirectional search: the table
+// pass decides the method without running the fallback, and the slow
+// path derives distance and path from the same search.
 func (o *Oracle) Path(s, t uint32) ([]uint32, Method, error) {
 	var st QueryStats
-	d, err := o.DistanceStats(s, t, &st)
+	d, resolved, err := o.tableDistance(s, t, &st)
 	if err != nil {
 		return nil, st.Method, err
 	}
-	if d == NoDist {
-		return nil, st.Method, nil
+	if resolved {
+		if d == NoDist {
+			return nil, st.Method, nil // exact unreachability off a landmark row
+		}
+		if p, ok := o.assembleTablePath(s, t, &st); ok {
+			return p, st.Method, nil
+		}
+		// Stored chains incomplete (path data disabled or a repaired
+		// parent missing): answer with one search.
+		return o.fallbackPath(s, t, &st)
 	}
+	switch o.opts.Fallback {
+	case FallbackExact:
+		return o.fallbackPath(s, t, &st)
+	case FallbackEstimate:
+		if o.landmarkEstimate(s, t, &st) == NoDist {
+			return nil, MethodNone, nil
+		}
+		st.Method = MethodFallbackEstimate
+		// Estimates have no materialized path; stitch s→l(s)→t via the
+		// vicinity chain and the landmark tree when possible.
+		if p, ok := o.estimatePath(s, t); ok {
+			return p, st.Method, nil
+		}
+		return nil, st.Method, nil
+	default:
+		return nil, MethodNone, nil
+	}
+}
+
+// assembleTablePath builds the s→t path for a table-resolved query from
+// stored parent pointers (§3.1: "the path is retrieved by following the
+// series of next-hops"): within vicinities the chain walks u's shortest
+// path tree, through an intersection the two half-paths join at the
+// witness node, and landmark hits walk the landmark's global tree. ok
+// is false when a chain cannot be completed (the caller falls back).
+func (o *Oracle) assembleTablePath(s, t uint32, st *QueryStats) ([]uint32, bool) {
 	switch st.Method {
 	case MethodSame:
-		return []uint32{s}, st.Method, nil
+		return []uint32{s}, true
 
 	case MethodLandmarkSource:
 		// Walk t up s's global tree, then reverse.
 		p, ok := o.landmarkChain(o.lidx[s], t)
 		if !ok {
-			return o.fallbackPath(s, t, &st)
+			return nil, false
 		}
 		reverseU32(p)
-		return p, st.Method, nil
+		return p, true
 
 	case MethodLandmarkTarget:
 		// Walk s up t's global tree: already oriented s→t.
-		p, ok := o.landmarkChain(o.lidx[t], s)
-		if !ok {
-			return o.fallbackPath(s, t, &st)
-		}
-		return p, st.Method, nil
+		return o.landmarkChain(o.lidx[t], s)
 
 	case MethodVicinitySource:
 		// t ∈ Γ(s): walk t back to s inside s's table, reverse.
 		p, ok := o.vicinityChain(s, t)
 		if !ok {
-			return o.fallbackPath(s, t, &st)
+			return nil, false
 		}
 		reverseU32(p)
-		return p, st.Method, nil
+		return p, true
 
 	case MethodVicinityTarget:
 		// s ∈ Γ(t): walk s back to t inside t's table.
-		p, ok := o.vicinityChain(t, s)
-		if !ok {
-			return o.fallbackPath(s, t, &st)
-		}
-		return p, st.Method, nil
+		return o.vicinityChain(t, s)
 
 	case MethodIntersection:
 		w := st.Meet
@@ -71,25 +102,13 @@ func (o *Oracle) Path(s, t uint32) ([]uint32, Method, error) {
 		half1, ok1 := o.vicinityChain(s, w) // w..s
 		half2, ok2 := o.vicinityChain(t, w) // w..t
 		if !ok1 || !ok2 {
-			return o.fallbackPath(s, t, &st)
+			return nil, false
 		}
 		reverseU32(half1) // s..w
-		path := append(half1, half2[1:]...)
-		return path, st.Method, nil
-
-	case MethodFallbackExact:
-		return o.fallbackPath(s, t, &st)
-
-	case MethodFallbackEstimate:
-		// Estimates have no materialized path; stitch s→l(s)→t via the
-		// vicinity chain and the landmark tree when possible.
-		if p, ok := o.estimatePath(s, t); ok {
-			return p, st.Method, nil
-		}
-		return nil, st.Method, nil
+		return append(half1, half2[1:]...), true
 
 	default:
-		return nil, st.Method, nil
+		return nil, false
 	}
 }
 
@@ -176,19 +195,28 @@ func (o *Oracle) fallbackPath(s, t uint32, st *QueryStats) ([]uint32, Method, er
 		return nil, MethodNone, nil
 	}
 	ws := o.workspace()
+	p, m := o.fallbackPathWS(s, t, st, ws)
+	o.release(ws)
+	return p, m, nil
+}
+
+// fallbackPathWS is fallbackPath over a caller-owned workspace (the
+// batch engine reuses one across a target list). The caller has already
+// ruled out FallbackNone.
+func (o *Oracle) fallbackPathWS(s, t uint32, st *QueryStats, ws *traverse.Workspace) ([]uint32, Method) {
+	fallbackSearches.Add(1)
 	var p []uint32
 	if o.g.Weighted() {
 		p = ws.BiDijkstraPath(s, t)
 	} else {
 		p = ws.BiBFSPath(s, t)
 	}
-	o.release(ws)
 	if p == nil {
 		st.Method = MethodUnreachable
-		return nil, MethodUnreachable, nil
+		return nil, MethodUnreachable
 	}
 	st.Method = MethodFallbackExact
-	return p, MethodFallbackExact, nil
+	return p, MethodFallbackExact
 }
 
 // PathString formats a path for display, e.g. "0 → 5 → 9".

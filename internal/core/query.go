@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
 )
 
 // Method identifies how a query was answered (Algorithm 1's cases plus
@@ -36,6 +38,10 @@ const (
 	// MethodUnreachable: s and t are in different components (exact).
 	MethodUnreachable
 )
+
+// methodCount is the number of Method values; BatchStats tallies per
+// method in an array indexed by Method.
+const methodCount = int(MethodUnreachable) + 1
 
 // String returns a short name for the method.
 func (m Method) String() string {
@@ -106,17 +112,38 @@ func (o *Oracle) Distance(s, t uint32) (uint32, Method, error) {
 	return d, st.Method, err
 }
 
+// satAdd sums two stored distances, saturating at NoDist (see
+// traverse.SatAdd): a raw uint32 add can wrap past the sentinel on
+// large weighted distances, and a wrapped candidate would beat the
+// true minimum.
+func satAdd(a, b uint32) uint32 { return traverse.SatAdd(a, b) }
+
 // DistanceStats is Distance with per-query instrumentation written to st
 // (st must be non-nil).
 func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
+	d, resolved, err := o.tableDistance(s, t, st)
+	if err != nil || resolved {
+		return d, err
+	}
+	return o.fallbackDistance(s, t, st)
+}
+
+// tableDistance runs Algorithm 1 over the stored tables only. resolved
+// reports whether the tables decided the query (including s == t and
+// exact unreachability read off a landmark row); when it is false the
+// caller owns the fallback. Splitting the fallback out lets Path and
+// the batch engine resolve from tables first and run at most one slow
+// search per pair — Path previously ran the bidirectional search twice,
+// once for the distance and once more for the path.
+func (o *Oracle) tableDistance(s, t uint32, st *QueryStats) (uint32, bool, error) {
 	n := o.g.NumNodes()
 	if int(s) >= n || int(t) >= n {
-		return NoDist, fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)
+		return NoDist, false, fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)
 	}
 	*st = QueryStats{Method: MethodNone, Meet: graph.NoNode}
 	if s == t {
 		st.Method = MethodSame
-		return 0, nil
+		return 0, true, nil
 	}
 
 	// Algorithm 1 line 3: the four direct cases.
@@ -128,7 +155,7 @@ func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
 			if d == NoDist {
 				st.Method = MethodUnreachable
 			}
-			return d, nil
+			return d, true, nil
 		}
 	}
 	if o.isL[t] {
@@ -139,7 +166,7 @@ func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
 			if d == NoDist {
 				st.Method = MethodUnreachable
 			}
-			return d, nil
+			return d, true, nil
 		}
 	}
 	if o.vicAlt == nil {
@@ -153,27 +180,27 @@ func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
 // table probe — including each iteration of the boundary scan — is a
 // single call frame over contiguous arrays; this is the hot path the
 // flat refactor exists for.
-func (o *Oracle) flatVicDistance(s, t uint32, st *QueryStats) (uint32, error) {
+func (o *Oracle) flatVicDistance(s, t uint32, st *QueryStats) (uint32, bool, error) {
 	vs, okS := o.flatVicinity(s)
 	vt, okT := o.flatVicinity(t)
 	if !okS && !o.isL[s] {
-		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, s)
+		return NoDist, false, fmt.Errorf("%w: %d", ErrNotCovered, s)
 	}
 	if !okT && !o.isL[t] {
-		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, t)
+		return NoDist, false, fmt.Errorf("%w: %d", ErrNotCovered, t)
 	}
 	if okS {
 		st.Lookups++
 		if d, ok := vs.Get(t); ok {
 			st.Method = MethodVicinitySource
-			return d, nil
+			return d, true, nil
 		}
 	}
 	if okT {
 		st.Lookups++
 		if d, ok := vt.Get(s); ok {
 			st.Method = MethodVicinityTarget
-			return d, nil
+			return d, true, nil
 		}
 	}
 
@@ -191,7 +218,7 @@ func (o *Oracle) flatVicDistance(s, t uint32, st *QueryStats) (uint32, error) {
 		meet := graph.NoNode
 		for i, w := range scanKeys {
 			if dw, ok := probe.Get(w); ok {
-				if cand := scanDist[i] + dw; cand < best {
+				if cand := satAdd(scanDist[i], dw); cand < best {
 					best = cand
 					meet = w
 				}
@@ -202,36 +229,36 @@ func (o *Oracle) flatVicDistance(s, t uint32, st *QueryStats) (uint32, error) {
 		if best != NoDist {
 			st.Method = MethodIntersection
 			st.Meet = meet
-			return best, nil
+			return best, true, nil
 		}
 	}
 
-	return o.fallbackDistance(s, t, st)
+	return NoDist, false, nil
 }
 
 // altVicDistance is the same algorithm over the interface-dispatched
 // tables of the TableBuiltin ablation.
-func (o *Oracle) altVicDistance(s, t uint32, st *QueryStats) (uint32, error) {
+func (o *Oracle) altVicDistance(s, t uint32, st *QueryStats) (uint32, bool, error) {
 	vs, okS := o.vicAlt[s], o.vicAlt[s] != nil
 	vt, okT := o.vicAlt[t], o.vicAlt[t] != nil
 	if !okS && !o.isL[s] {
-		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, s)
+		return NoDist, false, fmt.Errorf("%w: %d", ErrNotCovered, s)
 	}
 	if !okT && !o.isL[t] {
-		return NoDist, fmt.Errorf("%w: %d", ErrNotCovered, t)
+		return NoDist, false, fmt.Errorf("%w: %d", ErrNotCovered, t)
 	}
 	if okS {
 		st.Lookups++
 		if d, ok := vs.Get(t); ok {
 			st.Method = MethodVicinitySource
-			return d, nil
+			return d, true, nil
 		}
 	}
 	if okT {
 		st.Lookups++
 		if d, ok := vt.Get(s); ok {
 			st.Method = MethodVicinityTarget
-			return d, nil
+			return d, true, nil
 		}
 	}
 	if okS && okT {
@@ -245,7 +272,7 @@ func (o *Oracle) altVicDistance(s, t uint32, st *QueryStats) (uint32, error) {
 		meet := graph.NoNode
 		for i, w := range scanKeys {
 			if dw, ok := probe.Get(w); ok {
-				if cand := scanDist[i] + dw; cand < best {
+				if cand := satAdd(scanDist[i], dw); cand < best {
 					best = cand
 					meet = w
 				}
@@ -256,38 +283,57 @@ func (o *Oracle) altVicDistance(s, t uint32, st *QueryStats) (uint32, error) {
 		if best != NoDist {
 			st.Method = MethodIntersection
 			st.Meet = meet
-			return best, nil
+			return best, true, nil
 		}
 	}
-	return o.fallbackDistance(s, t, st)
+	return NoDist, false, nil
 }
+
+// fallbackSearches counts the bidirectional searches run by the slow
+// path, across every oracle in the process. Diagnostic only: tests use
+// the delta to prove one logical query runs at most one search.
+var fallbackSearches atomic.Int64
 
 // fallbackDistance resolves a query the stored tables could not.
 func (o *Oracle) fallbackDistance(s, t uint32, st *QueryStats) (uint32, error) {
+	if o.opts.Fallback == FallbackExact {
+		ws := o.workspace()
+		d, _ := o.fallbackDistanceWS(s, t, st, ws)
+		o.release(ws)
+		return d, nil
+	}
+	d, _ := o.fallbackDistanceWS(s, t, st, nil)
+	return d, nil
+}
+
+// fallbackDistanceWS is fallbackDistance over a caller-owned search
+// workspace (required for FallbackExact, ignored otherwise), letting
+// the batch engine reuse one workspace across a whole target list.
+// searched reports whether a bidirectional search actually ran.
+func (o *Oracle) fallbackDistanceWS(s, t uint32, st *QueryStats, ws *traverse.Workspace) (uint32, bool) {
 	switch o.opts.Fallback {
 	case FallbackExact:
-		ws := o.workspace()
+		fallbackSearches.Add(1)
 		var d uint32
 		if o.g.Weighted() {
 			d = ws.BiDijkstraDist(s, t)
 		} else {
 			d = ws.BiBFSDist(s, t)
 		}
-		o.release(ws)
 		if d == NoDist {
 			st.Method = MethodUnreachable
 		} else {
 			st.Method = MethodFallbackExact
 		}
-		return d, nil
+		return d, true
 	case FallbackEstimate:
 		d := o.landmarkEstimate(s, t, st)
 		if d != NoDist {
 			st.Method = MethodFallbackEstimate
 		}
-		return d, nil
+		return d, false
 	default:
-		return NoDist, nil // MethodNone
+		return NoDist, false // MethodNone
 	}
 }
 
@@ -299,7 +345,7 @@ func (o *Oracle) landmarkEstimate(s, t uint32, st *QueryStats) uint32 {
 		if li := o.lidx[ls]; o.hasLandmarkTable(li) {
 			st.Lookups++
 			if d := o.landmarkDist(li, t); d != NoDist && o.radius[s] != NoDist {
-				if cand := o.radius[s] + d; cand < best {
+				if cand := satAdd(o.radius[s], d); cand < best {
 					best = cand
 				}
 			}
@@ -309,7 +355,7 @@ func (o *Oracle) landmarkEstimate(s, t uint32, st *QueryStats) uint32 {
 		if li := o.lidx[lt]; o.hasLandmarkTable(li) {
 			st.Lookups++
 			if d := o.landmarkDist(li, s); d != NoDist && o.radius[t] != NoDist {
-				if cand := o.radius[t] + d; cand < best {
+				if cand := satAdd(o.radius[t], d); cand < best {
 					best = cand
 				}
 			}

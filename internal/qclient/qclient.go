@@ -122,6 +122,44 @@ func (c *Client) Distance(s, t uint32) (uint32, uint8, error) {
 	return d.Dist, d.Method, nil
 }
 
+// BatchItem is one target's answer in a Batch call. Err is non-nil
+// when the server reported a per-target failure (its wire error code
+// is preserved in the wrapped *wire.ErrorResponse).
+type BatchItem struct {
+	Dist   uint32
+	Method uint8
+	Err    error
+}
+
+// Batch asks for the distance from s to every target in one round trip
+// (one-to-many ranking). Results come back in target order; per-target
+// failures are reported in the item, not as a call error. The server
+// answers the whole batch from one oracle snapshot.
+func (c *Client) Batch(s uint32, ts []uint32) ([]BatchItem, error) {
+	if len(ts) > wire.MaxBatchTargets {
+		return nil, fmt.Errorf("qclient: batch of %d targets exceeds the %d cap", len(ts), wire.MaxBatchTargets)
+	}
+	resp, err := c.roundTrip(&wire.BatchRequest{S: s, Ts: ts})
+	if err != nil {
+		return nil, err
+	}
+	br, ok := resp.(*wire.BatchResponse)
+	if !ok {
+		return nil, fmt.Errorf("qclient: unexpected response %v", resp.WireType())
+	}
+	if len(br.Items) != len(ts) {
+		return nil, fmt.Errorf("qclient: batch returned %d items for %d targets", len(br.Items), len(ts))
+	}
+	items := make([]BatchItem, len(br.Items))
+	for i, it := range br.Items {
+		items[i] = BatchItem{Dist: it.Dist, Method: it.Method}
+		if it.Code != 0 {
+			items[i].Err = &wire.ErrorResponse{Code: it.Code, Message: "per-target query failed"}
+		}
+	}
+	return items, nil
+}
+
 // Path asks for a shortest path between s and t (nil if none).
 func (c *Client) Path(s, t uint32) ([]uint32, uint8, error) {
 	resp, err := c.roundTrip(&wire.PathRequest{S: s, T: t})
@@ -210,6 +248,17 @@ func (p *Pool) Path(ctx context.Context, s, t uint32) ([]uint32, uint8, error) {
 		return c.Path(s, t)
 	case <-ctx.Done():
 		return nil, 0, ctx.Err()
+	}
+}
+
+// Batch borrows a client for one one-to-many query.
+func (p *Pool) Batch(ctx context.Context, s uint32, ts []uint32) ([]BatchItem, error) {
+	select {
+	case c := <-p.clients:
+		defer func() { p.clients <- c }()
+		return c.Batch(s, ts)
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 

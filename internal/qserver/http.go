@@ -8,26 +8,35 @@ import (
 	"strconv"
 
 	"vicinity/internal/core"
+	"vicinity/internal/wire"
 )
 
 // Handler returns an http.Handler exposing the oracle as a JSON API:
 //
 //	GET  /v1/distance?s=<id>&t=<id> → {"s":..,"t":..,"distance":..,"method":"..","reachable":bool}
 //	GET  /v1/path?s=<id>&t=<id>     → {"s":..,"t":..,"path":[..],"method":".."}
-//	GET  /v1/stats                  → oracle build statistics
+//	POST /v1/batch                  → one-to-many distances: {"s":..,"ts":[..]}
+//	GET  /v1/stats                  → oracle build statistics and server counters
 //	POST /v1/admin/update           → apply a graph mutation batch (requires Config.AllowUpdates)
 //	GET  /healthz                   → 200 "ok"
+//
+// The batch body names one source and many targets; the response
+// carries one result per target in request order, with per-target
+// errors inline ({"t":..,"error":".."}) so one bad id does not fail
+// the ranking. The whole batch is answered from one oracle snapshot —
+// an epoch swap mid-batch cannot mix answers from different oracles.
 //
 // The update body is {"add_nodes":N,"edges":[[u,v],...]}; the response
 // reports the new epoch and graph size. Updates swap the oracle
 // atomically, so queries keep flowing during a batch.
 //
-// The handler shares the oracle (and the query counter) with the TCP
-// server when constructed from the same Server.
+// The handler shares the oracle (and the query/error counters) with
+// the TCP server when constructed from the same Server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/distance", s.handleDistance)
 	mux.HandleFunc("GET /v1/path", s.handlePath)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/update", s.handleUpdate)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -132,15 +141,73 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp{Epoch: epoch, Nodes: g.NumNodes(), Edges: g.NumEdges()})
 }
 
+// handleBatch answers a one-to-many ranking batch posted as JSON.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		S  uint32   `json:"s"`
+		Ts []uint32 `json:"ts"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusBadRequest, httpError{"invalid batch body: " + err.Error()})
+		return
+	}
+	if len(body.Ts) > wire.MaxBatchTargets {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			httpError{fmt.Sprintf("batch of %d targets exceeds the %d cap", len(body.Ts), wire.MaxBatchTargets)})
+		return
+	}
+	s.queries.Add(int64(len(body.Ts)))
+	res, err := s.oracle.Load().DistanceMany(body.S, body.Ts)
+	if err != nil {
+		s.errCount.Add(1)
+		writeJSON(w, queryStatus(err), httpError{err.Error()})
+		return
+	}
+	type item struct {
+		T         uint32 `json:"t"`
+		Distance  uint32 `json:"distance"`
+		Method    string `json:"method,omitempty"`
+		Reachable bool   `json:"reachable"`
+		Error     string `json:"error,omitempty"`
+	}
+	type resp struct {
+		S       uint32 `json:"s"`
+		Count   int    `json:"count"`
+		Results []item `json:"results"`
+	}
+	out := resp{S: body.S, Count: len(res), Results: make([]item, len(res))}
+	for i, br := range res {
+		it := item{T: body.Ts[i]}
+		if br.Err != nil {
+			s.errCount.Add(1)
+			it.Error = br.Err.Error()
+		} else {
+			it.Method = br.Method.String()
+			it.Reachable = br.Dist != core.NoDist
+			if it.Reachable {
+				it.Distance = br.Dist
+			}
+		}
+		out.Results[i] = it
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	from, to, err := parsePair(r)
 	if err != nil {
+		s.errCount.Add(1)
 		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
 		return
 	}
 	s.queries.Add(1)
 	d, method, err := s.oracle.Load().Distance(from, to)
 	if err != nil {
+		s.errCount.Add(1)
 		writeJSON(w, queryStatus(err), httpError{err.Error()})
 		return
 	}
@@ -161,12 +228,14 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	from, to, err := parsePair(r)
 	if err != nil {
+		s.errCount.Add(1)
 		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
 		return
 	}
 	s.queries.Add(1)
 	p, method, err := s.oracle.Load().Path(from, to)
 	if err != nil {
+		s.errCount.Add(1)
 		writeJSON(w, queryStatus(err), httpError{err.Error()})
 		return
 	}
@@ -200,6 +269,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TotalEntries int64   `json:"total_entries"`
 		TotalBytes   int64   `json:"total_bytes"`
 		Queries      int64   `json:"queries_served"`
+		Errors       int64   `json:"errors"`
 		Updates      int64   `json:"updates_applied"`
 		Epoch        uint64  `json:"epoch"`
 	}
@@ -215,6 +285,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TotalEntries: ms.TotalEntries,
 		TotalBytes:   ms.TotalBytes,
 		Queries:      s.queries.Load(),
+		Errors:       s.errCount.Load(),
 		Updates:      s.updates.Load(),
 		Epoch:        s.epoch.Load(),
 	})

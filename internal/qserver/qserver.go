@@ -331,6 +331,7 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 		s.queries.Add(1)
 		d, method, err := oracle.Distance(m.S, m.T)
 		if err != nil {
+			s.errCount.Add(1)
 			return queryError(err)
 		}
 		return &wire.DistanceResponse{Dist: d, Method: uint8(method)}
@@ -339,9 +340,31 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 		s.queries.Add(1)
 		p, method, err := oracle.Path(m.S, m.T)
 		if err != nil {
+			s.errCount.Add(1)
 			return queryError(err)
 		}
 		return &wire.PathResponse{Method: uint8(method), Path: p}
+
+	case *wire.BatchRequest:
+		// One-to-many: the whole batch runs against the snapshot pinned
+		// above, so an epoch swap mid-batch cannot mix oracles. Each
+		// target counts as one query; per-target failures come back as
+		// item codes without failing the batch.
+		s.queries.Add(int64(len(m.Ts)))
+		res, err := oracle.DistanceMany(m.S, m.Ts)
+		if err != nil {
+			s.errCount.Add(1)
+			return queryError(err)
+		}
+		items := make([]wire.BatchItem, len(res))
+		for i, r := range res {
+			items[i] = wire.BatchItem{Dist: r.Dist, Method: uint8(r.Method)}
+			if r.Err != nil {
+				s.errCount.Add(1)
+				items[i].Code = queryCode(r.Err)
+			}
+		}
+		return &wire.BatchResponse{Items: items}
 
 	case *wire.StatsRequest:
 		st := oracle.Stats()
@@ -364,14 +387,19 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 	}
 }
 
-// queryError maps oracle errors to wire errors.
-func queryError(err error) wire.Message {
-	code := wire.CodeInternal
+// queryCode maps oracle errors to wire error codes.
+func queryCode(err error) uint16 {
 	switch {
 	case errors.Is(err, core.ErrNotCovered):
-		code = wire.CodeNotCovered
+		return wire.CodeNotCovered
 	case errors.Is(err, core.ErrOutOfRange):
-		code = wire.CodeOutOfRange
+		return wire.CodeOutOfRange
+	default:
+		return wire.CodeInternal
 	}
-	return &wire.ErrorResponse{Code: code, Message: err.Error()}
+}
+
+// queryError maps oracle errors to wire errors.
+func queryError(err error) wire.Message {
+	return &wire.ErrorResponse{Code: queryCode(err), Message: err.Error()}
 }

@@ -518,3 +518,233 @@ func TestQueriesDuringUpdates(t *testing.T) {
 		t.Fatalf("epoch %d, want 10", m.Epoch)
 	}
 }
+
+// TestBatchRoundTrip cross-checks the TCP batch path (qclient.Batch)
+// against per-pair Distance calls: same distances, same methods, and
+// per-target errors carried as item codes without failing the batch.
+func TestBatchRoundTrip(t *testing.T) {
+	s, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	r := xrand.New(5)
+	for trial := 0; trial < 5; trial++ {
+		src := r.Uint32n(400)
+		ts := []uint32{src, 999999} // same-node and out-of-range targets
+		for len(ts) < 50 {
+			ts = append(ts, r.Uint32n(400))
+		}
+		items, err := c.Batch(src, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tgt := range ts {
+			d, m, serr := s.Oracle().Distance(src, tgt)
+			if serr != nil {
+				if items[i].Err == nil {
+					t.Fatalf("item %d: missing error for (%d,%d)", i, src, tgt)
+				}
+				var werr *wire.ErrorResponse
+				if !errors.As(items[i].Err, &werr) || werr.Code != wire.CodeOutOfRange {
+					t.Fatalf("item %d: err = %v, want out-of-range code", i, items[i].Err)
+				}
+				continue
+			}
+			if items[i].Err != nil || items[i].Dist != d || items[i].Method != uint8(m) {
+				t.Fatalf("item %d: (%d,%d,%v), single query says (%d,%v)",
+					i, items[i].Dist, items[i].Method, items[i].Err, d, m)
+			}
+		}
+	}
+	// The connection survives per-target errors.
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// A whole-batch failure (out-of-range source) is a call error.
+	if _, err := c.Batch(999999, []uint32{1, 2}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+// TestBatchHTTP cross-checks POST /v1/batch against per-pair answers,
+// inline per-target errors included.
+func TestBatchHTTP(t *testing.T) {
+	s, _ := startServer(t, Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp, err := hs.Client().Post(hs.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"s":3,"ts":[3,7,11,999999]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		S       uint32 `json:"s"`
+		Count   int    `json:"count"`
+		Results []struct {
+			T         uint32 `json:"t"`
+			Distance  uint32 `json:"distance"`
+			Method    string `json:"method"`
+			Reachable bool   `json:"reachable"`
+			Error     string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.S != 3 || out.Count != 4 || len(out.Results) != 4 {
+		t.Fatalf("response shape: %+v", out)
+	}
+	for i, tgt := range []uint32{3, 7, 11, 999999} {
+		it := out.Results[i]
+		if it.T != tgt {
+			t.Fatalf("result %d names target %d, want %d", i, it.T, tgt)
+		}
+		d, m, serr := s.Oracle().Distance(3, tgt)
+		if serr != nil {
+			if it.Error == "" {
+				t.Fatalf("result %d: missing inline error", i)
+			}
+			continue
+		}
+		if it.Error != "" || it.Method != m.String() || (it.Reachable && it.Distance != d) {
+			t.Fatalf("result %d = %+v, single query says (%d, %v)", i, it, d, m)
+		}
+	}
+
+	// Malformed bodies are rejected (and counted, see the metrics test).
+	resp, err = hs.Client().Post(hs.URL+"/v1/batch", "application/json", strings.NewReader(`{"bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed batch: status %d", resp.StatusCode)
+	}
+}
+
+// TestErrorMetrics pins the metrics bugfix: every handler error —
+// TCP distance/path/batch and their HTTP twins — must increment the
+// error counter, and /v1/stats must expose it.
+func TestErrorMetrics(t *testing.T) {
+	s, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	before := s.Metrics().Errors
+	c.Distance(0, 999999)           // TCP distance error
+	c.Path(999999, 0)               // TCP path error
+	c.Batch(0, []uint32{1, 999999}) // one per-target error
+	c.Batch(999999, []uint32{1})    // whole-batch error
+	want := before + 4
+
+	if got := s.Metrics().Errors; got != want {
+		t.Fatalf("TCP errors = %d, want %d", got, want)
+	}
+
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	get := func(path string) {
+		resp, err := hs.Client().Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	get("/v1/distance?s=abc&t=1")    // parse error
+	get("/v1/distance?s=999999&t=1") // out of range
+	get("/v1/path?s=0&t=999999")     // out of range
+	want += 3
+
+	if got := s.Metrics().Errors; got != want {
+		t.Fatalf("HTTP errors = %d, want %d", got, want)
+	}
+
+	// The stats payload exposes the counter.
+	resp, err := hs.Client().Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Errors int64 `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != want {
+		t.Fatalf("stats errors = %d, want %d", st.Errors, want)
+	}
+}
+
+// TestBatchDuringUpdates races TCP batch queries against update batches
+// (meaningful under -race): the server answers each batch from one
+// pinned snapshot, so original-node queries never error mid-swap.
+func TestBatchDuringUpdates(t *testing.T) {
+	s, addr := startServer(t, Config{AllowUpdates: true})
+	n := uint32(s.Oracle().Graph().NumNodes())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			c, err := qclient.Dial(addr, qclient.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			r := xrand.New(seed)
+			ts := make([]uint32, 24)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range ts {
+					ts[i] = r.Uint32n(n) // original nodes exist in every epoch
+				}
+				items, err := c.Batch(r.Uint32n(n), ts)
+				if err != nil {
+					t.Errorf("batch: %v", err)
+					return
+				}
+				for i, it := range items {
+					if it.Err != nil {
+						t.Errorf("item %d (t=%d): %v", i, ts[i], it.Err)
+						return
+					}
+				}
+			}
+		}(uint64(w) + 13)
+	}
+
+	r := xrand.New(90)
+	for i := 0; i < 10; i++ {
+		cur := uint32(s.Oracle().Graph().NumNodes())
+		if _, _, err := s.ApplyUpdates(core.Update{
+			AddNodes: 1,
+			Edges:    [][2]uint32{{cur, r.Uint32n(cur)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if m := s.Metrics(); m.Epoch != 10 {
+		t.Fatalf("epoch %d, want 10", m.Epoch)
+	}
+}

@@ -82,7 +82,7 @@ func (ws *Workspace) expandLevel(g *graph.Graph, this, other *NodeMap, front []u
 			this.Set(v, level, u)
 			next = append(next, v)
 			if od := other.Dist(v); od != NoDist {
-				if cand := level + od; cand < *best {
+				if cand := SatAdd(level, od); cand < *best {
 					*best = cand
 					*meet = v
 				}
@@ -159,7 +159,7 @@ func (ws *Workspace) biDijkstra(s, t uint32) (uint32, uint32) {
 	for !hf.Empty() && !hb.Empty() {
 		_, kf := hf.Peek()
 		_, kb := hb.Peek()
-		if best != NoDist && kf+kb >= best {
+		if best != NoDist && SatAdd(kf, kb) >= best {
 			break
 		}
 		if kf <= kb {
@@ -190,12 +190,12 @@ func settleSide(g *graph.Graph, this, other *NodeMap, h *heap.Min, settled *Node
 		if wts != nil {
 			w = wts[i]
 		}
-		nd := du + w
+		nd := SatAdd(du, w)
 		if old := this.Dist(v); nd < old {
 			this.Set(v, nd, u)
 			h.Push(v, nd)
 			if od := other.Dist(v); od != NoDist {
-				update(v, nd+od)
+				update(v, SatAdd(nd, od))
 			}
 		}
 	}

@@ -39,7 +39,7 @@ func Dijkstra(g *graph.Graph, src uint32) *Tree {
 			if ws != nil {
 				w = ws[i]
 			}
-			nd := du + w
+			nd := SatAdd(du, w)
 			if nd < t.Dist[v] {
 				t.Dist[v] = nd
 				t.Parent[v] = u
@@ -112,7 +112,7 @@ func relaxNeighbors(g *graph.Graph, nm *NodeMap, h *heap.Min, settled *NodeMap, 
 		if wts != nil {
 			w = wts[i]
 		}
-		nd := du + w
+		nd := SatAdd(du, w)
 		if old := nm.Dist(v); nd < old {
 			nm.Set(v, nd, u)
 			h.Push(v, nd)

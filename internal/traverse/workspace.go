@@ -20,6 +20,20 @@ import (
 // NoDist is the sentinel distance for unreachable nodes.
 const NoDist = ^uint32(0)
 
+// SatAdd returns a+b saturating at NoDist. Every sum of two stored
+// distances must go through it: with large weighted distances a raw
+// uint32 add can wrap past NoDist, and a wrapped candidate would beat
+// the true minimum in any "keep the smaller" comparison. Saturation
+// makes distances at or above 2^32-1 behave as unreachable, which is
+// the only consistent reading of the sentinel.
+func SatAdd(a, b uint32) uint32 {
+	c := a + b
+	if c < a {
+		return NoDist
+	}
+	return c
+}
+
 // NodeMap is an epoch-stamped map from node id to (distance, parent).
 // Reset is O(1); storage is three words per graph node, reused forever.
 type NodeMap struct {

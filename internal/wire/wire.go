@@ -46,7 +46,13 @@ const (
 	TypePingReq      MsgType = 7
 	TypePingResp     MsgType = 8
 	TypeError        MsgType = 9
+	TypeBatchReq     MsgType = 11
+	TypeBatchResp    MsgType = 12
 )
+
+// MaxBatchTargets caps one batch request's target count, keeping the
+// response frame (7 bytes per item) comfortably under MaxFrame.
+const MaxBatchTargets = 1 << 20
 
 // String returns the wire name of the message type.
 func (t MsgType) String() string {
@@ -69,6 +75,10 @@ func (t MsgType) String() string {
 		return "pong"
 	case TypeError:
 		return "error"
+	case TypeBatchReq:
+		return "batch-request"
+	case TypeBatchResp:
+		return "batch-response"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -125,6 +135,28 @@ type StatsResponse struct {
 	QueriesServed uint64
 }
 
+// BatchRequest asks for the distance from S to every target in Ts
+// (one-to-many). len(Ts) must not exceed MaxBatchTargets.
+type BatchRequest struct {
+	S  uint32
+	Ts []uint32
+}
+
+// BatchItem is one target's answer within a BatchResponse. Code 0
+// means success; otherwise it is one of the error codes above and Dist
+// is NoDist-filled.
+type BatchItem struct {
+	Dist   uint32
+	Method uint8
+	Code   uint16
+}
+
+// BatchResponse answers a BatchRequest with one item per target, in
+// request order.
+type BatchResponse struct {
+	Items []BatchItem
+}
+
 // PingRequest is a liveness probe; the token round-trips.
 type PingRequest struct{ Token uint64 }
 
@@ -149,6 +181,8 @@ func (*PathRequest) WireType() MsgType      { return TypePathReq }
 func (*PathResponse) WireType() MsgType     { return TypePathResp }
 func (*StatsRequest) WireType() MsgType     { return TypeStatsReq }
 func (*StatsResponse) WireType() MsgType    { return TypeStatsResp }
+func (*BatchRequest) WireType() MsgType     { return TypeBatchReq }
+func (*BatchResponse) WireType() MsgType    { return TypeBatchResp }
 func (*PingRequest) WireType() MsgType      { return TypePingReq }
 func (*PingResponse) WireType() MsgType     { return TypePingResp }
 func (*ErrorResponse) WireType() MsgType    { return TypeError }
@@ -219,6 +253,10 @@ func Unmarshal(payload []byte) (Message, error) {
 		msg = &StatsRequest{}
 	case TypeStatsResp:
 		msg = &StatsResponse{}
+	case TypeBatchReq:
+		msg = &BatchRequest{}
+	case TypeBatchResp:
+		msg = &BatchResponse{}
 	case TypePingReq:
 		msg = &PingRequest{}
 	case TypePingResp:
@@ -341,6 +379,75 @@ func (m *StatsResponse) parsePayload(src []byte) error {
 	m.AvgVicinityE6 = binary.BigEndian.Uint64(src[24:])
 	m.TotalEntries = binary.BigEndian.Uint64(src[32:])
 	m.QueriesServed = binary.BigEndian.Uint64(src[40:])
+	return nil
+}
+
+func (m *BatchRequest) appendPayload(dst []byte) []byte {
+	dst = appendU32(dst, m.S)
+	dst = appendU32(dst, uint32(len(m.Ts)))
+	for _, t := range m.Ts {
+		dst = appendU32(dst, t)
+	}
+	return dst
+}
+
+func (m *BatchRequest) parsePayload(src []byte) error {
+	if len(src) < 8 {
+		return ErrTruncated
+	}
+	m.S = binary.BigEndian.Uint32(src)
+	count := binary.BigEndian.Uint32(src[4:])
+	if count > MaxBatchTargets {
+		return fmt.Errorf("wire: batch of %d targets exceeds the %d cap", count, MaxBatchTargets)
+	}
+	if uint64(len(src)) != 8+4*uint64(count) {
+		return ErrTruncated
+	}
+	if count == 0 {
+		m.Ts = nil
+		return nil
+	}
+	m.Ts = make([]uint32, count)
+	for i := range m.Ts {
+		m.Ts[i] = binary.BigEndian.Uint32(src[8+4*i:])
+	}
+	return nil
+}
+
+func (m *BatchResponse) appendPayload(dst []byte) []byte {
+	dst = appendU32(dst, uint32(len(m.Items)))
+	for _, it := range m.Items {
+		dst = appendU32(dst, it.Dist)
+		dst = append(dst, it.Method)
+		dst = binary.BigEndian.AppendUint16(dst, it.Code)
+	}
+	return dst
+}
+
+func (m *BatchResponse) parsePayload(src []byte) error {
+	if len(src) < 4 {
+		return ErrTruncated
+	}
+	count := binary.BigEndian.Uint32(src)
+	if count > MaxBatchTargets {
+		return fmt.Errorf("wire: batch response of %d items exceeds the %d cap", count, MaxBatchTargets)
+	}
+	if uint64(len(src)) != 4+7*uint64(count) {
+		return ErrTruncated
+	}
+	if count == 0 {
+		m.Items = nil
+		return nil
+	}
+	m.Items = make([]BatchItem, count)
+	for i := range m.Items {
+		off := 4 + 7*i
+		m.Items[i] = BatchItem{
+			Dist:   binary.BigEndian.Uint32(src[off:]),
+			Method: src[off+4],
+			Code:   binary.BigEndian.Uint16(src[off+5:]),
+		}
+	}
 	return nil
 }
 

@@ -32,6 +32,10 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&PathResponse{Method: 0, Path: nil},
 		&StatsRequest{},
 		&StatsResponse{Nodes: 5, Edges: 6, Landmarks: 7, AvgVicinityE6: 1234567, TotalEntries: 8, QueriesServed: 9},
+		&BatchRequest{S: 4, Ts: []uint32{9, 0, ^uint32(0)}},
+		&BatchRequest{S: 4, Ts: nil},
+		&BatchResponse{Items: []BatchItem{{Dist: 3, Method: 6}, {Dist: ^uint32(0), Method: 0, Code: CodeOutOfRange}}},
+		&BatchResponse{Items: nil},
 		&PingRequest{Token: 42},
 		&PingResponse{Token: 43},
 		&ErrorResponse{Code: CodeOutOfRange, Message: "node 99 out of range"},
@@ -222,5 +226,32 @@ func BenchmarkUnmarshalDistance(b *testing.B) {
 		if _, err := Unmarshal(raw); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestBatchCaps rejects batches beyond MaxBatchTargets and truncated
+// batch payloads without allocating for the declared count.
+func TestBatchCaps(t *testing.T) {
+	// A request header declaring MaxBatchTargets+1 targets.
+	payload := []byte{Version, byte(TypeBatchReq)}
+	payload = appendU32(payload, 1)
+	payload = appendU32(payload, MaxBatchTargets+1)
+	if _, err := Unmarshal(payload); err == nil {
+		t.Fatal("oversized batch count accepted")
+	}
+	// A count that does not match the payload length.
+	payload = payload[:2]
+	payload = appendU32(payload, 1)
+	payload = appendU32(payload, 3)
+	payload = appendU32(payload, 7) // only one of three targets present
+	if _, err := Unmarshal(payload); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	// Same for the response side.
+	payload = []byte{Version, byte(TypeBatchResp)}
+	payload = appendU32(payload, 2)
+	payload = append(payload, 1, 2, 3) // not 2×7 bytes of items
+	if _, err := Unmarshal(payload); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
 	}
 }

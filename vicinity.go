@@ -374,6 +374,45 @@ func (o *Oracle) Path(s, t uint32) ([]uint32, Method, error) {
 	return o.cur().o.Path(s, t)
 }
 
+// BatchResult is one target's answer in a DistanceMany batch: the
+// distance and method Distance would return for the same pair, or a
+// per-target error (target out of range, endpoint outside the build
+// scope).
+type BatchResult = core.BatchResult
+
+// BatchPathResult is one target's answer in a PathMany batch.
+type BatchPathResult = core.BatchPathResult
+
+// BatchStats aggregates the work one batch performed (targets resolved
+// from tables, fallback searches run, members scanned).
+type BatchStats = core.BatchStats
+
+// DistanceMany answers the one-to-many query s → each of ts — the
+// paper's "social search" ranking shape — loading s's vicinity,
+// landmark row and boundary once and servicing all residual
+// boundary-scan targets with a single inverted pass. Every per-target
+// answer (distance, method, error) is identical to Distance(s, ts[i]);
+// the error return is non-nil only when s itself is out of range.
+//
+// The whole batch reads one oracle epoch: updates applied concurrently
+// never mix snapshots within a batch.
+func (o *Oracle) DistanceMany(s uint32, ts []uint32) ([]BatchResult, error) {
+	return o.cur().o.DistanceMany(s, ts)
+}
+
+// DistanceManyStats is DistanceMany with batch instrumentation added
+// to bst (must be non-nil).
+func (o *Oracle) DistanceManyStats(s uint32, ts []uint32, bst *BatchStats) ([]BatchResult, error) {
+	return o.cur().o.DistanceManyStats(s, ts, bst)
+}
+
+// PathMany answers one-to-many path queries against a single oracle
+// epoch; each target's path, method and error are identical to
+// Path(s, ts[i]).
+func (o *Oracle) PathMany(s uint32, ts []uint32) ([]BatchPathResult, error) {
+	return o.cur().o.PathMany(s, ts)
+}
+
 // IsLandmark reports whether u is in the sampled landmark set L.
 func (o *Oracle) IsLandmark(u uint32) bool { return o.cur().o.IsLandmark(u) }
 

@@ -343,3 +343,129 @@ func TestDynamicUpdates(t *testing.T) {
 		t.Fatal("weighted update accepted")
 	}
 }
+
+// TestBatchQueries checks the public one-to-many API agrees with the
+// per-pair calls and reports per-target errors in place.
+func TestBatchQueries(t *testing.T) {
+	g := GenerateSocial(1500, 5, 3)
+	o, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(9)
+	n := uint32(g.NumNodes())
+	for trial := 0; trial < 5; trial++ {
+		s := r.Uint32n(n)
+		ts := []uint32{s, n + 5} // same-node and out-of-range targets
+		for len(ts) < 40 {
+			ts = append(ts, r.Uint32n(n))
+		}
+		res, err := o.DistanceMany(s, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := o.PathMany(s, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tgt := range ts {
+			d, m, serr := o.Distance(s, tgt)
+			if (serr == nil) != (res[i].Err == nil) || res[i].Dist != d || res[i].Method != m {
+				t.Fatalf("batch[%d]=(%d,%v,%v), single=(%d,%v,%v)",
+					i, res[i].Dist, res[i].Method, res[i].Err, d, m, serr)
+			}
+			p, pm, perr := o.Path(s, tgt)
+			if (perr == nil) != (paths[i].Err == nil) || paths[i].Method != pm || len(paths[i].Path) != len(p) {
+				t.Fatalf("batch path[%d]=(%v,%v,%v), single=(%v,%v,%v)",
+					i, paths[i].Path, paths[i].Method, paths[i].Err, p, pm, perr)
+			}
+		}
+	}
+	var bst BatchStats
+	if _, err := o.DistanceManyStats(0, []uint32{1, 2, 3}, &bst); err != nil {
+		t.Fatal(err)
+	}
+	if bst.Targets != 3 {
+		t.Fatalf("stats = %+v", bst)
+	}
+	if _, err := o.DistanceMany(n+1, []uint32{0}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+// TestBatchDuringUpdates races batch queries against dynamic updates on
+// the public oracle (meaningful under -race). Each batch pins one
+// epoch, so no per-target error may surface mid-update, and since
+// updates here are insert-only, distances observed after the storm can
+// only have improved over the pre-update baseline.
+func TestBatchDuringUpdates(t *testing.T) {
+	g := GenerateSocial(600, 4, 11)
+	o, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint32(600)
+	baselineRes, err := o.DistanceMany(5, seqTargets(n, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan error, 4)
+	for w := 0; w < 3; w++ {
+		go func(seed uint64) {
+			r := xrand.New(seed)
+			for {
+				select {
+				case <-stop:
+					done <- nil
+					return
+				default:
+				}
+				s := r.Uint32n(n)
+				res, err := o.DistanceMany(s, seqTargets(n, 32))
+				if err != nil {
+					done <- err
+					return
+				}
+				for _, br := range res {
+					if br.Err != nil {
+						done <- br.Err
+						return
+					}
+				}
+			}
+		}(uint64(w) + 77)
+	}
+	for i := 0; i < 8; i++ {
+		cur := uint32(o.Graph().NumNodes())
+		if err := o.ApplyUpdates(Update{AddNodes: 1, Edges: [][2]uint32{{cur, uint32(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	for w := 0; w < 3; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Insert-only updates can only shorten distances.
+	after, err := o.DistanceMany(5, seqTargets(n, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range after {
+		if after[i].Dist > baselineRes[i].Dist {
+			t.Fatalf("distance grew under insertion: %d -> %d", baselineRes[i].Dist, after[i].Dist)
+		}
+	}
+}
+
+// seqTargets returns count spread-out node ids below n.
+func seqTargets(n uint32, count int) []uint32 {
+	ts := make([]uint32, count)
+	for i := range ts {
+		ts[i] = (uint32(i) * 37) % n
+	}
+	return ts
+}
