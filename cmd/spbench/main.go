@@ -39,6 +39,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -140,9 +142,24 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
+// queryOverrides carries the per-request v2 knobs (-timeout, -budget,
+// -policy) into the batch benchmark.
+type queryOverrides struct {
+	timeout time.Duration
+	budget  int
+	policy  core.Policy
+}
+
+// active reports whether any override departs from legacy behavior.
+func (q queryOverrides) active() bool {
+	return q.timeout > 0 || q.budget > 0 || q.policy != core.PolicyDefault
+}
+
 // batchBench builds the dataset oracle and measures one-to-many
 // rankings (DistanceMany) against the same pairs answered one by one.
-func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float64) error {
+// With any v2 override set the batches run through Query instead, and
+// the report adds how many targets hit the budget or the deadline.
+func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float64, qo queryOverrides) error {
 	prof, err := gen.ProfileByName(dataset)
 	if err != nil {
 		return err
@@ -183,6 +200,8 @@ func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float
 		}
 
 		var bst core.BatchStats
+		var cost core.Cost
+		var budgetHits, deadlineHits int
 		lats := make([]time.Duration, batches)
 		interval := time.Duration(0)
 		if qps > 0 {
@@ -198,7 +217,34 @@ func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float
 				next = next.Add(interval)
 			}
 			qStart := time.Now()
-			if _, err := o.DistanceManyStats(ss[i], tss[i], &bst); err != nil {
+			if qo.active() {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if qo.timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, qo.timeout)
+				}
+				res, err := o.Query(ctx, core.Request{
+					S: ss[i], Ts: tss[i], Policy: qo.policy, Budget: qo.budget,
+				})
+				cancel()
+				if err != nil && res.Items == nil {
+					return err
+				}
+				for _, it := range res.Items {
+					switch {
+					case errors.Is(it.Err, core.ErrBudgetExceeded):
+						budgetHits++
+					case errors.Is(it.Err, core.ErrCanceled):
+						deadlineHits++
+					case it.Err != nil:
+						return it.Err
+					}
+				}
+				cost.Lookups += res.Cost.Lookups
+				cost.Scanned += res.Cost.Scanned
+				cost.Expanded += res.Cost.Expanded
+				cost.Fallbacks += res.Cost.Fallbacks
+			} else if _, err := o.DistanceManyStats(ss[i], tss[i], &bst); err != nil {
 				return err
 			}
 			lats[i] = time.Since(qStart)
@@ -228,7 +274,14 @@ func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float
 			singleElapsed.Round(time.Millisecond),
 			float64(queries)/singleElapsed.Seconds(),
 			float64(singleElapsed)/float64(batchElapsed))
-		fmt.Printf("  work: %s\n\n", bst)
+		if qo.active() {
+			fmt.Printf("  work: lookups=%d scanned=%d expanded=%d fallbacks=%d\n",
+				cost.Lookups, cost.Scanned, cost.Expanded, cost.Fallbacks)
+			fmt.Printf("  v2 overrides (policy=%v budget=%d timeout=%v): %d budget-exceeded, %d deadline-canceled\n\n",
+				qo.policy, qo.budget, qo.timeout, budgetHits, deadlineHits)
+		} else {
+			fmt.Printf("  work: %s\n\n", bst)
+		}
 	}
 	return nil
 }
@@ -252,6 +305,9 @@ func run(args []string) error {
 		targets  = fs.Int("targets", 100, "targets per batch for -batch")
 		batches  = fs.Int("batches", 200, "batches to issue for -batch")
 		qps      = fs.Float64("qps", 0, "pace -batch issuance at this many queries/sec (0 = unthrottled)")
+		timeout  = fs.Duration("timeout", 0, "per-batch deadline for -batch, honored inside fallback searches (0 = none)")
+		budget   = fs.Int("budget", 0, "fallback search node budget per target for -batch (0 = unlimited)")
+		policy   = fs.String("policy", "default", "fallback policy for -batch: default|full|estimate|table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -289,7 +345,12 @@ func run(args []string) error {
 		if *targets < 1 || *batches < 1 {
 			return fmt.Errorf("-targets and -batches must be positive")
 		}
-		return batchBench(*dataset, cfg, *targets, *batches, *qps)
+		pol, err := core.ParsePolicy(*policy)
+		if err != nil {
+			return err
+		}
+		return batchBench(*dataset, cfg, *targets, *batches, *qps,
+			queryOverrides{timeout: *timeout, budget: *budget, policy: pol})
 	}
 
 	want := strings.ToLower(*exp)

@@ -1,6 +1,8 @@
 // Command spquery answers point-to-point and one-to-many shortest-path
 // queries, either by building a vicinity oracle locally or by driving a
-// running spserver over the TCP protocol.
+// running spserver over the TCP protocol. Every query goes through the
+// request-scoped v2 API, so deadlines, budgets and per-query fallback
+// policy work identically against both backends.
 //
 // Usage:
 //
@@ -8,15 +10,25 @@
 //	spquery -gen livejournal -n 10000 -batch < pairs.txt
 //	spquery -gen dblp -many 15 4711 42 99    # rank targets by distance from 15
 //	spquery -server 127.0.0.1:7421 15 4711   # query a running spserver
-//	spquery -server 127.0.0.1:7421 -many 15 4711 42 99
+//	spquery -server 127.0.0.1:7421 -timeout 5ms -budget 20000 -policy full 15 4711
+//	spquery -json -gen dblp 15 4711          # machine-readable output
 //
 // Batch lines are "s t" pairs; output is "s t distance method [path]".
 // With -many the first id is the source and the rest are targets,
-// answered in one DistanceMany call (one wire round trip with -server).
+// answered in one Query call (one wire round trip with -server). With
+// -json each answer is one JSON object per line (errors carry a typed
+// "error_code"), making the CLI usable in pipelines.
+//
+// Exit codes: 0 every query resolved; 1 some query was unreachable or
+// unresolved; 2 some query hit its budget or deadline; 3 usage or I/O
+// error. The worst code across a batch wins.
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,70 +42,171 @@ import (
 	"vicinity/internal/qclient"
 )
 
+// Exit codes (see the package comment).
+const (
+	exitOK          = 0
+	exitUnreachable = 1
+	exitBudget      = 2
+	exitUsage       = 3
+)
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "spquery:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
+}
+
+// queryOpts carries the per-query overrides shared by both backends.
+type queryOpts struct {
+	timeout  time.Duration
+	budget   int
+	policy   core.Policy
+	wantPath bool
+}
+
+// answer is one target's normalized result from either backend.
+type answer struct {
+	S, T    uint32
+	Dist    uint32
+	Method  string
+	Path    []uint32
+	Err     error
+	Latency time.Duration
+}
+
+// exitFor maps one answer onto the CLI exit-code ladder.
+func exitFor(a answer) int {
+	switch {
+	case a.Err != nil:
+		return exitForErr(a.Err)
+	case a.Dist == core.NoDist:
+		return exitUnreachable
+	default:
+		return exitOK
+	}
+}
+
+// exitForErr classifies a query error: deadline/budget outcomes are
+// exit 2 whether they surface per item (local backend) or as a
+// top-level call error (remote backend rejecting an expired context).
+func exitForErr(err error) int {
+	if errors.Is(err, core.ErrBudgetExceeded) || errors.Is(err, core.ErrCanceled) {
+		return exitBudget
+	}
+	return exitUsage
 }
 
 // backend answers queries either from a local oracle or a remote server.
 type backend struct {
 	oracle *core.Oracle
 	client *qclient.Client
+	addr   string
+	opts   queryOpts
 }
 
-func (b backend) distance(s, t uint32) (uint32, string, error) {
-	if b.client != nil {
-		d, m, err := b.client.Distance(s, t)
-		return d, core.Method(m).String(), err
+// ensureClient redials a remote connection the desync guard tore down
+// (e.g. after one timed-out query), so a single failure degrades one
+// answer instead of poisoning the rest of a -batch run.
+func (b *backend) ensureClient() error {
+	if b.client == nil || b.client.Alive() {
+		return nil
 	}
-	d, m, err := b.oracle.Distance(s, t)
-	return d, m.String(), err
-}
-
-func (b backend) path(s, t uint32) ([]uint32, error) {
-	if b.client != nil {
-		p, _, err := b.client.Path(s, t)
-		return p, err
-	}
-	p, _, err := b.oracle.Path(s, t)
-	return p, err
-}
-
-// many answers the one-to-many query, returning per-target distances,
-// method names and error strings (empty = ok).
-func (b backend) many(s uint32, ts []uint32) (dists []uint32, methods, errs []string, err error) {
-	dists = make([]uint32, len(ts))
-	methods = make([]string, len(ts))
-	errs = make([]string, len(ts))
-	if b.client != nil {
-		items, err := b.client.Batch(s, ts)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		for i, it := range items {
-			dists[i], methods[i] = it.Dist, core.Method(it.Method).String()
-			if it.Err != nil {
-				errs[i] = it.Err.Error()
-			}
-		}
-		return dists, methods, errs, nil
-	}
-	res, err := b.oracle.DistanceMany(s, ts)
+	c, err := qclient.Dial(b.addr, qclient.Options{})
 	if err != nil {
-		return nil, nil, nil, err
+		return err
 	}
-	for i, r := range res {
-		dists[i], methods[i] = r.Dist, r.Method.String()
-		if r.Err != nil {
-			errs[i] = r.Err.Error()
-		}
-	}
-	return dists, methods, errs, nil
+	b.client = c
+	return nil
 }
 
-func run(args []string) error {
+// ctx returns the per-query context implied by -timeout.
+func (b *backend) ctx() (context.Context, context.CancelFunc) {
+	if b.opts.timeout > 0 {
+		return context.WithTimeout(context.Background(), b.opts.timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// query answers one s→t query through the v2 surface.
+func (b *backend) query(s, t uint32) answer {
+	ctx, cancel := b.ctx()
+	defer cancel()
+	a := answer{S: s, T: t, Dist: core.NoDist}
+	start := time.Now()
+	if b.client != nil {
+		if err := b.ensureClient(); err != nil {
+			a.Err = err
+			return a
+		}
+		res, err := b.client.Query(ctx, qclient.QuerySpec{
+			S: s, T: t,
+			Policy:   b.opts.policy,
+			Budget:   b.opts.budget,
+			WantPath: b.opts.wantPath,
+		})
+		a.Latency = time.Since(start)
+		if err != nil {
+			a.Err = err
+			return a
+		}
+		it := res.Items[0]
+		a.Dist, a.Method, a.Path, a.Err = it.Dist, core.Method(it.Method).String(), it.Path, it.Err
+		return a
+	}
+	res, err := b.oracle.Query(ctx, core.Request{
+		S: s, T: t,
+		Policy:   b.opts.policy,
+		Budget:   b.opts.budget,
+		WantPath: b.opts.wantPath,
+	})
+	a.Latency = time.Since(start)
+	a.Dist, a.Method, a.Path = res.Dist, res.Method.String(), res.Path
+	a.Err = err
+	return a
+}
+
+// many answers the one-to-many query in one Query call.
+func (b *backend) many(s uint32, ts []uint32) ([]answer, time.Duration, error) {
+	ctx, cancel := b.ctx()
+	defer cancel()
+	out := make([]answer, len(ts))
+	start := time.Now()
+	if b.client != nil {
+		if err := b.ensureClient(); err != nil {
+			return nil, 0, err
+		}
+		res, err := b.client.Query(ctx, qclient.QuerySpec{
+			S: s, Ts: ts,
+			Policy:   b.opts.policy,
+			Budget:   b.opts.budget,
+			WantPath: b.opts.wantPath,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, it := range res.Items {
+			out[i] = answer{S: s, T: ts[i], Dist: it.Dist, Method: core.Method(it.Method).String(), Path: it.Path, Err: it.Err}
+		}
+		return out, time.Since(start), nil
+	}
+	res, err := b.oracle.Query(ctx, core.Request{
+		S: s, Ts: ts,
+		Policy:   b.opts.policy,
+		Budget:   b.opts.budget,
+		WantPath: b.opts.wantPath,
+	})
+	if err != nil && res.Items == nil {
+		return nil, 0, err
+	}
+	for i, it := range res.Items {
+		out[i] = answer{S: s, T: ts[i], Dist: it.Dist, Method: it.Method.String(), Path: it.Path, Err: it.Err}
+	}
+	return out, time.Since(start), nil
+}
+
+func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("spquery", flag.ContinueOnError)
 	var (
 		graphPath = fs.String("graph", "", "graph file (binary or edge list)")
@@ -103,91 +216,114 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 42, "random seed")
 		server    = fs.String("server", "", "query a running spserver at this TCP address instead of building locally")
 		batch     = fs.Bool("batch", false, "read 's t' pairs from stdin")
-		many      = fs.Bool("many", false, "one-to-many: args are s t1 t2 ... (one DistanceMany call)")
+		many      = fs.Bool("many", false, "one-to-many: args are s t1 t2 ... (one Query call)")
 		showPath  = fs.Bool("path", false, "also print the shortest path")
+		jsonOut   = fs.Bool("json", false, "print one JSON object per answer")
+		timeout   = fs.Duration("timeout", 0, "per-query deadline, honored inside the fallback search (0 = none)")
+		budget    = fs.Int("budget", 0, "fallback search node budget per query (0 = unlimited)")
+		policyStr = fs.String("policy", "default", "fallback policy: default|full|estimate|table")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitUsage, nil // flag package already printed the error
+	}
+	policy, err := core.ParsePolicy(*policyStr)
+	if err != nil {
+		return exitUsage, err
+	}
+	if *budget < 0 {
+		return exitUsage, fmt.Errorf("-budget must be >= 0")
 	}
 
-	var be backend
+	be := backend{opts: queryOpts{timeout: *timeout, budget: *budget, policy: policy, wantPath: *showPath}}
 	if *server != "" {
 		if *graphPath != "" || *genName != "" {
-			return fmt.Errorf("-server is mutually exclusive with -graph/-gen")
+			return exitUsage, fmt.Errorf("-server is mutually exclusive with -graph/-gen")
 		}
 		c, err := qclient.Dial(*server, qclient.Options{})
 		if err != nil {
-			return err
+			return exitUsage, err
 		}
-		defer c.Close()
 		be.client = c
+		be.addr = *server
+		defer func() { be.client.Close() }()
 	} else {
 		g, err := loadGraph(*graphPath, *genName, *n, *seed)
 		if err != nil {
-			return err
+			return exitUsage, err
 		}
 		fmt.Fprintf(os.Stderr, "spquery: %s\n", graph.ComputeStats(g))
 		start := time.Now()
 		be.oracle, err = core.Build(g, core.Options{Alpha: *alpha, Seed: *seed})
 		if err != nil {
-			return err
+			return exitUsage, err
 		}
 		fmt.Fprintf(os.Stderr, "spquery: built in %v: %s\n",
 			time.Since(start).Round(time.Millisecond), be.oracle.Stats())
 	}
 
-	query := func(s, t uint32) error {
-		startQ := time.Now()
-		d, method, err := be.distance(s, t)
-		lat := time.Since(startQ)
-		if err != nil {
-			return err
+	worst := exitOK
+	note := func(code int) {
+		if code > worst {
+			worst = code
+		}
+	}
+	emit := func(a answer) {
+		note(exitFor(a))
+		if *jsonOut {
+			printJSON(a, *showPath)
+			return
+		}
+		if a.Err != nil {
+			if a.Dist != core.NoDist {
+				// A budget/deadline answer still carries the best-known
+				// upper bound; print it alongside the error like the
+				// -json mode does.
+				fmt.Printf("%d %d %d %s error %s\n", a.S, a.T, a.Dist, a.Method, a.Err)
+				return
+			}
+			fmt.Printf("%d %d error %s\n", a.S, a.T, a.Err)
+			return
 		}
 		dist := "unreachable"
-		if d != core.NoDist {
-			dist = strconv.FormatUint(uint64(d), 10)
+		if a.Dist != core.NoDist {
+			dist = strconv.FormatUint(uint64(a.Dist), 10)
+		}
+		line := fmt.Sprintf("%d %d %s %s", a.S, a.T, dist, a.Method)
+		if a.Latency > 0 {
+			line += " " + a.Latency.String()
 		}
 		if *showPath {
-			p, err := be.path(s, t)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%d %d %s %s %v path=%s\n", s, t, dist, method, lat, core.PathString(p))
-			return nil
+			line += " path=" + core.PathString(a.Path)
 		}
-		fmt.Printf("%d %d %s %s %v\n", s, t, dist, method, lat)
-		return nil
+		fmt.Println(line)
 	}
 
 	if *many {
 		ids, err := parseIDs(fs.Args())
 		if err != nil {
-			return err
+			return exitUsage, err
 		}
 		if len(ids) < 2 {
-			return fmt.Errorf("-many wants a source and at least one target")
+			return exitUsage, fmt.Errorf("-many wants a source and at least one target")
 		}
 		s, ts := ids[0], ids[1:]
-		start := time.Now()
-		dists, methods, errs, err := be.many(s, ts)
-		lat := time.Since(start)
+		answers, lat, err := be.many(s, ts)
 		if err != nil {
-			return err
+			if *jsonOut {
+				// The one-object-per-answer contract holds even when the
+				// whole request failed: every target gets the error.
+				for _, t := range ts {
+					printJSON(answer{S: s, T: t, Dist: core.NoDist, Err: err}, *showPath)
+				}
+			}
+			return exitForErr(err), err
 		}
-		for i, t := range ts {
-			if errs[i] != "" {
-				fmt.Printf("%d %d error %s\n", s, t, errs[i])
-				continue
-			}
-			dist := "unreachable"
-			if dists[i] != core.NoDist {
-				dist = strconv.FormatUint(uint64(dists[i]), 10)
-			}
-			fmt.Printf("%d %d %s %s\n", s, t, dist, methods[i])
+		for _, a := range answers {
+			emit(a)
 		}
 		fmt.Fprintf(os.Stderr, "spquery: %d targets in %v (%.2f µs/target)\n",
 			len(ts), lat, float64(lat.Microseconds())/float64(len(ts)))
-		return nil
+		return worst, nil
 	}
 
 	if *batch {
@@ -199,24 +335,58 @@ func run(args []string) error {
 			}
 			s, t, err := parsePair(line)
 			if err != nil {
-				return err
+				return exitUsage, err
 			}
-			if err := query(s, t); err != nil {
-				return err
-			}
+			emit(be.query(s, t))
 		}
-		return sc.Err()
+		if err := sc.Err(); err != nil {
+			return exitUsage, err
+		}
+		return worst, nil
 	}
 
 	rest := fs.Args()
 	if len(rest) != 2 {
-		return fmt.Errorf("want exactly two node ids, got %d args (or use -batch / -many)", len(rest))
+		return exitUsage, fmt.Errorf("want exactly two node ids, got %d args (or use -batch / -many)", len(rest))
 	}
 	s, t, err := parsePair(rest[0] + " " + rest[1])
 	if err != nil {
-		return err
+		return exitUsage, err
 	}
-	return query(s, t)
+	emit(be.query(s, t))
+	return worst, nil
+}
+
+// printJSON writes one machine-readable answer line.
+func printJSON(a answer, withPath bool) {
+	type line struct {
+		S         uint32   `json:"s"`
+		T         uint32   `json:"t"`
+		Distance  uint32   `json:"distance"`
+		Reachable bool     `json:"reachable"`
+		Method    string   `json:"method,omitempty"`
+		Path      []uint32 `json:"path,omitempty"`
+		LatencyUS float64  `json:"latency_us,omitempty"`
+		Error     string   `json:"error,omitempty"`
+		ErrorCode string   `json:"error_code,omitempty"`
+	}
+	l := line{S: a.S, T: a.T, Method: a.Method}
+	if a.Dist != core.NoDist {
+		l.Distance = a.Dist
+		l.Reachable = true
+	}
+	if withPath {
+		l.Path = a.Path
+	}
+	if a.Latency > 0 {
+		l.LatencyUS = float64(a.Latency.Nanoseconds()) / 1e3
+	}
+	if a.Err != nil {
+		l.Error = a.Err.Error()
+		l.ErrorCode = core.ErrorCode(a.Err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	_ = enc.Encode(l)
 }
 
 func parseIDs(fields []string) ([]uint32, error) {

@@ -17,7 +17,11 @@
 // incrementally and swapped in atomically, so queries keep flowing
 // through every update.
 //
-// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// SIGINT/SIGTERM trigger a graceful shutdown: the server stops
+// accepting, drains in-flight TCP/HTTP requests for -drain (default
+// 10s), and past the window cancels every in-flight request context —
+// the v2 query path polls it inside the fallback search loop, so even
+// slow searches exit promptly instead of running against closed
 // connections.
 package main
 
@@ -61,6 +65,7 @@ func run(args []string) error {
 		httpAddr   = fs.String("http", "", "HTTP listen address (empty = disabled)")
 		maxConns   = fs.Int("max-conns", 1024, "maximum concurrent TCP connections")
 		allowUpd   = fs.Bool("allow-updates", false, "enable POST /v1/admin/update (dynamic graph mutation)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window before in-flight requests are canceled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,13 +143,17 @@ func run(args []string) error {
 			return err
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Drain in-flight HTTP and TCP requests for up to -drain; past the
+	// window the shutdown turns forced — qserver cancels every request
+	// context, so even a long bidirectional fallback search observes it
+	// inside its loop and returns promptly with a canceled error.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if hs != nil {
 		_ = hs.Shutdown(ctx)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		logger.Printf("forced shutdown: %v", err)
+		logger.Printf("forced shutdown after %v drain: %v", *drain, err)
 	}
 	m := srv.Metrics()
 	logger.Printf("served %d queries over %d connections", m.Queries, m.TotalConns)

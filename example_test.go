@@ -1,7 +1,10 @@
 package vicinity_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"vicinity"
 )
@@ -99,4 +102,42 @@ func ExampleOracle_DistanceMany() {
 	// d(0,3) = 3
 	// d(0,6) = 3
 	// d(0,1) = 1
+}
+
+// ExampleOracle_Query shows the request-scoped v2 API: one call carries
+// the deadline, a fallback node budget, per-query policy and the
+// want-path flag, and failures come back as a typed taxonomy usable
+// with errors.Is.
+func ExampleOracle_Query() {
+	g := vicinity.NewGraph(6, [][2]uint32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+	})
+	oracle, err := vicinity.Build(g, &vicinity.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	// A serving stack answers within a deadline: the context is honored
+	// inside the fallback search loop, and the table-resolved ~99% of
+	// queries never notice it.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	res, err := oracle.Query(ctx, vicinity.Request{
+		S: 0, T: 3,
+		Policy:   vicinity.PolicyFull, // exact answer even if tables miss
+		Budget:   10_000,              // ... but never expand more than 10k nodes
+		WantPath: true,
+	})
+	switch {
+	case errors.Is(err, vicinity.ErrBudgetExceeded), errors.Is(err, vicinity.ErrCanceled):
+		// Degraded: res.Dist is still the best-known upper bound.
+		fmt.Println("bound:", res.Dist)
+	case err != nil:
+		panic(err)
+	default:
+		fmt.Printf("d(0,3) = %d via %v, path %v, epoch %d\n",
+			res.Dist, res.Method, res.Path, res.Epoch)
+	}
+	// Output:
+	// d(0,3) = 3 via landmark-target, path [0 1 2 3], epoch 0
 }

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"vicinity/internal/graph"
-	"vicinity/internal/traverse"
 )
 
 // This file implements the one-to-many batch engine. The paper's
@@ -140,28 +140,20 @@ func (o *Oracle) DistanceMany(s uint32, ts []uint32) ([]BatchResult, error) {
 
 // DistanceManyStats is DistanceMany with batch instrumentation written
 // to bst (must be non-nil; tallies are added, so one BatchStats can
-// aggregate several batches).
+// aggregate several batches). It delegates to the request-scoped
+// engine with a zero-override request, so v1 and v2 batches share one
+// implementation.
 func (o *Oracle) DistanceManyStats(s uint32, ts []uint32, bst *BatchStats) ([]BatchResult, error) {
-	res, _, pend, err := o.tableMany(s, ts, bst, false)
+	if ts == nil {
+		ts = []uint32{}
+	}
+	qres, err := o.queryMany(context.Background(), Request{S: s, Ts: ts}, bst)
 	if err != nil {
 		return nil, err
 	}
-	if len(pend) > 0 {
-		var ws *traverse.Workspace
-		if o.opts.Fallback == FallbackExact {
-			ws = o.workspace()
-			defer o.release(ws)
-		}
-		for _, i := range pend {
-			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
-			d, searched := o.fallbackDistanceWS(s, ts[i], &st, ws)
-			if searched {
-				bst.Fallbacks++
-			}
-			bst.Lookups += st.Lookups
-			res[i] = BatchResult{Dist: d, Method: st.Method}
-			bst.note(st.Method)
-		}
+	res := make([]BatchResult, len(qres.Items))
+	for i, it := range qres.Items {
+		res[i] = BatchResult{Dist: it.Dist, Method: it.Method, Err: it.Err}
 	}
 	return res, nil
 }
@@ -175,82 +167,19 @@ func (o *Oracle) PathMany(s uint32, ts []uint32) ([]BatchPathResult, error) {
 	return o.PathManyStats(s, ts, &bst)
 }
 
-// PathManyStats is PathMany with batch instrumentation.
+// PathManyStats is PathMany with batch instrumentation; like
+// DistanceManyStats it delegates to the request-scoped engine.
 func (o *Oracle) PathManyStats(s uint32, ts []uint32, bst *BatchStats) ([]BatchPathResult, error) {
-	res, meets, pend, err := o.tableMany(s, ts, bst, true)
+	if ts == nil {
+		ts = []uint32{}
+	}
+	qres, err := o.queryMany(context.Background(), Request{S: s, Ts: ts, WantPath: true}, bst)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]BatchPathResult, len(ts))
-	pending := make([]bool, len(ts))
-	for _, i := range pend {
-		pending[i] = true
-	}
-	var ws *traverse.Workspace
-	defer func() {
-		if ws != nil {
-			o.release(ws)
-		}
-	}()
-	borrow := func() *traverse.Workspace {
-		if ws == nil {
-			ws = o.workspace()
-		}
-		return ws
-	}
-	for i := range ts {
-		if res[i].Err != nil {
-			out[i].Err = res[i].Err
-			continue
-		}
-		if !pending[i] {
-			// Table-resolved: assemble from stored parent pointers.
-			out[i].Method = res[i].Method
-			if res[i].Dist == NoDist {
-				continue // exact unreachability off a landmark row
-			}
-			st := QueryStats{Method: res[i].Method, Meet: meets[i]}
-			if p, ok := o.assembleTablePath(s, ts[i], &st); ok {
-				out[i].Path = p
-				continue
-			}
-			// Stored chains incomplete: the target re-resolves through
-			// the fallback, so move its tally to the final method.
-			bst.unnote(res[i].Method)
-			if o.opts.Fallback == FallbackNone {
-				out[i] = BatchPathResult{Method: MethodNone}
-				bst.note(MethodNone)
-				continue
-			}
-			bst.Fallbacks++
-			out[i].Path, out[i].Method = o.fallbackPathWS(s, ts[i], &st, borrow())
-			bst.note(out[i].Method)
-			continue
-		}
-		// Unresolved by the tables: mirror Path's slow path, one search.
-		switch o.opts.Fallback {
-		case FallbackExact:
-			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
-			bst.Fallbacks++
-			out[i].Path, out[i].Method = o.fallbackPathWS(s, ts[i], &st, borrow())
-			bst.note(out[i].Method)
-		case FallbackEstimate:
-			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
-			if o.landmarkEstimate(s, ts[i], &st) == NoDist {
-				out[i].Method = MethodNone
-				bst.note(MethodNone)
-				continue
-			}
-			bst.Lookups += st.Lookups
-			out[i].Method = MethodFallbackEstimate
-			bst.note(MethodFallbackEstimate)
-			if p, ok := o.estimatePath(s, ts[i]); ok {
-				out[i].Path = p
-			}
-		default:
-			out[i].Method = MethodNone
-			bst.note(MethodNone)
-		}
+	out := make([]BatchPathResult, len(qres.Items))
+	for i, it := range qres.Items {
+		out[i] = BatchPathResult{Path: it.Path, Method: it.Method, Err: it.Err}
 	}
 	return out, nil
 }
@@ -262,7 +191,7 @@ func (o *Oracle) PathManyStats(s uint32, ts []uint32, bst *BatchStats) ([]BatchP
 func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool) (res []BatchResult, meets, pend []uint32, err error) {
 	n := o.g.NumNodes()
 	if int(s) >= n {
-		return nil, nil, nil, fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)
+		return nil, nil, nil, errRange(n)
 	}
 	bst.Targets += len(ts)
 	res = make([]BatchResult, len(ts))
@@ -284,7 +213,7 @@ func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool
 		if li := o.lidx[s]; o.hasLandmarkTable(li) {
 			for i, t := range ts {
 				if int(t) >= n {
-					res[i] = BatchResult{Dist: NoDist, Err: fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)}
+					res[i] = BatchResult{Dist: NoDist, Err: errRange(n)}
 					bst.Errors++
 					continue
 				}
@@ -318,7 +247,7 @@ func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool
 	// exact order the single-query path applies them.
 	for i, t := range ts {
 		if int(t) >= n {
-			res[i] = BatchResult{Dist: NoDist, Err: fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)}
+			res[i] = BatchResult{Dist: NoDist, Err: errRange(n)}
 			bst.Errors++
 			continue
 		}
@@ -339,13 +268,13 @@ func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool
 			}
 		}
 		if !okS && !o.isL[s] {
-			res[i] = BatchResult{Dist: NoDist, Err: fmt.Errorf("%w: %d", ErrNotCovered, s)}
+			res[i] = BatchResult{Dist: NoDist, Err: errNotCovered(s)}
 			bst.Errors++
 			continue
 		}
 		vt, okT := o.vicinity(t)
 		if !okT && !o.isL[t] {
-			res[i] = BatchResult{Dist: NoDist, Err: fmt.Errorf("%w: %d", ErrNotCovered, t)}
+			res[i] = BatchResult{Dist: NoDist, Err: errNotCovered(t)}
 			bst.Errors++
 			continue
 		}

@@ -195,28 +195,38 @@ func (o *Oracle) fallbackPath(s, t uint32, st *QueryStats) ([]uint32, Method, er
 		return nil, MethodNone, nil
 	}
 	ws := o.workspace()
-	p, m := o.fallbackPathWS(s, t, st, ws)
+	p, _, m, _ := o.fallbackPathWS(s, t, st, ws, traverse.Limits{})
 	o.release(ws)
 	return p, m, nil
 }
 
 // fallbackPathWS is fallbackPath over a caller-owned workspace (the
-// batch engine reuses one across a target list). The caller has already
-// ruled out FallbackNone.
-func (o *Oracle) fallbackPathWS(s, t uint32, st *QueryStats, ws *traverse.Workspace) ([]uint32, Method) {
+// batch engine reuses one across a target list) under lim. The caller
+// has already ruled out FallbackNone. d is the length of the returned
+// path; on an early outcome the path (if any) realizes the best-known
+// upper bound and the method is MethodBudgetBound (MethodNone when the
+// frontiers never met).
+func (o *Oracle) fallbackPathWS(s, t uint32, st *QueryStats, ws *traverse.Workspace, lim traverse.Limits) ([]uint32, uint32, Method, traverse.Outcome) {
 	fallbackSearches.Add(1)
 	var p []uint32
+	var d uint32
+	var out traverse.Outcome
 	if o.g.Weighted() {
-		p = ws.BiDijkstraPath(s, t)
+		p, d, out = ws.BiDijkstraPathLim(s, t, lim)
 	} else {
-		p = ws.BiBFSPath(s, t)
+		p, d, out = ws.BiBFSPathLim(s, t, lim)
+	}
+	st.Expanded += ws.Expanded()
+	if out != traverse.OutcomeDone {
+		st.Method = boundMethod(d)
+		return p, d, st.Method, out
 	}
 	if p == nil {
 		st.Method = MethodUnreachable
-		return nil, MethodUnreachable
+		return nil, NoDist, MethodUnreachable, out
 	}
 	st.Method = MethodFallbackExact
-	return p, MethodFallbackExact
+	return p, d, MethodFallbackExact, out
 }
 
 // PathString formats a path for display, e.g. "0 → 5 → 9".

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -37,11 +36,16 @@ const (
 	MethodFallbackEstimate
 	// MethodUnreachable: s and t are in different components (exact).
 	MethodUnreachable
+	// MethodBudgetBound: a budgeted or canceled fallback search stopped
+	// early; the distance is its best-known upper bound, not
+	// necessarily exact. Only Query produces it (legacy calls never
+	// limit the fallback).
+	MethodBudgetBound
 )
 
 // methodCount is the number of Method values; BatchStats tallies per
 // method in an array indexed by Method.
-const methodCount = int(MethodUnreachable) + 1
+const methodCount = int(MethodBudgetBound) + 1
 
 // String returns a short name for the method.
 func (m Method) String() string {
@@ -66,6 +70,8 @@ func (m Method) String() string {
 		return "fallback-estimate"
 	case MethodUnreachable:
 		return "unreachable"
+	case MethodBudgetBound:
+		return "budget-bound"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -90,18 +96,12 @@ func (m Method) Exact() bool {
 
 // QueryStats instruments a single query, mirroring Table 3's accounting.
 type QueryStats struct {
-	Method  Method
-	Lookups int    // stored-table look-ups performed (hash probes + landmark reads)
-	Scanned int    // boundary members scanned during intersection
-	Meet    uint32 // intersection witness w minimizing d(s,w)+d(w,t); NoNode otherwise
+	Method   Method
+	Lookups  int    // stored-table look-ups performed (hash probes + landmark reads)
+	Scanned  int    // boundary members scanned during intersection
+	Expanded int    // nodes expanded by the fallback search (0 when none ran)
+	Meet     uint32 // intersection witness w minimizing d(s,w)+d(w,t); NoNode otherwise
 }
-
-// ErrNotCovered is returned for queries touching nodes outside the build
-// scope (Options.Nodes).
-var ErrNotCovered = errors.New("core: node outside oracle build scope")
-
-// ErrOutOfRange is returned for queries with node ids >= NumNodes.
-var ErrOutOfRange = errors.New("core: query node out of range")
 
 // Distance returns the distance from s to t and the method that resolved
 // it. For unweighted graphs every non-estimate answer is exact; see the
@@ -138,7 +138,7 @@ func (o *Oracle) DistanceStats(s, t uint32, st *QueryStats) (uint32, error) {
 func (o *Oracle) tableDistance(s, t uint32, st *QueryStats) (uint32, bool, error) {
 	n := o.g.NumNodes()
 	if int(s) >= n || int(t) >= n {
-		return NoDist, false, fmt.Errorf("%w: want [0,%d)", ErrOutOfRange, n)
+		return NoDist, false, errRange(n)
 	}
 	*st = QueryStats{Method: MethodNone, Meet: graph.NoNode}
 	if s == t {
@@ -184,10 +184,10 @@ func (o *Oracle) flatVicDistance(s, t uint32, st *QueryStats) (uint32, bool, err
 	vs, okS := o.flatVicinity(s)
 	vt, okT := o.flatVicinity(t)
 	if !okS && !o.isL[s] {
-		return NoDist, false, fmt.Errorf("%w: %d", ErrNotCovered, s)
+		return NoDist, false, errNotCovered(s)
 	}
 	if !okT && !o.isL[t] {
-		return NoDist, false, fmt.Errorf("%w: %d", ErrNotCovered, t)
+		return NoDist, false, errNotCovered(t)
 	}
 	if okS {
 		st.Lookups++
@@ -242,10 +242,10 @@ func (o *Oracle) altVicDistance(s, t uint32, st *QueryStats) (uint32, bool, erro
 	vs, okS := o.vicAlt[s], o.vicAlt[s] != nil
 	vt, okT := o.vicAlt[t], o.vicAlt[t] != nil
 	if !okS && !o.isL[s] {
-		return NoDist, false, fmt.Errorf("%w: %d", ErrNotCovered, s)
+		return NoDist, false, errNotCovered(s)
 	}
 	if !okT && !o.isL[t] {
-		return NoDist, false, fmt.Errorf("%w: %d", ErrNotCovered, t)
+		return NoDist, false, errNotCovered(t)
 	}
 	if okS {
 		st.Lookups++
@@ -298,43 +298,61 @@ var fallbackSearches atomic.Int64
 func (o *Oracle) fallbackDistance(s, t uint32, st *QueryStats) (uint32, error) {
 	if o.opts.Fallback == FallbackExact {
 		ws := o.workspace()
-		d, _ := o.fallbackDistanceWS(s, t, st, ws)
+		d, _, _ := o.fallbackDistanceWS(s, t, st, ws, o.opts.Fallback, traverse.Limits{})
 		o.release(ws)
 		return d, nil
 	}
-	d, _ := o.fallbackDistanceWS(s, t, st, nil)
+	d, _, _ := o.fallbackDistanceWS(s, t, st, nil, o.opts.Fallback, traverse.Limits{})
 	return d, nil
 }
 
-// fallbackDistanceWS is fallbackDistance over a caller-owned search
-// workspace (required for FallbackExact, ignored otherwise), letting
-// the batch engine reuse one workspace across a whole target list.
-// searched reports whether a bidirectional search actually ran.
-func (o *Oracle) fallbackDistanceWS(s, t uint32, st *QueryStats, ws *traverse.Workspace) (uint32, bool) {
-	switch o.opts.Fallback {
+// fallbackDistanceWS resolves an unresolved query under the given
+// fallback mode over a caller-owned search workspace (required for
+// FallbackExact, ignored otherwise), letting the batch engine reuse one
+// workspace across a whole target list. searched reports whether a
+// bidirectional search actually ran; out is its outcome under lim (the
+// legacy calls pass no limits, so they always see OutcomeDone). On an
+// early outcome the distance is the search's best-known upper bound
+// (NoDist if none) and st.Method is MethodBudgetBound or MethodNone.
+func (o *Oracle) fallbackDistanceWS(s, t uint32, st *QueryStats, ws *traverse.Workspace, fb Fallback, lim traverse.Limits) (uint32, bool, traverse.Outcome) {
+	switch fb {
 	case FallbackExact:
 		fallbackSearches.Add(1)
 		var d uint32
+		var out traverse.Outcome
 		if o.g.Weighted() {
-			d = ws.BiDijkstraDist(s, t)
+			d, out = ws.BiDijkstraDistLim(s, t, lim)
 		} else {
-			d = ws.BiBFSDist(s, t)
+			d, out = ws.BiBFSDistLim(s, t, lim)
 		}
-		if d == NoDist {
+		st.Expanded += ws.Expanded()
+		switch {
+		case out != traverse.OutcomeDone:
+			st.Method = boundMethod(d)
+		case d == NoDist:
 			st.Method = MethodUnreachable
-		} else {
+		default:
 			st.Method = MethodFallbackExact
 		}
-		return d, true
+		return d, true, out
 	case FallbackEstimate:
 		d := o.landmarkEstimate(s, t, st)
 		if d != NoDist {
 			st.Method = MethodFallbackEstimate
 		}
-		return d, false
+		return d, false, traverse.OutcomeDone
 	default:
-		return NoDist, false // MethodNone
+		return NoDist, false, traverse.OutcomeDone // MethodNone
 	}
+}
+
+// boundMethod labels the result of an early-stopped search: a found
+// crossing is a usable upper bound, no crossing means no answer.
+func boundMethod(d uint32) Method {
+	if d == NoDist {
+		return MethodNone
+	}
+	return MethodBudgetBound
 }
 
 // landmarkEstimate returns the triangulation upper bound

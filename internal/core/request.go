@@ -1,0 +1,519 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
+)
+
+// This file implements the request-scoped query API (v2). The paper's
+// premise is interactive serving — answers "within tens of
+// microseconds" behind a user-facing product — and production serving
+// needs a notion of a request, not just a pair of node ids: deadlines
+// that are honored inside the slow path, per-query fallback policy (a
+// client ranking 100 candidates can afford the landmark estimate of the
+// sequel paper, an exact-path client cannot), node budgets bounding the
+// ~1% of queries that miss the tables, and machine-readable errors at
+// every layer.
+//
+// Query(ctx, Request) is the one entry point all of that flows through.
+// The legacy calls (Distance, Path, DistanceMany, PathMany) answer
+// exactly like a default-policy Request — property-tested bit-identical
+// — and the public vicinity package implements them as thin wrappers
+// over Query.
+
+// Policy selects per-request fallback handling, overriding the oracle's
+// build-time Options.Fallback for one query.
+type Policy uint8
+
+const (
+	// PolicyDefault uses the oracle's build-time fallback.
+	PolicyDefault Policy = iota
+	// PolicyFull answers unresolved queries with the exact
+	// bidirectional search (bounded by Request.Budget and ctx).
+	PolicyFull
+	// PolicyEstimate answers unresolved queries with the landmark
+	// triangulation upper bound (no search; microseconds).
+	PolicyEstimate
+	// PolicyTableOnly answers from the stored tables only; unresolved
+	// queries report MethodNone.
+	PolicyTableOnly
+)
+
+// String returns the policy name (the same spelling ParsePolicy
+// accepts).
+func (p Policy) String() string {
+	switch p {
+	case PolicyDefault:
+		return "default"
+	case PolicyFull:
+		return "full"
+	case PolicyEstimate:
+		return "estimate"
+	case PolicyTableOnly:
+		return "table"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy name as accepted by CLI flags and the
+// HTTP API: "default" (or empty), "full", "estimate", "table".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "default":
+		return PolicyDefault, nil
+	case "full":
+		return PolicyFull, nil
+	case "estimate":
+		return PolicyEstimate, nil
+	case "table", "table-only":
+		return PolicyTableOnly, nil
+	default:
+		return PolicyDefault, fmt.Errorf("core: unknown policy %q (want default|full|estimate|table)", s)
+	}
+}
+
+// effectiveFallback resolves a per-request policy against the
+// build-time default.
+func (o *Oracle) effectiveFallback(p Policy) Fallback {
+	switch p {
+	case PolicyFull:
+		return FallbackExact
+	case PolicyEstimate:
+		return FallbackEstimate
+	case PolicyTableOnly:
+		return FallbackNone
+	default:
+		return o.opts.Fallback
+	}
+}
+
+// Request describes one request-scoped query: a source, one target (T)
+// or many (Ts), and per-request overrides. The zero value of every
+// override reproduces the legacy behavior exactly.
+type Request struct {
+	// S is the source node.
+	S uint32
+	// T is the single target; ignored when Ts is non-nil.
+	T uint32
+	// Ts, when non-nil, makes this a one-to-many request (the batch
+	// engine's ranking shape); answers land in Result.Items in target
+	// order.
+	Ts []uint32
+
+	// Policy overrides the fallback for this request only.
+	Policy Policy
+	// Budget caps the node expansions of each fallback search run for
+	// this request (0 = unlimited). An exhausted search still reports
+	// its best-known upper bound — see ErrBudgetExceeded.
+	Budget int
+	// WantPath asks for the path(s); with it set, Method reports how
+	// the path was resolved, mirroring the legacy Path calls.
+	WantPath bool
+	// WantStats asks the serving layers to report Result.Cost back to
+	// the client; the in-process engine fills Cost regardless.
+	WantStats bool
+}
+
+// Cost aggregates the work one Query performed — the request-scoped
+// analogue of QueryStats/BatchStats, and what the serving layers export
+// per query.
+type Cost struct {
+	Lookups   int // stored-table look-ups (probes + landmark reads + members checked)
+	Scanned   int // vicinity/boundary members examined by scan passes
+	Expanded  int // nodes expanded by fallback searches
+	Fallbacks int // bidirectional searches run
+}
+
+// ItemResult is one target's answer in a one-to-many Result. Err is
+// non-nil for per-target failures (wrapping the error taxonomy:
+// ErrNodeRange, ErrNotCovered, ErrBudgetExceeded, ErrCanceled) and
+// leaves the other targets unaffected.
+type ItemResult struct {
+	Dist   uint32
+	Method Method
+	Path   []uint32
+	Err    error
+}
+
+// Result carries the answer(s) of one Query. Single-target requests
+// fill Dist/Method/Path; one-to-many requests fill Items. Epoch
+// identifies the oracle snapshot that answered (0 = as built or loaded,
+// incremented by every applied update batch), letting callers correlate
+// answers with concurrent dynamic updates.
+type Result struct {
+	Dist   uint32
+	Method Method
+	Path   []uint32
+
+	Items []ItemResult
+
+	Epoch uint64
+	Cost  Cost
+}
+
+// Epoch returns this snapshot's position in its update lineage: 0 as
+// built or loaded, +1 per applied update batch. Queries answered by
+// this snapshot report it in Result.Epoch.
+func (o *Oracle) Epoch() uint64 { return o.gen }
+
+// ctxDone returns the context's cancellation channel (nil contexts and
+// context.Background cost nothing: a nil channel is never ready).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// ctxErr returns the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Query answers one request-scoped query. With a zero-override Request
+// (default policy, no budget) the answer — distance, method, path, and
+// error — is bit-identical to the legacy Distance/Path/DistanceMany/
+// PathMany calls (property-tested), so Query is a strict superset of
+// the v1 surface.
+//
+// Cancellation and deadlines are honored inside the fallback search
+// loop (polled every few dozen node expansions), not just between
+// queries; table-resolved answers are so cheap (microseconds, zero
+// allocations) that they always complete and never fail with
+// ErrCanceled. When the budget runs out or the context fires
+// mid-search, the Result still carries the best-known upper bound on
+// the distance (Method MethodBudgetBound) together with an error
+// wrapping ErrBudgetExceeded or ErrCanceled; for one-to-many requests
+// budget errors are per-item (other targets are unaffected) while
+// cancellation also returns a top-level error alongside the partial
+// Items.
+//
+// All answers of one call read a single oracle snapshot, identified by
+// Result.Epoch.
+func (o *Oracle) Query(ctx context.Context, req Request) (Result, error) {
+	if req.Ts != nil {
+		var bst BatchStats
+		return o.queryMany(ctx, req, &bst)
+	}
+	res := Result{Dist: NoDist, Epoch: o.gen}
+	var st QueryStats
+	d, resolved, err := o.tableDistance(req.S, req.T, &st)
+	if err != nil {
+		res.Method = st.Method
+		addCost(&res, &st)
+		return res, err
+	}
+	eff := o.effectiveFallback(req.Policy)
+	if resolved {
+		res.Dist, res.Method = d, st.Method
+		if req.WantPath && d != NoDist {
+			if p, ok := o.assembleTablePath(req.S, req.T, &st); ok {
+				res.Path = p
+			} else if eff == FallbackNone {
+				// Stored chains incomplete (path data disabled or a
+				// repaired parent missing) and no fallback allowed:
+				// mirror Path's (nil, MethodNone) while keeping the
+				// table-resolved distance.
+				res.Method = MethodNone
+			} else {
+				// One limited search re-resolves the path (the legacy
+				// chain-failure semantics run the exact search even
+				// under the estimate fallback). If the limited search
+				// is cut off without beating the table-resolved
+				// distance, keep the exact answer — a budget must
+				// degrade the path, never the distance.
+				tm := st.Method
+				err = o.searchPath(ctx, req, &st, &res)
+				if err != nil && res.Dist >= d {
+					res.Dist, res.Method, res.Path = d, tm, nil
+				}
+			}
+		}
+		addCost(&res, &st)
+		return res, err
+	}
+
+	switch eff {
+	case FallbackExact:
+		if req.WantPath {
+			err = o.searchPath(ctx, req, &st, &res)
+		} else {
+			err = o.searchDist(ctx, req, &st, &res)
+		}
+	case FallbackEstimate:
+		d := o.landmarkEstimate(req.S, req.T, &st)
+		if d != NoDist {
+			st.Method = MethodFallbackEstimate
+			res.Dist = d
+			if req.WantPath {
+				if p, ok := o.estimatePath(req.S, req.T); ok {
+					res.Path = p
+				}
+			}
+		}
+		res.Method = st.Method
+	default: // FallbackNone
+		res.Method = MethodNone
+	}
+	addCost(&res, &st)
+	return res, err
+}
+
+// searchDist runs the limited exact fallback for a single-target
+// distance request, mapping early outcomes to the error taxonomy.
+func (o *Oracle) searchDist(ctx context.Context, req Request, st *QueryStats, res *Result) error {
+	if cerr := ctxErr(ctx); cerr != nil {
+		res.Method = MethodNone
+		return errCanceled(cerr)
+	}
+	lim := traverse.Limits{NodeBudget: req.Budget, Done: ctxDone(ctx)}
+	ws := o.workspace()
+	d, _, out := o.fallbackDistanceWS(req.S, req.T, st, ws, FallbackExact, lim)
+	o.release(ws)
+	res.Cost.Fallbacks++
+	res.Dist, res.Method = d, st.Method
+	switch out {
+	case traverse.OutcomeBudget:
+		return errBudget(req.Budget)
+	case traverse.OutcomeStopped:
+		return errCanceled(ctxErr(ctx))
+	default:
+		return nil
+	}
+}
+
+// searchPath is searchDist for path requests; on early outcomes the
+// returned path (if any) is a real path realizing the reported bound.
+func (o *Oracle) searchPath(ctx context.Context, req Request, st *QueryStats, res *Result) error {
+	if cerr := ctxErr(ctx); cerr != nil {
+		res.Method = MethodNone
+		res.Path = nil
+		return errCanceled(cerr)
+	}
+	lim := traverse.Limits{NodeBudget: req.Budget, Done: ctxDone(ctx)}
+	ws := o.workspace()
+	p, d, m, out := o.fallbackPathWS(req.S, req.T, st, ws, lim)
+	o.release(ws)
+	res.Cost.Fallbacks++
+	res.Path, res.Method = p, m
+	if m != MethodNone {
+		res.Dist = d
+	}
+	switch out {
+	case traverse.OutcomeBudget:
+		return errBudget(req.Budget)
+	case traverse.OutcomeStopped:
+		return errCanceled(ctxErr(ctx))
+	default:
+		return nil
+	}
+}
+
+// addCost folds one target's QueryStats into the request cost.
+func addCost(res *Result, st *QueryStats) {
+	res.Cost.Lookups += st.Lookups
+	res.Cost.Scanned += st.Scanned
+	res.Cost.Expanded += st.Expanded
+}
+
+// queryMany is the one-to-many engine: one table pass (tableMany), one
+// pooled search workspace, the request's policy/budget/cancellation
+// applied to every fallback search. It is the only batch engine — the
+// legacy DistanceManyStats/PathManyStats delegate here with a
+// zero-override request — so batch semantics can never diverge between
+// the v1 and v2 surfaces. Tallies are added to bst (callers may
+// aggregate several batches in one BatchStats); Result.Cost reports
+// only this call's work. The returned error is non-nil only when s
+// itself is out of range (legacy contract) or the request was
+// canceled; per-target failures live in Items[i].Err.
+func (o *Oracle) queryMany(ctx context.Context, req Request, bst *BatchStats) (Result, error) {
+	res := Result{Dist: NoDist, Epoch: o.gen}
+	eff := o.effectiveFallback(req.Policy)
+	base := *bst // aggregate counters at entry; Cost reports the delta
+	tRes, meets, pend, err := o.tableMany(req.S, req.Ts, bst, req.WantPath)
+	if err != nil {
+		return res, err
+	}
+	items := make([]ItemResult, len(req.Ts))
+	lim := traverse.Limits{NodeBudget: req.Budget, Done: ctxDone(ctx)}
+
+	// canceled, once set, short-circuits every remaining fallback
+	// search; table-resolved targets are already answered and stay.
+	var canceled error
+	checkCtx := func() error {
+		if canceled == nil {
+			if cerr := ctxErr(ctx); cerr != nil {
+				canceled = errCanceled(cerr)
+			}
+		}
+		return canceled
+	}
+
+	if !req.WantPath {
+		for i, r := range tRes {
+			items[i] = ItemResult{Dist: r.Dist, Method: r.Method, Err: r.Err}
+		}
+		if len(pend) > 0 {
+			var ws *traverse.Workspace
+			if eff == FallbackExact {
+				ws = o.workspace()
+				defer o.release(ws)
+			}
+			for _, i := range pend {
+				t := req.Ts[i]
+				st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
+				if eff == FallbackExact && checkCtx() != nil {
+					items[i] = ItemResult{Dist: NoDist, Method: MethodNone, Err: canceled}
+					bst.note(MethodNone)
+					continue
+				}
+				d, searched, out := o.fallbackDistanceWS(req.S, t, &st, ws, eff, lim)
+				if searched {
+					bst.Fallbacks++
+				}
+				bst.Lookups += st.Lookups
+				res.Cost.Expanded += st.Expanded
+				it := ItemResult{Dist: d, Method: st.Method}
+				switch out {
+				case traverse.OutcomeBudget:
+					it.Err = errBudget(req.Budget)
+				case traverse.OutcomeStopped:
+					checkCtx()
+					if canceled == nil {
+						canceled = errCanceled(nil)
+					}
+					it.Err = canceled
+				}
+				items[i] = it
+				bst.note(st.Method)
+			}
+		}
+		res.Items = items
+		res.Cost.Lookups += bst.Lookups - base.Lookups
+		res.Cost.Scanned += bst.Scanned - base.Scanned
+		res.Cost.Fallbacks += bst.Fallbacks - base.Fallbacks
+		return res, canceled
+	}
+
+	// Path variant: mirror PathManyStats's assembly loop.
+	pending := make([]bool, len(req.Ts))
+	for _, i := range pend {
+		pending[i] = true
+	}
+	var ws *traverse.Workspace
+	defer func() {
+		if ws != nil {
+			o.release(ws)
+		}
+	}()
+	borrow := func() *traverse.Workspace {
+		if ws == nil {
+			ws = o.workspace()
+		}
+		return ws
+	}
+	runPath := func(i int, st *QueryStats) {
+		t := req.Ts[i]
+		if checkCtx() != nil {
+			items[i].Err = canceled
+			items[i].Method = MethodNone
+			items[i].Path = nil
+			bst.note(MethodNone)
+			return
+		}
+		bst.Fallbacks++
+		p, d, m, out := o.fallbackPathWS(req.S, t, st, borrow(), lim)
+		res.Cost.Expanded += st.Expanded
+		items[i].Path, items[i].Method = p, m
+		if m != MethodNone {
+			items[i].Dist = d
+		}
+		switch out {
+		case traverse.OutcomeBudget:
+			items[i].Err = errBudget(req.Budget)
+		case traverse.OutcomeStopped:
+			checkCtx()
+			if canceled == nil {
+				canceled = errCanceled(nil)
+			}
+			items[i].Err = canceled
+		}
+		bst.note(m)
+	}
+	for i := range req.Ts {
+		r := tRes[i]
+		items[i].Dist = NoDist
+		if r.Err != nil {
+			items[i].Err = r.Err
+			items[i].Method = r.Method
+			continue
+		}
+		if !pending[i] {
+			// Table-resolved: assemble from stored parent pointers.
+			items[i].Dist = r.Dist
+			items[i].Method = r.Method
+			if r.Dist == NoDist {
+				continue // exact unreachability off a landmark row
+			}
+			st := QueryStats{Method: r.Method, Meet: meets[i]}
+			if p, ok := o.assembleTablePath(req.S, req.Ts[i], &st); ok {
+				items[i].Path = p
+				continue
+			}
+			// Stored chains incomplete: re-resolve through the fallback
+			// (mirroring PathMany, the exact search runs even under the
+			// estimate fallback); the tally moves to the final method.
+			bst.unnote(r.Method)
+			if eff == FallbackNone {
+				items[i].Method = MethodNone
+				bst.note(MethodNone)
+				continue
+			}
+			runPath(i, &st)
+			if items[i].Err != nil && (items[i].Dist == NoDist || items[i].Dist >= r.Dist) {
+				// Cut off without beating the table-resolved distance:
+				// keep the exact answer (path degraded, distance not).
+				bst.unnote(items[i].Method)
+				items[i].Dist, items[i].Method, items[i].Path = r.Dist, r.Method, nil
+				bst.note(r.Method)
+			}
+			continue
+		}
+		// Unresolved by the tables.
+		switch eff {
+		case FallbackExact:
+			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
+			runPath(i, &st)
+		case FallbackEstimate:
+			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
+			d := o.landmarkEstimate(req.S, req.Ts[i], &st)
+			if d == NoDist {
+				items[i].Method = MethodNone
+				bst.note(MethodNone)
+				continue
+			}
+			bst.Lookups += st.Lookups
+			items[i].Dist = d
+			items[i].Method = MethodFallbackEstimate
+			bst.note(MethodFallbackEstimate)
+			if p, ok := o.estimatePath(req.S, req.Ts[i]); ok {
+				items[i].Path = p
+			}
+		default:
+			items[i].Method = MethodNone
+			bst.note(MethodNone)
+		}
+	}
+	res.Items = items
+	res.Cost.Lookups += bst.Lookups - base.Lookups
+	res.Cost.Scanned += bst.Scanned - base.Scanned
+	res.Cost.Fallbacks += bst.Fallbacks - base.Fallbacks
+	return res, canceled
+}

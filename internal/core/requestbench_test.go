@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vicinity/internal/gen"
+	"vicinity/internal/xrand"
+)
+
+// TestQueryResolvedZeroAlloc is the hot-path allocation gate required
+// by the v2 redesign: a table-resolved Query (the ~99% case) must not
+// allocate — same contract the legacy DistanceStats path has always
+// had. testing.AllocsPerRun enforces it as a test, not just a
+// benchmark eyeball.
+func TestQueryResolvedZeroAlloc(t *testing.T) {
+	g := socialGraph(21, 2000)
+	o := mustBuild(t, g, Options{Seed: 21})
+	ctx := context.Background()
+
+	// Collect table-resolved pairs across the cheap methods and the
+	// boundary-scan path.
+	r := xrand.New(4)
+	var pairs [][2]uint32
+	for len(pairs) < 64 {
+		s, u := r.Uint32n(2000), r.Uint32n(2000)
+		if _, m, _ := o.Distance(s, u); m.Resolved() {
+			pairs = append(pairs, [2]uint32{s, u})
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		res, err := o.Query(ctx, Request{S: p[0], T: p[1]})
+		if err != nil || !res.Method.Resolved() {
+			t.Fatalf("pair %v stopped resolving: %v %v", p, res.Method, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("table-resolved Query allocates %.1f per op, want 0", allocs)
+	}
+
+	// The same gate under a real deadline context: carrying ctx must
+	// not cost allocations on the resolved path either.
+	dctx, cancel := context.WithTimeout(ctx, 1e9)
+	defer cancel()
+	allocs = testing.AllocsPerRun(500, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		if _, err := o.Query(dctx, Request{S: p[0], T: p[1]}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("table-resolved Query with deadline ctx allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// benchHardOracle builds the 2×5000 grid: corner queries expand ~10k
+// nodes in the bidirectional fallback, the shape of the unbounded tail
+// the budget exists to cut.
+func benchHardOracle(b *testing.B) (*Oracle, uint32, uint32) {
+	b.Helper()
+	g := gen.Grid(2, 5000)
+	o, err := Build(g, Options{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o, 0, uint32(g.NumNodes() - 1)
+}
+
+// BenchmarkQueryResolved is the v2 image of the hot-path query
+// benchmark: mixed table-resolved pairs through Query.
+func BenchmarkQueryResolved(b *testing.B) {
+	g := socialGraph(21, 2000)
+	o, err := Build(g, Options{Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	r := xrand.New(4)
+	var pairs [][2]uint32
+	for len(pairs) < 256 {
+		s, u := r.Uint32n(2000), r.Uint32n(2000)
+		if _, m, _ := o.Distance(s, u); m.Resolved() {
+			pairs = append(pairs, [2]uint32{s, u})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&255]
+		if _, err := o.Query(ctx, Request{S: p[0], T: p[1]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFallbackUnbounded measures the unbounded bidirectional
+// fallback on the hard pair — the latency tail a deadline-bound serving
+// stack cannot tolerate.
+func BenchmarkFallbackUnbounded(b *testing.B) {
+	o, s, u := benchHardOracle(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := o.Query(ctx, Request{S: s, T: u})
+		if err != nil || res.Method != MethodFallbackExact {
+			b.Fatalf("(%v, %v)", res.Method, err)
+		}
+	}
+}
+
+// BenchmarkFallbackBudgeted is the same query under a 256-node budget:
+// bounded work, an upper bound (or typed miss) instead of an unbounded
+// search. The ratio to BenchmarkFallbackUnbounded is the acceptance
+// number for the budget mechanism.
+func BenchmarkFallbackBudgeted(b *testing.B) {
+	o, s, u := benchHardOracle(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := o.Query(ctx, Request{S: s, T: u, Budget: 256})
+		if !errors.Is(err, ErrBudgetExceeded) {
+			b.Fatalf("budget did not bind: %v", err)
+		}
+	}
+}
+
+// BenchmarkFallbackCanceled measures an already-expired deadline: the
+// slow path must refuse in nanoseconds, not run the search.
+func BenchmarkFallbackCanceled(b *testing.B) {
+	o, s, u := benchHardOracle(b)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := o.Query(ctx, Request{S: s, T: u})
+		if !errors.Is(err, ErrCanceled) {
+			b.Fatalf("expired ctx answered: %v", err)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"vicinity/internal/core"
 	"vicinity/internal/wire"
 )
 
@@ -81,31 +82,121 @@ func (c *Client) Close() error {
 // ErrClosed is returned for requests on a closed client.
 var ErrClosed = errors.New("qclient: client is closed")
 
+// deadlineGrace is how long past the context deadline the client keeps
+// listening for the server's typed cancellation reply (deadline
+// truncation + one round trip, with margin).
+const deadlineGrace = time.Second
+
+// codeError maps a wire error code back to the oracle's error taxonomy,
+// so errors.Is(err, core.ErrBudgetExceeded) etc. work across the
+// network exactly as in-process. Codes without a taxonomy sentinel
+// return nil (the caller falls back to the raw wire error).
+func codeError(code uint16) error {
+	switch code {
+	case wire.CodeOutOfRange:
+		return core.ErrNodeRange
+	case wire.CodeNotCovered:
+		return core.ErrNotCovered
+	case wire.CodeBudget:
+		return core.ErrBudgetExceeded
+	case wire.CodeCanceled:
+		return core.ErrCanceled
+	case wire.CodeStale:
+		return core.ErrStaleSnapshot
+	default:
+		return nil
+	}
+}
+
+// typedError wraps a server error response so both the taxonomy
+// sentinel (errors.Is) and the raw *wire.ErrorResponse (errors.As)
+// remain reachable.
+func typedError(e *wire.ErrorResponse) error {
+	if sentinel := codeError(e.Code); sentinel != nil {
+		return fmt.Errorf("qclient: %w: %w", sentinel, e)
+	}
+	return fmt.Errorf("qclient: %w", e)
+}
+
 // roundTrip sends req and reads one response under the request timeout.
 func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
+	return c.roundTripCtx(context.Background(), req)
+}
+
+// roundTripCtx is roundTrip with the connection deadline tightened to
+// the context's deadline when that is sooner. Cancellation without a
+// deadline is honored between requests only — the server owns
+// mid-query cancellation via the DeadlineMS frame field.
+func (c *Client) roundTripCtx(ctx context.Context, req wire.Message) (wire.Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, ErrClosed
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qclient: %w: %w", core.ErrCanceled, err)
+	}
 	deadline := time.Now().Add(c.opts.RequestTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		// An explicit context deadline overrides RequestTimeout in both
+		// directions: the server enforces it inside the query (it rides
+		// the frame as DeadlineMS) and then sends a typed reply carrying
+		// the best-known bound. Its timer starts at frame receipt, so
+		// the reply lands shortly *after* our deadline plus a network
+		// round trip — keep listening for that grace window rather than
+		// losing the degraded answer to a client i/o timeout (or, for
+		// deadlines beyond RequestTimeout, abandoning a reply the server
+		// was explicitly told it had time to produce). The wait is
+		// capped at the protocol's deadline window: DeadlineMS is
+		// clamped to wire.MaxDeadlineMS on send, so waiting longer than
+		// that only risks blocking on a dead server.
+		deadline = d.Add(deadlineGrace)
+		if cap := time.Now().Add(wire.MaxDeadlineMS*time.Millisecond + deadlineGrace); deadline.After(cap) {
+			deadline = cap
+		}
+	}
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
 	if err := wire.WriteMessage(c.bw, req); err != nil {
+		c.closeLocked()
 		return nil, fmt.Errorf("qclient: write: %w", err)
 	}
 	if err := c.bw.Flush(); err != nil {
+		c.closeLocked()
 		return nil, fmt.Errorf("qclient: flush: %w", err)
 	}
 	resp, err := wire.ReadMessage(c.br)
 	if err != nil {
+		// The protocol has no request ids: after a failed or timed-out
+		// read the server's reply may still arrive later and would be
+		// mistaken for the answer to the *next* request. Close the
+		// connection so a desynced stream can never serve stale
+		// answers.
+		c.closeLocked()
 		return nil, fmt.Errorf("qclient: read: %w", err)
 	}
 	if e, ok := resp.(*wire.ErrorResponse); ok {
-		return nil, e
+		return nil, typedError(e)
 	}
 	return resp, nil
+}
+
+// closeLocked tears down the connection (caller holds c.mu).
+func (c *Client) closeLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Alive reports whether the client still holds a live connection (the
+// desync guard tears connections down after i/o failures; Pool uses
+// this to redial instead of recycling dead clients).
+func (c *Client) Alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn != nil
 }
 
 // Distance asks for the distance between s and t. It returns the
@@ -154,10 +245,129 @@ func (c *Client) Batch(s uint32, ts []uint32) ([]BatchItem, error) {
 	for i, it := range br.Items {
 		items[i] = BatchItem{Dist: it.Dist, Method: it.Method}
 		if it.Code != 0 {
-			items[i].Err = &wire.ErrorResponse{Code: it.Code, Message: "per-target query failed"}
+			items[i].Err = typedError(&wire.ErrorResponse{Code: it.Code, Message: "per-target query failed"})
 		}
 	}
 	return items, nil
+}
+
+// QuerySpec describes one v2 request-scoped query. The zero overrides
+// reproduce the legacy calls; the context passed to Query supplies the
+// deadline (sent to the server as a relative deadline and enforced
+// inside its fallback search loop).
+type QuerySpec struct {
+	S uint32
+	// T is the single target; ignored when Ts is non-nil.
+	T uint32
+	// Ts, when non-nil, makes this a one-to-many request.
+	Ts []uint32
+	// Policy overrides the fallback for this request
+	// (core.PolicyDefault/Full/Estimate/TableOnly).
+	Policy core.Policy
+	// Budget caps each fallback search's node expansions (0 = none).
+	Budget int
+	// WantPath asks for the path(s); WantStats for the cost counters.
+	WantPath  bool
+	WantStats bool
+}
+
+// QueryItem is one target's answer in a QueryResult. Err wraps the
+// error taxonomy (core.ErrBudgetExceeded, core.ErrCanceled, ...); for
+// budget/cancel outcomes Dist still carries the server's best-known
+// upper bound.
+type QueryItem struct {
+	Dist   uint32
+	Method uint8
+	Path   []uint32
+	Err    error
+}
+
+// QueryResult is the v2 response: one item per target (exactly one for
+// single-target requests), the answering snapshot's epoch, and — when
+// QuerySpec.WantStats was set — the per-request cost counters.
+type QueryResult struct {
+	Items []QueryItem
+	Epoch uint64
+	Cost  core.Cost
+}
+
+// Query sends one v2 request-scoped query. The context deadline (if
+// any) rides the frame as a relative deadline-ms so the server can
+// honor it inside the query; budget and cancellation outcomes come
+// back as per-item errors wrapping the same sentinels the in-process
+// API returns. A single-target request reports query errors on the
+// lone item, not as a call error.
+func (c *Client) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error) {
+	if len(spec.Ts) > wire.MaxBatchTargets {
+		return nil, fmt.Errorf("qclient: query of %d targets exceeds the %d cap", len(spec.Ts), wire.MaxBatchTargets)
+	}
+	if spec.Budget < 0 {
+		// ClampU32 would silently turn a negative budget into "no
+		// budget" — the most expensive interpretation of invalid input;
+		// refuse it like the HTTP handler and the CLI do.
+		return nil, fmt.Errorf("qclient: negative budget %d", spec.Budget)
+	}
+	req := &wire.QueryRequest{
+		S:      spec.S,
+		T:      spec.T,
+		Budget: wire.ClampU32(spec.Budget),
+		Policy: uint8(spec.Policy),
+	}
+	if spec.WantPath {
+		req.Flags |= wire.QueryWantPath
+	}
+	if spec.WantStats {
+		req.Flags |= wire.QueryWantStats
+	}
+	if spec.Ts != nil {
+		req.Flags |= wire.QueryMany
+		req.Ts = spec.Ts
+	}
+	if d, ok := ctx.Deadline(); ok {
+		ms := time.Until(d).Milliseconds()
+		if ms < 1 {
+			ms = 1 // already (nearly) expired: let the server refuse it
+		}
+		if ms > wire.MaxDeadlineMS {
+			// Beyond the protocol cap a deadline is indistinguishable
+			// from none; clamp rather than have the server reject a
+			// query an ordinary long-lived context would carry.
+			ms = wire.MaxDeadlineMS
+		}
+		req.DeadlineMS = wire.ClampU32(int(ms))
+	}
+	resp, err := c.roundTripCtx(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	qr, ok := resp.(*wire.QueryResponse)
+	if !ok {
+		return nil, fmt.Errorf("qclient: unexpected response %v", resp.WireType())
+	}
+	want := 1
+	if spec.Ts != nil {
+		want = len(spec.Ts)
+	}
+	if len(qr.Items) != want {
+		return nil, fmt.Errorf("qclient: query returned %d items for %d targets", len(qr.Items), want)
+	}
+	out := &QueryResult{
+		Items: make([]QueryItem, len(qr.Items)),
+		Epoch: qr.Epoch,
+		Cost: core.Cost{
+			Lookups:   int(qr.Lookups),
+			Scanned:   int(qr.Scanned),
+			Expanded:  int(qr.Expanded),
+			Fallbacks: int(qr.Fallbacks),
+		},
+	}
+	for i, it := range qr.Items {
+		out.Items[i] = QueryItem{Dist: it.Dist, Method: it.Method, Path: it.Path}
+		if it.Code != 0 {
+			out.Items[i].Err = typedError(&wire.ErrorResponse{Code: it.Code, Message: "query failed"})
+		}
+	}
+	return out, nil
 }
 
 // Path asks for a shortest path between s and t (nil if none).
@@ -204,10 +414,18 @@ func (c *Client) Ping() (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// Pool is a fixed-size pool of clients for concurrent callers.
+// Pool is a fixed-size pool of clients for concurrent callers. A
+// pooled client whose connection died (the desync guard closes on any
+// i/o failure) is transparently redialed at the next borrow, so one
+// transient timeout degrades a single request instead of permanently
+// shrinking the pool.
 type Pool struct {
+	addr    string
+	opts    Options
 	clients chan *Client
-	all     []*Client
+
+	mu  sync.Mutex
+	all []*Client
 }
 
 // NewPool dials size connections to addr.
@@ -215,7 +433,7 @@ func NewPool(addr string, size int, opts Options) (*Pool, error) {
 	if size < 1 {
 		size = 1
 	}
-	p := &Pool{clients: make(chan *Client, size)}
+	p := &Pool{addr: addr, opts: opts, clients: make(chan *Client, size)}
 	for i := 0; i < size; i++ {
 		c, err := Dial(addr, opts)
 		if err != nil {
@@ -228,42 +446,86 @@ func NewPool(addr string, size int, opts Options) (*Pool, error) {
 	return p, nil
 }
 
+// borrow takes a client, redialing a dead one. On redial failure the
+// dead client goes back to the pool — its slot stays usable for the
+// next attempt — and the dial error is reported. A cancellation while
+// waiting reports through the taxonomy (errors.Is core.ErrCanceled).
+func (p *Pool) borrow(ctx context.Context) (*Client, error) {
+	select {
+	case c := <-p.clients:
+		if c.Alive() {
+			return c, nil
+		}
+		nc, err := Dial(p.addr, p.opts)
+		if err != nil {
+			p.clients <- c
+			return nil, err
+		}
+		// Replace the dead entry so p.all stays bounded at the pool
+		// size no matter how much connection churn the redials absorb.
+		p.mu.Lock()
+		for i, old := range p.all {
+			if old == c {
+				p.all[i] = nc
+				break
+			}
+		}
+		p.mu.Unlock()
+		return nc, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("qclient: %w: %w", core.ErrCanceled, ctx.Err())
+	}
+}
+
+// release returns a client to the pool.
+func (p *Pool) release(c *Client) { p.clients <- c }
+
 // Distance borrows a client for one distance query. ctx bounds the wait
 // for a free connection (the request itself uses the client timeout).
 func (p *Pool) Distance(ctx context.Context, s, t uint32) (uint32, uint8, error) {
-	select {
-	case c := <-p.clients:
-		defer func() { p.clients <- c }()
-		return c.Distance(s, t)
-	case <-ctx.Done():
-		return NoDist, 0, ctx.Err()
+	c, err := p.borrow(ctx)
+	if err != nil {
+		return NoDist, 0, err
 	}
+	defer p.release(c)
+	return c.Distance(s, t)
 }
 
 // Path borrows a client for one path query.
 func (p *Pool) Path(ctx context.Context, s, t uint32) ([]uint32, uint8, error) {
-	select {
-	case c := <-p.clients:
-		defer func() { p.clients <- c }()
-		return c.Path(s, t)
-	case <-ctx.Done():
-		return nil, 0, ctx.Err()
+	c, err := p.borrow(ctx)
+	if err != nil {
+		return nil, 0, err
 	}
+	defer p.release(c)
+	return c.Path(s, t)
 }
 
 // Batch borrows a client for one one-to-many query.
 func (p *Pool) Batch(ctx context.Context, s uint32, ts []uint32) ([]BatchItem, error) {
-	select {
-	case c := <-p.clients:
-		defer func() { p.clients <- c }()
-		return c.Batch(s, ts)
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	c, err := p.borrow(ctx)
+	if err != nil {
+		return nil, err
 	}
+	defer p.release(c)
+	return c.Batch(s, ts)
 }
 
-// Close closes every pooled connection.
+// Query borrows a client for one v2 request-scoped query; ctx bounds
+// both the wait for a free connection and the request itself.
+func (p *Pool) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error) {
+	c, err := p.borrow(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(c)
+	return c.Query(ctx, spec)
+}
+
+// Close closes every connection the pool ever dialed.
 func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, c := range p.all {
 		c.Close()
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"vicinity/internal/core"
 	"vicinity/internal/qclient"
 	"vicinity/internal/wire"
 )
@@ -89,6 +90,10 @@ func TestServerErrorSurfaces(t *testing.T) {
 	if !errors.As(err, &werr) || werr.Code != wire.CodeNotCovered {
 		t.Fatalf("err = %v, want CodeNotCovered", err)
 	}
+	// Wire codes map back to the oracle's error taxonomy.
+	if !errors.Is(err, core.ErrNotCovered) {
+		t.Fatalf("err = %v, want errors.Is ErrNotCovered", err)
+	}
 }
 
 func TestUnexpectedResponseType(t *testing.T) {
@@ -148,5 +153,33 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	if err := c.Close(); err != nil {
 		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestTimeoutClosesConnection pins the desync guard: the protocol has
+// no request ids, so after a read timeout the connection must be torn
+// down — a late reply must never be read as the answer to the next
+// request.
+func TestTimeoutClosesConnection(t *testing.T) {
+	release := make(chan struct{})
+	addr := fakeServer(t, func(conn net.Conn) {
+		if _, err := wire.ReadMessage(conn); err != nil {
+			return
+		}
+		<-release // reply only after the client has given up
+		_ = wire.WriteMessage(conn, &wire.DistanceResponse{Dist: 777, Method: 1})
+	})
+	c, err := qclient.Dial(addr, qclient.Options{RequestTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Distance(1, 2); err == nil {
+		t.Fatal("stalled request succeeded")
+	}
+	close(release)
+	time.Sleep(20 * time.Millisecond) // let the stale reply land, if anywhere
+	if _, _, err := c.Distance(3, 4); !errors.Is(err, qclient.ErrClosed) {
+		t.Fatalf("reused desynced connection: %v (a stale 777 answer would be silent corruption)", err)
 	}
 }

@@ -1,11 +1,13 @@
 package qserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"vicinity/internal/core"
 	"vicinity/internal/wire"
@@ -16,6 +18,7 @@ import (
 //	GET  /v1/distance?s=<id>&t=<id> → {"s":..,"t":..,"distance":..,"method":"..","reachable":bool}
 //	GET  /v1/path?s=<id>&t=<id>     → {"s":..,"t":..,"path":[..],"method":".."}
 //	POST /v1/batch                  → one-to-many distances: {"s":..,"ts":[..]}
+//	POST /v2/query                  → request-scoped query: deadline, budget, policy, typed error codes
 //	GET  /v1/stats                  → oracle build statistics and server counters
 //	POST /v1/admin/update           → apply a graph mutation batch (requires Config.AllowUpdates)
 //	GET  /healthz                   → 200 "ok"
@@ -37,6 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/distance", s.handleDistance)
 	mux.HandleFunc("GET /v1/path", s.handlePath)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v2/query", s.handleQueryV2)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/update", s.handleUpdate)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -48,12 +52,20 @@ func (s *Server) Handler() http.Handler {
 
 type httpError struct {
 	Error string `json:"error"`
+	Code  string `json:"error_code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError reports a typed oracle error: message plus the taxonomy's
+// machine-readable snake_case code (core.ErrorCode — the one mapping
+// the HTTP API and the CLI share).
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error(), Code: core.ErrorCode(err)})
 }
 
 // parsePair extracts and validates the s and t query parameters.
@@ -71,10 +83,14 @@ func parsePair(r *http.Request) (s, t uint32, err error) {
 
 func queryStatus(err error) int {
 	switch {
-	case errors.Is(err, core.ErrOutOfRange):
+	case errors.Is(err, core.ErrNodeRange):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrNotCovered):
 		return http.StatusNotFound
+	case errors.Is(err, core.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrStaleSnapshot):
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
@@ -92,7 +108,7 @@ const maxUpdateNodes = 1 << 20
 // handleUpdate applies a mutation batch posted as JSON.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !s.cfg.AllowUpdates {
-		writeJSON(w, http.StatusForbidden, httpError{"updates disabled: start the server with updates enabled"})
+		writeJSON(w, http.StatusForbidden, httpError{Error: "updates disabled: start the server with updates enabled"})
 		return
 	}
 	var body struct {
@@ -103,7 +119,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&body); err != nil {
 		s.errCount.Add(1)
-		writeJSON(w, http.StatusBadRequest, httpError{"invalid update body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "invalid update body: " + err.Error()})
 		return
 	}
 	// Decode into variable-length pairs so malformed edges fail loudly
@@ -112,24 +128,24 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for i, e := range body.Edges {
 		if len(e) != 2 {
 			s.errCount.Add(1)
-			writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("edge %d: want [u, v], got %d elements", i, len(e))})
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("edge %d: want [u, v], got %d elements", i, len(e))})
 			return
 		}
 		edges[i] = [2]uint32{e[0], e[1]}
 	}
 	if body.AddNodes < 0 || body.AddNodes > maxUpdateNodes {
 		s.errCount.Add(1)
-		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("add_nodes must be in [0, %d]", maxUpdateNodes)})
+		writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("add_nodes must be in [0, %d]", maxUpdateNodes)})
 		return
 	}
 	epoch, snap, err := s.ApplyUpdates(core.Update{AddNodes: body.AddNodes, Edges: edges})
 	if err != nil {
 		s.errCount.Add(1)
 		status := http.StatusInternalServerError
-		if errors.Is(err, core.ErrWeightedUpdate) {
+		if errors.Is(err, core.ErrWeightedUpdate) || errors.Is(err, core.ErrStaleSnapshot) {
 			status = http.StatusConflict
 		}
-		writeJSON(w, status, httpError{err.Error()})
+		writeError(w, status, err)
 		return
 	}
 	g := snap.Graph()
@@ -151,20 +167,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&body); err != nil {
 		s.errCount.Add(1)
-		writeJSON(w, http.StatusBadRequest, httpError{"invalid batch body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "invalid batch body: " + err.Error()})
 		return
 	}
 	if len(body.Ts) > wire.MaxBatchTargets {
 		s.errCount.Add(1)
 		writeJSON(w, http.StatusBadRequest,
-			httpError{fmt.Sprintf("batch of %d targets exceeds the %d cap", len(body.Ts), wire.MaxBatchTargets)})
+			httpError{Error: fmt.Sprintf("batch of %d targets exceeds the %d cap", len(body.Ts), wire.MaxBatchTargets)})
 		return
 	}
 	s.queries.Add(int64(len(body.Ts)))
 	res, err := s.oracle.Load().DistanceMany(body.S, body.Ts)
 	if err != nil {
 		s.errCount.Add(1)
-		writeJSON(w, queryStatus(err), httpError{err.Error()})
+		writeError(w, queryStatus(err), err)
 		return
 	}
 	type item struct {
@@ -201,14 +217,14 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	from, to, err := parsePair(r)
 	if err != nil {
 		s.errCount.Add(1)
-		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
 		return
 	}
 	s.queries.Add(1)
 	d, method, err := s.oracle.Load().Distance(from, to)
 	if err != nil {
 		s.errCount.Add(1)
-		writeJSON(w, queryStatus(err), httpError{err.Error()})
+		writeError(w, queryStatus(err), err)
 		return
 	}
 	type resp struct {
@@ -229,14 +245,14 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	from, to, err := parsePair(r)
 	if err != nil {
 		s.errCount.Add(1)
-		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
 		return
 	}
 	s.queries.Add(1)
 	p, method, err := s.oracle.Load().Path(from, to)
 	if err != nil {
 		s.errCount.Add(1)
-		writeJSON(w, queryStatus(err), httpError{err.Error()})
+		writeError(w, queryStatus(err), err)
 		return
 	}
 	type resp struct {
@@ -289,4 +305,172 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Updates:      s.updates.Load(),
 		Epoch:        s.epoch.Load(),
 	})
+}
+
+// maxQueryDeadlineMS is the v2 relative-deadline cap, shared with the
+// TCP frame layer (and with clients, which clamp to it).
+const maxQueryDeadlineMS = wire.MaxDeadlineMS
+
+// handleQueryV2 answers a request-scoped query posted as JSON:
+//
+//	{"s":15, "t":4711}                                  single target
+//	{"s":15, "ts":[42,99], "want_path":true}            one-to-many
+//	{"s":15, "t":4711, "deadline_ms":5, "budget":20000, "policy":"full"}
+//
+// The deadline is relative, enforced inside the fallback search loop,
+// and combined with the client disconnect signal (r.Context()) and the
+// server's shutdown context. Budget and cancellation outcomes come
+// back inline per result with a machine-readable "error_code"
+// ("budget_exceeded", "canceled", ...) and HTTP 200 — mirroring
+// /v1/batch, a partially-answered request is a success whose items
+// explain themselves; only validation and source errors use HTTP error
+// statuses.
+func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		S          uint32    `json:"s"`
+		T          *uint32   `json:"t"`
+		Ts         *[]uint32 `json:"ts"`
+		DeadlineMS int64     `json:"deadline_ms"`
+		Budget     int       `json:"budget"`
+		Policy     string    `json:"policy"`
+		WantPath   bool      `json:"want_path"`
+		WantStats  bool      `json:"want_stats"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "invalid query body: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	fail := func(msg string) {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusBadRequest, httpError{Error: msg, Code: "bad_request"})
+	}
+	switch {
+	case body.T == nil && body.Ts == nil:
+		fail("one of t or ts is required")
+		return
+	case body.T != nil && body.Ts != nil:
+		fail("t and ts are mutually exclusive")
+		return
+	case body.Ts != nil && len(*body.Ts) > wire.MaxBatchTargets:
+		fail(fmt.Sprintf("query of %d targets exceeds the %d cap", len(*body.Ts), wire.MaxBatchTargets))
+		return
+	case body.Budget < 0:
+		fail("budget must be >= 0")
+		return
+	case body.DeadlineMS < 0 || body.DeadlineMS > maxQueryDeadlineMS:
+		fail(fmt.Sprintf("deadline_ms must be in [0, %d]", maxQueryDeadlineMS))
+		return
+	}
+	policy, err := core.ParsePolicy(body.Policy)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+
+	// The request context: client disconnect (r.Context()) ∧ server
+	// shutdown (s.baseCtx) ∧ the request's own deadline.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	if body.DeadlineMS > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, time.Duration(body.DeadlineMS)*time.Millisecond)
+		defer cancelT()
+	}
+	if s.cfg.testHookQuery != nil {
+		s.cfg.testHookQuery(ctx)
+	}
+
+	req := core.Request{
+		S:         body.S,
+		Policy:    policy,
+		Budget:    body.Budget,
+		WantPath:  body.WantPath,
+		WantStats: body.WantStats,
+	}
+	targets := []uint32{}
+	if body.Ts != nil {
+		req.Ts = *body.Ts
+		if req.Ts == nil {
+			req.Ts = []uint32{}
+		}
+		targets = req.Ts
+		s.queries.Add(int64(len(req.Ts)))
+	} else {
+		req.T = *body.T
+		targets = append(targets, *body.T)
+		s.queries.Add(1)
+	}
+
+	res, err := s.oracle.Load().Query(ctx, req)
+
+	type v2Item struct {
+		T         uint32   `json:"t"`
+		Distance  uint32   `json:"distance"`
+		Method    string   `json:"method"`
+		Reachable bool     `json:"reachable"`
+		Path      []uint32 `json:"path,omitempty"`
+		Error     string   `json:"error,omitempty"`
+		ErrorCode string   `json:"error_code,omitempty"`
+	}
+	type v2Cost struct {
+		Lookups   int `json:"lookups"`
+		Scanned   int `json:"scanned"`
+		Expanded  int `json:"expanded"`
+		Fallbacks int `json:"fallbacks"`
+	}
+	type v2Resp struct {
+		S       uint32   `json:"s"`
+		Epoch   uint64   `json:"epoch"`
+		Results []v2Item `json:"results"`
+		Cost    *v2Cost  `json:"cost,omitempty"`
+	}
+
+	fill := func(t uint32, dist uint32, method core.Method, path []uint32, ierr error) v2Item {
+		it := v2Item{T: t, Method: method.String(), Path: path}
+		if dist != core.NoDist {
+			it.Distance = dist
+			it.Reachable = true
+		}
+		if ierr != nil {
+			s.errCount.Add(1)
+			it.Error = ierr.Error()
+			it.ErrorCode = core.ErrorCode(ierr)
+		}
+		return it
+	}
+
+	out := v2Resp{S: body.S, Epoch: res.Epoch, Results: []v2Item{}}
+	if body.Ts != nil {
+		if err != nil && res.Items == nil {
+			s.errCount.Add(1)
+			writeError(w, queryStatus(err), err)
+			return
+		}
+		// A canceled batch still reports its per-item outcomes; the
+		// top-level error is fully represented by the item codes.
+		for i, it := range res.Items {
+			out.Results = append(out.Results, fill(targets[i], it.Dist, it.Method, it.Path, it.Err))
+		}
+	} else {
+		if err != nil && !errors.Is(err, core.ErrBudgetExceeded) && !errors.Is(err, core.ErrCanceled) {
+			s.errCount.Add(1)
+			writeError(w, queryStatus(err), err)
+			return
+		}
+		out.Results = append(out.Results, fill(targets[0], res.Dist, res.Method, res.Path, err))
+	}
+	if body.WantStats {
+		out.Cost = &v2Cost{
+			Lookups:   res.Cost.Lookups,
+			Scanned:   res.Cost.Scanned,
+			Expanded:  res.Cost.Expanded,
+			Fallbacks: res.Cost.Fallbacks,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }

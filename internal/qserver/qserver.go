@@ -44,6 +44,12 @@ type Config struct {
 	// (POST /v1/admin/update). The programmatic ApplyUpdates method is
 	// always available; this gates only the network surface.
 	AllowUpdates bool
+
+	// testHookQuery, when non-nil, runs at the start of every v2 query
+	// with the request context. Tests use it to hold a request in
+	// flight and observe shutdown cancellation; never set in
+	// production.
+	testHookQuery func(context.Context)
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +83,14 @@ type Server struct {
 	oracle atomic.Pointer[core.Oracle]
 	cfg    Config
 
+	// baseCtx parents every request context. Shutdown cancels it once
+	// draining is over (or immediately on a forced shutdown), so
+	// in-flight fallback searches — which poll the context inside the
+	// search loop — stop burning CPU instead of running to completion
+	// against closed connections.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -105,6 +119,7 @@ func New(oracle *core.Oracle, cfg Config) *Server {
 		conns: make(map[net.Conn]struct{}),
 		sem:   make(chan struct{}, cfg.MaxConns),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.oracle.Store(oracle)
 	return s
 }
@@ -229,7 +244,10 @@ func (s *Server) Addr() net.Addr {
 }
 
 // Shutdown stops accepting, closes the listener, and waits for active
-// connections to drain or ctx to expire (then force-closes them).
+// connections to drain. If ctx expires first the shutdown turns
+// forced: the server cancels every in-flight request context (budgeted
+// and fallback searches observe it inside their search loop and return
+// promptly with ErrCanceled) and closes the connections.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
@@ -245,8 +263,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.baseCancel()
 		return nil
 	case <-ctx.Done():
+		s.baseCancel()
 		s.mu.Lock()
 		for c := range s.conns {
 			c.Close()
@@ -366,6 +386,9 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 		}
 		return &wire.BatchResponse{Items: items}
 
+	case *wire.QueryRequest:
+		return s.dispatchQuery(oracle, m)
+
 	case *wire.StatsRequest:
 		st := oracle.Stats()
 		ms := oracle.Memory()
@@ -387,13 +410,135 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 	}
 }
 
-// queryCode maps oracle errors to wire error codes.
+// dispatchQuery answers a v2 request-scoped query frame. The request
+// context descends from the server's base context (so a forced
+// shutdown cancels in-flight searches) with the frame's relative
+// deadline applied on top; budget/cancel outcomes come back as
+// per-item codes so the best-known bound survives the wire, while
+// validation failures keep the v1 ErrorResponse shape.
+func (s *Server) dispatchQuery(oracle *core.Oracle, m *wire.QueryRequest) wire.Message {
+	many := m.Flags&wire.QueryMany != 0
+	// Validate before counting, so rejected frames do not inflate
+	// queries_served; the HTTP layer enforces the same limits.
+	if core.Policy(m.Policy) > core.PolicyTableOnly {
+		s.errCount.Add(1)
+		return &wire.ErrorResponse{
+			Code:    wire.CodeBadRequest,
+			Message: fmt.Sprintf("unknown query policy %d", m.Policy),
+		}
+	}
+	if m.DeadlineMS > maxQueryDeadlineMS {
+		s.errCount.Add(1)
+		return &wire.ErrorResponse{
+			Code:    wire.CodeBadRequest,
+			Message: fmt.Sprintf("deadline-ms %d exceeds the %d cap", m.DeadlineMS, maxQueryDeadlineMS),
+		}
+	}
+	if many {
+		s.queries.Add(int64(len(m.Ts)))
+	} else {
+		s.queries.Add(1)
+	}
+	ctx := s.baseCtx
+	if m.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(m.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	if s.cfg.testHookQuery != nil {
+		s.cfg.testHookQuery(ctx)
+	}
+	req := core.Request{
+		S:         m.S,
+		T:         m.T,
+		Policy:    core.Policy(m.Policy),
+		Budget:    int(m.Budget),
+		WantPath:  m.Flags&wire.QueryWantPath != 0,
+		WantStats: m.Flags&wire.QueryWantStats != 0,
+	}
+	if many {
+		req.Ts = m.Ts
+		if req.Ts == nil {
+			req.Ts = []uint32{}
+		}
+	}
+	res, err := oracle.Query(ctx, req)
+
+	resp := &wire.QueryResponse{Epoch: res.Epoch}
+	if req.WantStats {
+		resp.Lookups = wire.ClampU32(res.Cost.Lookups)
+		resp.Scanned = wire.ClampU32(res.Cost.Scanned)
+		resp.Expanded = wire.ClampU32(res.Cost.Expanded)
+		resp.Fallbacks = wire.ClampU32(res.Cost.Fallbacks)
+	}
+	if many {
+		if err != nil && res.Items == nil {
+			s.errCount.Add(1)
+			return queryError(err)
+		}
+		resp.Items = make([]wire.QueryItem, len(res.Items))
+		for i, it := range res.Items {
+			resp.Items[i] = wire.QueryItem{Dist: it.Dist, Method: uint8(it.Method), Path: it.Path}
+			if it.Err != nil {
+				s.errCount.Add(1)
+				resp.Items[i].Code = queryCode(it.Err)
+			}
+		}
+		if oversized := queryRespOversized(resp); oversized != nil {
+			s.errCount.Add(1)
+			return oversized
+		}
+		return resp
+	}
+	item := wire.QueryItem{Dist: res.Dist, Method: uint8(res.Method), Path: res.Path}
+	if err != nil {
+		s.errCount.Add(1)
+		if !errors.Is(err, core.ErrBudgetExceeded) && !errors.Is(err, core.ErrCanceled) {
+			return queryError(err)
+		}
+		item.Code = queryCode(err)
+	}
+	resp.Items = []wire.QueryItem{item}
+	if oversized := queryRespOversized(resp); oversized != nil {
+		s.errCount.Add(1)
+		return oversized
+	}
+	return resp
+}
+
+// queryRespOversized reports (as a typed refusal) a v2 response whose
+// frame would exceed wire.MaxFrame. A within-cap target count can
+// still overflow once want-path multiplies each item by its hop count
+// — and so can one very long single path — so answer with an error the
+// client can use instead of writing a frame it must reject (which
+// would tear the connection down with no usable error).
+func queryRespOversized(resp *wire.QueryResponse) wire.Message {
+	size := 2 + 28 // version/type prefix + fixed QueryResponse header
+	for _, it := range resp.Items {
+		size += 11 + 4*len(it.Path)
+	}
+	if size <= wire.MaxFrame {
+		return nil
+	}
+	return &wire.ErrorResponse{
+		Code:    wire.CodeBadRequest,
+		Message: fmt.Sprintf("response of %d bytes exceeds the %d frame cap; reduce targets or drop want-path", size, wire.MaxFrame),
+	}
+}
+
+// queryCode maps the oracle's error taxonomy to wire error codes.
 func queryCode(err error) uint16 {
 	switch {
 	case errors.Is(err, core.ErrNotCovered):
 		return wire.CodeNotCovered
-	case errors.Is(err, core.ErrOutOfRange):
+	case errors.Is(err, core.ErrNodeRange):
 		return wire.CodeOutOfRange
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return wire.CodeBudget
+	case errors.Is(err, core.ErrCanceled):
+		return wire.CodeCanceled
+	case errors.Is(err, core.ErrStaleSnapshot):
+		return wire.CodeStale
 	default:
 		return wire.CodeInternal
 	}

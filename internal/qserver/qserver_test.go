@@ -748,3 +748,441 @@ func TestBatchDuringUpdates(t *testing.T) {
 		t.Fatalf("epoch %d, want 10", m.Epoch)
 	}
 }
+
+// startGridServer is startServer over a long 2×600 grid whose corner
+// pair (0, 1199) deterministically misses the tables — the fixture for
+// budget and deadline tests that need a real fallback search.
+func startGridServer(t *testing.T, cfg Config) (*Server, string, uint32, uint32) {
+	t.Helper()
+	g := gen.Grid(2, 600)
+	o, err := core.Build(g, core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, u := uint32(0), uint32(g.NumNodes()-1)
+	if _, m, err := o.Distance(s, u); err != nil || m.Resolved() {
+		t.Fatalf("grid corner pair resolved from tables (%v, %v)", m, err)
+	}
+	srv := New(o, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	})
+	return srv, ln.Addr().String(), s, u
+}
+
+// TestQueryV2RoundTrip drives the v2 frame over TCP: default-policy
+// equivalence with the server oracle, paths, batches, cost counters,
+// epoch, and typed top-level errors.
+func TestQueryV2RoundTrip(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	o := srv.Oracle()
+	ctx := context.Background()
+
+	r := xrand.New(5)
+	for i := 0; i < 50; i++ {
+		a, b := r.Uint32n(400), r.Uint32n(400)
+		wantD, wantM, _ := o.Distance(a, b)
+		res, err := c.Query(ctx, qclient.QuerySpec{S: a, T: b, WantStats: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := res.Items[0]
+		if it.Err != nil || it.Dist != wantD || core.Method(it.Method) != wantM {
+			t.Fatalf("Query(%d,%d) = (%d, %v, %v), oracle says (%d, %v)",
+				a, b, it.Dist, core.Method(it.Method), it.Err, wantD, wantM)
+		}
+		if res.Cost.Lookups == 0 && wantM != core.MethodSame {
+			t.Fatalf("WantStats returned empty cost for method %v", wantM)
+		}
+	}
+
+	// Path flag round-trips the witness path.
+	p, _, _ := o.Path(3, 77)
+	res, err := c.Query(ctx, qclient.QuerySpec{S: 3, T: 77, WantPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Items[0].Path; len(got) != len(p) {
+		t.Fatalf("path %v, oracle says %v", got, p)
+	}
+
+	// One-to-many mirrors DistanceMany, inline per-target errors
+	// included, and maps codes back to the taxonomy.
+	ts := []uint32{1, 2, 99999, 3}
+	want, err := o.DistanceMany(7, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Query(ctx, qclient.QuerySpec{S: 7, Ts: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != len(ts) {
+		t.Fatalf("%d items for %d targets", len(res.Items), len(ts))
+	}
+	for i, it := range res.Items {
+		if it.Dist != want[i].Dist {
+			t.Fatalf("item %d: dist %d, want %d", i, it.Dist, want[i].Dist)
+		}
+		if (it.Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("item %d: err %v, want %v", i, it.Err, want[i].Err)
+		}
+	}
+	if !errors.Is(res.Items[2].Err, core.ErrNodeRange) {
+		t.Fatalf("out-of-range item err %v, want ErrNodeRange", res.Items[2].Err)
+	}
+
+	// Top-level errors keep the v1 ErrorResponse shape and map to the
+	// taxonomy through the client.
+	if _, err := c.Query(ctx, qclient.QuerySpec{S: 99999, T: 0}); !errors.Is(err, core.ErrNodeRange) {
+		t.Fatalf("out-of-range source: %v, want ErrNodeRange", err)
+	}
+	var werr *wire.ErrorResponse
+	if _, err := c.Query(ctx, qclient.QuerySpec{S: 99999, T: 0}); !errors.As(err, &werr) || werr.Code != wire.CodeOutOfRange {
+		t.Fatalf("out-of-range source wire error: %v", err)
+	}
+}
+
+// TestQueryV2BudgetAndDeadlineTCP exercises the budget and deadline
+// paths end-to-end over TCP against a deterministic fallback pair.
+func TestQueryV2BudgetAndDeadlineTCP(t *testing.T) {
+	hold := make(chan struct{})
+	var once sync.Once
+	cfg := Config{testHookQuery: func(ctx context.Context) {
+		select {
+		case <-hold:
+			<-ctx.Done() // second phase: park until the deadline fires
+		default:
+			once.Do(func() {}) // first phase: pass through
+		}
+	}}
+	_, addr, s, u := startGridServer(t, cfg)
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Budget 1: the far pair cannot resolve; the item carries the typed
+	// error and the method tells the client what the distance means.
+	res, err := c.Query(ctx, qclient.QuerySpec{S: s, Ts: []uint32{s + 1, u}, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := res.Items[0]; it.Err != nil {
+		t.Fatalf("near target hit the budget: %v", it.Err)
+	}
+	if it := res.Items[1]; !errors.Is(it.Err, core.ErrBudgetExceeded) {
+		t.Fatalf("far target err %v, want ErrBudgetExceeded", it.Err)
+	}
+
+	// Deadline: the hook parks the request on ctx.Done, so the frame's
+	// deadline-ms is what unblocks it; the oracle then reports the
+	// cancellation as a typed per-item error.
+	close(hold)
+	qctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err = c.Query(qctx, qclient.QuerySpec{S: s, T: u})
+	if err != nil {
+		t.Fatalf("deadline query: %v", err)
+	}
+	if it := res.Items[0]; !errors.Is(it.Err, core.ErrCanceled) {
+		t.Fatalf("deadline item err %v, want ErrCanceled", it.Err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline took %v to propagate", elapsed)
+	}
+}
+
+// TestQueryV2HTTP covers POST /v2/query: single and many targets,
+// paths, cost, typed error codes for budget exhaustion and bad input.
+func TestQueryV2HTTP(t *testing.T) {
+	g := gen.Grid(2, 600)
+	o, err := core.Build(g, core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(o, Config{})
+	h := httptest.NewServer(srv.Handler())
+	defer h.Close()
+	far := uint32(g.NumNodes() - 1)
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(h.URL+"/v2/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}
+
+	// Plain single query answers like /v1/distance.
+	code, m := post(`{"s":0,"t":1,"want_stats":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, m)
+	}
+	results := m["results"].([]any)
+	first := results[0].(map[string]any)
+	if first["reachable"] != true || first["distance"].(float64) != 1 {
+		t.Fatalf("results = %v", results)
+	}
+	if m["cost"] == nil {
+		t.Fatalf("want_stats did not return cost: %v", m)
+	}
+
+	// Budgeted far pair: HTTP 200 with the typed inline code.
+	code, m = post(fmt.Sprintf(`{"s":0,"t":%d,"budget":1,"policy":"full"}`, far))
+	if code != http.StatusOK {
+		t.Fatalf("budget status %d: %v", code, m)
+	}
+	first = m["results"].([]any)[0].(map[string]any)
+	if first["error_code"] != "budget_exceeded" {
+		t.Fatalf("budget result = %v", first)
+	}
+
+	// Batch with an out-of-range target: inline node_range item.
+	code, m = post(`{"s":0,"ts":[1,999999],"want_path":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %v", code, m)
+	}
+	items := m["results"].([]any)
+	if items[0].(map[string]any)["path"] == nil {
+		t.Fatalf("want_path missing: %v", items[0])
+	}
+	if items[1].(map[string]any)["error_code"] != "node_range" {
+		t.Fatalf("range item = %v", items[1])
+	}
+
+	// Validation failures are typed too.
+	for body, wantStatus := range map[string]int{
+		`{"s":0}`:                        http.StatusBadRequest, // no target
+		`{"s":0,"t":1,"ts":[2]}`:         http.StatusBadRequest, // both
+		`{"s":0,"t":1,"policy":"warp"}`:  http.StatusBadRequest,
+		`{"s":0,"t":1,"budget":-4}`:      http.StatusBadRequest,
+		`{"s":0,"t":1,"deadline_ms":-1}`: http.StatusBadRequest,
+		`{"s":999999,"t":1}`:             http.StatusBadRequest, // node_range
+	} {
+		code, m := post(body)
+		if code != wantStatus {
+			t.Fatalf("%s: status %d (%v), want %d", body, code, m, wantStatus)
+		}
+		if m["error_code"] == "" {
+			t.Fatalf("%s: missing error_code: %v", body, m)
+		}
+	}
+}
+
+// TestQueryV2HTTPDeadline holds a request on its context via the test
+// hook and asserts the deadline surfaces as the typed "canceled" code.
+func TestQueryV2HTTPDeadline(t *testing.T) {
+	g := gen.Grid(2, 100)
+	o, err := core.Build(g, core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(o, Config{testHookQuery: func(ctx context.Context) { <-ctx.Done() }})
+	h := httptest.NewServer(srv.Handler())
+	defer h.Close()
+
+	resp, err := http.Post(h.URL+"/v2/query", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"s":0,"t":%d,"deadline_ms":30}`, g.NumNodes()-1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, m)
+	}
+	first := m["results"].([]any)[0].(map[string]any)
+	if first["error_code"] != "canceled" {
+		t.Fatalf("result = %v", first)
+	}
+}
+
+// TestShutdownDrainsInFlightQuery pins the graceful path: a query held
+// in flight blocks Shutdown until it completes, and the answer still
+// reaches the client.
+func TestShutdownDrainsInFlightQuery(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	cfg := Config{testHookQuery: func(ctx context.Context) {
+		close(entered)
+		<-release
+	}}
+	g := gen.HolmeKim(xrand.New(1), 200, 4, 0.5)
+	o, err := core.Build(g, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(o, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = srv.Serve(ln) }()
+
+	c, err := qclient.Dial(ln.Addr().String(), qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type qres struct {
+		res *qclient.QueryResult
+		err error
+	}
+	queryDone := make(chan qres, 1)
+	go func() {
+		res, err := c.Query(context.Background(), qclient.QuerySpec{S: 0, T: 1})
+		queryDone <- qres{res, err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v with a query in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	q := <-queryDone
+	if q.err != nil || q.res.Items[0].Err != nil {
+		t.Fatalf("in-flight query lost to shutdown: %v / %+v", q.err, q.res)
+	}
+	c.Close() // connection gone: the drain can finish
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drained shutdown returned %v", err)
+	}
+	<-serveDone
+}
+
+// TestShutdownForcedCancelsInFlightQuery pins the forced path: when the
+// drain window is already spent, Shutdown cancels the in-flight request
+// context — the hook (standing in for a long fallback search, which
+// polls the same context) observes it and the server comes down without
+// waiting on the query's natural completion.
+func TestShutdownForcedCancelsInFlightQuery(t *testing.T) {
+	entered := make(chan struct{})
+	observed := make(chan struct{})
+	cfg := Config{testHookQuery: func(ctx context.Context) {
+		close(entered)
+		<-ctx.Done()
+		close(observed)
+	}}
+	g := gen.HolmeKim(xrand.New(1), 200, 4, 0.5)
+	o, err := core.Build(g, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(o, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = srv.Serve(ln) }()
+
+	c, err := qclient.Dial(ln.Addr().String(), qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go func() {
+		_, _ = c.Query(context.Background(), qclient.QuerySpec{S: 0, T: 1})
+	}()
+	<-entered
+
+	expired, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-expired.Done()
+	if err := srv.Shutdown(expired); err == nil {
+		t.Fatal("forced shutdown reported a clean drain")
+	}
+	select {
+	case <-observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("forced shutdown never canceled the in-flight request context")
+	}
+	<-serveDone
+}
+
+// TestQueryV2FrameValidationTCP pins the TCP-side request validation:
+// unknown policies and oversized deadlines are refused as bad-request
+// frames — matching the HTTP layer — and rejected frames do not
+// inflate the queries_served counter.
+func TestQueryV2FrameValidationTCP(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	before := srv.Metrics().Queries
+
+	if _, err := c.Query(context.Background(), qclient.QuerySpec{S: 0, T: 1, Policy: core.Policy(9)}); err == nil {
+		t.Fatal("unknown policy accepted over TCP")
+	}
+	// Oversized deadline: build the frame directly (the client API
+	// derives DeadlineMS from ctx and cannot produce one).
+	huge, err := wireRoundTrip(t, addr, &wire.QueryRequest{S: 0, T: 1, DeadlineMS: maxQueryDeadlineMS + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := huge.(*wire.ErrorResponse); !ok || e.Code != wire.CodeBadRequest {
+		t.Fatalf("oversized deadline: %+v, want bad-request", huge)
+	}
+	if got := srv.Metrics().Queries; got != before {
+		t.Fatalf("rejected frames counted as queries: %d -> %d", before, got)
+	}
+	if srv.Metrics().Errors < 2 {
+		t.Fatalf("rejected frames not counted as errors: %+v", srv.Metrics())
+	}
+}
+
+// wireRoundTrip sends one raw frame and reads one response.
+func wireRoundTrip(t *testing.T, addr string, msg wire.Message) (wire.Message, error) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := wire.WriteMessage(conn, msg); err != nil {
+		return nil, err
+	}
+	return wire.ReadMessage(conn)
+}

@@ -9,36 +9,60 @@ import (
 // comparator [4]: two frontiers grown from s and t, expanding the smaller
 // side, meeting in the middle. Exact for both unweighted (level-
 // synchronized BFS) and weighted (bidirectional Dijkstra) graphs.
+//
+// Every search also exists in a limited form taking a Limits: the serving
+// layer's fallback must honor per-request node budgets and cancellation
+// *inside* the search loop, not around it. A limited search that stops
+// early still reports the best crossing discovered — an upper bound on
+// the true distance realized by an actual path through the meeting node —
+// so budget exhaustion degrades to an estimate instead of nothing.
 
 // BiBFSDist returns the exact hop distance between s and t using
 // bidirectional BFS, or NoDist if disconnected.
 func (ws *Workspace) BiBFSDist(s, t uint32) uint32 {
-	d, _ := ws.biBFS(s, t)
+	d, _, _ := ws.biBFS(s, t, Limits{})
 	return d
+}
+
+// BiBFSDistLim is BiBFSDist under lim. On OutcomeBudget/OutcomeStopped
+// the distance is the best-known upper bound (NoDist if none).
+func (ws *Workspace) BiBFSDistLim(s, t uint32, lim Limits) (uint32, Outcome) {
+	d, _, out := ws.biBFS(s, t, lim)
+	return d, out
 }
 
 // BiBFSPath returns a shortest s→t path using bidirectional BFS, or nil
 // if disconnected.
 func (ws *Workspace) BiBFSPath(s, t uint32) []uint32 {
-	if s == t {
-		return []uint32{s}
-	}
-	d, meet := ws.biBFS(s, t)
-	if d == NoDist {
-		return nil
-	}
-	return ws.joinPaths(meet)
+	p, _, _ := ws.BiBFSPathLim(s, t, Limits{})
+	return p
 }
 
-// biBFS runs level-synchronized bidirectional BFS and returns the exact
-// distance plus the meeting node achieving it.
+// BiBFSPathLim is BiBFSPath under lim, additionally returning the path
+// length. On an early outcome the returned path (if any) realizes the
+// best-known upper bound rather than a guaranteed-shortest path.
+func (ws *Workspace) BiBFSPathLim(s, t uint32, lim Limits) ([]uint32, uint32, Outcome) {
+	if s == t {
+		ws.expanded = 0
+		return []uint32{s}, 0, OutcomeDone
+	}
+	d, meet, out := ws.biBFS(s, t, lim)
+	if d == NoDist {
+		return nil, NoDist, out
+	}
+	return ws.joinPaths(meet), d, out
+}
+
+// biBFS runs level-synchronized bidirectional BFS and returns the
+// distance, the meeting node achieving it, and how the search ended.
 //
 // Invariant: after expanding a side's level k, every node at distance
 // <= k from that side has been assigned. The search stops when
 // df+db+1 >= best, at which point no undiscovered crossing can beat best.
-func (ws *Workspace) biBFS(s, t uint32) (uint32, uint32) {
+func (ws *Workspace) biBFS(s, t uint32, lim Limits) (uint32, uint32, Outcome) {
 	if s == t {
-		return 0, s
+		ws.expanded = 0
+		return 0, s, OutcomeDone
 	}
 	ws.reset()
 	g := ws.g
@@ -51,6 +75,7 @@ func (ws *Workspace) biBFS(s, t uint32) (uint32, uint32) {
 	df, db := uint32(0), uint32(0)
 	best := NoDist
 	meet := graph.NoNode
+	outcome := OutcomeDone
 
 	for len(frontF) > 0 && len(frontB) > 0 {
 		if best != NoDist && df+db+1 >= best {
@@ -58,23 +83,39 @@ func (ws *Workspace) biBFS(s, t uint32) (uint32, uint32) {
 		}
 		// Expand the smaller frontier one full level.
 		if len(frontF) <= len(frontB) {
-			frontF = ws.expandLevel(g, fwd, bwd, frontF, df+1, &best, &meet)
+			frontF, outcome = ws.expandLevel(g, fwd, bwd, frontF, df+1, &best, &meet, lim)
 			df++
 		} else {
-			frontB = ws.expandLevel(g, bwd, fwd, frontB, db+1, &best, &meet)
+			frontB, outcome = ws.expandLevel(g, bwd, fwd, frontB, db+1, &best, &meet, lim)
 			db++
+		}
+		if outcome != OutcomeDone {
+			break
 		}
 	}
 	ws.scratch = frontF[:0]
-	return best, meet
+	return best, meet, outcome
 }
 
 // expandLevel expands every node in front (all at distance level-1 in
 // this) into the next level, registering meetings against other.
-// It returns the new frontier (freshly allocated or reused storage).
-func (ws *Workspace) expandLevel(g *graph.Graph, this, other *NodeMap, front []uint32, level uint32, best, meet *uint32) []uint32 {
+// It returns the new frontier (freshly allocated or reused storage) and
+// stops mid-level when lim runs out — the partial frontier is discarded
+// by the caller, and best/meet keep whatever crossing was found.
+func (ws *Workspace) expandLevel(g *graph.Graph, this, other *NodeMap, front []uint32, level uint32, best, meet *uint32, lim Limits) ([]uint32, Outcome) {
 	var next []uint32
 	for _, u := range front {
+		if lim.NodeBudget > 0 && ws.expanded >= lim.NodeBudget {
+			return next, OutcomeBudget
+		}
+		ws.expanded++
+		if lim.Done != nil && ws.expanded&(limitCheckEvery-1) == 0 {
+			select {
+			case <-lim.Done:
+				return next, OutcomeStopped
+			default:
+			}
+		}
 		for _, v := range g.Neighbors(u) {
 			if this.Has(v) {
 				continue
@@ -89,7 +130,7 @@ func (ws *Workspace) expandLevel(g *graph.Graph, this, other *NodeMap, front []u
 			}
 		}
 	}
-	return next
+	return next, OutcomeDone
 }
 
 // joinPaths assembles the s→t path through the meeting node using the
@@ -114,28 +155,44 @@ func (ws *Workspace) joinPaths(meet uint32) []uint32 {
 // BiDijkstraDist returns the exact weighted distance between s and t
 // using bidirectional Dijkstra, or NoDist if disconnected.
 func (ws *Workspace) BiDijkstraDist(s, t uint32) uint32 {
-	d, _ := ws.biDijkstra(s, t)
+	d, _, _ := ws.biDijkstra(s, t, Limits{})
 	return d
+}
+
+// BiDijkstraDistLim is BiDijkstraDist under lim. On OutcomeBudget/
+// OutcomeStopped the distance is the best-known upper bound.
+func (ws *Workspace) BiDijkstraDistLim(s, t uint32, lim Limits) (uint32, Outcome) {
+	d, _, out := ws.biDijkstra(s, t, lim)
+	return d, out
 }
 
 // BiDijkstraPath returns a shortest weighted s→t path, or nil.
 func (ws *Workspace) BiDijkstraPath(s, t uint32) []uint32 {
+	p, _, _ := ws.BiDijkstraPathLim(s, t, Limits{})
+	return p
+}
+
+// BiDijkstraPathLim is BiDijkstraPath under lim, additionally returning
+// the path length; see BiBFSPathLim for the early-outcome contract.
+func (ws *Workspace) BiDijkstraPathLim(s, t uint32, lim Limits) ([]uint32, uint32, Outcome) {
 	if s == t {
-		return []uint32{s}
+		ws.expanded = 0
+		return []uint32{s}, 0, OutcomeDone
 	}
-	d, meet := ws.biDijkstra(s, t)
+	d, meet, out := ws.biDijkstra(s, t, lim)
 	if d == NoDist {
-		return nil
+		return nil, NoDist, out
 	}
-	return ws.joinPaths(meet)
+	return ws.joinPaths(meet), d, out
 }
 
 // biDijkstra alternates settling from whichever side has the smaller
 // tentative minimum, stopping when topF+topB >= best (the classic
 // bidirectional Dijkstra termination criterion).
-func (ws *Workspace) biDijkstra(s, t uint32) (uint32, uint32) {
+func (ws *Workspace) biDijkstra(s, t uint32, lim Limits) (uint32, uint32, Outcome) {
 	if s == t {
-		return 0, s
+		ws.expanded = 0
+		return 0, s, OutcomeDone
 	}
 	ws.reset()
 	g := ws.g
@@ -149,6 +206,7 @@ func (ws *Workspace) biDijkstra(s, t uint32) (uint32, uint32) {
 
 	best := NoDist
 	meet := graph.NoNode
+	outcome := OutcomeDone
 	update := func(v, cand uint32) {
 		if cand < best {
 			best = cand
@@ -162,24 +220,40 @@ func (ws *Workspace) biDijkstra(s, t uint32) (uint32, uint32) {
 		if best != NoDist && SatAdd(kf, kb) >= best {
 			break
 		}
+		if lim.NodeBudget > 0 && ws.expanded >= lim.NodeBudget {
+			outcome = OutcomeBudget
+			break
+		}
+		if lim.Done != nil && ws.expanded&(limitCheckEvery-1) == 0 {
+			select {
+			case <-lim.Done:
+				outcome = OutcomeStopped
+			default:
+			}
+			if outcome != OutcomeDone {
+				break
+			}
+		}
 		if kf <= kb {
-			settleSide(g, fwd, bwd, hf, sf, update)
+			ws.settleSide(g, fwd, bwd, hf, sf, update)
 		} else {
-			settleSide(g, bwd, fwd, hb, sb, update)
+			ws.settleSide(g, bwd, fwd, hb, sb, update)
 		}
 	}
-	return best, meet
+	return best, meet, outcome
 }
 
 // settleSide pops and settles one node on this side, relaxing its edges
 // and registering candidate meetings against the other side's tentative
-// distances.
-func settleSide(g *graph.Graph, this, other *NodeMap, h *heap.Min, settled *NodeMap, update func(v, cand uint32)) {
+// distances. Stale heap entries (already settled) are skipped without
+// charging the expansion budget.
+func (ws *Workspace) settleSide(g *graph.Graph, this, other *NodeMap, h *heap.Min, settled *NodeMap, update func(v, cand uint32)) {
 	u, du := h.Pop()
 	if settled.Has(u) {
 		return
 	}
 	settled.Set(u, 0, 0)
+	ws.expanded++
 	adj := g.Neighbors(u)
 	wts := g.NeighborWeights(u)
 	for i, v := range adj {

@@ -278,3 +278,166 @@ func benchDist(b *testing.B, fn func(*Workspace, uint32, uint32) uint32) {
 		fn(ws, p[0], p[1])
 	}
 }
+
+// lineGraph returns the path 0-1-...-(n-1), the worst case for
+// bidirectional search (frontiers crawl toward each other).
+func lineGraph(n int) *graph.Graph {
+	edges := make([][2]uint32, n-1)
+	for i := range edges {
+		edges[i] = [2]uint32{uint32(i), uint32(i + 1)}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// weightedLine returns the same path with every edge weight w.
+func weightedLine(n int, w uint32) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddWeightedEdge(uint32(i), uint32(i+1), w)
+	}
+	return b.Build()
+}
+
+// TestLimitedSearchContract sweeps every budget over both limited
+// searches on a line graph: outcomes must be Done-with-exact or
+// Budget-with-upper-bound, the budget must be respected exactly, and
+// the unlimited calls must be unaffected.
+func TestLimitedSearchContract(t *testing.T) {
+	const n = 200
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		want uint32
+		dist func(ws *Workspace, lim Limits) (uint32, Outcome)
+		path func(ws *Workspace, lim Limits) ([]uint32, uint32, Outcome)
+	}{
+		{
+			"bibfs", lineGraph(n), n - 1,
+			func(ws *Workspace, lim Limits) (uint32, Outcome) { return ws.BiBFSDistLim(0, n-1, lim) },
+			func(ws *Workspace, lim Limits) ([]uint32, uint32, Outcome) { return ws.BiBFSPathLim(0, n-1, lim) },
+		},
+		{
+			"bidijkstra", weightedLine(n, 3), 3 * (n - 1),
+			func(ws *Workspace, lim Limits) (uint32, Outcome) { return ws.BiDijkstraDistLim(0, n-1, lim) },
+			func(ws *Workspace, lim Limits) ([]uint32, uint32, Outcome) { return ws.BiDijkstraPathLim(0, n-1, lim) },
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := NewWorkspace(tc.g)
+			d, out := tc.dist(ws, Limits{})
+			if out != OutcomeDone || d != tc.want {
+				t.Fatalf("unlimited: (%d, %v), want (%d, Done)", d, out, tc.want)
+			}
+			full := ws.Expanded()
+			if full == 0 || full > tc.g.NumNodes() {
+				t.Fatalf("implausible expansion count %d", full)
+			}
+			sawBudget := false
+			for budget := 1; budget <= full+1; budget++ {
+				d, out := tc.dist(ws, Limits{NodeBudget: budget})
+				if ws.Expanded() > budget {
+					t.Fatalf("budget %d: expanded %d", budget, ws.Expanded())
+				}
+				switch out {
+				case OutcomeDone:
+					if d != tc.want {
+						t.Fatalf("budget %d: done with %d, want %d", budget, d, tc.want)
+					}
+				case OutcomeBudget:
+					sawBudget = true
+					if d != NoDist && d < tc.want {
+						t.Fatalf("budget %d: bound %d undercuts %d", budget, d, tc.want)
+					}
+					p, pd, pout := tc.path(ws, Limits{NodeBudget: budget})
+					if pout != OutcomeBudget || pd != d {
+						t.Fatalf("budget %d: path variant (%d, %v), dist variant %d", budget, pd, pout, d)
+					}
+					if d != NoDist && len(p) == 0 {
+						t.Fatalf("budget %d: bound %d without witness path", budget, d)
+					}
+					if d == NoDist && p != nil {
+						t.Fatalf("budget %d: path without a crossing", budget)
+					}
+				default:
+					t.Fatalf("budget %d: outcome %v", budget, out)
+				}
+			}
+			if !sawBudget {
+				t.Fatal("no budget was ever exhausted")
+			}
+
+			// A closed Done channel stops the search at the first poll.
+			closed := make(chan struct{})
+			close(closed)
+			d, out = tc.dist(ws, Limits{Done: closed})
+			if out != OutcomeStopped {
+				t.Fatalf("closed Done: outcome %v (dist %d)", out, d)
+			}
+			if ws.Expanded() > 2*64 {
+				t.Fatalf("stop took %d expansions; poll interval is 64", ws.Expanded())
+			}
+
+			// s == t short-circuits under any limits.
+			if p, d, out := ws.BiBFSPathLim(5, 5, Limits{NodeBudget: 1, Done: closed}); out != OutcomeDone || d != 0 || len(p) != 1 {
+				t.Fatalf("s==t: (%v, %d, %v)", p, d, out)
+			}
+		})
+	}
+}
+
+// TestLimitedSearchBoundIsRealPath pins the "bound = real path" claim:
+// on a theta graph (short chord + long way round) a budget that stops
+// the weighted search after its first crossing must report a bound
+// realized by the returned path, never below the true distance.
+func TestLimitedSearchBoundIsRealPath(t *testing.T) {
+	// 0-...-9 path of weight 1 edges plus a heavy 0-9 chord.
+	b := graph.NewBuilder(10)
+	for i := 0; i < 9; i++ {
+		b.AddWeightedEdge(uint32(i), uint32(i+1), 1)
+	}
+	b.AddWeightedEdge(0, 9, 100)
+	g := b.Build()
+	ws := NewWorkspace(g)
+	want := uint32(9)
+	for budget := 1; budget <= 12; budget++ {
+		p, d, out := ws.BiDijkstraPathLim(0, 9, Limits{NodeBudget: budget})
+		if out == OutcomeDone {
+			if d != want {
+				t.Fatalf("budget %d: done with %d, want %d", budget, d, want)
+			}
+			continue
+		}
+		if d == NoDist {
+			continue
+		}
+		if d < want {
+			t.Fatalf("budget %d: bound %d undercuts %d", budget, d, want)
+		}
+		var sum uint32
+		for i := 0; i+1 < len(p); i++ {
+			w, ok := edgeWeight(g, p[i], p[i+1])
+			if !ok {
+				t.Fatalf("budget %d: path %v uses missing edge %d-%d", budget, p, p[i], p[i+1])
+			}
+			sum += w
+		}
+		if sum != d {
+			t.Fatalf("budget %d: path %v sums to %d, bound says %d", budget, p, sum, d)
+		}
+	}
+}
+
+// edgeWeight looks up the weight of edge {u,v}.
+func edgeWeight(g *graph.Graph, u, v uint32) (uint32, bool) {
+	adj := g.Neighbors(u)
+	ws := g.NeighborWeights(u)
+	for i, x := range adj {
+		if x == v {
+			if ws == nil {
+				return 1, true
+			}
+			return ws[i], true
+		}
+	}
+	return 0, false
+}

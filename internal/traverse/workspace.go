@@ -20,6 +20,39 @@ import (
 // NoDist is the sentinel distance for unreachable nodes.
 const NoDist = ^uint32(0)
 
+// Limits bounds a point-to-point search; the zero value imposes none.
+// Both limits stop the search early with whatever crossing it has found
+// so far — for the bidirectional searches every candidate crossing is
+// the length of a real s→t path, so the reported distance is an upper
+// bound on the true distance (NoDist when the frontiers never met).
+type Limits struct {
+	// NodeBudget caps node expansions (frontier pops / heap settles);
+	// 0 means unlimited. Exceeding it yields OutcomeBudget.
+	NodeBudget int
+	// Done, when non-nil, is polled every limitCheckEvery expansions
+	// (context.Context.Done plugs in directly); once it is closed the
+	// search stops with OutcomeStopped.
+	Done <-chan struct{}
+}
+
+// Outcome reports how a limited search ended.
+type Outcome uint8
+
+const (
+	// OutcomeDone: the search ran to its normal termination; the result
+	// is exact (or exact unreachability).
+	OutcomeDone Outcome = iota
+	// OutcomeBudget: the node budget ran out first.
+	OutcomeBudget
+	// OutcomeStopped: Done was closed first.
+	OutcomeStopped
+)
+
+// limitCheckEvery is how many expansions pass between Done polls (a
+// power of two so the check compiles to a mask). Budgets are enforced
+// on every expansion; only the channel poll is amortized.
+const limitCheckEvery = 64
+
 // SatAdd returns a+b saturating at NoDist. Every sum of two stored
 // distances must go through it: with large weighted distances a raw
 // uint32 add can wrap past NoDist, and a wrapped candidate would beat
@@ -107,6 +140,10 @@ type Workspace struct {
 
 	// scratch for frontier collection and path assembly.
 	scratch []uint32
+
+	// expanded counts node expansions of the current/last search; the
+	// limited bidirectional searches charge their budget against it.
+	expanded int
 }
 
 // NewWorkspace returns a Workspace for searches over g.
@@ -128,8 +165,13 @@ func NewWorkspace(g *graph.Graph) *Workspace {
 // Graph returns the graph this workspace searches.
 func (ws *Workspace) Graph() *graph.Graph { return ws.g }
 
+// Expanded returns the number of nodes the last search on this
+// workspace expanded — the cost a Limits.NodeBudget is charged against.
+func (ws *Workspace) Expanded() int { return ws.expanded }
+
 // reset prepares all scratch state for a fresh search.
 func (ws *Workspace) reset() {
+	ws.expanded = 0
 	ws.fwd.Reset()
 	ws.bwd.Reset()
 	ws.qf.Reset()

@@ -48,11 +48,19 @@ const (
 	TypeError        MsgType = 9
 	TypeBatchReq     MsgType = 11
 	TypeBatchResp    MsgType = 12
+	TypeQueryReq     MsgType = 13
+	TypeQueryResp    MsgType = 14
 )
 
 // MaxBatchTargets caps one batch request's target count, keeping the
 // response frame (7 bytes per item) comfortably under MaxFrame.
 const MaxBatchTargets = 1 << 20
+
+// MaxDeadlineMS bounds QueryRequest.DeadlineMS (1 hour; anything
+// longer is indistinguishable from "no deadline" for a query server).
+// Servers reject larger values; clients clamp to it, since a clamped
+// hour-long deadline and the caller's longer one behave identically.
+const MaxDeadlineMS = 3_600_000
 
 // String returns the wire name of the message type.
 func (t MsgType) String() string {
@@ -79,19 +87,53 @@ func (t MsgType) String() string {
 		return "batch-request"
 	case TypeBatchResp:
 		return "batch-response"
+	case TypeQueryReq:
+		return "query-request"
+	case TypeQueryResp:
+		return "query-response"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
 }
 
-// Error codes carried by ErrorResponse.
+// Error codes carried by ErrorResponse and by per-item results; the
+// wire image of the oracle's error taxonomy (core.ErrNodeRange etc.),
+// mapped back to the same sentinels by the client.
 const (
 	CodeBadRequest  uint16 = 1 // malformed or unknown message
-	CodeOutOfRange  uint16 = 2 // node id beyond the graph
-	CodeNotCovered  uint16 = 3 // node outside the oracle's build scope
+	CodeOutOfRange  uint16 = 2 // node id beyond the graph (ErrNodeRange)
+	CodeNotCovered  uint16 = 3 // node outside the oracle's build scope (ErrNotCovered)
 	CodeUnavailable uint16 = 4 // server shutting down or overloaded
 	CodeInternal    uint16 = 5
+	CodeBudget      uint16 = 6 // fallback node budget exhausted (ErrBudgetExceeded)
+	CodeCanceled    uint16 = 7 // deadline expired or request canceled (ErrCanceled)
+	CodeStale       uint16 = 8 // update against a superseded snapshot (ErrStaleSnapshot)
 )
+
+// QueryRequest flag bits.
+const (
+	// QueryWantPath asks for the path(s) in the response items.
+	QueryWantPath uint8 = 1 << 0
+	// QueryWantStats asks for the cost counters in the response.
+	QueryWantStats uint8 = 1 << 1
+	// QueryMany marks a one-to-many request: Ts carries the targets
+	// (possibly zero of them) and T is ignored. Without it the request
+	// is single-target and Ts must be empty.
+	QueryMany uint8 = 1 << 2
+)
+
+// ClampU32 narrows a counter for the wire, saturating instead of
+// wrapping (negative values read as 0). Client and server share it so
+// both sides narrow identically.
+func ClampU32(v int) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if uint64(v) > uint64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(v)
+}
 
 // Message is implemented by every protocol message.
 type Message interface {
@@ -157,6 +199,44 @@ type BatchResponse struct {
 	Items []BatchItem
 }
 
+// QueryRequest is the v2 request frame: one source, one target (T) or
+// many (Ts, with the QueryMany flag), a relative deadline in
+// milliseconds (0 = none; the server enforces it inside the fallback
+// search loop), a fallback-search node budget (0 = unlimited), the
+// fallback policy (core.Policy numbering) and the Query* flag bits.
+type QueryRequest struct {
+	S          uint32
+	T          uint32
+	Ts         []uint32
+	DeadlineMS uint32
+	Budget     uint32
+	Policy     uint8
+	Flags      uint8
+}
+
+// QueryItem is one target's answer in a QueryResponse. Code 0 means
+// success; CodeBudget and CodeCanceled still carry a usable Dist (the
+// best-known upper bound, NoDist-filled when none was found).
+type QueryItem struct {
+	Code   uint16
+	Dist   uint32
+	Method uint8
+	Path   []uint32
+}
+
+// QueryResponse answers a QueryRequest: the oracle snapshot epoch, the
+// per-request cost counters (zero unless QueryWantStats was set), and
+// one item per target (exactly one for single-target requests), in
+// request order.
+type QueryResponse struct {
+	Epoch     uint64
+	Lookups   uint32
+	Scanned   uint32
+	Expanded  uint32
+	Fallbacks uint32
+	Items     []QueryItem
+}
+
 // PingRequest is a liveness probe; the token round-trips.
 type PingRequest struct{ Token uint64 }
 
@@ -183,6 +263,8 @@ func (*StatsRequest) WireType() MsgType     { return TypeStatsReq }
 func (*StatsResponse) WireType() MsgType    { return TypeStatsResp }
 func (*BatchRequest) WireType() MsgType     { return TypeBatchReq }
 func (*BatchResponse) WireType() MsgType    { return TypeBatchResp }
+func (*QueryRequest) WireType() MsgType     { return TypeQueryReq }
+func (*QueryResponse) WireType() MsgType    { return TypeQueryResp }
 func (*PingRequest) WireType() MsgType      { return TypePingReq }
 func (*PingResponse) WireType() MsgType     { return TypePingResp }
 func (*ErrorResponse) WireType() MsgType    { return TypeError }
@@ -257,6 +339,10 @@ func Unmarshal(payload []byte) (Message, error) {
 		msg = &BatchRequest{}
 	case TypeBatchResp:
 		msg = &BatchResponse{}
+	case TypeQueryReq:
+		msg = &QueryRequest{}
+	case TypeQueryResp:
+		msg = &QueryResponse{}
 	case TypePingReq:
 		msg = &PingRequest{}
 	case TypePingResp:
@@ -447,6 +533,123 @@ func (m *BatchResponse) parsePayload(src []byte) error {
 			Method: src[off+4],
 			Code:   binary.BigEndian.Uint16(src[off+5:]),
 		}
+	}
+	return nil
+}
+
+func (m *QueryRequest) appendPayload(dst []byte) []byte {
+	dst = appendU32(dst, m.S)
+	dst = appendU32(dst, m.T)
+	dst = appendU32(dst, m.DeadlineMS)
+	dst = appendU32(dst, m.Budget)
+	dst = append(dst, m.Policy, m.Flags)
+	dst = appendU32(dst, uint32(len(m.Ts)))
+	for _, t := range m.Ts {
+		dst = appendU32(dst, t)
+	}
+	return dst
+}
+
+func (m *QueryRequest) parsePayload(src []byte) error {
+	if len(src) < 22 {
+		return ErrTruncated
+	}
+	m.S = binary.BigEndian.Uint32(src)
+	m.T = binary.BigEndian.Uint32(src[4:])
+	m.DeadlineMS = binary.BigEndian.Uint32(src[8:])
+	m.Budget = binary.BigEndian.Uint32(src[12:])
+	m.Policy = src[16]
+	m.Flags = src[17]
+	count := binary.BigEndian.Uint32(src[18:])
+	if count > MaxBatchTargets {
+		return fmt.Errorf("wire: query of %d targets exceeds the %d cap", count, MaxBatchTargets)
+	}
+	if m.Flags&QueryMany == 0 && count != 0 {
+		return fmt.Errorf("wire: single-target query carries %d targets", count)
+	}
+	if uint64(len(src)) != 22+4*uint64(count) {
+		return ErrTruncated
+	}
+	if count == 0 {
+		m.Ts = nil
+		return nil
+	}
+	m.Ts = make([]uint32, count)
+	for i := range m.Ts {
+		m.Ts[i] = binary.BigEndian.Uint32(src[22+4*i:])
+	}
+	return nil
+}
+
+func (m *QueryResponse) appendPayload(dst []byte) []byte {
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU32(dst, m.Lookups)
+	dst = appendU32(dst, m.Scanned)
+	dst = appendU32(dst, m.Expanded)
+	dst = appendU32(dst, m.Fallbacks)
+	dst = appendU32(dst, uint32(len(m.Items)))
+	for _, it := range m.Items {
+		dst = binary.BigEndian.AppendUint16(dst, it.Code)
+		dst = appendU32(dst, it.Dist)
+		dst = append(dst, it.Method)
+		dst = appendU32(dst, uint32(len(it.Path)))
+		for _, v := range it.Path {
+			dst = appendU32(dst, v)
+		}
+	}
+	return dst
+}
+
+func (m *QueryResponse) parsePayload(src []byte) error {
+	if len(src) < 28 {
+		return ErrTruncated
+	}
+	m.Epoch = binary.BigEndian.Uint64(src)
+	m.Lookups = binary.BigEndian.Uint32(src[8:])
+	m.Scanned = binary.BigEndian.Uint32(src[12:])
+	m.Expanded = binary.BigEndian.Uint32(src[16:])
+	m.Fallbacks = binary.BigEndian.Uint32(src[20:])
+	count := binary.BigEndian.Uint32(src[24:])
+	if count > MaxBatchTargets {
+		return fmt.Errorf("wire: query response of %d items exceeds the %d cap", count, MaxBatchTargets)
+	}
+	// Never allocate from the untrusted count alone: each item needs at
+	// least 11 payload bytes, so a tiny frame claiming a huge count is
+	// rejected before make() can be used as an allocation amplifier.
+	if uint64(count)*11 > uint64(len(src)-28) {
+		return ErrTruncated
+	}
+	off := 28
+	if count == 0 {
+		m.Items = nil
+	} else {
+		m.Items = make([]QueryItem, count)
+	}
+	for i := range m.Items {
+		if len(src)-off < 11 {
+			return ErrTruncated
+		}
+		it := QueryItem{
+			Code:   binary.BigEndian.Uint16(src[off:]),
+			Dist:   binary.BigEndian.Uint32(src[off+2:]),
+			Method: src[off+6],
+		}
+		plen := binary.BigEndian.Uint32(src[off+7:])
+		off += 11
+		if uint64(plen) > uint64(len(src)-off)/4 {
+			return ErrTruncated
+		}
+		if plen > 0 {
+			it.Path = make([]uint32, plen)
+			for j := range it.Path {
+				it.Path[j] = binary.BigEndian.Uint32(src[off+4*j:])
+			}
+			off += 4 * int(plen)
+		}
+		m.Items[i] = it
+	}
+	if off != len(src) {
+		return ErrTruncated
 	}
 	return nil
 }

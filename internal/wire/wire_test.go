@@ -36,6 +36,12 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&BatchRequest{S: 4, Ts: nil},
 		&BatchResponse{Items: []BatchItem{{Dist: 3, Method: 6}, {Dist: ^uint32(0), Method: 0, Code: CodeOutOfRange}}},
 		&BatchResponse{Items: nil},
+		&QueryRequest{S: 1, T: 2, DeadlineMS: 250, Budget: 4096, Policy: 1, Flags: QueryWantPath | QueryWantStats},
+		&QueryRequest{S: 1, Ts: []uint32{3, 4, ^uint32(0)}, Flags: QueryMany},
+		&QueryRequest{S: 1, Flags: QueryMany},
+		&QueryResponse{Epoch: 7, Lookups: 1, Scanned: 2, Expanded: 3, Fallbacks: 4,
+			Items: []QueryItem{{Code: CodeBudget, Dist: 12, Method: 10, Path: []uint32{0, 5, 9}}, {Dist: ^uint32(0)}}},
+		&QueryResponse{Items: nil},
 		&PingRequest{Token: 42},
 		&PingResponse{Token: 43},
 		&ErrorResponse{Code: CodeOutOfRange, Message: "node 99 out of range"},
@@ -253,5 +259,61 @@ func TestBatchCaps(t *testing.T) {
 	payload = append(payload, 1, 2, 3) // not 2×7 bytes of items
 	if _, err := Unmarshal(payload); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestQueryFrameValidation covers the v2 frames' malformed-input paths:
+// truncation at every boundary, target caps, single-target requests
+// smuggling a target list, and path-length counts that overrun the
+// payload.
+func TestQueryFrameValidation(t *testing.T) {
+	frame := func(msg Message) []byte { return Marshal(msg)[4:] } // payload incl. header
+
+	// Truncate a valid request at every length.
+	req := frame(&QueryRequest{S: 1, Ts: []uint32{2, 3}, Flags: QueryMany})
+	for cut := 3; cut < len(req); cut++ {
+		if _, err := Unmarshal(req[:cut]); err == nil {
+			t.Fatalf("truncated request at %d accepted", cut)
+		}
+	}
+	resp := frame(&QueryResponse{Items: []QueryItem{{Dist: 4, Path: []uint32{1, 2}}}})
+	for cut := 3; cut < len(resp); cut++ {
+		if _, err := Unmarshal(resp[:cut]); err == nil {
+			t.Fatalf("truncated response at %d accepted", cut)
+		}
+	}
+
+	// A single-target request must not carry targets.
+	bad := frame(&QueryRequest{S: 1, Ts: []uint32{2}, Flags: QueryMany})
+	bad[17+2] &^= QueryMany // clear the flag, keep the count — offset: 2 header + 17
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("single-target request with targets accepted")
+	}
+
+	// Path length claiming more words than the payload holds.
+	over := frame(&QueryResponse{Items: []QueryItem{{Path: []uint32{1}}}})
+	over[2+28+7] = 0xFF // inflate the item's path count far beyond the frame
+	if _, err := Unmarshal(over); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overrun path count: %v", err)
+	}
+
+	// Target counts beyond the batch cap are refused without allocating.
+	huge := frame(&QueryRequest{S: 1, Flags: QueryMany})
+	binary.BigEndian.PutUint32(huge[2+18:], MaxBatchTargets+1)
+	if _, err := Unmarshal(huge); err == nil {
+		t.Fatal("oversized target count accepted")
+	}
+}
+
+// TestQueryResponseCountAmplification rejects a tiny frame claiming a
+// huge item count before any allocation happens (the header-count-
+// trusting pattern the graph reader was hardened against).
+func TestQueryResponseCountAmplification(t *testing.T) {
+	payload := []byte{Version, byte(TypeQueryResp)}
+	payload = append(payload, make([]byte, 24)...) // epoch + cost fields
+	payload = appendU32(payload, MaxBatchTargets)  // claims 1M items...
+	payload = appendU32(payload, 0)                // ...in 4 spare bytes
+	if _, err := Unmarshal(payload); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("amplified count: %v, want ErrTruncated", err)
 	}
 }

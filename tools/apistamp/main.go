@@ -1,0 +1,228 @@
+// Command apistamp prints (or checks) the exported API surface of a Go
+// package as a sorted, canonical text stamp — a dependency-free stand-in
+// for apidiff that works offline. CI diffs the stamp of the public
+// vicinity package against the committed golden file, so accidental
+// breaking changes (removed or re-typed exported symbols) fail the
+// build; intentional API changes regenerate the file with -write and
+// show up in review as a readable diff.
+//
+// Usage:
+//
+//	go run ./tools/apistamp -dir .                      # print to stdout
+//	go run ./tools/apistamp -dir . -write api/vicinity.txt
+//	go run ./tools/apistamp -dir . -check api/vicinity.txt
+//
+// The stamp covers exported constants, variables, functions, methods
+// (with receiver), type declarations, and the exported fields of
+// exported structs / methods of exported interfaces. Unexported detail
+// never enters the stamp, so internal refactors do not churn it.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to stamp")
+	write := flag.String("write", "", "write the stamp to this file")
+	check := flag.String("check", "", "compare the stamp against this golden file; exit 1 on drift")
+	flag.Parse()
+
+	stamp, err := stampDir(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apistamp:", err)
+		os.Exit(2)
+	}
+	switch {
+	case *write != "":
+		if err := os.WriteFile(*write, []byte(stamp), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apistamp:", err)
+			os.Exit(2)
+		}
+	case *check != "":
+		want, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apistamp:", err)
+			os.Exit(2)
+		}
+		if string(want) != stamp {
+			fmt.Fprintf(os.Stderr, "apistamp: exported API drifted from %s\n", *check)
+			printDiff(string(want), stamp)
+			fmt.Fprintf(os.Stderr, "\nif intentional, regenerate with: go run ./tools/apistamp -dir %s -write %s\n", *dir, *check)
+			os.Exit(1)
+		}
+	default:
+		fmt.Print(stamp)
+	}
+}
+
+// printDiff reports line-level drift without shelling out to diff.
+func printDiff(want, got string) {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintln(os.Stderr, "  - "+l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintln(os.Stderr, "  + "+l)
+		}
+	}
+}
+
+// stampDir parses every non-test Go file in dir and renders the sorted
+// exported API.
+func stampDir(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// declLines renders one top-level declaration's exported surface.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		recv := ""
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			rt := exprString(fset, d.Recv.List[0].Type)
+			if !exportedReceiver(rt) {
+				return nil
+			}
+			recv = "(" + rt + ") "
+		}
+		return []string{"func " + recv + d.Name.Name + strings.TrimPrefix(exprString(fset, d.Type), "func")}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				typ := ""
+				if s.Type != nil {
+					typ = " " + exprString(fset, s.Type)
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, kw+" "+name.Name+typ)
+					}
+				}
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				out = append(out, typeLines(fset, s)...)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedReceiver reports whether a receiver type like "*Oracle" or
+// "Stats" names an exported type.
+func exportedReceiver(rt string) bool {
+	rt = strings.TrimPrefix(rt, "*")
+	if i := strings.IndexByte(rt, '['); i >= 0 { // generic receiver
+		rt = rt[:i]
+	}
+	return rt != "" && ast.IsExported(rt)
+}
+
+// typeLines renders one exported type: its kind line plus exported
+// struct fields or interface methods.
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	assign := " "
+	if s.Assign != 0 {
+		assign = " = "
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{"type " + name + " struct"}
+		for _, f := range t.Fields.List {
+			typ := exprString(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				if ast.IsExported(strings.TrimPrefix(typ, "*")) {
+					out = append(out, "type "+name+" struct: "+typ+" (embedded)")
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					out = append(out, "type "+name+" struct: "+fn.Name+" "+typ)
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{"type " + name + " interface"}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				out = append(out, "type "+name+" interface: "+exprString(fset, m.Type)+" (embedded)")
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					out = append(out, "type "+name+" interface: "+mn.Name+strings.TrimPrefix(exprString(fset, m.Type), "func"))
+				}
+			}
+		}
+		return out
+	default:
+		if s.Assign != 0 {
+			return []string{"type " + name + assign + exprString(fset, s.Type)}
+		}
+		return []string{"type " + name + " " + exprString(fset, s.Type)}
+	}
+}
+
+// exprString renders an AST expression in canonical gofmt form.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	// Collapse any multi-line rendering (struct literals in types etc.)
+	// so every stamp entry is one line.
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

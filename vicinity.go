@@ -48,6 +48,7 @@
 package vicinity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -170,6 +171,9 @@ const (
 	MethodFallbackEstimate = core.MethodFallbackEstimate
 	// MethodUnreachable: no path exists.
 	MethodUnreachable = core.MethodUnreachable
+	// MethodBudgetBound: a budgeted or canceled fallback stopped early;
+	// the distance is its best-known upper bound (Query only).
+	MethodBudgetBound = core.MethodBudgetBound
 )
 
 // Fallback selects the behavior for queries the tables cannot resolve.
@@ -361,17 +365,104 @@ func (o *Oracle) AddNode() (uint32, error) {
 	return id, nil
 }
 
+// Request describes one request-scoped query for Query: a source, one
+// target (T) or many (Ts), and per-request overrides — fallback Policy,
+// a fallback search node Budget, and the WantPath/WantStats flags. The
+// zero value of every override reproduces the legacy behavior exactly.
+type Request = core.Request
+
+// Result carries the answer(s) of one Query: distance/method/path for
+// a single target, Items for one-to-many, plus the snapshot Epoch that
+// answered and the per-request cost counters.
+type Result = core.Result
+
+// ItemResult is one target's answer in a one-to-many Result.
+type ItemResult = core.ItemResult
+
+// Cost aggregates the work one Query performed (table look-ups, scan
+// members examined, fallback searches and their node expansions).
+type Cost = core.Cost
+
+// Policy selects per-request fallback handling, overriding the
+// build-time Options default for one query.
+type Policy = core.Policy
+
+// Per-request fallback policies.
+const (
+	// PolicyDefault uses the oracle's build-time fallback.
+	PolicyDefault = core.PolicyDefault
+	// PolicyFull answers unresolved queries with the exact
+	// bidirectional search (bounded by Request.Budget and ctx).
+	PolicyFull = core.PolicyFull
+	// PolicyEstimate answers unresolved queries with the landmark
+	// triangulation upper bound (no search).
+	PolicyEstimate = core.PolicyEstimate
+	// PolicyTableOnly answers from the stored tables only.
+	PolicyTableOnly = core.PolicyTableOnly
+)
+
+// ParsePolicy parses "default", "full", "estimate" or "table".
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// The query error taxonomy. Every error returned by the query surface
+// wraps one of these sentinels (plus ErrWeightedUpdate on the update
+// surface), so callers branch with errors.Is instead of matching
+// strings; the wire protocol and HTTP API carry the same taxonomy as
+// typed error codes.
+var (
+	// ErrNodeRange: a query node id is >= NumNodes.
+	ErrNodeRange = core.ErrNodeRange
+	// ErrNotCovered: a query node is outside the build scope.
+	ErrNotCovered = core.ErrNotCovered
+	// ErrUnreachable: the taxonomy entry tools use to surface "no
+	// path" as an error; the query engine itself reports
+	// unreachability in-band (NoDist + MethodUnreachable, nil error).
+	ErrUnreachable = core.ErrUnreachable
+	// ErrBudgetExceeded: a fallback search stopped at Request.Budget
+	// node expansions; the Result still carries the best-known upper
+	// bound.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrCanceled: the request context was canceled or its deadline
+	// expired mid-query; wraps the context's own error.
+	ErrCanceled = core.ErrCanceled
+	// ErrStaleSnapshot: updates were applied to a superseded snapshot.
+	ErrStaleSnapshot = core.ErrStaleSnapshot
+)
+
+// Query answers one request-scoped query against the oracle's current
+// epoch: per-request fallback policy, a node budget for the fallback
+// search, and context cancellation honored inside the search loop.
+// With a zero-override Request the answer is bit-identical to the
+// legacy calls; see the core package's Query documentation for the
+// budget and cancellation contracts. The legacy Distance, Path,
+// DistanceMany and PathMany methods are thin wrappers over Query and
+// remain fully supported; new callers should prefer Query, which is
+// the surface deadlines, budgets and future per-request controls are
+// added to.
+func (o *Oracle) Query(ctx context.Context, req Request) (Result, error) {
+	return o.cur().o.Query(ctx, req)
+}
+
 // Distance returns the distance from s to t and the method that
 // resolved it. NoDist means unreachable (MethodUnreachable) or
 // unresolved (MethodNone).
+//
+// Distance is a thin wrapper over Query with a default-policy Request;
+// use Query directly for deadlines, budgets or per-query policy.
 func (o *Oracle) Distance(s, t uint32) (uint32, Method, error) {
-	return o.cur().o.Distance(s, t)
+	res, err := o.cur().o.Query(context.Background(), core.Request{S: s, T: t})
+	return res.Dist, res.Method, err
 }
 
 // Path returns a shortest path from s to t inclusive of endpoints, or
 // nil when no path exists or the query is unresolved.
+//
+// Path is a thin wrapper over Query with a default-policy Request and
+// WantPath set; use Query directly for deadlines, budgets or
+// per-query policy.
 func (o *Oracle) Path(s, t uint32) ([]uint32, Method, error) {
-	return o.cur().o.Path(s, t)
+	res, err := o.cur().o.Query(context.Background(), core.Request{S: s, T: t, WantPath: true})
+	return res.Path, res.Method, err
 }
 
 // BatchResult is one target's answer in a DistanceMany batch: the
@@ -396,8 +487,28 @@ type BatchStats = core.BatchStats
 //
 // The whole batch reads one oracle epoch: updates applied concurrently
 // never mix snapshots within a batch.
+//
+// DistanceMany is a thin wrapper over Query with a default-policy
+// one-to-many Request.
 func (o *Oracle) DistanceMany(s uint32, ts []uint32) ([]BatchResult, error) {
-	return o.cur().o.DistanceMany(s, ts)
+	res, err := o.cur().o.Query(context.Background(), manyRequest(s, ts, false))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(res.Items))
+	for i, it := range res.Items {
+		out[i] = BatchResult{Dist: it.Dist, Method: it.Method, Err: it.Err}
+	}
+	return out, nil
+}
+
+// manyRequest builds a one-to-many Request; a nil target slice still
+// selects the batch path (Query treats nil Ts as single-target).
+func manyRequest(s uint32, ts []uint32, wantPath bool) core.Request {
+	if ts == nil {
+		ts = []uint32{}
+	}
+	return core.Request{S: s, Ts: ts, WantPath: wantPath}
 }
 
 // DistanceManyStats is DistanceMany with batch instrumentation added
@@ -409,8 +520,19 @@ func (o *Oracle) DistanceManyStats(s uint32, ts []uint32, bst *BatchStats) ([]Ba
 // PathMany answers one-to-many path queries against a single oracle
 // epoch; each target's path, method and error are identical to
 // Path(s, ts[i]).
+//
+// PathMany is a thin wrapper over Query with a default-policy
+// one-to-many Request and WantPath set.
 func (o *Oracle) PathMany(s uint32, ts []uint32) ([]BatchPathResult, error) {
-	return o.cur().o.PathMany(s, ts)
+	res, err := o.cur().o.Query(context.Background(), manyRequest(s, ts, true))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchPathResult, len(res.Items))
+	for i, it := range res.Items {
+		out[i] = BatchPathResult{Path: it.Path, Method: it.Method, Err: it.Err}
+	}
+	return out, nil
 }
 
 // IsLandmark reports whether u is in the sampled landmark set L.

@@ -1,9 +1,13 @@
 package vicinity
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"vicinity/internal/traverse"
 	"vicinity/internal/xrand"
@@ -468,4 +472,156 @@ func seqTargets(n uint32, count int) []uint32 {
 		ts[i] = (uint32(i) * 37) % n
 	}
 	return ts
+}
+
+// TestQueryPublicSurface covers the public request-scoped API: default
+// equivalence with the legacy wrappers, per-request policy and budget,
+// and the exported error taxonomy under errors.Is.
+func TestQueryPublicSurface(t *testing.T) {
+	g := GenerateSocial(1500, 5, 3)
+	o, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r := xrand.New(9)
+	for trial := 0; trial < 150; trial++ {
+		s, u := r.Uint32n(1500), r.Uint32n(1500)
+		d, m, _ := o.Distance(s, u)
+		res, err := o.Query(ctx, Request{S: s, T: u})
+		if err != nil || res.Dist != d || res.Method != m {
+			t.Fatalf("Query(%d,%d) = (%d, %v, %v), Distance says (%d, %v)",
+				s, u, res.Dist, res.Method, err, d, m)
+		}
+	}
+
+	// Policy and flags flow through.
+	res, err := o.Query(ctx, Request{S: 1, T: 2, Policy: PolicyTableOnly, WantPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist != NoDist && len(res.Path) == 0 {
+		t.Fatalf("WantPath returned no path for a resolved pair: %+v", res)
+	}
+	if _, err := ParsePolicy("full"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePolicy("warp-drive"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+
+	// The exported taxonomy: every failure mode is errors.Is-able.
+	if _, err := o.Query(ctx, Request{S: 99999, T: 0}); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("out of range: %v", err)
+	}
+	if _, _, err := o.Distance(99999, 0); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("legacy out of range: %v", err)
+	}
+	expired, cancel := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel()
+	<-expired.Done()
+	// Find a fallback pair to exercise cancellation (resolved pairs
+	// answer regardless of the dead context).
+	found := false
+	for trial := 0; trial < 5000 && !found; trial++ {
+		s, u := r.Uint32n(1500), r.Uint32n(1500)
+		if _, m, _ := o.Distance(s, u); m != MethodFallbackExact {
+			continue
+		}
+		found = true
+		if _, err := o.Query(expired, Request{S: s, T: u}); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("expired ctx on fallback pair: %v", err)
+		}
+		res, err := o.Query(ctx, Request{S: s, T: u, Budget: 1})
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("budget 1 on fallback pair: %v", err)
+		}
+		if res.Method != MethodNone && res.Method != MethodBudgetBound {
+			t.Fatalf("budget method %v", res.Method)
+		}
+	}
+	if !found {
+		t.Skip("no fallback pair in 5000 samples; α too generous for this seed")
+	}
+
+	// Scoped build: ErrNotCovered through wrapper and Query alike.
+	scoped, err := Build(g, &Options{Seed: 3, Nodes: []uint32{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncovered := uint32(700)
+	for scoped.IsLandmark(uncovered) {
+		uncovered++
+	}
+	if _, _, err := scoped.Distance(0, uncovered); !errors.Is(err, ErrNotCovered) {
+		t.Fatalf("scoped Distance: %v, want ErrNotCovered", err)
+	}
+	if _, err := scoped.Query(ctx, Request{S: 0, T: uncovered}); !errors.Is(err, ErrNotCovered) {
+		t.Fatalf("scoped Query: %v, want ErrNotCovered", err)
+	}
+
+	// Stale snapshots surface through ApplyUpdates on the core chain;
+	// the public Oracle serializes updates so callers never see it, but
+	// the sentinel must still be exported for wire/HTTP clients.
+	if ErrStaleSnapshot == nil || ErrUnreachable == nil {
+		t.Fatal("taxonomy sentinels missing")
+	}
+}
+
+// TestQueryDeadlinesDuringPublicUpdates races deadline- and
+// budget-bounded queries against concurrent ApplyUpdates through the
+// public epoch-swapping Oracle (run under -race): every answer must be
+// coherent and every error typed.
+func TestQueryDeadlinesDuringPublicUpdates(t *testing.T) {
+	g := GenerateSocial(800, 4, 7)
+	o, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := xrand.New(1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := o.ApplyUpdates(Update{Edges: [][2]uint32{{r.Uint32n(800), r.Uint32n(800)}}})
+			if err != nil {
+				panic(err)
+			}
+		}
+	}()
+	var qg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		qg.Add(1)
+		go func(seed uint64) {
+			defer qg.Done()
+			r := xrand.New(seed)
+			for i := 0; i < 200; i++ {
+				s, u := r.Uint32n(800), r.Uint32n(800)
+				ctx, cancel := context.WithTimeout(context.Background(), 100*time.Microsecond)
+				res, err := o.Query(ctx, Request{S: s, T: u, Budget: 64 * (i%3 + 1), WantPath: i%2 == 0})
+				cancel()
+				switch {
+				case err == nil:
+					if res.Method.Exact() && res.Dist != NoDist && res.Method != MethodSame && len(res.Path) > 0 {
+						if uint32(len(res.Path)-1) != res.Dist {
+							panic(fmt.Sprintf("path/dist mismatch: %d hops for %d", len(res.Path)-1, res.Dist))
+						}
+					}
+				case errors.Is(err, ErrCanceled), errors.Is(err, ErrBudgetExceeded):
+				default:
+					panic(fmt.Sprintf("untyped error %v", err))
+				}
+			}
+		}(uint64(100 + w))
+	}
+	qg.Wait()
+	close(stop)
+	wg.Wait()
 }
