@@ -35,7 +35,11 @@
 // answered one by one, reporting p50/p95/p99 batch latency,
 // queries/sec, and the amortization factor, for both a ranking-shaped
 // candidate mix (table-resolved targets) and a uniform-random mix.
-// -qps paces batch issuance at the given queries/sec (0 = unthrottled).
+// -qps paces batch issuance at the given queries/sec (0 = unthrottled);
+// -batch-parallel fans each batch across workers (answers stay
+// bit-identical); -json writes the results in the same
+// vicinity-bench/v1 schema cmd/spload emits, so micro and macro
+// numbers share one trajectory format.
 package main
 
 import (
@@ -48,9 +52,11 @@ import (
 	"strings"
 	"time"
 
+	"vicinity/internal/benchfmt"
 	"vicinity/internal/core"
 	"vicinity/internal/expt"
 	"vicinity/internal/gen"
+	"vicinity/internal/lhist"
 	"vicinity/internal/xrand"
 )
 
@@ -143,23 +149,27 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 // queryOverrides carries the per-request v2 knobs (-timeout, -budget,
-// -policy) into the batch benchmark.
+// -policy, -batch-parallel) into the batch benchmark.
 type queryOverrides struct {
-	timeout time.Duration
-	budget  int
-	policy  core.Policy
+	timeout  time.Duration
+	budget   int
+	policy   core.Policy
+	parallel int
 }
 
 // active reports whether any override departs from legacy behavior.
 func (q queryOverrides) active() bool {
-	return q.timeout > 0 || q.budget > 0 || q.policy != core.PolicyDefault
+	return q.timeout > 0 || q.budget > 0 || q.policy != core.PolicyDefault || q.parallel > 1
 }
 
 // batchBench builds the dataset oracle and measures one-to-many
 // rankings (DistanceMany) against the same pairs answered one by one.
 // With any v2 override set the batches run through Query instead, and
 // the report adds how many targets hit the budget or the deadline.
-func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float64, qo queryOverrides) error {
+// jsonPath, when set, additionally writes the run as a
+// vicinity-bench/v1 report so these in-process micro numbers land in
+// the same trajectory format as spload's served macro numbers.
+func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float64, qo queryOverrides, jsonPath string) error {
 	prof, err := gen.ProfileByName(dataset)
 	if err != nil {
 		return err
@@ -173,13 +183,31 @@ func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float
 	}
 	fmt.Printf("built in %v: %s\n\n", time.Since(start).Round(time.Millisecond), o.Stats())
 
+	report := &benchfmt.Report{
+		Schema: benchfmt.Schema,
+		Tool:   "spbench",
+		Host:   "in-process",
+		Config: map[string]string{
+			"dataset":  prof.Name,
+			"nodes":    fmt.Sprint(g.NumNodes()),
+			"targets":  fmt.Sprint(targets),
+			"batches":  fmt.Sprint(batches),
+			"qps":      fmt.Sprint(qps),
+			"policy":   qo.policy.String(),
+			"budget":   fmt.Sprint(qo.budget),
+			"timeout":  qo.timeout.String(),
+			"parallel": fmt.Sprint(qo.parallel),
+		},
+	}
+
 	n := uint32(g.NumNodes())
 	for _, mix := range []struct {
 		name         string
+		short        string
 		resolvedOnly bool
 	}{
-		{"ranking (table-resolved candidates)", true},
-		{"uniform random targets", false},
+		{"ranking (table-resolved candidates)", "batch-ranking", true},
+		{"uniform random targets", "batch-uniform", false},
 	} {
 		r := xrand.New(cfg.Seed + 1)
 		ss := make([]uint32, batches)
@@ -201,6 +229,7 @@ func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float
 
 		var bst core.BatchStats
 		var cost core.Cost
+		var hist lhist.Hist
 		var budgetHits, deadlineHits int
 		lats := make([]time.Duration, batches)
 		interval := time.Duration(0)
@@ -225,6 +254,7 @@ func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float
 				}
 				res, err := o.Query(ctx, core.Request{
 					S: ss[i], Ts: tss[i], Policy: qo.policy, Budget: qo.budget,
+					Parallel: qo.parallel,
 				})
 				cancel()
 				if err != nil && res.Items == nil {
@@ -248,6 +278,7 @@ func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float
 				return err
 			}
 			lats[i] = time.Since(qStart)
+			hist.Observe(int64(lats[i]))
 		}
 		batchElapsed := time.Since(batchStart)
 
@@ -282,6 +313,36 @@ func batchBench(dataset string, cfg expt.Config, targets, batches int, qps float
 		} else {
 			fmt.Printf("  work: %s\n\n", bst)
 		}
+
+		w := benchfmt.Workload{
+			Name:        mix.short,
+			Kind:        "batch",
+			DurationSec: batchElapsed.Seconds(),
+			OfferedQPS:  qps,
+			Requests:    int64(batches),
+			Queries:     queries,
+			AchievedQPS: float64(queries) / batchElapsed.Seconds(),
+			GoodputQPS:  float64(queries-int64(budgetHits)-int64(deadlineHits)) / batchElapsed.Seconds(),
+			Latency:     benchfmt.FromSnapshot(hist.Snapshot()),
+		}
+		if budgetHits > 0 || deadlineHits > 0 {
+			w.Errors = map[string]int64{}
+			if budgetHits > 0 {
+				w.Errors["budget_exceeded"] = int64(budgetHits)
+			}
+			if deadlineHits > 0 {
+				w.Errors["canceled"] = int64(deadlineHits)
+			}
+		}
+		report.Workloads = append(report.Workloads, w)
+	}
+	if jsonPath != "" {
+		if err := report.WriteFile(jsonPath); err != nil {
+			return err
+		}
+		if jsonPath != "-" {
+			fmt.Printf("report written to %s\n", jsonPath)
+		}
 	}
 	return nil
 }
@@ -308,6 +369,8 @@ func run(args []string) error {
 		timeout  = fs.Duration("timeout", 0, "per-batch deadline for -batch, honored inside fallback searches (0 = none)")
 		budget   = fs.Int("budget", 0, "fallback search node budget per target for -batch (0 = unlimited)")
 		policy   = fs.String("policy", "default", "fallback policy for -batch: default|full|estimate|table")
+		batchPar = fs.Int("batch-parallel", 0, "worker fan-out per batch request for -batch (0/1 = sequential; answers are bit-identical)")
+		jsonOut  = fs.String("json", "", "write -batch results as a vicinity-bench/v1 report to this file (\"-\" = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -350,7 +413,8 @@ func run(args []string) error {
 			return err
 		}
 		return batchBench(*dataset, cfg, *targets, *batches, *qps,
-			queryOverrides{timeout: *timeout, budget: *budget, policy: pol})
+			queryOverrides{timeout: *timeout, budget: *budget, policy: pol, parallel: *batchPar},
+			*jsonOut)
 	}
 
 	want := strings.ToLower(*exp)

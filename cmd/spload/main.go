@@ -1,0 +1,634 @@
+// Command spload is an open-loop load generator for a running spserver:
+// it offers queries at a configured arrival rate (optionally ramping),
+// measures latency from each query's *scheduled* send time, and reports
+// throughput, goodput, tail quantiles and the error-taxonomy breakdown
+// in the vicinity-bench/v1 JSON schema.
+//
+// Usage:
+//
+//	spload -addr 127.0.0.1:7421 -qps 2000 -duration 10s
+//	spload -url http://127.0.0.1:8080 -workload batch -targets 100
+//	spload -addr ... -workload single,batch,overload -json BENCH.json
+//
+// Workloads (comma-separated; each becomes one workload entry in the
+// report):
+//
+//	single    single-target default-policy distances
+//	batch     one-to-many rankings of -targets candidates (-parallel
+//	          forwards the server-side fan-out knob)
+//	budget    single-target policy=full with -budget node expansions
+//	estimate  single-target policy=estimate (landmark upper bound)
+//	overload  three policy-full singles then one batch, repeating — the
+//	          long batches keep several queries genuinely in flight, so
+//	          behind a server started with -max-in-flight this
+//	          exercises admission control; answers degraded to the
+//	          landmark estimate are counted as "degraded"
+//	mixed     round-robin over single/batch/budget/estimate
+//
+// Any entry may carry its own rate as "name@qps" (e.g.
+// "single@2000,batch@50"), overriding the global -qps for that
+// workload only.
+//
+// Open loop means the arrival schedule never waits for responses: if
+// the server falls behind, requests queue and their latency — measured
+// from the scheduled arrival, not the delayed send — absorbs the queue
+// wait. A closed-loop generator would silently stop offering load
+// exactly when the server is slowest (coordinated omission); this one
+// charges the stall to the server, where it belongs.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"vicinity/internal/benchfmt"
+	"vicinity/internal/core"
+	"vicinity/internal/lhist"
+	"vicinity/internal/qclient"
+	"vicinity/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr     string
+	url      string
+	qps      float64
+	rampTo   float64
+	duration time.Duration
+	warmup   time.Duration
+	conns    int
+	targets  int
+	parallel int
+	budget   int
+	deadline time.Duration
+	nodes    uint32
+	seed     uint64
+}
+
+// kind is one request shape a workload issues.
+type kind int
+
+const (
+	kSingle kind = iota
+	kBatch
+	kBudget
+	kEstimate
+	kOverload
+)
+
+// workload resolves a workload name to its request-shape rotation.
+func workloadKinds(name string) ([]kind, string, error) {
+	switch name {
+	case "single":
+		return []kind{kSingle}, "single", nil
+	case "batch":
+		return []kind{kBatch}, "batch", nil
+	case "budget":
+		return []kind{kBudget}, "budget", nil
+	case "estimate":
+		return []kind{kEstimate}, "estimate", nil
+	case "overload":
+		// Long batch requests force genuine overlap (a lone stream of
+		// µs-scale singles finishes each query before the next arrives,
+		// so the in-flight gauge never builds); the policy-full singles
+		// riding alongside are what admission control sheds.
+		return []kind{kOverload, kOverload, kOverload, kBatch}, "mixed", nil
+	case "mixed":
+		return []kind{kSingle, kBatch, kBudget, kEstimate}, "mixed", nil
+	default:
+		return nil, "", fmt.Errorf("unknown workload %q (want single|batch|budget|estimate|overload|mixed)", name)
+	}
+}
+
+// result is one request's outcome, aggregated by the collector.
+type result struct {
+	latency  time.Duration
+	queries  int64 // targets answered
+	good     int64 // targets answered without error
+	degraded int64 // targets answered via the shed landmark estimate
+	codes    map[string]int64
+}
+
+// transport issues one request of the given shape and reports outcomes.
+// Implementations must be safe for concurrent use by -conns workers.
+type transport interface {
+	issue(ctx context.Context, k kind, s uint32, ts []uint32, cfg *config) (result, error)
+	host() string
+	close()
+}
+
+// spec builds the qclient request for one shape (shared by both
+// transports so TCP and HTTP measure the same traffic).
+func spec(k kind, s uint32, ts []uint32, cfg *config) qclient.QuerySpec {
+	q := qclient.QuerySpec{S: s}
+	switch k {
+	case kSingle:
+		q.T = ts[0]
+	case kBatch:
+		q.Ts = ts
+		q.Parallel = cfg.parallel
+	case kBudget:
+		q.T = ts[0]
+		q.Policy = core.PolicyFull
+		q.Budget = cfg.budget
+	case kEstimate:
+		q.T = ts[0]
+		q.Policy = core.PolicyEstimate
+	case kOverload:
+		q.T = ts[0]
+		q.Policy = core.PolicyFull
+	}
+	return q
+}
+
+// tally folds one answered item into the result.
+func (r *result) tally(k kind, method uint8, ierr error) {
+	r.queries++
+	if ierr != nil {
+		if r.codes == nil {
+			r.codes = make(map[string]int64)
+		}
+		r.codes[errCode(ierr)]++
+		return
+	}
+	r.good++
+	// Every workload except estimate issues fallback-permitting
+	// policies, so a landmark-estimate answer means the server's
+	// admission control shed the query.
+	if k != kEstimate && core.Method(method) == core.MethodFallbackEstimate {
+		r.degraded++
+	}
+}
+
+// errCode maps any error to its taxonomy code ("internal" when unknown).
+func errCode(err error) string {
+	if code := core.ErrorCode(err); code != "" {
+		return code
+	}
+	return "internal"
+}
+
+// --- TCP transport (wire protocol via qclient) ---
+
+type tcpTransport struct {
+	addr string
+	pool *qclient.Pool
+}
+
+func newTCPTransport(addr string, conns int) (*tcpTransport, error) {
+	pool, err := qclient.NewPool(addr, conns, qclient.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &tcpTransport{addr: addr, pool: pool}, nil
+}
+
+func (t *tcpTransport) host() string { return "tcp://" + t.addr }
+func (t *tcpTransport) close()       { t.pool.Close() }
+
+func (t *tcpTransport) issue(ctx context.Context, k kind, s uint32, ts []uint32, cfg *config) (result, error) {
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	res, err := t.pool.Query(ctx, spec(k, s, ts, cfg))
+	var r result
+	if err != nil {
+		r.queries = 1
+		if k == kBatch {
+			r.queries = int64(len(ts))
+		}
+		r.codes = map[string]int64{errCode(err): r.queries}
+		return r, nil
+	}
+	for _, it := range res.Items {
+		r.tally(k, it.Method, it.Err)
+	}
+	return r, nil
+}
+
+// --- HTTP transport (POST /v2/query) ---
+
+type httpTransport struct {
+	base   string
+	client *http.Client
+}
+
+func newHTTPTransport(base string, conns int) *httpTransport {
+	return &httpTransport{
+		base: strings.TrimSuffix(base, "/"),
+		client: &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: conns},
+		},
+	}
+}
+
+func (t *httpTransport) host() string { return t.base }
+func (t *httpTransport) close()       { t.client.CloseIdleConnections() }
+
+func (t *httpTransport) issue(ctx context.Context, k kind, s uint32, ts []uint32, cfg *config) (result, error) {
+	q := spec(k, s, ts, cfg)
+	body := map[string]any{"s": q.S}
+	if q.Ts != nil {
+		body["ts"] = q.Ts
+		if q.Parallel > 0 {
+			body["parallel"] = q.Parallel
+		}
+	} else {
+		body["t"] = q.T
+	}
+	if q.Policy != core.PolicyDefault {
+		body["policy"] = q.Policy.String()
+	}
+	if q.Budget > 0 {
+		body["budget"] = q.Budget
+	}
+	if cfg.deadline > 0 {
+		body["deadline_ms"] = max(cfg.deadline.Milliseconds(), 1)
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return result{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+"/v2/query", bytes.NewReader(payload))
+	if err != nil {
+		return result{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	var r result
+	nq := int64(1)
+	if k == kBatch {
+		nq = int64(len(ts))
+	}
+	if err != nil {
+		r.queries = nq
+		r.codes = map[string]int64{"transport": nq}
+		return r, nil
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Results []struct {
+			Method    string `json:"method"`
+			ErrorCode string `json:"error_code"`
+		} `json:"results"`
+		ErrorCode string `json:"error_code"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil || resp.StatusCode != http.StatusOK {
+		r.queries = nq
+		code := out.ErrorCode
+		if code == "" {
+			code = fmt.Sprintf("http_%d", resp.StatusCode)
+		}
+		r.codes = map[string]int64{code: nq}
+		return r, nil
+	}
+	for _, it := range out.Results {
+		r.queries++
+		if it.ErrorCode != "" {
+			if r.codes == nil {
+				r.codes = make(map[string]int64)
+			}
+			r.codes[it.ErrorCode]++
+			continue
+		}
+		r.good++
+		if k != kEstimate && it.Method == core.MethodFallbackEstimate.String() {
+			r.degraded++
+		}
+	}
+	return r, nil
+}
+
+// --- open-loop schedule ---
+
+// schedule yields the offset of the i-th arrival for a linear ramp
+// from q0 to q1 qps over total duration d: arrivals follow the
+// cumulative-rate curve A(t) = q0·t + (q1-q0)·t²/(2d), stepped by
+// advancing each arrival 1/rate(t) past the previous one.
+type schedule struct {
+	q0, q1 float64
+	d      time.Duration
+	next   time.Duration
+}
+
+// arrival returns the next arrival offset, or false past the end.
+func (s *schedule) arrival() (time.Duration, bool) {
+	if s.next >= s.d {
+		return 0, false
+	}
+	at := s.next
+	frac := float64(at) / float64(s.d)
+	rate := s.q0 + (s.q1-s.q0)*frac
+	if rate < 1e-9 {
+		rate = 1e-9
+	}
+	s.next += time.Duration(float64(time.Second) / rate)
+	return at, true
+}
+
+// job is one scheduled request.
+type job struct {
+	at time.Time // scheduled arrival (latency is measured from here)
+	k  kind
+	s  uint32
+	ts []uint32
+}
+
+// runWorkload offers one workload's open-loop schedule and aggregates
+// the outcomes. qps/rampTo override the global rates when positive
+// (the "name@qps" workload syntax).
+func runWorkload(tr transport, name string, qps float64, cfg *config) (benchfmt.Workload, error) {
+	kinds, kindName, err := workloadKinds(name)
+	if err != nil {
+		return benchfmt.Workload{}, err
+	}
+	if qps <= 0 {
+		qps = cfg.qps
+	}
+	r := xrand.New(cfg.seed)
+	pick := func(i int) job {
+		k := kinds[i%len(kinds)]
+		j := job{k: k, s: r.Uint32n(cfg.nodes)}
+		if k == kBatch {
+			j.ts = make([]uint32, cfg.targets)
+			for x := range j.ts {
+				j.ts[x] = r.Uint32n(cfg.nodes)
+			}
+		} else {
+			j.ts = []uint32{r.Uint32n(cfg.nodes)}
+		}
+		return j
+	}
+
+	// Warmup (closed loop, unmeasured): faults in connections, pools
+	// and the server's workspace rings before the clock starts.
+	wctx, wcancel := context.WithTimeout(context.Background(), max(cfg.warmup, 50*time.Millisecond))
+	for i := 0; ; i++ {
+		j := pick(i)
+		if _, err := tr.issue(wctx, j.k, j.s, j.ts, cfg); err != nil || wctx.Err() != nil {
+			break
+		}
+	}
+	wcancel()
+
+	// The dispatcher releases jobs at their scheduled arrival times;
+	// -conns workers drain them. The channel holds the entire backlog
+	// so a saturated server delays service, never arrivals.
+	sched := schedule{q0: qps, q1: qps, d: cfg.duration}
+	if cfg.rampTo > 0 {
+		sched.q1 = cfg.rampTo
+	}
+	jobs := make(chan job, int(max64(1, int64(float64(cfg.duration)/float64(time.Second)*sched.q1*2))))
+	var (
+		hist     lhist.Hist
+		mu       sync.Mutex
+		agg      benchfmt.Workload
+		good     int64
+		errTally = map[string]int64{}
+	)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, ierr := tr.issue(ctx, j.k, j.s, j.ts, cfg)
+				lat := time.Since(j.at) // from *scheduled* arrival: CO-safe
+				if ierr != nil {
+					continue
+				}
+				hist.Observe(int64(lat))
+				mu.Lock()
+				agg.Requests++
+				agg.Queries += res.queries
+				agg.Degraded += res.degraded
+				good += res.good
+				for c, n := range res.codes {
+					errTally[c] += n
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	dropped := 0
+	for i := 0; ; i++ {
+		at, ok := sched.arrival()
+		if !ok {
+			break
+		}
+		deadline := start.Add(at)
+		if d := time.Until(deadline); d > 0 {
+			time.Sleep(d)
+		}
+		j := pick(i)
+		j.at = deadline
+		select {
+		case jobs <- j:
+		default:
+			dropped++ // backlog buffer full: the server is hopelessly behind
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "spload: %s: dropped %d arrivals (backlog full)\n", name, dropped)
+	}
+	w := benchfmt.Workload{
+		Name:        name,
+		Kind:        kindName,
+		DurationSec: elapsed.Seconds(),
+		OfferedQPS:  qps,
+		Requests:    agg.Requests,
+		Queries:     agg.Queries,
+		AchievedQPS: float64(agg.Queries) / elapsed.Seconds(),
+		GoodputQPS:  float64(good) / elapsed.Seconds(),
+		Degraded:    agg.Degraded,
+		Latency:     benchfmt.FromSnapshot(hist.Snapshot()),
+	}
+	if len(errTally) > 0 {
+		w.Errors = errTally
+	}
+	return w, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spload", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "", "TCP server address (wire protocol)")
+		url       = fs.String("url", "", "HTTP server base URL (mutually exclusive with -addr)")
+		workloads = fs.String("workload", "single", "comma-separated workloads: single|batch|budget|estimate|overload|mixed, each optionally \"name@qps\" to override -qps")
+		qps       = fs.Float64("qps", 1000, "offered arrival rate (requests/sec, open loop)")
+		rampTo    = fs.Float64("ramp-to", 0, "linearly ramp the offered rate to this by the end of each workload (0 = flat)")
+		duration  = fs.Duration("duration", 5*time.Second, "offered-load window per workload")
+		warmup    = fs.Duration("warmup", 300*time.Millisecond, "unmeasured closed-loop warmup per workload")
+		conns     = fs.Int("conns", 8, "concurrent connections/workers")
+		targets   = fs.Int("targets", 64, "targets per batch request")
+		parallel  = fs.Int("parallel", 0, "server-side batch fan-out knob forwarded with batch requests")
+		budget    = fs.Int("budget", 256, "fallback node budget for the budget workload")
+		deadline  = fs.Duration("deadline", 0, "per-request deadline (0 = none)")
+		nodes     = fs.Uint("n", 0, "node-id space to draw from (0 = ask the server)")
+		seed      = fs.Uint64("seed", 1, "random seed for the query stream")
+		jsonOut   = fs.String("json", "", "write the vicinity-bench/v1 report to this file (\"-\" = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*addr == "") == (*url == "") {
+		return errors.New("exactly one of -addr (TCP) or -url (HTTP) is required")
+	}
+	if *qps <= 0 || *duration <= 0 || *conns < 1 || *targets < 1 {
+		return errors.New("-qps, -duration, -conns and -targets must be positive")
+	}
+
+	var tr transport
+	if *addr != "" {
+		t, err := newTCPTransport(*addr, *conns)
+		if err != nil {
+			return err
+		}
+		tr = t
+	} else {
+		tr = newHTTPTransport(*url, *conns)
+	}
+	defer tr.close()
+
+	n := uint32(*nodes)
+	if n == 0 {
+		var err error
+		if n, err = probeNodes(tr); err != nil {
+			return fmt.Errorf("probing node count (pass -n to skip): %w", err)
+		}
+	}
+
+	cfg := &config{
+		addr: *addr, url: *url,
+		qps: *qps, rampTo: *rampTo,
+		duration: *duration, warmup: *warmup,
+		conns: *conns, targets: *targets, parallel: *parallel,
+		budget: *budget, deadline: *deadline,
+		nodes: n, seed: *seed,
+	}
+
+	report := &benchfmt.Report{
+		Schema: benchfmt.Schema,
+		Tool:   "spload",
+		Host:   tr.host(),
+		Config: map[string]string{
+			"qps":      fmt.Sprint(*qps),
+			"ramp_to":  fmt.Sprint(*rampTo),
+			"duration": duration.String(),
+			"conns":    fmt.Sprint(*conns),
+			"targets":  fmt.Sprint(*targets),
+			"parallel": fmt.Sprint(*parallel),
+			"budget":   fmt.Sprint(*budget),
+			"deadline": deadline.String(),
+			"nodes":    fmt.Sprint(n),
+			"seed":     fmt.Sprint(*seed),
+		},
+	}
+
+	for _, name := range strings.Split(*workloads, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		// "name@qps" overrides the global rate for this workload, so one
+		// run can pace batches slower than single-target traffic.
+		rate := 0.0
+		if at := strings.IndexByte(name, '@'); at >= 0 {
+			if _, err := fmt.Sscanf(name[at+1:], "%g", &rate); err != nil || rate <= 0 {
+				return fmt.Errorf("workload %q: bad rate after @", name)
+			}
+			name = name[:at]
+		}
+		w, err := runWorkload(tr, name, rate, cfg)
+		if err != nil {
+			return err
+		}
+		report.Workloads = append(report.Workloads, w)
+		fmt.Printf("%-10s %8.0f req/s offered  %8.0f q/s achieved  %8.0f q/s goodput  p50=%.0fµs p95=%.0fµs p99=%.0fµs p99.9=%.0fµs",
+			name, w.OfferedQPS, w.AchievedQPS, w.GoodputQPS,
+			w.Latency.P50US, w.Latency.P95US, w.Latency.P99US, w.Latency.P999US)
+		if w.Degraded > 0 {
+			fmt.Printf("  degraded=%d", w.Degraded)
+		}
+		if len(w.Errors) > 0 {
+			fmt.Printf("  errors=%v", w.Errors)
+		}
+		fmt.Println()
+	}
+
+	if *jsonOut != "" {
+		if err := report.WriteFile(*jsonOut); err != nil {
+			return err
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("report written to %s\n", *jsonOut)
+		}
+	}
+	return nil
+}
+
+// probeNodes asks the server for its graph size so the query stream
+// can cover the whole id space (TCP: the stats frame; HTTP: /v1/stats).
+func probeNodes(tr transport) (uint32, error) {
+	switch t := tr.(type) {
+	case *tcpTransport:
+		c, err := qclient.Dial(t.addr, qclient.Options{})
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		st, err := c.Stats()
+		if err != nil {
+			return 0, err
+		}
+		return uint32(st.Nodes), nil
+	case *httpTransport:
+		resp, err := t.client.Get(t.base + "/v1/stats")
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Nodes uint32 `json:"nodes"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return 0, err
+		}
+		if st.Nodes == 0 {
+			return 0, errors.New("server reports zero nodes")
+		}
+		return st.Nodes, nil
+	}
+	return 0, errors.New("unknown transport")
+}

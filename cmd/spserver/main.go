@@ -66,6 +66,8 @@ func run(args []string) error {
 		maxConns   = fs.Int("max-conns", 1024, "maximum concurrent TCP connections")
 		allowUpd   = fs.Bool("allow-updates", false, "enable POST /v1/admin/update (dynamic graph mutation)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window before in-flight requests are canceled")
+		maxInFl    = fs.Int("max-in-flight", 0, "admission control: over this many concurrent queries, fallback-permitting queries shed to the landmark estimate (0 = off)")
+		maxBatchP  = fs.Int("max-batch-parallel", 0, "ceiling on client-requested batch worker fan-out (0 = CPU count, negative = disable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,7 +108,16 @@ func run(args []string) error {
 	if *allowUpd && *httpAddr == "" {
 		return errors.New("-allow-updates requires -http (updates arrive via the HTTP admin endpoint)")
 	}
-	srv := qserver.New(oracle, qserver.Config{MaxConns: *maxConns, Logger: logger, AllowUpdates: *allowUpd})
+	srv := qserver.New(oracle, qserver.Config{
+		MaxConns:         *maxConns,
+		Logger:           logger,
+		AllowUpdates:     *allowUpd,
+		MaxInFlight:      *maxInFl,
+		MaxBatchParallel: *maxBatchP,
+	})
+	if *maxInFl > 0 {
+		logger.Printf("admission control: shedding to estimates over %d in-flight queries", *maxInFl)
+	}
 	if *allowUpd {
 		logger.Printf("dynamic updates enabled: POST %s/v1/admin/update", *httpAddr)
 	}

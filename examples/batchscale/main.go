@@ -1,0 +1,120 @@
+// Batchscale measures how the one-to-many batch engine scales with
+// Request.Parallel and proves the determinism contract: every worker
+// count produces answers bit-identical to the sequential pass — same
+// distances, same methods, same path witnesses, same per-item errors.
+//
+// On the 1-CPU CI container the scaling numbers are flat (the point of
+// the size threshold is that small machines lose nothing); run this on
+// multicore hardware to see the fan-out pay off, as examples/parallel
+// does for the offline build.
+//
+//	go run ./examples/batchscale [-n 20000] [-targets 2048]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"vicinity/internal/core"
+	"vicinity/internal/gen"
+	"vicinity/internal/xrand"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "number of nodes")
+	targets := flag.Int("targets", 2048, "targets per batch request")
+	dur := flag.Duration("d", 2*time.Second, "measurement duration per worker count")
+	flag.Parse()
+
+	g := gen.ProfileFlickr.Generate(*n, 5)
+	oracle, err := core.Build(g, core.Options{Alpha: 4, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cores: %d  nodes: %d  targets/batch: %d\n\n",
+		runtime.GOMAXPROCS(0), *n, *targets)
+
+	r := xrand.New(9)
+	s := r.Uint32n(uint32(*n))
+	ts := make([]uint32, *targets)
+	for i := range ts {
+		ts[i] = r.Uint32n(uint32(*n))
+	}
+	req := core.Request{S: s, Ts: ts, WantPath: true, Policy: core.PolicyFull}
+
+	// Sequential pass: the golden answers every worker count must match.
+	req.Parallel = 1
+	golden, err := oracle.Query(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Unmeasured warmup until the heap reaches steady state: the
+	// path-carrying batch allocates enough that the GC target grows
+	// over the first seconds, and without this the later (faster)
+	// windows would masquerade as parallel speedup.
+	for warm := time.Now(); time.Since(warm) < *dur; {
+		if _, err := oracle.Query(context.Background(), req); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		req.Parallel = workers
+		res, err := oracle.Query(context.Background(), req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := identical(golden.Items, res.Items); err != nil {
+			log.Fatalf("workers=%d: %v", workers, err)
+		}
+
+		// Throughput: repeat the batch for the measurement window.
+		start := time.Now()
+		var queries int64
+		for time.Since(start) < *dur {
+			if _, err := oracle.Query(context.Background(), req); err != nil {
+				log.Fatal(err)
+			}
+			queries += int64(len(ts))
+		}
+		elapsed := time.Since(start)
+		qps := float64(queries) / elapsed.Seconds()
+		if workers == 1 {
+			base = qps
+		}
+		fmt.Printf("workers=%d  %10.0f queries/s  speedup %.2fx  (bit-identical: ok)\n",
+			workers, qps, qps/base)
+	}
+}
+
+// identical reports the first divergence between two batch answers.
+func identical(a, b []core.ItemResult) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("item count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Dist != y.Dist || x.Method != y.Method {
+			return fmt.Errorf("item %d: (%d,%v) vs (%d,%v)", i, x.Dist, x.Method, y.Dist, y.Method)
+		}
+		if (x.Err == nil) != (y.Err == nil) ||
+			(x.Err != nil && x.Err.Error() != y.Err.Error()) {
+			return fmt.Errorf("item %d: error %v vs %v", i, x.Err, y.Err)
+		}
+		if len(x.Path) != len(y.Path) {
+			return fmt.Errorf("item %d: path length %d vs %d", i, len(x.Path), len(y.Path))
+		}
+		for j := range x.Path {
+			if x.Path[j] != y.Path[j] {
+				return fmt.Errorf("item %d: path[%d] %d vs %d", i, j, x.Path[j], y.Path[j])
+			}
+		}
+	}
+	return nil
+}

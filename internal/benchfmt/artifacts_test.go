@@ -1,0 +1,31 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedArtifacts validates every BENCH_*.json checked into the
+// repository root: the perf trajectory is only useful if each point in
+// it stays machine-readable under the schema invariants.
+func TestCommittedArtifacts(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_*.json artifacts found")
+	}
+	for _, p := range paths {
+		r, err := ReadFile(p)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(p), err)
+			continue
+		}
+		for _, w := range r.Workloads {
+			if w.Latency.Count == 0 {
+				t.Errorf("%s: workload %q has an empty latency histogram", filepath.Base(p), w.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package benchfmt defines the "vicinity-bench/v1" JSON schema shared
+// by every benchmark emitter in this repository (cmd/spload,
+// cmd/spbench -json) and by the committed BENCH_*.json artifacts.
+//
+// The schema is deliberately flat and additive: one Report per run, one
+// Workload per measured traffic shape, a fixed Latency summary in
+// microseconds, and free-form string-keyed config/error maps so new
+// knobs and error codes never break old readers. Readers must ignore
+// unknown fields; writers must never change the meaning of an existing
+// one — rename by adding.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"vicinity/internal/lhist"
+)
+
+// Schema is the format identifier every report carries.
+const Schema = "vicinity-bench/v1"
+
+// Report is one benchmark run.
+type Report struct {
+	// Schema must be the Schema constant.
+	Schema string `json:"schema"`
+	// Tool names the emitting command ("spload", "spbench").
+	Tool string `json:"tool"`
+	// Host describes the serving side ("tcp://127.0.0.1:7421",
+	// "http://…", or "in-process").
+	Host string `json:"host,omitempty"`
+	// Config echoes the run's knobs (flag name → value as a string).
+	Config map[string]string `json:"config,omitempty"`
+	// Workloads carries one entry per measured traffic shape.
+	Workloads []Workload `json:"workloads"`
+}
+
+// Workload is one measured traffic shape.
+type Workload struct {
+	// Name labels the workload ("single", "batch-ranking",
+	// "overload-shed", …).
+	Name string `json:"name"`
+	// Kind is the request shape: "single", "batch", "budget",
+	// "estimate", or "mixed".
+	Kind string `json:"kind"`
+	// DurationSec is the measured wall-clock window.
+	DurationSec float64 `json:"duration_sec"`
+	// OfferedQPS is the open-loop schedule's target arrival rate
+	// (queries per second; 0 when the run is closed-loop/unpaced).
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
+	// Requests is the number of protocol round trips completed.
+	Requests int64 `json:"requests"`
+	// Queries is the number of (s,t) pairs answered; equals Requests
+	// for single-target shapes, Requests×targets for batches.
+	Queries int64 `json:"queries"`
+	// AchievedQPS is Queries / DurationSec — completed throughput.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// GoodputQPS counts only queries that returned a usable answer
+	// (no error; budget/deadline outcomes carrying an upper bound
+	// count as errors here — the caller asked for more than it got).
+	GoodputQPS float64 `json:"goodput_qps"`
+	// Degraded counts queries answered with the landmark estimate by
+	// server-side admission control (shed load).
+	Degraded int64 `json:"degraded,omitempty"`
+	// Errors tallies failed queries by taxonomy code ("budget_exceeded",
+	// "canceled", "out_of_range", …).
+	Errors map[string]int64 `json:"errors,omitempty"`
+	// Latency summarizes per-request latency. For open-loop runs it is
+	// measured from each request's scheduled send time, not its actual
+	// send time, so queueing delay behind a saturated server is charged
+	// to the server (coordinated-omission-safe).
+	Latency Latency `json:"latency"`
+}
+
+// Latency is the fixed quantile summary, in microseconds. Quantiles
+// come from a log-linear histogram and under-report by at most 6.25%.
+type Latency struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// FromSnapshot summarizes a nanosecond-valued histogram snapshot.
+func FromSnapshot(s *lhist.Snapshot) Latency {
+	const us = 1e3
+	return Latency{
+		Count:  s.Count(),
+		MeanUS: s.Mean() / us,
+		P50US:  float64(s.Quantile(0.50)) / us,
+		P95US:  float64(s.Quantile(0.95)) / us,
+		P99US:  float64(s.Quantile(0.99)) / us,
+		P999US: float64(s.Quantile(0.999)) / us,
+		MaxUS:  float64(s.Max()) / us,
+	}
+}
+
+// Validate checks the invariants a well-formed report upholds; the
+// test suite runs it over the committed BENCH_*.json artifacts.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Tool == "" {
+		return fmt.Errorf("benchfmt: missing tool")
+	}
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("benchfmt: no workloads")
+	}
+	for i, w := range r.Workloads {
+		if w.Name == "" || w.Kind == "" {
+			return fmt.Errorf("benchfmt: workload %d missing name/kind", i)
+		}
+		if w.DurationSec <= 0 {
+			return fmt.Errorf("benchfmt: workload %q has no duration", w.Name)
+		}
+		if w.Queries < w.Requests {
+			return fmt.Errorf("benchfmt: workload %q answered %d queries over %d requests", w.Name, w.Queries, w.Requests)
+		}
+		if w.GoodputQPS > w.AchievedQPS+1e-9 {
+			return fmt.Errorf("benchfmt: workload %q goodput %g exceeds throughput %g", w.Name, w.GoodputQPS, w.AchievedQPS)
+		}
+		l := w.Latency
+		if !(l.P50US <= l.P95US && l.P95US <= l.P99US && l.P99US <= l.P999US) {
+			return fmt.Errorf("benchfmt: workload %q quantiles not monotone: %+v", w.Name, l)
+		}
+	}
+	return nil
+}
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path (stdout when path is "-").
+func (r *Report) WriteFile(path string) error {
+	if path == "-" {
+		return r.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses and validates a report file.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,97 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vicinity/internal/lhist"
+)
+
+func sample() *Report {
+	var h lhist.Hist
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	return &Report{
+		Schema: Schema,
+		Tool:   "spload",
+		Host:   "tcp://127.0.0.1:7421",
+		Config: map[string]string{"qps": "2000"},
+		Workloads: []Workload{{
+			Name:        "single",
+			Kind:        "single",
+			DurationSec: 5,
+			OfferedQPS:  2000,
+			Requests:    10000,
+			Queries:     10000,
+			AchievedQPS: 2000,
+			GoodputQPS:  1999,
+			Errors:      map[string]int64{"out_of_range": 5},
+			Latency:     FromSnapshot(h.Snapshot()),
+		}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workloads[0].Latency != r.Workloads[0].Latency {
+		t.Fatalf("latency changed: %+v vs %+v", back.Workloads[0].Latency, r.Workloads[0].Latency)
+	}
+	// Pin the schema's field names: a rename would silently strand every
+	// committed BENCH_*.json and external reader.
+	for _, key := range []string{`"schema"`, `"vicinity-bench/v1"`, `"workloads"`,
+		`"duration_sec"`, `"offered_qps"`, `"achieved_qps"`, `"goodput_qps"`,
+		`"p50_us"`, `"p95_us"`, `"p99_us"`, `"p999_us"`, `"errors"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Fatalf("serialized report missing %s:\n%s", key, buf.String())
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		break_ func(*Report)
+	}{
+		{"bad schema", func(r *Report) { r.Schema = "v0" }},
+		{"no workloads", func(r *Report) { r.Workloads = nil }},
+		{"no duration", func(r *Report) { r.Workloads[0].DurationSec = 0 }},
+		{"queries below requests", func(r *Report) { r.Workloads[0].Queries = 1 }},
+		{"goodput above throughput", func(r *Report) { r.Workloads[0].GoodputQPS = 1e9 }},
+		{"non-monotone quantiles", func(r *Report) { r.Workloads[0].Latency.P95US = 1e12 }},
+	} {
+		r := sample()
+		tc.break_(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := sample().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tool != "spload" || len(r.Workloads) != 1 {
+		t.Fatalf("read back %+v", r)
+	}
+}

@@ -3,9 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"vicinity/internal/graph"
+	"vicinity/internal/syncx"
 )
 
 // This file implements the one-to-many batch engine. The paper's
@@ -32,6 +32,20 @@ import (
 // (ScanSmallerBoundary) run that same smaller scan here, and targets
 // the tables cannot resolve share one pooled fallback workspace
 // instead of borrowing one per call.
+//
+// Large batches additionally fan out across worker goroutines
+// (Request.Parallel): the classification pass, the per-target vicinity
+// walks of the inverted pass, the swapped scans and the fallback
+// searches are all embarrassingly parallel once the ∂Γ(s) mark array
+// is built, so the marks are written once (sequentially) and every
+// worker reads them immutably. Workers write answers to fixed target
+// indexes and tally into private BatchStats shards that merge by
+// summation, and the residual route lists are rebuilt in target order
+// after the parallel pass — so for any worker count the batch output
+// (distances, methods, witnesses, tie-breaks, per-item errors, stats)
+// is bit-identical to the sequential pass. The per-target work is
+// shared code between the sequential and parallel variants, never
+// duplicated, so the two cannot drift.
 //
 // All reads are against one oracle snapshot, so a batch is internally
 // consistent even while ApplyUpdates installs new snapshots
@@ -89,6 +103,22 @@ func (b *BatchStats) unnote(m Method) {
 	}
 }
 
+// add folds a worker shard into the aggregate. Every field is a plain
+// sum (a shard may even hold transient negative tallies from unnote),
+// so any merge order produces the totals the sequential pass reports.
+func (b *BatchStats) add(x *BatchStats) {
+	b.Targets += x.Targets
+	b.Errors += x.Errors
+	b.Resolved += x.Resolved
+	b.Fallbacks += x.Fallbacks
+	b.Lookups += x.Lookups
+	b.Scanned += x.Scanned
+	b.Boundary += x.Boundary
+	for i := range b.Methods {
+		b.Methods[i] += x.Methods[i]
+	}
+}
+
 // String renders the aggregate in one line.
 func (b BatchStats) String() string {
 	return fmt.Sprintf(
@@ -108,9 +138,10 @@ type batchWS struct {
 
 	scan []uint32 // target indexes for the inverted pass
 	swap []uint32 // target indexes scanned from the target side
+	cls  []uint8  // per-target route codes (parallel classification only)
 }
 
-var batchPool = sync.Pool{New: func() any { return new(batchWS) }}
+var batchPool = syncx.NewPool(func() *batchWS { return new(batchWS) })
 
 // ensure readies the workspace for a graph of n nodes and a fresh batch.
 func (w *batchWS) ensure(n int) {
@@ -184,11 +215,175 @@ func (o *Oracle) PathManyStats(s uint32, ts []uint32, bst *BatchStats) ([]BatchP
 	return out, nil
 }
 
-// tableMany resolves every target against the stored tables. Targets
-// the tables cannot decide are returned in pend (their res entry holds
-// MethodNone) for the caller's fallback handling; when needMeet is set
-// the intersection witness per target is returned in meets.
-func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool) (res []BatchResult, meets, pend []uint32, err error) {
+// Target route codes produced by the classification pass.
+const (
+	tgtDone uint8 = iota // answered (or errored) by the direct cases
+	tgtScan              // residual: inverted boundary pass
+	tgtSwap              // residual: scanned from the target side
+	tgtPend              // residual: straight to the fallback
+)
+
+// landmarkOne answers one target off landmark s's dense row
+// (Algorithm 1's first case, batch shape).
+func (o *Oracle) landmarkOne(s uint32, li int32, t uint32, n int, bst *BatchStats, r *BatchResult) {
+	if int(t) >= n {
+		*r = BatchResult{Dist: NoDist, Err: errRange(n)}
+		bst.Errors++
+		return
+	}
+	if s == t {
+		*r = BatchResult{Method: MethodSame}
+		bst.note(MethodSame)
+		return
+	}
+	bst.Lookups++
+	d := o.landmarkDist(li, t)
+	if d == NoDist {
+		*r = BatchResult{Dist: NoDist, Method: MethodUnreachable}
+		bst.note(MethodUnreachable)
+		return
+	}
+	*r = BatchResult{Dist: d, Method: MethodLandmarkSource}
+	bst.note(MethodLandmarkSource)
+}
+
+// classifyTarget runs the direct cases of Algorithm 1 for one target —
+// range check, s == t, t's landmark row, the two vicinity probes, in
+// the exact order the single-query path applies them — writing any
+// decided answer into *r and returning the target's route. Both the
+// sequential and the parallel classification passes go through it, so
+// their semantics cannot diverge.
+func (o *Oracle) classifyTarget(s, t uint32, n int, okS bool, vs vicRef, sBoundLen int, bst *BatchStats, r *BatchResult) uint8 {
+	if int(t) >= n {
+		*r = BatchResult{Dist: NoDist, Err: errRange(n)}
+		bst.Errors++
+		return tgtDone
+	}
+	if s == t {
+		*r = BatchResult{Method: MethodSame}
+		bst.note(MethodSame)
+		return tgtDone
+	}
+	if o.isL[t] {
+		if li := o.lidx[t]; o.hasLandmarkTable(li) {
+			bst.Lookups++
+			d := o.landmarkDist(li, s)
+			if d == NoDist {
+				*r = BatchResult{Dist: NoDist, Method: MethodUnreachable}
+				bst.note(MethodUnreachable)
+			} else {
+				*r = BatchResult{Dist: d, Method: MethodLandmarkTarget}
+				bst.note(MethodLandmarkTarget)
+			}
+			return tgtDone
+		}
+	}
+	if !okS && !o.isL[s] {
+		*r = BatchResult{Dist: NoDist, Err: errNotCovered(s)}
+		bst.Errors++
+		return tgtDone
+	}
+	vt, okT := o.vicinity(t)
+	if !okT && !o.isL[t] {
+		*r = BatchResult{Dist: NoDist, Err: errNotCovered(t)}
+		bst.Errors++
+		return tgtDone
+	}
+	if okS {
+		bst.Lookups++
+		if d, ok := vs.get(t); ok {
+			*r = BatchResult{Dist: d, Method: MethodVicinitySource}
+			bst.note(MethodVicinitySource)
+			return tgtDone
+		}
+	}
+	if okT {
+		bst.Lookups++
+		if d, ok := vt.get(s); ok {
+			*r = BatchResult{Dist: d, Method: MethodVicinityTarget}
+			bst.note(MethodVicinityTarget)
+			return tgtDone
+		}
+	}
+	if okS && okT {
+		if o.opts.ScanSmallerBoundary && o.BoundarySize(t) < sBoundLen {
+			return tgtSwap
+		}
+		return tgtScan
+	}
+	// No scan possible (a landmark endpoint without tables): the
+	// single-query path goes straight to the fallback.
+	return tgtPend
+}
+
+// scanTarget walks Γ(t) against the marked ∂Γ(s) (one target of the
+// inverted pass). The marks are read-only here, so any number of
+// workers may scan disjoint targets concurrently. Ties on the minimum
+// break toward the smallest scan position — the witness the per-pair
+// scan's strict-< loop keeps.
+func (o *Oracle) scanTarget(t uint32, bws *batchWS, bst *BatchStats) (best, meet uint32) {
+	best, meet = NoDist, graph.NoNode
+	var bestPos uint32
+	checked := 0
+	if o.vicAlt == nil {
+		vt, _ := o.flatVicinity(t)
+		eOff, eLen, _, _ := vt.Ranges()
+		keys := o.arena.Keys[eOff : eOff+eLen]
+		dists := o.arena.Dists[eOff : eOff+eLen]
+		checked = len(keys)
+		for k, w := range keys {
+			if bws.stamp[w] != bws.epoch {
+				continue
+			}
+			cand := satAdd(bws.dist[w], dists[k])
+			if cand < best || (cand == best && cand != NoDist && bws.pos[w] < bestPos) {
+				best, meet, bestPos = cand, w, bws.pos[w]
+			}
+		}
+	} else {
+		tbl := o.vicAlt[t]
+		checked = tbl.Len()
+		for k := 0; k < checked; k++ {
+			w, dw, _ := tbl.At(k)
+			if bws.stamp[w] != bws.epoch {
+				continue
+			}
+			cand := satAdd(bws.dist[w], dw)
+			if cand < best || (cand == best && cand != NoDist && bws.pos[w] < bestPos) {
+				best, meet, bestPos = cand, w, bws.pos[w]
+			}
+		}
+	}
+	bst.Lookups += checked
+	bst.Scanned += checked
+	return best, meet
+}
+
+// swapScanTarget scans t's (smaller) boundary probing Γ(s) — the
+// identical scan the per-pair path runs under ScanSmallerBoundary.
+func (o *Oracle) swapScanTarget(t uint32, vs vicRef, bst *BatchStats) (best, meet uint32) {
+	tKeys, tDist := o.boundary(t)
+	best, meet = NoDist, graph.NoNode
+	for j, w := range tKeys {
+		if dw, ok := vs.get(w); ok {
+			if cand := satAdd(tDist[j], dw); cand < best {
+				best, meet = cand, w
+			}
+		}
+	}
+	bst.Lookups += len(tKeys)
+	bst.Scanned += len(tKeys)
+	return best, meet
+}
+
+// tableMany resolves every target against the stored tables, fanning
+// out across workers goroutines when workers > 1 (see the file
+// comment for why the output is identical for any worker count).
+// Targets the tables cannot decide are returned in pend (their res
+// entry holds MethodNone) for the caller's fallback handling; when
+// needMeet is set the intersection witness per target is returned in
+// meets.
+func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool, workers int) (res []BatchResult, meets, pend []uint32, err error) {
 	n := o.g.NumNodes()
 	if int(s) >= n {
 		return nil, nil, nil, errRange(n)
@@ -201,32 +396,26 @@ func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool
 			meets[i] = graph.NoNode
 		}
 	}
-
-	resolve := func(i int, d uint32, m Method) {
-		res[i] = BatchResult{Dist: d, Method: m}
-		bst.note(m)
+	if workers > len(ts) {
+		workers = len(ts)
 	}
 
-	// s ∈ L with a built table: every target answers off s's dense row
-	// (Algorithm 1's first case), no vicinity state needed.
+	// s ∈ L with a built table: every target answers off s's dense row,
+	// no vicinity state needed.
 	if o.isL[s] {
 		if li := o.lidx[s]; o.hasLandmarkTable(li) {
-			for i, t := range ts {
-				if int(t) >= n {
-					res[i] = BatchResult{Dist: NoDist, Err: errRange(n)}
-					bst.Errors++
-					continue
+			if workers > 1 {
+				shards := make([]BatchStats, workers)
+				parallelFor(workers, len(ts), func(w int) any { return &shards[w] },
+					func(state any, i int) {
+						o.landmarkOne(s, li, ts[i], n, state.(*BatchStats), &res[i])
+					})
+				for w := range shards {
+					bst.add(&shards[w])
 				}
-				if s == t {
-					resolve(i, 0, MethodSame)
-					continue
-				}
-				bst.Lookups++
-				d := o.landmarkDist(li, t)
-				if d == NoDist {
-					resolve(i, NoDist, MethodUnreachable)
-				} else {
-					resolve(i, d, MethodLandmarkSource)
+			} else {
+				for i, t := range ts {
+					o.landmarkOne(s, li, t, n, bst, &res[i])
 				}
 			}
 			return res, meets, nil, nil
@@ -239,74 +428,53 @@ func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool
 	if okS {
 		sBoundLen = o.BoundarySize(s)
 	}
-	bws := batchPool.Get().(*batchWS)
+	bws := batchPool.Get()
 	defer batchPool.Put(bws)
 	bws.ensure(n)
 
-	// First pass: the direct cases of Algorithm 1 per target, in the
-	// exact order the single-query path applies them.
-	for i, t := range ts {
-		if int(t) >= n {
-			res[i] = BatchResult{Dist: NoDist, Err: errRange(n)}
-			bst.Errors++
-			continue
+	// Classification pass: the direct cases per target. The parallel
+	// variant records each target's route in cls and rebuilds the route
+	// lists in target order afterwards, so list order — and everything
+	// downstream — matches the sequential pass exactly.
+	if workers > 1 {
+		if cap(bws.cls) < len(ts) {
+			bws.cls = make([]uint8, len(ts))
 		}
-		if s == t {
-			resolve(i, 0, MethodSame)
-			continue
+		cls := bws.cls[:len(ts)]
+		shards := make([]BatchStats, workers)
+		parallelFor(workers, len(ts), func(w int) any { return &shards[w] },
+			func(state any, i int) {
+				cls[i] = o.classifyTarget(s, ts[i], n, okS, vs, sBoundLen, state.(*BatchStats), &res[i])
+			})
+		for w := range shards {
+			bst.add(&shards[w])
 		}
-		if o.isL[t] {
-			if li := o.lidx[t]; o.hasLandmarkTable(li) {
-				bst.Lookups++
-				d := o.landmarkDist(li, s)
-				if d == NoDist {
-					resolve(i, NoDist, MethodUnreachable)
-				} else {
-					resolve(i, d, MethodLandmarkTarget)
-				}
-				continue
-			}
-		}
-		if !okS && !o.isL[s] {
-			res[i] = BatchResult{Dist: NoDist, Err: errNotCovered(s)}
-			bst.Errors++
-			continue
-		}
-		vt, okT := o.vicinity(t)
-		if !okT && !o.isL[t] {
-			res[i] = BatchResult{Dist: NoDist, Err: errNotCovered(t)}
-			bst.Errors++
-			continue
-		}
-		if okS {
-			bst.Lookups++
-			if d, ok := vs.get(t); ok {
-				resolve(i, d, MethodVicinitySource)
-				continue
-			}
-		}
-		if okT {
-			bst.Lookups++
-			if d, ok := vt.get(s); ok {
-				resolve(i, d, MethodVicinityTarget)
-				continue
-			}
-		}
-		if okS && okT {
-			if o.opts.ScanSmallerBoundary && o.BoundarySize(t) < sBoundLen {
-				bws.swap = append(bws.swap, uint32(i))
-			} else {
+		for i, c := range cls {
+			switch c {
+			case tgtScan:
 				bws.scan = append(bws.scan, uint32(i))
+			case tgtSwap:
+				bws.swap = append(bws.swap, uint32(i))
+			case tgtPend:
+				pend = append(pend, uint32(i))
 			}
-			continue
 		}
-		// No scan possible (a landmark endpoint without tables): the
-		// single-query path goes straight to the fallback.
-		pend = append(pend, uint32(i))
+	} else {
+		for i, t := range ts {
+			switch o.classifyTarget(s, t, n, okS, vs, sBoundLen, bst, &res[i]) {
+			case tgtScan:
+				bws.scan = append(bws.scan, uint32(i))
+			case tgtSwap:
+				bws.swap = append(bws.swap, uint32(i))
+			case tgtPend:
+				pend = append(pend, uint32(i))
+			}
+		}
 	}
 
-	// Inverted boundary pass: mark ∂Γ(s) once, then walk each residual
-	// target's vicinity sequentially against the marks.
+	// Inverted boundary pass: mark ∂Γ(s) once (sequentially — workers
+	// then read the marks immutably), walk each residual target's
+	// vicinity against the marks.
 	if len(bws.scan) > 0 {
 		sKeys, sDist := o.boundary(s)
 		for j, w := range sKeys {
@@ -315,75 +483,78 @@ func (o *Oracle) tableMany(s uint32, ts []uint32, bst *BatchStats, needMeet bool
 			bws.pos[w] = uint32(j)
 		}
 		bst.Boundary += len(sKeys)
-		for _, ii := range bws.scan {
-			t := ts[ii]
-			best, meet := NoDist, graph.NoNode
-			var bestPos uint32
-			checked := 0
-			if o.vicAlt == nil {
-				vt, _ := o.flatVicinity(t)
-				eOff, eLen, _, _ := vt.Ranges()
-				keys := o.arena.Keys[eOff : eOff+eLen]
-				dists := o.arena.Dists[eOff : eOff+eLen]
-				checked = len(keys)
-				for k, w := range keys {
-					if bws.stamp[w] != bws.epoch {
-						continue
-					}
-					cand := satAdd(bws.dist[w], dists[k])
-					if cand < best || (cand == best && cand != NoDist && bws.pos[w] < bestPos) {
-						best, meet, bestPos = cand, w, bws.pos[w]
-					}
-				}
-			} else {
-				tbl := o.vicAlt[t]
-				checked = tbl.Len()
-				for k := 0; k < checked; k++ {
-					w, dw, _ := tbl.At(k)
-					if bws.stamp[w] != bws.epoch {
-						continue
-					}
-					cand := satAdd(bws.dist[w], dw)
-					if cand < best || (cand == best && cand != NoDist && bws.pos[w] < bestPos) {
-						best, meet, bestPos = cand, w, bws.pos[w]
-					}
+		scanOne := func(ii uint32, wst *BatchStats) bool {
+			best, meet := o.scanTarget(ts[ii], bws, wst)
+			if best == NoDist {
+				return false
+			}
+			res[ii] = BatchResult{Dist: best, Method: MethodIntersection}
+			wst.note(MethodIntersection)
+			if needMeet {
+				meets[ii] = meet
+			}
+			return true
+		}
+		if sw := min(workers, len(bws.scan)); sw > 1 {
+			shards := make([]BatchStats, sw)
+			parallelFor(sw, len(bws.scan), func(w int) any { return &shards[w] },
+				func(state any, k int) {
+					scanOne(bws.scan[k], state.(*BatchStats))
+				})
+			for w := range shards {
+				bst.add(&shards[w])
+			}
+			// Rebuild the miss list in scan order (a missed scan target
+			// is the only way a tgtScan entry stays MethodNone).
+			for _, ii := range bws.scan {
+				if res[ii].Method == MethodNone {
+					pend = append(pend, ii)
 				}
 			}
-			bst.Lookups += checked
-			bst.Scanned += checked
-			if best != NoDist {
-				resolve(int(ii), best, MethodIntersection)
-				if needMeet {
-					meets[ii] = meet
+		} else {
+			for _, ii := range bws.scan {
+				if !scanOne(ii, bst) {
+					pend = append(pend, ii)
 				}
-			} else {
-				pend = append(pend, ii)
 			}
 		}
 	}
 
 	// Swapped targets: the per-pair path scans the target's (smaller)
 	// boundary probing Γ(s); run the identical scan here.
-	for _, ii := range bws.swap {
-		t := ts[ii]
-		tKeys, tDist := o.boundary(t)
-		best, meet := NoDist, graph.NoNode
-		for j, w := range tKeys {
-			if dw, ok := vs.get(w); ok {
-				if cand := satAdd(tDist[j], dw); cand < best {
-					best, meet = cand, w
-				}
+	if len(bws.swap) > 0 {
+		swapOne := func(ii uint32, wst *BatchStats) bool {
+			best, meet := o.swapScanTarget(ts[ii], vs, wst)
+			if best == NoDist {
+				return false
 			}
-		}
-		bst.Lookups += len(tKeys)
-		bst.Scanned += len(tKeys)
-		if best != NoDist {
-			resolve(int(ii), best, MethodIntersection)
+			res[ii] = BatchResult{Dist: best, Method: MethodIntersection}
+			wst.note(MethodIntersection)
 			if needMeet {
 				meets[ii] = meet
 			}
+			return true
+		}
+		if sw := min(workers, len(bws.swap)); sw > 1 {
+			shards := make([]BatchStats, sw)
+			parallelFor(sw, len(bws.swap), func(w int) any { return &shards[w] },
+				func(state any, k int) {
+					swapOne(bws.swap[k], state.(*BatchStats))
+				})
+			for w := range shards {
+				bst.add(&shards[w])
+			}
+			for _, ii := range bws.swap {
+				if res[ii].Method == MethodNone {
+					pend = append(pend, ii)
+				}
+			}
 		} else {
-			pend = append(pend, ii)
+			for _, ii := range bws.swap {
+				if !swapOne(ii, bst) {
+					pend = append(pend, ii)
+				}
+			}
 		}
 	}
 	return res, meets, pend, nil

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"sync"
-
 	"vicinity/internal/graph"
+	"vicinity/internal/syncx"
 	"vicinity/internal/traverse"
 	"vicinity/internal/u32map"
 )
@@ -89,14 +88,16 @@ type Oracle struct {
 	// only, never persisted and never part of structural equality.
 	timings BuildTimings
 
-	fbPool *sync.Pool // *traverse.Workspace for fallback searches
+	fbPool *syncx.Pool[traverse.Workspace] // fallback-search workspaces
 }
 
 // newWorkspacePool returns a fallback-workspace pool sized for g.
 // Replaced wholesale when updates swap the graph: pooled workspaces
-// hold per-node arrays whose length must match.
-func newWorkspacePool(g *graph.Graph) *sync.Pool {
-	return &sync.Pool{New: func() any { return traverse.NewWorkspace(g) }}
+// hold per-node arrays whose length must match. The sharded ring (see
+// syncx) keeps the O(n) workspaces alive across GCs and keeps
+// concurrent fallback queries from contending on one shared free list.
+func newWorkspacePool(g *graph.Graph) *syncx.Pool[traverse.Workspace] {
+	return syncx.NewPool(func() *traverse.Workspace { return traverse.NewWorkspace(g) })
 }
 
 // Graph returns the graph the oracle was built over.
@@ -288,7 +289,7 @@ func (o *Oracle) ForEachVicinityMember(u uint32, fn func(v, dist uint32)) {
 
 // workspace borrows a fallback search workspace from the pool.
 func (o *Oracle) workspace() *traverse.Workspace {
-	return o.fbPool.Get().(*traverse.Workspace)
+	return o.fbPool.Get()
 }
 
 func (o *Oracle) release(ws *traverse.Workspace) { o.fbPool.Put(ws) }

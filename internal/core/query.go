@@ -6,6 +6,7 @@ import (
 
 	"vicinity/internal/graph"
 	"vicinity/internal/traverse"
+	"vicinity/internal/u32map"
 )
 
 // Method identifies how a query was answered (Algorithm 1's cases plus
@@ -181,8 +182,12 @@ func (o *Oracle) tableDistance(s, t uint32, st *QueryStats) (uint32, bool, error
 // single call frame over contiguous arrays; this is the hot path the
 // flat refactor exists for.
 func (o *Oracle) flatVicDistance(s, t uint32, st *QueryStats) (uint32, bool, error) {
+	// Coverage of t is decided from the view's length alone, and the
+	// 24-byte view itself is materialized only after the Γ(s) probe
+	// misses: the common vicinity-source hit then touches one word of
+	// vicFlat[t] instead of copying the whole view it never probes.
 	vs, okS := o.flatVicinity(s)
-	vt, okT := o.flatVicinity(t)
+	okT := o.vicFlat[t].Len() > 0
 	if !okS && !o.isL[s] {
 		return NoDist, false, errNotCovered(s)
 	}
@@ -196,7 +201,9 @@ func (o *Oracle) flatVicDistance(s, t uint32, st *QueryStats) (uint32, bool, err
 			return d, true, nil
 		}
 	}
+	var vt u32map.Flat
 	if okT {
+		vt = o.vicFlat[t]
 		st.Lookups++
 		if d, ok := vt.Get(s); ok {
 			st.Method = MethodVicinityTarget

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"vicinity/internal/graph"
 	"vicinity/internal/traverse"
@@ -116,6 +117,74 @@ type Request struct {
 	// WantStats asks the serving layers to report Result.Cost back to
 	// the client; the in-process engine fills Cost regardless.
 	WantStats bool
+	// Parallel caps the worker goroutines a one-to-many request may fan
+	// out across (0 or 1 = sequential). Parallelism never changes
+	// answers: every distance, method, path witness, per-item error and
+	// stat tally is bit-identical to the sequential pass for any worker
+	// count. Batches smaller than BatchParallelMinTargets stay
+	// sequential regardless, so small requests keep the allocation-lean
+	// fast path. Single-target requests ignore it.
+	Parallel int
+}
+
+// BatchParallelMinTargets is the smallest one-to-many request the
+// engine will fan out across workers. Below it the sequential pass wins
+// outright — goroutine startup and stat-shard merging cost more than
+// the table passes themselves — and, just as importantly, small batches
+// keep the sequential path's allocation profile.
+const BatchParallelMinTargets = 64
+
+// batchWorkers resolves the effective worker count for a one-to-many
+// request: the request's Parallel knob gated by the size threshold and
+// clamped to the target count.
+func batchWorkers(parallel, targets int) int {
+	if parallel <= 1 || targets < BatchParallelMinTargets {
+		return 1
+	}
+	if parallel > targets {
+		parallel = targets
+	}
+	return parallel
+}
+
+// cancelLatch latches the first observed cancellation so every
+// subsequent target of a batch shares one error value — exactly the
+// sequential pass's semantics — while remaining safe for concurrent
+// workers.
+type cancelLatch struct {
+	mu  sync.Mutex
+	err error
+}
+
+// check polls ctx (latching its error on first observation) and
+// returns the latched cancellation, if any.
+func (c *cancelLatch) check(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		if cerr := ctxErr(ctx); cerr != nil {
+			c.err = errCanceled(cerr)
+		}
+	}
+	return c.err
+}
+
+// force latches a cancellation observed through a search outcome even
+// when the context has not (yet) reported one, and returns it.
+func (c *cancelLatch) force() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = errCanceled(nil)
+	}
+	return c.err
+}
+
+// get returns the latched cancellation without polling the context.
+func (c *cancelLatch) get() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // Cost aggregates the work one Query performed — the request-scoped
@@ -323,83 +392,127 @@ func addCost(res *Result, st *QueryStats) {
 	res.Cost.Expanded += st.Expanded
 }
 
+// batchWorker is one worker's private state in a queryMany fallback
+// fan-out: a stats shard (merged by summation afterwards), a lazily
+// borrowed search workspace, and an expansion tally for Result.Cost.
+// The sequential pass uses one batchWorker pointed straight at the
+// aggregate BatchStats, so both passes run the same per-target code.
+type batchWorker struct {
+	wst      *BatchStats
+	ws       *traverse.Workspace
+	expanded int
+}
+
+// borrow returns the worker's search workspace, taking one from the
+// oracle's pool on first use.
+func (bw *batchWorker) borrow(o *Oracle) *traverse.Workspace {
+	if bw.ws == nil {
+		bw.ws = o.workspace()
+	}
+	return bw.ws
+}
+
 // queryMany is the one-to-many engine: one table pass (tableMany), one
-// pooled search workspace, the request's policy/budget/cancellation
-// applied to every fallback search. It is the only batch engine — the
-// legacy DistanceManyStats/PathManyStats delegate here with a
-// zero-override request — so batch semantics can never diverge between
-// the v1 and v2 surfaces. Tallies are added to bst (callers may
+// pooled search workspace per worker, the request's policy/budget/
+// cancellation applied to every fallback search. It is the only batch
+// engine — the legacy DistanceManyStats/PathManyStats delegate here
+// with a zero-override request — so batch semantics can never diverge
+// between the v1 and v2 surfaces. Tallies are added to bst (callers may
 // aggregate several batches in one BatchStats); Result.Cost reports
 // only this call's work. The returned error is non-nil only when s
 // itself is out of range (legacy contract) or the request was
 // canceled; per-target failures live in Items[i].Err.
+//
+// Request.Parallel fans the table passes (inside tableMany) and the
+// per-target fallback work below across workers. Each target's answer
+// lands at its fixed index, worker stat shards merge by summation, and
+// the per-target bodies are shared between the sequential and parallel
+// branches, so the batch output is bit-identical for any worker count.
 func (o *Oracle) queryMany(ctx context.Context, req Request, bst *BatchStats) (Result, error) {
 	res := Result{Dist: NoDist, Epoch: o.gen}
 	eff := o.effectiveFallback(req.Policy)
 	base := *bst // aggregate counters at entry; Cost reports the delta
-	tRes, meets, pend, err := o.tableMany(req.S, req.Ts, bst, req.WantPath)
+	workers := batchWorkers(req.Parallel, len(req.Ts))
+	tRes, meets, pend, err := o.tableMany(req.S, req.Ts, bst, req.WantPath, workers)
 	if err != nil {
 		return res, err
 	}
 	items := make([]ItemResult, len(req.Ts))
 	lim := traverse.Limits{NodeBudget: req.Budget, Done: ctxDone(ctx)}
 
-	// canceled, once set, short-circuits every remaining fallback
+	// The latch, once set, short-circuits every remaining fallback
 	// search; table-resolved targets are already answered and stay.
-	var canceled error
-	checkCtx := func() error {
-		if canceled == nil {
-			if cerr := ctxErr(ctx); cerr != nil {
-				canceled = errCanceled(cerr)
-			}
-		}
-		return canceled
-	}
+	var cl cancelLatch
 
 	if !req.WantPath {
 		for i, r := range tRes {
 			items[i] = ItemResult{Dist: r.Dist, Method: r.Method, Err: r.Err}
 		}
-		if len(pend) > 0 {
+		// runFB resolves one pending target through the fallback; shared
+		// by the sequential loop and the parallel fan-out.
+		runFB := func(i uint32, bw *batchWorker) {
+			t := req.Ts[i]
+			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
+			if eff == FallbackExact {
+				if cerr := cl.check(ctx); cerr != nil {
+					items[i] = ItemResult{Dist: NoDist, Method: MethodNone, Err: cerr}
+					bw.wst.note(MethodNone)
+					return
+				}
+			}
 			var ws *traverse.Workspace
 			if eff == FallbackExact {
-				ws = o.workspace()
-				defer o.release(ws)
+				ws = bw.borrow(o)
 			}
+			d, searched, out := o.fallbackDistanceWS(req.S, t, &st, ws, eff, lim)
+			if searched {
+				bw.wst.Fallbacks++
+			}
+			bw.wst.Lookups += st.Lookups
+			bw.expanded += st.Expanded
+			it := ItemResult{Dist: d, Method: st.Method}
+			switch out {
+			case traverse.OutcomeBudget:
+				it.Err = errBudget(req.Budget)
+			case traverse.OutcomeStopped:
+				cl.check(ctx)
+				it.Err = cl.force()
+			}
+			items[i] = it
+			bw.wst.note(st.Method)
+		}
+		if fw := min(workers, len(pend)); fw > 1 {
+			shards := make([]BatchStats, fw)
+			states := make([]*batchWorker, fw)
+			parallelFor(fw, len(pend), func(w int) any {
+				bw := &batchWorker{wst: &shards[w]}
+				states[w] = bw
+				return bw
+			}, func(state any, k int) {
+				runFB(pend[k], state.(*batchWorker))
+			})
+			for w, bw := range states {
+				if bw.ws != nil {
+					o.release(bw.ws)
+				}
+				bst.add(&shards[w])
+				res.Cost.Expanded += bw.expanded
+			}
+		} else if len(pend) > 0 {
+			bw := batchWorker{wst: bst}
 			for _, i := range pend {
-				t := req.Ts[i]
-				st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
-				if eff == FallbackExact && checkCtx() != nil {
-					items[i] = ItemResult{Dist: NoDist, Method: MethodNone, Err: canceled}
-					bst.note(MethodNone)
-					continue
-				}
-				d, searched, out := o.fallbackDistanceWS(req.S, t, &st, ws, eff, lim)
-				if searched {
-					bst.Fallbacks++
-				}
-				bst.Lookups += st.Lookups
-				res.Cost.Expanded += st.Expanded
-				it := ItemResult{Dist: d, Method: st.Method}
-				switch out {
-				case traverse.OutcomeBudget:
-					it.Err = errBudget(req.Budget)
-				case traverse.OutcomeStopped:
-					checkCtx()
-					if canceled == nil {
-						canceled = errCanceled(nil)
-					}
-					it.Err = canceled
-				}
-				items[i] = it
-				bst.note(st.Method)
+				runFB(i, &bw)
 			}
+			if bw.ws != nil {
+				o.release(bw.ws)
+			}
+			res.Cost.Expanded += bw.expanded
 		}
 		res.Items = items
 		res.Cost.Lookups += bst.Lookups - base.Lookups
 		res.Cost.Scanned += bst.Scanned - base.Scanned
 		res.Cost.Fallbacks += bst.Fallbacks - base.Fallbacks
-		return res, canceled
+		return res, cl.get()
 	}
 
 	// Path variant: mirror PathManyStats's assembly loop.
@@ -407,30 +520,18 @@ func (o *Oracle) queryMany(ctx context.Context, req Request, bst *BatchStats) (R
 	for _, i := range pend {
 		pending[i] = true
 	}
-	var ws *traverse.Workspace
-	defer func() {
-		if ws != nil {
-			o.release(ws)
-		}
-	}()
-	borrow := func() *traverse.Workspace {
-		if ws == nil {
-			ws = o.workspace()
-		}
-		return ws
-	}
-	runPath := func(i int, st *QueryStats) {
+	runPath := func(i int, st *QueryStats, bw *batchWorker) {
 		t := req.Ts[i]
-		if checkCtx() != nil {
-			items[i].Err = canceled
+		if cerr := cl.check(ctx); cerr != nil {
+			items[i].Err = cerr
 			items[i].Method = MethodNone
 			items[i].Path = nil
-			bst.note(MethodNone)
+			bw.wst.note(MethodNone)
 			return
 		}
-		bst.Fallbacks++
-		p, d, m, out := o.fallbackPathWS(req.S, t, st, borrow(), lim)
-		res.Cost.Expanded += st.Expanded
+		bw.wst.Fallbacks++
+		p, d, m, out := o.fallbackPathWS(req.S, t, st, bw.borrow(o), lim)
+		bw.expanded += st.Expanded
 		items[i].Path, items[i].Method = p, m
 		if m != MethodNone {
 			items[i].Dist = d
@@ -439,81 +540,109 @@ func (o *Oracle) queryMany(ctx context.Context, req Request, bst *BatchStats) (R
 		case traverse.OutcomeBudget:
 			items[i].Err = errBudget(req.Budget)
 		case traverse.OutcomeStopped:
-			checkCtx()
-			if canceled == nil {
-				canceled = errCanceled(nil)
-			}
-			items[i].Err = canceled
+			cl.check(ctx)
+			items[i].Err = cl.force()
 		}
-		bst.note(m)
+		bw.wst.note(m)
 	}
-	for i := range req.Ts {
+	// pathOne answers one target end to end: table-resolved assembly,
+	// chain-failure re-resolution, or the fallback. Shared by the
+	// sequential loop and the parallel fan-out; every write lands at
+	// the target's fixed index.
+	pathOne := func(i int, bw *batchWorker) {
 		r := tRes[i]
 		items[i].Dist = NoDist
 		if r.Err != nil {
 			items[i].Err = r.Err
 			items[i].Method = r.Method
-			continue
+			return
 		}
 		if !pending[i] {
 			// Table-resolved: assemble from stored parent pointers.
 			items[i].Dist = r.Dist
 			items[i].Method = r.Method
 			if r.Dist == NoDist {
-				continue // exact unreachability off a landmark row
+				return // exact unreachability off a landmark row
 			}
 			st := QueryStats{Method: r.Method, Meet: meets[i]}
 			if p, ok := o.assembleTablePath(req.S, req.Ts[i], &st); ok {
 				items[i].Path = p
-				continue
+				return
 			}
 			// Stored chains incomplete: re-resolve through the fallback
 			// (mirroring PathMany, the exact search runs even under the
 			// estimate fallback); the tally moves to the final method.
-			bst.unnote(r.Method)
+			bw.wst.unnote(r.Method)
 			if eff == FallbackNone {
 				items[i].Method = MethodNone
-				bst.note(MethodNone)
-				continue
+				bw.wst.note(MethodNone)
+				return
 			}
-			runPath(i, &st)
+			runPath(i, &st, bw)
 			if items[i].Err != nil && (items[i].Dist == NoDist || items[i].Dist >= r.Dist) {
 				// Cut off without beating the table-resolved distance:
 				// keep the exact answer (path degraded, distance not).
-				bst.unnote(items[i].Method)
+				bw.wst.unnote(items[i].Method)
 				items[i].Dist, items[i].Method, items[i].Path = r.Dist, r.Method, nil
-				bst.note(r.Method)
+				bw.wst.note(r.Method)
 			}
-			continue
+			return
 		}
 		// Unresolved by the tables.
 		switch eff {
 		case FallbackExact:
 			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
-			runPath(i, &st)
+			runPath(i, &st, bw)
 		case FallbackEstimate:
 			st := QueryStats{Method: MethodNone, Meet: graph.NoNode}
 			d := o.landmarkEstimate(req.S, req.Ts[i], &st)
 			if d == NoDist {
 				items[i].Method = MethodNone
-				bst.note(MethodNone)
-				continue
+				bw.wst.note(MethodNone)
+				return
 			}
-			bst.Lookups += st.Lookups
+			bw.wst.Lookups += st.Lookups
 			items[i].Dist = d
 			items[i].Method = MethodFallbackEstimate
-			bst.note(MethodFallbackEstimate)
+			bw.wst.note(MethodFallbackEstimate)
 			if p, ok := o.estimatePath(req.S, req.Ts[i]); ok {
 				items[i].Path = p
 			}
 		default:
 			items[i].Method = MethodNone
-			bst.note(MethodNone)
+			bw.wst.note(MethodNone)
 		}
+	}
+	if workers > 1 {
+		shards := make([]BatchStats, workers)
+		states := make([]*batchWorker, workers)
+		parallelFor(workers, len(req.Ts), func(w int) any {
+			bw := &batchWorker{wst: &shards[w]}
+			states[w] = bw
+			return bw
+		}, func(state any, i int) {
+			pathOne(i, state.(*batchWorker))
+		})
+		for w, bw := range states {
+			if bw.ws != nil {
+				o.release(bw.ws)
+			}
+			bst.add(&shards[w])
+			res.Cost.Expanded += bw.expanded
+		}
+	} else {
+		bw := batchWorker{wst: bst}
+		for i := range req.Ts {
+			pathOne(i, &bw)
+		}
+		if bw.ws != nil {
+			o.release(bw.ws)
+		}
+		res.Cost.Expanded += bw.expanded
 	}
 	res.Items = items
 	res.Cost.Lookups += bst.Lookups - base.Lookups
 	res.Cost.Scanned += bst.Scanned - base.Scanned
 	res.Cost.Fallbacks += bst.Fallbacks - base.Fallbacks
-	return res, canceled
+	return res, cl.get()
 }

@@ -3,6 +3,9 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"vicinity/internal/gen"
@@ -55,6 +58,73 @@ func TestQueryResolvedZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("table-resolved Query with deadline ctx allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestQueryResolvedZeroAllocConcurrent is the same gate under
+// concurrency. testing.AllocsPerRun is single-goroutine, so it cannot
+// see allocations that only appear when several goroutines hit the
+// query path at once (e.g. a pool that constructs a fresh object on
+// every contended Get). Instead: pre-spawn the workers gated on a
+// channel — goroutine stacks and the sync machinery are paid before the
+// measurement — then compare runtime.MemStats.Mallocs across the whole
+// concurrent run. The bound is a small fraction of an allocation per
+// query, with slack for incidental runtime allocations.
+func TestQueryResolvedZeroAllocConcurrent(t *testing.T) {
+	g := socialGraph(21, 2000)
+	o := mustBuild(t, g, Options{Seed: 21})
+	ctx := context.Background()
+
+	r := xrand.New(4)
+	var pairs [][2]uint32
+	for len(pairs) < 64 {
+		s, u := r.Uint32n(2000), r.Uint32n(2000)
+		if _, m, _ := o.Distance(s, u); m.Resolved() {
+			pairs = append(pairs, [2]uint32{s, u})
+		}
+	}
+
+	const (
+		workers = 8
+		perG    = 2000
+	)
+	run := func() uint64 {
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		var failed atomic.Bool
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(off int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < perG; i++ {
+					p := pairs[(off+i)%len(pairs)]
+					res, err := o.Query(ctx, Request{S: p[0], T: p[1]})
+					if err != nil || !res.Method.Resolved() {
+						failed.Store(true)
+						return
+					}
+				}
+			}(w * 7)
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		close(start)
+		wg.Wait()
+		runtime.ReadMemStats(&m1)
+		if failed.Load() {
+			t.Fatal("a concurrent table-resolved query failed to resolve")
+		}
+		return m1.Mallocs - m0.Mallocs
+	}
+
+	run() // warm: populate pool rings, settle any one-time lazy state
+	mallocs := run()
+	const ops = workers * perG
+	if mallocs > ops/100 {
+		t.Fatalf("concurrent table-resolved Query: %d mallocs over %d queries (>1%% of an alloc/op), want ~0",
+			mallocs, ops)
 	}
 }
 

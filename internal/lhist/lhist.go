@@ -1,0 +1,148 @@
+// Package lhist implements a log-linear histogram for latency
+// recording: fixed memory, lock-free concurrent Observe, and quantile
+// estimates with bounded relative error.
+//
+// The bucket layout is the HDR-histogram scheme: values are grouped by
+// octave (power of two) and each octave is split into 2^subBits linear
+// sub-buckets, so every bucket spans at most a 1/2^subBits = 6.25%
+// relative range. That is exactly the right trade for latency
+// percentiles — a p99 of "1.31ms ± 6%" is as actionable as an exact
+// one, and the whole histogram is a single flat array of counters that
+// two goroutines can update without sharing a cache line for
+// different-magnitude samples.
+//
+// All values are int64 and unit-agnostic; callers record nanoseconds by
+// convention. Negative values count into bucket 0.
+package lhist
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// subBits fixes the sub-bucket resolution: 2^subBits linear buckets per
+// octave, giving a worst-case quantile error of 2^-subBits (6.25%).
+const subBits = 4
+
+const subCount = 1 << subBits
+
+// numBuckets covers the full non-negative int64 range: values below
+// subCount map 1:1, and each of the (63 - subBits) remaining octaves
+// contributes subCount buckets.
+const numBuckets = subCount + (63-subBits)*subCount
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < subCount {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	o := bits.Len64(uint64(v)) - 1 // position of the top set bit, ≥ subBits
+	sub := int(v>>(o-subBits)) & (subCount - 1)
+	return (o-subBits+1)*subCount + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i — the
+// conservative (never over-reporting) representative Quantile returns.
+func bucketLow(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	o := i/subCount - 1 + subBits
+	sub := int64(i & (subCount - 1))
+	return (1 << o) + sub<<(o-subBits)
+}
+
+// Hist is a concurrent-safe histogram. The zero value is ready to use.
+// It must not be copied after first use (8KiB of atomic counters).
+type Hist struct {
+	counts [numBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.total.Load() }
+
+// Snapshot copies the histogram for consistent multi-quantile reads.
+// Concurrent Observes during the copy may land in either side; each
+// sample is counted at most once.
+type Snapshot struct {
+	counts [numBuckets]int64
+	total  int64
+	sum    int64
+}
+
+// Snapshot returns a point-in-time copy.
+func (h *Hist) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+	}
+	// Derive total from the copied buckets, not the live total counter:
+	// an Observe racing the copy loop could otherwise make total exceed
+	// the bucket sum and push Quantile past the last counted bucket.
+	for _, c := range s.counts {
+		s.total += c
+	}
+	s.sum = h.sum.Load()
+	return s
+}
+
+// Count returns the number of samples in the snapshot.
+func (s *Snapshot) Count() int64 { return s.total }
+
+// Mean returns the exact arithmetic mean of the snapshot's samples
+// (the sum is tracked exactly, not from bucket representatives), or 0
+// when empty.
+func (s *Snapshot) Mean() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.total)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as a bucket lower bound:
+// an estimate ≤ the true quantile, within 6.25% below it. Empty
+// snapshots return 0. q outside [0,1] is clamped.
+func (s *Snapshot) Quantile(q float64) int64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the sample to report, 1-based; q=0 is the minimum.
+	rank := int64(q*float64(s.total-1)) + 1
+	var seen int64
+	for i, c := range s.counts {
+		seen += c
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return bucketLow(numBuckets - 1) // unreachable: total matches buckets
+}
+
+// Max returns the lower bound of the highest occupied bucket (≤ the
+// true maximum, within 6.25%), or 0 when empty.
+func (s *Snapshot) Max() int64 {
+	for i := numBuckets - 1; i >= 0; i-- {
+		if s.counts[i] != 0 {
+			return bucketLow(i)
+		}
+	}
+	return 0
+}

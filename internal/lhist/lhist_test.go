@@ -1,0 +1,100 @@
+package lhist
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"vicinity/internal/xrand"
+)
+
+func TestBucketMonotone(t *testing.T) {
+	// Bucket index and lower bound must both be monotone in the value,
+	// and bucketLow must invert bucketOf onto the bucket's own range.
+	prev := -1
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 100, 1 << 20, 1<<20 + 1,
+		1 << 40, math.MaxInt64/2 + 1, math.MaxInt64} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, b, prev)
+		}
+		prev = b
+		lo := bucketLow(b)
+		if lo > v {
+			t.Fatalf("bucketLow(%d) = %d > value %d", b, lo, v)
+		}
+		if bucketOf(lo) != b {
+			t.Fatalf("bucketLow(%d) = %d maps to bucket %d", b, lo, bucketOf(lo))
+		}
+	}
+	if bucketOf(math.MaxInt64) >= numBuckets {
+		t.Fatal("MaxInt64 bucket out of range")
+	}
+	if bucketOf(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+}
+
+func TestQuantileError(t *testing.T) {
+	// Against a sorted reference sample: every quantile must come back
+	// ≤ the true value and within the 6.25% bucket width below it.
+	r := xrand.New(7)
+	var h Hist
+	vals := make([]int64, 10000)
+	for i := range vals {
+		v := int64(r.Uint32n(1_000_000)) + 1
+		vals[i] = v
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 0.999, 1} {
+		got := s.Quantile(q)
+		want := vals[int(q*float64(len(vals)-1))]
+		if got > want {
+			t.Fatalf("q=%g: %d > true %d", q, got, want)
+		}
+		if float64(want-got) > float64(want)/subCount+1 {
+			t.Fatalf("q=%g: %d under-reports true %d by more than a bucket", q, got, want)
+		}
+	}
+	if s.Count() != int64(len(vals)) {
+		t.Fatalf("count %d, want %d", s.Count(), len(vals))
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += float64(v)
+	}
+	if mean := s.Mean(); math.Abs(mean-sum/float64(len(vals))) > 1e-6 {
+		t.Fatalf("mean %g, want %g", mean, sum/float64(len(vals)))
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const gors, per = 8, 5000
+	for g := 0; g < gors; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			for i := 0; i < per; i++ {
+				h.Observe(int64(r.Uint32n(1 << 20)))
+			}
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count(); got != gors*per {
+		t.Fatalf("lost samples: %d, want %d", got, gors*per)
+	}
+}

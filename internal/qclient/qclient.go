@@ -269,6 +269,10 @@ type QuerySpec struct {
 	// WantPath asks for the path(s); WantStats for the cost counters.
 	WantPath  bool
 	WantStats bool
+	// Parallel asks the server to fan a one-to-many request across up
+	// to this many workers (0 or 1 = sequential; the server clamps to
+	// its own ceiling). Answers are bit-identical either way.
+	Parallel int
 }
 
 // QueryItem is one target's answer in a QueryResult. Err wraps the
@@ -307,11 +311,17 @@ func (c *Client) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error
 		// refuse it like the HTTP handler and the CLI do.
 		return nil, fmt.Errorf("qclient: negative budget %d", spec.Budget)
 	}
+	if spec.Parallel < 0 {
+		return nil, fmt.Errorf("qclient: negative parallel %d", spec.Parallel)
+	}
 	req := &wire.QueryRequest{
 		S:      spec.S,
 		T:      spec.T,
 		Budget: wire.ClampU32(spec.Budget),
 		Policy: uint8(spec.Policy),
+		// The wire field is one byte; 255 workers already exceeds any
+		// server's clamp, so saturating loses nothing.
+		Parallel: uint8(min(spec.Parallel, 255)),
 	}
 	if spec.WantPath {
 		req.Flags |= wire.QueryWantPath

@@ -177,6 +177,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(int64(len(body.Ts)))
+	defer s.observe(EpBatch, time.Now())
 	res, err := s.oracle.Load().DistanceMany(body.S, body.Ts)
 	if err != nil {
 		s.errCount.Add(1)
@@ -221,6 +222,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	defer s.observe(EpDistance, time.Now())
 	d, method, err := s.oracle.Load().Distance(from, to)
 	if err != nil {
 		s.errCount.Add(1)
@@ -249,6 +251,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	defer s.observe(EpPath, time.Now())
 	p, method, err := s.oracle.Load().Path(from, to)
 	if err != nil {
 		s.errCount.Add(1)
@@ -269,25 +272,62 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// LatencyStats is the JSON shape of one endpoint's latency summary in
+// /v1/stats (microsecond quantiles from the log-linear histogram; each
+// is a ≤6.25%-under estimate of the true quantile).
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// latencyStats summarizes the per-endpoint histograms; endpoints with
+// no samples are omitted.
+func (s *Server) latencyStats() map[string]LatencyStats {
+	out := make(map[string]LatencyStats, numEndpoints)
+	for ep := Endpoint(0); ep < numEndpoints; ep++ {
+		snap := s.lat[ep].Snapshot()
+		if snap.Count() == 0 {
+			continue
+		}
+		const us = 1e3 // ns per µs
+		out[ep.String()] = LatencyStats{
+			Count:  snap.Count(),
+			MeanUS: snap.Mean() / us,
+			P50US:  float64(snap.Quantile(0.50)) / us,
+			P95US:  float64(snap.Quantile(0.95)) / us,
+			P99US:  float64(snap.Quantile(0.99)) / us,
+			MaxUS:  float64(snap.Max()) / us,
+		}
+	}
+	return out
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	oracle := s.oracle.Load()
 	st := oracle.Stats()
 	ms := oracle.Memory()
 	type resp struct {
-		Nodes        int     `json:"nodes"`
-		Edges        int     `json:"edges"`
-		Alpha        float64 `json:"alpha"`
-		Landmarks    int     `json:"landmarks"`
-		AvgVicinity  float64 `json:"avg_vicinity"`
-		MaxVicinity  int     `json:"max_vicinity"`
-		AvgBoundary  float64 `json:"avg_boundary"`
-		AvgRadius    float64 `json:"avg_radius"`
-		TotalEntries int64   `json:"total_entries"`
-		TotalBytes   int64   `json:"total_bytes"`
-		Queries      int64   `json:"queries_served"`
-		Errors       int64   `json:"errors"`
-		Updates      int64   `json:"updates_applied"`
-		Epoch        uint64  `json:"epoch"`
+		Nodes        int                     `json:"nodes"`
+		Edges        int                     `json:"edges"`
+		Alpha        float64                 `json:"alpha"`
+		Landmarks    int                     `json:"landmarks"`
+		AvgVicinity  float64                 `json:"avg_vicinity"`
+		MaxVicinity  int                     `json:"max_vicinity"`
+		AvgBoundary  float64                 `json:"avg_boundary"`
+		AvgRadius    float64                 `json:"avg_radius"`
+		TotalEntries int64                   `json:"total_entries"`
+		TotalBytes   int64                   `json:"total_bytes"`
+		Queries      int64                   `json:"queries_served"`
+		Errors       int64                   `json:"errors"`
+		Updates      int64                   `json:"updates_applied"`
+		Epoch        uint64                  `json:"epoch"`
+		InFlight     int64                   `json:"in_flight"`
+		Shed         int64                   `json:"shed"`
+		Latency      map[string]LatencyStats `json:"latency,omitempty"`
 	}
 	writeJSON(w, http.StatusOK, resp{
 		Nodes:        st.Nodes,
@@ -304,6 +344,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Errors:       s.errCount.Load(),
 		Updates:      s.updates.Load(),
 		Epoch:        s.epoch.Load(),
+		InFlight:     s.inFlight.Load(),
+		Shed:         s.shed.Load(),
+		Latency:      s.latencyStats(),
 	})
 }
 
@@ -335,6 +378,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		Policy     string    `json:"policy"`
 		WantPath   bool      `json:"want_path"`
 		WantStats  bool      `json:"want_stats"`
+		Parallel   int       `json:"parallel"`
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
 	dec.DisallowUnknownFields()
@@ -363,12 +407,25 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	case body.DeadlineMS < 0 || body.DeadlineMS > maxQueryDeadlineMS:
 		fail(fmt.Sprintf("deadline_ms must be in [0, %d]", maxQueryDeadlineMS))
 		return
+	case body.Parallel < 0:
+		fail("parallel must be >= 0")
+		return
 	}
 	policy, err := core.ParsePolicy(body.Policy)
 	if err != nil {
 		fail(err.Error())
 		return
 	}
+	defer s.observe(EpQuery, time.Now())
+	if body.Ts != nil {
+		defer s.observe(EpBatch, time.Now())
+	} else if body.WantPath {
+		defer s.observe(EpPath, time.Now())
+	} else {
+		defer s.observe(EpDistance, time.Now())
+	}
+	policy, leave := s.admit(policy)
+	defer leave()
 
 	// The request context: client disconnect (r.Context()) ∧ server
 	// shutdown (s.baseCtx) ∧ the request's own deadline.
@@ -391,6 +448,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		Budget:    body.Budget,
 		WantPath:  body.WantPath,
 		WantStats: body.WantStats,
+		Parallel:  min(body.Parallel, s.cfg.MaxBatchParallel),
 	}
 	targets := []uint32{}
 	if body.Ts != nil {

@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vicinity/internal/core"
+	"vicinity/internal/lhist"
 	"vicinity/internal/wire"
 )
 
@@ -44,6 +46,19 @@ type Config struct {
 	// (POST /v1/admin/update). The programmatic ApplyUpdates method is
 	// always available; this gates only the network surface.
 	AllowUpdates bool
+	// MaxInFlight enables admission control (0 = off): when more than
+	// this many queries are being answered at once, new queries whose
+	// policy permits a fallback search are degraded to PolicyEstimate —
+	// shed load gets a cheap landmark upper bound (marked by its method
+	// and counted in Metrics.Shed) instead of queueing behind µs-to-ms
+	// fallback searches. Table-resolved queries are unaffected: the
+	// degradation only ever removes the expensive step, so the server
+	// keeps its latency floor under overload rather than collapsing.
+	MaxInFlight int
+	// MaxBatchParallel caps the per-request batch worker fan-out a
+	// client may ask for via the wire Parallel knob (0 = number of CPUs;
+	// negative disables client-requested parallelism).
+	MaxBatchParallel int
 
 	// testHookQuery, when non-nil, runs at the start of every v2 query
 	// with the request context. Tests use it to hold a request in
@@ -62,6 +77,9 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
+	if c.MaxBatchParallel == 0 {
+		c.MaxBatchParallel = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -75,6 +93,37 @@ type Metrics struct {
 	BytesWritten int64
 	Updates      int64  // update batches applied
 	Epoch        uint64 // current oracle epoch (0 = as built/loaded)
+	InFlight     int64  // queries being answered right now
+	Shed         int64  // queries degraded to PolicyEstimate by admission control
+}
+
+// Endpoint indexes the per-endpoint latency histograms: the four query
+// shapes a server answers, shared between the TCP and HTTP surfaces.
+type Endpoint int
+
+// Latency endpoints.
+const (
+	EpDistance Endpoint = iota // single distance (v1 + v2 single-target)
+	EpPath                     // single path
+	EpBatch                    // one-to-many (v1 batch + v2 many-target)
+	EpQuery                    // v2 query frames of any shape, end to end
+	numEndpoints
+)
+
+// String returns the stats-reporting name of the endpoint.
+func (e Endpoint) String() string {
+	switch e {
+	case EpDistance:
+		return "distance"
+	case EpPath:
+		return "path"
+	case EpBatch:
+		return "batch"
+	case EpQuery:
+		return "query"
+	default:
+		return fmt.Sprintf("Endpoint(%d)", int(e))
+	}
 }
 
 // Server answers oracle queries. Create with New, start with Serve or
@@ -109,6 +158,36 @@ type Server struct {
 	bytesWritten atomic.Int64
 	updates      atomic.Int64
 	epoch        atomic.Uint64
+	inFlight     atomic.Int64
+	shed         atomic.Int64
+
+	lat [numEndpoints]lhist.Hist // per-endpoint service latency (ns)
+}
+
+// observe records one request's service latency (oracle work plus
+// response assembly; socket writes excluded) against its endpoint.
+func (s *Server) observe(ep Endpoint, start time.Time) {
+	s.lat[ep].Observe(int64(time.Since(start)))
+}
+
+// Latency returns a snapshot of one endpoint's latency histogram.
+func (s *Server) Latency(ep Endpoint) *lhist.Snapshot { return s.lat[ep].Snapshot() }
+
+// admit applies admission control to one query: it enters the query
+// into the in-flight gauge (the returned func leaves it; always call
+// it) and, when the server is over MaxInFlight, degrades a
+// fallback-permitting policy to PolicyEstimate so overload sheds to
+// cheap landmark bounds instead of queueing. The returned policy is
+// what the query must run with.
+func (s *Server) admit(p core.Policy) (core.Policy, func()) {
+	n := s.inFlight.Add(1)
+	leave := func() { s.inFlight.Add(-1) }
+	if s.cfg.MaxInFlight > 0 && n > int64(s.cfg.MaxInFlight) &&
+		(p == core.PolicyDefault || p == core.PolicyFull) {
+		s.shed.Add(1)
+		return core.PolicyEstimate, leave
+	}
+	return p, leave
 }
 
 // New returns an unstarted server for the oracle.
@@ -161,6 +240,8 @@ func (s *Server) Metrics() Metrics {
 		BytesWritten: s.bytesWritten.Load(),
 		Updates:      s.updates.Load(),
 		Epoch:        s.epoch.Load(),
+		InFlight:     s.inFlight.Load(),
+		Shed:         s.shed.Load(),
 	}
 }
 
@@ -349,6 +430,7 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 
 	case *wire.DistanceRequest:
 		s.queries.Add(1)
+		defer s.observe(EpDistance, time.Now())
 		d, method, err := oracle.Distance(m.S, m.T)
 		if err != nil {
 			s.errCount.Add(1)
@@ -358,6 +440,7 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 
 	case *wire.PathRequest:
 		s.queries.Add(1)
+		defer s.observe(EpPath, time.Now())
 		p, method, err := oracle.Path(m.S, m.T)
 		if err != nil {
 			s.errCount.Add(1)
@@ -371,6 +454,7 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 		// target counts as one query; per-target failures come back as
 		// item codes without failing the batch.
 		s.queries.Add(int64(len(m.Ts)))
+		defer s.observe(EpBatch, time.Now())
 		res, err := oracle.DistanceMany(m.S, m.Ts)
 		if err != nil {
 			s.errCount.Add(1)
@@ -439,6 +523,16 @@ func (s *Server) dispatchQuery(oracle *core.Oracle, m *wire.QueryRequest) wire.M
 	} else {
 		s.queries.Add(1)
 	}
+	defer s.observe(EpQuery, time.Now())
+	if many {
+		defer s.observe(EpBatch, time.Now())
+	} else if m.Flags&wire.QueryWantPath != 0 {
+		defer s.observe(EpPath, time.Now())
+	} else {
+		defer s.observe(EpDistance, time.Now())
+	}
+	policy, leave := s.admit(core.Policy(m.Policy))
+	defer leave()
 	ctx := s.baseCtx
 	if m.DeadlineMS > 0 {
 		var cancel context.CancelFunc
@@ -451,10 +545,11 @@ func (s *Server) dispatchQuery(oracle *core.Oracle, m *wire.QueryRequest) wire.M
 	req := core.Request{
 		S:         m.S,
 		T:         m.T,
-		Policy:    core.Policy(m.Policy),
+		Policy:    policy,
 		Budget:    int(m.Budget),
 		WantPath:  m.Flags&wire.QueryWantPath != 0,
 		WantStats: m.Flags&wire.QueryWantStats != 0,
+		Parallel:  min(int(m.Parallel), s.cfg.MaxBatchParallel),
 	}
 	if many {
 		req.Ts = m.Ts

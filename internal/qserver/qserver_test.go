@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -1185,4 +1186,236 @@ func wireRoundTrip(t *testing.T, addr string, msg wire.Message) (wire.Message, e
 		return nil, err
 	}
 	return wire.ReadMessage(conn)
+}
+
+// TestStatsLatencyHistograms pins the /v1/stats latency surface: the
+// JSON field names, the per-endpoint keys, and the histogram's basic
+// sanity (counts match the traffic sent, quantiles are monotone,
+// endpoints with no traffic are absent).
+func TestStatsLatencyHistograms(t *testing.T) {
+	s, addr := startServer(t, Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Traffic: 10 TCP distances, 3 HTTP paths, one v2 batch of 5.
+	for i := uint32(0); i < 10; i++ {
+		if _, _, err := c.Distance(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/path?s=%d&t=%d", hs.URL, i, i+5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if _, err := c.Query(context.Background(), qclient.QuerySpec{S: 1, Ts: []uint32{2, 3, 4, 5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Latency map[string]map[string]float64 `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the endpoint keys and the per-endpoint field names.
+	wantCounts := map[string]float64{"distance": 10, "path": 3, "batch": 1, "query": 1}
+	if len(st.Latency) != len(wantCounts) {
+		t.Fatalf("latency endpoints %v, want exactly %v", st.Latency, wantCounts)
+	}
+	for ep, wantCount := range wantCounts {
+		h, ok := st.Latency[ep]
+		if !ok {
+			t.Fatalf("latency missing endpoint %q: %v", ep, st.Latency)
+		}
+		for _, field := range []string{"count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"} {
+			if _, ok := h[field]; !ok {
+				t.Fatalf("latency[%q] missing field %q: %v", ep, field, h)
+			}
+		}
+		if len(h) != 6 {
+			t.Fatalf("latency[%q] has unexpected fields: %v", ep, h)
+		}
+		if h["count"] != wantCount {
+			t.Fatalf("latency[%q].count = %v, want %v", ep, h["count"], wantCount)
+		}
+		if !(h["p50_us"] <= h["p95_us"] && h["p95_us"] <= h["p99_us"] && h["p99_us"] <= h["max_us"]) {
+			t.Fatalf("latency[%q] quantiles not monotone: %v", ep, h)
+		}
+	}
+}
+
+// TestAdmissionControlSheds holds one fallback query in flight and
+// verifies that, over MaxInFlight, the next fallback-permitting query
+// is degraded to the landmark estimate (typed by its method, counted in
+// Shed) instead of queueing behind the search — and that a table-only
+// request is never upgraded by admission control.
+func TestAdmissionControlSheds(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	var park atomic.Bool
+	cfg := Config{MaxInFlight: 1, testHookQuery: func(ctx context.Context) {
+		if park.Load() {
+			entered <- struct{}{}
+			<-release
+		}
+	}}
+	srv, addr, a, b := startGridServer(t, cfg)
+
+	c1, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	ctx := context.Background()
+
+	// Hold one admitted query in flight.
+	park.Store(true)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var heldErr error
+	go func() {
+		defer wg.Done()
+		_, heldErr = c1.Query(ctx, qclient.QuerySpec{S: a, T: b, Policy: core.PolicyFull})
+	}()
+	<-entered
+	park.Store(false)
+
+	// The second fallback query must shed to the estimate: answered in
+	// microseconds with the landmark upper-bound method, not parked
+	// behind the held slot.
+	res, err := c2.Query(ctx, qclient.QuerySpec{S: a, T: b, Policy: core.PolicyFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := res.Items[0]
+	if it.Err != nil || core.Method(it.Method) != core.MethodFallbackEstimate {
+		t.Fatalf("shed query answered (%v, %v), want landmark estimate", core.Method(it.Method), it.Err)
+	}
+	wantD, _, _ := srv.Oracle().Distance(a, b)
+	if it.Dist < wantD {
+		t.Fatalf("shed estimate %d below true distance %d", it.Dist, wantD)
+	}
+	if m := srv.Metrics(); m.Shed != 1 || m.InFlight < 1 {
+		t.Fatalf("metrics after shed: %+v", m)
+	}
+
+	// A table-only request is already cheap: it passes through admission
+	// control unchanged even over the limit.
+	res, err = c2.Query(ctx, qclient.QuerySpec{S: a, T: b, Policy: core.PolicyTableOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Method(res.Items[0].Method); got != core.MethodNone {
+		t.Fatalf("table-only under overload answered %v, want none", got)
+	}
+	if m := srv.Metrics(); m.Shed != 1 {
+		t.Fatalf("table-only request counted as shed: %+v", m)
+	}
+
+	close(release)
+	wg.Wait()
+	if heldErr != nil {
+		t.Fatalf("held query: %v", heldErr)
+	}
+	if m := srv.Metrics(); m.InFlight != 0 {
+		t.Fatalf("in-flight gauge leaked: %+v", m)
+	}
+
+	// The /v1/stats surface exposes the shed counter.
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Shed     *int64 `json:"shed"`
+		InFlight *int64 `json:"in_flight"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed == nil || *st.Shed != 1 || st.InFlight == nil {
+		t.Fatalf("/v1/stats shed/in_flight: %+v", st)
+	}
+}
+
+// TestQueryV2ParallelRoundTrip sends one-to-many requests with the
+// Parallel knob over both surfaces and requires answers identical to
+// the sequential pass (the engine's bit-identity property, observed
+// end to end).
+func TestQueryV2ParallelRoundTrip(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	r := xrand.New(11)
+	ts := make([]uint32, 3*core.BatchParallelMinTargets)
+	for i := range ts {
+		ts[i] = r.Uint32n(400)
+	}
+	seq, err := c.Query(ctx, qclient.QuerySpec{S: 5, Ts: ts, WantPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := c.Query(ctx, qclient.QuerySpec{S: 5, Ts: ts, WantPath: true, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Items) != len(seq.Items) {
+		t.Fatalf("%d items, want %d", len(par.Items), len(seq.Items))
+	}
+	for i := range seq.Items {
+		w, g := seq.Items[i], par.Items[i]
+		if w.Dist != g.Dist || w.Method != g.Method || len(w.Path) != len(g.Path) {
+			t.Fatalf("item %d: parallel (%d,%d) vs sequential (%d,%d)",
+				i, g.Dist, g.Method, w.Dist, w.Method)
+		}
+	}
+
+	// HTTP surface accepts the knob too (and rejects a negative one).
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	body := `{"s":5,"ts":[1,2,3],"parallel":4}`
+	resp, err := http.Post(hs.URL+"/v2/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("parallel v2 query: HTTP %d", resp.StatusCode)
+	}
+	resp, err = http.Post(hs.URL+"/v2/query", "application/json", strings.NewReader(`{"s":5,"t":1,"parallel":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative parallel accepted: HTTP %d", resp.StatusCode)
+	}
 }

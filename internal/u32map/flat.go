@@ -159,6 +159,12 @@ func (f Flat) findSorted(key uint32) int32 {
 }
 
 // Get returns the distance recorded for key.
+//
+// The hash probe is the oracle's innermost query loop (every vicinity
+// hit and every boundary-scan probe lands here). The fingerprint
+// comparison is a single XOR against the full hash — the high byte of
+// s^h is zero exactly when the stored fingerprint matches — so no
+// canonicalized fingerprint needs to stay live across the probe loop.
 func (f Flat) Get(key uint32) (uint32, bool) {
 	if f.eLen == 0 {
 		return 0, false
@@ -166,14 +172,13 @@ func (f Flat) Get(key uint32) (uint32, bool) {
 	a := f.a
 	if f.sMask != noIndex {
 		h := key * fib32
-		fp := h >> slotIdxBits << slotIdxBits
 		i := h & f.sMask
 		for {
 			s := a.Slots[f.sOff+i]
 			if s == 0 {
 				return 0, false
 			}
-			if s>>slotIdxBits<<slotIdxBits == fp {
+			if (s^h)>>slotIdxBits == 0 {
 				if e := f.eOff + (s & slotIdxMask) - 1; a.Keys[e] == key {
 					return a.Dists[e], true
 				}
@@ -187,7 +192,8 @@ func (f Flat) Get(key uint32) (uint32, bool) {
 	return 0, false
 }
 
-// GetEntry returns the distance and parent recorded for key.
+// GetEntry returns the distance and parent recorded for key. The probe
+// loop mirrors Get (see there for why it is shaped this way).
 func (f Flat) GetEntry(key uint32) (dist, parent uint32, ok bool) {
 	if f.eLen == 0 {
 		return 0, 0, false
@@ -195,14 +201,13 @@ func (f Flat) GetEntry(key uint32) (dist, parent uint32, ok bool) {
 	a := f.a
 	if f.sMask != noIndex {
 		h := key * fib32
-		fp := h >> slotIdxBits << slotIdxBits
 		i := h & f.sMask
 		for {
 			s := a.Slots[f.sOff+i]
 			if s == 0 {
 				return 0, 0, false
 			}
-			if s>>slotIdxBits<<slotIdxBits == fp {
+			if (s^h)>>slotIdxBits == 0 {
 				if e := f.eOff + (s & slotIdxMask) - 1; a.Keys[e] == key {
 					return a.Dists[e], a.Parents[e], true
 				}

@@ -203,7 +203,10 @@ type BatchResponse struct {
 // many (Ts, with the QueryMany flag), a relative deadline in
 // milliseconds (0 = none; the server enforces it inside the fallback
 // search loop), a fallback-search node budget (0 = unlimited), the
-// fallback policy (core.Policy numbering) and the Query* flag bits.
+// fallback policy (core.Policy numbering), the Query* flag bits, and
+// the batch parallelism cap (0 or 1 = sequential; the server clamps to
+// its own worker ceiling, and answers are bit-identical either way, so
+// the knob only trades latency for server CPU).
 type QueryRequest struct {
 	S          uint32
 	T          uint32
@@ -212,6 +215,7 @@ type QueryRequest struct {
 	Budget     uint32
 	Policy     uint8
 	Flags      uint8
+	Parallel   uint8
 }
 
 // QueryItem is one target's answer in a QueryResponse. Code 0 means
@@ -542,7 +546,7 @@ func (m *QueryRequest) appendPayload(dst []byte) []byte {
 	dst = appendU32(dst, m.T)
 	dst = appendU32(dst, m.DeadlineMS)
 	dst = appendU32(dst, m.Budget)
-	dst = append(dst, m.Policy, m.Flags)
+	dst = append(dst, m.Policy, m.Flags, m.Parallel)
 	dst = appendU32(dst, uint32(len(m.Ts)))
 	for _, t := range m.Ts {
 		dst = appendU32(dst, t)
@@ -551,7 +555,7 @@ func (m *QueryRequest) appendPayload(dst []byte) []byte {
 }
 
 func (m *QueryRequest) parsePayload(src []byte) error {
-	if len(src) < 22 {
+	if len(src) < 23 {
 		return ErrTruncated
 	}
 	m.S = binary.BigEndian.Uint32(src)
@@ -560,14 +564,15 @@ func (m *QueryRequest) parsePayload(src []byte) error {
 	m.Budget = binary.BigEndian.Uint32(src[12:])
 	m.Policy = src[16]
 	m.Flags = src[17]
-	count := binary.BigEndian.Uint32(src[18:])
+	m.Parallel = src[18]
+	count := binary.BigEndian.Uint32(src[19:])
 	if count > MaxBatchTargets {
 		return fmt.Errorf("wire: query of %d targets exceeds the %d cap", count, MaxBatchTargets)
 	}
 	if m.Flags&QueryMany == 0 && count != 0 {
 		return fmt.Errorf("wire: single-target query carries %d targets", count)
 	}
-	if uint64(len(src)) != 22+4*uint64(count) {
+	if uint64(len(src)) != 23+4*uint64(count) {
 		return ErrTruncated
 	}
 	if count == 0 {
@@ -576,7 +581,7 @@ func (m *QueryRequest) parsePayload(src []byte) error {
 	}
 	m.Ts = make([]uint32, count)
 	for i := range m.Ts {
-		m.Ts[i] = binary.BigEndian.Uint32(src[22+4*i:])
+		m.Ts[i] = binary.BigEndian.Uint32(src[23+4*i:])
 	}
 	return nil
 }

@@ -37,7 +37,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&BatchResponse{Items: []BatchItem{{Dist: 3, Method: 6}, {Dist: ^uint32(0), Method: 0, Code: CodeOutOfRange}}},
 		&BatchResponse{Items: nil},
 		&QueryRequest{S: 1, T: 2, DeadlineMS: 250, Budget: 4096, Policy: 1, Flags: QueryWantPath | QueryWantStats},
-		&QueryRequest{S: 1, Ts: []uint32{3, 4, ^uint32(0)}, Flags: QueryMany},
+		&QueryRequest{S: 1, Ts: []uint32{3, 4, ^uint32(0)}, Flags: QueryMany, Parallel: 8},
 		&QueryRequest{S: 1, Flags: QueryMany},
 		&QueryResponse{Epoch: 7, Lookups: 1, Scanned: 2, Expanded: 3, Fallbacks: 4,
 			Items: []QueryItem{{Code: CodeBudget, Dist: 12, Method: 10, Path: []uint32{0, 5, 9}}, {Dist: ^uint32(0)}}},
@@ -299,7 +299,7 @@ func TestQueryFrameValidation(t *testing.T) {
 
 	// Target counts beyond the batch cap are refused without allocating.
 	huge := frame(&QueryRequest{S: 1, Flags: QueryMany})
-	binary.BigEndian.PutUint32(huge[2+18:], MaxBatchTargets+1)
+	binary.BigEndian.PutUint32(huge[2+19:], MaxBatchTargets+1)
 	if _, err := Unmarshal(huge); err == nil {
 		t.Fatal("oversized target count accepted")
 	}
