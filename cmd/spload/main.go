@@ -29,6 +29,14 @@
 // "single@2000,batch@50"), overriding the global -qps for that
 // workload only.
 //
+// With -churn-url and -churn-qps the run doubles as a read/churn
+// soak: a background stream of mixed insert/delete batches is POSTed
+// to the server's /v1/admin/update endpoint (start spserver with
+// updates enabled) while the query workloads are measured, so the
+// reported latencies include epoch swaps and decremental repairs. The
+// applied/error counts land in the report's config as churn_updates /
+// churn_errors.
+//
 // Open loop means the arrival schedule never waits for responses: if
 // the server falls behind, requests queue and their latency — measured
 // from the scheduled arrival, not the delayed send — absorbs the queue
@@ -498,6 +506,8 @@ func run(args []string) error {
 		nodes     = fs.Uint("n", 0, "node-id space to draw from (0 = ask the server)")
 		seed      = fs.Uint64("seed", 1, "random seed for the query stream")
 		jsonOut   = fs.String("json", "", "write the vicinity-bench/v1 report to this file (\"-\" = stdout)")
+		churnURL  = fs.String("churn-url", "", "HTTP base URL to POST /v1/admin/update churn batches to while the workloads run (needs a server with updates enabled)")
+		churnQPS  = fs.Float64("churn-qps", 0, "churn batches per second posted to -churn-url (each inserts one edge and deletes one it inserted earlier)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -538,6 +548,15 @@ func run(args []string) error {
 		nodes: n, seed: *seed,
 	}
 
+	var ch *churner
+	if *churnURL != "" {
+		if *churnQPS <= 0 {
+			return errors.New("-churn-url requires -churn-qps > 0")
+		}
+		ch = newChurner(*churnURL, *churnQPS, n, *seed)
+		go ch.run()
+	}
+
 	report := &benchfmt.Report{
 		Schema: benchfmt.Schema,
 		Tool:   "spload",
@@ -554,6 +573,9 @@ func run(args []string) error {
 			"nodes":    fmt.Sprint(n),
 			"seed":     fmt.Sprint(*seed),
 		},
+	}
+	if ch != nil {
+		report.Config["churn_qps"] = fmt.Sprint(*churnQPS)
 	}
 
 	for _, name := range strings.Split(*workloads, ",") {
@@ -587,6 +609,16 @@ func run(args []string) error {
 		fmt.Println()
 	}
 
+	if ch != nil {
+		applied, errs := ch.halt()
+		report.Config["churn_updates"] = fmt.Sprint(applied)
+		report.Config["churn_errors"] = fmt.Sprint(errs)
+		fmt.Printf("churn      %d update batches applied, %d errors\n", applied, errs)
+		if errs > applied {
+			return fmt.Errorf("churn stream mostly failing: %d errors vs %d applied", errs, applied)
+		}
+	}
+
 	if *jsonOut != "" {
 		if err := report.WriteFile(*jsonOut); err != nil {
 			return err
@@ -596,6 +628,108 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// churner posts a steady open-loop stream of mixed insert/delete
+// batches to a server's admin update endpoint while the workloads run,
+// so measured query latencies include epoch swaps and decremental
+// repairs. Each batch inserts one random edge; once a warm pool of its
+// own insertions exists, each batch also deletes the oldest pooled
+// edge, keeping the graph size roughly stable across the run.
+type churner struct {
+	base    string
+	qps     float64
+	n       uint32
+	seed    uint64
+	client  *http.Client
+	stop    chan struct{}
+	done    chan struct{}
+	applied int
+	errs    int
+}
+
+func newChurner(base string, qps float64, n uint32, seed uint64) *churner {
+	return &churner{
+		base:   strings.TrimRight(base, "/"),
+		qps:    qps,
+		n:      n,
+		seed:   seed,
+		client: &http.Client{Timeout: 10 * time.Second},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+func (c *churner) halt() (applied, errs int) {
+	close(c.stop)
+	<-c.done
+	return c.applied, c.errs
+}
+
+func (c *churner) run() {
+	defer close(c.done)
+	r := xrand.New(c.seed + 777)
+	type edge = [2]uint32
+	key := func(e edge) uint64 {
+		u, v := e[0], e[1]
+		if v < u {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(v)
+	}
+	var pool []edge
+	inPool := make(map[uint64]bool)
+	tick := time.NewTicker(time.Duration(float64(time.Second) / c.qps))
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		var body struct {
+			Edges    []edge `json:"edges,omitempty"`
+			DelEdges []edge `json:"del_edges,omitempty"`
+		}
+		for tries := 0; tries < 8; tries++ {
+			u, v := r.Uint32n(c.n), r.Uint32n(c.n)
+			e := edge{u, v}
+			if u == v || inPool[key(e)] {
+				continue
+			}
+			inPool[key(e)] = true
+			pool = append(pool, e)
+			body.Edges = append(body.Edges, e)
+			break
+		}
+		// Delete only edges this churner inserted itself, so every
+		// deletion targets an edge known to exist.
+		if len(pool) > 32 {
+			e := pool[0]
+			pool = pool[1:]
+			delete(inPool, key(e))
+			body.DelEdges = append(body.DelEdges, e)
+		}
+		if len(body.Edges) == 0 && len(body.DelEdges) == 0 {
+			continue
+		}
+		buf, err := json.Marshal(body)
+		if err != nil {
+			c.errs++
+			continue
+		}
+		resp, err := c.client.Post(c.base+"/v1/admin/update", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			c.errs++
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			c.errs++
+			continue
+		}
+		c.applied++
+	}
 }
 
 // probeNodes asks the server for its graph size so the query stream

@@ -13,9 +13,19 @@
 // embeds the graph, so -graph/-gen are not needed.
 //
 // With -allow-updates, POST /v1/admin/update accepts graph mutation
-// batches ({"add_nodes":N,"edges":[[u,v],...]}); the oracle is repaired
-// incrementally and swapped in atomically, so queries keep flowing
-// through every update.
+// batches ({"add_nodes":N,"edges":[[u,v],...],"del_edges":[[u,v],...],
+// "del_nodes":[u,...],"set_weights":[[u,v,w],...]}); the oracle is
+// repaired incrementally — growth and deletion alike — and swapped in
+// atomically, so queries keep flowing through every update. POST
+// /v1/admin/save ({"path":"..."}) serializes the current snapshot to a
+// server-side file, the hook CI uses to diff a churned oracle against
+// a fresh build.
+//
+// With -distance-only, the oracle is built without per-member parent
+// pointers: Path queries degrade to distance-only answers while the
+// tables shrink, and the serialized oracle is byte-reproducible from
+// the final graph alone — the mode the end-to-end churn verification
+// uses.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the server stops
 // accepting, drains in-flight TCP/HTTP requests for -drain (default
@@ -68,6 +78,7 @@ func run(args []string) error {
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window before in-flight requests are canceled")
 		maxInFl    = fs.Int("max-in-flight", 0, "admission control: over this many concurrent queries, fallback-permitting queries shed to the landmark estimate (0 = off)")
 		maxBatchP  = fs.Int("max-batch-parallel", 0, "ceiling on client-requested batch worker fan-out (0 = CPU count, negative = disable)")
+		distOnly   = fs.Bool("distance-only", false, "build without path data: smaller tables, Path degrades to distances, serialized form reproducible from the graph alone")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,7 +108,7 @@ func run(args []string) error {
 		}
 		logger.Printf("graph: %s", graph.ComputeStats(g))
 		start := time.Now()
-		oracle, err = core.Build(g, core.Options{Alpha: *alpha, Seed: *seed, Workers: *parallel})
+		oracle, err = core.Build(g, core.Options{Alpha: *alpha, Seed: *seed, Workers: *parallel, DisablePathData: *distOnly})
 		if err != nil {
 			return err
 		}

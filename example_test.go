@@ -60,6 +60,35 @@ func ExampleOracle_ApplyUpdates() {
 	// to new node: 2
 }
 
+// ExampleOracle_DeleteEdge removes an edge and shows the repaired
+// oracle rerouting around it; a second delete of the same edge fails
+// with ErrEdgeNotFound.
+func ExampleOracle_DeleteEdge() {
+	// A 6-cycle with a chord: 0-1-2-3-4-5-0 plus 0-3.
+	g := vicinity.NewGraph(6, [][2]uint32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3},
+	})
+	oracle, err := vicinity.Build(g, &vicinity.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	d, _, _ := oracle.Distance(0, 3)
+	fmt.Println("with chord:", d)
+
+	if err := oracle.DeleteEdge(0, 3); err != nil {
+		panic(err)
+	}
+	d, _, _ = oracle.Distance(0, 3)
+	fmt.Println("chord deleted:", d)
+
+	err = oracle.DeleteEdge(0, 3)
+	fmt.Println("deleting again:", errors.Is(err, vicinity.ErrEdgeNotFound))
+	// Output:
+	// with chord: 1
+	// chord deleted: 3
+	// deleting again: true
+}
+
 // ExampleOracle_InsertEdge inserts one edge at a time.
 func ExampleOracle_InsertEdge() {
 	g := vicinity.GenerateSocial(1000, 8, 42)

@@ -1,6 +1,7 @@
-// Dynamic updates: grow a social graph under a live oracle — new
-// friendships and new users are absorbed by incremental repair instead
-// of a rebuild, while queries keep running concurrently.
+// Dynamic updates: churn a social graph under a live oracle — new
+// friendships, new users, broken friendships, and departed users are
+// all absorbed by incremental repair instead of a rebuild, while
+// queries keep running concurrently.
 //
 //	go run ./examples/dynamic
 package main
@@ -71,12 +72,36 @@ func main() {
 		}
 	}
 	perInsert := time.Since(start) / inserts
+
+	// Friendships break too: deletions repair the same way, and a
+	// departed user takes all their edges with them in one batch.
+	start = time.Now()
+	const deletes = 25
+	for i := uint32(0); i < deletes; i++ {
+		if err := oracle.DeleteEdge(i*37%20000, (i*101+500)%20000); err != nil {
+			log.Fatal(err)
+		}
+	}
+	perDelete := time.Since(start) / deletes
+	if err := oracle.ApplyUpdates(vicinity.Update{DelNodes: []uint32{id}}); err != nil {
+		log.Fatal(err)
+	}
+	if d, _, _ := oracle.Distance(id, 0); d != vicinity.NoDist {
+		log.Fatalf("user %d left but is still reachable (d=%d)", id, d)
+	}
+	fmt.Printf("user %d left: %d edges retired, node unreachable\n", id, 3)
+
+	// SetWeight upserts: on an unweighted graph a weight-1 change is
+	// insert-or-keep, handy for idempotent "ensure this edge" streams.
+	if err := oracle.SetWeight(17, 4711, 1); err != nil {
+		log.Fatal(err)
+	}
 	close(stop)
 	<-done
 
-	fmt.Printf("%d insertions at ~%v each (full rebuild: %v — %.0f× slower)\n",
-		inserts, perInsert.Round(time.Microsecond), buildTime.Round(time.Millisecond),
-		float64(buildTime)/float64(perInsert))
+	fmt.Printf("%d insertions at ~%v each, %d deletions at ~%v each (full rebuild: %v — %.0f× slower than a delete)\n",
+		inserts, perInsert.Round(time.Microsecond), deletes, perDelete.Round(time.Microsecond),
+		buildTime.Round(time.Millisecond), float64(buildTime)/float64(perDelete))
 	fmt.Printf("%d queries answered while the graph was mutating\n", queries.Load())
 
 	// The repaired oracle is exact: spot-check a few distances against

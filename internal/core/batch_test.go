@@ -326,11 +326,8 @@ func TestBatchRacesApplyUpdates(t *testing.T) {
 	r := xrand.New(60)
 	o := cur.Load()
 	for i := 0; i < 8; i++ {
-		n := uint32(o.Graph().NumNodes())
-		next, err := o.ApplyUpdates(Update{
-			AddNodes: 1,
-			Edges:    [][2]uint32{{n, r.Uint32n(n)}, {r.Uint32n(n), r.Uint32n(n)}},
-		})
+		// Mixed churn: insertions, deletions, node retirements, upserts.
+		next, err := o.ApplyUpdates(randomChurnBatch(r, o.Graph()))
 		if err != nil {
 			t.Fatal(err)
 		}

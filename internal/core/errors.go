@@ -9,9 +9,9 @@ import (
 // The query-facing error taxonomy. Every error the query surface
 // returns wraps exactly one of these sentinels, so callers at any layer
 // — public API, wire protocol, HTTP handlers, CLI exit codes — can
-// branch with errors.Is instead of matching strings. ErrStaleSnapshot
-// and ErrWeightedUpdate (update.go) complete the taxonomy on the
-// mutation surface.
+// branch with errors.Is instead of matching strings. ErrStaleSnapshot,
+// ErrWeightedUpdate and ErrEdgeNotFound (update.go) complete the
+// taxonomy on the mutation surface.
 var (
 	// ErrNodeRange reports a query node id >= NumNodes.
 	ErrNodeRange = errors.New("core: query node out of range")
@@ -68,6 +68,8 @@ func ErrorCode(err error) string {
 		return "unreachable"
 	case errors.Is(err, ErrWeightedUpdate):
 		return "weighted_update"
+	case errors.Is(err, ErrEdgeNotFound):
+		return "edge_not_found"
 	default:
 		return "internal"
 	}

@@ -7,54 +7,93 @@ import (
 	"sync"
 
 	"vicinity/internal/graph"
+	"vicinity/internal/heap"
 	"vicinity/internal/queue"
 	"vicinity/internal/traverse"
 	"vicinity/internal/u32map"
 )
 
-// This file implements dynamic graph updates: absorbing edge insertions
-// and node arrivals into a built oracle without re-running the offline
-// phase, following the incremental-maintenance idea of the paper's
-// sequel ("Shortest Paths in Microseconds", COSN'13). Updates are
-// insert-only — the social-network model the paper targets grows but
-// rarely shrinks — and defined for unweighted graphs.
+// This file implements dynamic graph updates: absorbing edge
+// insertions, edge deletions, weight changes, and node arrivals into a
+// built oracle without re-running the offline phase, following the
+// dynamic-maintenance idea of the paper's sequel ("Shortest Paths in
+// Microseconds", COSN'13), which makes churn under *both* additions and
+// deletions the headline contribution.
 //
-// The repair exploits that inserting edges only ever shortens
-// distances, so each structure can be fixed from the change outward:
+// The repair splits every batch by the direction distances can move:
+// insertions and weight decreases only ever shorten distances,
+// deletions and weight increases only ever lengthen them. Each
+// structure is then fixed from the change outward:
 //
-//   - Landmark tables absorb a batch by a "ripple" pass: seed every
-//     endpoint whose table distance improves through a new edge, then
-//     BFS outward relaxing only nodes whose distance still improves.
-//     Untouched regions of the table are provably unchanged.
+//   - Landmark tables absorb the lengthening half by a three-phase
+//     decremental repair per row (unweighted graphs): (A) starting from
+//     the nodes whose tight parent edge died, walk old-distance levels
+//     upward and invalidate every node with no surviving supporter at
+//     the previous level; (B) re-settle the invalidated region by a
+//     multi-seed level-bucket BFS from its surviving frontier, writing
+//     NoDist for newly unreachable nodes; (C) run the incremental
+//     ripple of the shortening half, seeded by the inserted edges and
+//     the re-settled region. Untouched rows are provably unchanged and
+//     stay shared with the parent snapshot. Weighted rows use a
+//     shortest-path-tightness test instead: a deleted or re-weighted
+//     edge can change a row only if it was tight (on some shortest
+//     path) or newly improving, and such rows are recomputed by one
+//     full Dijkstra.
 //
-//   - A vicinity Γ(x) can change only if some distance within x's old
-//     radius r(x) changed, x's radius shrank, or a member gained a new
-//     neighbor — all of which require a new-edge endpoint within
-//     distance r(x) of x in the updated graph. The affected set is
-//     therefore found by truncated BFS from the endpoints, and each
-//     affected vicinity is rebuilt by the same truncated BFS the
-//     offline phase uses (so an updated oracle is structurally
-//     identical to one built from scratch with the same landmarks).
-//     Nodes that could not reach any landmark store their whole
-//     component as vicinity; they are repaired whenever an endpoint
-//     lies in that component.
+//   - A vicinity Γ(x) can change only if some changed-edge endpoint
+//     lies within x's old radius r(x) — in the OLD graph for the
+//     lengthening half (a broken shortest path must have crossed the
+//     old ball), in the NEW graph for the shortening half. The affected
+//     set is the union of truncated searches from both endpoint sets,
+//     plus a component-membership probe for landmark-free "flood"
+//     vicinities (which store their whole component, so any endpoint in
+//     the component — e.g. a deletion splitting it — marks them). Each
+//     affected vicinity is rebuilt by the same truncated BFS/Dijkstra
+//     the offline phase uses, so an updated oracle is structurally
+//     identical to one built from scratch with the same landmarks.
 //
 //   - Repaired tables land in the vicinity arena through an
 //     append/free-list path (u32map.FreeList) instead of reflattening:
 //     in-place updates recycle the holes of superseded tables,
 //     copy-on-write updates append and compact when waste dominates.
+//     Shrinking vicinities free their old ranges the same way.
 //
 // The landmark set is kept fixed: sampling probabilities drift as the
-// graph grows, which degrades the α·√n size balance gradually, not
+// graph changes, which degrades the α·√n size balance gradually, not
 // correctness (DESIGN.md discusses when to re-sample by rebuilding).
 
-// Update is a batch of graph mutations for ApplyUpdates: AddNodes fresh
-// isolated nodes (assigned ids n .. n+AddNodes-1) plus undirected
-// unit-weight edges. Edges may reference the new ids. Self-loops,
-// duplicates and already-present edges are ignored.
+// Update is a batch of graph mutations for ApplyUpdates.
+//
+// AddNodes appends fresh isolated nodes (assigned ids n .. n+AddNodes-1).
+// Edges inserts undirected unit-weight edges, which may reference the
+// new ids; self-loops, duplicates and already-present edges are
+// ignored. Unweighted graphs only (ErrWeightedUpdate otherwise).
+//
+// DelEdges removes undirected edges; every listed edge must exist
+// (ErrEdgeNotFound otherwise — nothing is applied). DelNodes is sugar
+// for deleting every edge currently incident to the listed nodes; the
+// ids stay valid as isolated nodes (dense id spaces never shrink).
+//
+// SetWeights reassigns the weight of existing edges on weighted graphs
+// (ErrEdgeNotFound for absent edges, an error for zero weights). On
+// unweighted graphs a weight-1 entry degenerates to an idempotent edge
+// upsert and any other weight is ErrWeightedUpdate.
+//
+// An edge may appear in at most one role per batch: deleting and
+// inserting (or deleting and re-weighting) the same edge in one Update
+// is rejected, so a batch never depends on operation order.
 type Update struct {
-	AddNodes int
-	Edges    [][2]uint32
+	AddNodes   int
+	Edges      [][2]uint32
+	DelEdges   [][2]uint32
+	DelNodes   []uint32
+	SetWeights []WeightChange
+}
+
+// WeightChange reassigns the weight of one existing undirected edge
+// {U, V} to W. See Update.SetWeights for the unweighted degeneration.
+type WeightChange struct {
+	U, V, W uint32
 }
 
 // updateChain links every snapshot descending from one Build or load.
@@ -69,10 +108,16 @@ type updateChain struct {
 // snapshot that has already been superseded by a newer ApplyUpdates.
 var ErrStaleSnapshot = errors.New("core: oracle snapshot superseded; apply updates to the newest snapshot")
 
-// ErrWeightedUpdate is returned for dynamic updates on weighted graphs,
-// where insertions can invalidate vicinity contents in ways truncated
-// repair does not cover (see DESIGN.md).
-var ErrWeightedUpdate = errors.New("core: dynamic updates require an unweighted graph")
+// ErrWeightedUpdate is returned for edge insertions on weighted graphs
+// (and non-unit SetWeights on unweighted ones): the insertion repair is
+// defined for the paper's unweighted social-network model. Deletions
+// and weight changes of existing edges are supported on both.
+var ErrWeightedUpdate = errors.New("core: edge insertion requires an unweighted graph")
+
+// ErrEdgeNotFound is returned when a deletion or weight change names an
+// edge absent from the current graph. The batch is rejected before any
+// state changes, so the snapshot stays valid.
+var ErrEdgeNotFound = errors.New("core: edge not found in the current graph")
 
 // ApplyUpdates returns a new oracle snapshot reflecting the batch. The
 // receiver is left fully intact and keeps answering queries correctly
@@ -95,36 +140,33 @@ func (o *Oracle) ApplyUpdates(u Update) (*Oracle, error) {
 // updates keep a flat memory footprint. The caller must guarantee
 // exclusive access: no concurrent queries on this oracle and no older
 // snapshots from the same chain still in use. On error the oracle may
-// be partially updated and must be discarded.
+// be partially updated and must be discarded (batch-validation errors
+// — ErrEdgeNotFound, conflicting roles, bad ids — are detected before
+// any mutation and leave it intact).
 func (o *Oracle) ApplyUpdatesInPlace(u Update) error {
 	_, err := o.applyUpdates(u, true)
 	return err
 }
 
 func (o *Oracle) applyUpdates(upd Update, inPlace bool) (*Oracle, error) {
-	if o.g.Weighted() {
-		return nil, ErrWeightedUpdate
-	}
 	o.chain.mu.Lock()
 	defer o.chain.mu.Unlock()
 	if o.gen != o.chain.latest {
 		return nil, ErrStaleSnapshot
 	}
 	oldN := o.g.NumNodes()
-	if upd.AddNodes < 0 {
-		return nil, fmt.Errorf("core: negative AddNodes %d", upd.AddNodes)
+	// Normalize before touching anything: validation (absent edges, id
+	// ranges, conflicting roles) must reject the whole batch up front,
+	// and a no-op batch (a retrying client) must not pay the O(n+m) CSR
+	// merge.
+	cs, err := o.normalizeUpdate(upd)
+	if err != nil {
+		return nil, err
 	}
-	if uint64(oldN)+uint64(upd.AddNodes) >= uint64(graph.NoNode) {
-		return nil, fmt.Errorf("core: %d + %d nodes exceed the uint32 id space", oldN, upd.AddNodes)
-	}
-	// Filter before touching the graph: a batch of already-present
-	// edges (a retrying client) must not pay the O(n+m) CSR merge.
-	// Out-of-range ids pass the filter and are rejected by InsertEdges.
-	newEdges := o.filterNewEdges(upd.Edges, oldN)
-	if len(newEdges) == 0 && upd.AddNodes == 0 {
+	if cs.empty() {
 		return o, nil // nothing changed; the snapshot stands
 	}
-	newG, err := graph.InsertEdges(o.g, upd.AddNodes, newEdges)
+	newG, err := cs.applyToGraph(o.g)
 	if err != nil {
 		return nil, err
 	}
@@ -135,10 +177,10 @@ func (o *Oracle) applyUpdates(upd Update, inPlace bool) (*Oracle, error) {
 	}
 	t.timings = BuildTimings{} // diagnostic of a Build call; repaired snapshots report zeros
 	t.growNodes(newG.NumNodes())
-	if err := t.repairLandmarkTables(newG, oldN, newEdges, inPlace); err != nil {
+	if err := t.repairLandmarkTables(newG, oldN, cs, inPlace); err != nil {
 		return nil, err
 	}
-	affected := t.affectedNodes(newG, oldN, newEdges)
+	affected := t.affectedNodes(newG, oldN, cs)
 	results := t.rebuildVicinities(newG, affected)
 	if err := t.writeVicinities(affected, results, inPlace); err != nil {
 		return nil, err
@@ -151,31 +193,214 @@ func (o *Oracle) applyUpdates(upd Update, inPlace bool) (*Oracle, error) {
 	return t, nil
 }
 
-// filterNewEdges reduces the batch to edges actually absent from the
-// current graph, deduplicated, self-loops dropped (mirroring the
-// dedup InsertEdges applies to the graph itself).
-func (o *Oracle) filterNewEdges(edges [][2]uint32, oldN int) [][2]uint32 {
-	var out [][2]uint32
-	seen := make(map[uint64]struct{}, len(edges))
-	for _, e := range edges {
-		u, v := e[0], e[1]
-		if u == v {
-			continue
+// changeSet is a validated, deduplicated Update split by the direction
+// distances can move: del/winc lengthen, ins/wdec shorten.
+type changeSet struct {
+	addNodes int
+	ins      [][2]uint32 // normalized u<v, absent from the old graph
+	del      []delEdge   // normalized u<v, present in the old graph
+	winc     []wchange   // weight increases (weighted graphs only)
+	wdec     []wchange   // weight decreases (weighted graphs only)
+}
+
+// delEdge is one deleted edge with its old weight (1 on unweighted
+// graphs), captured at validation time for the weighted tightness test.
+type delEdge struct{ u, v, w uint32 }
+
+// wchange is one weight change with both old and new value: the old
+// weight drives the tightness test, the new one the improvement test.
+type wchange struct{ u, v, oldW, newW uint32 }
+
+func (cs *changeSet) empty() bool {
+	return cs.addNodes == 0 && len(cs.ins) == 0 && len(cs.del) == 0 &&
+		len(cs.winc) == 0 && len(cs.wdec) == 0
+}
+
+func (cs *changeSet) delPairs() [][2]uint32 {
+	out := make([][2]uint32, len(cs.del))
+	for i, e := range cs.del {
+		out[i] = [2]uint32{e.u, e.v}
+	}
+	return out
+}
+
+func (cs *changeSet) weightChanges() []graph.WeightedEdge {
+	out := make([]graph.WeightedEdge, 0, len(cs.winc)+len(cs.wdec))
+	for _, c := range cs.winc {
+		out = append(out, graph.WeightedEdge{U: c.u, V: c.v, W: c.newW})
+	}
+	for _, c := range cs.wdec {
+		out = append(out, graph.WeightedEdge{U: c.u, V: c.v, W: c.newW})
+	}
+	return out
+}
+
+// applyToGraph materializes the new CSR. Deletions run before
+// insertions; the two sets are disjoint by validation, so the order is
+// unobservable. Every constructor returns a fresh graph sharing no
+// mutable state with g, which stays valid for concurrent readers.
+func (cs *changeSet) applyToGraph(g *graph.Graph) (*graph.Graph, error) {
+	var err error
+	if g.Weighted() {
+		if g, err = graph.GrowNodes(g, cs.addNodes); err != nil {
+			return nil, err
 		}
-		if int(u) < oldN && int(v) < oldN && o.g.HasEdge(u, v) {
-			continue
+		if len(cs.del) > 0 {
+			if g, err = graph.DeleteEdges(g, cs.delPairs()); err != nil {
+				return nil, err
+			}
+		}
+		if len(cs.winc)+len(cs.wdec) > 0 {
+			if g, err = graph.SetWeights(g, cs.weightChanges()); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	}
+	if len(cs.del) > 0 {
+		if g, err = graph.DeleteEdges(g, cs.delPairs()); err != nil {
+			return nil, err
+		}
+	}
+	if cs.addNodes > 0 || len(cs.ins) > 0 {
+		if g, err = graph.InsertEdges(g, cs.addNodes, cs.ins); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// normalizeUpdate validates the batch against the current graph and
+// splits it into the changeSet the repair consumes. All rejections
+// happen here, before any state changes; out-of-range *inserted* edge
+// ids are the one exception, deferred to graph.InsertEdges because they
+// may legally reference the batch's own added nodes.
+func (o *Oracle) normalizeUpdate(upd Update) (*changeSet, error) {
+	oldN := o.g.NumNodes()
+	weighted := o.g.Weighted()
+	if upd.AddNodes < 0 {
+		return nil, fmt.Errorf("core: negative AddNodes %d", upd.AddNodes)
+	}
+	if uint64(oldN)+uint64(upd.AddNodes) >= uint64(graph.NoNode) {
+		return nil, fmt.Errorf("core: %d + %d nodes exceed the uint32 id space", oldN, upd.AddNodes)
+	}
+	if weighted && len(upd.Edges) > 0 {
+		return nil, ErrWeightedUpdate
+	}
+	cs := &changeSet{addNodes: upd.AddNodes}
+
+	// Deletions: explicit edges plus every edge incident to DelNodes.
+	// Slices stay in first-seen order so the repair is deterministic
+	// for a given batch.
+	delSet := make(map[uint64]struct{}, len(upd.DelEdges)+len(upd.DelNodes))
+	addDel := func(u, v uint32) { // pre-validated existing edge
+		if v < u {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, dup := delSet[key]; dup {
+			return
+		}
+		delSet[key] = struct{}{}
+		w, _ := o.g.EdgeWeight(u, v)
+		cs.del = append(cs.del, delEdge{u, v, w})
+	}
+	for _, e := range upd.DelEdges {
+		u, v := e[0], e[1]
+		if int(u) >= oldN || int(v) >= oldN {
+			return nil, fmt.Errorf("core: deleted edge %d-%d out of range [0,%d)", u, v, oldN)
+		}
+		if u == v || !o.g.HasEdge(u, v) {
+			return nil, fmt.Errorf("core: delete %d-%d: %w", u, v, ErrEdgeNotFound)
+		}
+		addDel(u, v)
+	}
+	for _, u := range upd.DelNodes {
+		if int(u) >= oldN {
+			return nil, fmt.Errorf("core: deleted node %d out of range [0,%d)", u, oldN)
+		}
+		for _, v := range o.g.Neighbors(u) {
+			addDel(u, v)
+		}
+	}
+
+	// Insertions are collected through one closure so Edges and the
+	// unweighted SetWeights degeneration share validation.
+	insSeen := make(map[uint64]struct{}, len(upd.Edges))
+	addIns := func(u, v uint32) error {
+		if u == v {
+			return nil
 		}
 		if v < u {
 			u, v = v, u
 		}
 		key := uint64(u)<<32 | uint64(v)
-		if _, dup := seen[key]; dup {
+		if _, gone := delSet[key]; gone {
+			return fmt.Errorf("core: edge %d-%d both inserted and deleted in one batch", u, v)
+		}
+		if int(u) < oldN && int(v) < oldN && o.g.HasEdge(u, v) {
+			return nil // already present
+		}
+		if _, dup := insSeen[key]; dup {
+			return nil
+		}
+		insSeen[key] = struct{}{}
+		cs.ins = append(cs.ins, [2]uint32{u, v})
+		return nil
+	}
+
+	// Weight changes.
+	swSeen := make(map[uint64]uint32, len(upd.SetWeights))
+	for _, c := range upd.SetWeights {
+		u, v := c.U, c.V
+		if c.W == 0 {
+			return nil, fmt.Errorf("core: zero weight on edge %d-%d", u, v)
+		}
+		if !weighted {
+			if c.W != 1 {
+				return nil, fmt.Errorf("core: weight %d on edge %d-%d: %w", c.W, u, v, ErrWeightedUpdate)
+			}
+			if err := addIns(u, v); err != nil {
+				return nil, err
+			}
 			continue
 		}
-		seen[key] = struct{}{}
-		out = append(out, [2]uint32{u, v})
+		if int(u) >= oldN || int(v) >= oldN {
+			return nil, fmt.Errorf("core: reweighted edge %d-%d out of range [0,%d)", u, v, oldN)
+		}
+		oldW, ok := o.g.EdgeWeight(u, v)
+		if u == v || !ok {
+			return nil, fmt.Errorf("core: reweight %d-%d: %w", u, v, ErrEdgeNotFound)
+		}
+		if v < u {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, gone := delSet[key]; gone {
+			return nil, fmt.Errorf("core: edge %d-%d both deleted and reweighted in one batch", u, v)
+		}
+		if prev, dup := swSeen[key]; dup {
+			if prev != c.W {
+				return nil, fmt.Errorf("core: conflicting weights %d and %d for edge %d-%d in one batch", prev, c.W, u, v)
+			}
+			continue
+		}
+		swSeen[key] = c.W
+		switch {
+		case c.W == oldW: // no-op
+		case c.W < oldW:
+			cs.wdec = append(cs.wdec, wchange{u, v, oldW, c.W})
+		default:
+			cs.winc = append(cs.winc, wchange{u, v, oldW, c.W})
+		}
 	}
-	return out
+
+	for _, e := range upd.Edges {
+		if err := addIns(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return cs, nil
 }
 
 // cloneForUpdate makes the copy-on-write snapshot: per-node arrays the
@@ -252,15 +477,79 @@ func (t *Oracle) growNodes(newN int) {
 	t.boundLen = boundLen
 }
 
-// repairLandmarkTables brings the per-landmark full tables up to date
-// with an incremental multi-seed BFS per landmark. Work is per-row: a
-// row is touched only when the graph grew (rows must lengthen) or some
-// new edge improves it; untouched rows stay shared with the parent
-// snapshot, so a typical single-edge batch clones a handful of rows
-// instead of the whole |L|·n table.
-func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2]uint32, inPlace bool) error {
+// Phase-A/B mark states for the decremental landmark repair.
+const (
+	lmPending   = 1 // enqueued for a support check at its old level
+	lmInvalid   = 2 // lost support: distance must grow (or become NoDist)
+	lmSupported = 3 // keeps its old distance through a surviving supporter
+)
+
+// lmRepairWS is the per-worker scratch of the landmark-row repair. The
+// level buckets implement the monotone bucket queue both the
+// invalidation walk and the re-settle BFS need; mark/touched give O(1)
+// membership with O(touched) cleanup between rows.
+type lmRepairWS struct {
+	q        *queue.U32
+	mark     []uint8
+	touched  []uint32
+	inval    []uint32
+	buckets  [][]uint32
+	bLo, bHi int
+}
+
+func newLmRepairWS(n int) *lmRepairWS {
+	return &lmRepairWS{q: queue.NewU32(256), mark: make([]uint8, n), bLo: math.MaxInt, bHi: -1}
+}
+
+func (ws *lmRepairWS) pushBucket(v uint32, lvl int) {
+	for len(ws.buckets) <= lvl {
+		ws.buckets = append(ws.buckets, nil)
+	}
+	ws.buckets[lvl] = append(ws.buckets[lvl], v)
+	if lvl < ws.bLo {
+		ws.bLo = lvl
+	}
+	if lvl > ws.bHi {
+		ws.bHi = lvl
+	}
+}
+
+func (ws *lmRepairWS) resetBuckets() {
+	for l := ws.bLo; l <= ws.bHi && l < len(ws.buckets); l++ {
+		ws.buckets[l] = ws.buckets[l][:0]
+	}
+	ws.bLo, ws.bHi = math.MaxInt, -1
+}
+
+// clear readies the workspace for the next row.
+func (ws *lmRepairWS) clear() {
+	for _, v := range ws.touched {
+		ws.mark[v] = 0
+	}
+	ws.touched = ws.touched[:0]
+	ws.inval = ws.inval[:0]
+	ws.resetBuckets()
+}
+
+// repairLandmarkTables brings the per-landmark full tables up to date.
+// Work is per-row: a row is touched only when the graph grew (rows must
+// lengthen), some deleted edge was tight in it, or some new edge
+// improves it; untouched rows stay shared with the parent snapshot, so
+// a typical single-edge batch clones a handful of rows instead of the
+// whole |L|·n table.
+//
+// Unweighted rows run the three-phase decremental repair described in
+// the file comment. The phase order is what makes mixed batches exact:
+// invalidation and re-settle never read a value below its old-graph
+// distance, and the closing ripple (phase C) starts from a state where
+// every value is an upper bound on the new distance, so its fixpoint is
+// exact.
+func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, cs *changeSet, inPlace bool) error {
 	if len(t.ldist) == 0 && len(t.ldist16) == 0 {
 		return nil
+	}
+	if newG.Weighted() {
+		return t.repairLandmarkTablesWeighted(newG, oldN, cs, inPlace)
 	}
 	newN := newG.NumNodes()
 	grow := newN > oldN
@@ -268,8 +557,10 @@ func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2
 	compact := t.ldist16 != nil
 	overflow := make([]bool, len(t.lpos))
 	parallelFor(t.opts.Workers, len(t.lpos), func(int) any {
-		return queue.NewU32(256)
+		return newLmRepairWS(newN)
 	}, func(state any, li int) {
+		ws := state.(*lmRepairWS)
+		defer ws.clear() // marks/buckets must not leak into the next row
 		pos := t.lpos[li]
 		if pos < 0 {
 			return
@@ -297,20 +588,30 @@ func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2
 			return row32[v]
 		}
 		// A new edge {u,v} improves this row iff one endpoint's distance
-		// can relax through the other.
-		improved := false
-		for _, e := range newEdges {
+		// can relax through the other; a deleted edge was load-bearing iff
+		// it was tight (|du - dv| == 1: the farther endpoint may have
+		// depended on it). Both tests read pre-repair values.
+		insImproved := false
+		for _, e := range cs.ins {
 			du, dv := read(e[0]), read(e[1])
 			if du != NoDist && (dv == NoDist || dv > du+1) {
-				improved = true
+				insImproved = true
 				break
 			}
 			if dv != NoDist && (du == NoDist || du > dv+1) {
-				improved = true
+				insImproved = true
 				break
 			}
 		}
-		if !improved && !grow {
+		delTouched := false
+		for _, e := range cs.del {
+			du, dv := read(e.u), read(e.v)
+			if (du != NoDist && dv == du+1) || (dv != NoDist && du == dv+1) {
+				delTouched = true
+				break
+			}
+		}
+		if !insImproved && !delTouched && !grow {
 			return
 		}
 		// Materialize a mutable row: regrown for added nodes, cloned in
@@ -341,7 +642,7 @@ func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2
 				t.lparent[pos] = np
 			}
 		}
-		if !improved {
+		if !insImproved && !delTouched {
 			return
 		}
 		var parents []uint32
@@ -350,11 +651,15 @@ func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2
 		}
 		set := func(v, d, parent uint32) bool {
 			if compact {
-				if d >= uint32(compactUnreachable) {
+				switch {
+				case d == NoDist:
+					row16[v] = compactUnreachable
+				case d >= uint32(compactUnreachable):
 					overflow[li] = true
 					return false
+				default:
+					row16[v] = uint16(d)
 				}
-				row16[v] = uint16(d)
 			} else {
 				row32[v] = d
 			}
@@ -363,7 +668,110 @@ func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2
 			}
 			return true
 		}
-		q := state.(*queue.U32)
+
+		// Phase A: level-monotone invalidation. Seeds are the farther
+		// endpoints of tight deleted edges (a superset of the nodes whose
+		// parent edge died); dependents enqueue one level up, so by the
+		// time a level is processed every node below it has its final
+		// verdict and the support test is sound.
+		if delTouched {
+			for _, e := range cs.del {
+				du, dv := read(e.u), read(e.v)
+				if du != NoDist && dv == du+1 && ws.mark[e.v] == 0 {
+					ws.mark[e.v] = lmPending
+					ws.touched = append(ws.touched, e.v)
+					ws.pushBucket(e.v, int(dv))
+				}
+				if dv != NoDist && du == dv+1 && ws.mark[e.u] == 0 {
+					ws.mark[e.u] = lmPending
+					ws.touched = append(ws.touched, e.u)
+					ws.pushBucket(e.u, int(du))
+				}
+			}
+			for lvl := ws.bLo; lvl <= ws.bHi; lvl++ {
+				bucket := ws.buckets[lvl]
+				lw := uint32(lvl)
+				for _, w := range bucket {
+					supported := false
+					var firstSup uint32 = graph.NoNode
+					for _, y := range newG.Neighbors(w) {
+						if read(y) == lw-1 && ws.mark[y] != lmInvalid {
+							supported, firstSup = true, y
+							break
+						}
+					}
+					if supported {
+						ws.mark[w] = lmSupported
+						// The stored parent may have died (deleted edge) or
+						// been invalidated; repoint it at the surviving
+						// supporter so parent chains stay walkable.
+						if parents != nil {
+							p := parents[w]
+							if p == graph.NoNode || read(p) != lw-1 || ws.mark[p] == lmInvalid || !newG.HasEdge(w, p) {
+								parents[w] = firstSup
+							}
+						}
+						continue
+					}
+					ws.mark[w] = lmInvalid
+					ws.inval = append(ws.inval, w)
+					for _, y := range newG.Neighbors(w) {
+						if read(y) == lw+1 && ws.mark[y] == 0 {
+							ws.mark[y] = lmPending
+							ws.touched = append(ws.touched, y)
+							ws.pushBucket(y, lvl+1)
+						}
+					}
+				}
+			}
+		}
+
+		// Phase B: re-settle the invalidated region by a multi-seed
+		// level-bucket BFS from its surviving frontier. Nodes no frontier
+		// reaches keep NoDist — they are newly unreachable.
+		if len(ws.inval) > 0 {
+			for _, a := range ws.inval {
+				set(a, NoDist, graph.NoNode)
+			}
+			ws.resetBuckets()
+			for _, a := range ws.inval {
+				best, bp := NoDist, graph.NoNode
+				for _, y := range newG.Neighbors(a) {
+					if dy := read(y); dy != NoDist && dy+1 < best {
+						best, bp = dy+1, y
+					}
+				}
+				if best != NoDist {
+					if !set(a, best, bp) {
+						return
+					}
+					ws.pushBucket(a, int(best))
+				}
+			}
+			for lvl := ws.bLo; lvl <= ws.bHi; lvl++ {
+				bucket := ws.buckets[lvl]
+				lw := uint32(lvl)
+				for _, w := range bucket {
+					if read(w) != lw {
+						continue // superseded by a better settle
+					}
+					for _, y := range newG.Neighbors(w) {
+						if ws.mark[y] == lmInvalid && read(y) > lw+1 {
+							if !set(y, lw+1, w) {
+								return
+							}
+							ws.pushBucket(y, lvl+1)
+						}
+					}
+				}
+			}
+		}
+
+		// Phase C: the incremental ripple. Seeded by the inserted edges
+		// and the whole re-settled region: every value is an upper bound
+		// on its new distance here, so relax-only-downward converges to
+		// the exact fixpoint even when inserts and deletes interact.
+		q := ws.q
 		q.Reset()
 		relax := func(from, to uint32) bool {
 			df := read(from)
@@ -378,14 +786,20 @@ func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2
 			}
 			return true
 		}
-		for _, e := range newEdges {
+		for _, e := range cs.ins {
 			if !relax(e[0], e[1]) || !relax(e[1], e[0]) {
 				return
 			}
 		}
+		for _, a := range ws.inval {
+			q.Push(a)
+		}
 		for !q.Empty() {
 			x := q.Pop()
 			dx := read(x)
+			if dx == NoDist {
+				continue
+			}
 			for _, y := range newG.Neighbors(x) {
 				if dy := read(y); dy == NoDist || dy > dx+1 {
 					if !set(y, dx+1, x) {
@@ -405,15 +819,155 @@ func (t *Oracle) repairLandmarkTables(newG *graph.Graph, oldN int, newEdges [][2
 	return nil
 }
 
+// repairLandmarkTablesWeighted repairs weighted rows by a tightness
+// test plus full recompute: a deletion or weight increase can change a
+// row only if the edge was on some shortest path (du + w == dv up to
+// symmetry), a weight decrease only if it improves one endpoint through
+// the other. Rows failing every test are provably identical — including
+// parents, since a stored parent edge is always tight and would have
+// triggered the test. Affected rows are recomputed by one Dijkstra,
+// exactly as the offline build does.
+func (t *Oracle) repairLandmarkTablesWeighted(newG *graph.Graph, oldN int, cs *changeSet, inPlace bool) error {
+	newN := newG.NumNodes()
+	grow := newN > oldN
+	storeParents := t.lparent != nil
+	compact := t.ldist16 != nil
+	overflow := make([]bool, len(t.lpos))
+	parallelFor(t.opts.Workers, len(t.lpos), func(int) any { return nil }, func(_ any, li int) {
+		pos := t.lpos[li]
+		if pos < 0 {
+			return
+		}
+		var row32 []uint32
+		var row16 []uint16
+		if compact {
+			row16 = t.ldist16[pos]
+		} else {
+			row32 = t.ldist[pos]
+		}
+		read := func(v uint32) uint32 {
+			if compact {
+				if int(v) >= len(row16) {
+					return NoDist
+				}
+				if d := row16[v]; d != compactUnreachable {
+					return uint32(d)
+				}
+				return NoDist
+			}
+			if int(v) >= len(row32) {
+				return NoDist
+			}
+			return row32[v]
+		}
+		tight := func(u, v, w uint32) bool {
+			du, dv := read(u), read(v)
+			return du != NoDist && dv != NoDist &&
+				(uint64(du)+uint64(w) == uint64(dv) || uint64(dv)+uint64(w) == uint64(du))
+		}
+		affected := false
+		for _, e := range cs.del {
+			if tight(e.u, e.v, e.w) {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			for _, c := range cs.winc {
+				if tight(c.u, c.v, c.oldW) {
+					affected = true
+					break
+				}
+			}
+		}
+		if !affected {
+			for _, c := range cs.wdec {
+				du, dv := read(c.u), read(c.v)
+				if du != NoDist && (dv == NoDist || uint64(dv) > uint64(du)+uint64(c.newW)) {
+					affected = true
+					break
+				}
+				if dv != NoDist && (du == NoDist || uint64(du) > uint64(dv)+uint64(c.newW)) {
+					affected = true
+					break
+				}
+			}
+		}
+		if !affected {
+			if grow {
+				// Pure growth: extend the row with unreachable new nodes.
+				if compact {
+					nr := make([]uint16, newN)
+					copy(nr, row16)
+					for i := len(row16); i < newN; i++ {
+						nr[i] = compactUnreachable
+					}
+					t.ldist16[pos] = nr
+				} else {
+					nr := make([]uint32, newN)
+					copy(nr, row32)
+					for i := len(row32); i < newN; i++ {
+						nr[i] = NoDist
+					}
+					t.ldist[pos] = nr
+				}
+				if storeParents {
+					np := make([]uint32, newN)
+					copy(np, t.lparent[pos])
+					for i := oldN; i < newN; i++ {
+						np[i] = graph.NoNode
+					}
+					t.lparent[pos] = np
+				}
+			}
+			return
+		}
+		tr := traverse.Dijkstra(newG, t.landmarks[li])
+		if compact {
+			cr := make([]uint16, newN)
+			for v, d := range tr.Dist {
+				switch {
+				case d == NoDist:
+					cr[v] = compactUnreachable
+				case d >= uint32(compactUnreachable):
+					overflow[li] = true
+					return
+				default:
+					cr[v] = uint16(d)
+				}
+			}
+			t.ldist16[pos] = cr
+		} else {
+			t.ldist[pos] = tr.Dist // adopt the traversal's array
+		}
+		if storeParents {
+			t.lparent[pos] = tr.Parent
+		}
+	})
+	for li, bad := range overflow {
+		if bad {
+			return fmt.Errorf("core: CompactLandmarkTables: updated distance from landmark %d exceeds %d",
+				t.landmarks[li], compactUnreachable-1)
+		}
+	}
+	return nil
+}
+
 // affectedNodes returns every node whose vicinity state may differ
 // between this oracle and a fresh build on newG with the same
-// landmarks: nodes within their old radius of a new-edge endpoint
-// (found by truncated BFS on the updated graph), nodes whose
-// landmark-free component a new edge touches, and all added nodes.
-func (t *Oracle) affectedNodes(newG *graph.Graph, oldN int, newEdges [][2]uint32) []uint32 {
+// landmarks. A vicinity Γ(x) is a closed ball of radius r(x): its
+// stored trace can change only if some changed-edge endpoint lies
+// within r(x) of x — in the old graph for lengthening changes
+// (deletions, weight increases: a broken path crossed the old ball), in
+// the new graph for shortening ones (insertions, weight decreases: an
+// improving path enters the ball). Truncated searches from both
+// endpoint sets, a component probe for landmark-free "flood"
+// vicinities, and the added nodes cover exactly that union.
+func (t *Oracle) affectedNodes(newG *graph.Graph, oldN int, cs *changeSet) []uint32 {
 	newN := newG.NumNodes()
+	oldG := t.g // pre-update graph: swapped only after the repair
 
-	// Old max radius bounds the truncated search; landmark-free "flood"
+	// Old max radius bounds the truncated searches; landmark-free flood
 	// vicinities (radius NoDist, vicinity = whole component) are
 	// collected for the component-membership probe below.
 	var rmax uint32
@@ -458,51 +1012,129 @@ func (t *Oracle) affectedNodes(newG *graph.Graph, oldN int, newEdges [][2]uint32
 		add(uint32(u))
 	}
 
-	// Endpoints, deduplicated.
-	var eps []uint32
-	seen := make(map[uint32]struct{}, 2*len(newEdges))
-	for _, e := range newEdges {
-		for _, x := range [2]uint32{e[0], e[1]} {
-			if _, dup := seen[x]; !dup {
-				seen[x] = struct{}{}
-				eps = append(eps, x)
-			}
+	// Endpoints, deduplicated into the lengthening set (searched on the
+	// old graph), the shortening set (searched on the new graph), and
+	// their union (the flood probe).
+	var upEps, downEps, allEps []uint32
+	seen := make(map[uint32]uint8, 2*(len(cs.del)+len(cs.ins)+len(cs.winc)+len(cs.wdec)))
+	addEp := func(x uint32, up bool) {
+		bit := uint8(1)
+		if !up {
+			bit = 2
+		}
+		prev := seen[x]
+		if prev == 0 {
+			allEps = append(allEps, x)
+		}
+		if prev&bit != 0 {
+			return
+		}
+		seen[x] = prev | bit
+		if up {
+			upEps = append(upEps, x)
+		} else {
+			downEps = append(downEps, x)
 		}
 	}
+	for _, e := range cs.del {
+		addEp(e.u, true)
+		addEp(e.v, true)
+	}
+	for _, c := range cs.winc {
+		addEp(c.u, true)
+		addEp(c.v, true)
+	}
+	for _, e := range cs.ins {
+		addEp(e[0], false)
+		addEp(e[1], false)
+	}
+	for _, c := range cs.wdec {
+		addEp(c.u, false)
+		addEp(c.v, false)
+	}
 
-	// Truncated BFS from each endpoint in the updated graph: node x at
-	// depth d is affected iff d <= r(x). (r = NoDist compares as +inf,
+	// Truncated search from each endpoint: node x at distance d from an
+	// endpoint is affected iff d <= r(x). (r = NoDist compares as +inf,
 	// correctly catching flood nodes near an endpoint; the probe below
 	// catches the rest of their component.)
 	nm := traverse.NewNodeMap(newN)
-	q := queue.NewU32(256)
-	for _, e := range eps {
-		nm.Reset()
-		q.Reset()
-		nm.Set(e, 0, graph.NoNode)
-		add(e)
-		q.Push(e)
-		for !q.Empty() {
-			x := q.Pop()
-			dx := nm.Dist(x)
-			if dx >= rmax {
-				continue
-			}
-			for _, y := range newG.Neighbors(x) {
-				if nm.Has(y) {
-					continue
+	if newG.Weighted() {
+		settled := traverse.NewNodeMap(newN)
+		h := heap.NewMin(newN)
+		search := func(g *graph.Graph, eps []uint32) {
+			for _, e := range eps {
+				nm.Reset()
+				settled.Reset()
+				h.Reset()
+				nm.Set(e, 0, graph.NoNode)
+				h.Push(e, 0)
+				for !h.Empty() {
+					x, dx := h.Pop()
+					if settled.Has(x) {
+						continue
+					}
+					if dx > rmax {
+						break
+					}
+					settled.Set(x, 0, 0)
+					if dx <= t.radius[x] {
+						add(x)
+					}
+					adj := g.Neighbors(x)
+					wts := g.NeighborWeights(x)
+					for i, y := range adj {
+						if settled.Has(y) {
+							continue
+						}
+						nd := traverse.SatAdd(dx, wts[i])
+						if nd > rmax {
+							continue
+						}
+						if old := nm.Dist(y); nd < old {
+							nm.Set(y, nd, x)
+							h.Push(y, nd)
+						}
+					}
 				}
-				nm.Set(y, dx+1, x)
-				if dx+1 <= t.radius[y] {
-					add(y)
-				}
-				q.Push(y)
 			}
 		}
+		search(oldG, upEps)
+		search(newG, downEps)
+	} else {
+		q := queue.NewU32(256)
+		search := func(g *graph.Graph, eps []uint32) {
+			for _, e := range eps {
+				nm.Reset()
+				q.Reset()
+				nm.Set(e, 0, graph.NoNode)
+				add(e)
+				q.Push(e)
+				for !q.Empty() {
+					x := q.Pop()
+					dx := nm.Dist(x)
+					if dx >= rmax {
+						continue
+					}
+					for _, y := range g.Neighbors(x) {
+						if nm.Has(y) {
+							continue
+						}
+						nm.Set(y, dx+1, x)
+						if dx+1 <= t.radius[y] {
+							add(y)
+						}
+						q.Push(y)
+					}
+				}
+			}
+		}
+		search(newG, downEps)
+		t.classifyDeletions(oldG, newG, cs.del, rmax, add)
 	}
 
 	// Flood vicinities hold their whole component, so membership of any
-	// endpoint identifies the components the batch touches.
+	// endpoint identifies the components the batch touches — including
+	// deletions that split a component in two.
 	for _, x := range flood {
 		if mark[x] {
 			continue
@@ -511,7 +1143,7 @@ func (t *Oracle) affectedNodes(newG *graph.Graph, oldN int, newEdges [][2]uint32
 		if !ok {
 			continue
 		}
-		for _, e := range eps {
+		for _, e := range allEps {
 			if _, in := v.get(e); in {
 				add(x)
 				break
@@ -521,17 +1153,160 @@ func (t *Oracle) affectedNodes(newG *graph.Graph, oldN int, newEdges [][2]uint32
 	return out
 }
 
+// classifyDeletions marks the vicinities an unweighted deletion batch
+// can actually change. The ball rule alone ("an endpoint within r(x)")
+// is hugely conservative at hubs — a hub sits inside most balls, so
+// deleting any hub edge would rebuild a quarter of the graph. The exact
+// trigger is sharper. With du = d_old(x,u), dv = d_old(x,v) for a
+// deleted edge {u,v}:
+//
+//   - du == dv: the edge lies on no shortest path from x, is never a
+//     BFS discovery or parent edge (level-r members are recorded but
+//     not expanded), and — being member↔member when inside the ball —
+//     cannot change any member's has-a-neighbor-outside status. The
+//     stored trace is bit-identical to a fresh build; skip.
+//   - max(du,dv) <= r(x) and du != dv: a tight in-ball edge; distances,
+//     membership, radius or parents may all change. Rebuild.
+//   - min(du,dv) <= r(x) < max(du,dv): no in-ball distance can change
+//     (a rerouted member would need the far endpoint as an in-ball
+//     intermediate), but the near endpoint — a level-r member — lost
+//     an outside neighbor and may drop off the boundary list. That is
+//     decidable exactly from stored state: recompute its boundary
+//     predicate against the stored member set (probeBoundary) and
+//     rebuild only on a flip.
+//
+// Per-edge truncated BFS pairs on the OLD graph supply du and dv
+// (unreached within rmax ⇒ farther than every radius ⇒ NoDist, which
+// the comparisons treat as +inf; flood vicinities with radius NoDist
+// rebuild whenever the classification cannot prove equality). The
+// weighted path keeps the conservative per-endpoint ball rule:
+// Dijkstra's settle order among equal distances depends on heap layout,
+// which a deleted edge perturbs even when no distance changes, so the
+// skip argument above only holds for BFS.
+//
+// Correctness under batches: marks are a union. If x's final trace
+// differs, take the closest member y whose distance changed — the old
+// shortest path to y breaks at some deleted edge strictly inside the
+// old ball, and that edge classifies as rebuild for x; pure boundary
+// flips are caught by the probe, which tests the post-batch adjacency.
+// Insertions in the same batch mark x through the new-graph search
+// above whenever they could interact with the stored ball.
+func (t *Oracle) classifyDeletions(oldG, newG *graph.Graph, del []delEdge, rmax uint32, add func(uint32)) {
+	if len(del) == 0 {
+		return
+	}
+	n := oldG.NumNodes()
+	mu := traverse.NewNodeMap(n)
+	mv := traverse.NewNodeMap(n)
+	q := queue.NewU32(256)
+	reached := make([]uint32, 0, 1024)
+	bfs := func(m *traverse.NodeMap, src uint32) {
+		m.Reset()
+		q.Reset()
+		m.Set(src, 0, graph.NoNode)
+		reached = append(reached, src)
+		q.Push(src)
+		for !q.Empty() {
+			x := q.Pop()
+			dx := m.Dist(x)
+			if dx >= rmax {
+				continue
+			}
+			for _, y := range oldG.Neighbors(x) {
+				if m.Has(y) {
+					continue
+				}
+				m.Set(y, dx+1, x)
+				reached = append(reached, y)
+				q.Push(y)
+			}
+		}
+	}
+	for _, e := range del {
+		reached = reached[:0]
+		bfs(mu, e.u)
+		fromV := len(reached)
+		bfs(mv, e.v)
+		for i, x := range reached {
+			if i >= fromV && mu.Has(x) {
+				continue // already classified during the u-side pass
+			}
+			du, dv := NoDist, NoDist
+			if mu.Has(x) {
+				du = mu.Dist(x)
+			}
+			if mv.Has(x) {
+				dv = mv.Dist(x)
+			}
+			lo, hi, near := du, dv, e.u
+			if dv < du {
+				lo, hi, near = dv, du, e.v
+			}
+			r := t.radius[x]
+			if lo > r {
+				continue
+			}
+			if hi <= r { // includes flood vicinities: r == NoDist
+				if lo != hi {
+					add(x)
+				}
+				continue
+			}
+			t.probeBoundary(x, near, newG, add)
+		}
+	}
+}
+
+// probeBoundary re-evaluates member k's boundary predicate for node x's
+// stored vicinity — does k still have a neighbor outside Γ(x) in the
+// new graph? — and marks x for rebuild only when the answer differs
+// from the stored boundary list. Valid precisely when nothing else
+// about Γ(x) changes (classifyDeletions' straddling case): the stored
+// member set then equals the fresh ball, so the probe recomputes
+// exactly the fresh build's boundary test for k.
+func (t *Oracle) probeBoundary(x, k uint32, newG *graph.Graph, add func(uint32)) {
+	vic, ok := t.vicinity(x)
+	if !ok {
+		add(x) // landmark or out-of-scope: add() filters these anyway
+		return
+	}
+	newOutside := false
+	for _, nb := range newG.Neighbors(k) {
+		if _, in := vic.get(nb); !in {
+			newOutside = true
+			break
+		}
+	}
+	oldBoundary := false
+	bk, _ := t.boundary(x)
+	for _, b := range bk {
+		if b == k {
+			oldBoundary = true
+			break
+		}
+	}
+	if newOutside != oldBoundary {
+		add(x)
+	}
+}
+
 // rebuildVicinities recomputes Γ(x) on the updated graph for every
-// affected node, with the same truncated BFS the offline phase uses.
+// affected node, with the same truncated BFS/Dijkstra the offline phase
+// uses.
 func (t *Oracle) rebuildVicinities(newG *graph.Graph, affected []uint32) []vicResult {
 	results := make([]vicResult, len(affected))
 	storeParents := !t.opts.DisablePathData
+	weighted := newG.Weighted()
 	n := newG.NumNodes()
 	parallelFor(t.opts.Workers, len(affected), func(int) any {
 		return newBuildWS(n)
 	}, func(state any, i int) {
 		ws := state.(*buildWS)
-		results[i] = vicinityBFS(newG, t.isL, ws, affected[i], storeParents).detach()
+		if weighted {
+			results[i] = vicinityDijkstra(newG, t.isL, ws, affected[i], storeParents).detach()
+		} else {
+			results[i] = vicinityBFS(newG, t.isL, ws, affected[i], storeParents).detach()
+		}
 	})
 	return results
 }
@@ -542,22 +1317,20 @@ func (t *Oracle) rebuildVicinities(newG *graph.Graph, affected []uint32) []vicRe
 // read the holes).
 func (t *Oracle) writeVicinities(affected []uint32, results []vicResult, inPlace bool) error {
 	hashKind := t.opts.TableKind == TableHash
-	for i, x := range affected {
-		res := &results[i]
-		t.radius[x] = res.radius
-		t.nearest[x] = res.nearest
-
-		// Vicinity table.
-		if t.vicAlt != nil {
-			if t.vicAlt[x] == nil {
-				t.covered++
-			}
-			nt := u32map.NewBuiltin(len(res.keys))
-			for j, k := range res.keys {
-				nt.Put(k, res.dists[j], res.parents[j])
-			}
-			t.vicAlt[x] = nt
-		} else {
+	// Free every superseded range before the first allocation. A batch
+	// of rebuilds is roughly size-neutral in aggregate, but per node the
+	// new table rarely matches its own old hole exactly: interleaving
+	// free and alloc starves the free lists early (node i often fits a
+	// hole that only node j>i will free) and each miss grows the arena —
+	// an append that reallocates and memmoves the full multi-hundred-MB
+	// backing arrays. Freeing the whole batch first lets Free coalesce
+	// adjacent holes and first-fit then serves essentially every
+	// allocation from recycled space. Safe because every freed range
+	// belonged to an affected node whose table is replaced wholesale
+	// below; in copy-on-write mode the frees are waste accounting only
+	// and allocation still appends.
+	for _, x := range affected {
+		if t.vicAlt == nil {
 			if old := t.vicFlat[x]; old.Len() > 0 {
 				eo, el, so, sl := old.Ranges()
 				t.entFree.Free(eo, el)
@@ -565,6 +1338,24 @@ func (t *Oracle) writeVicinities(affected []uint32, results []vicResult, inPlace
 			} else {
 				t.covered++
 			}
+		} else if t.vicAlt[x] == nil {
+			t.covered++
+		}
+		t.boundFree.Free(t.boundOff[x], t.boundLen[x])
+	}
+	for i, x := range affected {
+		res := &results[i]
+		t.radius[x] = res.radius
+		t.nearest[x] = res.nearest
+
+		// Vicinity table.
+		if t.vicAlt != nil {
+			nt := u32map.NewBuiltin(len(res.keys))
+			for j, k := range res.keys {
+				nt.Put(k, res.dists[j], res.parents[j])
+			}
+			t.vicAlt[x] = nt
+		} else {
 			nEnt := len(res.keys)
 			if hashKind && nEnt > u32map.MaxFlatEntries {
 				return fmt.Errorf("core: updated vicinity of node %d has %d entries, above the %d flat-table cap",
@@ -598,7 +1389,6 @@ func (t *Oracle) writeVicinities(affected []uint32, results []vicResult, inPlace
 		}
 
 		// Boundary range.
-		t.boundFree.Free(t.boundOff[x], t.boundLen[x])
 		bl := len(res.boundKeys)
 		bOff := t.allocBoundary(bl, inPlace)
 		copy(t.boundKeys[bOff:bOff+uint32(bl)], res.boundKeys)

@@ -78,3 +78,107 @@ func BenchmarkRebuild(b *testing.B) {
 		}
 	}
 }
+
+// sampleLiveEdge returns one random existing edge of the oracle's
+// current graph (for the deletion and reweight benchmarks).
+func sampleLiveEdge(r *xrand.Rand, o *Oracle) [2]uint32 {
+	g := o.Graph()
+	n := uint32(g.NumNodes())
+	for {
+		u := r.Uint32n(n)
+		adj := g.Neighbors(u)
+		if len(adj) == 0 {
+			continue
+		}
+		return [2]uint32{u, adj[r.Uint32n(uint32(len(adj)))]}
+	}
+}
+
+// BenchmarkDeleteEdgeInPlace measures one random edge deletion with
+// free-list reuse — the decremental mirror of BenchmarkInsertEdgeInPlace
+// and the number the ≥5×-faster-than-rebuild acceptance bound is
+// checked against (vs BenchmarkRebuild).
+func BenchmarkDeleteEdgeInPlace(b *testing.B) {
+	o := benchOracle(b)
+	r := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := o.ApplyUpdatesInPlace(Update{DelEdges: [][2]uint32{sampleLiveEdge(r, o)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeleteEdgeCOW measures one random edge deletion through the
+// copy-on-write snapshot path the server uses.
+func BenchmarkDeleteEdgeCOW(b *testing.B) {
+	o := benchOracle(b)
+	r := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := o.ApplyUpdates(Update{DelEdges: [][2]uint32{sampleLiveEdge(r, o)}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		o = next
+	}
+}
+
+// BenchmarkChurnBatch100 measures a mixed batch of 50 deletions and 50
+// insertions applied in place — the steady-state social-churn shape
+// (unfollows arriving alongside new ties).
+func BenchmarkChurnBatch100(b *testing.B) {
+	o := benchOracle(b)
+	r := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var upd Update
+		seen := make(map[uint64]bool, 100)
+		for len(upd.DelEdges) < 50 {
+			e := sampleLiveEdge(r, o)
+			if k := churnKey(e[0], e[1]); !seen[k] {
+				seen[k] = true
+				upd.DelEdges = append(upd.DelEdges, e)
+			}
+		}
+		n := uint32(o.Graph().NumNodes())
+		for len(upd.Edges) < 50 {
+			u, v := r.Uint32n(n), r.Uint32n(n)
+			if k := churnKey(u, v); u != v && !seen[k] {
+				seen[k] = true
+				upd.Edges = append(upd.Edges, [2]uint32{u, v})
+			}
+		}
+		if err := o.ApplyUpdatesInPlace(upd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWeightedOracle builds the weighted 50k fixture for the reweight
+// benchmarks.
+func benchWeightedOracle(b *testing.B) *Oracle {
+	b.Helper()
+	g := weightedSocialGraph(7, benchGraphNodes)
+	o, err := Build(g, Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkSetWeightInPlace measures one random weight change on a
+// weighted oracle (landmark rows re-solved only when a tight or
+// improving edge is touched).
+func BenchmarkSetWeightInPlace(b *testing.B) {
+	o := benchWeightedOracle(b)
+	r := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sampleLiveEdge(r, o)
+		upd := Update{SetWeights: []WeightChange{{U: e[0], V: e[1], W: 1 + r.Uint32n(9)}}}
+		if err := o.ApplyUpdatesInPlace(upd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

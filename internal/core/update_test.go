@@ -577,7 +577,8 @@ func TestUpdateConcurrentQueries(t *testing.T) {
 
 	r := xrand.New(999)
 	for step := 0; step < 15; step++ {
-		batch := randomBatch(r, o.Graph().NumNodes())
+		// Mixed churn, so readers race deletions as well as growth.
+		batch := randomChurnBatch(r, o.Graph())
 		next, err := o.ApplyUpdates(batch)
 		if err != nil {
 			t.Fatalf("step %d: %v", step, err)

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WeightedEdge describes one undirected edge {U, V} carrying weight W.
+// It is the wire shape for weight changes in dynamic update batches.
+type WeightedEdge struct {
+	U, V, W uint32
+}
+
+// DeleteEdges returns a new Graph equal to g with the given undirected
+// edges removed. The input graph is not modified — the two graphs share
+// no mutable state, so g remains valid for concurrent readers while the
+// result is adopted (nodes are never removed; an endpoint left without
+// edges stays as an isolated node).
+//
+// Every edge must exist in g: deleting an absent edge (or a self-loop,
+// which can never exist in a simple graph) is an error, and the caller
+// is expected to surface it as a typed rejection before any state
+// changes. Duplicates within the batch are tolerated and deleted once.
+// Both weighted and unweighted graphs are supported.
+//
+// Like InsertEdges, the subtraction is a single O(n + m + k log k) pass
+// for k deleted edges: the batch is sorted into per-endpoint runs and
+// each adjacency list is copied minus its run, so the cost is dominated
+// by one copy of the CSR arrays.
+func DeleteEdges(g *Graph, edges [][2]uint32) (*Graph, error) {
+	n := g.n
+	// Directed half-edges of the batch, sorted by source then target so
+	// each node's deletions form a sorted run.
+	half := make([][2]uint32, 0, 2*len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if int(u) >= n || int(v) >= n {
+			return nil, fmt.Errorf("graph: deleted edge %d-%d out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: deleted edge %d-%d is a self-loop", u, v)
+		}
+		half = append(half, [2]uint32{u, v}, [2]uint32{v, u})
+	}
+	sort.Slice(half, func(i, j int) bool {
+		if half[i][0] != half[j][0] {
+			return half[i][0] < half[j][0]
+		}
+		return half[i][1] < half[j][1]
+	})
+
+	offsets := make([]uint32, n+1)
+	keep := len(g.targets) - len(half)
+	if keep < 0 {
+		keep = 0
+	}
+	targets := make([]uint32, 0, keep)
+	var weights []uint32
+	if g.weights != nil {
+		weights = make([]uint32, 0, keep)
+	}
+	cursor := 0 // position in half
+	for u := uint32(0); int(u) < n; u++ {
+		offsets[u] = uint32(len(targets))
+		old := g.Neighbors(u)
+		ow := g.NeighborWeights(u)
+		for i, v := range old {
+			// Skip duplicate deletions of the same half-edge, then check
+			// whether a pending deletion fell between adjacency entries —
+			// that edge does not exist.
+			for cursor+1 < len(half) && half[cursor+1] == half[cursor] {
+				cursor++
+			}
+			if cursor < len(half) && half[cursor][0] == u && half[cursor][1] < v {
+				return nil, fmt.Errorf("graph: deleted edge %d-%d not present", u, half[cursor][1])
+			}
+			if cursor < len(half) && half[cursor][0] == u && half[cursor][1] == v {
+				cursor++
+				continue
+			}
+			targets = append(targets, v)
+			if weights != nil {
+				weights = append(weights, ow[i])
+			}
+		}
+		for cursor+1 < len(half) && half[cursor+1] == half[cursor] {
+			cursor++
+		}
+		if cursor < len(half) && half[cursor][0] == u {
+			return nil, fmt.Errorf("graph: deleted edge %d-%d not present", u, half[cursor][1])
+		}
+	}
+	offsets[n] = uint32(len(targets))
+	return &Graph{
+		offsets: offsets,
+		targets: targets[:len(targets):len(targets)],
+		weights: weights[:len(weights):len(weights)],
+		n:       n,
+		m:       len(targets) / 2,
+	}, nil
+}
+
+// SetWeights returns a new Graph equal to g with the weights of the
+// given existing edges replaced. Only weighted graphs are supported
+// (unweighted edges have an implicit, immutable weight of 1); every
+// referenced edge must exist and every new weight must be positive.
+//
+// The offsets and targets arrays are shared with g — only a fresh
+// weights array is allocated — so the copy is O(m) in the weight array
+// alone and g stays valid for concurrent readers.
+func SetWeights(g *Graph, changes []WeightedEdge) (*Graph, error) {
+	if !g.Weighted() {
+		return nil, fmt.Errorf("graph: SetWeights on an unweighted graph is not supported")
+	}
+	weights := make([]uint32, len(g.weights))
+	copy(weights, g.weights)
+	for _, c := range changes {
+		if int(c.U) >= g.n || int(c.V) >= g.n {
+			return nil, fmt.Errorf("graph: reweighted edge %d-%d out of range [0,%d)", c.U, c.V, g.n)
+		}
+		if c.U == c.V {
+			return nil, fmt.Errorf("graph: reweighted edge %d-%d is a self-loop", c.U, c.V)
+		}
+		if c.W == 0 {
+			return nil, fmt.Errorf("graph: zero weight on edge %d-%d", c.U, c.V)
+		}
+		iu, oku := g.edgeIndex(c.U, c.V)
+		iv, okv := g.edgeIndex(c.V, c.U)
+		if !oku || !okv {
+			return nil, fmt.Errorf("graph: reweighted edge %d-%d not present", c.U, c.V)
+		}
+		weights[iu] = c.W
+		weights[iv] = c.W
+	}
+	return &Graph{
+		offsets: g.offsets,
+		targets: g.targets,
+		weights: weights,
+		n:       g.n,
+		m:       g.m,
+	}, nil
+}
+
+// GrowNodes returns a new Graph with addNodes fresh isolated nodes
+// appended (ids n .. n+addNodes-1). Unlike InsertEdges this works for
+// weighted graphs too; the targets and weights arrays are shared with g
+// since no adjacency changes. addNodes == 0 returns g itself.
+func GrowNodes(g *Graph, addNodes int) (*Graph, error) {
+	if addNodes < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", addNodes)
+	}
+	if addNodes == 0 {
+		return g, nil
+	}
+	n := g.n + addNodes
+	offsets := make([]uint32, n+1)
+	copy(offsets, g.offsets)
+	for i := g.n + 1; i <= n; i++ {
+		offsets[i] = offsets[g.n]
+	}
+	return &Graph{
+		offsets: offsets,
+		targets: g.targets,
+		weights: g.weights,
+		n:       n,
+		m:       g.m,
+	}, nil
+}
+
+// edgeIndex returns the position of v in the adjacency array slice of u
+// (an index into the shared targets/weights arrays) and whether the
+// edge exists.
+func (g *Graph) edgeIndex(u, v uint32) (uint32, bool) {
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	if i >= len(adj) || adj[i] != v {
+		return 0, false
+	}
+	return g.offsets[u] + uint32(i), true
+}

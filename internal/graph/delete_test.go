@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeleteEdgesBasic(t *testing.T) {
+	g := FromEdges(5, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}})
+	g2, err := DeleteEdges(g, [][2]uint32{{2, 1}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 5 || g2.NumEdges() != 3 {
+		t.Fatalf("got n=%d m=%d, want n=5 m=3", g2.NumNodes(), g2.NumEdges())
+	}
+	if g2.HasEdge(1, 2) || g2.HasEdge(3, 4) {
+		t.Fatal("deleted edge still present")
+	}
+	for _, e := range [][2]uint32{{0, 1}, {2, 3}, {0, 2}} {
+		if !g2.HasEdge(e[0], e[1]) || !g2.HasEdge(e[1], e[0]) {
+			t.Errorf("missing surviving edge %v", e)
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The original graph is untouched.
+	if g.NumEdges() != 5 || !g.HasEdge(1, 2) {
+		t.Fatal("DeleteEdges mutated its input")
+	}
+}
+
+func TestDeleteEdgesLastEdge(t *testing.T) {
+	// Deleting a node's last edge leaves it as a valid isolated node.
+	g := FromEdges(3, [][2]uint32{{0, 1}, {1, 2}})
+	g2, err := DeleteEdges(g, [][2]uint32{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Degree(2) != 0 || g2.NumNodes() != 3 {
+		t.Fatalf("got degree(2)=%d n=%d, want 0 and 3", g2.Degree(2), g2.NumNodes())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteEdgesDuplicates(t *testing.T) {
+	g := FromEdges(3, [][2]uint32{{0, 1}, {1, 2}})
+	g2, err := DeleteEdges(g, [][2]uint32{{0, 1}, {1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 1 || g2.HasEdge(0, 1) {
+		t.Fatalf("duplicate deletion handled wrong: m=%d", g2.NumEdges())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteEdgesErrors(t *testing.T) {
+	g := FromEdges(4, [][2]uint32{{0, 1}, {1, 2}})
+	for _, bad := range [][2]uint32{
+		{0, 2}, // absent edge between touched nodes
+		{0, 3}, // absent edge to an isolated node
+		{1, 1}, // self-loop can never exist
+		{0, 9}, // out of range
+	} {
+		if _, err := DeleteEdges(g, [][2]uint32{bad}); err == nil {
+			t.Errorf("deletion of %v accepted", bad)
+		}
+	}
+	// A failing batch must not be half-applied (fresh graph or error).
+	if _, err := DeleteEdges(g, [][2]uint32{{0, 1}, {0, 2}}); err == nil {
+		t.Fatal("batch with one absent edge accepted")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("failed batch mutated its input")
+	}
+}
+
+func TestDeleteEdgesWeighted(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(1, 2, 7)
+	b.AddWeightedEdge(2, 3, 9)
+	g := b.Build()
+	g2, err := DeleteEdges(g, [][2]uint32{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Weighted() || g2.NumEdges() != 2 {
+		t.Fatalf("weighted=%v m=%d, want true and 2", g2.Weighted(), g2.NumEdges())
+	}
+	if w, ok := g2.EdgeWeight(2, 3); !ok || w != 9 {
+		t.Fatalf("surviving weight = %d,%v, want 9,true", w, ok)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteEdgesRandomizedRoundTrip(t *testing.T) {
+	// Insert a random batch, delete it again: the CSR must be identical
+	// to the original (same order, same arrays).
+	r := rand.New(rand.NewSource(11))
+	const n = 200
+	var edges [][2]uint32
+	for i := 0; i < 400; i++ {
+		u, v := uint32(r.Intn(n)), uint32(r.Intn(n))
+		if u != v {
+			edges = append(edges, [2]uint32{u, v})
+		}
+	}
+	g := FromEdges(n, edges)
+	var batch [][2]uint32
+	for u := uint32(0); u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v && r.Intn(4) == 0 {
+				batch = append(batch, [2]uint32{u, v})
+			}
+		}
+	}
+	g2, err := DeleteEdges(g, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges()-len(batch) {
+		t.Fatalf("m=%d, want %d", g2.NumEdges(), g.NumEdges()-len(batch))
+	}
+	g3, err := InsertEdges(g2, 0, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumNodes() != g.NumNodes() || g3.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed counts: n=%d m=%d", g3.NumNodes(), g3.NumEdges())
+	}
+	for u := uint32(0); u < n; u++ {
+		a, b := g.Neighbors(u), g3.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: degree %d vs %d after round trip", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: adjacency diverged after round trip", u)
+			}
+		}
+	}
+}
+
+func TestSetWeights(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(1, 2, 7)
+	g := b.Build()
+	g2, err := SetWeights(g, []WeightedEdge{{U: 1, V: 0, W: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range [][2]uint32{{0, 1}, {1, 0}} {
+		if w, _ := g2.EdgeWeight(dir[0], dir[1]); w != 11 {
+			t.Fatalf("weight %d-%d = %d, want 11 in both directions", dir[0], dir[1], w)
+		}
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 5 {
+		t.Fatal("SetWeights mutated its input")
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []WeightedEdge{
+		{U: 0, V: 2, W: 1}, // absent
+		{U: 0, V: 1, W: 0}, // zero weight
+		{U: 2, V: 2, W: 3}, // self-loop
+		{U: 0, V: 9, W: 3}, // out of range
+	} {
+		if _, err := SetWeights(g, []WeightedEdge{bad}); err == nil {
+			t.Errorf("SetWeights(%+v) accepted", bad)
+		}
+	}
+	if _, err := SetWeights(FromEdges(2, [][2]uint32{{0, 1}}), []WeightedEdge{{U: 0, V: 1, W: 2}}); err == nil {
+		t.Fatal("SetWeights on unweighted graph accepted")
+	}
+}
+
+func TestGrowNodes(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 5)
+	g := b.Build()
+	g2, err := GrowNodes(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 5 || g2.NumEdges() != 1 || g2.Degree(4) != 0 {
+		t.Fatalf("got n=%d m=%d deg(4)=%d", g2.NumNodes(), g2.NumEdges(), g2.Degree(4))
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if same, err := GrowNodes(g, 0); err != nil || same != g {
+		t.Fatal("GrowNodes(g, 0) must return g itself")
+	}
+	if _, err := GrowNodes(g, -1); err == nil {
+		t.Fatal("negative growth accepted")
+	}
+}

@@ -21,6 +21,7 @@ import (
 //	POST /v2/query                  → request-scoped query: deadline, budget, policy, typed error codes
 //	GET  /v1/stats                  → oracle build statistics and server counters
 //	POST /v1/admin/update           → apply a graph mutation batch (requires Config.AllowUpdates)
+//	POST /v1/admin/save             → serialize the current oracle to a server-side path (requires Config.AllowUpdates)
 //	GET  /healthz                   → 200 "ok"
 //
 // The batch body names one source and many targets; the response
@@ -29,9 +30,17 @@ import (
 // the ranking. The whole batch is answered from one oracle snapshot —
 // an epoch swap mid-batch cannot mix answers from different oracles.
 //
-// The update body is {"add_nodes":N,"edges":[[u,v],...]}; the response
-// reports the new epoch and graph size. Updates swap the oracle
-// atomically, so queries keep flowing during a batch.
+// The update body is {"add_nodes":N,"edges":[[u,v],...],
+// "del_edges":[[u,v],...],"del_nodes":[u,...],
+// "set_weights":[[u,v,w],...]}; the response reports the new epoch and
+// graph size. Deleting or reweighting an absent edge is a 404 with the
+// "edge_not_found" error code and applies nothing. Updates swap the
+// oracle atomically, so queries keep flowing during a batch.
+//
+// The save body is {"path":"..."}: the handler writes the current
+// snapshot as a v1 oracle file on the server's filesystem — the
+// end-to-end hook that lets an operator (or CI) diff a churned oracle
+// against a fresh build of the same graph.
 //
 // The handler shares the oracle (and the query/error counters) with
 // the TCP server when constructed from the same Server.
@@ -43,6 +52,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/query", s.handleQueryV2)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/update", s.handleUpdate)
+	mux.HandleFunc("POST /v1/admin/save", s.handleSave)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -112,8 +122,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var body struct {
-		AddNodes int        `json:"add_nodes"`
-		Edges    [][]uint32 `json:"edges"`
+		AddNodes   int         `json:"add_nodes"`
+		Edges      [][]uint32  `json:"edges"`
+		DelEdges   [][]uint32  `json:"del_edges"`
+		DelNodes   []uint32    `json:"del_nodes"`
+		SetWeights [][3]uint32 `json:"set_weights"`
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
 	dec.DisallowUnknownFields()
@@ -124,26 +137,50 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Decode into variable-length pairs so malformed edges fail loudly
 	// (a fixed [2]uint32 would silently zero-fill short arrays).
-	edges := make([][2]uint32, len(body.Edges))
-	for i, e := range body.Edges {
-		if len(e) != 2 {
-			s.errCount.Add(1)
-			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("edge %d: want [u, v], got %d elements", i, len(e))})
-			return
+	pairs := func(field string, in [][]uint32) ([][2]uint32, bool) {
+		out := make([][2]uint32, len(in))
+		for i, e := range in {
+			if len(e) != 2 {
+				s.errCount.Add(1)
+				writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("%s %d: want [u, v], got %d elements", field, i, len(e))})
+				return nil, false
+			}
+			out[i] = [2]uint32{e[0], e[1]}
 		}
-		edges[i] = [2]uint32{e[0], e[1]}
+		return out, true
+	}
+	edges, ok := pairs("edge", body.Edges)
+	if !ok {
+		return
+	}
+	delEdges, ok := pairs("del_edge", body.DelEdges)
+	if !ok {
+		return
+	}
+	changes := make([]core.WeightChange, len(body.SetWeights))
+	for i, c := range body.SetWeights {
+		changes[i] = core.WeightChange{U: c[0], V: c[1], W: c[2]}
 	}
 	if body.AddNodes < 0 || body.AddNodes > maxUpdateNodes {
 		s.errCount.Add(1)
 		writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("add_nodes must be in [0, %d]", maxUpdateNodes)})
 		return
 	}
-	epoch, snap, err := s.ApplyUpdates(core.Update{AddNodes: body.AddNodes, Edges: edges})
+	epoch, snap, err := s.ApplyUpdates(core.Update{
+		AddNodes:   body.AddNodes,
+		Edges:      edges,
+		DelEdges:   delEdges,
+		DelNodes:   body.DelNodes,
+		SetWeights: changes,
+	})
 	if err != nil {
 		s.errCount.Add(1)
 		status := http.StatusInternalServerError
-		if errors.Is(err, core.ErrWeightedUpdate) || errors.Is(err, core.ErrStaleSnapshot) {
+		switch {
+		case errors.Is(err, core.ErrWeightedUpdate), errors.Is(err, core.ErrStaleSnapshot):
 			status = http.StatusConflict
+		case errors.Is(err, core.ErrEdgeNotFound):
+			status = http.StatusNotFound
 		}
 		writeError(w, status, err)
 		return
@@ -155,6 +192,38 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		Edges int    `json:"edges"`
 	}
 	writeJSON(w, http.StatusOK, resp{Epoch: epoch, Nodes: g.NumNodes(), Edges: g.NumEdges()})
+}
+
+// handleSave serializes the current oracle snapshot to a path on the
+// server's filesystem. Gated by AllowUpdates like handleUpdate — it is
+// the other half of the churn workflow (mutate, then persist the
+// repaired oracle for offline verification against a fresh build).
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.AllowUpdates {
+		writeJSON(w, http.StatusForbidden, httpError{Error: "updates disabled: start the server with updates enabled"})
+		return
+	}
+	var body struct {
+		Path string `json:"path"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil || body.Path == "" {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "invalid save body: want {\"path\":\"...\"}"})
+		return
+	}
+	snap := s.Oracle()
+	if err := core.SaveOracleFile(body.Path, snap); err != nil {
+		s.errCount.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	type resp struct {
+		Path  string `json:"path"`
+		Epoch uint64 `json:"epoch"`
+	}
+	writeJSON(w, http.StatusOK, resp{Path: body.Path, Epoch: s.epoch.Load()})
 }
 
 // handleBatch answers a one-to-many ranking batch posted as JSON.

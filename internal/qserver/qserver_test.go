@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 
 	"vicinity/internal/core"
 	"vicinity/internal/gen"
+	"vicinity/internal/graph"
 	"vicinity/internal/qclient"
 	"vicinity/internal/traverse"
 	"vicinity/internal/wire"
@@ -464,6 +466,92 @@ func TestAdminUpdateEndpoint(t *testing.T) {
 	if resp, _ := post(`{"edges":[[0,999]]}`); resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("out-of-range edge: %d", resp.StatusCode)
 	}
+
+	// Churn ops: delete the edge just inserted, then restore it with a
+	// weight-1 upsert.
+	resp, out = post(fmt.Sprintf(`{"del_edges":[[%d,%d]]}`, u, v))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete returned %d: %v", resp.StatusCode, out)
+	}
+	if d, _, _ := s.Oracle().Distance(u, v); d == 1 {
+		t.Fatal("deleted edge still answers d=1")
+	}
+	// Deleting it again is a typed 404, and nothing is applied.
+	resp, out = post(fmt.Sprintf(`{"del_edges":[[%d,%d]]}`, u, v))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent delete returned %d: %v", resp.StatusCode, out)
+	}
+	if out["error_code"] != "edge_not_found" {
+		t.Fatalf("absent delete code: %v", out)
+	}
+	resp, out = post(fmt.Sprintf(`{"set_weights":[[%d,%d,1]]}`, u, v))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upsert returned %d: %v", resp.StatusCode, out)
+	}
+	if d, _, _ := s.Oracle().Distance(u, v); d != 1 {
+		t.Fatalf("upsert did not restore the edge: d=%d", d)
+	}
+	// del_nodes isolates a node wholesale.
+	resp, out = post(`{"del_nodes":[300]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("del_nodes returned %d: %v", resp.StatusCode, out)
+	}
+	if d, _, _ := s.Oracle().Distance(300, 0); d != core.NoDist {
+		t.Fatalf("retired node still reachable: d=%d", d)
+	}
+
+	// Admin save writes a loadable v1 file of the churned oracle.
+	savePath := filepath.Join(t.TempDir(), "churned.vco")
+	body, _ := json.Marshal(map[string]string{"path": savePath})
+	sresp, err := http.Post(ts.URL+"/v1/admin/save", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("save returned %d", sresp.StatusCode)
+	}
+	loaded, err := core.LoadOracleFile(savePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Graph().NumNodes() != s.Oracle().Graph().NumNodes() {
+		t.Fatal("saved oracle has a different graph")
+	}
+	// Save is gated like update.
+	lresp, err := http.Post(locked.URL+"/v1/admin/save", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusForbidden {
+		t.Fatalf("ungated save returned %d", lresp.StatusCode)
+	}
+}
+
+// sampleChurnEdge picks one live edge of g that none of the pending
+// inserts name, so adding it to Update.DelEdges cannot conflict.
+func sampleChurnEdge(r *xrand.Rand, g *graph.Graph, ins [][2]uint32) ([2]uint32, bool) {
+	n := uint32(g.NumNodes())
+	for tries := 0; tries < 8; tries++ {
+		u := r.Uint32n(n)
+		adj := g.Neighbors(u)
+		if len(adj) == 0 {
+			continue
+		}
+		v := adj[r.Uint32n(uint32(len(adj)))]
+		conflict := false
+		for _, e := range ins {
+			if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			return [2]uint32{u, v}, true
+		}
+	}
+	return [2]uint32{}, false
 }
 
 // TestQueriesDuringUpdates races TCP clients against a stream of update
@@ -505,11 +593,17 @@ func TestQueriesDuringUpdates(t *testing.T) {
 
 	r := xrand.New(50)
 	for i := 0; i < 10; i++ {
-		cur := uint32(s.Oracle().Graph().NumNodes())
-		if _, _, err := s.ApplyUpdates(core.Update{
+		gg := s.Oracle().Graph()
+		cur := uint32(gg.NumNodes())
+		upd := core.Update{
 			AddNodes: 1,
 			Edges:    [][2]uint32{{cur, r.Uint32n(cur)}, {r.Uint32n(cur), r.Uint32n(cur)}},
-		}); err != nil {
+		}
+		// Mixed churn: also delete a live edge the batch does not insert.
+		if e, ok := sampleChurnEdge(r, gg, upd.Edges); ok {
+			upd.DelEdges = append(upd.DelEdges, e)
+		}
+		if _, _, err := s.ApplyUpdates(upd); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -735,11 +829,17 @@ func TestBatchDuringUpdates(t *testing.T) {
 
 	r := xrand.New(90)
 	for i := 0; i < 10; i++ {
-		cur := uint32(s.Oracle().Graph().NumNodes())
-		if _, _, err := s.ApplyUpdates(core.Update{
+		gg := s.Oracle().Graph()
+		cur := uint32(gg.NumNodes())
+		upd := core.Update{
 			AddNodes: 1,
 			Edges:    [][2]uint32{{cur, r.Uint32n(cur)}},
-		}); err != nil {
+		}
+		// Mixed churn: also delete a live edge the batch does not insert.
+		if e, ok := sampleChurnEdge(r, gg, upd.Edges); ok {
+			upd.DelEdges = append(upd.DelEdges, e)
+		}
+		if _, _, err := s.ApplyUpdates(upd); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,9 @@
 package u32map
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // FreeList tracks freed ranges of one arena space (entries or slots) so
 // in-place mutation can recycle the holes left by superseded tables
@@ -87,6 +90,35 @@ func (f *FreeList) Reset() {
 // their own accounting forward).
 func (f *FreeList) Clone() *FreeList {
 	return &FreeList{ranges: append([]freeRange(nil), f.ranges...), total: f.total}
+}
+
+// Validate checks the structural invariants the list relies on —
+// ranges sorted by offset, non-overlapping, non-adjacent (adjacency
+// means a missed coalesce), lengths positive, everything inside
+// [0, limit), and the cached total equal to the sum of range lengths.
+// A violation is how a double Free or a free of a still-live range
+// manifests, so churn tests call this after every update batch.
+func (f *FreeList) Validate(limit uint32) error {
+	var sum uint64
+	prevEnd := uint64(0)
+	for i, r := range f.ranges {
+		if r.Len == 0 {
+			return fmt.Errorf("u32map: free range %d at %d has zero length", i, r.Off)
+		}
+		end := uint64(r.Off) + uint64(r.Len)
+		if end > uint64(limit) {
+			return fmt.Errorf("u32map: free range %d [%d,%d) exceeds arena size %d", i, r.Off, end, limit)
+		}
+		if i > 0 && uint64(r.Off) <= prevEnd {
+			return fmt.Errorf("u32map: free range %d [%d,%d) overlaps or abuts previous end %d", i, r.Off, end, prevEnd)
+		}
+		prevEnd = end
+		sum += uint64(r.Len)
+	}
+	if sum != f.total {
+		return fmt.Errorf("u32map: free total %d does not match range sum %d", f.total, sum)
+	}
+	return nil
 }
 
 // AllocEntries reserves room for n more entries at the end of the entry

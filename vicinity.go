@@ -32,11 +32,13 @@
 //
 // # Dynamic updates
 //
-// Unweighted oracles absorb graph growth without rebuilding: InsertEdge,
-// AddNode and the batched ApplyUpdates repair only the vicinities,
-// boundaries and landmark tables the change can reach, following the
-// incremental scheme of the paper's sequel ("Shortest Paths in
-// Microseconds"). Updates are safe to run concurrently with queries:
+// Oracles absorb graph churn without rebuilding: InsertEdge, AddNode,
+// DeleteEdge, SetWeight and the batched ApplyUpdates repair only the
+// vicinities, boundaries and landmark tables the change can reach,
+// following the dynamic scheme of the paper's sequel ("Shortest Paths
+// in Microseconds") — growth and deletion alike, so unfollows and
+// blocks are as cheap as new ties. Updates are safe to run
+// concurrently with queries:
 // each mutation builds a new internal snapshot and installs it
 // atomically, so in-flight queries keep reading a consistent epoch and
 // later queries see the updated graph. An updated oracle answers
@@ -304,25 +306,35 @@ func (o *Oracle) Graph() *Graph { return o.cur().g }
 
 // Update is a batch of graph mutations for ApplyUpdates: AddNodes
 // fresh nodes (assigned ids n .. n+AddNodes-1, where n is the node
-// count before the batch) plus undirected unit-weight edges, which may
-// reference the new ids. Self-loops, duplicate edges and edges already
-// present are ignored.
+// count before the batch), inserted undirected unit-weight Edges
+// (which may reference the new ids; self-loops, duplicates and edges
+// already present are ignored), deleted edges (DelEdges — every edge
+// must exist, ErrEdgeNotFound otherwise), DelNodes (shorthand for
+// deleting every incident edge; the id survives as an isolated node),
+// and SetWeights weight changes for weighted oracles (on unweighted
+// oracles only W == 1 is accepted, as an idempotent insert-or-keep
+// upsert). A batch naming the same edge in conflicting ops (inserted
+// and deleted, or deleted and reweighted) is rejected whole.
 type Update = core.Update
 
-// ApplyUpdates grows the oracle's graph in place of a rebuild: new
-// edges and nodes are absorbed by repairing only the vicinities,
-// boundaries and landmark tables the change can reach (typically a
-// small neighborhood of the touched endpoints). The repaired oracle
-// answers every query exactly as an oracle freshly built on the
-// mutated graph with the same landmark set would.
+// WeightChange sets edge {U, V} to weight W in Update.SetWeights.
+type WeightChange = core.WeightChange
+
+// ApplyUpdates mutates the oracle's graph in place of a rebuild: new
+// edges and nodes, deleted edges, and changed weights are absorbed by
+// repairing only the vicinities, boundaries and landmark tables the
+// change can reach (typically a small neighborhood of the touched
+// endpoints). The repaired oracle answers every query exactly as an
+// oracle freshly built on the mutated graph with the same landmark set
+// would.
 //
 // ApplyUpdates is safe to call concurrently with queries — they keep
 // reading the previous epoch until the new one is installed atomically
-// — and updates are serialized among themselves. Only unweighted
-// oracles support updates (ErrWeightedUpdate otherwise); the landmark
-// set is kept fixed, so after the graph has grown far beyond its
-// built size a fresh Build re-balances the α·√n size trade-off (see
-// DESIGN.md).
+// — and updates are serialized among themselves. Weighted oracles
+// accept deletions and weight changes but not edge insertion
+// (ErrWeightedUpdate); the landmark set is kept fixed, so after the
+// graph has drifted far from its built size a fresh Build re-balances
+// the α·√n size trade-off (see DESIGN.md).
 func (o *Oracle) ApplyUpdates(u Update) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -337,9 +349,15 @@ func (o *Oracle) ApplyUpdates(u Update) error {
 	return nil
 }
 
-// ErrWeightedUpdate is returned by the update methods on oracles built
-// over weighted graphs, where incremental repair is not supported.
+// ErrWeightedUpdate is returned when an update needs unweighted
+// semantics on a weighted oracle: edge insertion (a new edge has no
+// well-defined weight there) or a SetWeights entry with W != 1 on an
+// unweighted oracle.
 var ErrWeightedUpdate = core.ErrWeightedUpdate
+
+// ErrEdgeNotFound is returned when an update deletes or reweights an
+// edge that does not exist in the current graph. Nothing is applied.
+var ErrEdgeNotFound = core.ErrEdgeNotFound
 
 // InsertEdge adds the undirected unit-weight edge {u, v} to the graph
 // and repairs the oracle incrementally. Equivalent to ApplyUpdates
@@ -347,6 +365,23 @@ var ErrWeightedUpdate = core.ErrWeightedUpdate
 // cheaper than repeated InsertEdge calls.
 func (o *Oracle) InsertEdge(u, v uint32) error {
 	return o.ApplyUpdates(Update{Edges: [][2]uint32{{u, v}}})
+}
+
+// DeleteEdge removes the undirected edge {u, v} and repairs the oracle
+// decrementally (ErrEdgeNotFound if the edge does not exist). The
+// endpoints survive; a node left without edges becomes unreachable.
+// Equivalent to ApplyUpdates with a single DelEdges entry.
+func (o *Oracle) DeleteEdge(u, v uint32) error {
+	return o.ApplyUpdates(Update{DelEdges: [][2]uint32{{u, v}}})
+}
+
+// SetWeight changes the weight of the existing edge {u, v} to w on a
+// weighted oracle and repairs the affected state (ErrEdgeNotFound if
+// the edge does not exist). On unweighted oracles only w == 1 is
+// legal, where it degenerates to an idempotent InsertEdge. Equivalent
+// to ApplyUpdates with a single SetWeights entry.
+func (o *Oracle) SetWeight(u, v, w uint32) error {
+	return o.ApplyUpdates(Update{SetWeights: []WeightChange{{U: u, V: v, W: w}}})
 }
 
 // AddNode grows the graph by one isolated node and returns its id.

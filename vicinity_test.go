@@ -290,7 +290,8 @@ func TestDynamicUpdates(t *testing.T) {
 
 	r := xrand.New(9)
 	for step := 0; step < 10; step++ {
-		n := uint32(o.Graph().NumNodes())
+		gg := o.Graph()
+		n := uint32(gg.NumNodes())
 		batch := Update{Edges: [][2]uint32{
 			{r.Uint32n(n), r.Uint32n(n)},
 			{r.Uint32n(n), r.Uint32n(n)},
@@ -299,8 +300,52 @@ func TestDynamicUpdates(t *testing.T) {
 			batch.AddNodes = 1
 			batch.Edges = append(batch.Edges, [2]uint32{n, r.Uint32n(n)})
 		}
+		// Mixed churn: delete a live edge not named by this batch's
+		// inserts, so the repair handles growth and shrinkage at once.
+		for tries := 0; tries < 8; tries++ {
+			u := r.Uint32n(n)
+			adj := gg.Neighbors(u)
+			if len(adj) == 0 {
+				continue
+			}
+			v := adj[r.Uint32n(uint32(len(adj)))]
+			conflict := false
+			for _, e := range batch.Edges {
+				if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				batch.DelEdges = append(batch.DelEdges, [2]uint32{u, v})
+				break
+			}
+		}
 		if err := o.ApplyUpdates(batch); err != nil {
 			t.Fatal(err)
+		}
+	}
+	// The single-edge churn helpers ride the same repair path.
+	{
+		gg := o.Graph()
+		var du, dv uint32
+		for u := uint32(0); ; u++ {
+			if adj := gg.Neighbors(u); len(adj) > 0 {
+				du, dv = u, adj[0]
+				break
+			}
+		}
+		if err := o.DeleteEdge(du, dv); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.DeleteEdge(du, dv); !errors.Is(err, ErrEdgeNotFound) {
+			t.Fatalf("double delete: %v", err)
+		}
+		if err := o.SetWeight(du, dv, 1); err != nil { // upsert restores it
+			t.Fatal(err)
+		}
+		if !o.Graph().HasEdge(du, dv) {
+			t.Fatal("weight-1 upsert did not reinsert the edge")
 		}
 	}
 	close(stop)
