@@ -24,10 +24,23 @@
 //	          exercises admission control; answers degraded to the
 //	          landmark estimate are counted as "degraded"
 //	mixed     round-robin over single/batch/budget/estimate
+//	holblock  one large batch riding with eight singles — only the
+//	          singles are measured, so the latency quantiles isolate
+//	          head-of-line blocking: run it with "-pool 1" serial vs
+//	          muxed to see the batch stall (or not stall) the singles
+//	          sharing its connection
 //
 // Any entry may carry its own rate as "name@qps" (e.g.
 // "single@2000,batch@50"), overriding the global -qps for that
-// workload only.
+// workload only. TCP entries may also carry a "mux:" or "serial:"
+// prefix (e.g. "mux:holblock@500") to force the transport mode for
+// that workload, overriding the global -mux flag — one invocation can
+// record both modes into a single report.
+//
+// With -mux the TCP pool negotiates the multiplexed session mode:
+// requests carry ids, replies complete out of order, and every pooled
+// connection serves many requests at once (-pool caps connections,
+// -conns the in-flight workers).
 //
 // With -churn-url and -churn-qps the run doubles as a read/churn
 // soak: a background stream of mixed insert/delete batches is POSTed
@@ -80,6 +93,7 @@ type config struct {
 	duration time.Duration
 	warmup   time.Duration
 	conns    int
+	pool     int
 	targets  int
 	parallel int
 	budget   int
@@ -118,8 +132,15 @@ func workloadKinds(name string) ([]kind, string, error) {
 		return []kind{kOverload, kOverload, kOverload, kBatch}, "mixed", nil
 	case "mixed":
 		return []kind{kSingle, kBatch, kBudget, kEstimate}, "mixed", nil
+	case "holblock":
+		// The head-of-line probe: every large batch is chased by eight
+		// singles that, on a serial connection, must wait for its multi-
+		// megabyte reply. Only the singles are measured (see runWorkload),
+		// so the quantiles read as "what a 5 µs query pays for sharing a
+		// connection with bulk traffic".
+		return []kind{kBatch, kSingle, kSingle, kSingle, kSingle, kSingle, kSingle, kSingle, kSingle}, "mixed", nil
 	default:
-		return nil, "", fmt.Errorf("unknown workload %q (want single|batch|budget|estimate|overload|mixed)", name)
+		return nil, "", fmt.Errorf("unknown workload %q (want single|batch|budget|estimate|overload|mixed|holblock)", name)
 	}
 }
 
@@ -198,8 +219,8 @@ type tcpTransport struct {
 	pool *qclient.Pool
 }
 
-func newTCPTransport(addr string, conns int) (*tcpTransport, error) {
-	pool, err := qclient.NewPool(addr, conns, qclient.Options{})
+func newTCPTransport(addr string, conns int, mux bool) (*tcpTransport, error) {
+	pool, err := qclient.NewPool(addr, conns, qclient.Options{Mux: mux})
 	if err != nil {
 		return nil, err
 	}
@@ -370,6 +391,13 @@ func runWorkload(tr transport, name string, qps float64, cfg *config) (benchfmt.
 	if qps <= 0 {
 		qps = cfg.qps
 	}
+	// holblock measures only its singles: the batches exist to occupy
+	// the connection, and folding their multi-millisecond latencies into
+	// the histogram would drown the head-of-line signal being probed.
+	measured := func(kind) bool { return true }
+	if name == "holblock" {
+		measured = func(k kind) bool { return k == kSingle }
+	}
 	r := xrand.New(cfg.seed)
 	pick := func(i int) job {
 		k := kinds[i%len(kinds)]
@@ -423,7 +451,9 @@ func runWorkload(tr transport, name string, qps float64, cfg *config) (benchfmt.
 				if ierr != nil {
 					continue
 				}
-				hist.Observe(int64(lat))
+				if measured(j.k) {
+					hist.Observe(int64(lat))
+				}
 				mu.Lock()
 				agg.Requests++
 				agg.Queries += res.queries
@@ -498,7 +528,9 @@ func run(args []string) error {
 		rampTo    = fs.Float64("ramp-to", 0, "linearly ramp the offered rate to this by the end of each workload (0 = flat)")
 		duration  = fs.Duration("duration", 5*time.Second, "offered-load window per workload")
 		warmup    = fs.Duration("warmup", 300*time.Millisecond, "unmeasured closed-loop warmup per workload")
-		conns     = fs.Int("conns", 8, "concurrent connections/workers")
+		conns     = fs.Int("conns", 8, "concurrent workers issuing requests")
+		poolSize  = fs.Int("pool", 0, "TCP connections in the pool (0 = -conns); with -mux each connection carries many in-flight requests, so \"-pool 1 -conns 16\" probes one multiplexed connection")
+		mux       = fs.Bool("mux", false, "negotiate the multiplexed session mode on TCP connections (per-workload \"mux:\"/\"serial:\" prefixes override)")
 		targets   = fs.Int("targets", 64, "targets per batch request")
 		parallel  = fs.Int("parallel", 0, "server-side batch fan-out knob forwarded with batch requests")
 		budget    = fs.Int("budget", 256, "fallback node budget for the budget workload")
@@ -518,18 +550,50 @@ func run(args []string) error {
 	if *qps <= 0 || *duration <= 0 || *conns < 1 || *targets < 1 {
 		return errors.New("-qps, -duration, -conns and -targets must be positive")
 	}
-
-	var tr transport
-	if *addr != "" {
-		t, err := newTCPTransport(*addr, *conns)
-		if err != nil {
-			return err
-		}
-		tr = t
-	} else {
-		tr = newHTTPTransport(*url, *conns)
+	if *poolSize == 0 {
+		*poolSize = *conns
 	}
-	defer tr.close()
+	if *poolSize < 1 {
+		return errors.New("-pool must be positive")
+	}
+	if *mux && *url != "" {
+		return errors.New("-mux applies to the TCP transport; it cannot combine with -url")
+	}
+
+	// TCP transports are dialed lazily per mode, so one run can measure
+	// both "serial:" and "mux:" workloads over their own pools.
+	tcpByMode := map[bool]transport{}
+	var httpTr transport
+	trFor := func(muxMode bool) (transport, error) {
+		if *url != "" {
+			if httpTr == nil {
+				httpTr = newHTTPTransport(*url, *conns)
+			}
+			return httpTr, nil
+		}
+		if t, ok := tcpByMode[muxMode]; ok {
+			return t, nil
+		}
+		t, err := newTCPTransport(*addr, *poolSize, muxMode)
+		if err != nil {
+			return nil, err
+		}
+		tcpByMode[muxMode] = t
+		return t, nil
+	}
+	defer func() {
+		for _, t := range tcpByMode {
+			t.close()
+		}
+		if httpTr != nil {
+			httpTr.close()
+		}
+	}()
+
+	tr, err := trFor(*mux)
+	if err != nil {
+		return err
+	}
 
 	n := uint32(*nodes)
 	if n == 0 {
@@ -543,7 +607,7 @@ func run(args []string) error {
 		addr: *addr, url: *url,
 		qps: *qps, rampTo: *rampTo,
 		duration: *duration, warmup: *warmup,
-		conns: *conns, targets: *targets, parallel: *parallel,
+		conns: *conns, pool: *poolSize, targets: *targets, parallel: *parallel,
 		budget: *budget, deadline: *deadline,
 		nodes: n, seed: *seed,
 	}
@@ -566,6 +630,8 @@ func run(args []string) error {
 			"ramp_to":  fmt.Sprint(*rampTo),
 			"duration": duration.String(),
 			"conns":    fmt.Sprint(*conns),
+			"pool":     fmt.Sprint(*poolSize),
+			"mux":      fmt.Sprint(*mux),
 			"targets":  fmt.Sprint(*targets),
 			"parallel": fmt.Sprint(*parallel),
 			"budget":   fmt.Sprint(*budget),
@@ -578,27 +644,50 @@ func run(args []string) error {
 		report.Config["churn_qps"] = fmt.Sprint(*churnQPS)
 	}
 
-	for _, name := range strings.Split(*workloads, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
+	for _, entry := range strings.Split(*workloads, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
 			continue
+		}
+		name := entry
+		// "mux:name" / "serial:name" pins this workload's transport mode
+		// regardless of the global -mux flag (TCP only).
+		wtr := tr
+		if mode, rest, ok := strings.Cut(name, ":"); ok && (mode == "mux" || mode == "serial") {
+			if *url != "" {
+				return fmt.Errorf("workload %q: transport-mode prefixes apply to TCP, not -url", entry)
+			}
+			name = rest
+			wtr, err = trFor(mode == "mux")
+			if err != nil {
+				return err
+			}
 		}
 		// "name@qps" overrides the global rate for this workload, so one
 		// run can pace batches slower than single-target traffic.
 		rate := 0.0
 		if at := strings.IndexByte(name, '@'); at >= 0 {
 			if _, err := fmt.Sscanf(name[at+1:], "%g", &rate); err != nil || rate <= 0 {
-				return fmt.Errorf("workload %q: bad rate after @", name)
+				return fmt.Errorf("workload %q: bad rate after @", entry)
 			}
 			name = name[:at]
 		}
-		w, err := runWorkload(tr, name, rate, cfg)
+		w, err := runWorkload(wtr, name, rate, cfg)
 		if err != nil {
 			return err
 		}
+		// The report entry keeps the full prefixed name, so a run that
+		// measures both modes stays distinguishable in the JSON.
+		if name != entry {
+			if at := strings.IndexByte(entry, '@'); at >= 0 {
+				w.Name = entry[:at]
+			} else {
+				w.Name = entry
+			}
+		}
 		report.Workloads = append(report.Workloads, w)
-		fmt.Printf("%-10s %8.0f req/s offered  %8.0f q/s achieved  %8.0f q/s goodput  p50=%.0fµs p95=%.0fµs p99=%.0fµs p99.9=%.0fµs",
-			name, w.OfferedQPS, w.AchievedQPS, w.GoodputQPS,
+		fmt.Printf("%-14s %8.0f req/s offered  %8.0f q/s achieved  %8.0f q/s goodput  p50=%.0fµs p95=%.0fµs p99=%.0fµs p99.9=%.0fµs",
+			w.Name, w.OfferedQPS, w.AchievedQPS, w.GoodputQPS,
 			w.Latency.P50US, w.Latency.P95US, w.Latency.P99US, w.Latency.P999US)
 		if w.Degraded > 0 {
 			fmt.Printf("  degraded=%d", w.Degraded)

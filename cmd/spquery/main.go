@@ -104,6 +104,7 @@ type backend struct {
 	client *qclient.Client
 	addr   string
 	opts   queryOpts
+	mux    bool
 }
 
 // ensureClient redials a remote connection the desync guard tore down
@@ -113,7 +114,7 @@ func (b *backend) ensureClient() error {
 	if b.client == nil || b.client.Alive() {
 		return nil
 	}
-	c, err := qclient.Dial(b.addr, qclient.Options{})
+	c, err := qclient.Dial(b.addr, qclient.Options{Mux: b.mux})
 	if err != nil {
 		return err
 	}
@@ -222,6 +223,7 @@ func run(args []string) (int, error) {
 		timeout   = fs.Duration("timeout", 0, "per-query deadline, honored inside the fallback search (0 = none)")
 		budget    = fs.Int("budget", 0, "fallback search node budget per query (0 = unlimited)")
 		policyStr = fs.String("policy", "default", "fallback policy: default|full|estimate|table")
+		mux       = fs.Bool("mux", false, "with -server: negotiate the multiplexed session mode (falls back to serial against older servers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage, nil // flag package already printed the error
@@ -239,12 +241,13 @@ func run(args []string) (int, error) {
 		if *graphPath != "" || *genName != "" {
 			return exitUsage, fmt.Errorf("-server is mutually exclusive with -graph/-gen")
 		}
-		c, err := qclient.Dial(*server, qclient.Options{})
+		c, err := qclient.Dial(*server, qclient.Options{Mux: *mux})
 		if err != nil {
 			return exitUsage, err
 		}
 		be.client = c
 		be.addr = *server
+		be.mux = *mux
 		defer func() { be.client.Close() }()
 	} else {
 		g, err := loadGraph(*graphPath, *genName, *n, *seed)

@@ -21,6 +21,11 @@
 // server-side file, the hook CI uses to diff a churned oracle against
 // a fresh build.
 //
+// Clients that negotiate the multiplexed session mode (a hello frame
+// at connect) run many concurrent requests per connection, completing
+// out of order; -no-mux refuses the feature and keeps every connection
+// serial, and -max-conn-workers bounds the per-connection fan-out.
+//
 // With -distance-only, the oracle is built without per-member parent
 // pointers: Path queries degrade to distance-only answers while the
 // tables shrink, and the serialized oracle is byte-reproducible from
@@ -78,6 +83,8 @@ func run(args []string) error {
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window before in-flight requests are canceled")
 		maxInFl    = fs.Int("max-in-flight", 0, "admission control: over this many concurrent queries, fallback-permitting queries shed to the landmark estimate (0 = off)")
 		maxBatchP  = fs.Int("max-batch-parallel", 0, "ceiling on client-requested batch worker fan-out (0 = CPU count, negative = disable)")
+		noMux      = fs.Bool("no-mux", false, "refuse the multiplexed session mode: acknowledge hello frames without granting features, keeping every connection serial")
+		maxConnWk  = fs.Int("max-conn-workers", 0, "concurrent request workers per multiplexed connection (0 = 32)")
 		distOnly   = fs.Bool("distance-only", false, "build without path data: smaller tables, Path degrades to distances, serialized form reproducible from the graph alone")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -125,6 +132,8 @@ func run(args []string) error {
 		AllowUpdates:     *allowUpd,
 		MaxInFlight:      *maxInFl,
 		MaxBatchParallel: *maxBatchP,
+		DisableMux:       *noMux,
+		MaxConnWorkers:   *maxConnWk,
 	})
 	if *maxInFl > 0 {
 		logger.Printf("admission control: shedding to estimates over %d in-flight queries", *maxInFl)

@@ -1,0 +1,195 @@
+package qclient_test
+
+// Tests for the client-side transport fixes: Close and context
+// cancellation interrupting in-flight I/O, and the hello-handshake
+// fallback against peers that predate the frame.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"vicinity/internal/core"
+	"vicinity/internal/qclient"
+	"vicinity/internal/wire"
+)
+
+// fakeServerAll accepts connections until the listener closes, passing
+// each to handle on its own goroutine.
+func fakeServerAll(t *testing.T, handle func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// blackhole swallows everything and never replies — the shape of a
+// stalled server.
+func blackhole(conn net.Conn) { _, _ = io.Copy(io.Discard, conn) }
+
+// TestCloseInterruptsInFlightRequest pins the lock-split fix: Close
+// must interrupt a request blocked on a stalled server immediately —
+// not queue behind it for the full request timeout.
+func TestCloseInterruptsInFlightRequest(t *testing.T) {
+	addr := fakeServerAll(t, blackhole)
+	c, err := qclient.Dial(addr, qclient.Options{RequestTimeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		close(started)
+		_, _, err := c.Distance(1, 2)
+		errCh <- err
+	}()
+	<-started
+	time.Sleep(100 * time.Millisecond) // let the request block on the read
+	closeDone := make(chan struct{})
+	go func() {
+		_ = c.Close()
+		close(closeDone)
+	}()
+	select {
+	case <-closeDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked behind an in-flight request")
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("request against a blackhole succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight request not interrupted by Close")
+	}
+}
+
+// TestCancelWithoutDeadlineMidFlight pins the second bugfix: a context
+// canceled after the request is written — carrying no deadline at all —
+// must surface core.ErrCanceled promptly, not wait out RequestTimeout.
+func TestCancelWithoutDeadlineMidFlight(t *testing.T) {
+	addr := fakeServerAll(t, blackhole)
+	c, err := qclient.Dial(addr, qclient.Options{RequestTimeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Query(ctx, qclient.QuerySpec{S: 1, T: 2})
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the request go out and block
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("err = %v, want core.ErrCanceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("cancellation took %v to propagate", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mid-flight cancellation ignored")
+	}
+}
+
+// TestMuxFallbackToV1Peer emulates a v1 server — it closes the
+// connection on the unknown hello type, exactly what the old
+// read-dispatch loop does — and checks the client redials and serves
+// serially, transparently.
+func TestMuxFallbackToV1Peer(t *testing.T) {
+	addr := fakeServerAll(t, func(conn net.Conn) {
+		br := bufio.NewReader(conn)
+		for {
+			req, err := wire.ReadMessage(br)
+			if err != nil {
+				return
+			}
+			if _, ok := req.(*wire.Hello); ok {
+				return // v1 peer: unknown type, close without a frame
+			}
+			if d, ok := req.(*wire.DistanceRequest); ok {
+				_ = wire.WriteMessage(conn, &wire.DistanceResponse{Dist: d.S + d.T, Method: 1})
+				continue
+			}
+			return
+		}
+	})
+	c, err := qclient.Dial(addr, qclient.Options{Mux: true})
+	if err != nil {
+		t.Fatalf("mux dial against a v1 peer must fall back, got %v", err)
+	}
+	defer c.Close()
+	if c.Muxed() {
+		t.Fatal("negotiated mux against a peer that closed on hello")
+	}
+	d, _, err := c.Distance(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 7 {
+		t.Fatalf("distance = %d, want 7", d)
+	}
+}
+
+// TestMuxHandshakeRefusedStaysSerial checks the negotiated-down path
+// against a peer that acknowledges the hello but grants nothing: same
+// connection, serial mode.
+func TestMuxHandshakeRefusedStaysSerial(t *testing.T) {
+	conns := make(chan struct{}, 8)
+	addr := fakeServerAll(t, func(conn net.Conn) {
+		conns <- struct{}{}
+		br := bufio.NewReader(conn)
+		for {
+			req, err := wire.ReadMessage(br)
+			if err != nil {
+				return
+			}
+			switch m := req.(type) {
+			case *wire.Hello:
+				_ = wire.WriteMessage(conn, &wire.HelloAck{Features: 0})
+			case *wire.PingRequest:
+				_ = wire.WriteMessage(conn, &wire.PingResponse{Token: m.Token})
+			default:
+				return
+			}
+		}
+	})
+	c, err := qclient.Dial(addr, qclient.Options{Mux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Muxed() {
+		t.Fatal("mux negotiated despite an empty feature grant")
+	}
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if len(conns) != 1 {
+		t.Fatalf("client used %d connections, want 1 (no redial on a refused grant)", len(conns))
+	}
+}

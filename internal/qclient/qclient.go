@@ -1,7 +1,10 @@
 // Package qclient is the Go client for the TCP query protocol served by
-// internal/qserver. A Client owns one connection and serializes requests
-// over it; Pool multiplexes a fixed number of connections for concurrent
-// callers.
+// internal/qserver. A Client owns one connection; in the default serial
+// mode requests are serialized over it, while a Client dialed with
+// Options.Mux negotiates the multiplexed session mode and runs many
+// requests in flight at once, demultiplexing replies by request id.
+// Pool spreads concurrent callers over a fixed number of connections in
+// either mode.
 package qclient
 
 import (
@@ -10,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vicinity/internal/core"
@@ -26,6 +31,13 @@ type Options struct {
 	DialTimeout time.Duration
 	// RequestTimeout bounds each request/response round trip (0 = 10s).
 	RequestTimeout time.Duration
+	// Mux negotiates the multiplexed session mode at dial time: requests
+	// carry ids, replies may complete out of order, and a timed-out or
+	// canceled request abandons its id instead of tearing the connection
+	// down. A peer that does not speak the hello frame (it closes the
+	// connection on the unknown type) is transparently redialed in
+	// serial mode — Muxed reports what was actually negotiated.
+	Mux bool
 }
 
 func (o Options) withDefaults() Options {
@@ -39,19 +51,74 @@ func (o Options) withDefaults() Options {
 }
 
 // Client is a single-connection protocol client. Methods are safe for
-// concurrent use; requests are serialized on the connection.
+// concurrent use. In serial mode requests queue on the connection; in
+// multiplexed mode they interleave, each identified by a request id.
 type Client struct {
 	opts Options
 
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	// connMu guards connection identity and the closed flag only — it
+	// is never held across network I/O, so Close always interrupts an
+	// in-flight request instead of queueing behind it.
+	connMu sync.Mutex
+	conn   net.Conn
+	closed bool
+
+	// reqMu serializes whole round trips in serial mode and individual
+	// frame writes in multiplexed mode. The reusable encode/read
+	// buffers live under it.
+	reqMu sync.Mutex
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	wbuf  []byte
+	rbuf  []byte
+
+	// Multiplexed-session state. pending maps in-flight request ids to
+	// their reply channels; an abandoned id is simply removed, and the
+	// demux loop counts its late reply in discarded instead of letting
+	// it poison the stream.
+	muxed     bool
+	nextID    atomic.Uint64
+	pendMu    sync.Mutex
+	pending   map[uint64]chan wire.Message
+	readErr   error
+	demuxDone chan struct{}
+	discarded atomic.Int64
 }
 
-// Dial connects to a query server at addr.
+// Dial connects to a query server at addr. With Options.Mux it also
+// performs the hello handshake, falling back to a fresh serial
+// connection when the peer predates the hello frame.
 func Dial(addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
+	conn, err := dialConn(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		opts: opts,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 4096),
+		bw:   bufio.NewWriterSize(conn, 4096),
+	}
+	if opts.Mux {
+		if err := c.handshake(); err != nil {
+			// A v1 peer closes the connection on the unknown hello type
+			// (there is no error frame to distinguish): redial fresh and
+			// run serial, byte-for-byte the v1 protocol.
+			conn.Close()
+			conn, err = dialConn(addr, opts)
+			if err != nil {
+				return nil, err
+			}
+			c.conn = conn
+			c.br = bufio.NewReaderSize(conn, 4096)
+			c.bw = bufio.NewWriterSize(conn, 4096)
+		}
+	}
+	return c, nil
+}
+
+func dialConn(addr string, opts Options) (net.Conn, error) {
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("qclient: dial %s: %w", addr, err)
@@ -59,24 +126,67 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
 	}
-	return &Client{
-		opts: opts,
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 4096),
-		bw:   bufio.NewWriterSize(conn, 4096),
-	}, nil
+	return conn, nil
 }
 
-// Close closes the underlying connection.
+// handshake negotiates features on a fresh connection. On success with
+// the mux bit granted it switches the client into multiplexed mode and
+// starts the demux loop; with the bit refused the client stays serial
+// on the same connection.
+func (c *Client) handshake() error {
+	if err := c.conn.SetDeadline(time.Now().Add(c.opts.DialTimeout)); err != nil {
+		return err
+	}
+	if err := wire.WriteMessage(c.bw, &wire.Hello{Features: wire.FeatureMux}); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	resp, err := wire.ReadMessage(c.br)
+	if err != nil {
+		return err
+	}
+	ack, ok := resp.(*wire.HelloAck)
+	if !ok {
+		return fmt.Errorf("qclient: unexpected handshake response %v", resp.WireType())
+	}
+	if err := c.conn.SetDeadline(time.Time{}); err != nil {
+		return err
+	}
+	if ack.Features&wire.FeatureMux != 0 {
+		c.muxed = true
+		c.pending = make(map[uint64]chan wire.Message)
+		c.demuxDone = make(chan struct{})
+		go c.demux()
+	}
+	return nil
+}
+
+// Muxed reports whether the multiplexed session mode was negotiated.
+func (c *Client) Muxed() bool { return c.muxed }
+
+// Discarded returns how many late replies to abandoned requests the
+// demux loop has dropped on this connection.
+func (c *Client) Discarded() int64 { return c.discarded.Load() }
+
+// Close closes the underlying connection. It never waits for in-flight
+// requests: closing the connection out-of-band is what interrupts
+// them.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
 		return nil
 	}
-	err := c.conn.Close()
+	c.closed = true
+	conn := c.conn
 	c.conn = nil
-	return err
+	c.connMu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
 }
 
 // ErrClosed is returned for requests on a closed client.
@@ -123,58 +233,105 @@ func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
 	return c.roundTripCtx(context.Background(), req)
 }
 
-// roundTripCtx is roundTrip with the connection deadline tightened to
-// the context's deadline when that is sooner. Cancellation without a
-// deadline is honored between requests only — the server owns
-// mid-query cancellation via the DeadlineMS frame field.
-func (c *Client) roundTripCtx(ctx context.Context, req wire.Message) (wire.Message, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil, ErrClosed
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("qclient: %w: %w", core.ErrCanceled, err)
-	}
+// waitDeadline computes how long to keep listening for a reply: the
+// request timeout, or the context deadline plus a grace window when the
+// context carries one.
+//
+// An explicit context deadline overrides RequestTimeout in both
+// directions: the server enforces it inside the query (it rides the
+// frame as DeadlineMS) and then sends a typed reply carrying the
+// best-known bound. Its timer starts at frame receipt, so the reply
+// lands shortly *after* our deadline plus a network round trip — keep
+// listening for that grace window rather than losing the degraded
+// answer to a client timeout (or, for deadlines beyond RequestTimeout,
+// abandoning a reply the server was explicitly told it had time to
+// produce). The wait is capped at the protocol's deadline window:
+// DeadlineMS is clamped to wire.MaxDeadlineMS on send, so waiting
+// longer than that only risks blocking on a dead server.
+func (c *Client) waitDeadline(ctx context.Context) time.Time {
 	deadline := time.Now().Add(c.opts.RequestTimeout)
 	if d, ok := ctx.Deadline(); ok {
-		// An explicit context deadline overrides RequestTimeout in both
-		// directions: the server enforces it inside the query (it rides
-		// the frame as DeadlineMS) and then sends a typed reply carrying
-		// the best-known bound. Its timer starts at frame receipt, so
-		// the reply lands shortly *after* our deadline plus a network
-		// round trip — keep listening for that grace window rather than
-		// losing the degraded answer to a client i/o timeout (or, for
-		// deadlines beyond RequestTimeout, abandoning a reply the server
-		// was explicitly told it had time to produce). The wait is
-		// capped at the protocol's deadline window: DeadlineMS is
-		// clamped to wire.MaxDeadlineMS on send, so waiting longer than
-		// that only risks blocking on a dead server.
 		deadline = d.Add(deadlineGrace)
 		if cap := time.Now().Add(wire.MaxDeadlineMS*time.Millisecond + deadlineGrace); deadline.After(cap) {
 			deadline = cap
 		}
 	}
-	if err := c.conn.SetDeadline(deadline); err != nil {
+	return deadline
+}
+
+// roundTripCtx routes one request through the negotiated transport
+// mode. Context cancellation is honored mid-flight in both modes: a
+// fired context interrupts the serial read (and tears that connection
+// down), while a multiplexed request just abandons its id.
+func (c *Client) roundTripCtx(ctx context.Context, req wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qclient: %w: %w", core.ErrCanceled, err)
+	}
+	if c.muxed {
+		return c.muxRoundTrip(ctx, req)
+	}
+	return c.serialRoundTrip(ctx, req)
+}
+
+// serialRoundTrip is the v1 path: one request, then its response, on a
+// connection this goroutine owns for the duration. The connection
+// identity is read under connMu but I/O happens outside it, so Close —
+// and a mid-flight context cancellation, which wakes the blocked read
+// by expiring the connection deadline — interrupt rather than queue.
+func (c *Client) serialRoundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	c.connMu.Lock()
+	conn := c.conn
+	c.connMu.Unlock()
+	if conn == nil {
+		return nil, ErrClosed
+	}
+	if err := conn.SetDeadline(c.waitDeadline(ctx)); err != nil {
 		return nil, err
 	}
-	if err := wire.WriteMessage(c.bw, req); err != nil {
-		c.closeLocked()
-		return nil, fmt.Errorf("qclient: write: %w", err)
+	// Watch for mid-flight cancellation — with or without a deadline.
+	// Expiring the connection deadline wakes the blocked read; the
+	// serial stream is desynced either way, so the usual teardown
+	// applies and the caller gets the taxonomy's canceled error.
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = conn.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+	}
+	fail := func(op string, err error) (wire.Message, error) {
+		c.teardown(conn)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("qclient: %s: %w: %w", op, core.ErrCanceled, ctxErr)
+		}
+		return nil, fmt.Errorf("qclient: %s: %w", op, err)
+	}
+	c.wbuf = wire.AppendFrame(c.wbuf[:0], req)
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return fail("write", err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		c.closeLocked()
-		return nil, fmt.Errorf("qclient: flush: %w", err)
+		return fail("flush", err)
 	}
-	resp, err := wire.ReadMessage(c.br)
+	payload, rbuf, err := wire.ReadFrame(c.br, c.rbuf)
+	c.rbuf = rbuf
 	if err != nil {
-		// The protocol has no request ids: after a failed or timed-out
-		// read the server's reply may still arrive later and would be
-		// mistaken for the answer to the *next* request. Close the
-		// connection so a desynced stream can never serve stale
+		// The serial protocol has no request ids: after a failed or
+		// timed-out read the server's reply may still arrive later and
+		// would be mistaken for the answer to the *next* request. Close
+		// the connection so a desynced stream can never serve stale
 		// answers.
-		c.closeLocked()
-		return nil, fmt.Errorf("qclient: read: %w", err)
+		return fail("read", err)
+	}
+	resp, err := wire.Unmarshal(payload)
+	if err != nil {
+		return fail("read", err)
 	}
 	if e, ok := resp.(*wire.ErrorResponse); ok {
 		return nil, typedError(e)
@@ -182,20 +339,153 @@ func (c *Client) roundTripCtx(ctx context.Context, req wire.Message) (wire.Messa
 	return resp, nil
 }
 
-// closeLocked tears down the connection (caller holds c.mu).
-func (c *Client) closeLocked() {
+// muxRoundTrip issues one request on a multiplexed session: allocate an
+// id, register its reply channel, write the frame, and wait. A timeout
+// or cancellation abandons the id — the connection stays healthy and
+// the late reply is discarded by the demux loop when it arrives.
+func (c *Client) muxRoundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
+	c.connMu.Lock()
+	conn := c.conn
+	c.connMu.Unlock()
+	if conn == nil {
+		return nil, ErrClosed
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan wire.Message, 1)
+	c.pendMu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.pendMu.Unlock()
+		return nil, fmt.Errorf("qclient: read: %w", err)
+	}
+	c.pending[id] = ch
+	c.pendMu.Unlock()
+
+	c.reqMu.Lock()
+	_ = conn.SetWriteDeadline(time.Now().Add(c.opts.RequestTimeout))
+	c.wbuf = wire.AppendMuxFrame(c.wbuf[:0], id, req)
+	_, err := c.bw.Write(c.wbuf)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.reqMu.Unlock()
+	if err != nil {
+		// A half-written frame corrupts the stream for every request on
+		// it: fail the whole session.
+		c.abandon(id)
+		c.failMux(err)
+		return nil, fmt.Errorf("qclient: write: %w", err)
+	}
+
+	timer := time.NewTimer(time.Until(c.waitDeadline(ctx)))
+	defer timer.Stop()
+	ctxDone := ctx.Done()
+	for {
+		select {
+		case resp := <-ch:
+			if e, ok := resp.(*wire.ErrorResponse); ok {
+				return nil, typedError(e)
+			}
+			return resp, nil
+		case <-ctxDone:
+			if errors.Is(ctx.Err(), context.Canceled) {
+				c.abandon(id)
+				return nil, fmt.Errorf("qclient: %w: %w", core.ErrCanceled, ctx.Err())
+			}
+			// Deadline passed: the server was told (DeadlineMS) and owes
+			// a typed reply carrying the best-known bound — keep
+			// listening until the grace timer instead of abandoning the
+			// degraded answer.
+			ctxDone = nil
+		case <-timer.C:
+			c.abandon(id)
+			return nil, fmt.Errorf("qclient: request timed out: %w", os.ErrDeadlineExceeded)
+		case <-c.demuxDone:
+			c.pendMu.Lock()
+			err := c.readErr
+			c.pendMu.Unlock()
+			return nil, fmt.Errorf("qclient: read: %w", err)
+		}
+	}
+}
+
+// abandon forgets an in-flight request id; the demux loop discards its
+// reply if one ever arrives.
+func (c *Client) abandon(id uint64) {
+	c.pendMu.Lock()
+	delete(c.pending, id)
+	c.pendMu.Unlock()
+}
+
+// demux is the multiplexed session's read loop: it routes each reply to
+// the channel registered under its id, and drops replies whose id was
+// abandoned. Any read error is fatal to the session — waiters learn of
+// it through demuxDone.
+func (c *Client) demux() {
+	var buf []byte
+	for {
+		id, payload, nb, err := wire.ReadMuxFrame(c.br, buf)
+		buf = nb
+		if err != nil {
+			c.failMux(err)
+			return
+		}
+		msg, err := wire.Unmarshal(payload)
+		if err != nil {
+			c.failMux(err)
+			return
+		}
+		c.pendMu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.pendMu.Unlock()
+		if !ok {
+			c.discarded.Add(1)
+			continue
+		}
+		ch <- msg // buffered; the demux loop never blocks on a waiter
+	}
+}
+
+// failMux marks the multiplexed session dead: records the first error,
+// wakes every waiter, and closes the connection so Alive turns false
+// and Pool redials.
+func (c *Client) failMux(err error) {
+	c.pendMu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+		close(c.demuxDone)
+	}
+	c.pendMu.Unlock()
+	c.connMu.Lock()
 	if c.conn != nil {
 		_ = c.conn.Close()
 		c.conn = nil
 	}
+	c.connMu.Unlock()
+}
+
+// teardown closes a serial connection after an I/O failure (the desync
+// guard). It only acts if conn is still the client's current
+// connection.
+func (c *Client) teardown(conn net.Conn) {
+	c.connMu.Lock()
+	if c.conn == conn {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	c.connMu.Unlock()
 }
 
 // Alive reports whether the client still holds a live connection (the
-// desync guard tears connections down after i/o failures; Pool uses
-// this to redial instead of recycling dead clients).
+// serial desync guard and the mux session-failure path both tear dead
+// connections down; Pool uses this to redial instead of recycling dead
+// clients).
 func (c *Client) Alive() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
 	return c.conn != nil
 }
 
@@ -428,7 +718,10 @@ func (c *Client) Ping() (time.Duration, error) {
 // pooled client whose connection died (the desync guard closes on any
 // i/o failure) is transparently redialed at the next borrow, so one
 // transient timeout degrades a single request instead of permanently
-// shrinking the pool.
+// shrinking the pool. Multiplexed clients (Options.Mux) are handed out
+// shared rather than exclusively: many callers can run in flight on
+// one connection at once, so the pool size caps connections, not
+// concurrency.
 type Pool struct {
 	addr    string
 	opts    Options
@@ -460,10 +753,15 @@ func NewPool(addr string, size int, opts Options) (*Pool, error) {
 // dead client goes back to the pool — its slot stays usable for the
 // next attempt — and the dial error is reported. A cancellation while
 // waiting reports through the taxonomy (errors.Is core.ErrCanceled).
+// A multiplexed client's slot returns to the pool immediately, so
+// concurrent borrowers share the connection instead of queueing.
 func (p *Pool) borrow(ctx context.Context) (*Client, error) {
 	select {
 	case c := <-p.clients:
 		if c.Alive() {
+			if c.Muxed() {
+				p.clients <- c
+			}
 			return c, nil
 		}
 		nc, err := Dial(p.addr, p.opts)
@@ -481,14 +779,23 @@ func (p *Pool) borrow(ctx context.Context) (*Client, error) {
 			}
 		}
 		p.mu.Unlock()
+		if nc.Muxed() {
+			p.clients <- nc
+		}
 		return nc, nil
 	case <-ctx.Done():
 		return nil, fmt.Errorf("qclient: %w: %w", core.ErrCanceled, ctx.Err())
 	}
 }
 
-// release returns a client to the pool.
-func (p *Pool) release(c *Client) { p.clients <- c }
+// release returns a client to the pool. Multiplexed clients were never
+// removed — their slot went straight back at borrow time.
+func (p *Pool) release(c *Client) {
+	if c.Muxed() {
+		return
+	}
+	p.clients <- c
+}
 
 // Distance borrows a client for one distance query. ctx bounds the wait
 // for a free connection (the request itself uses the client timeout).

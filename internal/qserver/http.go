@@ -396,6 +396,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Epoch        uint64                  `json:"epoch"`
 		InFlight     int64                   `json:"in_flight"`
 		Shed         int64                   `json:"shed"`
+		MuxConns     int64                   `json:"mux_conns"`
 		Latency      map[string]LatencyStats `json:"latency,omitempty"`
 	}
 	writeJSON(w, http.StatusOK, resp{
@@ -415,6 +416,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Epoch:        s.epoch.Load(),
 		InFlight:     s.inFlight.Load(),
 		Shed:         s.shed.Load(),
+		MuxConns:     s.muxConns.Load(),
 		Latency:      s.latencyStats(),
 	})
 }

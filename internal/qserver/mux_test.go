@@ -1,0 +1,457 @@
+package qserver
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vicinity/internal/core"
+	"vicinity/internal/qclient"
+	"vicinity/internal/wire"
+)
+
+// TestMuxNegotiationAndRoundTrip pins the hello handshake end to end:
+// a mux-dialed client negotiates the feature, the server counts the
+// session, and every request shape answers correctly over id-carrying
+// frames.
+func TestMuxNegotiationAndRoundTrip(t *testing.T) {
+	s, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{Mux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Muxed() {
+		t.Fatal("mux feature not negotiated against a default server")
+	}
+	if got := s.Metrics().MuxConns; got != 1 {
+		t.Fatalf("MuxConns = %d, want 1", got)
+	}
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := c.Distance(3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD, _, err := s.Oracle().Distance(3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != wantD {
+		t.Fatalf("muxed distance %d, want %d", d, wantD)
+	}
+	p, _, err := c.Path(3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) == 0 || p[0] != 3 || p[len(p)-1] != 77 {
+		t.Fatalf("muxed path endpoints wrong: %v", p)
+	}
+	items, err := c.Batch(1, []uint32{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("batch items = %d", len(items))
+	}
+	res, err := c.Query(context.Background(), qclient.QuerySpec{S: 5, T: 9, WantPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || res.Items[0].Err != nil {
+		t.Fatalf("muxed v2 query: %+v", res.Items)
+	}
+	c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Metrics().MuxConns != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("MuxConns did not drop to 0 after close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMuxDisabledServerStaysSerial pins the negotiation-refused path: a
+// DisableMux server acknowledges the hello without granting the bit,
+// and the same connection keeps serving serially.
+func TestMuxDisabledServerStaysSerial(t *testing.T) {
+	s, addr := startServer(t, Config{DisableMux: true})
+	c, err := qclient.Dial(addr, qclient.Options{Mux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Muxed() {
+		t.Fatal("mux negotiated against a DisableMux server")
+	}
+	if _, _, err := c.Distance(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().MuxConns; got != 0 {
+		t.Fatalf("MuxConns = %d, want 0", got)
+	}
+	// One connection total: the refused handshake must not redial.
+	if got := s.Metrics().TotalConns; got != 1 {
+		t.Fatalf("TotalConns = %d, want 1", got)
+	}
+}
+
+// TestMuxOutOfOrderCompletion is the head-of-line proof at the protocol
+// level: a v2 query held in flight by the test hook does not block a
+// distance request issued after it on the same connection.
+func TestMuxOutOfOrderCompletion(t *testing.T) {
+	release := make(chan struct{})
+	var held atomic.Int32
+	cfg := Config{testHookQuery: func(ctx context.Context) {
+		if held.Add(1) == 1 {
+			<-release
+		}
+	}}
+	_, addr := startServer(t, cfg)
+	c, err := qclient.Dial(addr, qclient.Options{Mux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Muxed() {
+		t.Fatal("mux not negotiated")
+	}
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := c.Query(context.Background(), qclient.QuerySpec{S: 3, T: 77})
+		slowDone <- err
+	}()
+	// Wait until the slow query is parked inside the server.
+	deadline := time.Now().Add(2 * time.Second)
+	for held.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The fast request must complete while the slow one is still held.
+	fastDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Distance(1, 2)
+		fastDone <- err
+	}()
+	select {
+	case err := <-fastDone:
+		if err != nil {
+			t.Fatalf("fast distance behind held query: %v", err)
+		}
+	case err := <-slowDone:
+		t.Fatalf("slow query finished first (err=%v): no out-of-order completion", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast request blocked behind held query: head-of-line blocking")
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow query after release: %v", err)
+	}
+}
+
+// TestMuxAbandonedRequestKeepsConnection pins the headline bugfix: a
+// canceled in-flight request abandons its id, the connection survives,
+// the next request works, and the late reply is discarded when the
+// server eventually answers.
+func TestMuxAbandonedRequestKeepsConnection(t *testing.T) {
+	release := make(chan struct{})
+	var held atomic.Int32
+	cfg := Config{testHookQuery: func(ctx context.Context) {
+		if held.Add(1) == 1 {
+			<-release
+		}
+	}}
+	s, addr := startServer(t, cfg)
+	c, err := qclient.Dial(addr, qclient.Options{Mux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Query(ctx, qclient.QuerySpec{S: 3, T: 77})
+		errCh <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for held.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("canceled in-flight request: err = %v, want core.ErrCanceled", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancellation not honored mid-flight")
+	}
+	// The connection survived the abandonment: the next request works
+	// on the same conn — no teardown, no redial.
+	if !c.Alive() {
+		t.Fatal("client dead after an abandoned request")
+	}
+	if _, _, err := c.Distance(1, 2); err != nil {
+		t.Fatalf("request after abandonment: %v", err)
+	}
+	if got := s.Metrics().TotalConns; got != 1 {
+		t.Fatalf("TotalConns = %d, want 1 (abandonment must not redial)", got)
+	}
+	// Let the held query finish; its reply arrives under the abandoned
+	// id and must be discarded, not matched to anything.
+	close(release)
+	deadline = time.Now().Add(2 * time.Second)
+	for c.Discarded() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("late reply to the abandoned id never discarded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, _, err := c.Distance(5, 9); err != nil {
+		t.Fatalf("request after discarding a late reply: %v", err)
+	}
+}
+
+// TestMuxTinyDeadlineThenNormalQuery is the acceptance pin: a
+// tiny-deadline query (forced to hit its deadline by the hook) comes
+// back as a typed per-item error, and a normal query follows on the
+// same connection.
+func TestMuxTinyDeadlineThenNormalQuery(t *testing.T) {
+	cfg := Config{testHookQuery: func(ctx context.Context) {
+		// Park deadline-carrying queries until their deadline fires;
+		// wave everything else straight through.
+		if _, ok := ctx.Deadline(); ok {
+			<-ctx.Done()
+		}
+	}}
+	srv, addr, s, u := startGridServer(t, cfg)
+	c, err := qclient.Dial(addr, qclient.Options{Mux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	res, err := c.Query(ctx, qclient.QuerySpec{S: s, T: u})
+	if err != nil {
+		t.Fatalf("tiny-deadline query must degrade per-item, got call error %v", err)
+	}
+	if len(res.Items) != 1 || !errors.Is(res.Items[0].Err, core.ErrCanceled) {
+		t.Fatalf("tiny-deadline item = %+v, want ErrCanceled", res.Items)
+	}
+	res, err = c.Query(context.Background(), qclient.QuerySpec{S: s, T: u})
+	if err != nil || res.Items[0].Err != nil {
+		t.Fatalf("normal query after tiny-deadline: res=%+v err=%v", res, err)
+	}
+	if got := srv.Metrics().TotalConns; got != 1 {
+		t.Fatalf("TotalConns = %d, want 1 (deadline must not kill the connection)", got)
+	}
+}
+
+// TestMuxMalformedPayloadFailsOnlyThatRequest drives the raw protocol:
+// a well-framed request with a garbage payload gets an error under its
+// id, and the session keeps serving.
+func TestMuxMalformedPayloadFailsOnlyThatRequest(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if err := wire.WriteMessage(conn, &wire.Hello{Features: wire.FeatureMux}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := ack.(*wire.HelloAck); !ok || a.Features&wire.FeatureMux == 0 {
+		t.Fatalf("handshake reply %+v", ack)
+	}
+	// Frame 1: valid framing, bad payload version.
+	bad := []byte{0, 0, 0, 10, 0, 0, 0, 0, 0, 0, 0, 7, 99, 1}
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	id, payload, _, err := wire.ReadMuxFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 {
+		t.Fatalf("error reply under id %d, want 7", id)
+	}
+	msg, err := wire.Unmarshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(*wire.ErrorResponse); !ok || e.Code != wire.CodeBadRequest {
+		t.Fatalf("reply = %+v, want bad-request error", msg)
+	}
+	// Frame 2: the session is still healthy.
+	if _, err := conn.Write(wire.AppendMuxFrame(nil, 8, &wire.PingRequest{Token: 5})); err != nil {
+		t.Fatal(err)
+	}
+	id, payload, _, err = wire.ReadMuxFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 8 {
+		t.Fatalf("pong under id %d, want 8", id)
+	}
+	if pong, err := wire.Unmarshal(payload); err != nil {
+		t.Fatal(err)
+	} else if p, ok := pong.(*wire.PingResponse); !ok || p.Token != 5 {
+		t.Fatalf("pong = %+v", pong)
+	}
+}
+
+// TestMuxVsSerialBitIdentical compares every answer shape across the
+// two transport modes on the same oracle: answers must be
+// bit-identical — the mux changes scheduling, never results.
+func TestMuxVsSerialBitIdentical(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	serial, err := qclient.Dial(addr, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	muxed, err := qclient.Dial(addr, qclient.Options{Mux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer muxed.Close()
+	if !muxed.Muxed() {
+		t.Fatal("mux not negotiated")
+	}
+	for pair := 0; pair < 20; pair++ {
+		s, u := uint32(pair*7%400), uint32((pair*31+5)%400)
+		ds, ms, err := serial.Distance(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, mm, err := muxed.Distance(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds != dm || ms != mm {
+			t.Fatalf("pair (%d,%d): serial (%d,%d) != muxed (%d,%d)", s, u, ds, ms, dm, mm)
+		}
+		ps, _, err := serial.Path(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, _, err := muxed.Path(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ps, pm) {
+			t.Fatalf("pair (%d,%d): paths diverge: %v vs %v", s, u, ps, pm)
+		}
+	}
+	ts := []uint32{1, 5, 9, 200, 399}
+	bs, err := serial.Batch(2, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := muxed.Batch(2, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bs, bm) {
+		t.Fatalf("batch answers diverge: %+v vs %+v", bs, bm)
+	}
+}
+
+// TestMuxSharedClientStressWithChurn is the -race stress from the
+// issue: N goroutines share one muxed client while ApplyUpdates churns
+// the snapshot underneath. Every request must come back either with a
+// valid answer or a taxonomy error — never a transport failure.
+func TestMuxSharedClientStressWithChurn(t *testing.T) {
+	s, addr := startServer(t, Config{})
+	c, err := qclient.Dial(addr, qclient.Options{Mux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Muxed() {
+		t.Fatal("mux not negotiated")
+	}
+	stop := make(chan struct{})
+	var churnWg sync.WaitGroup
+	churnWg.Add(1)
+	go func() {
+		defer churnWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := core.Update{Edges: [][2]uint32{{uint32(i % 400), uint32((i*13 + 7) % 400)}}}
+			if _, _, err := s.ApplyUpdates(u); err != nil {
+				// Self-edges and duplicates are rejected; that churn
+				// pattern is fine, keep going.
+				continue
+			}
+		}
+	}()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				sN, tN := uint32((w*41+i)%400), uint32((i*17+w)%400)
+				switch i % 3 {
+				case 0:
+					if _, _, err := c.Distance(sN, tN); err != nil {
+						errs <- fmt.Errorf("worker %d distance: %w", w, err)
+						return
+					}
+				case 1:
+					res, err := c.Query(context.Background(), qclient.QuerySpec{S: sN, T: tN, WantPath: true})
+					if err != nil {
+						errs <- fmt.Errorf("worker %d query: %w", w, err)
+						return
+					}
+					if len(res.Items) != 1 {
+						errs <- fmt.Errorf("worker %d query: %d items", w, len(res.Items))
+						return
+					}
+				case 2:
+					if _, err := c.Batch(sN, []uint32{tN, (tN + 1) % 400}); err != nil {
+						errs <- fmt.Errorf("worker %d batch: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	churnWg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if got := s.Metrics().TotalConns; got != 1 {
+		t.Fatalf("TotalConns = %d, want 1 (stress must share one connection)", got)
+	}
+}

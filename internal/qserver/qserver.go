@@ -59,6 +59,18 @@ type Config struct {
 	// client may ask for via the wire Parallel knob (0 = number of CPUs;
 	// negative disables client-requested parallelism).
 	MaxBatchParallel int
+	// DisableMux refuses the multiplexed session mode: hello frames are
+	// still acknowledged (the type is known) but the mux feature bit is
+	// never granted, so every connection stays strictly
+	// one-request-one-response. Interop tests use it to stand in for a
+	// serial-only peer.
+	DisableMux bool
+	// MaxConnWorkers bounds concurrent request workers per multiplexed
+	// connection (0 = 32). When all workers are busy the connection's
+	// reader stops pulling frames, so backpressure reaches the client
+	// through TCP instead of unbounded goroutine growth. Server-wide
+	// admission control (MaxInFlight) still applies on top.
+	MaxConnWorkers int
 
 	// testHookQuery, when non-nil, runs at the start of every v2 query
 	// with the request context. Tests use it to hold a request in
@@ -80,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchParallel == 0 {
 		c.MaxBatchParallel = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxConnWorkers <= 0 {
+		c.MaxConnWorkers = 32
+	}
 	return c
 }
 
@@ -95,6 +110,7 @@ type Metrics struct {
 	Epoch        uint64 // current oracle epoch (0 = as built/loaded)
 	InFlight     int64  // queries being answered right now
 	Shed         int64  // queries degraded to PolicyEstimate by admission control
+	MuxConns     int64  // connections currently in multiplexed session mode
 }
 
 // Endpoint indexes the per-endpoint latency histograms: the four query
@@ -160,6 +176,7 @@ type Server struct {
 	epoch        atomic.Uint64
 	inFlight     atomic.Int64
 	shed         atomic.Int64
+	muxConns     atomic.Int64
 
 	lat [numEndpoints]lhist.Hist // per-endpoint service latency (ns)
 }
@@ -242,6 +259,7 @@ func (s *Server) Metrics() Metrics {
 		Epoch:        s.epoch.Load(),
 		InFlight:     s.inFlight.Load(),
 		Shed:         s.shed.Load(),
+		MuxConns:     s.muxConns.Load(),
 	}
 }
 
@@ -364,7 +382,12 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// handleConn serves one connection: a loop of read request → answer.
+// handleConn serves one connection. It starts in the v1 serial mode —
+// a loop of read request → answer — and upgrades to the multiplexed
+// session (serveMux) when the client's hello frame negotiates the mux
+// feature. Frames are read into and written from per-connection
+// reusable buffers, so the steady-state fixed-size request path stays
+// allocation-free.
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -380,11 +403,17 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	br := bufio.NewReaderSize(conn, 4096)
 	bw := bufio.NewWriterSize(conn, 4096)
+	var rbuf, wbuf []byte
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return
 		}
-		req, err := wire.ReadMessage(br)
+		payload, nb, err := wire.ReadFrame(br, rbuf)
+		rbuf = nb
+		var req wire.Message
+		if err == nil {
+			req, err = wire.Unmarshal(payload)
+		}
 		if err != nil {
 			// EOF and timeouts are normal connection ends; protocol
 			// errors get a final error frame on a best-effort basis.
@@ -397,11 +426,40 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.dispatch(req)
+		var resp wire.Message
+		if h, ok := req.(*wire.Hello); ok {
+			// Feature negotiation: grant the intersection of what the
+			// client offers and what this server supports. A serial-only
+			// configuration still acknowledges the hello — the type is
+			// known — it just never grants the mux bit.
+			feats := h.Features & wire.KnownFeatures
+			if s.cfg.DisableMux {
+				feats &^= wire.FeatureMux
+			}
+			resp = &wire.HelloAck{Features: feats}
+			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+				return
+			}
+			wbuf = wire.AppendFrame(wbuf[:0], resp)
+			if _, err := bw.Write(wbuf); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			s.bytesWritten.Add(1)
+			if feats&wire.FeatureMux != 0 {
+				s.serveMux(conn, br, bw)
+				return
+			}
+			continue
+		}
+		resp = s.dispatch(s.baseCtx, req)
 		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 			return
 		}
-		if err := wire.WriteMessage(bw, resp); err != nil {
+		wbuf = wire.AppendFrame(wbuf[:0], resp)
+		if _, err := bw.Write(wbuf); err != nil {
 			s.logf("qserver: write to %v: %v", conn.RemoteAddr(), err)
 			return
 		}
@@ -412,6 +470,115 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// muxCompletion pairs a finished response with the request id it must
+// echo on the wire.
+type muxCompletion struct {
+	id   uint64
+	resp wire.Message
+}
+
+// serveMux runs one connection's multiplexed session: a reader loop
+// (this goroutine) pulling id-carrying frames, a bounded pool of
+// per-request workers, and a single writer goroutine draining a
+// completion channel — so a slow batch or budgeted fallback no longer
+// head-of-line-blocks the pings and singles sharing the connection.
+//
+// Ordering guarantee: responses are written in completion order, one
+// whole frame at a time, by the single writer — frames never
+// interleave, but ids may appear in any order relative to requests.
+// The connection context descends from the server's base context and
+// is canceled when the reader exits, so a client disconnect cancels
+// every in-flight search on that connection.
+func (s *Server) serveMux(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+	s.muxConns.Add(1)
+	defer s.muxConns.Add(-1)
+	connCtx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	out := make(chan muxCompletion, s.cfg.MaxConnWorkers)
+	writerDone := make(chan struct{})
+	var writeFailed atomic.Bool
+	go func() {
+		defer close(writerDone)
+		var buf []byte
+		for c := range out {
+			if writeFailed.Load() {
+				continue // dead pipe: keep draining so workers never block
+			}
+			buf = wire.AppendMuxFrame(buf[:0], c.id, c.resp)
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if _, err := bw.Write(buf); err != nil {
+				writeFailed.Store(true)
+				cancel() // no one is listening: stop in-flight searches
+				continue
+			}
+			// Flush only when nothing else is queued: completions that
+			// pile up while the kernel buffer drains coalesce into one
+			// syscall without adding latency to a lone response.
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					writeFailed.Store(true)
+					cancel()
+					continue
+				}
+			}
+			s.bytesWritten.Add(1)
+		}
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		inflight atomic.Int64
+		workers  = make(chan struct{}, s.cfg.MaxConnWorkers)
+		rbuf     []byte
+	)
+	for {
+		// The idle timeout is enforced on a non-consuming Peek so a
+		// deadline can never fire halfway through a frame and desync the
+		// stream; a connection with work still in flight is not idle.
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			break
+		}
+		if _, err := br.Peek(1); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && inflight.Load() > 0 {
+				continue
+			}
+			break
+		}
+		id, payload, nb, err := wire.ReadMuxFrame(br, rbuf)
+		rbuf = nb
+		if err != nil {
+			break // framing is unrecoverable: no id to answer under
+		}
+		req, err := wire.Unmarshal(payload)
+		if err != nil {
+			// A malformed payload inside a well-framed request fails only
+			// that request: the id is known, so answer under it.
+			s.errCount.Add(1)
+			out <- muxCompletion{id, &wire.ErrorResponse{
+				Code: wire.CodeBadRequest, Message: err.Error(),
+			}}
+			continue
+		}
+		workers <- struct{}{} // backpressure: stop reading at the cap
+		wg.Add(1)
+		inflight.Add(1)
+		go func(id uint64, req wire.Message) {
+			defer func() {
+				inflight.Add(-1)
+				<-workers
+				wg.Done()
+			}()
+			out <- muxCompletion{id, s.dispatch(connCtx, req)}
+		}(id, req)
+	}
+	cancel() // reader gone: cancel in-flight searches, then drain them
+	wg.Wait()
+	close(out)
+	<-writerDone
+}
+
 func isProtocolError(err error) bool {
 	return errors.Is(err, wire.ErrFrameTooLarge) ||
 		errors.Is(err, wire.ErrBadVersion) ||
@@ -420,8 +587,10 @@ func isProtocolError(err error) bool {
 
 // dispatch answers a single request message. The oracle snapshot is
 // pinned once per request, so a concurrent update swap cannot split one
-// query across epochs.
-func (s *Server) dispatch(req wire.Message) wire.Message {
+// query across epochs. ctx parents any search the request runs: the
+// serial loop passes the server's base context, the multiplexed path a
+// per-connection context canceled when the client goes away.
+func (s *Server) dispatch(ctx context.Context, req wire.Message) wire.Message {
 	s.bytesRead.Add(1)
 	oracle := s.oracle.Load()
 	switch m := req.(type) {
@@ -471,7 +640,7 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 		return &wire.BatchResponse{Items: items}
 
 	case *wire.QueryRequest:
-		return s.dispatchQuery(oracle, m)
+		return s.dispatchQuery(ctx, oracle, m)
 
 	case *wire.StatsRequest:
 		st := oracle.Stats()
@@ -495,12 +664,12 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 }
 
 // dispatchQuery answers a v2 request-scoped query frame. The request
-// context descends from the server's base context (so a forced
-// shutdown cancels in-flight searches) with the frame's relative
-// deadline applied on top; budget/cancel outcomes come back as
+// context descends from the caller's (which itself descends from the
+// server's base context, so a forced shutdown cancels in-flight
+// searches) with the frame's relative deadline applied on top; budget/cancel outcomes come back as
 // per-item codes so the best-known bound survives the wire, while
 // validation failures keep the v1 ErrorResponse shape.
-func (s *Server) dispatchQuery(oracle *core.Oracle, m *wire.QueryRequest) wire.Message {
+func (s *Server) dispatchQuery(ctx context.Context, oracle *core.Oracle, m *wire.QueryRequest) wire.Message {
 	many := m.Flags&wire.QueryMany != 0
 	// Validate before counting, so rejected frames do not inflate
 	// queries_served; the HTTP layer enforces the same limits.
@@ -533,7 +702,6 @@ func (s *Server) dispatchQuery(oracle *core.Oracle, m *wire.QueryRequest) wire.M
 	}
 	policy, leave := s.admit(core.Policy(m.Policy))
 	defer leave()
-	ctx := s.baseCtx
 	if m.DeadlineMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(m.DeadlineMS)*time.Millisecond)

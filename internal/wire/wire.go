@@ -14,8 +14,27 @@
 // capped at MaxFrame to bound the damage a malicious or broken peer can
 // do; oversized or malformed frames produce errors, never panics.
 //
-// The protocol is strictly request/response: a client writes one request
-// frame and reads exactly one response frame.
+// The base protocol is strictly request/response: a client writes one
+// request frame and reads exactly one response frame.
+//
+// # Multiplexed sessions
+//
+// A client may open the connection with a Hello frame advertising
+// FeatureMux. A server that supports it answers HelloAck echoing the
+// accepted feature bits, and from then on every frame in both
+// directions is a mux frame:
+//
+//	uint32(BE) length | uint64(BE) request id | payload
+//
+// where length covers the id and the payload, and the payload is the
+// ordinary versioned payload above — the codecs are byte-for-byte the
+// ones the serial protocol uses. Request ids are chosen by the client
+// (any values, typically a counter); the server echoes each request's
+// id on its response and may complete requests in any order, so a slow
+// batch no longer head-of-line-blocks the pings and singles sharing
+// its connection. A peer that does not know Hello keeps working
+// unchanged: it never sees a mux frame unless it acknowledged the
+// feature first.
 package wire
 
 import (
@@ -50,7 +69,20 @@ const (
 	TypeBatchResp    MsgType = 12
 	TypeQueryReq     MsgType = 13
 	TypeQueryResp    MsgType = 14
+	TypeHello        MsgType = 15
+	TypeHelloAck     MsgType = 16
 )
+
+// Feature bits negotiated by Hello/HelloAck.
+const (
+	// FeatureMux switches the connection to multiplexed framing (every
+	// frame carries a request id; responses may complete out of order).
+	FeatureMux uint32 = 1 << 0
+)
+
+// KnownFeatures masks the feature bits this package implements; a
+// server acknowledges at most these, so both sides agree on semantics.
+const KnownFeatures = FeatureMux
 
 // MaxBatchTargets caps one batch request's target count, keeping the
 // response frame (7 bytes per item) comfortably under MaxFrame.
@@ -91,6 +123,10 @@ func (t MsgType) String() string {
 		return "query-request"
 	case TypeQueryResp:
 		return "query-response"
+	case TypeHello:
+		return "hello"
+	case TypeHelloAck:
+		return "hello-ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -241,6 +277,18 @@ type QueryResponse struct {
 	Items     []QueryItem
 }
 
+// Hello opens feature negotiation. A client sends it as the first
+// frame on a connection; Features is the bitmask of extensions it
+// wants (FeatureMux today). Servers that predate Hello reject or drop
+// it, which a client must treat as "no features" — the serial protocol
+// remains the lingua franca.
+type Hello struct{ Features uint32 }
+
+// HelloAck answers a Hello with the feature bits the server accepted
+// (a subset of the request's). If FeatureMux is acknowledged, every
+// frame after the HelloAck — in both directions — uses mux framing.
+type HelloAck struct{ Features uint32 }
+
 // PingRequest is a liveness probe; the token round-trips.
 type PingRequest struct{ Token uint64 }
 
@@ -269,6 +317,8 @@ func (*BatchRequest) WireType() MsgType     { return TypeBatchReq }
 func (*BatchResponse) WireType() MsgType    { return TypeBatchResp }
 func (*QueryRequest) WireType() MsgType     { return TypeQueryReq }
 func (*QueryResponse) WireType() MsgType    { return TypeQueryResp }
+func (*Hello) WireType() MsgType            { return TypeHello }
+func (*HelloAck) WireType() MsgType         { return TypeHelloAck }
 func (*PingRequest) WireType() MsgType      { return TypePingReq }
 func (*PingResponse) WireType() MsgType     { return TypePingResp }
 func (*ErrorResponse) WireType() MsgType    { return TypeError }
@@ -282,13 +332,36 @@ var (
 	ErrTruncated = errors.New("wire: truncated payload")
 )
 
+// AppendFrame appends msg as a full frame (length prefix included) to
+// dst and returns the extended slice. It is the allocation-free path:
+// with a reused dst of sufficient capacity, encoding a fixed-size
+// message performs zero allocations (Marshal, by contrast, allocates
+// its result).
+func AppendFrame(dst []byte, msg Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backfilled below
+	dst = append(dst, Version, byte(msg.WireType()))
+	dst = msg.appendPayload(dst)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// AppendMuxFrame appends a multiplexed frame — length prefix, request
+// id, then the ordinary versioned payload — to dst. Like AppendFrame
+// it allocates nothing once dst has capacity.
+func AppendMuxFrame(dst []byte, id uint64, msg Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = appendU64(dst, id)
+	dst = append(dst, Version, byte(msg.WireType()))
+	dst = msg.appendPayload(dst)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
 // Marshal encodes msg as a full frame (length prefix included).
 func Marshal(msg Message) []byte {
-	payload := []byte{Version, byte(msg.WireType())}
-	payload = msg.appendPayload(payload)
-	frame := make([]byte, 4, 4+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	return append(frame, payload...)
+	return AppendFrame(nil, msg)
 }
 
 // WriteMessage writes one framed message to w.
@@ -297,24 +370,110 @@ func WriteMessage(w io.Writer, msg Message) error {
 	return err
 }
 
-// ReadMessage reads one framed message from r.
-func ReadMessage(r io.Reader) (Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, err
+// grow returns buf resliced to n bytes, reallocating only when its
+// capacity is insufficient.
+func grow(buf []byte, n int) []byte {
+	if cap(buf) >= n {
+		return buf[:n]
 	}
-	size := binary.BigEndian.Uint32(lenBuf[:])
+	return make([]byte, n)
+}
+
+// ReadFrame reads one frame from r into buf (grown as needed) and
+// returns the payload together with the possibly-reallocated buffer.
+// The payload aliases the buffer: it is valid until the next ReadFrame
+// call reusing it. Callers that keep the returned buffer across calls
+// pay zero allocations per frame in steady state; ReadMessage is the
+// convenience wrapper that does not.
+func ReadFrame(r io.Reader, buf []byte) (payload, bufOut []byte, err error) {
+	// The header is read into the reusable buffer rather than a local
+	// array: locals passed through the io.Reader interface escape, and
+	// the steady-state hot path must stay at zero allocations.
+	buf = grow(buf, 4)
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return nil, buf, err
+	}
+	size := binary.BigEndian.Uint32(buf[:4])
 	if size > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return nil, buf, ErrFrameTooLarge
 	}
 	if size < 2 {
-		return nil, ErrTruncated
+		return nil, buf, ErrTruncated
 	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	buf = grow(buf, int(size))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, err
+	}
+	return buf, buf, nil
+}
+
+// ReadMuxFrame reads one multiplexed frame from r, returning the
+// request id and the payload (aliasing buf, as in ReadFrame).
+func ReadMuxFrame(r io.Reader, buf []byte) (id uint64, payload, bufOut []byte, err error) {
+	buf = grow(buf, 12)
+	if _, err := io.ReadFull(r, buf[:12]); err != nil {
+		return 0, nil, buf, err
+	}
+	size := binary.BigEndian.Uint32(buf[:4])
+	if size > MaxFrame+8 {
+		return 0, nil, buf, ErrFrameTooLarge
+	}
+	if size < 8+2 {
+		return 0, nil, buf, ErrTruncated
+	}
+	id = binary.BigEndian.Uint64(buf[4:12])
+	buf = grow(buf, int(size-8))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	return id, buf, buf, nil
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	payload, _, err := ReadFrame(r, nil)
+	if err != nil {
 		return nil, err
 	}
 	return Unmarshal(payload)
+}
+
+// newMessage returns the empty message for a wire type tag.
+func newMessage(t MsgType) Message {
+	switch t {
+	case TypeDistanceReq:
+		return &DistanceRequest{}
+	case TypeDistanceResp:
+		return &DistanceResponse{}
+	case TypePathReq:
+		return &PathRequest{}
+	case TypePathResp:
+		return &PathResponse{}
+	case TypeStatsReq:
+		return &StatsRequest{}
+	case TypeStatsResp:
+		return &StatsResponse{}
+	case TypeBatchReq:
+		return &BatchRequest{}
+	case TypeBatchResp:
+		return &BatchResponse{}
+	case TypeQueryReq:
+		return &QueryRequest{}
+	case TypeQueryResp:
+		return &QueryResponse{}
+	case TypeHello:
+		return &Hello{}
+	case TypeHelloAck:
+		return &HelloAck{}
+	case TypePingReq:
+		return &PingRequest{}
+	case TypePingResp:
+		return &PingResponse{}
+	case TypeError:
+		return &ErrorResponse{}
+	default:
+		return nil
+	}
 }
 
 // Unmarshal decodes a frame payload (without the length prefix).
@@ -325,41 +484,32 @@ func Unmarshal(payload []byte) (Message, error) {
 	if payload[0] != Version {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, payload[0], Version)
 	}
-	var msg Message
-	switch MsgType(payload[1]) {
-	case TypeDistanceReq:
-		msg = &DistanceRequest{}
-	case TypeDistanceResp:
-		msg = &DistanceResponse{}
-	case TypePathReq:
-		msg = &PathRequest{}
-	case TypePathResp:
-		msg = &PathResponse{}
-	case TypeStatsReq:
-		msg = &StatsRequest{}
-	case TypeStatsResp:
-		msg = &StatsResponse{}
-	case TypeBatchReq:
-		msg = &BatchRequest{}
-	case TypeBatchResp:
-		msg = &BatchResponse{}
-	case TypeQueryReq:
-		msg = &QueryRequest{}
-	case TypeQueryResp:
-		msg = &QueryResponse{}
-	case TypePingReq:
-		msg = &PingRequest{}
-	case TypePingResp:
-		msg = &PingResponse{}
-	case TypeError:
-		msg = &ErrorResponse{}
-	default:
+	msg := newMessage(MsgType(payload[1]))
+	if msg == nil {
 		return nil, fmt.Errorf("wire: unknown message type %d", payload[1])
 	}
 	if err := msg.parsePayload(payload[2:]); err != nil {
 		return nil, err
 	}
 	return msg, nil
+}
+
+// UnmarshalInto decodes a frame payload into a caller-owned message of
+// a known type, reusing the message's slice capacity (paths, target
+// lists, batch items) instead of allocating. A payload whose type tag
+// differs from msg's is an error. This is the steady-state zero-alloc
+// decode path: reuse the same message across frames of one type.
+func UnmarshalInto(payload []byte, msg Message) error {
+	if len(payload) < 2 {
+		return ErrTruncated
+	}
+	if payload[0] != Version {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadVersion, payload[0], Version)
+	}
+	if got := MsgType(payload[1]); got != msg.WireType() {
+		return fmt.Errorf("wire: message type %v, want %v", got, msg.WireType())
+	}
+	return msg.parsePayload(payload[2:])
 }
 
 // --- payload codecs ---
@@ -370,6 +520,20 @@ func appendU32(dst []byte, v uint32) []byte {
 
 func appendU64(dst []byte, v uint64) []byte {
 	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// reuseU32 reslices dst to n elements, reallocating only when the
+// capacity is insufficient; n == 0 decodes as nil so round trips
+// preserve empty-slice identity. parsePayload implementations use it
+// so UnmarshalInto decodes without allocating in steady state.
+func reuseU32(dst []uint32, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]uint32, n)
 }
 
 func (m *DistanceRequest) appendPayload(dst []byte) []byte {
@@ -430,11 +594,7 @@ func (m *PathResponse) parsePayload(src []byte) error {
 	if uint64(len(src)) != 5+4*uint64(count) {
 		return ErrTruncated
 	}
-	if count == 0 {
-		m.Path = nil
-		return nil
-	}
-	m.Path = make([]uint32, count)
+	m.Path = reuseU32(m.Path, int(count))
 	for i := range m.Path {
 		m.Path[i] = binary.BigEndian.Uint32(src[5+4*i:])
 	}
@@ -493,11 +653,7 @@ func (m *BatchRequest) parsePayload(src []byte) error {
 	if uint64(len(src)) != 8+4*uint64(count) {
 		return ErrTruncated
 	}
-	if count == 0 {
-		m.Ts = nil
-		return nil
-	}
-	m.Ts = make([]uint32, count)
+	m.Ts = reuseU32(m.Ts, int(count))
 	for i := range m.Ts {
 		m.Ts[i] = binary.BigEndian.Uint32(src[8+4*i:])
 	}
@@ -529,7 +685,11 @@ func (m *BatchResponse) parsePayload(src []byte) error {
 		m.Items = nil
 		return nil
 	}
-	m.Items = make([]BatchItem, count)
+	if cap(m.Items) >= int(count) {
+		m.Items = m.Items[:count]
+	} else {
+		m.Items = make([]BatchItem, count)
+	}
 	for i := range m.Items {
 		off := 4 + 7*i
 		m.Items[i] = BatchItem{
@@ -575,11 +735,7 @@ func (m *QueryRequest) parsePayload(src []byte) error {
 	if uint64(len(src)) != 23+4*uint64(count) {
 		return ErrTruncated
 	}
-	if count == 0 {
-		m.Ts = nil
-		return nil
-	}
-	m.Ts = make([]uint32, count)
+	m.Ts = reuseU32(m.Ts, int(count))
 	for i := range m.Ts {
 		m.Ts[i] = binary.BigEndian.Uint32(src[23+4*i:])
 	}
@@ -625,37 +781,56 @@ func (m *QueryResponse) parsePayload(src []byte) error {
 		return ErrTruncated
 	}
 	off := 28
-	if count == 0 {
+	switch {
+	case count == 0:
 		m.Items = nil
-	} else {
+	case cap(m.Items) >= int(count):
+		m.Items = m.Items[:count]
+	default:
 		m.Items = make([]QueryItem, count)
 	}
 	for i := range m.Items {
 		if len(src)-off < 11 {
 			return ErrTruncated
 		}
-		it := QueryItem{
-			Code:   binary.BigEndian.Uint16(src[off:]),
-			Dist:   binary.BigEndian.Uint32(src[off+2:]),
-			Method: src[off+6],
-		}
+		it := &m.Items[i]
+		it.Code = binary.BigEndian.Uint16(src[off:])
+		it.Dist = binary.BigEndian.Uint32(src[off+2:])
+		it.Method = src[off+6]
 		plen := binary.BigEndian.Uint32(src[off+7:])
 		off += 11
 		if uint64(plen) > uint64(len(src)-off)/4 {
 			return ErrTruncated
 		}
-		if plen > 0 {
-			it.Path = make([]uint32, plen)
-			for j := range it.Path {
-				it.Path[j] = binary.BigEndian.Uint32(src[off+4*j:])
-			}
-			off += 4 * int(plen)
+		it.Path = reuseU32(it.Path, int(plen))
+		for j := range it.Path {
+			it.Path[j] = binary.BigEndian.Uint32(src[off+4*j:])
 		}
-		m.Items[i] = it
+		off += 4 * int(plen)
 	}
 	if off != len(src) {
 		return ErrTruncated
 	}
+	return nil
+}
+
+func (m *Hello) appendPayload(dst []byte) []byte { return appendU32(dst, m.Features) }
+
+func (m *Hello) parsePayload(src []byte) error {
+	if len(src) != 4 {
+		return ErrTruncated
+	}
+	m.Features = binary.BigEndian.Uint32(src)
+	return nil
+}
+
+func (m *HelloAck) appendPayload(dst []byte) []byte { return appendU32(dst, m.Features) }
+
+func (m *HelloAck) parsePayload(src []byte) error {
+	if len(src) != 4 {
+		return ErrTruncated
+	}
+	m.Features = binary.BigEndian.Uint32(src)
 	return nil
 }
 
