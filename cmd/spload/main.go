@@ -42,6 +42,15 @@
 // connection serves many requests at once (-pool caps connections,
 // -conns the in-flight workers).
 //
+// With -addrs (a comma-separated replica list, instead of -addr) the
+// load is routed through qclient.Router: per-replica health and epoch
+// tracking, failover past dead replicas, and — with -hedge — hedged
+// requests that duplicate a slow query to a second replica after the
+// given delay. The router's hedge/failover counters land in the
+// report's config (hedges, hedge_wins, failovers, stale_retries), so
+// one stalled-replica run with and without -hedge shows the tail the
+// hedging policy buys back.
+//
 // With -churn-url and -churn-qps the run doubles as a read/churn
 // soak: a background stream of mixed insert/delete batches is POSTed
 // to the server's /v1/admin/update endpoint (start spserver with
@@ -237,6 +246,50 @@ func (t *tcpTransport) issue(ctx context.Context, k kind, s uint32, ts []uint32,
 		defer cancel()
 	}
 	res, err := t.pool.Query(ctx, spec(k, s, ts, cfg))
+	var r result
+	if err != nil {
+		r.queries = 1
+		if k == kBatch {
+			r.queries = int64(len(ts))
+		}
+		r.codes = map[string]int64{errCode(err): r.queries}
+		return r, nil
+	}
+	for _, it := range res.Items {
+		r.tally(k, it.Method, it.Err)
+	}
+	return r, nil
+}
+
+// --- Router transport (replica cluster via qclient.Router) ---
+
+type routerTransport struct {
+	addrs  []string
+	router *qclient.Router
+}
+
+func newRouterTransport(addrs []string, poolSize int, mux bool, hedge time.Duration) (*routerTransport, error) {
+	r, err := qclient.NewRouter(addrs, qclient.RouterOptions{
+		PoolSize:   poolSize,
+		Client:     qclient.Options{Mux: mux},
+		HedgeDelay: hedge,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &routerTransport{addrs: addrs, router: r}, nil
+}
+
+func (t *routerTransport) host() string { return "tcp://" + strings.Join(t.addrs, ",") }
+func (t *routerTransport) close()       { t.router.Close() }
+
+func (t *routerTransport) issue(ctx context.Context, k kind, s uint32, ts []uint32, cfg *config) (result, error) {
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	res, err := t.router.Query(ctx, spec(k, s, ts, cfg))
 	var r result
 	if err != nil {
 		r.queries = 1
@@ -522,6 +575,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("spload", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", "", "TCP server address (wire protocol)")
+		addrsFlag = fs.String("addrs", "", "comma-separated replica TCP addresses: load is routed with health tracking, failover and -hedge (mutually exclusive with -addr/-url)")
+		hedge     = fs.Duration("hedge", 0, "with -addrs: duplicate a request to a second replica after this delay (0 = no hedging)")
 		url       = fs.String("url", "", "HTTP server base URL (mutually exclusive with -addr)")
 		workloads = fs.String("workload", "single", "comma-separated workloads: single|batch|budget|estimate|overload|mixed, each optionally \"name@qps\" to override -qps")
 		qps       = fs.Float64("qps", 1000, "offered arrival rate (requests/sec, open loop)")
@@ -544,8 +599,23 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*addr == "") == (*url == "") {
-		return errors.New("exactly one of -addr (TCP) or -url (HTTP) is required")
+	var addrs []string
+	for _, a := range strings.Split(*addrsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	set := 0
+	for _, have := range []bool{*addr != "", *url != "", len(addrs) > 0} {
+		if have {
+			set++
+		}
+	}
+	if set != 1 {
+		return errors.New("exactly one of -addr (TCP), -addrs (replica cluster) or -url (HTTP) is required")
+	}
+	if *hedge > 0 && len(addrs) < 2 {
+		return errors.New("-hedge needs -addrs with at least two replicas")
 	}
 	if *qps <= 0 || *duration <= 0 || *conns < 1 || *targets < 1 {
 		return errors.New("-qps, -duration, -conns and -targets must be positive")
@@ -564,7 +634,17 @@ func run(args []string) error {
 	// both "serial:" and "mux:" workloads over their own pools.
 	tcpByMode := map[bool]transport{}
 	var httpTr transport
+	var routerTr transport
 	trFor := func(muxMode bool) (transport, error) {
+		if len(addrs) > 0 {
+			if routerTr == nil {
+				var err error
+				if routerTr, err = newRouterTransport(addrs, *poolSize, muxMode, *hedge); err != nil {
+					return nil, err
+				}
+			}
+			return routerTr, nil
+		}
 		if *url != "" {
 			if httpTr == nil {
 				httpTr = newHTTPTransport(*url, *conns)
@@ -587,6 +667,9 @@ func run(args []string) error {
 		}
 		if httpTr != nil {
 			httpTr.close()
+		}
+		if routerTr != nil {
+			routerTr.close()
 		}
 	}()
 
@@ -643,6 +726,10 @@ func run(args []string) error {
 	if ch != nil {
 		report.Config["churn_qps"] = fmt.Sprint(*churnQPS)
 	}
+	if len(addrs) > 0 {
+		report.Config["addrs"] = strings.Join(addrs, ",")
+		report.Config["hedge"] = hedge.String()
+	}
 
 	for _, entry := range strings.Split(*workloads, ",") {
 		entry = strings.TrimSpace(entry)
@@ -696,6 +783,16 @@ func run(args []string) error {
 			fmt.Printf("  errors=%v", w.Errors)
 		}
 		fmt.Println()
+	}
+
+	if rt, ok := routerTr.(*routerTransport); ok {
+		m := rt.router.Metrics()
+		report.Config["hedges"] = fmt.Sprint(m.Hedges)
+		report.Config["hedge_wins"] = fmt.Sprint(m.HedgeWins)
+		report.Config["failovers"] = fmt.Sprint(m.Failovers)
+		report.Config["stale_retries"] = fmt.Sprint(m.StaleRetries)
+		fmt.Printf("router     %d hedges (%d wins), %d failovers, %d stale retries\n",
+			m.Hedges, m.HedgeWins, m.Failovers, m.StaleRetries)
 	}
 
 	if ch != nil {
@@ -836,6 +933,23 @@ func probeNodes(tr transport) (uint32, error) {
 			return 0, err
 		}
 		return uint32(st.Nodes), nil
+	case *routerTransport:
+		var lastErr error
+		for _, addr := range t.addrs {
+			c, err := qclient.Dial(addr, qclient.Options{})
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			st, err := c.Stats()
+			c.Close()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return uint32(st.Nodes), nil
+		}
+		return 0, lastErr
 	case *httpTransport:
 		resp, err := t.client.Get(t.base + "/v1/stats")
 		if err != nil {

@@ -12,12 +12,23 @@
 //	spquery -server 127.0.0.1:7421 15 4711   # query a running spserver
 //	spquery -server 127.0.0.1:7421 -timeout 5ms -budget 20000 -policy full 15 4711
 //	spquery -json -gen dblp 15 4711          # machine-readable output
+//	spquery -server r1:7421,r2:7421 -hedge 2ms 15 4711   # replica cluster
+//	spquery -shards "0:5000=a:7421,5000:10000=b:7421" -many 15 4711 42
 //
 // Batch lines are "s t" pairs; output is "s t distance method [path]".
 // With -many the first id is the source and the rest are targets,
 // answered in one Query call (one wire round trip with -server). With
 // -json each answer is one JSON object per line (errors carry a typed
 // "error_code"), making the CLI usable in pipelines.
+//
+// A comma-separated -server list routes over a replica cluster
+// (qclient.Router): per-replica health and epoch tracking, failover,
+// and — with -hedge — a duplicate request to a second replica when the
+// first is slow. -min-epoch demands read-your-epoch freshness: answers
+// come only from replicas at that cluster epoch or later. -shards maps
+// node-id scopes to backend groups ("lo:hi=addr[|addr...],..."); a
+// -many query is then scatter-gathered across the shards covering its
+// targets and merged back in request order.
 //
 // Exit codes: 0 every query resolved; 1 some query was unreachable or
 // unresolved; 2 some query hit its budget or deadline; 3 usage or I/O
@@ -98,13 +109,16 @@ func exitForErr(err error) int {
 	return exitUsage
 }
 
-// backend answers queries either from a local oracle or a remote server.
+// backend answers queries from a local oracle, a remote server, or a
+// router over a replica/shard cluster.
 type backend struct {
-	oracle *core.Oracle
-	client *qclient.Client
-	addr   string
-	opts   queryOpts
-	mux    bool
+	oracle   *core.Oracle
+	client   *qclient.Client
+	router   *qclient.Router
+	addr     string
+	opts     queryOpts
+	mux      bool
+	minEpoch uint64
 }
 
 // ensureClient redials a remote connection the desync guard tore down
@@ -136,17 +150,25 @@ func (b *backend) query(s, t uint32) answer {
 	defer cancel()
 	a := answer{S: s, T: t, Dist: core.NoDist}
 	start := time.Now()
-	if b.client != nil {
-		if err := b.ensureClient(); err != nil {
-			a.Err = err
-			return a
-		}
-		res, err := b.client.Query(ctx, qclient.QuerySpec{
+	if b.client != nil || b.router != nil {
+		spec := qclient.QuerySpec{
 			S: s, T: t,
 			Policy:   b.opts.policy,
 			Budget:   b.opts.budget,
 			WantPath: b.opts.wantPath,
-		})
+			MinEpoch: b.minEpoch,
+		}
+		var res *qclient.QueryResult
+		var err error
+		if b.router != nil {
+			res, err = b.router.Query(ctx, spec)
+		} else {
+			if err := b.ensureClient(); err != nil {
+				a.Err = err
+				return a
+			}
+			res, err = b.client.Query(ctx, spec)
+		}
 		a.Latency = time.Since(start)
 		if err != nil {
 			a.Err = err
@@ -174,16 +196,24 @@ func (b *backend) many(s uint32, ts []uint32) ([]answer, time.Duration, error) {
 	defer cancel()
 	out := make([]answer, len(ts))
 	start := time.Now()
-	if b.client != nil {
-		if err := b.ensureClient(); err != nil {
-			return nil, 0, err
-		}
-		res, err := b.client.Query(ctx, qclient.QuerySpec{
+	if b.client != nil || b.router != nil {
+		spec := qclient.QuerySpec{
 			S: s, Ts: ts,
 			Policy:   b.opts.policy,
 			Budget:   b.opts.budget,
 			WantPath: b.opts.wantPath,
-		})
+			MinEpoch: b.minEpoch,
+		}
+		var res *qclient.QueryResult
+		var err error
+		if b.router != nil {
+			res, err = b.router.Query(ctx, spec)
+		} else {
+			if err := b.ensureClient(); err != nil {
+				return nil, 0, err
+			}
+			res, err = b.client.Query(ctx, spec)
+		}
 		if err != nil {
 			return nil, 0, err
 		}
@@ -215,7 +245,10 @@ func run(args []string) (int, error) {
 		n         = fs.Int("n", 0, "nodes for -gen (0 = profile default)")
 		alpha     = fs.Float64("alpha", 4, "vicinity size parameter α")
 		seed      = fs.Uint64("seed", 42, "random seed")
-		server    = fs.String("server", "", "query a running spserver at this TCP address instead of building locally")
+		server    = fs.String("server", "", "query running spserver(s): one TCP address, or a comma-separated replica list routed with failover/hedging")
+		shards    = fs.String("shards", "", "scope-partitioned shard map 'lo:hi=addr[|addr...],...': -many queries scatter-gather across the shards covering their targets")
+		hedge     = fs.Duration("hedge", 0, "with a multi-address -server/-shards: duplicate a request to a second replica after this delay (0 = off)")
+		minEpoch  = fs.Uint64("min-epoch", 0, "read-your-epoch floor: refuse answers from replicas behind this cluster epoch (0 = off)")
 		batch     = fs.Bool("batch", false, "read 's t' pairs from stdin")
 		many      = fs.Bool("many", false, "one-to-many: args are s t1 t2 ... (one Query call)")
 		showPath  = fs.Bool("path", false, "also print the shortest path")
@@ -236,20 +269,40 @@ func run(args []string) (int, error) {
 		return exitUsage, fmt.Errorf("-budget must be >= 0")
 	}
 
-	be := backend{opts: queryOpts{timeout: *timeout, budget: *budget, policy: policy, wantPath: *showPath}}
-	if *server != "" {
+	be := backend{opts: queryOpts{timeout: *timeout, budget: *budget, policy: policy, wantPath: *showPath}, minEpoch: *minEpoch}
+	addrs := splitAddrs(*server)
+	switch {
+	case *shards != "" || len(addrs) > 1:
+		if *graphPath != "" || *genName != "" {
+			return exitUsage, fmt.Errorf("-server/-shards are mutually exclusive with -graph/-gen")
+		}
+		shardMap, err := parseShards(*shards)
+		if err != nil {
+			return exitUsage, err
+		}
+		r, err := qclient.NewRouter(addrs, qclient.RouterOptions{
+			Client:     qclient.Options{Mux: *mux},
+			HedgeDelay: *hedge,
+			Nodes:      shardMap,
+		})
+		if err != nil {
+			return exitUsage, err
+		}
+		be.router = r
+		defer r.Close()
+	case len(addrs) == 1:
 		if *graphPath != "" || *genName != "" {
 			return exitUsage, fmt.Errorf("-server is mutually exclusive with -graph/-gen")
 		}
-		c, err := qclient.Dial(*server, qclient.Options{Mux: *mux})
+		c, err := qclient.Dial(addrs[0], qclient.Options{Mux: *mux})
 		if err != nil {
 			return exitUsage, err
 		}
 		be.client = c
-		be.addr = *server
+		be.addr = addrs[0]
 		be.mux = *mux
 		defer func() { be.client.Close() }()
-	} else {
+	default:
 		g, err := loadGraph(*graphPath, *genName, *n, *seed)
 		if err != nil {
 			return exitUsage, err
@@ -390,6 +443,52 @@ func printJSON(a answer, withPath bool) {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	_ = enc.Encode(l)
+}
+
+// splitAddrs splits a comma-separated address list, dropping blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// parseShards parses "lo:hi=addr[|addr...],..." into the router's
+// scope-partitioned shard map.
+func parseShards(s string) ([]qclient.Shard, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []qclient.Shard
+	for _, part := range strings.Split(s, ",") {
+		scope, addrs, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-shards entry %q: want lo:hi=addr[|addr...]", part)
+		}
+		lo, hi, ok := strings.Cut(scope, ":")
+		if !ok {
+			return nil, fmt.Errorf("-shards entry %q: scope wants lo:hi", part)
+		}
+		l, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("-shards entry %q: %v", part, err)
+		}
+		h, err := strconv.ParseUint(strings.TrimSpace(hi), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("-shards entry %q: %v", part, err)
+		}
+		sh := qclient.Shard{Lo: uint32(l), Hi: uint32(h)}
+		for _, a := range strings.Split(addrs, "|") {
+			if a = strings.TrimSpace(a); a != "" {
+				sh.Addrs = append(sh.Addrs, a)
+			}
+		}
+		out = append(out, sh)
+	}
+	return out, nil
 }
 
 func parseIDs(fields []string) ([]uint32, error) {

@@ -38,6 +38,31 @@
 // the v2 query path polls it inside the fallback search loop, so even
 // slow searches exit promptly instead of running against closed
 // connections.
+//
+// # Cluster roles
+//
+// -role selects the node's place in a replicated tier:
+//
+//	spserver -gen flickr -role writer -http :8080 -allow-updates
+//	spserver -role replica -follow http://writer:8080 -addr :7422 -http :8082
+//
+// A writer (or the default standalone) serves queries and publishes
+// its snapshot and retained update deltas over /v1/repl/manifest and
+// /v1/repl/fetch; -delta-retain sizes the retained delta window. A
+// replica starts empty — no -graph/-gen/-oracle — and follows the
+// -follow base URL: one full snapshot to bootstrap, then per-epoch
+// deltas every -poll, swapping each state in atomically. Its answers
+// are bit-identical to the writer's at the same epoch, and its
+// /v1/admin/update returns 403.
+//
+// -scope lo:hi[,lo:hi...] builds the oracle over only those node-id
+// ranges (core Options.Nodes): the shard form behind qclient's
+// scatter-gather router. A shard must cover the query-source
+// population as well as its target range, hence the multi-range form.
+//
+// -stall injects a fixed delay into every query (never pings, stats or
+// replication) — the chaos knob hedged-request benchmarks point at one
+// replica to manufacture a slow outlier.
 package main
 
 import (
@@ -50,6 +75,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +84,7 @@ import (
 	"vicinity/internal/gen"
 	"vicinity/internal/graph"
 	"vicinity/internal/qserver"
+	"vicinity/internal/store"
 )
 
 func main() {
@@ -86,6 +114,12 @@ func run(args []string) error {
 		noMux      = fs.Bool("no-mux", false, "refuse the multiplexed session mode: acknowledge hello frames without granting features, keeping every connection serial")
 		maxConnWk  = fs.Int("max-conn-workers", 0, "concurrent request workers per multiplexed connection (0 = 32)")
 		distOnly   = fs.Bool("distance-only", false, "build without path data: smaller tables, Path degrades to distances, serialized form reproducible from the graph alone")
+		role       = fs.String("role", "standalone", "cluster role: standalone, writer (publishes snapshots+deltas), or replica (follows -follow, read-only)")
+		follow     = fs.String("follow", "", "upstream base URL a replica polls, e.g. http://writer:8080")
+		poll       = fs.Duration("poll", 500*time.Millisecond, "replica poll interval")
+		deltaRet   = fs.Int("delta-retain", 0, "retained delta window on a writer; replicas older than this catch up via one full snapshot (0 = default)")
+		scope      = fs.String("scope", "", "build scope as lo:hi ranges, comma-separated (shard form; must also cover the query-source population)")
+		stall      = fs.Duration("stall", 0, "chaos: delay every query by this much (pings/stats/replication unaffected) — for hedging benchmarks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,38 +129,88 @@ func run(args []string) error {
 	}
 	logger := log.New(os.Stderr, "spserver: ", log.LstdFlags)
 
-	var oracle *core.Oracle
-	if *oraclePath != "" {
-		if *graphPath != "" || *genName != "" {
-			return errors.New("-oracle is mutually exclusive with -graph/-gen")
+	var catRole store.Role
+	switch *role {
+	case "standalone":
+		catRole = store.RoleStandalone
+	case "writer":
+		catRole = store.RoleWriter
+	case "replica":
+		catRole = store.RoleReplica
+	default:
+		return fmt.Errorf("unknown -role %q (want standalone, writer or replica)", *role)
+	}
+	if catRole == store.RoleReplica {
+		if *follow == "" {
+			return errors.New("-role replica requires -follow (the upstream base URL)")
 		}
-		start := time.Now()
-		var err error
-		oracle, err = core.LoadOracleFile(*oraclePath)
+		if *graphPath != "" || *genName != "" || *oraclePath != "" {
+			return errors.New("a replica fetches its oracle from -follow: drop -graph/-gen/-oracle")
+		}
+		if *allowUpd {
+			return errors.New("replicas are read-only: drop -allow-updates")
+		}
+	} else if *follow != "" {
+		return errors.New("-follow only applies to -role replica")
+	}
+	if catRole == store.RoleReplica && *scope != "" {
+		return errors.New("a replica inherits its upstream's scope: drop -scope")
+	}
+	if catRole == store.RoleWriter && *httpAddr == "" {
+		return errors.New("-role writer requires -http (replicas fetch over the HTTP replication endpoints)")
+	}
+
+	scopeNodes, err := parseScope(*scope)
+	if err != nil {
+		return err
+	}
+
+	var cat *store.Catalog
+	if catRole == store.RoleReplica {
+		cat, err = store.Bootstrap(store.RoleReplica)
 		if err != nil {
 			return err
 		}
-		logger.Printf("graph: %s", graph.ComputeStats(oracle.Graph()))
-		logger.Printf("oracle loaded in %v: %s", time.Since(start).Round(time.Millisecond), oracle.Stats())
 	} else {
-		g, err := loadGraph(*graphPath, *genName, *n, *seed)
-		if err != nil {
-			return err
+		var oracle *core.Oracle
+		if *oraclePath != "" {
+			if *graphPath != "" || *genName != "" {
+				return errors.New("-oracle is mutually exclusive with -graph/-gen")
+			}
+			start := time.Now()
+			oracle, err = core.LoadOracleFile(*oraclePath)
+			if err != nil {
+				return err
+			}
+			logger.Printf("graph: %s", graph.ComputeStats(oracle.Graph()))
+			logger.Printf("oracle loaded in %v: %s", time.Since(start).Round(time.Millisecond), oracle.Stats())
+		} else {
+			g, err := loadGraph(*graphPath, *genName, *n, *seed)
+			if err != nil {
+				return err
+			}
+			logger.Printf("graph: %s", graph.ComputeStats(g))
+			start := time.Now()
+			oracle, err = core.Build(g, core.Options{
+				Alpha: *alpha, Seed: *seed, Workers: *parallel,
+				DisablePathData: *distOnly, Nodes: scopeNodes,
+			})
+			if err != nil {
+				return err
+			}
+			logger.Printf("oracle built in %v (%s): %s",
+				time.Since(start).Round(time.Millisecond), oracle.BuildTimings(), oracle.Stats())
 		}
-		logger.Printf("graph: %s", graph.ComputeStats(g))
-		start := time.Now()
-		oracle, err = core.Build(g, core.Options{Alpha: *alpha, Seed: *seed, Workers: *parallel, DisablePathData: *distOnly})
-		if err != nil {
-			return err
-		}
-		logger.Printf("oracle built in %v (%s): %s",
-			time.Since(start).Round(time.Millisecond), oracle.BuildTimings(), oracle.Stats())
+		cat = store.NewCatalog(oracle, catRole)
+	}
+	if *deltaRet > 0 {
+		cat.SetDeltaRetention(*deltaRet)
 	}
 
 	if *allowUpd && *httpAddr == "" {
 		return errors.New("-allow-updates requires -http (updates arrive via the HTTP admin endpoint)")
 	}
-	srv := qserver.New(oracle, qserver.Config{
+	srv := qserver.NewWithCatalog(cat, qserver.Config{
 		MaxConns:         *maxConns,
 		Logger:           logger,
 		AllowUpdates:     *allowUpd,
@@ -134,12 +218,26 @@ func run(args []string) error {
 		MaxBatchParallel: *maxBatchP,
 		DisableMux:       *noMux,
 		MaxConnWorkers:   *maxConnWk,
+		StallQueries:     *stall,
 	})
 	if *maxInFl > 0 {
 		logger.Printf("admission control: shedding to estimates over %d in-flight queries", *maxInFl)
 	}
 	if *allowUpd {
 		logger.Printf("dynamic updates enabled: POST %s/v1/admin/update", *httpAddr)
+	}
+	if *stall > 0 {
+		logger.Printf("chaos: stalling every query by %v", *stall)
+	}
+	replCtx, replStop := context.WithCancel(context.Background())
+	defer replStop()
+	switch catRole {
+	case store.RoleWriter:
+		logger.Printf("role: writer, publishing snapshots+deltas on %s/v1/repl/", *httpAddr)
+	case store.RoleReplica:
+		repl := &store.Replicator{Catalog: cat, Base: *follow, Interval: *poll, Logger: logger}
+		go repl.Run(replCtx)
+		logger.Printf("role: replica, following %s every %v", *follow, *poll)
 	}
 	errCh := make(chan error, 2)
 
@@ -189,6 +287,36 @@ func run(args []string) error {
 	m := srv.Metrics()
 	logger.Printf("served %d queries over %d connections", m.Queries, m.TotalConns)
 	return nil
+}
+
+// parseScope parses "lo:hi[,lo:hi...]" into the node set for
+// core.Options.Nodes; ranges are half-open. "" means full coverage.
+func parseScope(s string) ([]uint32, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var nodes []uint32
+	for _, r := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(r, ":")
+		if !ok {
+			return nil, fmt.Errorf("-scope range %q: want lo:hi", r)
+		}
+		l, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("-scope range %q: %v", r, err)
+		}
+		h, err := strconv.ParseUint(strings.TrimSpace(hi), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("-scope range %q: %v", r, err)
+		}
+		if h <= l {
+			return nil, fmt.Errorf("-scope range %q is empty", r)
+		}
+		for u := l; u < h; u++ {
+			nodes = append(nodes, uint32(u))
+		}
+	}
+	return nodes, nil
 }
 
 func loadGraph(path, genName string, n int, seed uint64) (*graph.Graph, error) {

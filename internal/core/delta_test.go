@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"vicinity/internal/oraclefile"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	cases := map[string]*Delta{
+		"empty": {FromEpoch: 0, ToEpoch: 1},
+		"mixed": {
+			FromEpoch: 41,
+			ToEpoch:   42,
+			Update: Update{
+				AddNodes:   3,
+				Edges:      [][2]uint32{{1, 2}, {100, 7}},
+				DelEdges:   [][2]uint32{{5, 6}},
+				DelNodes:   []uint32{9, 11},
+				SetWeights: []WeightChange{{U: 1, V: 3, W: 4}},
+			},
+		},
+	}
+	for name, d := range cases {
+		t.Run(name, func(t *testing.T) {
+			b, err := EncodeDelta(d)
+			if err != nil {
+				t.Fatalf("EncodeDelta: %v", err)
+			}
+			got, err := DecodeDelta(b)
+			if err != nil {
+				t.Fatalf("DecodeDelta: %v", err)
+			}
+			if !reflect.DeepEqual(got, d) {
+				t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, d)
+			}
+		})
+	}
+}
+
+func TestDeltaRejectsWrongContainers(t *testing.T) {
+	g := socialGraph(11, 100)
+	o := mustBuild(t, g, Options{Seed: 11})
+	var snap bytes.Buffer
+	if err := WriteOracle(&snap, o); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot is not a delta.
+	if _, err := DecodeDelta(snap.Bytes()); !errors.Is(err, oraclefile.ErrSection) {
+		t.Fatalf("snapshot accepted as delta: %v", err)
+	}
+	// A delta is not a snapshot.
+	db, err := EncodeDelta(&Delta{FromEpoch: 1, ToEpoch: 2, Update: Update{AddNodes: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOracle(bytes.NewReader(db)); !errors.Is(err, oraclefile.ErrSection) {
+		t.Fatalf("delta accepted as snapshot: %v", err)
+	}
+	// Corruption is detected.
+	for pos := 6; pos < len(db); pos++ {
+		bad := append([]byte(nil), db...)
+		bad[pos] ^= 0x40
+		if _, err := DecodeDelta(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", pos)
+		}
+	}
+	// A multi-step epoch interval is structurally invalid.
+	wide, err := EncodeDelta(&Delta{FromEpoch: 1, ToEpoch: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDelta(wide); !errors.Is(err, ErrBadDeltaFile) {
+		t.Fatalf("multi-step delta accepted: %v", err)
+	}
+}
+
+// TestDeltaReplayMatchesDirectApply: replaying an encoded delta on a
+// copy of the base oracle produces answers identical to applying the
+// update directly — the property replica catch-up rests on.
+func TestDeltaReplayMatchesDirectApply(t *testing.T) {
+	g := socialGraph(19, 200)
+	o := mustBuild(t, g, Options{Seed: 19})
+	replica := roundTrip(t, o) // replica loads the shipped snapshot
+
+	u := Update{
+		AddNodes: 2,
+		Edges:    [][2]uint32{{200, 3}, {201, 200}, {17, 40}},
+		DelEdges: [][2]uint32{{0, 1}},
+	}
+	direct, err := o.ApplyUpdates(u)
+	if err != nil {
+		t.Fatalf("direct apply: %v", err)
+	}
+	b, err := EncodeDelta(&Delta{FromEpoch: 0, ToEpoch: 1, Update: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeDelta(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := replica.ApplyUpdates(d.Update)
+	if err != nil {
+		t.Fatalf("replayed apply: %v", err)
+	}
+	assertOraclesAgree(t, direct, replayed, direct.Graph().NumNodes(), 400)
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"reflect"
 	"testing"
 
@@ -262,5 +264,52 @@ func TestCorruptOracleFiles(t *testing.T) {
 		if _, err := ReadOracle(bytes.NewReader(blob[:cut])); err == nil {
 			t.Fatalf("truncation at %d bytes accepted", cut)
 		}
+	}
+}
+
+// TestLoadSkipsFutureSections: a snapshot that a newer format revision
+// extended with trailing sections (unknown tags, byte-count headers)
+// must still load on today's reader and answer queries identically —
+// the forward-compatibility contract replicas rely on when a writer
+// upgrades first.
+func TestLoadSkipsFutureSections(t *testing.T) {
+	g := socialGraph(33, 300)
+	o := mustBuild(t, g, Options{Seed: 33})
+	var buf bytes.Buffer
+	if err := WriteOracle(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Rebuild the trailer: drop the end marker (12 bytes) + CRC (4),
+	// splice in two future sections, re-terminate, re-checksum.
+	body := append([]byte(nil), blob[:len(blob)-16]...)
+	section := func(tag uint32, payload []byte) {
+		var hdr [12]byte
+		binary.LittleEndian.PutUint32(hdr[0:], tag)
+		binary.LittleEndian.PutUint64(hdr[4:], uint64(len(payload)))
+		body = append(body, hdr[:]...)
+		body = append(body, payload...)
+	}
+	section(500, []byte("future manifest metadata"))
+	section(501, bytes.Repeat([]byte{0x5A}, 100_000))
+	section(0, nil) // end marker
+	crc := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli))
+	body = binary.LittleEndian.AppendUint32(body, crc)
+
+	for _, hint := range []int64{int64(len(body)), -1} {
+		var (
+			got *Oracle
+			err error
+		)
+		if hint < 0 {
+			got, err = ReadOracle(bytes.NewReader(body))
+		} else {
+			got, err = readOracleSized(bytes.NewReader(body), hint)
+		}
+		if err != nil {
+			t.Fatalf("hint %d: extended snapshot rejected: %v", hint, err)
+		}
+		assertOraclesAgree(t, o, got, g.NumNodes(), 300)
 	}
 }

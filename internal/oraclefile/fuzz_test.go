@@ -67,6 +67,22 @@ func FuzzReader(f *testing.F) {
 	huge = append(huge, 1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0)
 	f.Add(huge, true)
 	f.Add(huge, false)
+	// A container with unknown (future) sections interleaved between the
+	// scheduled tags: the reader must skip them and still verify the CRC.
+	var fwd bytes.Buffer
+	fw := NewWriter(&fwd, 1)
+	fw.U64s(1, []uint64{1, 2, 3})
+	fw.Raw(100, []byte("future section"))
+	fw.U32s(2, []uint32{4, 5})
+	fw.Raw(3, []byte("raw-bytes"))
+	fw.U16s(4, []uint16{6})
+	fw.U32s(5, []uint32{7, 8, 9})
+	fw.Raw(200, []byte("trailing future section"))
+	if err := fw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fwd.Bytes(), true)
+	f.Add(fwd.Bytes(), false)
 
 	f.Fuzz(func(t *testing.T, data []byte, sized bool) {
 		hint := int64(-1)

@@ -10,12 +10,19 @@
 //	data   count elements, little-endian (u16/u32/u64 arrays, or raw bytes)
 //
 // and the writer/reader pair in internal/core lays oracle fields out as
-// an agreed sequence of sections. Readers demand sections in order by
-// tag, so a file with missing, reordered or foreign sections fails
-// fast with ErrSection instead of misparsing. Array data moves through
-// fixed-size chunk buffers (near-memcpy speed, allocation proportional
-// to data actually present, so a corrupt count on a truncated file
-// cannot force a huge allocation).
+// an agreed sequence of sections in strictly increasing tag order.
+// Readers demand sections in order by tag: a tag below the wanted one
+// means the wanted section is missing or the file is reordered, and
+// fails fast with ErrSection instead of misparsing. A tag above the
+// wanted one is a section this reader does not know about — written by
+// a newer format revision — and is skipped, so old readers survive new
+// trailing or interleaved sections (forward compatibility). Because
+// the skip has only the header to go by, every section added after
+// format v1 MUST store a byte count in the header (Raw-style), not an
+// element count. Array data moves through fixed-size chunk buffers
+// (near-memcpy speed, allocation proportional to data actually
+// present, so a corrupt count on a truncated file cannot force a huge
+// allocation).
 //
 // Integrity, not authentication: the trailing checksum reliably
 // detects truncation and accidental corruption, which is the threat
@@ -266,17 +273,50 @@ func (or *Reader) sized(count uint64, elemSize int) (bool, error) {
 	return true, nil
 }
 
-// header reads a section header and checks the tag.
+// header reads section headers until it finds the wanted tag.
+//
+// Sections appear in strictly increasing tag order, so a greater tag
+// is one this reader does not know about (a newer format revision
+// appended it): its payload is skipped — by convention every section
+// added after v1 stores a byte count in the header, exactly like Raw —
+// with the skipped bytes still feeding the checksum. A smaller tag
+// means the wanted section is missing or the file is reordered: fail
+// fast with ErrSection.
 func (or *Reader) header(tag uint32) (count uint64, err error) {
-	var hdr [12]byte
-	if err := or.read(hdr[:]); err != nil {
-		return 0, err
+	for {
+		var hdr [12]byte
+		if err := or.read(hdr[:]); err != nil {
+			return 0, err
+		}
+		got := binary.LittleEndian.Uint32(hdr[0:])
+		n := binary.LittleEndian.Uint64(hdr[4:])
+		if got == tag {
+			return n, nil
+		}
+		if got < tag || got == endTag {
+			return 0, fmt.Errorf("%w: got tag %d, want %d", ErrSection, got, tag)
+		}
+		if err := or.skip(n); err != nil {
+			return 0, err
+		}
 	}
-	got := binary.LittleEndian.Uint32(hdr[0:])
-	if got != tag {
-		return 0, fmt.Errorf("%w: got tag %d, want %d", ErrSection, got, tag)
+}
+
+// skip consumes n payload bytes of an unknown section, feeding the
+// checksum. The size hint bounds the claim before any reads, so a
+// corrupt length on a truncated file fails fast instead of spinning.
+func (or *Reader) skip(n uint64) error {
+	if _, err := or.sized(n, 1); err != nil {
+		return err
 	}
-	return binary.LittleEndian.Uint64(hdr[4:]), nil
+	for n > 0 {
+		c := int(min(n, uint64(len(or.buf))))
+		if err := or.read(or.buf[:c]); err != nil {
+			return err
+		}
+		n -= uint64(c)
+	}
+	return nil
 }
 
 // U16s reads the uint16-array section with the given tag.

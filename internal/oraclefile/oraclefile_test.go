@@ -75,6 +75,103 @@ func TestSectionOrderEnforced(t *testing.T) {
 	}
 }
 
+// TestSkipsUnknownSections: a reader built for today's schedule must
+// load a file that interleaves and appends sections with higher,
+// unknown tags (written by a newer format revision). Skipped bytes
+// still feed the checksum, so corruption inside a skipped section is
+// detected at Close.
+func TestSkipsUnknownSections(t *testing.T) {
+	build := func() []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 1)
+		w.U32s(1, []uint32{10, 20})
+		// Unknown sections carry tags above every known one and use
+		// byte-count headers (the post-v1 convention), so Raw models
+		// them exactly.
+		w.Raw(100, []byte("future section between known tags"))
+		w.U16s(9, []uint16{33})
+		w.Raw(112, bytes.Repeat([]byte{0xAB}, 3*8192+5)) // spans chunk buffers
+		w.U64s(40, []uint64{77})
+		w.Raw(199, []byte("trailing future section"))
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, hint := range []int64{-1, 0} {
+		blob := build()
+		if hint == 0 {
+			hint = int64(len(blob))
+		}
+		r, err := NewReader(bytes.NewReader(blob), hint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.U32s(1)
+		if err != nil || !reflect.DeepEqual(got, []uint32{10, 20}) {
+			t.Fatalf("U32s(1) = %v, %v", got, err)
+		}
+		got16, err := r.U16s(9)
+		if err != nil || !reflect.DeepEqual(got16, []uint16{33}) {
+			t.Fatalf("U16s(9) = %v, %v", got16, err)
+		}
+		got64, err := r.U64s(40)
+		if err != nil || !reflect.DeepEqual(got64, []uint64{77}) {
+			t.Fatalf("U64s(40) = %v, %v", got64, err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("Close with skipped sections: %v", err)
+		}
+	}
+
+	// Corruption inside a skipped section must still fail the checksum.
+	blob := build()
+	blob[len(blob)-10] ^= 0x40 // inside the trailing unknown section
+	r, err := NewReader(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.U32s(1); err != nil {
+		t.Fatalf("U32s(1): %v", err)
+	}
+	if _, err := r.U16s(9); err != nil {
+		t.Fatalf("U16s(9): %v", err)
+	}
+	if _, err := r.U64s(40); err != nil {
+		t.Fatalf("U64s(40): %v", err)
+	}
+	if err := r.Close(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt skipped section: %v, want ErrChecksum", err)
+	}
+}
+
+// TestSkipBoundedBySizeHint: an unknown section claiming more bytes
+// than the file holds must be rejected before any reads when the size
+// is known, and hit ErrTruncated when streamed.
+func TestSkipBoundedBySizeHint(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	w.Raw(100, []byte("short"))
+	w.U32s(60, []uint32{1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	// Blow up the unknown section's byte count (offset: magic 4 +
+	// version 2 + tag 4).
+	blob[10+2] = 0xFF
+	blob[10+3] = 0xFF
+	for _, hint := range []int64{int64(len(blob)), -1} {
+		r, err := NewReader(bytes.NewReader(blob), hint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.U32s(60); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("hint %d: huge skip claim: %v, want ErrTruncated", hint, err)
+		}
+	}
+}
+
 func TestChecksumAndTruncation(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf, 1)

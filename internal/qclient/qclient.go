@@ -3,8 +3,11 @@
 // mode requests are serialized over it, while a Client dialed with
 // Options.Mux negotiates the multiplexed session mode and runs many
 // requests in flight at once, demultiplexing replies by request id.
-// Pool spreads concurrent callers over a fixed number of connections in
-// either mode.
+// Pool spreads concurrent callers over a fixed number of lazily-dialed
+// connections to one server in either mode; Router spreads reads over a
+// cluster of replicas — per-replica health and epoch tracking,
+// read-your-epoch placement (QuerySpec.MinEpoch), hedged requests, and
+// scatter-gather over scope-partitioned shards.
 package qclient
 
 import (
@@ -191,6 +194,10 @@ func (c *Client) Close() error {
 
 // ErrClosed is returned for requests on a closed client.
 var ErrClosed = errors.New("qclient: client is closed")
+
+// ErrStaleRead is returned when a response's epoch is behind the
+// QuerySpec.MinEpoch the caller demanded (read-your-epoch violated).
+var ErrStaleRead = errors.New("qclient: replica behind requested min-epoch")
 
 // deadlineGrace is how long past the context deadline the client keeps
 // listening for the server's typed cancellation reply (deadline
@@ -563,6 +570,13 @@ type QuerySpec struct {
 	// to this many workers (0 or 1 = sequential; the server clamps to
 	// its own ceiling). Answers are bit-identical either way.
 	Parallel int
+	// MinEpoch demands the answer come from a snapshot at this cluster
+	// epoch or later — the read-your-epoch guarantee after a write: pass
+	// the epoch the writer returned and a lagging replica's answer is
+	// refused with ErrStaleRead instead of silently serving the past. A
+	// Router retries stale reads on other replicas; a bare Client or
+	// Pool surfaces the error. 0 disables the check.
+	MinEpoch uint64
 }
 
 // QueryItem is one target's answer in a QueryResult. Err wraps the
@@ -644,6 +658,9 @@ func (c *Client) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error
 	if !ok {
 		return nil, fmt.Errorf("qclient: unexpected response %v", resp.WireType())
 	}
+	if spec.MinEpoch > 0 && qr.Epoch < spec.MinEpoch {
+		return nil, fmt.Errorf("%w: at epoch %d, need %d", ErrStaleRead, qr.Epoch, spec.MinEpoch)
+	}
 	want := 1
 	if spec.Ts != nil {
 		want = len(spec.Ts)
@@ -696,6 +713,22 @@ func (c *Client) Stats() (*wire.StatsResponse, error) {
 	return st, nil
 }
 
+// ReplStatus asks the server for its place in the replication
+// topology: role, serving epoch, retained delta window. Routers use it
+// to seed epoch tracking; servers predating the frame answer with a
+// bad-request error.
+func (c *Client) ReplStatus() (*wire.ReplStatusResponse, error) {
+	resp, err := c.roundTrip(&wire.ReplStatusRequest{})
+	if err != nil {
+		return nil, err
+	}
+	st, ok := resp.(*wire.ReplStatusResponse)
+	if !ok {
+		return nil, fmt.Errorf("qclient: unexpected response %v", resp.WireType())
+	}
+	return st, nil
+}
+
 // Ping round-trips a token and reports the latency.
 func (c *Client) Ping() (time.Duration, error) {
 	token := uint64(time.Now().UnixNano())
@@ -714,14 +747,16 @@ func (c *Client) Ping() (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// Pool is a fixed-size pool of clients for concurrent callers. A
-// pooled client whose connection died (the desync guard closes on any
-// i/o failure) is transparently redialed at the next borrow, so one
-// transient timeout degrades a single request instead of permanently
-// shrinking the pool. Multiplexed clients (Options.Mux) are handed out
-// shared rather than exclusively: many callers can run in flight on
-// one connection at once, so the pool size caps connections, not
-// concurrency.
+// Pool is a fixed-size pool of clients for concurrent callers,
+// dialing lazily: construction allocates slots without touching the
+// network, and each slot connects on its first borrow. A pooled client
+// whose connection died (the desync guard closes on any i/o failure)
+// is transparently redialed at the next borrow, so a backend that is
+// down at construction — or dies and comes back mid-run — costs
+// exactly the requests that raced the outage, never the pool.
+// Multiplexed clients (Options.Mux) are handed out shared rather than
+// exclusively: many callers can run in flight on one connection at
+// once, so the pool size caps connections, not concurrency.
 type Pool struct {
 	addr    string
 	opts    Options
@@ -731,18 +766,20 @@ type Pool struct {
 	all []*Client
 }
 
-// NewPool dials size connections to addr.
+// NewPool creates a pool of size connection slots for addr. No
+// connection is attempted yet — a dead backend surfaces as request
+// errors, then stops mattering the moment it comes up — so the error
+// is always nil and exists only for call-site compatibility.
 func NewPool(addr string, size int, opts Options) (*Pool, error) {
 	if size < 1 {
 		size = 1
 	}
 	p := &Pool{addr: addr, opts: opts, clients: make(chan *Client, size)}
 	for i := 0; i < size; i++ {
-		c, err := Dial(addr, opts)
-		if err != nil {
-			p.Close()
-			return nil, err
-		}
+		// A placeholder client is simply "not alive": borrow's redial
+		// path dials it on first use, the same way it revives a died one.
+		c := &Client{opts: opts.withDefaults()}
+		c.closed = true
 		p.clients <- c
 		p.all = append(p.all, c)
 	}
@@ -837,6 +874,16 @@ func (p *Pool) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error) 
 	}
 	defer p.release(c)
 	return c.Query(ctx, spec)
+}
+
+// ReplStatus borrows a client for one replication status probe.
+func (p *Pool) ReplStatus(ctx context.Context) (*wire.ReplStatusResponse, error) {
+	c, err := p.borrow(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(c)
+	return c.ReplStatus()
 }
 
 // Close closes every connection the pool ever dialed.

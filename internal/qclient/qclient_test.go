@@ -4,6 +4,7 @@ package qclient_test
 // against the real server lives in internal/qserver's integration tests.
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -130,15 +131,51 @@ func TestPongTokenMismatch(t *testing.T) {
 	}
 }
 
-func TestPoolDialFailureCleansUp(t *testing.T) {
+// TestPoolRedialsOnRecovery pins the lazy-pool contract: a pool to a
+// dead backend constructs fine, fails per-request while the backend is
+// down, and starts answering again — no pool restart — once something
+// listens at the address.
+func TestPoolRedialsOnRecovery(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := ln.Addr().String()
 	ln.Close()
-	if _, err := qclient.NewPool(addr, 3, qclient.Options{DialTimeout: 300 * time.Millisecond}); err == nil {
-		t.Fatal("pool to dead port succeeded")
+
+	p, err := qclient.NewPool(addr, 3, qclient.Options{DialTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("lazy pool construction to dead backend failed: %v", err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+	if _, _, err := p.Distance(ctx, 1, 2); err == nil {
+		t.Fatal("request to dead backend succeeded")
+	}
+
+	// Backend comes back on the same address; the next borrow redials.
+	ln, err = net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := wire.ReadMessage(conn); err != nil {
+			return
+		}
+		_ = wire.WriteMessage(conn, &wire.DistanceResponse{Dist: 42, Method: 1})
+	}()
+	d, _, err := p.Distance(ctx, 1, 2)
+	if err != nil {
+		t.Fatalf("request after backend recovery: %v", err)
+	}
+	if d != 42 {
+		t.Fatalf("dist = %d, want 42", d)
 	}
 }
 

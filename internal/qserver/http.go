@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"vicinity/internal/core"
+	"vicinity/internal/store"
 	"vicinity/internal/wire"
 )
 
@@ -22,6 +23,8 @@ import (
 //	GET  /v1/stats                  → oracle build statistics and server counters
 //	POST /v1/admin/update           → apply a graph mutation batch (requires Config.AllowUpdates)
 //	POST /v1/admin/save             → serialize the current oracle to a server-side path (requires Config.AllowUpdates)
+//	GET  /v1/repl/manifest          → replication manifest: role, epoch, retained delta window
+//	GET  /v1/repl/fetch             → snapshot or delta artifact for replicas (see store.ReplHandler)
 //	GET  /healthz                   → 200 "ok"
 //
 // The batch body names one source and many targets; the response
@@ -53,6 +56,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/update", s.handleUpdate)
 	mux.HandleFunc("POST /v1/admin/save", s.handleSave)
+	mux.Handle("/v1/repl/", store.ReplHandler(s.cat))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -115,10 +119,16 @@ const maxUpdateBody = 64 << 20
 // in a tiny request body could otherwise OOM the server.
 const maxUpdateNodes = 1 << 20
 
-// handleUpdate applies a mutation batch posted as JSON.
+// handleUpdate applies a mutation batch posted as JSON. Replicas
+// refuse: their state changes only by following the writer.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !s.cfg.AllowUpdates {
 		writeJSON(w, http.StatusForbidden, httpError{Error: "updates disabled: start the server with updates enabled"})
+		return
+	}
+	if s.cat.Role() == store.RoleReplica {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusForbidden, httpError{Error: store.ErrReplicaReadOnly.Error(), Code: "replica_read_only"})
 		return
 	}
 	var body struct {
@@ -213,8 +223,8 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, httpError{Error: "invalid save body: want {\"path\":\"...\"}"})
 		return
 	}
-	snap := s.Oracle()
-	if err := core.SaveOracleFile(body.Path, snap); err != nil {
+	epoch, err := s.cat.SaveFile(body.Path)
+	if err != nil {
 		s.errCount.Add(1)
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -223,7 +233,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		Path  string `json:"path"`
 		Epoch uint64 `json:"epoch"`
 	}
-	writeJSON(w, http.StatusOK, resp{Path: body.Path, Epoch: s.epoch.Load()})
+	writeJSON(w, http.StatusOK, resp{Path: body.Path, Epoch: epoch})
 }
 
 // handleBatch answers a one-to-many ranking batch posted as JSON.
@@ -246,8 +256,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(int64(len(body.Ts)))
+	s.stall(r.Context())
 	defer s.observe(EpBatch, time.Now())
-	res, err := s.oracle.Load().DistanceMany(body.S, body.Ts)
+	res, err := s.Oracle().DistanceMany(body.S, body.Ts)
 	if err != nil {
 		s.errCount.Add(1)
 		writeError(w, queryStatus(err), err)
@@ -291,8 +302,9 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	s.stall(r.Context())
 	defer s.observe(EpDistance, time.Now())
-	d, method, err := s.oracle.Load().Distance(from, to)
+	d, method, err := s.Oracle().Distance(from, to)
 	if err != nil {
 		s.errCount.Add(1)
 		writeError(w, queryStatus(err), err)
@@ -320,8 +332,9 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	s.stall(r.Context())
 	defer s.observe(EpPath, time.Now())
-	p, method, err := s.oracle.Load().Path(from, to)
+	p, method, err := s.Oracle().Path(from, to)
 	if err != nil {
 		s.errCount.Add(1)
 		writeError(w, queryStatus(err), err)
@@ -375,10 +388,54 @@ func (s *Server) latencyStats() map[string]LatencyStats {
 	return out
 }
 
+// ReplicationStats is the JSON shape of the replication section in
+// /v1/stats: the node's role and epoch, how far behind its upstream it
+// is (replicas only), and the sync gauges its Replicator maintains.
+type ReplicationStats struct {
+	Role          string        `json:"role"`
+	Epoch         uint64        `json:"epoch"`
+	UpstreamEpoch uint64        `json:"upstream_epoch,omitempty"`
+	Lag           uint64        `json:"lag"`
+	FullSyncs     int64         `json:"full_syncs"`
+	DeltaSyncs    int64         `json:"delta_syncs"`
+	SyncErrors    int64         `json:"sync_errors"`
+	LastSyncBytes int64         `json:"last_sync_bytes"`
+	LastSyncMS    float64       `json:"last_sync_ms"`
+	Fetch         *LatencyStats `json:"fetch,omitempty"`
+}
+
+// replicationStats summarizes the catalog's replication gauges.
+func (s *Server) replicationStats() ReplicationStats {
+	rs := s.cat.ReplStats()
+	out := ReplicationStats{
+		Role:          rs.Role.String(),
+		Epoch:         rs.Epoch,
+		UpstreamEpoch: rs.UpstreamEpoch,
+		Lag:           rs.Lag,
+		FullSyncs:     rs.FullSyncs,
+		DeltaSyncs:    rs.DeltaSyncs,
+		SyncErrors:    rs.SyncErrors,
+		LastSyncBytes: rs.LastSyncBytes,
+		LastSyncMS:    float64(rs.LastSyncNanos) / 1e6,
+	}
+	if rs.Fetch.Count() > 0 {
+		const us = 1e3
+		out.Fetch = &LatencyStats{
+			Count:  rs.Fetch.Count(),
+			MeanUS: rs.Fetch.Mean() / us,
+			P50US:  float64(rs.Fetch.Quantile(0.50)) / us,
+			P95US:  float64(rs.Fetch.Quantile(0.95)) / us,
+			P99US:  float64(rs.Fetch.Quantile(0.99)) / us,
+			MaxUS:  float64(rs.Fetch.Max()) / us,
+		}
+	}
+	return out
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	oracle := s.oracle.Load()
-	st := oracle.Stats()
-	ms := oracle.Memory()
+	cur := s.cat.State()
+	st := cur.Oracle.Stats()
+	ms := cur.Oracle.Memory()
 	type resp struct {
 		Nodes        int                     `json:"nodes"`
 		Edges        int                     `json:"edges"`
@@ -397,6 +454,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight     int64                   `json:"in_flight"`
 		Shed         int64                   `json:"shed"`
 		MuxConns     int64                   `json:"mux_conns"`
+		Replication  ReplicationStats        `json:"replication"`
 		Latency      map[string]LatencyStats `json:"latency,omitempty"`
 	}
 	writeJSON(w, http.StatusOK, resp{
@@ -412,11 +470,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TotalBytes:   ms.TotalBytes,
 		Queries:      s.queries.Load(),
 		Errors:       s.errCount.Load(),
-		Updates:      s.updates.Load(),
-		Epoch:        s.epoch.Load(),
+		Updates:      s.cat.Updates(),
+		Epoch:        cur.Epoch,
 		InFlight:     s.inFlight.Load(),
 		Shed:         s.shed.Load(),
 		MuxConns:     s.muxConns.Load(),
+		Replication:  s.replicationStats(),
 		Latency:      s.latencyStats(),
 	})
 }
@@ -535,7 +594,9 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		s.queries.Add(1)
 	}
 
-	res, err := s.oracle.Load().Query(ctx, req)
+	s.stall(ctx)
+	pinned := s.cat.State()
+	res, err := pinned.Oracle.Query(ctx, req)
 
 	type v2Item struct {
 		T         uint32   `json:"t"`
@@ -573,7 +634,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		return it
 	}
 
-	out := v2Resp{S: body.S, Epoch: res.Epoch, Results: []v2Item{}}
+	out := v2Resp{S: body.S, Epoch: pinned.Epoch, Results: []v2Item{}}
 	if body.Ts != nil {
 		if err != nil && res.Items == nil {
 			s.errCount.Add(1)

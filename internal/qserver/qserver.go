@@ -8,10 +8,15 @@
 // enforced with a semaphore, graceful shutdown draining active
 // connections, and atomic counters exported for scraping.
 //
-// The served oracle lives behind an atomic pointer: dynamic updates
+// The served oracle lives in a store.Catalog — the epoch-versioned
+// snapshot state machine shared by every serving role. Dynamic updates
 // (ApplyUpdates, or the /v1/admin/update endpoint when enabled) build a
 // new snapshot copy-on-write and swap it in with zero query downtime —
-// queries never take a lock and each one reads a consistent epoch.
+// queries never take a lock and each one reads a consistent epoch. A
+// server created with NewWithCatalog in store.RoleWriter publishes
+// snapshots and delta artifacts under /v1/repl/ for read replicas to
+// follow; one in store.RoleReplica serves queries from whatever state
+// its Replicator installs and refuses mutation.
 package qserver
 
 import (
@@ -28,6 +33,7 @@ import (
 
 	"vicinity/internal/core"
 	"vicinity/internal/lhist"
+	"vicinity/internal/store"
 	"vicinity/internal/wire"
 )
 
@@ -71,6 +77,12 @@ type Config struct {
 	// through TCP instead of unbounded goroutine growth. Server-wide
 	// admission control (MaxInFlight) still applies on top.
 	MaxConnWorkers int
+	// StallQueries artificially delays every query (distance, path,
+	// batch, v2) by this duration before any oracle work — a chaos knob
+	// for exercising client-side hedging against a slow replica. Pings,
+	// stats and replication status frames are unaffected, so health
+	// checks still see a live server. Never set in production.
+	StallQueries time.Duration
 
 	// testHookQuery, when non-nil, runs at the start of every v2 query
 	// with the request context. Tests use it to hold a request in
@@ -145,8 +157,8 @@ func (e Endpoint) String() string {
 // Server answers oracle queries. Create with New, start with Serve or
 // ListenAndServe, stop with Shutdown.
 type Server struct {
-	oracle atomic.Pointer[core.Oracle]
-	cfg    Config
+	cat *store.Catalog
+	cfg Config
 
 	// baseCtx parents every request context. Shutdown cancels it once
 	// draining is over (or immediately on a forced shutdown), so
@@ -161,8 +173,6 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 
-	updMu sync.Mutex // serializes ApplyUpdates; queries never take it
-
 	sem chan struct{}
 	wg  sync.WaitGroup
 
@@ -172,8 +182,6 @@ type Server struct {
 	errCount     atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
-	updates      atomic.Int64
-	epoch        atomic.Uint64
 	inFlight     atomic.Int64
 	shed         atomic.Int64
 	muxConns     atomic.Int64
@@ -207,43 +215,45 @@ func (s *Server) admit(p core.Policy) (core.Policy, func()) {
 	return p, leave
 }
 
-// New returns an unstarted server for the oracle.
+// New returns an unstarted standalone server for the oracle.
 func New(oracle *core.Oracle, cfg Config) *Server {
+	return NewWithCatalog(store.NewCatalog(oracle, store.RoleStandalone), cfg)
+}
+
+// NewWithCatalog returns an unstarted server serving the catalog's
+// current state — the entry point for replicated roles: pass a
+// store.RoleWriter catalog to publish snapshots and deltas, a
+// store.RoleReplica one (driven by a store.Replicator) to serve
+// read-only replicas.
+func NewWithCatalog(cat *store.Catalog, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
+		cat:   cat,
 		cfg:   cfg,
 		conns: make(map[net.Conn]struct{}),
 		sem:   make(chan struct{}, cfg.MaxConns),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	s.oracle.Store(oracle)
 	return s
 }
 
+// Catalog returns the snapshot catalog the server serves from.
+func (s *Server) Catalog() *store.Catalog { return s.cat }
+
 // Oracle returns the currently served oracle snapshot.
-func (s *Server) Oracle() *core.Oracle { return s.oracle.Load() }
+func (s *Server) Oracle() *core.Oracle { return s.cat.State().Oracle }
 
 // ApplyUpdates applies the batch to the served oracle copy-on-write and
 // atomically swaps the new snapshot in; in-flight queries finish on the
 // epoch they started with and later queries see the updated graph. It
 // returns the new epoch number together with that epoch's snapshot
-// (epoch and snapshot are taken under the update lock, so they are
+// (taken together under the catalog's mutation lock, so they are
 // consistent with each other even when batches race). Batches are
-// serialized; queries are never blocked.
+// serialized; queries are never blocked. On a replica it refuses with
+// store.ErrReplicaReadOnly — state arrives only via replication.
 func (s *Server) ApplyUpdates(u core.Update) (uint64, *core.Oracle, error) {
-	s.updMu.Lock()
-	defer s.updMu.Unlock()
-	cur := s.oracle.Load()
-	next, err := cur.ApplyUpdates(u)
-	if err != nil {
-		return s.epoch.Load(), cur, err
-	}
-	if next != cur {
-		s.oracle.Store(next)
-		s.updates.Add(1)
-		return s.epoch.Add(1), next, nil
-	}
-	return s.epoch.Load(), cur, nil // no-op batch
+	st, err := s.cat.Apply(u)
+	return st.Epoch, st.Oracle, err
 }
 
 // Metrics returns a snapshot of the server counters.
@@ -255,8 +265,8 @@ func (s *Server) Metrics() Metrics {
 		Errors:       s.errCount.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
-		Updates:      s.updates.Load(),
-		Epoch:        s.epoch.Load(),
+		Updates:      s.cat.Updates(),
+		Epoch:        s.cat.Epoch(),
 		InFlight:     s.inFlight.Load(),
 		Shed:         s.shed.Load(),
 		MuxConns:     s.muxConns.Load(),
@@ -585,20 +595,46 @@ func isProtocolError(err error) bool {
 		errors.Is(err, wire.ErrTruncated)
 }
 
-// dispatch answers a single request message. The oracle snapshot is
-// pinned once per request, so a concurrent update swap cannot split one
-// query across epochs. ctx parents any search the request runs: the
-// serial loop passes the server's base context, the multiplexed path a
+// stall implements the Config.StallQueries chaos knob: it sleeps the
+// configured delay (respecting cancellation) before a query runs.
+func (s *Server) stall(ctx context.Context) {
+	if s.cfg.StallQueries <= 0 {
+		return
+	}
+	t := time.NewTimer(s.cfg.StallQueries)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// dispatch answers a single request message. The serving state — oracle
+// snapshot plus cluster epoch — is pinned once per request, so a
+// concurrent update swap or replica sync cannot split one query across
+// epochs. ctx parents any search the request runs: the serial loop
+// passes the server's base context, the multiplexed path a
 // per-connection context canceled when the client goes away.
 func (s *Server) dispatch(ctx context.Context, req wire.Message) wire.Message {
 	s.bytesRead.Add(1)
-	oracle := s.oracle.Load()
+	st := s.cat.State()
+	oracle := st.Oracle
 	switch m := req.(type) {
 	case *wire.PingRequest:
 		return &wire.PingResponse{Token: m.Token}
 
+	case *wire.ReplStatusRequest:
+		man := s.cat.Manifest()
+		return &wire.ReplStatusResponse{
+			Role:     uint8(s.cat.Role()),
+			Epoch:    man.Epoch,
+			MinDelta: man.MinDelta,
+			MaxDelta: man.MaxDelta,
+		}
+
 	case *wire.DistanceRequest:
 		s.queries.Add(1)
+		s.stall(ctx)
 		defer s.observe(EpDistance, time.Now())
 		d, method, err := oracle.Distance(m.S, m.T)
 		if err != nil {
@@ -609,6 +645,7 @@ func (s *Server) dispatch(ctx context.Context, req wire.Message) wire.Message {
 
 	case *wire.PathRequest:
 		s.queries.Add(1)
+		s.stall(ctx)
 		defer s.observe(EpPath, time.Now())
 		p, method, err := oracle.Path(m.S, m.T)
 		if err != nil {
@@ -623,6 +660,7 @@ func (s *Server) dispatch(ctx context.Context, req wire.Message) wire.Message {
 		// target counts as one query; per-target failures come back as
 		// item codes without failing the batch.
 		s.queries.Add(int64(len(m.Ts)))
+		s.stall(ctx)
 		defer s.observe(EpBatch, time.Now())
 		res, err := oracle.DistanceMany(m.S, m.Ts)
 		if err != nil {
@@ -640,7 +678,7 @@ func (s *Server) dispatch(ctx context.Context, req wire.Message) wire.Message {
 		return &wire.BatchResponse{Items: items}
 
 	case *wire.QueryRequest:
-		return s.dispatchQuery(ctx, oracle, m)
+		return s.dispatchQuery(ctx, st, m)
 
 	case *wire.StatsRequest:
 		st := oracle.Stats()
@@ -669,7 +707,8 @@ func (s *Server) dispatch(ctx context.Context, req wire.Message) wire.Message {
 // searches) with the frame's relative deadline applied on top; budget/cancel outcomes come back as
 // per-item codes so the best-known bound survives the wire, while
 // validation failures keep the v1 ErrorResponse shape.
-func (s *Server) dispatchQuery(ctx context.Context, oracle *core.Oracle, m *wire.QueryRequest) wire.Message {
+func (s *Server) dispatchQuery(ctx context.Context, st *store.State, m *wire.QueryRequest) wire.Message {
+	oracle := st.Oracle
 	many := m.Flags&wire.QueryMany != 0
 	// Validate before counting, so rejected frames do not inflate
 	// queries_served; the HTTP layer enforces the same limits.
@@ -692,6 +731,7 @@ func (s *Server) dispatchQuery(ctx context.Context, oracle *core.Oracle, m *wire
 	} else {
 		s.queries.Add(1)
 	}
+	s.stall(ctx)
 	defer s.observe(EpQuery, time.Now())
 	if many {
 		defer s.observe(EpBatch, time.Now())
@@ -727,7 +767,11 @@ func (s *Server) dispatchQuery(ctx context.Context, oracle *core.Oracle, m *wire
 	}
 	res, err := oracle.Query(ctx, req)
 
-	resp := &wire.QueryResponse{Epoch: res.Epoch}
+	// The response reports the cluster epoch pinned with the snapshot,
+	// not the oracle's internal generation counter: a replica's loaded
+	// snapshot restarts its generation at zero, but its cluster epoch
+	// matches the writer's, which is what read-your-epoch routing needs.
+	resp := &wire.QueryResponse{Epoch: st.Epoch}
 	if req.WantStats {
 		resp.Lookups = wire.ClampU32(res.Cost.Lookups)
 		resp.Scanned = wire.ClampU32(res.Cost.Scanned)

@@ -1,0 +1,402 @@
+// Package store owns the oracle serving lifecycle: one epoch-versioned
+// snapshot catalog that loads or builds an oracle, absorbs update
+// batches copy-on-write, serializes snapshots, and emits delta
+// artifacts — the churn batches themselves, stamped with the epoch
+// interval they span and serialized in the oraclefile container
+// (core.Delta).
+//
+// The catalog is the single source of truth both serving roles share:
+//
+//   - A writer (or standalone server) applies updates through Apply;
+//     each applied batch bumps the epoch and is retained as an encoded
+//     delta artifact, so replicas can catch up by replaying exactly the
+//     batches the writer applied.
+//   - A read replica never mutates on its own: it installs full
+//     snapshots (InstallSnapshot) or replays fetched delta artifacts
+//     (ApplyDeltaBytes) in epoch order, retaining the raw bytes so it
+//     can serve as the upstream of further replicas unchanged.
+//
+// Queries pin one State — oracle plus epoch behind a single atomic
+// pointer — so a concurrent install or update can never split a
+// request across epochs, and a replica reports the cluster epoch of
+// the snapshot it serves rather than the core generation counter
+// (which restarts at zero whenever a snapshot file is loaded).
+//
+// Convergence argument: ApplyUpdates is deterministic and produces an
+// oracle structurally identical to a fresh build with the same
+// landmark set (property-tested since PR 2/7), and snapshot files
+// round-trip bit-identically. A replica that installs the writer's
+// snapshot at epoch E and replays the writer's deltas E+1..F therefore
+// answers every query bit-identically to the writer at epoch F.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"vicinity/internal/core"
+	"vicinity/internal/graph"
+	"vicinity/internal/lhist"
+)
+
+// Role is a serving role in the replication topology.
+type Role uint8
+
+// Serving roles.
+const (
+	// RoleStandalone serves queries and applies updates locally without
+	// participating in replication (the pre-cluster single-node shape).
+	// It still retains delta artifacts, so replicas may follow it.
+	RoleStandalone Role = iota
+	// RoleWriter applies updates and publishes snapshots + deltas.
+	RoleWriter
+	// RoleReplica follows an upstream: all local mutation is refused,
+	// state changes arrive only via InstallSnapshot / ApplyDeltaBytes.
+	RoleReplica
+)
+
+// String returns the stats-reporting name of the role.
+func (r Role) String() string {
+	switch r {
+	case RoleStandalone:
+		return "standalone"
+	case RoleWriter:
+		return "writer"
+	case RoleReplica:
+		return "replica"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// State is one immutable epoch of serving state: the oracle snapshot
+// and the cluster epoch it corresponds to. Both live behind one atomic
+// pointer so a query pins them together.
+type State struct {
+	Oracle *core.Oracle
+	Epoch  uint64
+}
+
+// Catalog errors.
+var (
+	// ErrReplicaReadOnly is returned by Apply on a replica: replicas
+	// change state only by following their upstream.
+	ErrReplicaReadOnly = errors.New("store: replica is read-only; updates go to the writer")
+	// ErrWriterFollows is returned when snapshot installation or delta
+	// replay is attempted on a writer, which is the source of truth.
+	ErrWriterFollows = errors.New("store: writer does not follow an upstream")
+	// ErrDeltaGap is returned when a delta's FromEpoch does not match
+	// the catalog's current epoch: replay must be gapless and in order.
+	ErrDeltaGap = errors.New("store: delta does not extend the current epoch")
+	// ErrEpochRegression is returned when a snapshot install would move
+	// the epoch backwards.
+	ErrEpochRegression = errors.New("store: snapshot epoch is behind the current epoch")
+)
+
+// DefaultMaxDeltas is how many delta artifacts a catalog retains.
+// Replicas farther behind than the retained window fall back to a full
+// snapshot fetch.
+const DefaultMaxDeltas = 64
+
+// deltaEntry is one retained artifact; to is its Delta.ToEpoch.
+type deltaEntry struct {
+	to  uint64
+	raw []byte
+}
+
+// Catalog is the epoch-versioned snapshot state machine. Create with
+// NewCatalog; all methods are safe for concurrent use. Reads
+// (State/Manifest/DeltaArtifact) never block behind mutations.
+type Catalog struct {
+	role      Role
+	maxDeltas int
+
+	cur atomic.Pointer[State]
+
+	// synced is false only for Bootstrap catalogs that have never
+	// installed upstream state: their epoch-0 placeholder must not be
+	// mistaken for a writer's epoch-0 snapshot (epoch equality alone
+	// cannot distinguish them), so replication treats them as infinitely
+	// far behind until the first full snapshot lands.
+	synced atomic.Bool
+
+	mu     sync.Mutex // serializes mutations and snapshot writes
+	deltas []deltaEntry
+
+	updates atomic.Int64
+
+	// Replication gauges, written by the Replicator on replicas.
+	upstreamEpoch  atomic.Uint64
+	fullSyncs      atomic.Int64
+	deltaSyncs     atomic.Int64
+	syncErrors     atomic.Int64
+	lastFetchBytes atomic.Int64
+	lastFetchNanos atomic.Int64
+	fetchLat       lhist.Hist // per-fetch wall time (ns)
+}
+
+// NewCatalog returns a catalog serving o at epoch 0 in the given role.
+func NewCatalog(o *core.Oracle, role Role) *Catalog {
+	c := &Catalog{role: role, maxDeltas: DefaultMaxDeltas}
+	c.cur.Store(&State{Oracle: o, Epoch: 0})
+	c.synced.Store(true)
+	return c
+}
+
+// Bootstrap returns a catalog serving an empty oracle at epoch 0 — the
+// placeholder a replica holds before its first successful sync installs
+// the upstream's snapshot. Every query against it answers out-of-range,
+// and Synced reports false until a snapshot lands.
+func Bootstrap(role Role) (*Catalog, error) {
+	o, err := core.Build(graph.NewBuilder(0).Build(), core.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	c := NewCatalog(o, role)
+	c.synced.Store(false)
+	return c, nil
+}
+
+// Synced reports whether the catalog holds real state: true for any
+// catalog created around an oracle, false for a Bootstrap placeholder
+// until its first InstallSnapshot.
+func (c *Catalog) Synced() bool { return c.synced.Load() }
+
+// SetDeltaRetention resizes the delta artifact window (minimum 1).
+// Replicas farther behind than the retained window fall back to a full
+// snapshot fetch; a longer window trades writer memory for cheaper
+// catch-up after long replica outages.
+func (c *Catalog) SetDeltaRetention(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxDeltas = n
+	if len(c.deltas) > n {
+		c.deltas = append(c.deltas[:0:0], c.deltas[len(c.deltas)-n:]...)
+	}
+}
+
+// Role returns the catalog's serving role.
+func (c *Catalog) Role() Role { return c.role }
+
+// State returns the current serving state. Callers pin it once per
+// request; the returned value is immutable.
+func (c *Catalog) State() *State { return c.cur.Load() }
+
+// Epoch returns the current cluster epoch.
+func (c *Catalog) Epoch() uint64 { return c.cur.Load().Epoch }
+
+// Updates returns the number of update batches absorbed (applied
+// locally or replayed from deltas).
+func (c *Catalog) Updates() int64 { return c.updates.Load() }
+
+// Apply absorbs one update batch copy-on-write and swaps the new
+// snapshot in as the next epoch, retaining the batch as a delta
+// artifact. No-op batches change nothing and return the current state.
+// Replicas refuse with ErrReplicaReadOnly.
+func (c *Catalog) Apply(u core.Update) (*State, error) {
+	if c.role == RoleReplica {
+		return c.cur.Load(), ErrReplicaReadOnly
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.cur.Load()
+	next, err := cur.Oracle.ApplyUpdates(u)
+	if err != nil {
+		return cur, err
+	}
+	if next == cur.Oracle {
+		return cur, nil // no-op batch: same snapshot, same epoch
+	}
+	st := &State{Oracle: next, Epoch: cur.Epoch + 1}
+	raw, err := core.EncodeDelta(&core.Delta{FromEpoch: cur.Epoch, ToEpoch: st.Epoch, Update: u})
+	if err != nil {
+		// Encoding is in-memory and must not fail; if it somehow does,
+		// publishing the new epoch without its delta would strand
+		// replicas on the delta path, so refuse the batch instead.
+		return cur, err
+	}
+	c.retain(deltaEntry{to: st.Epoch, raw: raw})
+	c.updates.Add(1)
+	c.cur.Store(st)
+	return st, nil
+}
+
+// retain appends one artifact and trims the window. Callers hold c.mu.
+func (c *Catalog) retain(e deltaEntry) {
+	c.deltas = append(c.deltas, e)
+	if len(c.deltas) > c.maxDeltas {
+		c.deltas = append(c.deltas[:0:0], c.deltas[len(c.deltas)-c.maxDeltas:]...)
+	}
+}
+
+// ApplyDeltaBytes replays one fetched delta artifact: it must extend
+// the current epoch exactly (ErrDeltaGap otherwise). The raw bytes are
+// retained unchanged, so chained replicas receive the writer's exact
+// artifacts. Writers refuse with ErrWriterFollows.
+func (c *Catalog) ApplyDeltaBytes(raw []byte) (*State, error) {
+	if c.role == RoleWriter {
+		return c.cur.Load(), ErrWriterFollows
+	}
+	d, err := core.DecodeDelta(raw)
+	if err != nil {
+		return c.cur.Load(), err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.cur.Load()
+	if !c.synced.Load() {
+		// A bootstrap placeholder has no base state for deltas to extend;
+		// only a full snapshot can establish one.
+		return cur, fmt.Errorf("%w: replica has no base snapshot", ErrDeltaGap)
+	}
+	if d.FromEpoch != cur.Epoch {
+		return cur, fmt.Errorf("%w: delta spans %d..%d, catalog at %d",
+			ErrDeltaGap, d.FromEpoch, d.ToEpoch, cur.Epoch)
+	}
+	next, err := cur.Oracle.ApplyUpdates(d.Update)
+	if err != nil {
+		return cur, err
+	}
+	st := &State{Oracle: next, Epoch: d.ToEpoch}
+	c.retain(deltaEntry{to: st.Epoch, raw: raw})
+	c.updates.Add(1)
+	c.cur.Store(st)
+	return st, nil
+}
+
+// InstallSnapshot swaps in a full snapshot fetched from upstream at
+// the given epoch, dropping retained deltas (they no longer chain from
+// the new state). Installing an older epoch is refused. Writers refuse
+// with ErrWriterFollows.
+func (c *Catalog) InstallSnapshot(o *core.Oracle, epoch uint64) (*State, error) {
+	if c.role == RoleWriter {
+		return c.cur.Load(), ErrWriterFollows
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.cur.Load()
+	if epoch < cur.Epoch {
+		return cur, fmt.Errorf("%w: install at %d, catalog at %d", ErrEpochRegression, epoch, cur.Epoch)
+	}
+	st := &State{Oracle: o, Epoch: epoch}
+	c.deltas = c.deltas[:0]
+	c.cur.Store(st)
+	c.synced.Store(true)
+	return st, nil
+}
+
+// Manifest describes what a node can serve to followers: its role and
+// epoch, and the contiguous delta window it retains ([MinDelta,
+// MaxDelta] by ToEpoch; both zero when none).
+type Manifest struct {
+	Role     string `json:"role"`
+	Epoch    uint64 `json:"epoch"`
+	MinDelta uint64 `json:"min_delta"`
+	MaxDelta uint64 `json:"max_delta"`
+}
+
+// Manifest returns the current replication manifest.
+func (c *Catalog) Manifest() Manifest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := Manifest{Role: c.role.String(), Epoch: c.cur.Load().Epoch}
+	if len(c.deltas) > 0 {
+		m.MinDelta = c.deltas[0].to
+		m.MaxDelta = c.deltas[len(c.deltas)-1].to
+	}
+	return m
+}
+
+// DeltaArtifact returns the retained artifact whose ToEpoch is to.
+func (c *Catalog) DeltaArtifact(to uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.deltas) == 0 || to < c.deltas[0].to || to > c.deltas[len(c.deltas)-1].to {
+		return nil, false
+	}
+	e := c.deltas[to-c.deltas[0].to]
+	if e.to != to { // defensive: window is contiguous by construction
+		return nil, false
+	}
+	return e.raw, true
+}
+
+// WriteSnapshot serializes the current snapshot to w and returns the
+// epoch it corresponds to. The write runs under the mutation lock so
+// an update cannot recycle arena ranges out from under the encoder;
+// queries are unaffected.
+func (c *Catalog) WriteSnapshot(w io.Writer) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.cur.Load()
+	return cur.Epoch, core.WriteOracle(w, cur.Oracle)
+}
+
+// ServeSnapshot serializes the current snapshot to w with a
+// consistent epoch: header runs with the epoch before any body bytes
+// are written (HTTP handlers emit the epoch header there), and the
+// mutation lock is held throughout, so the epoch always matches the
+// body even when updates race.
+func (c *Catalog) ServeSnapshot(w io.Writer, header func(epoch uint64)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.cur.Load()
+	if header != nil {
+		header(cur.Epoch)
+	}
+	return core.WriteOracle(w, cur.Oracle)
+}
+
+// SaveFile serializes the current snapshot to path and returns the
+// epoch it corresponds to.
+func (c *Catalog) SaveFile(path string) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.cur.Load()
+	return cur.Epoch, core.SaveOracleFile(path, cur.Oracle)
+}
+
+// ReplStats is a point-in-time snapshot of the replication gauges.
+type ReplStats struct {
+	Role          Role
+	Synced        bool // false while a bootstrap placeholder awaits its first snapshot
+	Epoch         uint64
+	UpstreamEpoch uint64 // writer epoch last observed by the replicator (0 = none seen)
+	Lag           uint64 // upstream epoch minus local epoch (0 when caught up or unknown)
+	FullSyncs     int64
+	DeltaSyncs    int64 // delta artifacts replayed
+	SyncErrors    int64
+	LastSyncBytes int64 // payload bytes of the most recent completed sync
+	LastSyncNanos int64 // wall time of the most recent completed sync
+	Fetch         *lhist.Snapshot
+}
+
+// ReplStats returns the replication gauges. The fetch histogram is
+// populated on replicas by their Replicator; writers report zeros.
+func (c *Catalog) ReplStats() ReplStats {
+	epoch := c.Epoch()
+	up := c.upstreamEpoch.Load()
+	var lag uint64
+	if up > epoch {
+		lag = up - epoch
+	}
+	return ReplStats{
+		Role:          c.role,
+		Synced:        c.synced.Load(),
+		Epoch:         epoch,
+		UpstreamEpoch: up,
+		Lag:           lag,
+		FullSyncs:     c.fullSyncs.Load(),
+		DeltaSyncs:    c.deltaSyncs.Load(),
+		SyncErrors:    c.syncErrors.Load(),
+		LastSyncBytes: c.lastFetchBytes.Load(),
+		LastSyncNanos: c.lastFetchNanos.Load(),
+		Fetch:         c.fetchLat.Snapshot(),
+	}
+}

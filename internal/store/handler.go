@@ -1,0 +1,68 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// ReplHandler serves a catalog's replication endpoints, mounted by the
+// serving layer under /v1/repl/:
+//
+//	GET /v1/repl/manifest                       → Manifest (JSON)
+//	GET /v1/repl/fetch?kind=delta&to=E          → delta artifact (binary)
+//	GET /v1/repl/fetch?kind=snapshot            → full snapshot (binary)
+//
+// Snapshot responses carry the serving epoch in the X-Vicinity-Epoch
+// header (the snapshot body itself is epoch-agnostic). A delta outside
+// the retained window answers 404, which a Replicator treats as "fall
+// back to the full snapshot".
+func ReplHandler(c *Catalog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/repl/manifest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(c.Manifest())
+	})
+	mux.HandleFunc("/v1/repl/fetch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		switch r.URL.Query().Get("kind") {
+		case "snapshot":
+			// Serialize under the catalog's mutation lock straight onto
+			// the wire; epoch header and body are consistent because the
+			// lock excludes swaps for the duration.
+			err := c.ServeSnapshot(w, func(epoch uint64) {
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set(EpochHeader, strconv.FormatUint(epoch, 10))
+			})
+			if err != nil {
+				// Headers are gone; all we can do is cut the stream so the
+				// client's checksum check fails instead of misparsing.
+				panic(http.ErrAbortHandler)
+			}
+		case "delta":
+			to, err := strconv.ParseUint(r.URL.Query().Get("to"), 10, 64)
+			if err != nil {
+				http.Error(w, "bad to= epoch", http.StatusBadRequest)
+				return
+			}
+			raw, ok := c.DeltaArtifact(to)
+			if !ok {
+				http.Error(w, fmt.Sprintf("delta %d not retained", to), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(raw)
+		default:
+			http.Error(w, "kind must be snapshot or delta", http.StatusBadRequest)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vicinity/internal/core"
+)
+
+// EpochHeader carries the epoch of a snapshot fetch response.
+const EpochHeader = "X-Vicinity-Epoch"
+
+// Replicator keeps a replica catalog converged on an upstream node by
+// polling its replication endpoints: GET {Base}/v1/repl/manifest for
+// the upstream epoch and retained delta window, then GET
+// {Base}/v1/repl/fetch?kind=delta&to=E for each missing epoch — or
+// kind=snapshot when the window no longer covers the replica's state.
+//
+// Deltas are the fast path: an update batch is a few hundred bytes
+// against megabytes of full snapshot, and replaying it costs one
+// incremental repair instead of a full table load. The full-snapshot
+// fallback makes the loop self-healing: any gap, decode failure, or
+// retention miss degrades to one bulk fetch, never to divergence.
+type Replicator struct {
+	Catalog *Catalog
+	// Base is the upstream's HTTP base URL, e.g. "http://10.0.0.1:8080".
+	Base string
+	// Interval is the poll period (0 = 500ms).
+	Interval time.Duration
+	// Client is the HTTP client to use (nil = http.DefaultClient).
+	Client *http.Client
+	// Logger receives sync errors (nil = silent).
+	Logger *log.Logger
+}
+
+func (r *Replicator) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+func (r *Replicator) logf(format string, args ...any) {
+	if r.Logger != nil {
+		r.Logger.Printf(format, args...)
+	}
+}
+
+// Run polls the upstream until ctx is canceled. Sync errors are
+// counted, logged and retried on the next tick; the loop never gives
+// up on a transiently unreachable upstream.
+func (r *Replicator) Run(ctx context.Context) {
+	interval := r.Interval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if err := r.SyncOnce(ctx); err != nil && ctx.Err() == nil {
+			r.logf("store: sync from %s: %v", r.Base, err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// SyncOnce performs one poll: fetch the manifest, and if the upstream
+// is ahead, catch up — via deltas when the upstream's retained window
+// covers every missing epoch, via one full snapshot otherwise.
+func (r *Replicator) SyncOnce(ctx context.Context) (err error) {
+	defer func() {
+		if err != nil {
+			r.Catalog.syncErrors.Add(1)
+		}
+	}()
+	m, err := r.fetchManifest(ctx)
+	if err != nil {
+		return err
+	}
+	r.Catalog.upstreamEpoch.Store(m.Epoch)
+	cur := r.Catalog.State()
+	synced := r.Catalog.Synced()
+	if m.Epoch == cur.Epoch && synced {
+		return nil
+	}
+	if m.Epoch < cur.Epoch {
+		return fmt.Errorf("store: upstream %s is at epoch %d, behind local %d", r.Base, m.Epoch, cur.Epoch)
+	}
+	// An unsynced bootstrap placeholder has no base state for deltas to
+	// extend — epoch numbers notwithstanding — so it always bulk-fetches.
+	if synced && m.MinDelta != 0 && m.MinDelta <= cur.Epoch+1 && m.MaxDelta >= m.Epoch {
+		if err := r.syncDeltas(ctx, cur.Epoch, m.Epoch); err == nil {
+			return nil
+		}
+		// Any delta failure (retention race, decode error, gap) degrades
+		// to the bulk path rather than stalling the replica.
+		r.logf("store: delta catch-up from %s failed, falling back to full snapshot: %v", r.Base, err)
+	}
+	return r.syncSnapshot(ctx)
+}
+
+// syncDeltas fetches and replays every delta in (from, to].
+func (r *Replicator) syncDeltas(ctx context.Context, from, to uint64) error {
+	start := time.Now()
+	var bytes int64
+	for e := from + 1; e <= to; e++ {
+		raw, err := r.fetchBody(ctx, fmt.Sprintf("%s/v1/repl/fetch?kind=delta&to=%d", r.Base, e))
+		if err != nil {
+			return err
+		}
+		bytes += int64(len(raw))
+		if _, err := r.Catalog.ApplyDeltaBytes(raw); err != nil {
+			return err
+		}
+		r.Catalog.deltaSyncs.Add(1)
+	}
+	r.noteSync(bytes, time.Since(start))
+	return nil
+}
+
+// syncSnapshot fetches the upstream's full snapshot and installs it.
+func (r *Replicator) syncSnapshot(ctx context.Context) error {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.Base+"/v1/repl/fetch?kind=snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("store: snapshot fetch: %s: %s", resp.Status, body)
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
+	if err != nil {
+		return fmt.Errorf("store: snapshot fetch: bad %s header %q", EpochHeader, resp.Header.Get(EpochHeader))
+	}
+	cr := &countingReader{r: resp.Body}
+	o, err := core.ReadOracle(cr)
+	if err != nil {
+		return err
+	}
+	if _, err := r.Catalog.InstallSnapshot(o, epoch); err != nil {
+		return err
+	}
+	r.Catalog.fullSyncs.Add(1)
+	r.noteSync(cr.n, time.Since(start))
+	return nil
+}
+
+// noteSync records one completed sync in the replication gauges.
+func (r *Replicator) noteSync(bytes int64, d time.Duration) {
+	r.Catalog.lastFetchBytes.Store(bytes)
+	r.Catalog.lastFetchNanos.Store(int64(d))
+	r.Catalog.fetchLat.Observe(int64(d))
+}
+
+func (r *Replicator) fetchManifest(ctx context.Context) (Manifest, error) {
+	var m Manifest
+	raw, err := r.fetchBody(ctx, r.Base+"/v1/repl/manifest")
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("store: manifest from %s: %w", r.Base, err)
+	}
+	return m, nil
+}
+
+// fetchBody GETs url and returns the whole body, mapping non-200
+// statuses to errors.
+func (r *Replicator) fetchBody(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("store: GET %s: %s: %s", url, resp.Status, body)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// countingReader counts bytes read through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -25,6 +25,8 @@ func seedMessages() []Message {
 		&QueryResponse{Epoch: 1, Items: []QueryItem{{Dist: 4, Method: 1, Path: []uint32{1, 5, 2}}}},
 		&Hello{Features: FeatureMux},
 		&HelloAck{Features: FeatureMux},
+		&ReplStatusRequest{},
+		&ReplStatusResponse{Role: RoleWriter, Epoch: 9, MinDelta: 2, MaxDelta: 9},
 	}
 }
 

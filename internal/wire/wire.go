@@ -56,21 +56,23 @@ type MsgType uint8
 
 // Message types. Requests are odd, their responses follow at +1.
 const (
-	TypeDistanceReq  MsgType = 1
-	TypeDistanceResp MsgType = 2
-	TypePathReq      MsgType = 3
-	TypePathResp     MsgType = 4
-	TypeStatsReq     MsgType = 5
-	TypeStatsResp    MsgType = 6
-	TypePingReq      MsgType = 7
-	TypePingResp     MsgType = 8
-	TypeError        MsgType = 9
-	TypeBatchReq     MsgType = 11
-	TypeBatchResp    MsgType = 12
-	TypeQueryReq     MsgType = 13
-	TypeQueryResp    MsgType = 14
-	TypeHello        MsgType = 15
-	TypeHelloAck     MsgType = 16
+	TypeDistanceReq    MsgType = 1
+	TypeDistanceResp   MsgType = 2
+	TypePathReq        MsgType = 3
+	TypePathResp       MsgType = 4
+	TypeStatsReq       MsgType = 5
+	TypeStatsResp      MsgType = 6
+	TypePingReq        MsgType = 7
+	TypePingResp       MsgType = 8
+	TypeError          MsgType = 9
+	TypeBatchReq       MsgType = 11
+	TypeBatchResp      MsgType = 12
+	TypeQueryReq       MsgType = 13
+	TypeQueryResp      MsgType = 14
+	TypeHello          MsgType = 15
+	TypeHelloAck       MsgType = 16
+	TypeReplStatusReq  MsgType = 17
+	TypeReplStatusResp MsgType = 18
 )
 
 // Feature bits negotiated by Hello/HelloAck.
@@ -127,6 +129,10 @@ func (t MsgType) String() string {
 		return "hello"
 	case TypeHelloAck:
 		return "hello-ack"
+	case TypeReplStatusReq:
+		return "repl-status-request"
+	case TypeReplStatusResp:
+		return "repl-status-response"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -289,6 +295,31 @@ type Hello struct{ Features uint32 }
 // frame after the HelloAck — in both directions — uses mux framing.
 type HelloAck struct{ Features uint32 }
 
+// Replication roles carried by ReplStatusResponse.Role (the wire image
+// of store.Role).
+const (
+	RoleStandalone uint8 = 0
+	RoleWriter     uint8 = 1
+	RoleReplica    uint8 = 2
+)
+
+// ReplStatusRequest asks a server for its replication status. Servers
+// that predate it answer with a CodeBadRequest error, which clients
+// must treat as "standalone, epoch unknown".
+type ReplStatusRequest struct{}
+
+// ReplStatusResponse reports a server's place in the replication
+// topology: its role, the cluster epoch of the snapshot it serves, and
+// the contiguous delta window it retains ([MinDelta, MaxDelta] by
+// ToEpoch; both zero when none). Routers use Epoch for read-your-epoch
+// placement without paying an HTTP round trip.
+type ReplStatusResponse struct {
+	Role     uint8
+	Epoch    uint64
+	MinDelta uint64
+	MaxDelta uint64
+}
+
 // PingRequest is a liveness probe; the token round-trips.
 type PingRequest struct{ Token uint64 }
 
@@ -307,21 +338,23 @@ func (e *ErrorResponse) Error() string {
 }
 
 // WireType implementations.
-func (*DistanceRequest) WireType() MsgType  { return TypeDistanceReq }
-func (*DistanceResponse) WireType() MsgType { return TypeDistanceResp }
-func (*PathRequest) WireType() MsgType      { return TypePathReq }
-func (*PathResponse) WireType() MsgType     { return TypePathResp }
-func (*StatsRequest) WireType() MsgType     { return TypeStatsReq }
-func (*StatsResponse) WireType() MsgType    { return TypeStatsResp }
-func (*BatchRequest) WireType() MsgType     { return TypeBatchReq }
-func (*BatchResponse) WireType() MsgType    { return TypeBatchResp }
-func (*QueryRequest) WireType() MsgType     { return TypeQueryReq }
-func (*QueryResponse) WireType() MsgType    { return TypeQueryResp }
-func (*Hello) WireType() MsgType            { return TypeHello }
-func (*HelloAck) WireType() MsgType         { return TypeHelloAck }
-func (*PingRequest) WireType() MsgType      { return TypePingReq }
-func (*PingResponse) WireType() MsgType     { return TypePingResp }
-func (*ErrorResponse) WireType() MsgType    { return TypeError }
+func (*DistanceRequest) WireType() MsgType    { return TypeDistanceReq }
+func (*DistanceResponse) WireType() MsgType   { return TypeDistanceResp }
+func (*PathRequest) WireType() MsgType        { return TypePathReq }
+func (*PathResponse) WireType() MsgType       { return TypePathResp }
+func (*StatsRequest) WireType() MsgType       { return TypeStatsReq }
+func (*StatsResponse) WireType() MsgType      { return TypeStatsResp }
+func (*BatchRequest) WireType() MsgType       { return TypeBatchReq }
+func (*BatchResponse) WireType() MsgType      { return TypeBatchResp }
+func (*QueryRequest) WireType() MsgType       { return TypeQueryReq }
+func (*QueryResponse) WireType() MsgType      { return TypeQueryResp }
+func (*Hello) WireType() MsgType              { return TypeHello }
+func (*HelloAck) WireType() MsgType           { return TypeHelloAck }
+func (*ReplStatusRequest) WireType() MsgType  { return TypeReplStatusReq }
+func (*ReplStatusResponse) WireType() MsgType { return TypeReplStatusResp }
+func (*PingRequest) WireType() MsgType        { return TypePingReq }
+func (*PingResponse) WireType() MsgType       { return TypePingResp }
+func (*ErrorResponse) WireType() MsgType      { return TypeError }
 
 var (
 	// ErrFrameTooLarge reports a frame beyond MaxFrame.
@@ -465,6 +498,10 @@ func newMessage(t MsgType) Message {
 		return &Hello{}
 	case TypeHelloAck:
 		return &HelloAck{}
+	case TypeReplStatusReq:
+		return &ReplStatusRequest{}
+	case TypeReplStatusResp:
+		return &ReplStatusResponse{}
 	case TypePingReq:
 		return &PingRequest{}
 	case TypePingResp:
@@ -831,6 +868,33 @@ func (m *HelloAck) parsePayload(src []byte) error {
 		return ErrTruncated
 	}
 	m.Features = binary.BigEndian.Uint32(src)
+	return nil
+}
+
+func (m *ReplStatusRequest) appendPayload(dst []byte) []byte { return dst }
+
+func (m *ReplStatusRequest) parsePayload(src []byte) error {
+	if len(src) != 0 {
+		return ErrTruncated
+	}
+	return nil
+}
+
+func (m *ReplStatusResponse) appendPayload(dst []byte) []byte {
+	dst = append(dst, m.Role)
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU64(dst, m.MinDelta)
+	return appendU64(dst, m.MaxDelta)
+}
+
+func (m *ReplStatusResponse) parsePayload(src []byte) error {
+	if len(src) != 25 {
+		return ErrTruncated
+	}
+	m.Role = src[0]
+	m.Epoch = binary.BigEndian.Uint64(src[1:])
+	m.MinDelta = binary.BigEndian.Uint64(src[9:])
+	m.MaxDelta = binary.BigEndian.Uint64(src[17:])
 	return nil
 }
 

@@ -44,6 +44,9 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&QueryResponse{Items: nil},
 		&PingRequest{Token: 42},
 		&PingResponse{Token: 43},
+		&ReplStatusRequest{},
+		&ReplStatusResponse{Role: RoleReplica, Epoch: 17, MinDelta: 3, MaxDelta: 17},
+		&ReplStatusResponse{},
 		&ErrorResponse{Code: CodeOutOfRange, Message: "node 99 out of range"},
 		&ErrorResponse{Code: CodeInternal, Message: ""},
 	}
@@ -106,6 +109,7 @@ func TestRejectsTruncatedPayloads(t *testing.T) {
 		&DistanceResponse{Dist: 1, Method: 2},
 		&PathResponse{Method: 1, Path: []uint32{1, 2}},
 		&StatsResponse{},
+		&ReplStatusResponse{Role: RoleWriter, Epoch: 2},
 		&ErrorResponse{Code: 1, Message: "x"},
 	}
 	for _, msg := range msgs {
