@@ -23,6 +23,10 @@
 //	          behind a server started with -max-in-flight this
 //	          exercises admission control; answers degraded to the
 //	          landmark estimate are counted as "degraded"
+//	kpaths    ranked alternatives: k-shortest requests with k cycling
+//	          through 2, 4 and 8, interleaved one-for-one with plain
+//	          singles so the report shows what the deviation search
+//	          costs next to the table lookup it extends
 //	mixed     round-robin over single/batch/budget/estimate
 //	holblock  one large batch riding with eight singles — only the
 //	          singles are measured, so the latency quantiles isolate
@@ -120,7 +124,23 @@ const (
 	kBudget
 	kEstimate
 	kOverload
+	kKPaths2
+	kKPaths4
+	kKPaths8
 )
+
+// kOf returns the ranked-alternatives fan-out for a kind (0 = plain).
+func kOf(k kind) int {
+	switch k {
+	case kKPaths2:
+		return 2
+	case kKPaths4:
+		return 4
+	case kKPaths8:
+		return 8
+	}
+	return 0
+}
 
 // workload resolves a workload name to its request-shape rotation.
 func workloadKinds(name string) ([]kind, string, error) {
@@ -139,6 +159,12 @@ func workloadKinds(name string) ([]kind, string, error) {
 		// so the in-flight gauge never builds); the policy-full singles
 		// riding alongside are what admission control sheds.
 		return []kind{kOverload, kOverload, kOverload, kBatch}, "mixed", nil
+	case "kpaths":
+		// Ranked alternatives interleaved with plain singles: every other
+		// request is a k-shortest enumeration (k cycling 2 → 4 → 8), so
+		// the latency histogram prices the deviation search against the
+		// table lookups it shares the server with.
+		return []kind{kSingle, kKPaths2, kSingle, kKPaths4, kSingle, kKPaths8}, "mixed", nil
 	case "mixed":
 		return []kind{kSingle, kBatch, kBudget, kEstimate}, "mixed", nil
 	case "holblock":
@@ -149,7 +175,7 @@ func workloadKinds(name string) ([]kind, string, error) {
 		// connection with bulk traffic".
 		return []kind{kBatch, kSingle, kSingle, kSingle, kSingle, kSingle, kSingle, kSingle, kSingle}, "mixed", nil
 	default:
-		return nil, "", fmt.Errorf("unknown workload %q (want single|batch|budget|estimate|overload|mixed|holblock)", name)
+		return nil, "", fmt.Errorf("unknown workload %q (want single|batch|budget|estimate|kpaths|overload|mixed|holblock)", name)
 	}
 }
 
@@ -190,6 +216,9 @@ func spec(k kind, s uint32, ts []uint32, cfg *config) qclient.QuerySpec {
 	case kOverload:
 		q.T = ts[0]
 		q.Policy = core.PolicyFull
+	case kKPaths2, kKPaths4, kKPaths8:
+		q.T = ts[0]
+		q.K = kOf(k)
 	}
 	return q
 }
@@ -326,6 +355,9 @@ func (t *httpTransport) close()       { t.client.CloseIdleConnections() }
 
 func (t *httpTransport) issue(ctx context.Context, k kind, s uint32, ts []uint32, cfg *config) (result, error) {
 	q := spec(k, s, ts, cfg)
+	if q.K > 0 {
+		return t.issueKPaths(ctx, q, cfg)
+	}
 	body := map[string]any{"s": q.S}
 	if q.Ts != nil {
 		body["ts"] = q.Ts
@@ -394,6 +426,57 @@ func (t *httpTransport) issue(ctx context.Context, k kind, s uint32, ts []uint32
 		if k != kEstimate && it.Method == core.MethodFallbackEstimate.String() {
 			r.degraded++
 		}
+	}
+	return r, nil
+}
+
+// issueKPaths posts one ranked-alternatives request to /v2/kpaths.
+// Partial enumerations (budget or deadline expiry mid-search) come back
+// as HTTP 200 with an inline error_code, matching the TCP contract, so
+// they are tallied as that code rather than a transport failure.
+func (t *httpTransport) issueKPaths(ctx context.Context, q qclient.QuerySpec, cfg *config) (result, error) {
+	body := map[string]any{"s": q.S, "t": q.T, "k": q.K}
+	if cfg.deadline > 0 {
+		body["deadline_ms"] = max(cfg.deadline.Milliseconds(), 1)
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return result{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+"/v2/kpaths", bytes.NewReader(payload))
+	if err != nil {
+		return result{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	var r result
+	if err != nil {
+		r.queries = 1
+		r.codes = map[string]int64{"transport": 1}
+		return r, nil
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Method    string `json:"method"`
+		ErrorCode string `json:"error_code"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil || resp.StatusCode != http.StatusOK {
+		r.queries = 1
+		code := out.ErrorCode
+		if code == "" {
+			code = fmt.Sprintf("http_%d", resp.StatusCode)
+		}
+		r.codes = map[string]int64{code: 1}
+		return r, nil
+	}
+	r.queries = 1
+	if out.ErrorCode != "" {
+		r.codes = map[string]int64{out.ErrorCode: 1}
+		return r, nil
+	}
+	r.good++
+	if out.Method == core.MethodFallbackEstimate.String() {
+		r.degraded++
 	}
 	return r, nil
 }
@@ -578,7 +661,7 @@ func run(args []string) error {
 		addrsFlag = fs.String("addrs", "", "comma-separated replica TCP addresses: load is routed with health tracking, failover and -hedge (mutually exclusive with -addr/-url)")
 		hedge     = fs.Duration("hedge", 0, "with -addrs: duplicate a request to a second replica after this delay (0 = no hedging)")
 		url       = fs.String("url", "", "HTTP server base URL (mutually exclusive with -addr)")
-		workloads = fs.String("workload", "single", "comma-separated workloads: single|batch|budget|estimate|overload|mixed, each optionally \"name@qps\" to override -qps")
+		workloads = fs.String("workload", "single", "comma-separated workloads: single|batch|budget|estimate|kpaths|overload|mixed, each optionally \"name@qps\" to override -qps")
 		qps       = fs.Float64("qps", 1000, "offered arrival rate (requests/sec, open loop)")
 		rampTo    = fs.Float64("ramp-to", 0, "linearly ramp the offered rate to this by the end of each workload (0 = flat)")
 		duration  = fs.Duration("duration", 5*time.Second, "offered-load window per workload")

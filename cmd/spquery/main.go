@@ -11,6 +11,7 @@
 //	spquery -gen dblp -many 15 4711 42 99    # rank targets by distance from 15
 //	spquery -server 127.0.0.1:7421 15 4711   # query a running spserver
 //	spquery -server 127.0.0.1:7421 -timeout 5ms -budget 20000 -policy full 15 4711
+//	spquery -server 127.0.0.1:7421 -k 4 15 4711  # up to 4 ranked loopless paths
 //	spquery -json -gen dblp 15 4711          # machine-readable output
 //	spquery -server r1:7421,r2:7421 -hedge 2ms 15 4711   # replica cluster
 //	spquery -shards "0:5000=a:7421,5000:10000=b:7421" -many 15 4711 42
@@ -20,6 +21,12 @@
 // answered in one Query call (one wire round trip with -server). With
 // -json each answer is one JSON object per line (errors carry a typed
 // "error_code"), making the CLI usable in pipelines.
+//
+// With -k each query returns up to k ranked loopless alternatives,
+// printed one per line under the primary answer (or as a "paths" array
+// with -json). A budget or deadline that expires mid-enumeration exits
+// 2 and prints the paths found so far. -k 1 is exactly the single
+// shortest path.
 //
 // A comma-separated -server list routes over a replica cluster
 // (qclient.Router): per-replica health and epoch tracking, failover,
@@ -75,6 +82,7 @@ type queryOpts struct {
 	budget   int
 	policy   core.Policy
 	wantPath bool
+	k        int
 }
 
 // answer is one target's normalized result from either backend.
@@ -83,6 +91,7 @@ type answer struct {
 	Dist    uint32
 	Method  string
 	Path    []uint32
+	Paths   []core.PathAlt // ranked alternatives when -k was given
 	Err     error
 	Latency time.Duration
 }
@@ -153,6 +162,7 @@ func (b *backend) query(s, t uint32) answer {
 	if b.client != nil || b.router != nil {
 		spec := qclient.QuerySpec{
 			S: s, T: t,
+			K:        b.opts.k,
 			Policy:   b.opts.policy,
 			Budget:   b.opts.budget,
 			WantPath: b.opts.wantPath,
@@ -176,16 +186,19 @@ func (b *backend) query(s, t uint32) answer {
 		}
 		it := res.Items[0]
 		a.Dist, a.Method, a.Path, a.Err = it.Dist, core.Method(it.Method).String(), it.Path, it.Err
+		a.Paths = res.Paths
 		return a
 	}
 	res, err := b.oracle.Query(ctx, core.Request{
 		S: s, T: t,
+		K:        b.opts.k,
 		Policy:   b.opts.policy,
 		Budget:   b.opts.budget,
 		WantPath: b.opts.wantPath,
 	})
 	a.Latency = time.Since(start)
 	a.Dist, a.Method, a.Path = res.Dist, res.Method.String(), res.Path
+	a.Paths = res.Paths
 	a.Err = err
 	return a
 }
@@ -252,6 +265,7 @@ func run(args []string) (int, error) {
 		batch     = fs.Bool("batch", false, "read 's t' pairs from stdin")
 		many      = fs.Bool("many", false, "one-to-many: args are s t1 t2 ... (one Query call)")
 		showPath  = fs.Bool("path", false, "also print the shortest path")
+		kAlt      = fs.Int("k", 0, "ranked alternatives: print up to k loopless shortest paths per query (implies -path; not with -many)")
 		jsonOut   = fs.Bool("json", false, "print one JSON object per answer")
 		timeout   = fs.Duration("timeout", 0, "per-query deadline, honored inside the fallback search (0 = none)")
 		budget    = fs.Int("budget", 0, "fallback search node budget per query (0 = unlimited)")
@@ -268,8 +282,17 @@ func run(args []string) (int, error) {
 	if *budget < 0 {
 		return exitUsage, fmt.Errorf("-budget must be >= 0")
 	}
+	if *kAlt < 0 || *kAlt > core.MaxK {
+		return exitUsage, fmt.Errorf("-k must be in [0, %d]", core.MaxK)
+	}
+	if *kAlt > 0 {
+		if *many {
+			return exitUsage, fmt.Errorf("-k is single-target: not usable with -many")
+		}
+		*showPath = true // ranked alternatives are paths; always print them
+	}
 
-	be := backend{opts: queryOpts{timeout: *timeout, budget: *budget, policy: policy, wantPath: *showPath}, minEpoch: *minEpoch}
+	be := backend{opts: queryOpts{timeout: *timeout, budget: *budget, policy: policy, wantPath: *showPath, k: *kAlt}, minEpoch: *minEpoch}
 	addrs := splitAddrs(*server)
 	switch {
 	case *shards != "" || len(addrs) > 1:
@@ -323,6 +346,13 @@ func run(args []string) (int, error) {
 			worst = code
 		}
 	}
+	// printAlts lists the ranked alternatives under the primary line; a
+	// budget/deadline partial still prints the paths found so far.
+	printAlts := func(a answer) {
+		for i, p := range a.Paths {
+			fmt.Printf("  k=%d dist=%d path=%s\n", i+1, p.Dist, core.PathString(p.Path))
+		}
+	}
 	emit := func(a answer) {
 		note(exitFor(a))
 		if *jsonOut {
@@ -335,6 +365,7 @@ func run(args []string) (int, error) {
 				// upper bound; print it alongside the error like the
 				// -json mode does.
 				fmt.Printf("%d %d %d %s error %s\n", a.S, a.T, a.Dist, a.Method, a.Err)
+				printAlts(a)
 				return
 			}
 			fmt.Printf("%d %d error %s\n", a.S, a.T, a.Err)
@@ -348,10 +379,11 @@ func run(args []string) (int, error) {
 		if a.Latency > 0 {
 			line += " " + a.Latency.String()
 		}
-		if *showPath {
+		if *showPath && *kAlt == 0 {
 			line += " path=" + core.PathString(a.Path)
 		}
 		fmt.Println(line)
+		printAlts(a)
 	}
 
 	if *many {
@@ -415,6 +447,10 @@ func run(args []string) (int, error) {
 
 // printJSON writes one machine-readable answer line.
 func printJSON(a answer, withPath bool) {
+	type alt struct {
+		Distance uint32   `json:"distance"`
+		Path     []uint32 `json:"path"`
+	}
 	type line struct {
 		S         uint32   `json:"s"`
 		T         uint32   `json:"t"`
@@ -422,6 +458,7 @@ func printJSON(a answer, withPath bool) {
 		Reachable bool     `json:"reachable"`
 		Method    string   `json:"method,omitempty"`
 		Path      []uint32 `json:"path,omitempty"`
+		Paths     []alt    `json:"paths,omitempty"`
 		LatencyUS float64  `json:"latency_us,omitempty"`
 		Error     string   `json:"error,omitempty"`
 		ErrorCode string   `json:"error_code,omitempty"`
@@ -433,6 +470,9 @@ func printJSON(a answer, withPath bool) {
 	}
 	if withPath {
 		l.Path = a.Path
+	}
+	for _, p := range a.Paths {
+		l.Paths = append(l.Paths, alt{Distance: p.Dist, Path: p.Path})
 	}
 	if a.Latency > 0 {
 		l.LatencyUS = float64(a.Latency.Nanoseconds()) / 1e3

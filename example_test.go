@@ -170,3 +170,31 @@ func ExampleOracle_Query() {
 	// Output:
 	// d(0,3) = 3 via landmark-target, path [0 1 2 3], epoch 0
 }
+
+// ExampleOracle_Query_kShortest asks one query for ranked alternative
+// routes: Request.K > 1 enumerates up to K loopless shortest paths in
+// canonical order (distance, then length, then lexicographic). Fewer
+// than K may exist — the 6-cycle below has exactly two simple routes
+// between opposite nodes, so K = 3 returns both and stops.
+func ExampleOracle_Query_kShortest() {
+	g := vicinity.NewGraph(6, [][2]uint32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+	})
+	oracle, err := vicinity.Build(g, &vicinity.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	res, err := oracle.Query(context.Background(), vicinity.Request{
+		S: 0, T: 3,
+		K: 3, // up to three ranked loopless alternatives
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, alt := range res.Paths {
+		fmt.Printf("k=%d dist=%d path=%v\n", i+1, alt.Dist, alt.Path)
+	}
+	// Output:
+	// k=1 dist=3 path=[0 1 2 3]
+	// k=2 dist=3 path=[0 5 4 3]
+}

@@ -1,0 +1,272 @@
+package baseline
+
+import (
+	"sort"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/traverse"
+)
+
+// RankedPath is one entry of a k-shortest-paths answer: a loopless s→t
+// path and its length. The reference enumerators below exist to check
+// internal/kpaths, so they deliberately share none of its machinery —
+// plain slices, maps and recursion instead of deviation trees, epoch
+// stamps and indexed heaps.
+type RankedPath struct {
+	Dist uint32
+	Path []uint32
+}
+
+// SortRanked orders ranked paths canonically: by (dist, length,
+// lexicographic path). Both reference enumerators and the engine
+// present results in this order, so outputs compare positionally.
+func SortRanked(ps []RankedPath) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		if len(a.Path) != len(b.Path) {
+			return len(a.Path) < len(b.Path)
+		}
+		for x := range a.Path {
+			if a.Path[x] != b.Path[x] {
+				return a.Path[x] < b.Path[x]
+			}
+		}
+		return false
+	})
+}
+
+// KShortestExhaustive enumerates EVERY simple s→t path by depth-first
+// search and returns the k shortest in canonical order. It is the
+// ground truth for tiny graphs only: the path count is exponential, so
+// callers must keep n small (the tests use n <= 14).
+func KShortestExhaustive(g *graph.Graph, s, t uint32, k int) []RankedPath {
+	if int(s) >= g.NumNodes() || int(t) >= g.NumNodes() || k <= 0 {
+		return nil
+	}
+	var all []RankedPath
+	onPath := make([]bool, g.NumNodes())
+	path := []uint32{s}
+	onPath[s] = true
+	var dfs func(v uint32, dist uint32)
+	dfs = func(v uint32, dist uint32) {
+		if v == t {
+			all = append(all, RankedPath{Dist: dist, Path: append([]uint32(nil), path...)})
+			return
+		}
+		nbrs := g.Neighbors(v)
+		var wts []uint32
+		if g.Weighted() {
+			wts = g.NeighborWeights(v)
+		}
+		for j, w := range nbrs {
+			if onPath[w] {
+				continue
+			}
+			step := uint32(1)
+			if wts != nil {
+				step = wts[j]
+			}
+			nd := traverse.SatAdd(dist, step)
+			if nd == NoDist {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			dfs(w, nd)
+			path = path[:len(path)-1]
+			onPath[w] = false
+		}
+	}
+	dfs(s, 0)
+	SortRanked(all)
+	all = dedupRanked(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// KShortestYen is a deliberately naive textbook Yen: the root path and
+// every spur search are fresh full Dijkstras over a filtered graph,
+// candidates live in a sorted slice, and banned edges are rescanned
+// from the full accepted list each round. Quadratic everywhere, but an
+// independent implementation for the crossval-style sweeps at scale.
+func KShortestYen(g *graph.Graph, s, t uint32, k int) []RankedPath {
+	if int(s) >= g.NumNodes() || int(t) >= g.NumNodes() || k <= 0 {
+		return nil
+	}
+	root, rd := filteredDijkstra(g, s, t, nil, nil)
+	if root == nil {
+		return nil
+	}
+	accepted := []RankedPath{{Dist: rd, Path: root}}
+	seen := map[string]bool{pathKey(root): true}
+	var cands []RankedPath
+	for len(accepted) < k {
+		p := accepted[len(accepted)-1].Path
+		for i := 0; i <= len(p)-2; i++ {
+			spur := p[i]
+			bannedNodes := map[uint32]bool{}
+			for _, v := range p[:i] {
+				bannedNodes[v] = true
+			}
+			bannedEdges := map[[2]uint32]bool{}
+			for _, a := range accepted {
+				if len(a.Path) > i && samePrefix(a.Path, p, i) {
+					bannedEdges[[2]uint32{a.Path[i], a.Path[i+1]}] = true
+				}
+			}
+			tail, td := filteredDijkstra(g, spur, t, bannedNodes, bannedEdges)
+			if tail == nil {
+				continue
+			}
+			full := append(append([]uint32(nil), p[:i]...), tail...)
+			dist := traverse.SatAdd(pathDist(g, p[:i+1]), td)
+			if dist == NoDist {
+				continue
+			}
+			if key := pathKey(full); !seen[key] {
+				seen[key] = true
+				cands = append(cands, RankedPath{Dist: dist, Path: full})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		SortRanked(cands)
+		accepted = append(accepted, cands[0])
+		cands = cands[1:]
+	}
+	SortRanked(accepted)
+	return accepted
+}
+
+// filteredDijkstra is a plain array-based Dijkstra with linear
+// extract-min (no heap, no epoch stamps — nothing shared with the
+// engine under test) from s to t over g minus the banned nodes and
+// banned directed edges. Returns the path and its distance, or
+// (nil, NoDist).
+func filteredDijkstra(g *graph.Graph, s, t uint32, bannedNodes map[uint32]bool, bannedEdges map[[2]uint32]bool) ([]uint32, uint32) {
+	if bannedNodes[s] || bannedNodes[t] {
+		return nil, NoDist
+	}
+	n := g.NumNodes()
+	dist := make([]uint32, n)
+	parent := make([]uint32, n)
+	settled := make([]bool, n)
+	for i := range dist {
+		dist[i] = NoDist
+	}
+	dist[s] = 0
+	for {
+		// Linear extract-min with a deterministic id tie-break: fine
+		// for a reference implementation.
+		best, bd := uint32(0), NoDist
+		for v := 0; v < n; v++ {
+			if !settled[v] && dist[v] < bd {
+				best, bd = uint32(v), dist[v]
+			}
+		}
+		if bd == NoDist {
+			return nil, NoDist
+		}
+		if best == t {
+			var path []uint32
+			for v := t; ; v = parent[v] {
+				path = append(path, v)
+				if v == s {
+					break
+				}
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, bd
+		}
+		settled[best] = true
+		nbrs := g.Neighbors(best)
+		var wts []uint32
+		if g.Weighted() {
+			wts = g.NeighborWeights(best)
+		}
+		for j, w := range nbrs {
+			if bannedNodes[w] || bannedEdges[[2]uint32{best, w}] {
+				continue
+			}
+			step := uint32(1)
+			if wts != nil {
+				step = wts[j]
+			}
+			nd := traverse.SatAdd(bd, step)
+			if nd != NoDist && nd < dist[w] {
+				dist[w] = nd
+				parent[w] = best
+			}
+		}
+	}
+}
+
+// pathDist sums a path's edge weights through SatAdd.
+func pathDist(g *graph.Graph, p []uint32) uint32 {
+	d := uint32(0)
+	for i := 1; i < len(p); i++ {
+		step := uint32(1)
+		if g.Weighted() {
+			w, ok := g.EdgeWeight(p[i-1], p[i])
+			if !ok {
+				return NoDist
+			}
+			step = w
+		}
+		d = traverse.SatAdd(d, step)
+	}
+	return d
+}
+
+// samePrefix reports whether a and b agree on positions [0, i].
+func samePrefix(a, b []uint32, i int) bool {
+	for x := 0; x <= i; x++ {
+		if a[x] != b[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathKey serializes a path for dedup maps.
+func pathKey(p []uint32) string {
+	b := make([]byte, 0, 4*len(p))
+	for _, v := range p {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// dedupRanked removes adjacent duplicates from a canonically sorted
+// slice (exhaustive DFS can reach the same node sequence only once, so
+// this is belt-and-braces for multigraph inputs).
+func dedupRanked(ps []RankedPath) []RankedPath {
+	out := ps[:0]
+	for i, p := range ps {
+		if i > 0 && sameRanked(out[len(out)-1], p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func sameRanked(a, b RankedPath) bool {
+	if a.Dist != b.Dist || len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	return true
+}

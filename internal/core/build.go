@@ -56,6 +56,7 @@ func Build(g *graph.Graph, opts Options) (*Oracle, error) {
 		nearest:   make([]uint32, n),
 	}
 	o.fbPool = newWorkspacePool(g)
+	o.kpPool = newKPathsPool(g)
 	o.chain = &updateChain{}
 	o.entFree = &u32map.FreeList{}
 	o.slotFree = &u32map.FreeList{}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"vicinity/internal/graph"
+	"vicinity/internal/kpaths"
 	"vicinity/internal/syncx"
 	"vicinity/internal/traverse"
 	"vicinity/internal/u32map"
@@ -89,6 +90,7 @@ type Oracle struct {
 	timings BuildTimings
 
 	fbPool *syncx.Pool[traverse.Workspace] // fallback-search workspaces
+	kpPool *syncx.Pool[kpaths.Engine]      // k-shortest-paths engines (see kpaths.go)
 }
 
 // newWorkspacePool returns a fallback-workspace pool sized for g.

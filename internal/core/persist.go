@@ -568,6 +568,7 @@ func (o *Oracle) restore(arena *u32map.Arena, entOff, entLen, slotOff, slotLen, 
 	}
 
 	o.fbPool = newWorkspacePool(o.g)
+	o.kpPool = newKPathsPool(o.g)
 	o.chain = &updateChain{}
 	o.entFree = &u32map.FreeList{}
 	o.slotFree = &u32map.FreeList{}

@@ -125,6 +125,14 @@ type Request struct {
 	// sequential regardless, so small requests keep the allocation-lean
 	// fast path. Single-target requests ignore it.
 	Parallel int
+
+	// K, when positive, asks for up to K ranked loopless alternative
+	// paths (single-target only; implies WantPath; capped by MaxK).
+	// Result.Paths carries them sorted by (dist, length, path), and
+	// Result.Dist/Method/Path keep describing the first (root) path —
+	// a K=1 request is bit-identical to a WantPath request plus a
+	// one-entry Paths. 0 is the legacy single-path behavior.
+	K int
 }
 
 // BatchParallelMinTargets is the smallest one-to-many request the
@@ -220,6 +228,14 @@ type Result struct {
 
 	Items []ItemResult
 
+	// Paths holds the ranked alternatives of a Request.K query, sorted
+	// by (dist, length, lexicographic path), loopless, deduplicated.
+	// Paths[0] realizes Dist via Path whenever the root search ran to
+	// completion; fewer than K entries means the graph has no more
+	// loopless paths (or a budget/deadline cut enumeration short, in
+	// which case the call also returns the matching typed error).
+	Paths []PathAlt
+
 	Epoch uint64
 	Cost  Cost
 }
@@ -267,6 +283,9 @@ func ctxErr(ctx context.Context) error {
 // All answers of one call read a single oracle snapshot, identified by
 // Result.Epoch.
 func (o *Oracle) Query(ctx context.Context, req Request) (Result, error) {
+	if req.K != 0 {
+		return o.queryKPaths(ctx, req)
+	}
 	if req.Ts != nil {
 		var bst BatchStats
 		return o.queryMany(ctx, req, &bst)

@@ -188,6 +188,7 @@ func (o *Oracle) applyUpdates(upd Update, inPlace bool) (*Oracle, error) {
 	t.maybeCompact()
 	t.g = newG
 	t.fbPool = newWorkspacePool(newG)
+	t.kpPool = newKPathsPool(newG)
 	t.chain.latest++
 	t.gen = t.chain.latest
 	return t, nil

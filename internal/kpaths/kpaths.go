@@ -1,0 +1,434 @@
+// Package kpaths implements a deviation-based loopless k-shortest
+// simple-paths engine (Yen's algorithm with Lawler's deviation-index
+// optimization) on top of the repo's traversal primitives.
+//
+// The engine does not search for the first path itself: the caller
+// supplies the root path (in the serving stack it comes from the
+// oracle's table/bidirectional machinery), and Enumerate derives the
+// remaining k-1 alternatives by spur searches. Accepted paths are
+// threaded into a shared-prefix deviation tree, so the banned next-hop
+// set at every spur node is exactly the children of one tree node —
+// no per-spur scan over all accepted paths. Candidates wait in a
+// bounded indexed min-heap (internal/heap.Min) that grows by doubling.
+//
+// Budget and cancellation follow traverse.Limits semantics exactly:
+// the node budget is one shared pool charged per settled expansion
+// across all spur searches, the Done channel is polled every
+// limitCheckEvery expansions, and every distance sum goes through
+// traverse.SatAdd. When a limit fires mid-enumeration the engine
+// returns the loopless paths accepted so far with OutcomeBudget or
+// OutcomeStopped, so callers can surface a typed partial result.
+package kpaths
+
+import (
+	"sort"
+
+	"vicinity/internal/graph"
+	"vicinity/internal/heap"
+	"vicinity/internal/traverse"
+)
+
+// NoDist is the sentinel distance for unreachable nodes.
+const NoDist = traverse.NoDist
+
+// limitCheckEvery mirrors traverse: budgets are enforced on every
+// expansion, the Done channel poll is amortized to every 64th.
+const limitCheckEvery = 64
+
+// PathAlt is one ranked alternative: a loopless s→t path and its
+// length (hops on unweighted graphs, weighted distance otherwise).
+type PathAlt struct {
+	Dist uint32
+	Path []uint32
+}
+
+// Stats reports the traversal cost of one enumeration, in the same
+// currency as the oracle's Cost counters.
+type Stats struct {
+	Expanded uint32 // nodes settled across all spur searches
+	Searches uint32 // spur searches run
+}
+
+// devKid is one banned deviation edge at a tree node: an accepted path
+// with this node's prefix continues to Next, via tree node Node.
+type devKid struct {
+	next uint32
+	node int32
+}
+
+// devNode is one prefix of an accepted path in the deviation tree. Its
+// children are exactly the next-hops used by accepted paths sharing
+// the prefix — the edge set a spur search at that prefix must avoid.
+type devNode struct {
+	kids []devKid
+}
+
+// Engine holds the reusable scratch state for enumerations over one
+// graph: a Dijkstra node map and frontier, an epoch-stamped banned-node
+// mark set, the deviation tree, and the candidate heap. An Engine may
+// be reused across calls but is not safe for concurrent use.
+type Engine struct {
+	g  *graph.Graph
+	nm *traverse.NodeMap
+	pq *heap.Min
+
+	// banned-node marks for the current spur's root prefix,
+	// epoch-stamped so clearing between spurs is O(1).
+	mark      []uint32
+	markEpoch uint32
+
+	tree  []devNode
+	cands []candidate
+	ch    *heap.Min // candidate heap over cands indices
+	chCap int
+	seen  map[string]struct{}
+
+	scratch []byte // dedup key assembly
+}
+
+// candidate is a generated-but-not-yet-accepted deviation path.
+type candidate struct {
+	alt    PathAlt
+	devIdx int // index in alt.Path where it deviated from its parent
+	done   bool
+}
+
+// NewEngine returns an Engine for enumerations over g.
+func NewEngine(g *graph.Graph) *Engine {
+	n := g.NumNodes()
+	return &Engine{
+		g:         g,
+		nm:        traverse.NewNodeMap(n),
+		pq:        heap.NewMin(n),
+		mark:      make([]uint32, n),
+		markEpoch: 0,
+	}
+}
+
+// Graph returns the graph this engine enumerates over.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Enumerate returns up to k loopless s→t paths in ranked order,
+// starting from the caller-supplied root path. The output is sorted by
+// (dist, length, lexicographic path), deduplicated, and always
+// contains the root (first by construction on exact roots). The
+// returned Outcome is OutcomeDone when enumeration ran to completion
+// (fewer than k paths means the graph has no more loopless paths), or
+// OutcomeBudget/OutcomeStopped when lim cut it short — the paths
+// accepted so far are still returned.
+//
+// The root path must be a simple path whose endpoints are the query's
+// s and t; root.Dist is trusted as its length. k <= 1 or a degenerate
+// root (empty, or a single node for s==t) short-circuits to just the
+// root with zero cost.
+func (e *Engine) Enumerate(root PathAlt, k int, lim traverse.Limits) ([]PathAlt, Stats, traverse.Outcome) {
+	var st Stats
+	if len(root.Path) == 0 {
+		return nil, st, traverse.OutcomeDone
+	}
+	accepted := []PathAlt{root}
+	if k <= 1 || len(root.Path) == 1 {
+		return accepted, st, traverse.OutcomeDone
+	}
+
+	e.resetRun()
+	t := root.Path[len(root.Path)-1]
+	e.rememberPath(root.Path)
+	e.threadPath(root.Path)
+
+	limited := lim.NodeBudget > 0
+	outcome := traverse.OutcomeDone
+
+	last := root
+	lastDev := 0
+	prefix := make([]uint32, 0, len(root.Path))
+	prefixDist := make([]uint32, 0, len(root.Path))
+
+	for len(accepted) < k {
+		// Generate deviations of the most recently accepted path.
+		// Lawler: spur indices before the path's own deviation index
+		// were already tried when its parent was expanded.
+		p := last.Path
+		e.prefixDists(p, &prefixDist)
+		node := int32(0) // tree node of prefix p[0..i]
+		for i := 0; i <= len(p)-2; i++ {
+			if i > 0 {
+				node = e.treeChild(node, p[i])
+			}
+			if i < lastDev {
+				continue
+			}
+			rem := 0
+			if limited {
+				rem = lim.NodeBudget - int(st.Expanded)
+				if rem <= 0 {
+					outcome = traverse.OutcomeBudget
+					break
+				}
+			}
+			spur := p[i]
+			prefix = append(prefix[:0], p[:i]...)
+			e.markNodes(prefix)
+			banned := e.tree[node].kids
+			sd, ok, oc := e.spurSearch(spur, t, banned, &st, rem, lim.Done)
+			if ok {
+				total := traverse.SatAdd(prefixDist[i], sd)
+				if total != NoDist {
+					path := make([]uint32, 0, i+1)
+					path = append(path, p[:i]...)
+					path = e.appendSpurPath(path, spur, t)
+					e.addCandidate(PathAlt{Dist: total, Path: path}, i)
+				}
+			}
+			if oc != traverse.OutcomeDone {
+				outcome = oc
+				break
+			}
+		}
+		if outcome != traverse.OutcomeDone {
+			break
+		}
+		if e.ch == nil || e.ch.Empty() {
+			break
+		}
+		id, _ := e.ch.Pop()
+		c := &e.cands[id]
+		c.done = true
+		accepted = append(accepted, c.alt)
+		e.threadPath(c.alt.Path)
+		last, lastDev = c.alt, c.devIdx
+	}
+
+	sortPaths(accepted)
+	return accepted, st, outcome
+}
+
+// resetRun clears per-enumeration state (the per-spur search state is
+// epoch-stamped and cleared lazily).
+func (e *Engine) resetRun() {
+	e.tree = e.tree[:0]
+	e.tree = append(e.tree, devNode{})
+	e.cands = e.cands[:0]
+	e.ch = nil
+	e.chCap = 0
+	e.seen = make(map[string]struct{}, 16)
+}
+
+// markNodes stamps the given nodes as banned for the next spur search.
+func (e *Engine) markNodes(nodes []uint32) {
+	e.markEpoch++
+	if e.markEpoch == 0 {
+		for i := range e.mark {
+			e.mark[i] = 0
+		}
+		e.markEpoch = 1
+	}
+	for _, v := range nodes {
+		e.mark[v] = e.markEpoch
+	}
+}
+
+// treeChild returns the tree node reached from parent via next-hop x.
+// The child must exist: threadPath inserted it when the path carrying
+// this prefix was accepted.
+func (e *Engine) treeChild(parent int32, x uint32) int32 {
+	for _, kid := range e.tree[parent].kids {
+		if kid.next == x {
+			return kid.node
+		}
+	}
+	panic("kpaths: accepted path missing from deviation tree")
+}
+
+// threadPath inserts an accepted path into the deviation tree,
+// creating nodes for every new prefix.
+func (e *Engine) threadPath(p []uint32) {
+	cur := int32(0)
+	for i := 1; i < len(p); i++ {
+		x := p[i]
+		found := int32(-1)
+		for _, kid := range e.tree[cur].kids {
+			if kid.next == x {
+				found = kid.node
+				break
+			}
+		}
+		if found < 0 {
+			found = int32(len(e.tree))
+			e.tree = append(e.tree, devNode{})
+			e.tree[cur].kids = append(e.tree[cur].kids, devKid{next: x, node: found})
+		}
+		cur = found
+	}
+}
+
+// prefixDists fills out[i] with the distance of p[0..i] along p.
+func (e *Engine) prefixDists(p []uint32, out *[]uint32) {
+	d := (*out)[:0]
+	d = append(d, 0)
+	for i := 1; i < len(p); i++ {
+		w := uint32(1)
+		if e.g.Weighted() {
+			ew, ok := e.g.EdgeWeight(p[i-1], p[i])
+			if !ok {
+				ew = NoDist // defensive: root from a different snapshot
+			}
+			w = ew
+		}
+		d = append(d, traverse.SatAdd(d[i-1], w))
+	}
+	*out = d
+}
+
+// spurSearch runs a Dijkstra (uniform weights double as BFS) from spur
+// to t, skipping marked nodes entirely and the banned first hops out
+// of spur. It charges one budget unit per settled node against the
+// shared pool and polls done every limitCheckEvery expansions.
+func (e *Engine) spurSearch(spur, t uint32, banned []devKid, st *Stats, budget int, done <-chan struct{}) (uint32, bool, traverse.Outcome) {
+	st.Searches++
+	e.nm.Reset()
+	e.pq.Reset()
+	e.nm.Set(spur, 0, graph.NoNode)
+	e.pq.Push(spur, 0)
+	weighted := e.g.Weighted()
+	steps := 0
+	for !e.pq.Empty() {
+		v, dv := e.pq.Pop()
+		if dv > e.nm.Dist(v) {
+			continue
+		}
+		st.Expanded++
+		steps++
+		if budget > 0 && steps > budget {
+			return 0, false, traverse.OutcomeBudget
+		}
+		if done != nil && steps%limitCheckEvery == 0 {
+			select {
+			case <-done:
+				return 0, false, traverse.OutcomeStopped
+			default:
+			}
+		}
+		if v == t {
+			return dv, true, traverse.OutcomeDone
+		}
+		nbrs := e.g.Neighbors(v)
+		var wts []uint32
+		if weighted {
+			wts = e.g.NeighborWeights(v)
+		}
+		for j, w := range nbrs {
+			if e.mark[w] == e.markEpoch {
+				continue // on the root prefix: would close a loop
+			}
+			if v == spur && bannedNext(banned, w) {
+				continue // deviation edge already used by an accepted path
+			}
+			wt := uint32(1)
+			if weighted {
+				wt = wts[j]
+			}
+			nd := traverse.SatAdd(dv, wt)
+			if nd == NoDist {
+				continue
+			}
+			if !e.nm.Has(w) || nd < e.nm.Dist(w) {
+				e.nm.Set(w, nd, v)
+				e.pq.Push(w, nd)
+			}
+		}
+	}
+	return 0, false, traverse.OutcomeDone
+}
+
+// bannedNext reports whether next-hop w is a banned deviation edge.
+// The set is tiny (one entry per accepted path sharing the prefix), so
+// a linear scan beats any map.
+func bannedNext(banned []devKid, w uint32) bool {
+	for _, kid := range banned {
+		if kid.next == w {
+			return true
+		}
+	}
+	return false
+}
+
+// appendSpurPath appends the spur→t path recorded in the node map by
+// the last spurSearch (walking parents back from t, then reversing the
+// appended segment in place).
+func (e *Engine) appendSpurPath(dst []uint32, spur, t uint32) []uint32 {
+	start := len(dst)
+	for v := t; ; v = e.nm.Parent(v) {
+		dst = append(dst, v)
+		if v == spur {
+			break
+		}
+	}
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+// addCandidate registers a new deviation path unless an identical path
+// is already pending or accepted, growing the candidate heap by
+// doubling when the slot space is exhausted.
+func (e *Engine) addCandidate(alt PathAlt, devIdx int) {
+	if !e.rememberPath(alt.Path) {
+		return
+	}
+	id := len(e.cands)
+	e.cands = append(e.cands, candidate{alt: alt, devIdx: devIdx})
+	if e.ch == nil || id >= e.chCap {
+		ncap := e.chCap * 2
+		if ncap < 64 {
+			ncap = 64
+		}
+		nh := heap.NewMin(ncap)
+		if e.ch != nil {
+			for i := range e.cands {
+				if !e.cands[i].done && i != id && e.ch.Contains(uint32(i)) {
+					nh.Push(uint32(i), e.ch.Key(uint32(i)))
+				}
+			}
+		}
+		e.ch, e.chCap = nh, ncap
+	}
+	e.ch.Push(uint32(id), alt.Dist)
+}
+
+// rememberPath records a path in the dedup set, reporting whether it
+// was new.
+func (e *Engine) rememberPath(p []uint32) bool {
+	b := e.scratch[:0]
+	for _, v := range p {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	e.scratch = b
+	if _, dup := e.seen[string(b)]; dup {
+		return false
+	}
+	e.seen[string(b)] = struct{}{}
+	return true
+}
+
+// sortPaths orders ranked alternatives by (dist, length, lexicographic
+// path) — the canonical presentation order every layer above relies on
+// for replica-identical answers.
+func sortPaths(ps []PathAlt) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		if len(a.Path) != len(b.Path) {
+			return len(a.Path) < len(b.Path)
+		}
+		for x := range a.Path {
+			if a.Path[x] != b.Path[x] {
+				return a.Path[x] < b.Path[x]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,233 @@
+package kpaths_test
+
+import (
+	"testing"
+
+	"vicinity/internal/baseline"
+	"vicinity/internal/gen"
+	"vicinity/internal/graph"
+	"vicinity/internal/kpaths"
+	"vicinity/internal/traverse"
+	"vicinity/internal/xrand"
+)
+
+// rootFor runs a plain search to get an exact shortest root path, the
+// contract the engine expects from the oracle.
+func rootFor(g *graph.Graph, s, t uint32) (kpaths.PathAlt, bool) {
+	ps := baseline.KShortestYen(g, s, t, 1)
+	if len(ps) == 0 {
+		return kpaths.PathAlt{}, false
+	}
+	return kpaths.PathAlt{Dist: ps[0].Dist, Path: ps[0].Path}, true
+}
+
+// checkRanked asserts the engine invariants on one answer: sorted
+// canonically, loopless, deduplicated, every path a real s→t walk
+// whose edge weights sum to its Dist.
+func checkRanked(t *testing.T, g *graph.Graph, s, tt uint32, ps []kpaths.PathAlt) {
+	t.Helper()
+	seen := map[string]bool{}
+	for i, p := range ps {
+		if len(p.Path) == 0 || p.Path[0] != s || p.Path[len(p.Path)-1] != tt {
+			t.Fatalf("path %d: endpoints wrong: %v", i, p.Path)
+		}
+		on := map[uint32]bool{}
+		var dist uint32
+		for j, v := range p.Path {
+			if on[v] {
+				t.Fatalf("path %d revisits node %d: %v", i, v, p.Path)
+			}
+			on[v] = true
+			if j > 0 {
+				w, ok := g.EdgeWeight(p.Path[j-1], v)
+				if !ok {
+					t.Fatalf("path %d uses non-edge %d-%d", i, p.Path[j-1], v)
+				}
+				dist = traverse.SatAdd(dist, w)
+			}
+		}
+		if dist != p.Dist {
+			t.Fatalf("path %d claims dist %d, edges sum to %d: %v", i, p.Dist, dist, p.Path)
+		}
+		key := ""
+		for _, v := range p.Path {
+			key += string(rune(v)) + ","
+		}
+		if seen[key] {
+			t.Fatalf("duplicate path %d: %v", i, p.Path)
+		}
+		seen[key] = true
+		if i > 0 {
+			a, b := ps[i-1], p
+			if a.Dist > b.Dist || (a.Dist == b.Dist && len(a.Path) > len(b.Path)) {
+				t.Fatalf("paths %d,%d out of order: %v %v", i-1, i, a, b)
+			}
+		}
+	}
+}
+
+// TestEnumerateMatchesExhaustive checks the engine against full DFS
+// enumeration of every simple path on random tiny graphs, unweighted
+// and weighted: the dist multiset must agree exactly for every k.
+func TestEnumerateMatchesExhaustive(t *testing.T) {
+	r := xrand.New(42)
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + r.Intn(9) // 4..12 nodes
+		b := graph.NewBuilder(n)
+		weighted := trial%3 == 0
+		edges := n + r.Intn(2*n)
+		for i := 0; i < edges; i++ {
+			u, v := uint32(r.Intn(n)), uint32(r.Intn(n))
+			if weighted {
+				b.AddWeightedEdge(u, v, 1+uint32(r.Intn(9)))
+			} else {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		eng := kpaths.NewEngine(g)
+		for pair := 0; pair < 6; pair++ {
+			s, tt := uint32(r.Intn(n)), uint32(r.Intn(n))
+			k := 1 + r.Intn(7)
+			want := baseline.KShortestExhaustive(g, s, tt, k)
+			root, ok := rootFor(g, s, tt)
+			if !ok {
+				if len(want) != 0 {
+					t.Fatalf("trial %d: root missing but %d paths exist", trial, len(want))
+				}
+				got, _, out := eng.Enumerate(kpaths.PathAlt{}, k, traverse.Limits{})
+				if len(got) != 0 || out != traverse.OutcomeDone {
+					t.Fatalf("trial %d: empty root gave %v/%v", trial, got, out)
+				}
+				continue
+			}
+			got, _, out := eng.Enumerate(root, k, traverse.Limits{})
+			if out != traverse.OutcomeDone {
+				t.Fatalf("trial %d: unlimited enumeration outcome %v", trial, out)
+			}
+			checkRanked(t, g, s, tt, got)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d (%d,%d,k=%d): got %d paths, want %d\n got: %v\nwant: %v",
+					trial, s, tt, k, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("trial %d (%d,%d,k=%d): dist[%d]=%d, want %d",
+						trial, s, tt, k, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateMatchesReferenceYen cross-checks the engine against the
+// independent textbook Yen on mid-size generator graphs.
+func TestEnumerateMatchesReferenceYen(t *testing.T) {
+	r := xrand.New(7)
+	graphs := []*graph.Graph{
+		gen.HolmeKim(xrand.New(3), 120, 3, 0.4),
+		gen.Grid(8, 11),
+	}
+	for gi, g := range graphs {
+		eng := kpaths.NewEngine(g)
+		n := uint32(g.NumNodes())
+		for trial := 0; trial < 40; trial++ {
+			s, tt := r.Uint32n(n), r.Uint32n(n)
+			k := 2 + r.Intn(7)
+			want := baseline.KShortestYen(g, s, tt, k)
+			root, ok := rootFor(g, s, tt)
+			if !ok {
+				continue
+			}
+			got, _, _ := eng.Enumerate(root, k, traverse.Limits{})
+			checkRanked(t, g, s, tt, got)
+			if len(got) != len(want) {
+				t.Fatalf("graph %d (%d,%d,k=%d): got %d paths, want %d", gi, s, tt, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("graph %d (%d,%d,k=%d): dist[%d]=%d, want %d",
+						gi, s, tt, k, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateBudget pins the partial-result contract: a tiny node
+// budget stops enumeration with OutcomeBudget and the paths found so
+// far (always at least the root), and a zero budget means unlimited.
+func TestEnumerateBudget(t *testing.T) {
+	g := gen.Grid(6, 30)
+	eng := kpaths.NewEngine(g)
+	root, ok := rootFor(g, 0, uint32(g.NumNodes()-1))
+	if !ok {
+		t.Fatal("grid corners disconnected")
+	}
+	got, st, out := eng.Enumerate(root, 8, traverse.Limits{NodeBudget: 10})
+	if out != traverse.OutcomeBudget {
+		t.Fatalf("outcome %v, want budget", out)
+	}
+	if len(got) < 1 || got[0].Dist != root.Dist {
+		t.Fatalf("budget run lost the root: %v", got)
+	}
+	if int(st.Expanded) > 10+1 {
+		t.Fatalf("expanded %d beyond budget 10", st.Expanded)
+	}
+	full, _, out := eng.Enumerate(root, 8, traverse.Limits{})
+	if out != traverse.OutcomeDone || len(full) != 8 {
+		t.Fatalf("unlimited rerun: %d paths, outcome %v", len(full), out)
+	}
+}
+
+// TestEnumerateStopped pins cancellation: a closed Done channel stops
+// enumeration with OutcomeStopped once the poll interval passes.
+func TestEnumerateStopped(t *testing.T) {
+	g := gen.Grid(20, 25)
+	eng := kpaths.NewEngine(g)
+	root, ok := rootFor(g, 0, uint32(g.NumNodes()-1))
+	if !ok {
+		t.Fatal("grid corners disconnected")
+	}
+	done := make(chan struct{})
+	close(done)
+	got, _, out := eng.Enumerate(root, 16, traverse.Limits{Done: done})
+	if out != traverse.OutcomeStopped {
+		t.Fatalf("outcome %v, want stopped", out)
+	}
+	if len(got) < 1 {
+		t.Fatal("stopped run lost the root")
+	}
+}
+
+// TestEnumerateDegenerate covers the short-circuits: empty root,
+// single-node root (s==t), k<=1, and engine reuse across runs.
+func TestEnumerateDegenerate(t *testing.T) {
+	g := gen.Grid(3, 3)
+	eng := kpaths.NewEngine(g)
+	if ps, _, _ := eng.Enumerate(kpaths.PathAlt{}, 5, traverse.Limits{}); ps != nil {
+		t.Fatalf("empty root: %v", ps)
+	}
+	self := kpaths.PathAlt{Dist: 0, Path: []uint32{4}}
+	if ps, _, _ := eng.Enumerate(self, 5, traverse.Limits{}); len(ps) != 1 || ps[0].Dist != 0 {
+		t.Fatalf("s==t: %v", ps)
+	}
+	root, _ := rootFor(g, 0, 8)
+	if ps, _, _ := eng.Enumerate(root, 1, traverse.Limits{}); len(ps) != 1 {
+		t.Fatalf("k=1: %v", ps)
+	}
+	// Reuse: a second full run on the same engine must be identical.
+	a, _, _ := eng.Enumerate(root, 6, traverse.Limits{})
+	b, _, _ := eng.Enumerate(root, 6, traverse.Limits{})
+	if len(a) != len(b) {
+		t.Fatalf("engine reuse changed answers: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Dist != b[i].Dist {
+			t.Fatalf("engine reuse changed dists at %d", i)
+		}
+	}
+	if eng.Graph() != g {
+		t.Fatal("Graph() accessor")
+	}
+}

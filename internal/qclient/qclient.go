@@ -558,6 +558,15 @@ type QuerySpec struct {
 	T uint32
 	// Ts, when non-nil, makes this a one-to-many request.
 	Ts []uint32
+	// K, when positive, makes this a ranked-alternatives request: up to
+	// K loopless s→t paths in (distance, length, lexicographic) order,
+	// returned in QueryResult.Paths. Single-target only (Ts must be
+	// nil), capped at core.MaxK, and implies WantPath. K=1 returns
+	// exactly the single shortest path the plain query would. Routers
+	// treat K like any other read: the answer is a deterministic
+	// function of the pinned snapshot, so hedging and replica failover
+	// stay safe.
+	K int
 	// Policy overrides the fallback for this request
 	// (core.PolicyDefault/Full/Estimate/TableOnly).
 	Policy core.Policy
@@ -593,8 +602,15 @@ type QueryItem struct {
 // QueryResult is the v2 response: one item per target (exactly one for
 // single-target requests), the answering snapshot's epoch, and — when
 // QuerySpec.WantStats was set — the per-request cost counters.
+//
+// For a ranked-alternatives request (QuerySpec.K > 0) Paths carries the
+// ranked list and Items holds one synthetic entry mirroring the best
+// path — so consumers that only look at Items[0] see exactly the
+// single-path answer. A budget or deadline that expired mid-enumeration
+// surfaces as that item's Err with the paths found so far in Paths.
 type QueryResult struct {
 	Items []QueryItem
+	Paths []core.PathAlt
 	Epoch uint64
 	Cost  core.Cost
 }
@@ -606,6 +622,9 @@ type QueryResult struct {
 // API returns. A single-target request reports query errors on the
 // lone item, not as a call error.
 func (c *Client) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error) {
+	if spec.K != 0 {
+		return c.queryKPaths(ctx, spec)
+	}
 	if len(spec.Ts) > wire.MaxBatchTargets {
 		return nil, fmt.Errorf("qclient: query of %d targets exceeds the %d cap", len(spec.Ts), wire.MaxBatchTargets)
 	}
@@ -637,19 +656,10 @@ func (c *Client) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error
 		req.Flags |= wire.QueryMany
 		req.Ts = spec.Ts
 	}
-	if d, ok := ctx.Deadline(); ok {
-		ms := time.Until(d).Milliseconds()
-		if ms < 1 {
-			ms = 1 // already (nearly) expired: let the server refuse it
-		}
-		if ms > wire.MaxDeadlineMS {
-			// Beyond the protocol cap a deadline is indistinguishable
-			// from none; clamp rather than have the server reject a
-			// query an ordinary long-lived context would carry.
-			ms = wire.MaxDeadlineMS
-		}
-		req.DeadlineMS = wire.ClampU32(int(ms))
-	}
+	// Beyond the protocol cap a deadline is indistinguishable from
+	// none; deadlineMS clamps rather than have the server reject a
+	// query an ordinary long-lived context would carry.
+	req.DeadlineMS = deadlineMS(ctx)
 	resp, err := c.roundTripCtx(ctx, req)
 	if err != nil {
 		return nil, err
@@ -684,6 +694,85 @@ func (c *Client) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error
 			out.Items[i].Err = typedError(&wire.ErrorResponse{Code: it.Code, Message: "query failed"})
 		}
 	}
+	return out, nil
+}
+
+// deadlineMS converts a context deadline to the relative wire field,
+// clamped to the protocol cap (shared by the query and kpaths frames).
+func deadlineMS(ctx context.Context) uint32 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms < 1 {
+		ms = 1 // already (nearly) expired: let the server refuse it
+	}
+	if ms > wire.MaxDeadlineMS {
+		ms = wire.MaxDeadlineMS
+	}
+	return wire.ClampU32(int(ms))
+}
+
+// queryKPaths is the K>0 arm of Query: one ranked-alternatives frame,
+// answered from one pinned snapshot on the server.
+func (c *Client) queryKPaths(ctx context.Context, spec QuerySpec) (*QueryResult, error) {
+	switch {
+	case spec.K < 0 || spec.K > core.MaxK:
+		return nil, fmt.Errorf("qclient: k %d outside [1, %d]", spec.K, core.MaxK)
+	case spec.Ts != nil:
+		return nil, errors.New("qclient: k-paths requests are single-target (Ts must be nil)")
+	case spec.Budget < 0:
+		return nil, fmt.Errorf("qclient: negative budget %d", spec.Budget)
+	}
+	req := &wire.KPathsRequest{
+		S:          spec.S,
+		T:          spec.T,
+		K:          uint16(spec.K),
+		DeadlineMS: deadlineMS(ctx),
+		Budget:     wire.ClampU32(spec.Budget),
+		Policy:     uint8(spec.Policy),
+	}
+	if spec.WantStats {
+		req.Flags |= wire.KPathsWantStats
+	}
+	resp, err := c.roundTripCtx(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	kr, ok := resp.(*wire.KPathsResponse)
+	if !ok {
+		return nil, fmt.Errorf("qclient: unexpected response %v", resp.WireType())
+	}
+	if spec.MinEpoch > 0 && kr.Epoch < spec.MinEpoch {
+		return nil, fmt.Errorf("%w: at epoch %d, need %d", ErrStaleRead, kr.Epoch, spec.MinEpoch)
+	}
+	out := &QueryResult{
+		Items: make([]QueryItem, 1),
+		Paths: make([]core.PathAlt, len(kr.Items)),
+		Epoch: kr.Epoch,
+		Cost: core.Cost{
+			Lookups:   int(kr.Lookups),
+			Scanned:   int(kr.Scanned),
+			Expanded:  int(kr.Expanded),
+			Fallbacks: int(kr.Fallbacks),
+		},
+	}
+	for i, it := range kr.Items {
+		out.Paths[i] = core.PathAlt{Dist: it.Dist, Path: it.Path}
+	}
+	// The synthetic item mirrors the best path so Items[0] consumers see
+	// the single-path answer; an empty enumeration is an unreachable
+	// target unless the response code says otherwise.
+	item := QueryItem{Dist: NoDist, Method: kr.Method}
+	if len(out.Paths) > 0 {
+		item.Dist = out.Paths[0].Dist
+		item.Path = out.Paths[0].Path
+	}
+	if kr.Code != 0 {
+		item.Err = typedError(&wire.ErrorResponse{Code: kr.Code, Message: "k-paths enumeration cut short"})
+	}
+	out.Items[0] = item
 	return out, nil
 }
 

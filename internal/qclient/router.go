@@ -394,7 +394,16 @@ func (r *Router) shardFor(t uint32) *shardGroup {
 // queries go to the shard covering the target. Unsharded routers use
 // the full-coverage group. Hedging, failover and the MinEpoch wait
 // apply per group.
+//
+// Ranked-alternatives requests (QuerySpec.K > 0) are single-target
+// reads: they route to the shard covering T like any other single, and
+// because the ranked answer is a deterministic function of the pinned
+// snapshot, hedged and failed-over attempts return byte-identical
+// rankings.
 func (r *Router) Query(ctx context.Context, spec QuerySpec) (*QueryResult, error) {
+	if spec.K != 0 && spec.Ts != nil {
+		return nil, errors.New("qclient: k-paths requests are single-target (Ts must be nil)")
+	}
 	if len(r.shards) > 0 {
 		if spec.Ts != nil {
 			return r.scatterGather(ctx, spec)

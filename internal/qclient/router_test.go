@@ -265,3 +265,82 @@ func TestRouterScatterGather(t *testing.T) {
 		t.Fatalf("uncovered single target: err = %v, want ErrNotCovered", err)
 	}
 }
+
+// TestRouterKPaths: ranked-alternatives requests ride the router like
+// any other single-target read — hedging around a stalled replica
+// returns the identical ranking (determinism is what makes the hedge
+// safe), sharded routers send K to the shard covering T, and K mixed
+// with Ts is refused before any network traffic.
+func TestRouterKPaths(t *testing.T) {
+	o := routerOracle(t)
+	const stall = 400 * time.Millisecond
+	_, slowAddr := startOracleServer(t, o, qserver.Config{StallQueries: stall})
+	_, fastAddr := startOracleServer(t, o, qserver.Config{})
+	r, err := qclient.NewRouter([]string{slowAddr, fastAddr}, qclient.RouterOptions{
+		HedgeDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	direct, err := qclient.NewPool(fastAddr, 1, qclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+
+	ctx := context.Background()
+	rng := xrand.New(29)
+	for i := 0; i < 8; i++ {
+		spec := qclient.QuerySpec{S: rng.Uint32n(routerN), T: rng.Uint32n(routerN), K: 4}
+		routed, err := r.Query(ctx, spec)
+		if err != nil {
+			t.Fatalf("routed kpaths %d: %v", i, err)
+		}
+		want, err := direct.Query(ctx, spec)
+		if err != nil {
+			t.Fatalf("direct kpaths %d: %v", i, err)
+		}
+		if len(routed.Paths) != len(want.Paths) {
+			t.Fatalf("kpaths %d: %d paths routed, %d direct", i, len(routed.Paths), len(want.Paths))
+		}
+		for j := range want.Paths {
+			if routed.Paths[j].Dist != want.Paths[j].Dist {
+				t.Fatalf("kpaths %d path %d: dist %d routed, %d direct", i, j, routed.Paths[j].Dist, want.Paths[j].Dist)
+			}
+			for x := range want.Paths[j].Path {
+				if routed.Paths[j].Path[x] != want.Paths[j].Path[x] {
+					t.Fatalf("kpaths %d path %d: hops diverge at %d", i, j, x)
+				}
+			}
+		}
+	}
+
+	// K with Ts never leaves the client.
+	if _, err := r.Query(ctx, qclient.QuerySpec{S: 1, Ts: []uint32{2, 3}, K: 2}); err == nil {
+		t.Fatal("K with Ts accepted")
+	}
+
+	// Sharded: K routes to the covering shard; uncovered targets carry
+	// the coverage taxonomy.
+	const cut = routerN / 2
+	sr, err := qclient.NewRouter(nil, qclient.RouterOptions{
+		Nodes: []qclient.Shard{
+			{Lo: 0, Hi: cut, Addrs: []string{fastAddr}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	res, err := sr.Query(ctx, qclient.QuerySpec{S: 1, T: cut - 1, K: 3})
+	if err != nil {
+		t.Fatalf("sharded kpaths: %v", err)
+	}
+	if len(res.Paths) == 0 {
+		t.Fatal("sharded kpaths returned no paths")
+	}
+	if _, err := sr.Query(ctx, qclient.QuerySpec{S: 1, T: cut + 5, K: 3}); !errors.Is(err, core.ErrNotCovered) {
+		t.Fatalf("uncovered kpaths target: err = %v, want ErrNotCovered", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 //	GET  /v1/path?s=<id>&t=<id>     → {"s":..,"t":..,"path":[..],"method":".."}
 //	POST /v1/batch                  → one-to-many distances: {"s":..,"ts":[..]}
 //	POST /v2/query                  → request-scoped query: deadline, budget, policy, typed error codes
+//	POST /v2/kpaths                 → ranked loopless alternatives: {"s":..,"t":..,"k":4}
 //	GET  /v1/stats                  → oracle build statistics and server counters
 //	POST /v1/admin/update           → apply a graph mutation batch (requires Config.AllowUpdates)
 //	POST /v1/admin/save             → serialize the current oracle to a server-side path (requires Config.AllowUpdates)
@@ -53,6 +54,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/path", s.handlePath)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v2/query", s.handleQueryV2)
+	mux.HandleFunc("POST /v2/kpaths", s.handleKPathsV2)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/update", s.handleUpdate)
 	mux.HandleFunc("POST /v1/admin/save", s.handleSave)
@@ -653,6 +655,141 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		out.Results = append(out.Results, fill(targets[0], res.Dist, res.Method, res.Path, err))
+	}
+	if body.WantStats {
+		out.Cost = &v2Cost{
+			Lookups:   res.Cost.Lookups,
+			Scanned:   res.Cost.Scanned,
+			Expanded:  res.Cost.Expanded,
+			Fallbacks: res.Cost.Fallbacks,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleKPathsV2 answers a ranked-alternatives request posted as JSON:
+//
+//	{"s":15, "t":4711, "k":4}
+//	{"s":15, "t":4711, "k":8, "budget":20000, "deadline_ms":5, "policy":"full"}
+//
+// The response lists up to k loopless s→t paths in canonical
+// (distance, length, lexicographic) order. Budget and deadline
+// exhaustion mid-enumeration is HTTP 200 with the paths found so far
+// plus a top-level machine-readable error_code — mirroring the partial
+// contract of /v2/query. The request runs against one pinned snapshot:
+// epoch swaps mid-enumeration cannot mix graphs, and the reported
+// epoch is the cluster epoch read-your-epoch routing needs.
+func (s *Server) handleKPathsV2(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		S          uint32 `json:"s"`
+		T          uint32 `json:"t"`
+		K          int    `json:"k"`
+		DeadlineMS int64  `json:"deadline_ms"`
+		Budget     int    `json:"budget"`
+		Policy     string `json:"policy"`
+		WantStats  bool   `json:"want_stats"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "invalid kpaths body: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	fail := func(msg string) {
+		s.errCount.Add(1)
+		writeJSON(w, http.StatusBadRequest, httpError{Error: msg, Code: "bad_request"})
+	}
+	switch {
+	case body.K < 1 || body.K > core.MaxK:
+		fail(fmt.Sprintf("k must be in [1, %d]", core.MaxK))
+		return
+	case body.Budget < 0:
+		fail("budget must be >= 0")
+		return
+	case body.DeadlineMS < 0 || body.DeadlineMS > maxQueryDeadlineMS:
+		fail(fmt.Sprintf("deadline_ms must be in [0, %d]", maxQueryDeadlineMS))
+		return
+	}
+	policy, err := core.ParsePolicy(body.Policy)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	s.queries.Add(1)
+	defer s.observe(EpKPaths, time.Now())
+	policy, leave := s.admit(policy)
+	defer leave()
+
+	// The request context: client disconnect (r.Context()) ∧ server
+	// shutdown (s.baseCtx) ∧ the request's own deadline.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	if body.DeadlineMS > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, time.Duration(body.DeadlineMS)*time.Millisecond)
+		defer cancelT()
+	}
+	if s.cfg.testHookQuery != nil {
+		s.cfg.testHookQuery(ctx)
+	}
+
+	s.stall(ctx)
+	pinned := s.cat.State()
+	res, err := pinned.Oracle.Query(ctx, core.Request{
+		S:         body.S,
+		T:         body.T,
+		K:         body.K,
+		Policy:    policy,
+		Budget:    body.Budget,
+		WantPath:  true,
+		WantStats: body.WantStats,
+	})
+	if err != nil && !errors.Is(err, core.ErrBudgetExceeded) && !errors.Is(err, core.ErrCanceled) {
+		s.errCount.Add(1)
+		writeError(w, queryStatus(err), err)
+		return
+	}
+
+	type kAlt struct {
+		Distance uint32   `json:"distance"`
+		Hops     int      `json:"hops"`
+		Path     []uint32 `json:"path"`
+	}
+	type v2Cost struct {
+		Lookups   int `json:"lookups"`
+		Scanned   int `json:"scanned"`
+		Expanded  int `json:"expanded"`
+		Fallbacks int `json:"fallbacks"`
+	}
+	type kResp struct {
+		S         uint32  `json:"s"`
+		T         uint32  `json:"t"`
+		K         int     `json:"k"`
+		Epoch     uint64  `json:"epoch"`
+		Method    string  `json:"method"`
+		Count     int     `json:"count"`
+		Paths     []kAlt  `json:"paths"`
+		Error     string  `json:"error,omitempty"`
+		ErrorCode string  `json:"error_code,omitempty"`
+		Cost      *v2Cost `json:"cost,omitempty"`
+	}
+	out := kResp{
+		S: body.S, T: body.T, K: body.K,
+		Epoch:  pinned.Epoch,
+		Method: res.Method.String(),
+		Count:  len(res.Paths),
+		Paths:  make([]kAlt, len(res.Paths)),
+	}
+	for i, p := range res.Paths {
+		out.Paths[i] = kAlt{Distance: p.Dist, Hops: len(p.Path) - 1, Path: p.Path}
+	}
+	if err != nil {
+		s.errCount.Add(1)
+		out.Error = err.Error()
+		out.ErrorCode = core.ErrorCode(err)
 	}
 	if body.WantStats {
 		out.Cost = &v2Cost{

@@ -125,7 +125,7 @@ type Metrics struct {
 	MuxConns     int64  // connections currently in multiplexed session mode
 }
 
-// Endpoint indexes the per-endpoint latency histograms: the four query
+// Endpoint indexes the per-endpoint latency histograms: the query
 // shapes a server answers, shared between the TCP and HTTP surfaces.
 type Endpoint int
 
@@ -135,6 +135,7 @@ const (
 	EpPath                     // single path
 	EpBatch                    // one-to-many (v1 batch + v2 many-target)
 	EpQuery                    // v2 query frames of any shape, end to end
+	EpKPaths                   // ranked k-shortest-paths enumeration
 	numEndpoints
 )
 
@@ -149,6 +150,8 @@ func (e Endpoint) String() string {
 		return "batch"
 	case EpQuery:
 		return "query"
+	case EpKPaths:
+		return "kpaths"
 	default:
 		return fmt.Sprintf("Endpoint(%d)", int(e))
 	}
@@ -680,6 +683,9 @@ func (s *Server) dispatch(ctx context.Context, req wire.Message) wire.Message {
 	case *wire.QueryRequest:
 		return s.dispatchQuery(ctx, st, m)
 
+	case *wire.KPathsRequest:
+		return s.dispatchKPaths(ctx, st, m)
+
 	case *wire.StatsRequest:
 		st := oracle.Stats()
 		ms := oracle.Memory()
@@ -811,6 +817,106 @@ func (s *Server) dispatchQuery(ctx context.Context, st *store.State, m *wire.Que
 		return oversized
 	}
 	return resp
+}
+
+// dispatchKPaths answers a ranked-alternatives frame. It runs against
+// the snapshot pinned by dispatch, so enumeration never straddles an
+// epoch swap; admission control can degrade the root policy exactly as
+// it does for single queries (the deviation searches then run against
+// whatever root the degraded policy produced). Budget and deadline
+// exhaustion mid-enumeration come back as a top-level response code
+// with the paths found so far, matching the partial-result contract of
+// core.Request.K; per-item codes are reserved for the scatter-gather
+// layer, which stamps wire.CodeNotCovered on uncovered shards.
+func (s *Server) dispatchKPaths(ctx context.Context, st *store.State, m *wire.KPathsRequest) wire.Message {
+	oracle := st.Oracle
+	// Validate before counting, mirroring dispatchQuery. The codec
+	// already rejects K outside [1, MaxKPaths] on decode; the checks
+	// here keep the server safe against alternative frontends.
+	if core.Policy(m.Policy) > core.PolicyTableOnly {
+		s.errCount.Add(1)
+		return &wire.ErrorResponse{
+			Code:    wire.CodeBadRequest,
+			Message: fmt.Sprintf("unknown query policy %d", m.Policy),
+		}
+	}
+	if m.DeadlineMS > maxQueryDeadlineMS {
+		s.errCount.Add(1)
+		return &wire.ErrorResponse{
+			Code:    wire.CodeBadRequest,
+			Message: fmt.Sprintf("deadline-ms %d exceeds the %d cap", m.DeadlineMS, maxQueryDeadlineMS),
+		}
+	}
+	if m.K == 0 || int(m.K) > core.MaxK {
+		s.errCount.Add(1)
+		return &wire.ErrorResponse{
+			Code:    wire.CodeBadRequest,
+			Message: fmt.Sprintf("k %d outside [1, %d]", m.K, core.MaxK),
+		}
+	}
+	s.queries.Add(1)
+	s.stall(ctx)
+	defer s.observe(EpKPaths, time.Now())
+	policy, leave := s.admit(core.Policy(m.Policy))
+	defer leave()
+	if m.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(m.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	if s.cfg.testHookQuery != nil {
+		s.cfg.testHookQuery(ctx)
+	}
+	req := core.Request{
+		S:         m.S,
+		T:         m.T,
+		K:         int(m.K),
+		Policy:    policy,
+		Budget:    int(m.Budget),
+		WantPath:  true,
+		WantStats: m.Flags&wire.KPathsWantStats != 0,
+	}
+	res, err := oracle.Query(ctx, req)
+	resp := &wire.KPathsResponse{Epoch: st.Epoch, Method: uint8(res.Method)}
+	if req.WantStats {
+		resp.Lookups = wire.ClampU32(res.Cost.Lookups)
+		resp.Scanned = wire.ClampU32(res.Cost.Scanned)
+		resp.Expanded = wire.ClampU32(res.Cost.Expanded)
+		resp.Fallbacks = wire.ClampU32(res.Cost.Fallbacks)
+	}
+	if err != nil {
+		s.errCount.Add(1)
+		if !errors.Is(err, core.ErrBudgetExceeded) && !errors.Is(err, core.ErrCanceled) {
+			return queryError(err)
+		}
+		resp.Code = queryCode(err)
+	}
+	resp.Items = make([]wire.KPathsItem, len(res.Paths))
+	for i, p := range res.Paths {
+		resp.Items[i] = wire.KPathsItem{Dist: p.Dist, Path: p.Path}
+	}
+	if oversized := kpathsRespOversized(resp); oversized != nil {
+		s.errCount.Add(1)
+		return oversized
+	}
+	return resp
+}
+
+// kpathsRespOversized is queryRespOversized for the k-paths frame: k is
+// small but paths can be long, so k long paths can still breach the
+// frame cap on a pathological graph.
+func kpathsRespOversized(resp *wire.KPathsResponse) wire.Message {
+	size := 2 + 31 // version/type prefix + fixed KPathsResponse header
+	for _, it := range resp.Items {
+		size += 10 + 4*len(it.Path)
+	}
+	if size <= wire.MaxFrame {
+		return nil
+	}
+	return &wire.ErrorResponse{
+		Code:    wire.CodeBadRequest,
+		Message: fmt.Sprintf("response of %d bytes exceeds the %d frame cap; reduce k", size, wire.MaxFrame),
+	}
 }
 
 // queryRespOversized reports (as a typed refusal) a v2 response whose

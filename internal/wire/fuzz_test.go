@@ -27,6 +27,8 @@ func seedMessages() []Message {
 		&HelloAck{Features: FeatureMux},
 		&ReplStatusRequest{},
 		&ReplStatusResponse{Role: RoleWriter, Epoch: 9, MinDelta: 2, MaxDelta: 9},
+		&KPathsRequest{S: 1, T: 2, K: 4, DeadlineMS: 100, Budget: 50, Policy: 1, Flags: KPathsWantStats},
+		&KPathsResponse{Epoch: 1, Method: 1, Items: []KPathsItem{{Dist: 4, Path: []uint32{1, 5, 2}}, {Dist: 5, Path: []uint32{1, 3, 5, 2}}}},
 	}
 }
 
@@ -53,6 +55,42 @@ func FuzzUnmarshal(f *testing.F) {
 			t.Fatalf("re-encode round trip changed %+v -> %+v", msg, got)
 		}
 		// The typed decoder must agree with the generic one.
+		into := newMessage(msg.WireType())
+		if err := UnmarshalInto(payload, into); err != nil {
+			t.Fatalf("UnmarshalInto rejected what Unmarshal accepted: %v", err)
+		}
+		if !reflect.DeepEqual(msg, into) {
+			t.Fatalf("UnmarshalInto disagrees: %+v vs %+v", msg, into)
+		}
+	})
+}
+
+// FuzzKPathsFrame focuses the decoder of the two k-paths frames: any
+// payload either side accepts must re-encode to the IDENTICAL bytes
+// (the frames have no redundant encodings, so decode→re-encode is the
+// identity on accepted inputs), and the typed reusing decoder must
+// agree with the allocating one.
+func FuzzKPathsFrame(f *testing.F) {
+	f.Add(Marshal(&KPathsRequest{S: 1, T: 2, K: 1})[4:])
+	f.Add(Marshal(&KPathsRequest{S: 9, T: 0, K: MaxKPaths, DeadlineMS: MaxDeadlineMS, Budget: 1 << 20, Policy: 3, Flags: KPathsWantStats})[4:])
+	f.Add(Marshal(&KPathsResponse{})[4:])
+	f.Add(Marshal(&KPathsResponse{Epoch: 7, Lookups: 1, Scanned: 2, Expanded: 3, Fallbacks: 4, Code: CodeBudget, Method: 2,
+		Items: []KPathsItem{{Dist: 3, Path: []uint32{0, 4, 9}}}})[4:])
+	f.Add(Marshal(&KPathsResponse{Items: []KPathsItem{{Code: CodeNotCovered, Dist: ^uint32(0)}, {Dist: 1, Path: []uint32{2, 3}}}})[4:])
+	f.Add([]byte{Version, byte(TypeKPathsReq)})
+	f.Add([]byte{Version, byte(TypeKPathsResp), 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) >= 2 && payload[1] != byte(TypeKPathsReq) && payload[1] != byte(TypeKPathsResp) {
+			return // keep the corpus on the frames under test
+		}
+		msg, err := Unmarshal(payload)
+		if err != nil {
+			return
+		}
+		re := Marshal(msg)[4:]
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("decode→re-encode not identical:\n in: %x\nout: %x", payload, re)
+		}
 		into := newMessage(msg.WireType())
 		if err := UnmarshalInto(payload, into); err != nil {
 			t.Fatalf("UnmarshalInto rejected what Unmarshal accepted: %v", err)

@@ -188,6 +188,10 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		{"distance-resp", &DistanceResponse{Dist: 9, Method: 3}, &DistanceResponse{}},
 		{"query-req", &QueryRequest{S: 1, T: 2, DeadlineMS: 5, Budget: 100, Policy: 1, Flags: QueryWantStats}, &QueryRequest{}},
 		{"query-resp", &QueryResponse{Epoch: 4, Items: []QueryItem{{Dist: 11, Method: 2}}}, &QueryResponse{}},
+		// The k=1 kpaths frames must meet the same gate: a K request is
+		// fixed-size, and a one-item response reuses its path backing.
+		{"kpaths-req", &KPathsRequest{S: 1, T: 2, K: 1, DeadlineMS: 5, Budget: 100, Policy: 1, Flags: KPathsWantStats}, &KPathsRequest{}},
+		{"kpaths-resp", &KPathsResponse{Epoch: 4, Method: 2, Items: []KPathsItem{{Dist: 2, Path: []uint32{1, 9, 2}}}}, &KPathsResponse{}},
 	}
 	for _, c := range cases {
 		buf := make([]byte, 0, 256)

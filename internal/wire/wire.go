@@ -73,6 +73,8 @@ const (
 	TypeHelloAck       MsgType = 16
 	TypeReplStatusReq  MsgType = 17
 	TypeReplStatusResp MsgType = 18
+	TypeKPathsReq      MsgType = 19
+	TypeKPathsResp     MsgType = 20
 )
 
 // Feature bits negotiated by Hello/HelloAck.
@@ -133,6 +135,10 @@ func (t MsgType) String() string {
 		return "repl-status-request"
 	case TypeReplStatusResp:
 		return "repl-status-response"
+	case TypeKPathsReq:
+		return "kpaths-request"
+	case TypeKPathsResp:
+		return "kpaths-response"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -283,6 +289,63 @@ type QueryResponse struct {
 	Items     []QueryItem
 }
 
+// MaxKPaths caps KPathsRequest.K, the wire image of core.MaxK (the
+// two must stay equal; the serving layer asserts it). Parsing rejects
+// larger values, so a request accepted anywhere is valid everywhere.
+const MaxKPaths = 64
+
+// KPathsRequest flag bits.
+const (
+	// KPathsWantStats asks for the cost counters in the response.
+	// Paths are always wanted — that is what the endpoint is for — so
+	// there is no KPathsWantPath bit.
+	KPathsWantStats uint8 = 1 << 0
+)
+
+// KPathsRequest asks for up to K ranked loopless alternative paths
+// from S to T (K in [1, MaxKPaths]; K=1 answers exactly like a
+// single-target path query). DeadlineMS, Budget and Policy behave as
+// in QueryRequest: one budget pool is charged across the root search
+// and every spur search.
+type KPathsRequest struct {
+	S          uint32
+	T          uint32
+	K          uint16
+	DeadlineMS uint32
+	Budget     uint32
+	Policy     uint8
+	Flags      uint8
+}
+
+// KPathsItem is one ranked path in a KPathsResponse. Code 0 means the
+// item is a complete ranked path; per-item codes exist so future
+// serving layers can degrade individual alternatives without failing
+// the request (today servers always send 0 — request-level conditions
+// ride KPathsResponse.Code).
+type KPathsItem struct {
+	Code uint16
+	Dist uint32
+	Path []uint32
+}
+
+// KPathsResponse answers a KPathsRequest: the snapshot epoch, cost
+// counters (zero unless KPathsWantStats), how the root path was
+// resolved (Method), and the ranked paths in canonical order. Code 0
+// means enumeration ran to completion (fewer than K items means no
+// more loopless paths exist); CodeBudget/CodeCanceled mark a typed
+// partial result whose Items are the paths found before the limit
+// fired.
+type KPathsResponse struct {
+	Epoch     uint64
+	Lookups   uint32
+	Scanned   uint32
+	Expanded  uint32
+	Fallbacks uint32
+	Code      uint16
+	Method    uint8
+	Items     []KPathsItem
+}
+
 // Hello opens feature negotiation. A client sends it as the first
 // frame on a connection; Features is the bitmask of extensions it
 // wants (FeatureMux today). Servers that predate Hello reject or drop
@@ -352,6 +415,8 @@ func (*Hello) WireType() MsgType              { return TypeHello }
 func (*HelloAck) WireType() MsgType           { return TypeHelloAck }
 func (*ReplStatusRequest) WireType() MsgType  { return TypeReplStatusReq }
 func (*ReplStatusResponse) WireType() MsgType { return TypeReplStatusResp }
+func (*KPathsRequest) WireType() MsgType      { return TypeKPathsReq }
+func (*KPathsResponse) WireType() MsgType     { return TypeKPathsResp }
 func (*PingRequest) WireType() MsgType        { return TypePingReq }
 func (*PingResponse) WireType() MsgType       { return TypePingResp }
 func (*ErrorResponse) WireType() MsgType      { return TypeError }
@@ -502,6 +567,10 @@ func newMessage(t MsgType) Message {
 		return &ReplStatusRequest{}
 	case TypeReplStatusResp:
 		return &ReplStatusResponse{}
+	case TypeKPathsReq:
+		return &KPathsRequest{}
+	case TypeKPathsResp:
+		return &KPathsResponse{}
 	case TypePingReq:
 		return &PingRequest{}
 	case TypePingResp:
@@ -836,6 +905,105 @@ func (m *QueryResponse) parsePayload(src []byte) error {
 		it.Method = src[off+6]
 		plen := binary.BigEndian.Uint32(src[off+7:])
 		off += 11
+		if uint64(plen) > uint64(len(src)-off)/4 {
+			return ErrTruncated
+		}
+		it.Path = reuseU32(it.Path, int(plen))
+		for j := range it.Path {
+			it.Path[j] = binary.BigEndian.Uint32(src[off+4*j:])
+		}
+		off += 4 * int(plen)
+	}
+	if off != len(src) {
+		return ErrTruncated
+	}
+	return nil
+}
+
+func (m *KPathsRequest) appendPayload(dst []byte) []byte {
+	dst = appendU32(dst, m.S)
+	dst = appendU32(dst, m.T)
+	dst = appendU32(dst, m.DeadlineMS)
+	dst = appendU32(dst, m.Budget)
+	dst = binary.BigEndian.AppendUint16(dst, m.K)
+	return append(dst, m.Policy, m.Flags)
+}
+
+func (m *KPathsRequest) parsePayload(src []byte) error {
+	if len(src) != 20 {
+		return ErrTruncated
+	}
+	m.S = binary.BigEndian.Uint32(src)
+	m.T = binary.BigEndian.Uint32(src[4:])
+	m.DeadlineMS = binary.BigEndian.Uint32(src[8:])
+	m.Budget = binary.BigEndian.Uint32(src[12:])
+	m.K = binary.BigEndian.Uint16(src[16:])
+	m.Policy = src[18]
+	m.Flags = src[19]
+	if m.K == 0 || m.K > MaxKPaths {
+		return fmt.Errorf("wire: kpaths K %d outside [1, %d]", m.K, MaxKPaths)
+	}
+	return nil
+}
+
+func (m *KPathsResponse) appendPayload(dst []byte) []byte {
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU32(dst, m.Lookups)
+	dst = appendU32(dst, m.Scanned)
+	dst = appendU32(dst, m.Expanded)
+	dst = appendU32(dst, m.Fallbacks)
+	dst = binary.BigEndian.AppendUint16(dst, m.Code)
+	dst = append(dst, m.Method)
+	dst = appendU32(dst, uint32(len(m.Items)))
+	for _, it := range m.Items {
+		dst = binary.BigEndian.AppendUint16(dst, it.Code)
+		dst = appendU32(dst, it.Dist)
+		dst = appendU32(dst, uint32(len(it.Path)))
+		for _, v := range it.Path {
+			dst = appendU32(dst, v)
+		}
+	}
+	return dst
+}
+
+func (m *KPathsResponse) parsePayload(src []byte) error {
+	if len(src) < 31 {
+		return ErrTruncated
+	}
+	m.Epoch = binary.BigEndian.Uint64(src)
+	m.Lookups = binary.BigEndian.Uint32(src[8:])
+	m.Scanned = binary.BigEndian.Uint32(src[12:])
+	m.Expanded = binary.BigEndian.Uint32(src[16:])
+	m.Fallbacks = binary.BigEndian.Uint32(src[20:])
+	m.Code = binary.BigEndian.Uint16(src[24:])
+	m.Method = src[26]
+	count := binary.BigEndian.Uint32(src[27:])
+	if count > MaxKPaths {
+		return fmt.Errorf("wire: kpaths response of %d items exceeds the %d cap", count, MaxKPaths)
+	}
+	// The item count is small by construction, but keep the untrusted-
+	// count posture anyway: each item needs at least 10 payload bytes.
+	if uint64(count)*10 > uint64(len(src)-31) {
+		return ErrTruncated
+	}
+	off := 31
+	switch {
+	case count == 0:
+		m.Items = nil
+	case cap(m.Items) >= int(count):
+		m.Items = m.Items[:count]
+	default:
+		m.Items = make([]KPathsItem, count)
+	}
+	for i := range m.Items {
+		if len(src)-off < 10 {
+			return ErrTruncated
+		}
+		it := &m.Items[i]
+		it.Code = binary.BigEndian.Uint16(src[off:])
+		it.Dist = binary.BigEndian.Uint32(src[off+2:])
+		plen := binary.BigEndian.Uint32(src[off+6:])
+		off += 10
 		if uint64(plen) > uint64(len(src)-off)/4 {
 			return ErrTruncated
 		}

@@ -402,14 +402,28 @@ func (o *Oracle) AddNode() (uint32, error) {
 
 // Request describes one request-scoped query for Query: a source, one
 // target (T) or many (Ts), and per-request overrides — fallback Policy,
-// a fallback search node Budget, and the WantPath/WantStats flags. The
-// zero value of every override reproduces the legacy behavior exactly.
+// a fallback search node Budget, ranked-alternatives fan-out K, and the
+// WantPath/WantStats flags. The zero value of every override reproduces
+// the legacy behavior exactly.
 type Request = core.Request
 
 // Result carries the answer(s) of one Query: distance/method/path for
-// a single target, Items for one-to-many, plus the snapshot Epoch that
-// answered and the per-request cost counters.
+// a single target, Items for one-to-many, the ranked alternatives in
+// Paths when Request.K > 1, plus the snapshot Epoch that answered and
+// the per-request cost counters.
 type Result = core.Result
+
+// PathAlt is one ranked alternative in Result.Paths: a loopless path
+// (endpoints inclusive) and its total distance. Alternatives are
+// sorted by (distance, length, lexicographic order), so the ranking is
+// deterministic for a given graph snapshot.
+type PathAlt = core.PathAlt
+
+// MaxK caps Request.K, the number of ranked loopless alternatives one
+// query may ask for. K = 1 answers bit-identically to a plain WantPath
+// query; fewer than K paths may exist, in which case Result.Paths
+// holds all of them.
+const MaxK = core.MaxK
 
 // ItemResult is one target's answer in a one-to-many Result.
 type ItemResult = core.ItemResult
